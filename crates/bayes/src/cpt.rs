@@ -1,0 +1,114 @@
+//! Conditional probability tables.
+
+/// A CPT for one node: `P(value | parent configuration)`.
+///
+/// Rows are parent configurations in mixed-radix order (first parent is
+/// the most significant digit); each row holds `card` probabilities
+/// summing to 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cpt {
+    /// Node cardinality (number of values).
+    pub card: u32,
+    /// Cardinalities of the parents, in parent-list order.
+    pub parent_cards: Vec<u32>,
+    probs: Vec<f64>,
+}
+
+impl Cpt {
+    /// Build a CPT from rows; validates shape and row normalization
+    /// (rows are renormalized, so counts are accepted too).
+    pub fn from_rows(
+        card: u32,
+        parent_cards: Vec<u32>,
+        rows: Vec<Vec<f64>>,
+    ) -> Result<Self, String> {
+        let expected_rows: usize = parent_cards.iter().map(|&c| c as usize).product();
+        if rows.len() != expected_rows {
+            return Err(format!("expected {expected_rows} rows, got {}", rows.len()));
+        }
+        let mut probs = Vec::with_capacity(expected_rows * card as usize);
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != card as usize {
+                return Err(format!("row {i} has {} entries, expected {card}", row.len()));
+            }
+            let sum: f64 = row.iter().sum();
+            if sum <= 0.0 || sum.is_nan() || row.iter().any(|p| *p < 0.0 || !p.is_finite()) {
+                return Err(format!("row {i} is not a valid distribution"));
+            }
+            probs.extend(row.iter().map(|p| p / sum));
+        }
+        Ok(Cpt { card, parent_cards, probs })
+    }
+
+    /// Number of parent configurations (rows).
+    pub fn n_rows(&self) -> usize {
+        self.parent_cards.iter().map(|&c| c as usize).product()
+    }
+
+    /// Mixed-radix row index of a parent value assignment.
+    pub fn row_index(&self, parent_values: &[u32]) -> usize {
+        assert_eq!(parent_values.len(), self.parent_cards.len(), "parent arity mismatch");
+        let mut idx = 0usize;
+        for (v, &c) in parent_values.iter().zip(&self.parent_cards) {
+            debug_assert!(*v < c, "parent value out of range");
+            idx = idx * c as usize + *v as usize;
+        }
+        idx
+    }
+
+    /// The distribution row for a parent assignment.
+    pub fn row(&self, parent_values: &[u32]) -> &[f64] {
+        let i = self.row_index(parent_values) * self.card as usize;
+        &self.probs[i..i + self.card as usize]
+    }
+
+    /// `P(value | parents)`.
+    pub fn prob(&self, value: u32, parent_values: &[u32]) -> f64 {
+        self.row(parent_values)[value as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_node_cpt() {
+        let cpt = Cpt::from_rows(3, vec![], vec![vec![1.0, 1.0, 2.0]]).unwrap();
+        assert_eq!(cpt.n_rows(), 1);
+        assert_eq!(cpt.prob(2, &[]), 0.5);
+        assert_eq!(cpt.prob(0, &[]), 0.25);
+    }
+
+    #[test]
+    fn mixed_radix_indexing() {
+        // Two parents with cards 2 and 3 → 6 rows; row(v1, v2) = v1*3+v2.
+        let rows: Vec<Vec<f64>> = (0..6).map(|i| vec![i as f64 + 1.0, 1.0]).collect();
+        let cpt = Cpt::from_rows(2, vec![2, 3], rows).unwrap();
+        assert_eq!(cpt.n_rows(), 6);
+        assert_eq!(cpt.row_index(&[0, 0]), 0);
+        assert_eq!(cpt.row_index(&[0, 2]), 2);
+        assert_eq!(cpt.row_index(&[1, 0]), 3);
+        assert_eq!(cpt.row_index(&[1, 2]), 5);
+        // Row [1,2] was [6, 1] → normalized.
+        assert!((cpt.prob(0, &[1, 2]) - 6.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_malformed_tables() {
+        assert!(Cpt::from_rows(2, vec![], vec![]).is_err()); // 0 rows, 1 expected
+        assert!(Cpt::from_rows(2, vec![2], vec![vec![1.0, 1.0]]).is_err()); // 1 row, 2 expected
+        assert!(Cpt::from_rows(2, vec![], vec![vec![1.0]]).is_err()); // short row
+        assert!(Cpt::from_rows(2, vec![], vec![vec![0.0, 0.0]]).is_err()); // zero row
+        assert!(Cpt::from_rows(2, vec![], vec![vec![-1.0, 2.0]]).is_err()); // negative
+        assert!(Cpt::from_rows(2, vec![], vec![vec![f64::NAN, 1.0]]).is_err());
+    }
+
+    #[test]
+    fn rows_are_renormalized() {
+        let cpt = Cpt::from_rows(2, vec![], vec![vec![30.0, 10.0]]).unwrap();
+        assert!((cpt.prob(0, &[]) - 0.75).abs() < 1e-12);
+        let row = cpt.row(&[]);
+        assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+}

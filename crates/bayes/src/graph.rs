@@ -1,0 +1,131 @@
+//! Directed acyclic graphs over node indices.
+
+/// A DAG stored as per-node parent lists.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Dag {
+    parents: Vec<Vec<usize>>,
+}
+
+impl Dag {
+    /// A DAG with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        Dag { parents: vec![Vec::new(); n] }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.parents.len()
+    }
+
+    /// `true` if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.parents.is_empty()
+    }
+
+    /// Parents of `node`.
+    pub fn parents(&self, node: usize) -> &[usize] {
+        &self.parents[node]
+    }
+
+    /// Add an edge `parent → child`. Returns `false` (and leaves the
+    /// graph unchanged) if the edge would create a cycle or a
+    /// duplicate.
+    pub fn add_edge(&mut self, parent: usize, child: usize) -> bool {
+        assert!(parent < self.len() && child < self.len(), "node out of range");
+        if parent == child
+            || self.parents[child].contains(&parent)
+            || self.reaches(child, parent)
+        {
+            return false;
+        }
+        self.parents[child].push(parent);
+        true
+    }
+
+    /// Is `to` reachable from `from` along parent→child edges?
+    fn reaches(&self, from: usize, to: usize) -> bool {
+        // Walk child→parent from `to` upward looking for `from`
+        // (equivalently: from reaches to along forward edges).
+        let mut stack = vec![to];
+        let mut seen = vec![false; self.len()];
+        while let Some(x) = stack.pop() {
+            if x == from {
+                return true;
+            }
+            if std::mem::replace(&mut seen[x], true) {
+                continue;
+            }
+            stack.extend(self.parents[x].iter().copied());
+        }
+        false
+    }
+
+    /// A topological order (parents before children). `None` only if
+    /// the invariant was broken externally; `add_edge` keeps the graph
+    /// acyclic.
+    pub fn topological_order(&self) -> Option<Vec<usize>> {
+        let n = self.len();
+        let mut indeg = vec![0usize; n];
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (child, ps) in self.parents.iter().enumerate() {
+            indeg[child] = ps.len();
+            for &p in ps {
+                children[p].push(child);
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(x) = queue.pop() {
+            order.push(x);
+            for &c in &children[x] {
+                indeg[c] -= 1;
+                if indeg[c] == 0 {
+                    queue.push(c);
+                }
+            }
+        }
+        if order.len() == n {
+            Some(order)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_edge_rejects_cycles() {
+        let mut g = Dag::new(3);
+        assert!(g.add_edge(0, 1));
+        assert!(g.add_edge(1, 2));
+        assert!(!g.add_edge(2, 0), "2→0 closes a cycle");
+        assert!(!g.add_edge(0, 0), "self edge");
+        assert!(!g.add_edge(0, 1), "duplicate edge");
+        assert_eq!(g.parents(2), &[1]);
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let mut g = Dag::new(4);
+        g.add_edge(2, 0);
+        g.add_edge(2, 1);
+        g.add_edge(0, 3);
+        g.add_edge(1, 3);
+        let order = g.topological_order().unwrap();
+        let pos = |x: usize| order.iter().position(|&y| y == x).unwrap();
+        assert!(pos(2) < pos(0));
+        assert!(pos(2) < pos(1));
+        assert!(pos(0) < pos(3));
+        assert!(pos(1) < pos(3));
+    }
+
+    #[test]
+    fn empty_and_edgeless_graphs() {
+        assert!(Dag::new(0).is_empty());
+        let g = Dag::new(3);
+        assert_eq!(g.topological_order().unwrap().len(), 3);
+    }
+}

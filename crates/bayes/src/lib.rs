@@ -1,0 +1,27 @@
+//! # dq-bayes — Bayesian networks over nominal attributes
+//!
+//! "First experiments showed that an independent sampling of the
+//! initial values does not lead to a satisfactory model of the QUIS
+//! database. Hence, we developed a method for the intuitive
+//! specification of multivariate start distributions based on the
+//! graphical representation of stochastic dependencies among attributes
+//! in Bayesian networks." (sec. 4.1.4 of the paper)
+//!
+//! This crate provides that substrate: a discrete [`BayesianNetwork`]
+//! over nominal attributes with
+//!
+//! * ancestral **sampling** (what the test data generator draws start
+//!   values from),
+//! * **fitting** (maximum likelihood with Laplace smoothing) from an
+//!   existing table — handy for mimicking a real database's joint
+//!   distribution,
+//! * **random generation** of networks for benchmark configurations,
+//! * joint **log-likelihood** scoring.
+
+pub mod cpt;
+pub mod graph;
+pub mod network;
+
+pub use cpt::Cpt;
+pub use graph::Dag;
+pub use network::{BayesNetBuilder, BayesError, BayesianNetwork};

@@ -1,0 +1,446 @@
+//! Discrete Bayesian networks: construction, sampling, fitting,
+//! scoring.
+
+use crate::cpt::Cpt;
+use crate::graph::Dag;
+use dq_table::{AttrIdx, AttrType, Table, Value};
+use rand::Rng;
+use std::fmt;
+
+/// Errors raised while building or fitting a network.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BayesError {
+    /// A node references an unknown node/attribute.
+    UnknownNode(String),
+    /// An edge would create a cycle.
+    Cycle,
+    /// A CPT does not match the declared structure.
+    BadCpt(String),
+    /// The attribute is not nominal (networks are over nominal
+    /// attributes only).
+    NotNominal(AttrIdx),
+    /// Two nodes were declared over the same attribute.
+    DuplicateAttr(AttrIdx),
+}
+
+impl fmt::Display for BayesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BayesError::UnknownNode(n) => write!(f, "unknown node `{n}`"),
+            BayesError::Cycle => write!(f, "edge would create a cycle"),
+            BayesError::BadCpt(m) => write!(f, "bad CPT: {m}"),
+            BayesError::NotNominal(a) => write!(f, "attribute {a} is not nominal"),
+            BayesError::DuplicateAttr(a) => write!(f, "attribute {a} declared twice"),
+        }
+    }
+}
+
+impl std::error::Error for BayesError {}
+
+/// One node of a network: a nominal attribute plus its CPT.
+#[derive(Debug, Clone)]
+struct Node {
+    attr: AttrIdx,
+    card: u32,
+    parents: Vec<usize>, // node indices
+    cpt: Cpt,
+}
+
+/// A discrete Bayesian network over a subset of a schema's nominal
+/// attributes.
+#[derive(Debug, Clone)]
+pub struct BayesianNetwork {
+    nodes: Vec<Node>,
+    order: Vec<usize>, // topological
+}
+
+impl BayesianNetwork {
+    /// The attributes covered by the network, in node order.
+    pub fn attrs(&self) -> Vec<AttrIdx> {
+        self.nodes.iter().map(|n| n.attr).collect()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if the network has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Ancestral sampling: draw one joint assignment, returned as
+    /// `(attribute, code)` pairs in node order.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<(AttrIdx, u32)> {
+        let mut values = vec![0u32; self.nodes.len()];
+        for &i in &self.order {
+            let node = &self.nodes[i];
+            let parent_values: Vec<u32> =
+                node.parents.iter().map(|&p| values[p]).collect();
+            let row = node.cpt.row(&parent_values);
+            values[i] = draw(rng, row) as u32;
+        }
+        self.nodes.iter().enumerate().map(|(i, n)| (n.attr, values[i])).collect()
+    }
+
+    /// Joint log-likelihood of a full assignment `(attribute, code)`
+    /// covering every node (order free). `None` if an attribute is
+    /// missing or a code out of range.
+    pub fn log_likelihood(&self, assignment: &[(AttrIdx, u32)]) -> Option<f64> {
+        let mut values = vec![None; self.nodes.len()];
+        for &(attr, code) in assignment {
+            if let Some(i) = self.nodes.iter().position(|n| n.attr == attr) {
+                if code >= self.nodes[i].card {
+                    return None;
+                }
+                values[i] = Some(code);
+            }
+        }
+        let values: Option<Vec<u32>> = values.into_iter().collect();
+        let values = values?;
+        let mut ll = 0.0;
+        for (i, node) in self.nodes.iter().enumerate() {
+            let parent_values: Vec<u32> =
+                node.parents.iter().map(|&p| values[p]).collect();
+            let p = node.cpt.prob(values[i], &parent_values);
+            if p <= 0.0 {
+                return Some(f64::NEG_INFINITY);
+            }
+            ll += p.ln();
+        }
+        Some(ll)
+    }
+
+    /// Generate a random network over the given `(attribute,
+    /// cardinality)` nodes: a random DAG with at most `max_parents`
+    /// parents per node and Dirichlet(1)-distributed CPT rows. This is
+    /// how benchmark configurations get "one multivariate nominal
+    /// start distribution" without hand-crafting it.
+    pub fn random<R: Rng + ?Sized>(
+        nodes: &[(AttrIdx, u32)],
+        max_parents: usize,
+        rng: &mut R,
+    ) -> BayesianNetwork {
+        let n = nodes.len();
+        let mut dag = Dag::new(n);
+        // Visit in a random permutation; each node may adopt parents
+        // among previously visited nodes.
+        let mut perm: Vec<usize> = (0..n).collect();
+        shuffle(&mut perm, rng);
+        for (pos, &i) in perm.iter().enumerate() {
+            if pos == 0 {
+                continue;
+            }
+            let n_parents = rng.gen_range(0..=max_parents.min(pos));
+            let mut candidates: Vec<usize> = perm[..pos].to_vec();
+            shuffle(&mut candidates, rng);
+            for &p in candidates.iter().take(n_parents) {
+                dag.add_edge(p, i);
+            }
+        }
+        let mut built = Vec::with_capacity(n);
+        for (i, &(attr, card)) in nodes.iter().enumerate() {
+            let parents: Vec<usize> = dag.parents(i).to_vec();
+            let parent_cards: Vec<u32> =
+                parents.iter().map(|&p| nodes[p].1).collect();
+            let n_rows: usize = parent_cards.iter().map(|&c| c as usize).product();
+            let rows: Vec<Vec<f64>> = (0..n_rows)
+                .map(|_| {
+                    (0..card)
+                        .map(|_| -(rng.gen::<f64>().max(f64::MIN_POSITIVE)).ln())
+                        .collect()
+                })
+                .collect();
+            let cpt = Cpt::from_rows(card, parent_cards, rows)
+                .expect("randomly generated CPT is well-formed");
+            built.push(Node { attr, card, parents, cpt });
+        }
+        let order = dag.topological_order().expect("random DAG is acyclic");
+        BayesianNetwork { nodes: built, order }
+    }
+
+    /// Fit CPTs by maximum likelihood with Laplace smoothing
+    /// (`alpha`) on `table`, keeping the given DAG structure over the
+    /// listed nominal attributes. Rows with NULL in any involved
+    /// attribute are skipped for that node.
+    pub fn fit(
+        table: &Table,
+        attrs: &[AttrIdx],
+        dag: &Dag,
+        alpha: f64,
+    ) -> Result<BayesianNetwork, BayesError> {
+        if dag.len() != attrs.len() {
+            return Err(BayesError::BadCpt("DAG size != attribute count".into()));
+        }
+        let mut cards = Vec::with_capacity(attrs.len());
+        for &a in attrs {
+            match &table.schema().attr(a).ty {
+                AttrType::Nominal { labels } => cards.push(labels.len() as u32),
+                _ => return Err(BayesError::NotNominal(a)),
+            }
+        }
+        let order = dag.topological_order().ok_or(BayesError::Cycle)?;
+        let mut nodes = Vec::with_capacity(attrs.len());
+        for (i, &attr) in attrs.iter().enumerate() {
+            let parents: Vec<usize> = dag.parents(i).to_vec();
+            let parent_cards: Vec<u32> = parents.iter().map(|&p| cards[p]).collect();
+            let n_rows: usize = parent_cards.iter().map(|&c| c as usize).product();
+            let card = cards[i];
+            let mut counts = vec![vec![alpha; card as usize]; n_rows];
+            'rows: for r in 0..table.n_rows() {
+                let v = match table.get(r, attr) {
+                    Value::Nominal(c) if c < card => c,
+                    _ => continue,
+                };
+                let mut parent_values = Vec::with_capacity(parents.len());
+                for &p in &parents {
+                    match table.get(r, attrs[p]) {
+                        Value::Nominal(c) if c < cards[p] => parent_values.push(c),
+                        _ => continue 'rows,
+                    }
+                }
+                let mut idx = 0usize;
+                for (pv, &pc) in parent_values.iter().zip(&parent_cards) {
+                    idx = idx * pc as usize + *pv as usize;
+                }
+                counts[idx][v as usize] += 1.0;
+            }
+            let cpt = Cpt::from_rows(card, parent_cards, counts)
+                .map_err(BayesError::BadCpt)?;
+            nodes.push(Node { attr, card, parents, cpt });
+        }
+        Ok(BayesianNetwork { nodes, order })
+    }
+}
+
+/// Fluent builder for hand-specified networks (the "intuitive
+/// specification" path of the paper).
+#[derive(Debug, Default)]
+pub struct BayesNetBuilder {
+    entries: Vec<BuilderEntry>,
+}
+
+/// One declared node: attribute, cardinality, parents, CPT rows.
+type BuilderEntry = (AttrIdx, u32, Vec<AttrIdx>, Vec<Vec<f64>>);
+
+impl BayesNetBuilder {
+    /// Start an empty builder.
+    pub fn new() -> Self {
+        BayesNetBuilder::default()
+    }
+
+    /// Declare a node for `attr` with `card` values, parent attributes
+    /// and CPT rows (mixed-radix parent order, rows normalized on
+    /// build).
+    pub fn node(
+        mut self,
+        attr: AttrIdx,
+        card: u32,
+        parents: Vec<AttrIdx>,
+        rows: Vec<Vec<f64>>,
+    ) -> Self {
+        self.entries.push((attr, card, parents, rows));
+        self
+    }
+
+    /// Validate and build the network.
+    pub fn build(self) -> Result<BayesianNetwork, BayesError> {
+        let n = self.entries.len();
+        let mut dag = Dag::new(n);
+        let attr_pos = |a: AttrIdx| self.entries.iter().position(|e| e.0 == a);
+        for (i, (attr, ..)) in self.entries.iter().enumerate() {
+            if self.entries.iter().filter(|e| e.0 == *attr).count() > 1 {
+                return Err(BayesError::DuplicateAttr(*attr));
+            }
+            for p in &self.entries[i].2 {
+                let pi = attr_pos(*p)
+                    .ok_or_else(|| BayesError::UnknownNode(format!("attribute {p}")))?;
+                if !dag.add_edge(pi, i) {
+                    return Err(BayesError::Cycle);
+                }
+            }
+        }
+        let order = dag.topological_order().ok_or(BayesError::Cycle)?;
+        let mut nodes = Vec::with_capacity(n);
+        for (i, (attr, card, parents, rows)) in self.entries.iter().enumerate() {
+            let parent_nodes: Vec<usize> =
+                parents.iter().map(|p| attr_pos(*p).expect("checked above")).collect();
+            let parent_cards: Vec<u32> =
+                parent_nodes.iter().map(|&p| self.entries[p].1).collect();
+            let cpt = Cpt::from_rows(*card, parent_cards, rows.clone())
+                .map_err(BayesError::BadCpt)?;
+            let _ = i;
+            nodes.push(Node { attr: *attr, card: *card, parents: parent_nodes, cpt });
+        }
+        Ok(BayesianNetwork { nodes, order })
+    }
+}
+
+fn draw<R: Rng + ?Sized>(rng: &mut R, probs: &[f64]) -> usize {
+    let mut x: f64 = rng.gen();
+    for (i, &p) in probs.iter().enumerate() {
+        x -= p;
+        if x <= 0.0 {
+            return i;
+        }
+    }
+    probs.len() - 1
+}
+
+fn shuffle<R: Rng + ?Sized, T>(xs: &mut [T], rng: &mut R) {
+    for i in (1..xs.len()).rev() {
+        xs.swap(i, rng.gen_range(0..=i));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dq_table::SchemaBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    /// Rain → WetGrass, the smallest interesting network.
+    fn rain_net() -> BayesianNetwork {
+        BayesNetBuilder::new()
+            .node(0, 2, vec![], vec![vec![0.8, 0.2]]) // P(rain) = 0.2
+            .node(
+                1,
+                2,
+                vec![0],
+                vec![
+                    vec![0.9, 0.1], // no rain → rarely wet
+                    vec![0.1, 0.9], // rain → mostly wet
+                ],
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn sampling_matches_cpts() {
+        let net = rain_net();
+        let mut r = rng();
+        let n = 20_000;
+        let mut rain = 0usize;
+        let mut wet_given_rain = (0usize, 0usize);
+        for _ in 0..n {
+            let s = net.sample(&mut r);
+            let get = |attr| s.iter().find(|(a, _)| *a == attr).unwrap().1;
+            if get(0) == 1 {
+                rain += 1;
+                wet_given_rain.1 += 1;
+                if get(1) == 1 {
+                    wet_given_rain.0 += 1;
+                }
+            }
+        }
+        let p_rain = rain as f64 / n as f64;
+        assert!((p_rain - 0.2).abs() < 0.02, "P(rain) ≈ 0.2, got {p_rain}");
+        let p_wet = wet_given_rain.0 as f64 / wet_given_rain.1 as f64;
+        assert!((p_wet - 0.9).abs() < 0.03, "P(wet|rain) ≈ 0.9, got {p_wet}");
+    }
+
+    #[test]
+    fn log_likelihood_is_consistent() {
+        let net = rain_net();
+        // P(rain=1, wet=1) = 0.2 * 0.9.
+        let ll = net.log_likelihood(&[(0, 1), (1, 1)]).unwrap();
+        assert!((ll - (0.2f64 * 0.9).ln()).abs() < 1e-12);
+        // Order of the assignment pairs does not matter.
+        let ll2 = net.log_likelihood(&[(1, 1), (0, 1)]).unwrap();
+        assert_eq!(ll, ll2);
+        // Missing attribute or bad code.
+        assert_eq!(net.log_likelihood(&[(0, 1)]), None);
+        assert_eq!(net.log_likelihood(&[(0, 5), (1, 0)]), None);
+    }
+
+    #[test]
+    fn builder_rejects_bad_structures() {
+        // Unknown parent.
+        let e = BayesNetBuilder::new()
+            .node(0, 2, vec![9], vec![vec![1.0, 1.0], vec![1.0, 1.0]])
+            .build()
+            .unwrap_err();
+        assert!(matches!(e, BayesError::UnknownNode(_)));
+        // Cycle.
+        let e = BayesNetBuilder::new()
+            .node(0, 2, vec![1], vec![vec![1.0, 1.0], vec![1.0, 1.0]])
+            .node(1, 2, vec![0], vec![vec![1.0, 1.0], vec![1.0, 1.0]])
+            .build()
+            .unwrap_err();
+        assert!(matches!(e, BayesError::Cycle));
+        // Duplicate attribute.
+        let e = BayesNetBuilder::new()
+            .node(0, 2, vec![], vec![vec![1.0, 1.0]])
+            .node(0, 2, vec![], vec![vec![1.0, 1.0]])
+            .build()
+            .unwrap_err();
+        assert!(matches!(e, BayesError::DuplicateAttr(0)));
+        // Malformed CPT.
+        let e = BayesNetBuilder::new().node(0, 2, vec![], vec![]).build().unwrap_err();
+        assert!(matches!(e, BayesError::BadCpt(_)));
+    }
+
+    #[test]
+    fn random_networks_sample_within_cardinalities() {
+        let mut r = rng();
+        let nodes = [(0, 3u32), (1, 4u32), (2, 2u32), (3, 5u32)];
+        for _ in 0..10 {
+            let net = BayesianNetwork::random(&nodes, 2, &mut r);
+            assert_eq!(net.len(), 4);
+            for _ in 0..50 {
+                for (attr, code) in net.sample(&mut r) {
+                    let card = nodes.iter().find(|(a, _)| *a == attr).unwrap().1;
+                    assert!(code < card, "code {code} out of range for attr {attr}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fit_recovers_dependency() {
+        // Build a table where b copies a; fitting a → b must put the
+        // conditional mass on the diagonal.
+        let schema = SchemaBuilder::new()
+            .nominal("a", ["x", "y"])
+            .nominal("b", ["x", "y"])
+            .build()
+            .unwrap();
+        let mut t = dq_table::Table::new(schema);
+        let mut r = rng();
+        for _ in 0..500 {
+            let v = r.gen_range(0..2u32);
+            t.push_row(&[Value::Nominal(v), Value::Nominal(v)]).unwrap();
+        }
+        let mut dag = Dag::new(2);
+        dag.add_edge(0, 1);
+        let net = BayesianNetwork::fit(&t, &[0, 1], &dag, 1.0).unwrap();
+        // P(b=x | a=x) should be near 1.
+        let ll_same = net.log_likelihood(&[(0, 0), (1, 0)]).unwrap();
+        let ll_diff = net.log_likelihood(&[(0, 0), (1, 1)]).unwrap();
+        assert!(ll_same > ll_diff + 2.0, "diagonal must dominate");
+    }
+
+    #[test]
+    fn fit_skips_nulls_and_rejects_non_nominal() {
+        let schema = SchemaBuilder::new()
+            .nominal("a", ["x", "y"])
+            .numeric("n", 0.0, 1.0)
+            .build()
+            .unwrap();
+        let mut t = dq_table::Table::new(schema);
+        t.push_row(&[Value::Null, Value::Number(0.5)]).unwrap();
+        t.push_row(&[Value::Nominal(1), Value::Null]).unwrap();
+        let dag = Dag::new(1);
+        let net = BayesianNetwork::fit(&t, &[0], &dag, 1.0).unwrap();
+        assert_eq!(net.len(), 1);
+        let e = BayesianNetwork::fit(&t, &[1], &Dag::new(1), 1.0).unwrap_err();
+        assert!(matches!(e, BayesError::NotNominal(1)));
+    }
+}

@@ -1,0 +1,37 @@
+//! Deviation-detection scaling: the online phase of the audit ("new
+//! data can be checked for deviations and loaded quickly"). The
+//! structure model is induced once per size; the measurement covers
+//! record checking only.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dq_bench::{baseline_fixture, quis_fixture};
+
+fn detection_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detection/baseline");
+    for &n in &[1_000usize, 5_000, 10_000] {
+        let fixture = baseline_fixture(n, 100, 42);
+        let model = fixture.induce();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(&fixture, &model), |b, (f, m)| {
+            b.iter(|| f.auditor.detect(m, &f.dirty))
+        });
+    }
+    group.finish();
+}
+
+fn detection_quis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detection/quis");
+    for &n in &[10_000usize, 50_000] {
+        let fixture = quis_fixture(n, 42);
+        let model = fixture.induce();
+        group.throughput(Throughput::Elements(n as u64));
+        group.sample_size(20);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(&fixture, &model), |b, (f, m)| {
+            b.iter(|| f.auditor.detect(m, &f.dirty))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, detection_baseline, detection_quis);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Structure-induction scaling: the offline phase of the audit
+//! ("the time-consuming structure induction can be prepared off-line").
+//! One C4.5 model per attribute, at growing record counts, on the
+//! sec. 6.1 baseline and the synthetic QUIS table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dq_bench::{baseline_fixture, quis_fixture};
+
+fn induction_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("induction/baseline");
+    for &n in &[1_000usize, 5_000, 10_000] {
+        let fixture = baseline_fixture(n, 100, 42);
+        group.throughput(Throughput::Elements(n as u64));
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &fixture, |b, f| {
+            b.iter(|| f.induce())
+        });
+    }
+    group.finish();
+}
+
+fn induction_quis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("induction/quis");
+    for &n in &[10_000usize, 50_000] {
+        let fixture = quis_fixture(n, 42);
+        group.throughput(Throughput::Elements(n as u64));
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &fixture, |b, f| {
+            b.iter(|| f.induce())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, induction_baseline, induction_quis);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Satisfiability / naturality checking costs (sec. 4.1.3) — the inner
+//! loop of rule generation ("as we will see … it is expensive to check
+//! this condition").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dq_eval::baseline_schema;
+use dq_logic::{is_natural_rule, is_natural_rule_set, satisfiable};
+use dq_tdg::{AtomSampler, AtomWeights, FormulaShape};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn sat_and_naturality(c: &mut Criterion) {
+    let schema = baseline_schema();
+    let sampler = AtomSampler::new(&schema, AtomWeights::default());
+    let shape = FormulaShape { min_atoms: 2, max_atoms: 3, p_disjunction: 0.2 };
+    let mut rng = StdRng::seed_from_u64(3);
+    let formulas: Vec<_> =
+        (0..64).map(|_| sampler.sample_formula(&schema, &shape, &mut rng)).collect();
+    c.bench_function("logic/satisfiable_x64", |b| {
+        b.iter(|| formulas.iter().filter(|f| satisfiable(&schema, f)).count())
+    });
+
+    let rules: Vec<dq_logic::Rule> = {
+        let mut rng = StdRng::seed_from_u64(4);
+        let cfg = dq_tdg::RuleGenConfig { n_rules: 20, ..dq_tdg::RuleGenConfig::default() };
+        dq_tdg::generate_rule_set(&schema, &cfg, &mut rng).0.rules
+    };
+    c.bench_function("logic/is_natural_rule_x20", |b| {
+        b.iter(|| rules.iter().filter(|r| is_natural_rule(&schema, r)).count())
+    });
+    c.bench_function("logic/is_natural_rule_set_20", |b| {
+        b.iter(|| is_natural_rule_set(&schema, &rules))
+    });
+}
+
+criterion_group!(benches, sat_and_naturality);
+criterion_main!(benches);

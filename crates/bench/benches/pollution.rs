@@ -1,0 +1,29 @@
+//! Pollution-pipeline throughput (sec. 4.2): the five-polluter suite
+//! over growing tables and pollution factors.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dq_eval::Baseline;
+use dq_pollute::{pollute, PollutionConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn pollution(c: &mut Criterion) {
+    let baseline = Baseline::new(5);
+    let mut rng = StdRng::seed_from_u64(5);
+    let benchmark = baseline.generator(50, 10_000).generate(&mut rng);
+    let mut group = c.benchmark_group("pollution/standard");
+    for &factor in &[1.0f64, 5.0] {
+        let cfg = PollutionConfig::standard().with_factor(factor);
+        group.throughput(Throughput::Elements(benchmark.clean.n_rows() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(factor), &cfg, |b, cfg| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(9);
+                pollute(&benchmark.clean, cfg, &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, pollution);
+criterion_main!(benches);

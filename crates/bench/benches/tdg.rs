@@ -1,0 +1,45 @@
+//! Test-data-generator throughput: natural-rule-set generation and
+//! rule-repair data generation (sec. 4.1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dq_eval::Baseline;
+use dq_tdg::generate_rule_set;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn rule_generation(c: &mut Criterion) {
+    let baseline = Baseline::new(7);
+    let mut group = c.benchmark_group("tdg/rules");
+    for &n in &[20usize, 100] {
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(7);
+                generate_rule_set(&baseline.schema, &baseline.rule_config(n), &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn data_generation(c: &mut Criterion) {
+    let baseline = Baseline::new(7);
+    let mut rng = StdRng::seed_from_u64(7);
+    let (rules, _) = generate_rule_set(&baseline.schema, &baseline.rule_config(100), &mut rng);
+    let mut group = c.benchmark_group("tdg/data");
+    for &n in &[1_000usize, 10_000] {
+        let generator = baseline.generator(100, n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &generator, |b, g| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(11);
+                g.generate_with_rules(rules.clone(), &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, rule_generation, data_generation);
+criterion_main!(benches);

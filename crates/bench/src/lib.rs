@@ -1,0 +1,69 @@
+//! # dq-bench — benchmark fixtures for the criterion benches and the
+//! `repro` binary.
+//!
+//! The benches measure the pieces whose cost the paper discusses
+//! ("only data mining algorithms that scale well with the size of
+//! training sets can be employed"; the QUIS audit "lasted about 21
+//! minutes on an Athlon 900MHz"): structure induction, deviation
+//! detection, test data generation, the satisfiability test and the
+//! pollution pipeline. This crate only hosts shared fixture builders;
+//! the measurements live in `benches/` and the figure/table
+//! regeneration in `src/bin/repro.rs`.
+
+use dq_core::{AuditConfig, Auditor, StructureModel};
+use dq_pollute::{pollute, PollutionConfig, PollutionLog};
+use dq_table::Table;
+use dq_tdg::TestDataGenerator;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A ready-to-audit fixture: dirty table + log + auditor.
+pub struct AuditFixture {
+    /// The polluted table.
+    pub dirty: Table,
+    /// Ground-truth log.
+    pub log: PollutionLog,
+    /// The auditor under measurement.
+    pub auditor: Auditor,
+}
+
+/// Build the sec. 6.1 baseline benchmark at the given size.
+pub fn baseline_fixture(n_rows: usize, n_rules: usize, seed: u64) -> AuditFixture {
+    let baseline = dq_eval::Baseline::new(seed);
+    let generator: TestDataGenerator = baseline.generator(n_rules, n_rows);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let benchmark = generator.generate(&mut rng);
+    let (dirty, log) = pollute(&benchmark.clean, &PollutionConfig::standard(), &mut rng);
+    AuditFixture { dirty, log, auditor: Auditor::new(AuditConfig::default()) }
+}
+
+/// Build the synthetic QUIS fixture at the given size.
+pub fn quis_fixture(n_rows: usize, seed: u64) -> AuditFixture {
+    let cfg = dq_quis::QuisConfig::default().with_rows(n_rows);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let b = dq_quis::generate_quis(&cfg, &mut rng);
+    AuditFixture { dirty: b.dirty, log: b.log, auditor: Auditor::new(AuditConfig::default()) }
+}
+
+impl AuditFixture {
+    /// Induce the structure model (the expensive offline phase).
+    pub fn induce(&self) -> StructureModel {
+        self.auditor.induce(&self.dirty).expect("fixture tables are auditable")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build_and_audit() {
+        let f = baseline_fixture(400, 8, 1);
+        assert_eq!(f.log.n_rows(), f.dirty.n_rows());
+        let model = f.induce();
+        let report = f.auditor.detect(&model, &f.dirty);
+        assert_eq!(report.n_rows(), f.dirty.n_rows());
+        let q = quis_fixture(500, 2);
+        assert!(q.dirty.n_rows() >= 490);
+    }
+}

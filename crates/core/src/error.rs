@@ -1,0 +1,58 @@
+//! Error type for audit configuration and induction failures.
+
+use dq_mining::MiningError;
+use std::fmt;
+
+/// Errors raised while configuring or running an audit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AuditError {
+    /// A configuration parameter is out of range.
+    BadConfig(String),
+    /// Induction of one of the per-attribute classifiers failed.
+    Induction {
+        /// The class attribute whose classifier failed.
+        class_attr: usize,
+        /// The underlying mining error.
+        source: MiningError,
+    },
+    /// The audited table has no rows.
+    EmptyTable,
+}
+
+impl fmt::Display for AuditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuditError::BadConfig(m) => write!(f, "bad audit configuration: {m}"),
+            AuditError::Induction { class_attr, source } => {
+                write!(f, "inducing classifier for attribute {class_attr}: {source}")
+            }
+            AuditError::EmptyTable => write!(f, "cannot audit an empty table"),
+        }
+    }
+}
+
+impl std::error::Error for AuditError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AuditError::Induction { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = AuditError::Induction {
+            class_attr: 3,
+            source: MiningError::EmptyTrainingSet,
+        };
+        assert!(e.to_string().contains("attribute 3"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&AuditError::EmptyTable).is_none());
+        assert!(AuditError::BadConfig("x".into()).to_string().contains("x"));
+    }
+}

@@ -1,0 +1,646 @@
+//! Canned experiment definitions — one per figure/table of the paper's
+//! evaluation (sec. 6), at configurable scale.
+//!
+//! The baseline configuration follows sec. 6.1: "6 nominal attributes
+//! with different domain sizes, 1 date type and 1 numeric attribute …
+//! one multivariate nominal and 5 univariate start distributions of
+//! different kinds … 10000 records based on 100 randomly generated
+//! rules … a variety of pollution procedures with different activation
+//! probabilities", minimal error confidence fixed at 80%.
+
+use crate::environment::TestEnvironment;
+use crate::series::Series;
+use dq_core::{
+    AssociationAuditConfig, AssociationAuditor, AssociationScoring, AuditConfig, AuditError,
+    Auditor,
+};
+use dq_mining::{C45Config, InducerKind, Pruning, SplitCriterion};
+use dq_pollute::{pollute, PollutionConfig};
+use dq_quis::{generate_quis, QuisConfig};
+use dq_stats::DistributionSpec;
+use dq_table::{Schema, SchemaBuilder};
+use dq_tdg::{
+    generate_rule_set, DataGenConfig, RuleGenConfig, StartDistributions, TestDataGenerator,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Experiment scale: the paper's full parameters or a fast smoke
+/// version for tests.
+#[derive(Debug, Clone)]
+pub struct Scale {
+    /// Base record count (paper: 10000).
+    pub rows: usize,
+    /// Base rule count (paper: 100).
+    pub rules: usize,
+    /// Record counts swept by Figure 3.
+    pub record_points: Vec<usize>,
+    /// Rule counts swept by Figure 4.
+    pub rule_points: Vec<usize>,
+    /// Pollution factors swept by Figure 5.
+    pub factor_points: Vec<f64>,
+    /// Record count for the classifier comparison (kNN is quadratic).
+    pub comparison_rows: usize,
+    /// Record count for the QUIS audit (paper: ~200000).
+    pub quis_rows: usize,
+    /// Replicate runs per sweep point (averaged) — single runs are
+    /// noise-dominated because corrupted-row counts are small.
+    pub replicates: u64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// The paper's parameters.
+    pub fn paper() -> Self {
+        Scale {
+            rows: 10_000,
+            rules: 100,
+            record_points: (1..=10).map(|k| k * 1000).collect(),
+            rule_points: (0..=10).map(|k| k * 20).collect(),
+            factor_points: vec![0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0],
+            comparison_rows: 5000,
+            quis_rows: 200_000,
+            replicates: 5,
+            seed: 2003,
+        }
+    }
+
+    /// A fast configuration for tests and smoke runs.
+    pub fn smoke() -> Self {
+        Scale {
+            rows: 1200,
+            rules: 15,
+            record_points: vec![400, 800, 1200],
+            rule_points: vec![0, 8, 15],
+            factor_points: vec![1.0, 3.0],
+            comparison_rows: 600,
+            quis_rows: 4000,
+            replicates: 1,
+            seed: 2003,
+        }
+    }
+}
+
+/// The shared baseline configuration of sec. 6.1.
+#[derive(Debug, Clone)]
+pub struct Baseline {
+    /// The 8-attribute benchmark schema.
+    pub schema: Arc<Schema>,
+    /// Start distributions (1 Bayesian-network group + 5 shaped
+    /// univariate distributions; the remaining attributes uniform).
+    pub start: StartDistributions,
+    /// The audit configuration (80% minimal confidence).
+    pub audit: AuditConfig,
+    /// The pollution suite at factor 1.
+    pub pollution: PollutionConfig,
+    /// Replicate runs per sweep point (averaged) — single runs are
+    /// noise-dominated because corrupted-row counts are small.
+    pub replicates: u64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+/// The sec. 6.1 schema: 6 nominal attributes of different domain
+/// sizes, 1 date, 1 numeric.
+pub fn baseline_schema() -> Arc<Schema> {
+    SchemaBuilder::new()
+        .nominal_sized("n3", 3)
+        .nominal_sized("n4", 4)
+        .nominal_sized("n5", 5)
+        .nominal_sized("n6", 6)
+        .nominal_sized("n8", 8)
+        .nominal_sized("n12", 12)
+        .date_ymd("d", (1995, 1, 1), (2003, 12, 31))
+        .numeric("x", 0.0, 1000.0)
+        .build()
+        .expect("baseline schema is well-formed")
+}
+
+impl Baseline {
+    /// Build the baseline for a master seed.
+    pub fn new(seed: u64) -> Self {
+        let schema = baseline_schema();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xB0F);
+        // One multivariate nominal start distribution over the first
+        // three nominal attributes…
+        let net = dq_bayes::BayesianNetwork::random(&[(0, 3), (1, 4), (2, 5)], 2, &mut rng);
+        // …and 5 univariate distributions of different kinds.
+        let start = StartDistributions::uniform(&schema)
+            .with_network(net)
+            .with_spec(3, DistributionSpec::Normal { mean: 0.4, sd: 0.2 })
+            .with_spec(4, DistributionSpec::Exponential { rate: 3.0 })
+            .with_spec(
+                5,
+                DistributionSpec::Categorical {
+                    weights: vec![8.0, 6.0, 5.0, 4.0, 3.0, 3.0, 2.0, 2.0, 1.0, 1.0, 0.5, 0.5],
+                },
+            )
+            .with_spec(6, DistributionSpec::Normal { mean: 0.6, sd: 0.25 })
+            .with_spec(7, DistributionSpec::Exponential { rate: 2.0 });
+        Baseline {
+            schema,
+            start,
+            audit: AuditConfig::default(),
+            pollution: PollutionConfig::standard(),
+            replicates: 1,
+            seed,
+        }
+    }
+
+    /// The rule-generation parameters of the baseline: premises of
+    /// exactly 2 atoms. Broad single-atom premises produce rules that
+    /// mature (cross the minInst support bound) below 1000 records and
+    /// flatten the Figure 3 curve; 3-atom premises cover so few records
+    /// that most never mature by 10k. Two-atom premises over this
+    /// schema cover between 1/144 and ~1/12 of the records, so rule
+    /// supports cross the minInst threshold *throughout* the 1k-10k
+    /// sweep — the mechanism behind the rising sensitivity curve in
+    /// Figure 3.
+    pub fn rule_config(&self, n_rules: usize) -> RuleGenConfig {
+        RuleGenConfig {
+            n_rules,
+            premise: dq_tdg::FormulaShape { min_atoms: 2, max_atoms: 2, p_disjunction: 0.1 },
+            max_tries_per_rule: 400,
+            ..RuleGenConfig::default()
+        }
+    }
+
+    /// A generator over this baseline with the given rule/row counts.
+    pub fn generator(&self, n_rules: usize, n_rows: usize) -> TestDataGenerator {
+        let mut data = DataGenConfig::new(&self.schema, n_rows);
+        data.start = self.start.clone();
+        TestDataGenerator {
+            schema: self.schema.clone(),
+            rules: self.rule_config(n_rules),
+            data,
+        }
+    }
+
+    /// The environment at given rule/row counts and pollution factor.
+    pub fn environment(&self, n_rules: usize, n_rows: usize, factor: f64) -> TestEnvironment {
+        TestEnvironment {
+            generator: self.generator(n_rules, n_rows),
+            pollution: self.pollution.clone().with_factor(factor),
+            audit: self.audit.clone(),
+        }
+    }
+}
+
+/// Average the measure columns over replicate runs.
+fn average(points: &[Vec<(String, f64)>]) -> Vec<(String, f64)> {
+    let mut out = points[0].clone();
+    for p in &points[1..] {
+        for (acc, (_, v)) in out.iter_mut().zip(p) {
+            acc.1 += v;
+        }
+    }
+    for (_, v) in &mut out {
+        *v /= points.len() as f64;
+    }
+    out
+}
+
+/// The standard measure columns of a run.
+fn measures(r: &crate::environment::RunResult) -> Vec<(String, f64)> {
+    vec![
+        ("sensitivity".into(), r.sensitivity()),
+        ("specificity".into(), r.specificity()),
+        ("correction".into(), r.correction_improvement()),
+        ("model_rules".into(), r.n_model_rules as f64),
+        ("suspicious".into(), r.report.n_suspicious() as f64),
+        ("induction_secs".into(), r.induction_secs),
+        ("detection_secs".into(), r.detection_secs),
+    ]
+}
+
+/// **Figure 3** — influence of the number of records on sensitivity.
+/// One rule set (of `scale.rules` rules) is generated once and reused
+/// across record counts.
+pub fn fig3(scale: &Scale) -> Result<Series, AuditError> {
+    let baseline = Baseline::new(scale.seed);
+    let mut rng = StdRng::seed_from_u64(scale.seed);
+    let (rules, _) =
+        generate_rule_set(&baseline.schema, &baseline.rule_config(scale.rules), &mut rng);
+    let mut series = Series::new(
+        format!("fig3: sensitivity vs number of records ({} rules)", rules.len()),
+        "records",
+    );
+    for &n in &scale.record_points {
+        let env = baseline.environment(scale.rules, n, 1.0);
+        let mut reps = Vec::with_capacity(scale.replicates as usize);
+        for rep in 0..scale.replicates {
+            let mut rng = StdRng::seed_from_u64(scale.seed ^ n as u64 ^ (rep << 32));
+            let benchmark = env.generator.generate_with_rules(rules.clone(), &mut rng);
+            let (dirty, log) = pollute(&benchmark.clean, &env.pollution, &mut rng);
+            let r = env.audit_prepared(benchmark, dirty, log)?;
+            reps.push(measures(&r));
+        }
+        series.push(n as f64, average(&reps));
+    }
+    Ok(series)
+}
+
+/// **Figure 4** — influence of the number of rules on sensitivity.
+/// Rule sets are nested prefixes of one generated set, so each point
+/// strictly adds structure.
+pub fn fig4(scale: &Scale) -> Result<Series, AuditError> {
+    let baseline = Baseline::new(scale.seed);
+    let max_rules = scale.rule_points.iter().copied().max().unwrap_or(0);
+    let mut rng = StdRng::seed_from_u64(scale.seed ^ 4);
+    let (all_rules, _) =
+        generate_rule_set(&baseline.schema, &baseline.rule_config(max_rules), &mut rng);
+    let mut series = Series::new(
+        format!("fig4: sensitivity vs number of rules ({} records)", scale.rows),
+        "rules",
+    );
+    for &k in &scale.rule_points {
+        let k = k.min(all_rules.len());
+        let prefix = dq_logic::RuleSet::from_rules(all_rules.rules[..k].to_vec());
+        let env = baseline.environment(k, scale.rows, 1.0);
+        let mut reps = Vec::with_capacity(scale.replicates as usize);
+        for rep in 0..scale.replicates {
+            let mut rng = StdRng::seed_from_u64(scale.seed ^ ((k as u64) << 8) ^ (rep << 32));
+            let benchmark = env.generator.generate_with_rules(prefix.clone(), &mut rng);
+            let (dirty, log) = pollute(&benchmark.clean, &env.pollution, &mut rng);
+            let r = env.audit_prepared(benchmark, dirty, log)?;
+            reps.push(measures(&r));
+        }
+        series.push(k as f64, average(&reps));
+    }
+    Ok(series)
+}
+
+/// **Figure 5** — influence of the pollution factor on sensitivity.
+/// One clean benchmark is generated once and re-polluted per factor.
+pub fn fig5(scale: &Scale) -> Result<Series, AuditError> {
+    let baseline = Baseline::new(scale.seed);
+    let env0 = baseline.environment(scale.rules, scale.rows, 1.0);
+    let mut rng = StdRng::seed_from_u64(scale.seed ^ 5);
+    let benchmark = env0.generator.generate(&mut rng);
+    let mut series = Series::new(
+        format!(
+            "fig5: sensitivity vs pollution factor ({} records, {} rules)",
+            scale.rows,
+            benchmark.rules.len()
+        ),
+        "factor",
+    );
+    for &factor in &scale.factor_points {
+        let env = baseline.environment(scale.rules, scale.rows, factor);
+        let mut reps = Vec::with_capacity(scale.replicates as usize);
+        for rep in 0..scale.replicates {
+            let mut rng =
+                StdRng::seed_from_u64(scale.seed ^ (factor * 16.0) as u64 ^ (rep << 32));
+            let (dirty, log) = pollute(&benchmark.clean, &env.pollution, &mut rng);
+            let r = env.audit_prepared(benchmark.clone(), dirty, log)?;
+            reps.push(measures(&r));
+        }
+        series.push(factor, average(&reps));
+    }
+    Ok(series)
+}
+
+/// One named configuration in a comparison table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparisonRow {
+    /// Configuration name.
+    pub name: String,
+    /// Named measures.
+    pub measures: Vec<(String, f64)>,
+}
+
+/// A comparison table (classifier families, ablations).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Table title.
+    pub title: String,
+    /// One row per configuration.
+    pub rows: Vec<ComparisonRow>,
+}
+
+impl Comparison {
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        if let Some(first) = self.rows.first() {
+            out.push_str(&format!("{:<28}", "config"));
+            for (name, _) in &first.measures {
+                out.push_str(&format!("{name:>16}"));
+            }
+            out.push('\n');
+            for row in &self.rows {
+                out.push_str(&format!("{:<28}", row.name));
+                for (_, v) in &row.measures {
+                    out.push_str(&format!("{v:>16.4}"));
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Look a measure up by row name.
+    pub fn measure(&self, row: &str, measure: &str) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|r| r.name == row)?
+            .measures
+            .iter()
+            .find(|(n, _)| n == measure)
+            .map(|&(_, v)| v)
+    }
+}
+
+/// **Classifier comparison** (sec. 5: "for the QUIS domain we
+/// evaluated different alternatives") — the inducer families plus the
+/// Hipp-style association auditor, on one shared benchmark.
+pub fn classifier_comparison(scale: &Scale) -> Result<Comparison, AuditError> {
+    let baseline = Baseline::new(scale.seed);
+    let env = baseline.environment(scale.rules, scale.comparison_rows, 1.0);
+    let mut rng = StdRng::seed_from_u64(scale.seed ^ 0xC);
+    let benchmark = env.generator.generate(&mut rng);
+    let (dirty, log) = pollute(&benchmark.clean, &env.pollution, &mut rng);
+
+    let mut rows = Vec::new();
+    let kinds: Vec<(String, InducerKind)> = vec![
+        ("c4.5 (adjusted)".into(), InducerKind::default()),
+        ("naive-bayes".into(), InducerKind::NaiveBayes),
+        // k must exceed minInst (≈35 at 80%/0.95): a k-neighbourhood is
+        // the prediction's entire support, and 5 instances can never
+        // push the error confidence past the reporting threshold.
+        ("knn (k=50)".into(), InducerKind::Knn { k: 50 }),
+        ("oner".into(), InducerKind::OneR),
+        ("zeror".into(), InducerKind::ZeroR),
+    ];
+    for (name, inducer) in kinds {
+        let env = TestEnvironment {
+            generator: env.generator.clone(),
+            pollution: env.pollution.clone(),
+            audit: AuditConfig { inducer, ..baseline.audit.clone() },
+        };
+        let r = env.audit_prepared(benchmark.clone(), dirty.clone(), log.clone())?;
+        rows.push(ComparisonRow { name, measures: measures(&r) });
+    }
+    // The association auditor (both scorings).
+    for (name, scoring) in [
+        ("association (hipp sum)", AssociationScoring::Sum),
+        ("association (max)", AssociationScoring::Max),
+    ] {
+        let auditor = AssociationAuditor::new(AssociationAuditConfig {
+            scoring,
+            min_confidence: baseline.audit.min_confidence,
+            ..AssociationAuditConfig::default()
+        });
+        let t0 = Instant::now();
+        let (_, report) = auditor.run(&dirty)?;
+        let secs = t0.elapsed().as_secs_f64();
+        let detection = crate::scoring::score_detection(&log, &report);
+        let corrections = dq_core::propose_corrections(&report);
+        let correction = crate::scoring::score_correction(
+            &log,
+            &dirty,
+            &corrections,
+            crate::environment::CORRECTION_TOLERANCE,
+        );
+        rows.push(ComparisonRow {
+            name: name.into(),
+            measures: vec![
+                ("sensitivity".into(), detection.sensitivity().unwrap_or(0.0)),
+                ("specificity".into(), detection.specificity().unwrap_or(1.0)),
+                ("correction".into(), correction.improvement().unwrap_or(0.0)),
+                ("model_rules".into(), 0.0),
+                ("suspicious".into(), report.n_suspicious() as f64),
+                ("induction_secs".into(), secs),
+                ("detection_secs".into(), 0.0),
+            ],
+        });
+    }
+    Ok(Comparison { title: "classifier comparison (tab-cmp)".into(), rows })
+}
+
+/// **Ablation** of the sec. 5.4 adjustments: pruning criterion,
+/// minInst pre-pruning, rule deletion, split criterion.
+pub fn ablation(scale: &Scale) -> Result<Comparison, AuditError> {
+    let baseline = Baseline::new(scale.seed);
+    let env = baseline.environment(scale.rules, scale.rows, 1.0);
+    let mut rng = StdRng::seed_from_u64(scale.seed ^ 0xAB);
+    let benchmark = env.generator.generate(&mut rng);
+    let (dirty, log) = pollute(&benchmark.clean, &env.pollution, &mut rng);
+
+    let c45 = |f: &dyn Fn(&mut C45Config)| {
+        let mut cfg = C45Config::default();
+        f(&mut cfg);
+        InducerKind::C45(cfg)
+    };
+    let variants: Vec<(String, AuditConfig)> = vec![
+        ("full (paper adjustments)".into(), baseline.audit.clone()),
+        (
+            "pruning: none".into(),
+            AuditConfig {
+                inducer: c45(&|c| c.pruning = Pruning::None),
+                ..baseline.audit.clone()
+            },
+        ),
+        (
+            "pruning: pessimistic".into(),
+            AuditConfig {
+                inducer: c45(&|c| c.pruning = Pruning::PessimisticError),
+                ..baseline.audit.clone()
+            },
+        ),
+        (
+            "pruning: def9 raw".into(),
+            AuditConfig {
+                inducer: c45(&|c| c.pruning = Pruning::ExpectedErrorConfidenceRaw),
+                ..baseline.audit.clone()
+            },
+        ),
+        (
+            "no minInst".into(),
+            AuditConfig { derive_min_inst: false, ..baseline.audit.clone() },
+        ),
+        (
+            "no rule deletion".into(),
+            AuditConfig { delete_undetecting_rules: false, ..baseline.audit.clone() },
+        ),
+        (
+            "criterion: info gain".into(),
+            AuditConfig {
+                inducer: c45(&|c| c.criterion = SplitCriterion::InfoGain),
+                ..baseline.audit.clone()
+            },
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (name, audit) in variants {
+        let env = TestEnvironment {
+            generator: env.generator.clone(),
+            pollution: env.pollution.clone(),
+            audit,
+        };
+        let r = env.audit_prepared(benchmark.clone(), dirty.clone(), log.clone())?;
+        rows.push(ComparisonRow { name, measures: measures(&r) });
+    }
+    Ok(Comparison { title: "ablation of the sec. 5.4 adjustments (tab-ablate)".into(), rows })
+}
+
+/// Summary of the QUIS audit (sec. 6.2).
+#[derive(Debug, Clone)]
+pub struct QuisSummary {
+    /// Rows in the dirty table.
+    pub n_rows: usize,
+    /// Structure-induction + detection wall-clock seconds (the paper's
+    /// "about 21 minutes on an Athlon 900MHz").
+    pub total_secs: f64,
+    /// Suspicious records (the paper: "about 6000").
+    pub n_suspicious: usize,
+    /// Detection sensitivity against the ground-truth log (the paper
+    /// could not compute this: "an exact quantification … turned out to
+    /// be too expensive").
+    pub sensitivity: f64,
+    /// Detection specificity against the ground-truth log.
+    pub specificity: f64,
+    /// Fraction of the top-50 findings that are logged corruptions —
+    /// the expert cross-check ("the identification of the deviations
+    /// with the highest error confidences is a highly valuable
+    /// information").
+    pub top50_precision: f64,
+    /// The highest finding confidence (the paper's example: 99.95%).
+    pub top_confidence: f64,
+    /// Rendered top findings.
+    pub top_findings: Vec<String>,
+    /// Rendered highest-support structure rules.
+    pub top_rules: Vec<String>,
+}
+
+/// **The QUIS audit** (sec. 6.2) on the synthetic engine table.
+pub fn quis_audit(scale: &Scale) -> Result<QuisSummary, AuditError> {
+    let cfg = QuisConfig::default().with_rows(scale.quis_rows);
+    let mut rng = StdRng::seed_from_u64(scale.seed ^ 0x9015);
+    let b = generate_quis(&cfg, &mut rng);
+    let auditor = Auditor::default();
+    let t0 = Instant::now();
+    let model = auditor.induce(&b.dirty)?;
+    let report = auditor.detect(&model, &b.dirty);
+    let total_secs = t0.elapsed().as_secs_f64();
+    let detection = crate::scoring::score_detection(&b.log, &report);
+    let top = report.top(50);
+    let top50_hits =
+        top.iter().filter(|f| b.log.is_row_corrupted(f.row)).count();
+    let schema = b.dirty.schema();
+    let mut all_rules: Vec<(f64, String)> = Vec::new();
+    for m in &model.models {
+        for r in &m.rules {
+            let label = m.spec.label_of(schema, m.class_attr, r.predicted);
+            all_rules.push((r.support, r.render(schema, m.class_attr, &label)));
+        }
+    }
+    all_rules.sort_by(|a, b| b.0.total_cmp(&a.0));
+    Ok(QuisSummary {
+        n_rows: b.dirty.n_rows(),
+        total_secs,
+        n_suspicious: report.n_suspicious(),
+        sensitivity: detection.sensitivity().unwrap_or(0.0),
+        specificity: detection.specificity().unwrap_or(1.0),
+        top50_precision: if top.is_empty() {
+            0.0
+        } else {
+            top50_hits as f64 / top.len() as f64
+        },
+        top_confidence: report.findings.first().map_or(0.0, |f| f.confidence),
+        top_findings: top.iter().take(10).map(|f| f.render(schema)).collect(),
+        top_rules: all_rules.into_iter().take(10).map(|(_, r)| r).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_sec61() {
+        let s = baseline_schema();
+        assert_eq!(s.len(), 8);
+        let nominal_sizes: Vec<u64> = s
+            .attributes()
+            .iter()
+            .filter_map(|a| match &a.ty {
+                dq_table::AttrType::Nominal { labels } => Some(labels.len() as u64),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(nominal_sizes.len(), 6, "6 nominal attributes");
+        let mut dedup = nominal_sizes.clone();
+        dedup.dedup();
+        assert_eq!(dedup, nominal_sizes, "different domain sizes");
+        let b = Baseline::new(1);
+        assert_eq!(b.start.networks.len(), 1, "one multivariate start distribution");
+        assert_eq!(b.audit.min_confidence, 0.8, "80% minimal error confidence");
+        assert_eq!(b.pollution.steps.len(), 5, "all five polluters");
+    }
+
+    #[test]
+    fn fig3_runs_at_smoke_scale() {
+        let series = fig3(&Scale::smoke()).unwrap();
+        assert_eq!(series.points.len(), 3);
+        // Specificity stays high everywhere (the paper's ≈99% claim).
+        for s in series.column("specificity") {
+            assert!(s > 0.9, "specificity {s}");
+        }
+        // CSV renders with all columns.
+        assert!(series.to_csv().starts_with("records,sensitivity,specificity"));
+    }
+
+    #[test]
+    fn fig4_rules_add_detectable_structure() {
+        let series = fig4(&Scale::smoke()).unwrap();
+        let sens = series.column("sensitivity");
+        // The only structure at 0 rules is the Bayesian-network start
+        // distribution; TDG rules must add detectable constraints on
+        // top ("the more constraints are imposed on the data the easier
+        // it is to identify errors").
+        let last = *sens.last().unwrap();
+        assert!(
+            last >= sens[0],
+            "sensitivity must not fall as rules are added: {sens:?}"
+        );
+    }
+
+    #[test]
+    fn fig5_more_pollution_lowers_sensitivity_eventually() {
+        let series = fig5(&Scale::smoke()).unwrap();
+        assert_eq!(series.points.len(), 2);
+        // Not asserting monotonicity at smoke scale — just integrity.
+        for p in &series.points {
+            assert!(p.measures.iter().all(|(_, v)| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn comparison_and_ablation_run_at_smoke_scale() {
+        let cmp = classifier_comparison(&Scale::smoke()).unwrap();
+        assert_eq!(cmp.rows.len(), 7);
+        assert!(cmp.measure("zeror", "sensitivity").is_some());
+        assert!(cmp.render().contains("c4.5"));
+        let abl = ablation(&Scale::smoke()).unwrap();
+        assert_eq!(abl.rows.len(), 7);
+        assert!(abl.measure("full (paper adjustments)", "specificity").unwrap() > 0.9);
+    }
+
+    #[test]
+    fn quis_audit_smoke() {
+        let s = quis_audit(&Scale::smoke()).unwrap();
+        assert!(s.n_rows >= 3900);
+        assert!(s.n_suspicious > 0, "the audit must flag something");
+        assert!(s.specificity > 0.95, "specificity {}", s.specificity);
+        assert!(s.top_confidence > 0.9, "top confidence {}", s.top_confidence);
+        assert!(!s.top_rules.is_empty());
+        // The expert cross-check: most top findings are real errors.
+        assert!(s.top50_precision > 0.6, "top-50 precision {}", s.top50_precision);
+    }
+}

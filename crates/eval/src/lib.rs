@@ -1,0 +1,29 @@
+//! # dq-eval — the test environment (Figure 2 of the paper)
+//!
+//! "The test environment justifies selection and adjustment of data
+//! mining algorithms": it wires the test data generator (`dq-tdg`),
+//! the polluter suite (`dq-pollute`) and the auditing tool (`dq-core`)
+//! into the generate → pollute → audit → evaluate pipeline, scores the
+//! audit against the pollution log with the measures of sec. 4.3, and
+//! packages the paper's experiments (sec. 6) as runnable definitions:
+//!
+//! * [`environment`] — [`TestEnvironment`]/[`RunResult`], the pipeline;
+//! * [`scoring`] — detection confusion matrix + correction matrix
+//!   against the ground-truth log;
+//! * [`series`] — sweep series with CSV/ASCII rendering;
+//! * [`experiments`] — Figures 3/4/5, the classifier comparison, the
+//!   ablation of the sec. 5.4 adjustments and the QUIS audit, all at
+//!   paper scale ([`Scale::paper`]) or test scale ([`Scale::smoke`]).
+
+pub mod environment;
+pub mod experiments;
+pub mod scoring;
+pub mod series;
+
+pub use environment::{RunResult, TestEnvironment, CORRECTION_TOLERANCE};
+pub use experiments::{
+    ablation, baseline_schema, classifier_comparison, fig3, fig4, fig5, quis_audit, Baseline,
+    Comparison, ComparisonRow, QuisSummary, Scale,
+};
+pub use scoring::{score_correction, score_detection};
+pub use series::{Series, SweepPoint};

@@ -1,0 +1,182 @@
+//! Sweep series: the (x, measures) rows behind each figure of the
+//! paper, with CSV and ASCII-chart rendering for the repro binary.
+
+use std::fmt::Write as _;
+
+/// One sweep point: the x value plus named measures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// The swept parameter value (records, rules, pollution factor…).
+    pub x: f64,
+    /// Named measures at this point, in column order.
+    pub measures: Vec<(String, f64)>,
+}
+
+/// A named series of sweep points (one figure).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Series title (e.g. `fig3: records vs sensitivity`).
+    pub title: String,
+    /// Name of the x parameter.
+    pub x_name: String,
+    /// The points, in sweep order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl Series {
+    /// Create an empty series.
+    pub fn new(title: impl Into<String>, x_name: impl Into<String>) -> Self {
+        Series { title: title.into(), x_name: x_name.into(), points: Vec::new() }
+    }
+
+    /// Append a point.
+    pub fn push(&mut self, x: f64, measures: Vec<(String, f64)>) {
+        self.points.push(SweepPoint { x, measures });
+    }
+
+    /// The values of one measure across the sweep.
+    pub fn column(&self, name: &str) -> Vec<f64> {
+        self.points
+            .iter()
+            .filter_map(|p| {
+                p.measures.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+            })
+            .collect()
+    }
+
+    /// Render as CSV (header + one row per point).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{}", self.x_name);
+        if let Some(first) = self.points.first() {
+            for (name, _) in &first.measures {
+                let _ = write!(out, ",{name}");
+            }
+        }
+        out.push('\n');
+        for p in &self.points {
+            let _ = write!(out, "{}", trim_float(p.x));
+            for (_, v) in &p.measures {
+                let _ = write!(out, ",{v:.4}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render an ASCII chart of one measure (y scaled to `[0, y_max]`,
+    /// `width` columns of bar).
+    pub fn to_ascii(&self, measure: &str, y_max: f64, width: usize) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{} — {}", self.title, measure);
+        for p in &self.points {
+            let v = p
+                .measures
+                .iter()
+                .find(|(n, _)| n == measure)
+                .map(|&(_, v)| v)
+                .unwrap_or(0.0);
+            let filled =
+                ((v / y_max).clamp(0.0, 1.0) * width as f64).round() as usize;
+            let _ = writeln!(
+                out,
+                "{:>10} | {}{} {:.3}",
+                trim_float(p.x),
+                "█".repeat(filled),
+                " ".repeat(width - filled),
+                v
+            );
+        }
+        out
+    }
+
+    /// Pearson correlation between two measure columns — used for the
+    /// paper's claim that "the quality of correction is highly
+    /// correlated to sensitivity". `None` if either column is constant
+    /// or lengths differ.
+    pub fn correlation(&self, a: &str, b: &str) -> Option<f64> {
+        let xs = self.column(a);
+        let ys = self.column(b);
+        if xs.len() != ys.len() || xs.len() < 2 {
+            return None;
+        }
+        let n = xs.len() as f64;
+        let mx = xs.iter().sum::<f64>() / n;
+        let my = ys.iter().sum::<f64>() / n;
+        let mut sxy = 0.0;
+        let mut sxx = 0.0;
+        let mut syy = 0.0;
+        for (x, y) in xs.iter().zip(&ys) {
+            sxy += (x - mx) * (y - my);
+            sxx += (x - mx) * (x - mx);
+            syy += (y - my) * (y - my);
+        }
+        if sxx <= 0.0 || syy <= 0.0 {
+            return None;
+        }
+        Some(sxy / (sxx * syy).sqrt())
+    }
+}
+
+fn trim_float(x: f64) -> String {
+    if x.fract() == 0.0 && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> Series {
+        let mut s = Series::new("fig", "records");
+        for (i, x) in [1000.0, 2000.0, 3000.0].iter().enumerate() {
+            s.push(
+                *x,
+                vec![
+                    ("sensitivity".into(), 0.1 * (i + 1) as f64),
+                    ("specificity".into(), 0.99),
+                ],
+            );
+        }
+        s
+    }
+
+    #[test]
+    fn csv_round_trip_shape() {
+        let csv = series().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0], "records,sensitivity,specificity");
+        assert!(lines[1].starts_with("1000,0.1000,"));
+    }
+
+    #[test]
+    fn ascii_chart_scales() {
+        let chart = series().to_ascii("sensitivity", 0.3, 10);
+        assert!(chart.contains("██████████ 0.300"), "{chart}");
+        assert!(chart.lines().count() == 4);
+    }
+
+    #[test]
+    fn column_extraction() {
+        let s = series();
+        assert_eq!(s.column("sensitivity").len(), 3);
+        assert_eq!(s.column("specificity"), vec![0.99, 0.99, 0.99]);
+        assert!(s.column("nope").is_empty());
+    }
+
+    #[test]
+    fn correlation_detects_monotone_pairs() {
+        let mut s = Series::new("c", "x");
+        for i in 0..5 {
+            let v = i as f64;
+            s.push(v, vec![("a".into(), v), ("b".into(), 2.0 * v + 1.0), ("k".into(), 3.0)]);
+        }
+        assert!((s.correlation("a", "b").unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(s.correlation("a", "k"), None, "constant column has no correlation");
+        assert_eq!(s.correlation("a", "missing"), None);
+    }
+}

@@ -1,0 +1,135 @@
+//! Disjunctive normal form of TDG-formulae.
+//!
+//! The satisfiability test first transforms a formula into DNF; "α is
+//! satisfiable iff one of these disjuncts is satisfiable"
+//! (sec. 4.1.3). TDG-formulae are small by construction (the rule
+//! generator caps atom counts), but DNF is worst-case exponential, so
+//! the expansion carries a hard cap; callers treat an overflow as
+//! "undecided" and answer conservatively.
+
+use crate::atom::Atom;
+use crate::formula::Formula;
+
+/// Upper bound on the number of conjuncts a DNF expansion may produce.
+/// Beyond this, [`to_dnf`] gives up and returns `None`.
+pub const MAX_DNF_CONJUNCTS: usize = 4096;
+
+/// Convert `formula` to DNF: a disjunction of conjunctions of atoms.
+/// Returns `None` if the expansion exceeds [`MAX_DNF_CONJUNCTS`].
+pub fn to_dnf(formula: &Formula) -> Option<Vec<Vec<Atom>>> {
+    match formula {
+        Formula::Atom(a) => Some(vec![vec![a.clone()]]),
+        Formula::Or(fs) => {
+            let mut out = Vec::new();
+            for f in fs {
+                let mut sub = to_dnf(f)?;
+                out.append(&mut sub);
+                if out.len() > MAX_DNF_CONJUNCTS {
+                    return None;
+                }
+            }
+            Some(out)
+        }
+        Formula::And(fs) => {
+            let mut acc: Vec<Vec<Atom>> = vec![Vec::new()];
+            for f in fs {
+                let sub = to_dnf(f)?;
+                if acc.len().checked_mul(sub.len())? > MAX_DNF_CONJUNCTS {
+                    return None;
+                }
+                let mut next = Vec::with_capacity(acc.len() * sub.len());
+                for conj in &acc {
+                    for s in &sub {
+                        let mut merged = conj.clone();
+                        merged.extend(s.iter().cloned());
+                        next.push(merged);
+                    }
+                }
+                acc = next;
+            }
+            Some(acc)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval_atom, eval_formula};
+    use dq_table::Value;
+
+    fn null_atom(attr: usize) -> Formula {
+        Formula::Atom(Atom::IsNull { attr })
+    }
+
+    fn notnull_atom(attr: usize) -> Formula {
+        Formula::Atom(Atom::IsNotNull { attr })
+    }
+
+    #[test]
+    fn atom_is_its_own_dnf() {
+        let f = null_atom(0);
+        assert_eq!(to_dnf(&f).unwrap(), vec![vec![Atom::IsNull { attr: 0 }]]);
+    }
+
+    #[test]
+    fn or_concatenates() {
+        let f = Formula::Or(vec![null_atom(0), null_atom(1), null_atom(2)]);
+        assert_eq!(to_dnf(&f).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn and_distributes() {
+        // (a ∨ b) ∧ (c ∨ d) → 4 conjuncts of 2 atoms.
+        let f = Formula::And(vec![
+            Formula::Or(vec![null_atom(0), null_atom(1)]),
+            Formula::Or(vec![null_atom(2), null_atom(3)]),
+        ]);
+        let dnf = to_dnf(&f).unwrap();
+        assert_eq!(dnf.len(), 4);
+        assert!(dnf.iter().all(|c| c.len() == 2));
+    }
+
+    #[test]
+    fn dnf_preserves_semantics() {
+        // Nested mixed formula over 3 nullable attributes: check
+        // equivalence on all 8 null/not-null records.
+        let f = Formula::And(vec![
+            Formula::Or(vec![null_atom(0), notnull_atom(1)]),
+            Formula::Or(vec![
+                notnull_atom(0),
+                Formula::And(vec![null_atom(1), null_atom(2)]),
+            ]),
+        ]);
+        let dnf = to_dnf(&f).unwrap();
+        for bits in 0..8u32 {
+            let rec: Vec<Value> = (0..3)
+                .map(|i| if bits & (1 << i) != 0 { Value::Null } else { Value::Nominal(0) })
+                .collect();
+            let direct = eval_formula(&f, &rec);
+            let via_dnf = dnf
+                .iter()
+                .any(|conj| conj.iter().all(|a| eval_atom(a, &rec)));
+            assert_eq!(direct, via_dnf, "record {rec:?}");
+        }
+    }
+
+    #[test]
+    fn overflow_is_detected() {
+        // (x ∨ x)^13 = 8192 conjuncts > cap.
+        let pair = Formula::Or(vec![null_atom(0), null_atom(1)]);
+        let f = Formula::And(vec![pair; 13]);
+        assert!(to_dnf(&f).is_none());
+    }
+
+    #[test]
+    fn deep_but_narrow_formulas_are_fine() {
+        let mut f = null_atom(0);
+        for _ in 0..50 {
+            f = Formula::And(vec![f, null_atom(1)]);
+        }
+        let dnf = to_dnf(&f).unwrap();
+        assert_eq!(dnf.len(), 1);
+        assert_eq!(dnf[0].len(), 51);
+    }
+}

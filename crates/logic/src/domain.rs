@@ -1,0 +1,516 @@
+//! Restrictable attribute domains — the state of the paper's pragmatic
+//! satisfiability test.
+//!
+//! "The main idea of the procedure is to initialize the current domain
+//! ranges of every attribute … with their domain ranges and then
+//! successively restrict them by integrating the constraints of each
+//! atomic TDG-formula" (sec. 4.1.3).
+
+use dq_table::{AttrType, Value};
+
+/// The set of *non-NULL* values an attribute may still take.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValueDomain {
+    /// Allowed nominal codes (`allowed[code]`).
+    Nominal(Vec<bool>),
+    /// An interval in widened numeric coordinates (dates are day
+    /// numbers), with excluded points from `≠` constraints.
+    Range {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+        /// `true` if the lower bound is strict.
+        lo_open: bool,
+        /// `true` if the upper bound is strict.
+        hi_open: bool,
+        /// `true` if only integral values are in the domain (integer
+        /// numeric or date attributes).
+        integer: bool,
+        /// Points removed by `≠` constraints.
+        excluded: Vec<f64>,
+    },
+    /// No non-NULL value possible.
+    Empty,
+}
+
+/// What an attribute may still be under a conjunction of atoms: a
+/// value from [`ValueDomain`], or NULL if `can_null`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DomainSet {
+    /// May the attribute be NULL?
+    pub can_null: bool,
+    /// The possible non-NULL values.
+    pub values: ValueDomain,
+}
+
+impl DomainSet {
+    /// The unrestricted domain of an attribute: its full declared range
+    /// plus NULL (attributes are nullable — the paper's logic reasons
+    /// about NULLs explicitly).
+    pub fn full(ty: &AttrType) -> DomainSet {
+        let values = match ty {
+            AttrType::Nominal { labels } => ValueDomain::Nominal(vec![true; labels.len()]),
+            AttrType::Numeric { min, max, integer } => ValueDomain::Range {
+                lo: *min,
+                hi: *max,
+                lo_open: false,
+                hi_open: false,
+                integer: *integer,
+                excluded: Vec::new(),
+            },
+            AttrType::Date { min, max } => ValueDomain::Range {
+                lo: *min as f64,
+                hi: *max as f64,
+                lo_open: false,
+                hi_open: false,
+                integer: true,
+                excluded: Vec::new(),
+            },
+        };
+        DomainSet { can_null: true, values }
+    }
+
+    /// Is any value (or NULL) still possible?
+    pub fn is_satisfiable(&self) -> bool {
+        self.can_null || !self.values.is_empty_set()
+    }
+
+    /// Restrict to exactly `value` (and non-NULL).
+    pub fn restrict_eq(&mut self, value: &Value) {
+        self.can_null = false;
+        match (&mut self.values, value) {
+            (ValueDomain::Nominal(allowed), Value::Nominal(c)) => {
+                let keep = (*c as usize) < allowed.len() && allowed[*c as usize];
+                for a in allowed.iter_mut() {
+                    *a = false;
+                }
+                if keep {
+                    allowed[*c as usize] = true;
+                }
+            }
+            (vd @ ValueDomain::Range { .. }, v) => {
+                if let Some(x) = v.as_numeric() {
+                    vd.restrict_point(x);
+                } else {
+                    *vd = ValueDomain::Empty;
+                }
+            }
+            (vd, _) => *vd = ValueDomain::Empty,
+        }
+    }
+
+    /// Remove `value` from the domain (and require non-NULL).
+    pub fn restrict_neq(&mut self, value: &Value) {
+        self.can_null = false;
+        match (&mut self.values, value) {
+            (ValueDomain::Nominal(allowed), Value::Nominal(c))
+                if (*c as usize) < allowed.len() => {
+                    allowed[*c as usize] = false;
+                }
+            (ValueDomain::Range { excluded, .. }, v) => {
+                if let Some(x) = v.as_numeric() {
+                    if !excluded.contains(&x) {
+                        excluded.push(x);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Restrict to values `< bound` (strict) or `<= bound`, and
+    /// non-NULL. Nominal domains become empty (ordering atoms do not
+    /// apply to them).
+    pub fn restrict_less(&mut self, bound: f64, strict: bool) {
+        self.can_null = false;
+        match &mut self.values {
+            vd @ ValueDomain::Range { .. } => vd.tighten_hi(bound, strict),
+            vd => *vd = ValueDomain::Empty,
+        }
+    }
+
+    /// Restrict to values `> bound` (strict) or `>= bound`, and
+    /// non-NULL.
+    pub fn restrict_greater(&mut self, bound: f64, strict: bool) {
+        self.can_null = false;
+        match &mut self.values {
+            vd @ ValueDomain::Range { .. } => vd.tighten_lo(bound, strict),
+            vd => *vd = ValueDomain::Empty,
+        }
+    }
+
+    /// Require the attribute to be NULL.
+    pub fn restrict_null(&mut self) {
+        self.values = ValueDomain::Empty;
+    }
+
+    /// Forbid NULL.
+    pub fn restrict_not_null(&mut self) {
+        self.can_null = false;
+    }
+
+    /// Intersect with another domain set (used when `A = B` merges the
+    /// domains of `A` and `B`).
+    pub fn intersect(&mut self, other: &DomainSet) {
+        self.can_null &= other.can_null;
+        self.values.intersect(&other.values);
+    }
+}
+
+impl ValueDomain {
+    /// `true` if no value is possible.
+    pub fn is_empty_set(&self) -> bool {
+        match self {
+            ValueDomain::Empty => true,
+            ValueDomain::Nominal(allowed) => !allowed.iter().any(|&a| a),
+            ValueDomain::Range { .. } => self.clone().normalized_is_empty(),
+        }
+    }
+
+    /// The unique remaining value, if the domain is a singleton.
+    pub fn singleton(&self) -> Option<f64> {
+        match self {
+            ValueDomain::Nominal(allowed) => {
+                let mut it = allowed.iter().enumerate().filter(|(_, &a)| a);
+                let first = it.next()?;
+                if it.next().is_some() {
+                    None
+                } else {
+                    Some(first.0 as f64)
+                }
+            }
+            ValueDomain::Range { integer, excluded, .. } => {
+                let (lo, hi) = self.effective_bounds()?;
+                if *integer {
+                    let lo_i = lo.ceil();
+                    let hi_i = hi.floor();
+                    if lo_i == hi_i && !excluded.contains(&lo_i) {
+                        Some(lo_i)
+                    } else {
+                        None
+                    }
+                } else if lo == hi && !excluded.contains(&lo) {
+                    Some(lo)
+                } else {
+                    None
+                }
+            }
+            ValueDomain::Empty => None,
+        }
+    }
+
+    /// The smallest still-possible value in widened coordinates
+    /// (`None` for empty domains; for open real bounds, the bound
+    /// itself is returned as the infimum).
+    pub fn inf(&self) -> Option<f64> {
+        match self {
+            ValueDomain::Nominal(allowed) => {
+                allowed.iter().position(|&a| a).map(|i| i as f64)
+            }
+            ValueDomain::Range { .. } => self.effective_bounds().map(|(lo, _)| lo),
+            ValueDomain::Empty => None,
+        }
+    }
+
+    /// The largest still-possible value (supremum for open real
+    /// bounds).
+    pub fn sup(&self) -> Option<f64> {
+        match self {
+            ValueDomain::Nominal(allowed) => {
+                allowed.iter().rposition(|&a| a).map(|i| i as f64)
+            }
+            ValueDomain::Range { .. } => self.effective_bounds().map(|(_, hi)| hi),
+            ValueDomain::Empty => None,
+        }
+    }
+
+    fn restrict_point(&mut self, x: f64) {
+        self.tighten_lo(x, false);
+        self.tighten_hi(x, false);
+    }
+
+    /// Tighten the upper bound to `bound` (strict if `strict`).
+    pub fn tighten_hi(&mut self, bound: f64, strict: bool) {
+        if let ValueDomain::Range { hi, hi_open, integer, .. } = self {
+            // Integer grids turn a strict bound into a closed one a
+            // step below.
+            let (b, open) = if *integer && strict {
+                (step_below(bound), false)
+            } else {
+                (bound, strict)
+            };
+            if b < *hi || (b == *hi && open && !*hi_open) {
+                *hi = b;
+                *hi_open = open;
+            }
+        }
+    }
+
+    /// Tighten the lower bound to `bound` (strict if `strict`).
+    pub fn tighten_lo(&mut self, bound: f64, strict: bool) {
+        if let ValueDomain::Range { lo, lo_open, integer, .. } = self {
+            let (b, open) = if *integer && strict {
+                (step_above(bound), false)
+            } else {
+                (bound, strict)
+            };
+            if b > *lo || (b == *lo && open && !*lo_open) {
+                *lo = b;
+                *lo_open = open;
+            }
+        }
+    }
+
+    /// Intersect with another value domain of the same shape.
+    pub fn intersect(&mut self, other: &ValueDomain) {
+        match (&mut *self, other) {
+            (_, ValueDomain::Empty) => *self = ValueDomain::Empty,
+            (ValueDomain::Empty, _) => {}
+            (ValueDomain::Nominal(a), ValueDomain::Nominal(b)) => {
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x &= *y;
+                }
+                // Length mismatch would mean incompatible attributes,
+                // which atom validation rules out; extra codes on
+                // either side are simply dropped.
+                if a.len() > b.len() {
+                    for x in a.iter_mut().skip(b.len()) {
+                        *x = false;
+                    }
+                }
+            }
+            (me @ ValueDomain::Range { .. }, ValueDomain::Range { lo, hi, lo_open, hi_open, excluded, .. }) => {
+                me.tighten_lo(*lo, *lo_open);
+                me.tighten_hi(*hi, *hi_open);
+                if let ValueDomain::Range { excluded: mine, .. } = me {
+                    for e in excluded {
+                        if !mine.contains(e) {
+                            mine.push(*e);
+                        }
+                    }
+                }
+            }
+            (me, _) => *me = ValueDomain::Empty,
+        }
+    }
+
+    /// Effective closed-ish bounds after integer snapping; `None` if
+    /// already plainly empty.
+    fn effective_bounds(&self) -> Option<(f64, f64)> {
+        if let ValueDomain::Range { lo, hi, lo_open, hi_open, integer, .. } = self {
+            let (mut l, mut h) = (*lo, *hi);
+            if *integer {
+                l = if *lo_open && l.fract() == 0.0 { l + 1.0 } else { l.ceil() };
+                h = if *hi_open && h.fract() == 0.0 { h - 1.0 } else { h.floor() };
+            }
+            if l > h {
+                return None;
+            }
+            if !*integer && l == h && (*lo_open || *hi_open) {
+                return None;
+            }
+            Some((l, h))
+        } else {
+            None
+        }
+    }
+
+    fn normalized_is_empty(&self) -> bool {
+        match self {
+            ValueDomain::Range { integer, excluded, .. } => {
+                let Some((lo, hi)) = self.effective_bounds() else {
+                    return true;
+                };
+                if *integer {
+                    // Finite grid: empty iff every point is excluded.
+                    let count = (hi - lo) as i64 + 1;
+                    if count <= 0 {
+                        return true;
+                    }
+                    // Exclusions can only exhaust small grids; cap the
+                    // scan (larger grids can't be emptied by the few ≠
+                    // atoms a formula carries).
+                    if (excluded.len() as i64) < count {
+                        return false;
+                    }
+                    let mut remaining = count;
+                    let mut seen: Vec<f64> = Vec::new();
+                    for &e in excluded {
+                        if e >= lo && e <= hi && e.fract() == 0.0 && !seen.contains(&e) {
+                            seen.push(e);
+                            remaining -= 1;
+                        }
+                    }
+                    remaining <= 0
+                } else {
+                    // A dense interval can only be emptied by ≠ if it
+                    // is degenerate.
+                    lo == hi && excluded.contains(&lo)
+                }
+            }
+            _ => unreachable!("normalized_is_empty is only called on ranges"),
+        }
+    }
+}
+
+fn step_below(x: f64) -> f64 {
+    if x.fract() == 0.0 {
+        x - 1.0
+    } else {
+        x.floor()
+    }
+}
+
+fn step_above(x: f64) -> f64 {
+    if x.fract() == 0.0 {
+        x + 1.0
+    } else {
+        x.ceil()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nominal3() -> DomainSet {
+        DomainSet::full(&AttrType::Nominal {
+            labels: vec!["a".into(), "b".into(), "c".into()],
+        })
+    }
+
+    fn real01() -> DomainSet {
+        DomainSet::full(&AttrType::Numeric { min: 0.0, max: 1.0, integer: false })
+    }
+
+    fn int0to5() -> DomainSet {
+        DomainSet::full(&AttrType::Numeric { min: 0.0, max: 5.0, integer: true })
+    }
+
+    #[test]
+    fn full_domains_are_satisfiable() {
+        assert!(nominal3().is_satisfiable());
+        assert!(real01().is_satisfiable());
+        assert!(int0to5().is_satisfiable());
+        assert!(DomainSet::full(&AttrType::Date { min: 0, max: 10 }).is_satisfiable());
+    }
+
+    #[test]
+    fn eq_then_neq_same_value_is_unsat() {
+        let mut d = nominal3();
+        d.restrict_eq(&Value::Nominal(1));
+        assert!(d.is_satisfiable());
+        d.restrict_neq(&Value::Nominal(1));
+        assert!(!d.is_satisfiable());
+    }
+
+    #[test]
+    fn neq_cannot_exhaust_large_domains_but_exhausts_small() {
+        let mut d = nominal3();
+        d.restrict_neq(&Value::Nominal(0));
+        d.restrict_neq(&Value::Nominal(1));
+        assert!(d.is_satisfiable());
+        d.restrict_neq(&Value::Nominal(2));
+        assert!(!d.is_satisfiable());
+    }
+
+    #[test]
+    fn isnull_vs_isnotnull() {
+        let mut d = nominal3();
+        d.restrict_null();
+        assert!(d.is_satisfiable(), "NULL alone is fine");
+        d.restrict_not_null();
+        assert!(!d.is_satisfiable(), "NULL and not-NULL together are not");
+    }
+
+    #[test]
+    fn eq_removes_nullability() {
+        let mut d = nominal3();
+        d.restrict_eq(&Value::Nominal(0));
+        d.restrict_null();
+        assert!(!d.is_satisfiable());
+    }
+
+    #[test]
+    fn real_interval_restrictions() {
+        let mut d = real01();
+        d.restrict_greater(0.3, true);
+        d.restrict_less(0.7, true);
+        assert!(d.is_satisfiable());
+        assert_eq!(d.values.inf(), Some(0.3));
+        assert_eq!(d.values.sup(), Some(0.7));
+        d.restrict_less(0.3, false);
+        assert!(!d.is_satisfiable(), "(0.3, 0.3] is empty");
+    }
+
+    #[test]
+    fn real_point_with_exclusion() {
+        let mut d = real01();
+        d.restrict_eq(&Value::Number(0.5));
+        assert_eq!(d.values.singleton(), Some(0.5));
+        d.restrict_neq(&Value::Number(0.5));
+        assert!(!d.is_satisfiable());
+    }
+
+    #[test]
+    fn integer_grid_snapping() {
+        let mut d = int0to5();
+        d.restrict_greater(1.0, true); // > 1  ⇒  >= 2
+        d.restrict_less(3.5, true); // < 3.5 ⇒ <= 3
+        assert_eq!(d.values.inf(), Some(2.0));
+        assert_eq!(d.values.sup(), Some(3.0));
+        d.restrict_neq(&Value::Number(2.0));
+        d.restrict_neq(&Value::Number(3.0));
+        assert!(!d.is_satisfiable(), "grid {{2,3}} minus both points is empty");
+    }
+
+    #[test]
+    fn integer_singleton() {
+        let mut d = int0to5();
+        d.restrict_greater(1.9, false);
+        d.restrict_less(2.2, false);
+        assert_eq!(d.values.singleton(), Some(2.0));
+    }
+
+    #[test]
+    fn ordering_on_nominal_empties() {
+        let mut d = nominal3();
+        d.restrict_less(1.0, true);
+        assert!(!d.is_satisfiable());
+    }
+
+    #[test]
+    fn intersect_nominal() {
+        let mut a = nominal3();
+        a.restrict_neq(&Value::Nominal(0));
+        let mut b = nominal3();
+        b.restrict_neq(&Value::Nominal(2));
+        a.intersect(&b);
+        assert_eq!(a.values.singleton(), Some(1.0));
+        assert!(!a.can_null);
+    }
+
+    #[test]
+    fn intersect_ranges_merges_exclusions() {
+        let mut a = real01();
+        a.restrict_neq(&Value::Number(0.5));
+        let mut b = real01();
+        b.restrict_greater(0.4, false);
+        b.restrict_less(0.5, false);
+        a.intersect(&b);
+        // a is now [0.4, 0.5] minus {0.5}: satisfiable.
+        assert!(a.is_satisfiable());
+        a.restrict_greater(0.5, false);
+        // [0.5, 0.5] minus {0.5}: empty.
+        assert!(!a.is_satisfiable());
+    }
+
+    #[test]
+    fn date_domains_are_integer_grids() {
+        let mut d = DomainSet::full(&AttrType::Date { min: 10, max: 12 });
+        d.restrict_greater(10.0, true);
+        d.restrict_less(12.0, true);
+        assert_eq!(d.values.singleton(), Some(11.0));
+    }
+}

@@ -1,0 +1,148 @@
+//! Implication, validity and equivalence via TDG-negation.
+//!
+//! "In ordinary propositional logic the validity of the sentence α ⇒ β
+//! is equivalent to the unsatisfiability of α ∧ ¬β. As we did not
+//! include negation … we can instead associate a TDG-formula α̃ to a
+//! TDG-formula α, so that α is true iff α̃ is false" (sec. 4.1.3).
+//!
+//! Because the satisfiability test errs towards SAT, these checks err
+//! towards **"does not imply"** — a missed implication merely makes
+//! the rule generator a little more permissive, never inconsistent.
+
+use crate::formula::{Formula, Rule};
+use crate::negate::negate;
+use crate::sat::satisfiable;
+use dq_table::Schema;
+
+/// Does `a` imply `b` (over the schema's domains)? Decided as
+/// UNSAT(`a ∧ b̃`).
+pub fn implies(schema: &Schema, a: &Formula, b: &Formula) -> bool {
+    let test = Formula::And(vec![a.clone(), negate(b)]);
+    !satisfiable(schema, &test)
+}
+
+/// Is the rule `α → β` valid (true on every record)? Equivalent to
+/// `implies(α, β)`.
+pub fn valid(schema: &Schema, rule: &Rule) -> bool {
+    implies(schema, &rule.premise, &rule.consequent)
+}
+
+/// Are the two formulae equivalent (mutual implication)?
+pub fn equivalent(schema: &Schema, a: &Formula, b: &Formula) -> bool {
+    implies(schema, a, b) && implies(schema, b, a)
+}
+
+/// A rule is *tautological* if its premise already forces its
+/// consequent — the paper's example `A = Val1 → A ≠ Val2`.
+pub fn is_tautological_rule(schema: &Schema, rule: &Rule) -> bool {
+    valid(schema, rule)
+}
+
+/// A rule is *contradictory* if no record can satisfy premise and
+/// consequent together — the paper's example `A = Val1 → A = Val2`.
+pub fn is_contradictory_rule(schema: &Schema, rule: &Rule) -> bool {
+    let both = Formula::And(vec![rule.premise.clone(), rule.consequent.clone()]);
+    !satisfiable(schema, &both)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Atom;
+    use dq_table::{SchemaBuilder, Value};
+
+    fn schema() -> std::sync::Arc<Schema> {
+        SchemaBuilder::new()
+            .nominal("A", ["Val1", "Val2", "Val3"])
+            .nominal("B", ["Val1", "Val2", "Val3"])
+            .numeric("N", 0.0, 10.0)
+            .build()
+            .unwrap()
+    }
+
+    fn a_eq(code: u32) -> Formula {
+        Formula::Atom(Atom::EqConst { attr: 0, value: Value::Nominal(code) })
+    }
+
+    fn a_neq(code: u32) -> Formula {
+        Formula::Atom(Atom::NeqConst { attr: 0, value: Value::Nominal(code) })
+    }
+
+    fn b_eq(code: u32) -> Formula {
+        Formula::Atom(Atom::EqConst { attr: 1, value: Value::Nominal(code) })
+    }
+
+    #[test]
+    fn paper_tautology_example() {
+        // A = Val1 → A ≠ Val2 is tautological.
+        let rule = Rule::new(a_eq(0), a_neq(1));
+        assert!(is_tautological_rule(&schema(), &rule));
+    }
+
+    #[test]
+    fn paper_contradiction_example() {
+        // A = Val1 → A = Val2 is contradictory.
+        let rule = Rule::new(a_eq(0), a_eq(1));
+        assert!(is_contradictory_rule(&schema(), &rule));
+        // But not tautological (its premise is satisfiable and does
+        // not force the consequent — it forbids it).
+        assert!(!is_tautological_rule(&schema(), &rule));
+    }
+
+    #[test]
+    fn ordinary_rules_are_neither() {
+        let rule = Rule::new(a_eq(0), b_eq(1));
+        let s = schema();
+        assert!(!is_tautological_rule(&s, &rule));
+        assert!(!is_contradictory_rule(&s, &rule));
+    }
+
+    #[test]
+    fn implication_with_disjunction() {
+        let s = schema();
+        // A = Val1 implies (A = Val1 ∨ A = Val2).
+        let disj = Formula::Or(vec![a_eq(0), a_eq(1)]);
+        assert!(implies(&s, &a_eq(0), &disj));
+        assert!(!implies(&s, &disj, &a_eq(0)));
+    }
+
+    #[test]
+    fn implication_respects_domain_exhaustion() {
+        let s = schema();
+        // A ≠ Val1 ∧ A ≠ Val2 implies A = Val3 over a 3-label domain.
+        let prem = Formula::And(vec![a_neq(0), a_neq(1)]);
+        assert!(implies(&s, &prem, &a_eq(2)));
+    }
+
+    #[test]
+    fn numeric_implication() {
+        let s = schema();
+        let lt3 = Formula::Atom(Atom::LessConst { attr: 2, value: 3.0 });
+        let lt5 = Formula::Atom(Atom::LessConst { attr: 2, value: 5.0 });
+        assert!(implies(&s, &lt3, &lt5));
+        assert!(!implies(&s, &lt5, &lt3));
+        // N < 3 implies N isnotnull.
+        let notnull = Formula::Atom(Atom::IsNotNull { attr: 2 });
+        assert!(implies(&s, &lt3, &notnull));
+        // …but not N isnull.
+        let isnull = Formula::Atom(Atom::IsNull { attr: 2 });
+        assert!(!implies(&s, &lt3, &isnull));
+    }
+
+    #[test]
+    fn equivalence() {
+        let s = schema();
+        // A ≠ Val1 ≡ (A = Val2 ∨ A = Val3) over the 3-label domain.
+        let lhs = a_neq(0);
+        let rhs = Formula::Or(vec![a_eq(1), a_eq(2)]);
+        assert!(equivalent(&s, &lhs, &rhs));
+        assert!(!equivalent(&s, &lhs, &a_eq(1)));
+    }
+
+    #[test]
+    fn everything_implies_from_false() {
+        let s = schema();
+        let falsum = Formula::And(vec![a_eq(0), a_eq(1)]);
+        assert!(implies(&s, &falsum, &b_eq(2)));
+    }
+}

@@ -1,0 +1,175 @@
+//! TDG-negation (Table 1 of the paper).
+//!
+//! The TDG logic has no negation operator, but every formula `α` has an
+//! associated formula `α̃` that is true iff `α` is false under the
+//! NULL-aware semantics. The mapping on atoms follows Table 1 verbatim;
+//! connectives dualize (De Morgan).
+
+use crate::atom::Atom;
+use crate::formula::Formula;
+
+/// The TDG-negation `α̃` of `α`.
+pub fn negate(formula: &Formula) -> Formula {
+    match formula {
+        Formula::Atom(a) => negate_atom(a),
+        Formula::And(fs) => Formula::Or(fs.iter().map(negate).collect()),
+        Formula::Or(fs) => Formula::And(fs.iter().map(negate).collect()),
+    }
+}
+
+fn negate_atom(atom: &Atom) -> Formula {
+    match atom {
+        // A = a  ⇝  A ≠ a ∨ A isnull
+        Atom::EqConst { attr, value } => Formula::Or(vec![
+            Formula::Atom(Atom::NeqConst { attr: *attr, value: *value }),
+            Formula::Atom(Atom::IsNull { attr: *attr }),
+        ]),
+        // A ≠ a  ⇝  A = a ∨ A isnull
+        Atom::NeqConst { attr, value } => Formula::Or(vec![
+            Formula::Atom(Atom::EqConst { attr: *attr, value: *value }),
+            Formula::Atom(Atom::IsNull { attr: *attr }),
+        ]),
+        // A < a  ⇝  A > a ∨ A = a ∨ A isnull
+        Atom::LessConst { attr, value } => Formula::Or(vec![
+            Formula::Atom(Atom::GreaterConst { attr: *attr, value: *value }),
+            Formula::Atom(eq_threshold(*attr, *value)),
+            Formula::Atom(Atom::IsNull { attr: *attr }),
+        ]),
+        // A > a  ⇝  A < a ∨ A = a ∨ A isnull
+        Atom::GreaterConst { attr, value } => Formula::Or(vec![
+            Formula::Atom(Atom::LessConst { attr: *attr, value: *value }),
+            Formula::Atom(eq_threshold(*attr, *value)),
+            Formula::Atom(Atom::IsNull { attr: *attr }),
+        ]),
+        // A isnull  ⇝  A isnotnull
+        Atom::IsNull { attr } => Formula::Atom(Atom::IsNotNull { attr: *attr }),
+        // A isnotnull  ⇝  A isnull
+        Atom::IsNotNull { attr } => Formula::Atom(Atom::IsNull { attr: *attr }),
+        // A = B  ⇝  A ≠ B ∨ A isnull ∨ B isnull
+        Atom::EqAttr { left, right } => Formula::Or(vec![
+            Formula::Atom(Atom::NeqAttr { left: *left, right: *right }),
+            Formula::Atom(Atom::IsNull { attr: *left }),
+            Formula::Atom(Atom::IsNull { attr: *right }),
+        ]),
+        // A ≠ B  ⇝  A = B ∨ A isnull ∨ B isnull
+        Atom::NeqAttr { left, right } => Formula::Or(vec![
+            Formula::Atom(Atom::EqAttr { left: *left, right: *right }),
+            Formula::Atom(Atom::IsNull { attr: *left }),
+            Formula::Atom(Atom::IsNull { attr: *right }),
+        ]),
+        // A < B  ⇝  A > B ∨ A = B ∨ A isnull ∨ B isnull
+        Atom::LessAttr { left, right } => Formula::Or(vec![
+            Formula::Atom(Atom::GreaterAttr { left: *left, right: *right }),
+            Formula::Atom(Atom::EqAttr { left: *left, right: *right }),
+            Formula::Atom(Atom::IsNull { attr: *left }),
+            Formula::Atom(Atom::IsNull { attr: *right }),
+        ]),
+        // A > B  ⇝  A < B ∨ A = B ∨ A isnull ∨ B isnull
+        Atom::GreaterAttr { left, right } => Formula::Or(vec![
+            Formula::Atom(Atom::LessAttr { left: *left, right: *right }),
+            Formula::Atom(Atom::EqAttr { left: *left, right: *right }),
+            Formula::Atom(Atom::IsNull { attr: *left }),
+            Formula::Atom(Atom::IsNull { attr: *right }),
+        ]),
+    }
+}
+
+/// `A = a` for an ordering threshold: thresholds live in widened
+/// numeric coordinates, so the equality constant is a `Number`.
+///
+/// For date attributes the record evaluator compares via
+/// [`dq_table::Value::as_numeric`], so a `Number` constant equals a
+/// `Date` cell with the same day number — the negation stays exact.
+fn eq_threshold(attr: dq_table::AttrIdx, value: f64) -> Atom {
+    Atom::EqConst { attr, value: dq_table::Value::Number(value) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval_formula;
+    use dq_table::{SchemaBuilder, Value};
+
+    fn schema() -> std::sync::Arc<dq_table::Schema> {
+        SchemaBuilder::new()
+            .nominal("a", ["x", "y", "z"])
+            .nominal("b", ["x", "y", "z"])
+            .numeric("n", 0.0, 10.0)
+            .numeric("m", 0.0, 10.0)
+            .build()
+            .unwrap()
+    }
+
+    /// Every atom's negation must be its exact logical complement on
+    /// every record — the defining property of Table 1.
+    #[test]
+    fn negation_complements_on_all_records() {
+        let _s = schema(); // documents the attribute layout the records follow
+        let atoms = vec![
+            Atom::EqConst { attr: 0, value: Value::Nominal(1) },
+            Atom::NeqConst { attr: 0, value: Value::Nominal(1) },
+            Atom::LessConst { attr: 2, value: 5.0 },
+            Atom::GreaterConst { attr: 2, value: 5.0 },
+            Atom::IsNull { attr: 0 },
+            Atom::IsNotNull { attr: 0 },
+            Atom::EqAttr { left: 0, right: 1 },
+            Atom::NeqAttr { left: 0, right: 1 },
+            Atom::LessAttr { left: 2, right: 3 },
+            Atom::GreaterAttr { left: 2, right: 3 },
+        ];
+        let a_vals = [Value::Null, Value::Nominal(0), Value::Nominal(1)];
+        let n_vals = [Value::Null, Value::Number(3.0), Value::Number(5.0), Value::Number(7.0)];
+        for atom in &atoms {
+            let f = Formula::Atom(atom.clone());
+            let g = negate(&f);
+            for &av in &a_vals {
+                for &bv in &a_vals {
+                    for &nv in &n_vals {
+                        for &mv in &n_vals {
+                            let rec = [av, bv, nv, mv];
+                            assert_ne!(
+                                eval_formula(&f, &rec),
+                                eval_formula(&g, &rec),
+                                "negation must flip {atom} on {rec:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn connectives_dualize() {
+        let f = Formula::And(vec![
+            Formula::Atom(Atom::IsNull { attr: 0 }),
+            Formula::Or(vec![
+                Formula::Atom(Atom::IsNull { attr: 1 }),
+                Formula::Atom(Atom::IsNotNull { attr: 2 }),
+            ]),
+        ]);
+        let g = negate(&f);
+        match &g {
+            Formula::Or(parts) => {
+                assert_eq!(parts.len(), 2);
+                assert!(matches!(parts[1], Formula::And(_)));
+            }
+            other => panic!("expected Or, got {other:?}"),
+        }
+        // Double negation is logically (not structurally) the identity.
+        let gg = negate(&g);
+        let rec = [Value::Null, Value::Nominal(0), Value::Null, Value::Null];
+        assert_eq!(eval_formula(&f, &rec), eval_formula(&gg, &rec));
+    }
+
+    #[test]
+    fn date_threshold_negation_is_exact() {
+        let s = SchemaBuilder::new().date_ymd("d", (2000, 1, 1), (2005, 1, 1)).build().unwrap();
+        let _ = s;
+        let f = Formula::Atom(Atom::LessConst { attr: 0, value: 11_500.0 });
+        let g = negate(&f);
+        for v in [Value::Null, Value::Date(11_499), Value::Date(11_500), Value::Date(11_501)] {
+            assert_ne!(eval_formula(&f, &[v]), eval_formula(&g, &[v]), "value {v:?}");
+        }
+    }
+}

@@ -1,0 +1,335 @@
+//! A small text syntax for TDG-formulae and rules.
+//!
+//! Lets examples, tests and domain experts write rules the way the
+//! paper prints them:
+//!
+//! ```text
+//! BRV = 404 -> GBM = 901
+//! KBM = 01 and GBM = 901 -> BRV = 501
+//! PRICE > 1000 or SEGMENT = luxury -> (TRIM != base and EXTRAS isnotnull)
+//! ```
+//!
+//! Grammar (tokens are whitespace-separated; parentheses may hug their
+//! content):
+//!
+//! ```text
+//! rule    := formula '->' formula
+//! formula := conj ( 'or' conj )*
+//! conj    := unit ( 'and' unit )*
+//! unit    := '(' formula ')' | atom
+//! atom    := IDENT ('='|'!='|'<'|'>') operand | IDENT 'isnull' | IDENT 'isnotnull'
+//! ```
+//!
+//! An operand that names another attribute yields a relational atom;
+//! otherwise it is parsed as a constant of the left attribute's type
+//! (nominal label, number, or ISO date).
+
+use crate::atom::Atom;
+use crate::formula::{Formula, Rule};
+use dq_table::{date::parse_iso, AttrIdx, AttrType, Schema, Value};
+use std::fmt;
+
+/// Parse failure with a human-oriented message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a rule `premise -> consequent`.
+pub fn parse_rule(schema: &Schema, text: &str) -> Result<Rule, ParseError> {
+    let mut parts = text.splitn(2, "->");
+    let prem = parts.next().unwrap_or("");
+    let cons = parts
+        .next()
+        .ok_or_else(|| ParseError("missing `->` in rule".into()))?;
+    if cons.contains("->") {
+        return Err(ParseError("more than one `->` in rule".into()));
+    }
+    let rule = Rule::new(parse_formula(schema, prem)?, parse_formula(schema, cons)?);
+    rule.validate(schema).map_err(ParseError)?;
+    Ok(rule)
+}
+
+/// Parse a formula.
+pub fn parse_formula(schema: &Schema, text: &str) -> Result<Formula, ParseError> {
+    let tokens = tokenize(text);
+    let mut p = Parser { schema, tokens, pos: 0 };
+    let f = p.formula()?;
+    if p.pos != p.tokens.len() {
+        return Err(ParseError(format!("unexpected trailing token `{}`", p.tokens[p.pos])));
+    }
+    f.validate(schema).map_err(ParseError)?;
+    Ok(f)
+}
+
+fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for raw in text.split_whitespace() {
+        let mut chunk = raw;
+        let mut trailing = 0usize;
+        while let Some(rest) = chunk.strip_prefix('(') {
+            out.push("(".to_string());
+            chunk = rest;
+        }
+        while let Some(rest) = chunk.strip_suffix(')') {
+            trailing += 1;
+            chunk = rest;
+        }
+        if !chunk.is_empty() {
+            out.push(chunk.to_string());
+        }
+        for _ in 0..trailing {
+            out.push(")".to_string());
+        }
+    }
+    out
+}
+
+struct Parser<'a> {
+    schema: &'a Schema,
+    tokens: Vec<String>,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&str> {
+        self.tokens.get(self.pos).map(String::as_str)
+    }
+
+    fn next(&mut self) -> Option<&str> {
+        let t = self.tokens.get(self.pos).map(String::as_str);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn formula(&mut self) -> Result<Formula, ParseError> {
+        let mut parts = vec![self.conj()?];
+        while self.peek() == Some("or") {
+            self.next();
+            parts.push(self.conj()?);
+        }
+        Ok(if parts.len() == 1 { parts.pop().unwrap() } else { Formula::Or(parts) })
+    }
+
+    fn conj(&mut self) -> Result<Formula, ParseError> {
+        let mut parts = vec![self.unit()?];
+        while self.peek() == Some("and") {
+            self.next();
+            parts.push(self.unit()?);
+        }
+        Ok(if parts.len() == 1 { parts.pop().unwrap() } else { Formula::And(parts) })
+    }
+
+    fn unit(&mut self) -> Result<Formula, ParseError> {
+        if self.peek() == Some("(") {
+            self.next();
+            let f = self.formula()?;
+            if self.next() != Some(")") {
+                return Err(ParseError("missing closing parenthesis".into()));
+            }
+            return Ok(f);
+        }
+        self.atom().map(Formula::Atom)
+    }
+
+    fn atom(&mut self) -> Result<Atom, ParseError> {
+        let name = self
+            .next()
+            .ok_or_else(|| ParseError("expected an attribute name".into()))?
+            .to_string();
+        let attr = self
+            .schema
+            .index_of(&name)
+            .ok_or_else(|| ParseError(format!("unknown attribute `{name}`")))?;
+        let op = self
+            .next()
+            .ok_or_else(|| ParseError(format!("expected an operator after `{name}`")))?
+            .to_string();
+        match op.as_str() {
+            "isnull" => Ok(Atom::IsNull { attr }),
+            "isnotnull" => Ok(Atom::IsNotNull { attr }),
+            "=" | "!=" | "<" | ">" => {
+                let operand = self
+                    .next()
+                    .ok_or_else(|| ParseError(format!("expected an operand after `{op}`")))?
+                    .to_string();
+                self.build_binary(attr, &op, &operand)
+            }
+            other => Err(ParseError(format!("unknown operator `{other}`"))),
+        }
+    }
+
+    fn build_binary(&self, attr: AttrIdx, op: &str, operand: &str) -> Result<Atom, ParseError> {
+        // An operand naming another attribute makes a relational atom.
+        if let Some(right) = self.schema.index_of(operand) {
+            return Ok(match op {
+                "=" => Atom::EqAttr { left: attr, right },
+                "!=" => Atom::NeqAttr { left: attr, right },
+                "<" => Atom::LessAttr { left: attr, right },
+                _ => Atom::GreaterAttr { left: attr, right },
+            });
+        }
+        match op {
+            "=" | "!=" => {
+                let value = self.constant_for(attr, operand)?;
+                Ok(if op == "=" {
+                    Atom::EqConst { attr, value }
+                } else {
+                    Atom::NeqConst { attr, value }
+                })
+            }
+            _ => {
+                let value = self.threshold_for(attr, operand)?;
+                Ok(if op == "<" {
+                    Atom::LessConst { attr, value }
+                } else {
+                    Atom::GreaterConst { attr, value }
+                })
+            }
+        }
+    }
+
+    fn constant_for(&self, attr: AttrIdx, token: &str) -> Result<Value, ParseError> {
+        let a = self.schema.attr(attr);
+        match &a.ty {
+            AttrType::Nominal { .. } => a.code(token).map(Value::Nominal).ok_or_else(|| {
+                ParseError(format!("`{token}` is not a label of `{}`", a.name))
+            }),
+            AttrType::Numeric { .. } => token.parse::<f64>().map(Value::Number).map_err(|_| {
+                ParseError(format!("`{token}` is not a number (attribute `{}`)", a.name))
+            }),
+            AttrType::Date { .. } => parse_iso(token).map(Value::Date).ok_or_else(|| {
+                ParseError(format!("`{token}` is not an ISO date (attribute `{}`)", a.name))
+            }),
+        }
+    }
+
+    fn threshold_for(&self, attr: AttrIdx, token: &str) -> Result<f64, ParseError> {
+        let a = self.schema.attr(attr);
+        match &a.ty {
+            AttrType::Date { .. } => {
+                if let Some(d) = parse_iso(token) {
+                    return Ok(d as f64);
+                }
+                token.parse::<f64>().map_err(|_| {
+                    ParseError(format!(
+                        "`{token}` is neither a date nor a number (attribute `{}`)",
+                        a.name
+                    ))
+                })
+            }
+            _ => token.parse::<f64>().map_err(|_| {
+                ParseError(format!("`{token}` is not a number (attribute `{}`)", a.name))
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dq_table::SchemaBuilder;
+
+    fn schema() -> std::sync::Arc<Schema> {
+        SchemaBuilder::new()
+            .nominal("BRV", ["404", "501", "611"])
+            .nominal("GBM", ["901", "911", "921"])
+            .nominal("KBM", ["01", "02"])
+            .numeric("POWER", 0.0, 500.0)
+            .numeric("TORQUE", 0.0, 1000.0)
+            .date_ymd("PROD", (1990, 1, 1), (2003, 12, 31))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn parses_the_papers_quis_rules() {
+        let s = schema();
+        let r = parse_rule(&s, "BRV = 404 -> GBM = 901").unwrap();
+        assert_eq!(r.render(&s), "BRV = 404 -> GBM = 901");
+        let r = parse_rule(&s, "KBM = 01 and GBM = 901 -> BRV = 501").unwrap();
+        assert_eq!(r.render(&s), "KBM = 01 and GBM = 901 -> BRV = 501");
+    }
+
+    #[test]
+    fn parses_connective_nesting() {
+        let s = schema();
+        let f = parse_formula(&s, "(BRV = 404 or BRV = 501) and POWER > 100").unwrap();
+        assert_eq!(f.render(&s), "(BRV = 404 or BRV = 501) and POWER > 100");
+        assert_eq!(f.atom_count(), 3);
+        // `and` binds tighter than `or`.
+        let g = parse_formula(&s, "BRV = 404 or BRV = 501 and POWER > 100").unwrap();
+        assert_eq!(g.render(&s), "BRV = 404 or (BRV = 501 and POWER > 100)");
+    }
+
+    #[test]
+    fn parses_null_tests_and_relational_atoms() {
+        let s = schema();
+        let f = parse_formula(&s, "GBM isnull or POWER < TORQUE").unwrap();
+        assert_eq!(f.render(&s), "GBM isnull or POWER < TORQUE");
+        let g = parse_formula(&s, "PROD isnotnull and POWER != TORQUE").unwrap();
+        assert_eq!(g.render(&s), "PROD isnotnull and POWER != TORQUE");
+    }
+
+    #[test]
+    fn parses_dates() {
+        let s = schema();
+        let f = parse_formula(&s, "PROD > 2000-06-15").unwrap();
+        match f {
+            Formula::Atom(Atom::GreaterConst { attr: 5, value }) => {
+                assert_eq!(value, dq_table::date::days_from_civil(2000, 6, 15) as f64);
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        assert!(parse_formula(&s, "PROD = 2000-06-15").is_ok());
+    }
+
+    #[test]
+    fn round_trips_render_output() {
+        let s = schema();
+        for text in [
+            "BRV = 404 -> GBM = 901",
+            "KBM = 01 and GBM = 901 -> BRV = 501",
+            "POWER > 100 or (GBM = 911 and KBM != 02) -> TORQUE > 200",
+        ] {
+            let rule = parse_rule(&s, text).unwrap();
+            let rendered = rule.render(&s);
+            let reparsed = parse_rule(&s, &rendered).unwrap();
+            assert_eq!(rule, reparsed, "render/parse must round-trip for `{text}`");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        let s = schema();
+        for text in [
+            "",
+            "BRV = 404",              // missing arrow (rule)
+        ] {
+            assert!(parse_rule(&s, text).is_err(), "`{text}` must fail");
+        }
+        for text in [
+            "NOPE = 404",             // unknown attribute
+            "BRV == 404",             // unknown operator
+            "BRV = 999",              // label not in domain
+            "POWER = high",           // non-number for numeric attr
+            "PROD > yesterday",       // bad date
+            "BRV = 404 and",          // dangling connective
+            "(BRV = 404",             // unbalanced paren
+            "BRV = 404 GBM = 901",    // missing connective
+            "BRV < 404",              // ordering on nominal attribute
+            "BRV = GBM",              // incompatible label lists
+        ] {
+            assert!(parse_formula(&s, text).is_err(), "`{text}` must fail");
+        }
+        assert!(parse_rule(&s, "BRV = 404 -> GBM = 901 -> KBM = 01").is_err());
+    }
+}

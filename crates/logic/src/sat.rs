@@ -1,0 +1,468 @@
+//! The pragmatic satisfiability test (sec. 4.1.3 of the paper).
+//!
+//! A conjunction of atoms is checked by initializing every attribute's
+//! current domain from the schema and successively restricting it:
+//! propositional atoms restrict directly; relational atoms instantiate
+//! *links* between attributes ("while considering the transitive nature
+//! of the operators <, > and ="), along which domain restrictions are
+//! propagated. General formulae go through DNF first.
+//!
+//! The test is **sound for UNSAT**: when it answers "unsatisfiable"
+//! there really is no model. Like the paper's procedure it may, in rare
+//! contrived cases, answer "satisfiable" for an unsatisfiable formula
+//! (e.g. disequality chains that need graph coloring, or mixed
+//! real/integer equality groups); all approximations err towards SAT.
+//! DNF overflow likewise yields a conservative "satisfiable".
+
+use crate::atom::Atom;
+use crate::dnf::to_dnf;
+use crate::domain::DomainSet;
+use crate::formula::Formula;
+use dq_table::Schema;
+
+/// Satisfiability of an arbitrary TDG-formula over `schema`.
+pub fn satisfiable(schema: &Schema, formula: &Formula) -> bool {
+    match to_dnf(formula) {
+        // DNF too large to enumerate: give the formula the benefit of
+        // the doubt (errs toward SAT, preserving UNSAT soundness).
+        None => true,
+        Some(dnf) => dnf.iter().any(|conj| satisfiable_conjunction(schema, conj)),
+    }
+}
+
+/// Satisfiability of a conjunction of atoms.
+pub fn satisfiable_conjunction(schema: &Schema, atoms: &[Atom]) -> bool {
+    solve_conjunction(schema, atoms).is_some()
+}
+
+/// Run the domain-restriction procedure on a conjunction of atoms.
+///
+/// Returns the restricted per-attribute [`DomainSet`]s if the
+/// conjunction is (believed) satisfiable — the test data generator
+/// samples repair values from exactly these sets — or `None` if it is
+/// definitely unsatisfiable.
+pub fn solve_conjunction(schema: &Schema, atoms: &[Atom]) -> Option<Vec<DomainSet>> {
+    let n = schema.len();
+    let mut dom: Vec<DomainSet> =
+        schema.attributes().iter().map(|a| DomainSet::full(&a.ty)).collect();
+    let mut uf = UnionFind::new(n);
+    let mut less_edges: Vec<(usize, usize)> = Vec::new(); // (a, b) means a < b
+    let mut neq_pairs: Vec<(usize, usize)> = Vec::new();
+
+    // Phase 1: integrate propositional restrictions, collect links.
+    for atom in atoms {
+        match atom {
+            Atom::EqConst { attr, value } => dom[*attr].restrict_eq(value),
+            Atom::NeqConst { attr, value } => dom[*attr].restrict_neq(value),
+            Atom::LessConst { attr, value } => dom[*attr].restrict_less(*value, true),
+            Atom::GreaterConst { attr, value } => dom[*attr].restrict_greater(*value, true),
+            Atom::IsNull { attr } => dom[*attr].restrict_null(),
+            Atom::IsNotNull { attr } => dom[*attr].restrict_not_null(),
+            Atom::EqAttr { left, right } => {
+                dom[*left].restrict_not_null();
+                dom[*right].restrict_not_null();
+                uf.union(*left, *right);
+            }
+            Atom::NeqAttr { left, right } => {
+                dom[*left].restrict_not_null();
+                dom[*right].restrict_not_null();
+                neq_pairs.push((*left, *right));
+            }
+            Atom::LessAttr { left, right } => {
+                dom[*left].restrict_not_null();
+                dom[*right].restrict_not_null();
+                less_edges.push((*left, *right));
+            }
+            Atom::GreaterAttr { left, right } => {
+                dom[*left].restrict_not_null();
+                dom[*right].restrict_not_null();
+                less_edges.push((*right, *left));
+            }
+        }
+    }
+
+    // Phase 2: merge the domains of equality groups into the root.
+    for i in 0..n {
+        let r = uf.find(i);
+        if r != i {
+            let d = dom[i].clone();
+            dom[r].intersect(&d);
+        }
+    }
+
+    // Map order/disequality constraints onto group roots.
+    let less: Vec<(usize, usize)> =
+        less_edges.iter().map(|&(a, b)| (uf.find(a), uf.find(b))).collect();
+    if less.iter().any(|&(a, b)| a == b) {
+        return None; // x < x via equality chain
+    }
+    for &(a, b) in &neq_pairs {
+        if uf.find(a) == uf.find(b) {
+            return None; // x ≠ x via equality chain
+        }
+    }
+
+    // A cycle in the strict-order graph is unsatisfiable
+    // (a < … < a) — the transitivity the paper calls out.
+    if has_cycle(n, &less) {
+        return None;
+    }
+
+    // Phase 3: propagate interval bounds along order edges. The graph
+    // is a DAG with at most n nodes, so n sweeps reach the fixpoint.
+    for _ in 0..n.max(1) {
+        for &(a, b) in &less {
+            // a < b: a stays below b's supremum, b above a's infimum.
+            let (da, db) = if a < b {
+                let (x, y) = dom.split_at_mut(b);
+                (&mut x[a], &mut y[0])
+            } else {
+                let (x, y) = dom.split_at_mut(a);
+                (&mut y[0], &mut x[b])
+            };
+            if let Some(sup_b) = db.values.sup() {
+                da.values.tighten_hi(sup_b, true);
+            }
+            if let Some(inf_a) = da.values.inf() {
+                db.values.tighten_lo(inf_a, true);
+            }
+        }
+    }
+
+    // Phase 4: verdicts. Every group root must still be satisfiable.
+    for i in 0..n {
+        let r = uf.find(i);
+        if !dom[r].is_satisfiable() {
+            return None;
+        }
+        // Attributes linked relationally must have a *value* (they are
+        // non-null); the intersect already dropped nullability.
+    }
+    // Disequality between two singleton groups pinned to one value.
+    for &(a, b) in &neq_pairs {
+        let (ra, rb) = (uf.find(a), uf.find(b));
+        if let (Some(x), Some(y)) = (dom[ra].values.singleton(), dom[rb].values.singleton()) {
+            if x == y {
+                return None;
+            }
+        }
+    }
+
+    // Copy root domains back to every member so callers see the
+    // restriction on the attribute they asked about.
+    let result: Vec<DomainSet> = (0..n).map(|i| dom[uf.find(i)].clone()).collect();
+    Some(result)
+}
+
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n).collect() }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+/// Kahn's algorithm over the strict-order edges.
+fn has_cycle(n: usize, edges: &[(usize, usize)]) -> bool {
+    let mut indeg = vec![0usize; n];
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(a, b) in edges {
+        adj[a].push(b);
+        indeg[b] += 1;
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut seen = 0;
+    while let Some(x) = queue.pop() {
+        seen += 1;
+        for &y in &adj[x] {
+            indeg[y] -= 1;
+            if indeg[y] == 0 {
+                queue.push(y);
+            }
+        }
+    }
+    seen < n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dq_table::{SchemaBuilder, Value};
+
+    fn schema() -> std::sync::Arc<Schema> {
+        SchemaBuilder::new()
+            .nominal("a", ["x", "y", "z"])
+            .nominal("b", ["x", "y", "z"])
+            .numeric("n", 0.0, 10.0)
+            .numeric("m", 0.0, 10.0)
+            .numeric("k", 0.0, 10.0)
+            .integer("i", 0.0, 3.0)
+            .build()
+            .unwrap()
+    }
+
+    fn eq(attr: usize, code: u32) -> Atom {
+        Atom::EqConst { attr, value: Value::Nominal(code) }
+    }
+
+    #[test]
+    fn paper_contradiction_example() {
+        // A = Val1 ∧ A = Val2 is unsatisfiable (first bad rule of
+        // sec. 4.1.2 has this as premise ∧ consequent).
+        let s = schema();
+        assert!(!satisfiable_conjunction(&s, &[eq(0, 0), eq(0, 1)]));
+        assert!(satisfiable_conjunction(&s, &[eq(0, 0), eq(1, 1)]));
+    }
+
+    #[test]
+    fn null_interactions() {
+        let s = schema();
+        assert!(!satisfiable_conjunction(
+            &s,
+            &[Atom::IsNull { attr: 0 }, Atom::IsNotNull { attr: 0 }]
+        ));
+        assert!(!satisfiable_conjunction(&s, &[Atom::IsNull { attr: 0 }, eq(0, 1)]));
+        assert!(satisfiable_conjunction(
+            &s,
+            &[Atom::IsNull { attr: 0 }, Atom::IsNotNull { attr: 1 }]
+        ));
+    }
+
+    #[test]
+    fn numeric_interval_conflicts() {
+        let s = schema();
+        assert!(!satisfiable_conjunction(
+            &s,
+            &[
+                Atom::LessConst { attr: 2, value: 3.0 },
+                Atom::GreaterConst { attr: 2, value: 3.0 },
+            ]
+        ));
+        assert!(satisfiable_conjunction(
+            &s,
+            &[
+                Atom::GreaterConst { attr: 2, value: 2.0 },
+                Atom::LessConst { attr: 2, value: 3.0 },
+            ]
+        ));
+        // Out-of-domain demands are unsatisfiable: n ∈ [0, 10].
+        assert!(!satisfiable_conjunction(&s, &[Atom::GreaterConst { attr: 2, value: 10.0 }]));
+        assert!(!satisfiable_conjunction(
+            &s,
+            &[Atom::EqConst { attr: 2, value: Value::Number(11.0) }]
+        ));
+    }
+
+    #[test]
+    fn equality_links_propagate() {
+        let s = schema();
+        // a = b ∧ a = x ∧ b = y → unsat (the paper's mutually
+        // contradictory pair, expressed through a link).
+        assert!(!satisfiable_conjunction(
+            &s,
+            &[Atom::EqAttr { left: 0, right: 1 }, eq(0, 0), eq(1, 1)]
+        ));
+        assert!(satisfiable_conjunction(
+            &s,
+            &[Atom::EqAttr { left: 0, right: 1 }, eq(0, 0), eq(1, 0)]
+        ));
+        // Numeric link: n = m ∧ n < 3 ∧ m > 5 → unsat.
+        assert!(!satisfiable_conjunction(
+            &s,
+            &[
+                Atom::EqAttr { left: 2, right: 3 },
+                Atom::LessConst { attr: 2, value: 3.0 },
+                Atom::GreaterConst { attr: 3, value: 5.0 },
+            ]
+        ));
+    }
+
+    #[test]
+    fn equality_link_forbids_null() {
+        let s = schema();
+        assert!(!satisfiable_conjunction(
+            &s,
+            &[Atom::EqAttr { left: 0, right: 1 }, Atom::IsNull { attr: 0 }]
+        ));
+    }
+
+    #[test]
+    fn strict_order_cycles_are_unsat() {
+        let s = schema();
+        // n < m ∧ m < k ∧ k < n.
+        assert!(!satisfiable_conjunction(
+            &s,
+            &[
+                Atom::LessAttr { left: 2, right: 3 },
+                Atom::LessAttr { left: 3, right: 4 },
+                Atom::LessAttr { left: 4, right: 2 },
+            ]
+        ));
+        // Two-cycle via > and <.
+        assert!(!satisfiable_conjunction(
+            &s,
+            &[
+                Atom::LessAttr { left: 2, right: 3 },
+                Atom::GreaterAttr { left: 2, right: 3 },
+            ]
+        ));
+        // A chain is fine.
+        assert!(satisfiable_conjunction(
+            &s,
+            &[
+                Atom::LessAttr { left: 2, right: 3 },
+                Atom::LessAttr { left: 3, right: 4 },
+            ]
+        ));
+    }
+
+    #[test]
+    fn order_with_equality_is_unsat() {
+        let s = schema();
+        // n = m ∧ n < m collapses to x < x.
+        assert!(!satisfiable_conjunction(
+            &s,
+            &[
+                Atom::EqAttr { left: 2, right: 3 },
+                Atom::LessAttr { left: 2, right: 3 },
+            ]
+        ));
+        // n ≠ m ∧ n = m likewise.
+        assert!(!satisfiable_conjunction(
+            &s,
+            &[
+                Atom::EqAttr { left: 2, right: 3 },
+                Atom::NeqAttr { left: 2, right: 3 },
+            ]
+        ));
+    }
+
+    #[test]
+    fn transitive_bound_propagation() {
+        let s = schema();
+        // n < m ∧ n > 9 ∧ m < 9: the bounds meet in the middle.
+        assert!(!satisfiable_conjunction(
+            &s,
+            &[
+                Atom::LessAttr { left: 2, right: 3 },
+                Atom::GreaterConst { attr: 2, value: 9.0 },
+                Atom::LessConst { attr: 3, value: 9.0 },
+            ]
+        ));
+        // Propagation through a middle attribute: n < m ∧ m < k with
+        // n > 9 forces k > 9 strictly twice — fine for reals…
+        assert!(satisfiable_conjunction(
+            &s,
+            &[
+                Atom::LessAttr { left: 2, right: 3 },
+                Atom::LessAttr { left: 3, right: 4 },
+                Atom::GreaterConst { attr: 2, value: 9.0 },
+            ]
+        ));
+        // …but k < 9 on top closes the corridor.
+        assert!(!satisfiable_conjunction(
+            &s,
+            &[
+                Atom::LessAttr { left: 2, right: 3 },
+                Atom::LessAttr { left: 3, right: 4 },
+                Atom::GreaterConst { attr: 2, value: 9.0 },
+                Atom::LessConst { attr: 4, value: 9.0 },
+            ]
+        ));
+        // Integer grids step: i ∈ {0..3}, i > 2 ∧ i < 3 has no
+        // integral point.
+        assert!(!satisfiable_conjunction(
+            &s,
+            &[
+                Atom::GreaterConst { attr: 5, value: 2.0 },
+                Atom::LessConst { attr: 5, value: 3.0 },
+            ]
+        ));
+        // The crisp boundary case: i > 3 leaves {0..3} entirely.
+        assert!(!satisfiable_conjunction(&s, &[Atom::GreaterConst { attr: 5, value: 3.0 }]));
+    }
+
+    #[test]
+    fn singleton_disequality() {
+        let s = schema();
+        assert!(!satisfiable_conjunction(
+            &s,
+            &[eq(0, 1), eq(1, 1), Atom::NeqAttr { left: 0, right: 1 }]
+        ));
+        assert!(satisfiable_conjunction(
+            &s,
+            &[eq(0, 1), Atom::NeqAttr { left: 0, right: 1 }]
+        ));
+    }
+
+    #[test]
+    fn formula_level_sat_goes_through_dnf() {
+        let s = schema();
+        // (a = x ∧ a = y) ∨ (a = z): first disjunct unsat, second sat.
+        let f = Formula::Or(vec![
+            Formula::And(vec![Formula::Atom(eq(0, 0)), Formula::Atom(eq(0, 1))]),
+            Formula::Atom(eq(0, 2)),
+        ]);
+        assert!(satisfiable(&s, &f));
+        let g = Formula::Or(vec![Formula::And(vec![
+            Formula::Atom(eq(0, 0)),
+            Formula::Atom(eq(0, 1)),
+        ])]);
+        assert!(!satisfiable(&s, &g));
+    }
+
+    #[test]
+    fn solver_returns_usable_domains() {
+        let s = schema();
+        let doms = solve_conjunction(
+            &s,
+            &[
+                eq(0, 2),
+                Atom::GreaterConst { attr: 2, value: 4.0 },
+                Atom::LessConst { attr: 2, value: 6.0 },
+            ],
+        )
+        .unwrap();
+        assert_eq!(doms[0].values.singleton(), Some(2.0));
+        assert!(!doms[0].can_null);
+        assert_eq!(doms[2].values.inf(), Some(4.0));
+        assert_eq!(doms[2].values.sup(), Some(6.0));
+        // Unconstrained attribute keeps its full domain and nullability.
+        assert!(doms[1].can_null);
+    }
+
+    #[test]
+    fn date_vs_numeric_ordering() {
+        let s = SchemaBuilder::new()
+            .date_ymd("d", (2000, 1, 1), (2000, 1, 10))
+            .numeric("x", 0.0, 1e5)
+            .build()
+            .unwrap();
+        // d > x ∧ x > day#(2000-01-10) → d > max(d) → unsat.
+        let top = dq_table::date::days_from_civil(2000, 1, 10) as f64;
+        assert!(!satisfiable_conjunction(
+            &s,
+            &[
+                Atom::GreaterAttr { left: 0, right: 1 },
+                Atom::GreaterConst { attr: 1, value: top },
+            ]
+        ));
+    }
+}

@@ -1,0 +1,168 @@
+//! Property-based checks of the TDG logic: the Table-1 negation, the
+//! DNF transformation and the pragmatic satisfiability test must agree
+//! with the NULL-aware evaluation semantics on arbitrary formulae and
+//! records.
+
+use dq_logic::{eval_formula, negate, satisfiable, to_dnf, Atom, Formula};
+use dq_table::{Schema, SchemaBuilder, Value};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn schema() -> Arc<Schema> {
+    SchemaBuilder::new()
+        .nominal("a", ["x", "y", "z"])
+        .nominal("b", ["x", "y", "z"])
+        .numeric("u", 0.0, 100.0)
+        .numeric("v", 0.0, 100.0)
+        .date_ymd("d", (2000, 1, 1), (2000, 12, 31))
+        .build()
+        .unwrap()
+}
+
+/// Cell strategy per attribute (NULLs included — the semantics under
+/// test is exactly the NULL-aware one).
+fn value_strategy(attr: usize) -> BoxedStrategy<Value> {
+    match attr {
+        0 | 1 => prop_oneof![
+            Just(Value::Null),
+            (0u32..3).prop_map(Value::Nominal),
+        ]
+        .boxed(),
+        2 | 3 => prop_oneof![
+            Just(Value::Null),
+            (0.0f64..100.0).prop_map(Value::Number),
+        ]
+        .boxed(),
+        _ => prop_oneof![
+            Just(Value::Null),
+            (10_957i64..11_322).prop_map(Value::Date),
+        ]
+        .boxed(),
+    }
+}
+
+fn record_strategy() -> impl Strategy<Value = Vec<Value>> {
+    (
+        value_strategy(0),
+        value_strategy(1),
+        value_strategy(2),
+        value_strategy(3),
+        value_strategy(4),
+    )
+        .prop_map(|(a, b, u, v, d)| vec![a, b, u, v, d])
+}
+
+/// Random well-formed atoms over the fixed schema.
+fn atom_strategy() -> impl Strategy<Value = Atom> {
+    let nominal_attr = 0usize..2;
+    let ordered_attr = 2usize..5;
+    let threshold = 1.0f64..99.0;
+    prop_oneof![
+        (nominal_attr.clone(), 0u32..3)
+            .prop_map(|(attr, c)| Atom::EqConst { attr, value: Value::Nominal(c) }),
+        (nominal_attr.clone(), 0u32..3)
+            .prop_map(|(attr, c)| Atom::NeqConst { attr, value: Value::Nominal(c) }),
+        (2usize..4, threshold.clone())
+            .prop_map(|(attr, value)| Atom::LessConst { attr, value }),
+        (2usize..4, threshold)
+            .prop_map(|(attr, value)| Atom::GreaterConst { attr, value }),
+        (0usize..5).prop_map(|attr| Atom::IsNull { attr }),
+        (0usize..5).prop_map(|attr| Atom::IsNotNull { attr }),
+        Just(Atom::EqAttr { left: 0, right: 1 }),
+        Just(Atom::NeqAttr { left: 0, right: 1 }),
+        (ordered_attr.clone(), ordered_attr.clone())
+            .prop_filter("distinct", |(l, r)| l != r)
+            .prop_map(|(left, right)| Atom::LessAttr { left, right }),
+        (ordered_attr.clone(), ordered_attr)
+            .prop_filter("distinct", |(l, r)| l != r)
+            .prop_map(|(left, right)| Atom::GreaterAttr { left, right }),
+    ]
+}
+
+/// Random formulae: atoms plus flat and nested connectives.
+fn formula_strategy() -> impl Strategy<Value = Formula> {
+    let leaf = atom_strategy().prop_map(Formula::Atom);
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(Formula::And),
+            proptest::collection::vec(inner, 1..4).prop_map(Formula::Or),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// Table 1: the TDG-negation is true exactly when the formula is
+    /// false — on every record, including NULL-bearing ones.
+    #[test]
+    fn negation_is_semantic_complement(
+        f in formula_strategy(),
+        rec in record_strategy(),
+    ) {
+        let neg = negate(&f);
+        prop_assert_eq!(
+            eval_formula(&f, &rec),
+            !eval_formula(&neg, &rec),
+            "formula {:?} on {:?}",
+            f,
+            rec
+        );
+    }
+
+    /// Double negation is a semantic no-op.
+    #[test]
+    fn double_negation_is_identity_semantically(
+        f in formula_strategy(),
+        rec in record_strategy(),
+    ) {
+        let nn = negate(&negate(&f));
+        prop_assert_eq!(eval_formula(&f, &rec), eval_formula(&nn, &rec));
+    }
+
+    /// The DNF transformation preserves the semantics (when it does
+    /// not bail out on size).
+    #[test]
+    fn dnf_preserves_semantics(
+        f in formula_strategy(),
+        rec in record_strategy(),
+    ) {
+        if let Some(dnf) = to_dnf(&f) {
+            let dnf_true = dnf.iter().any(|conj| {
+                conj.iter().all(|atom| eval_formula(&Formula::Atom(atom.clone()), &rec))
+            });
+            prop_assert_eq!(eval_formula(&f, &rec), dnf_true);
+        }
+    }
+
+    /// Soundness of the satisfiability test for UNSAT: a formula that
+    /// evaluates to true on some record is never reported
+    /// unsatisfiable. (The paper allows the converse to fail in rare
+    /// cases — SAT may be reported for unsatisfiable formulae.)
+    #[test]
+    fn unsat_verdicts_are_sound(
+        f in formula_strategy(),
+        rec in record_strategy(),
+    ) {
+        let s = schema();
+        if eval_formula(&f, &rec) {
+            prop_assert!(
+                satisfiable(&s, &f),
+                "satisfied by {:?} but reported UNSAT: {:?}",
+                rec,
+                f
+            );
+        }
+    }
+
+    /// Validity via negation: `f ∨ f̃` is true on every record (the
+    /// reduction the paper uses for implication checking).
+    #[test]
+    fn excluded_middle_holds(
+        f in formula_strategy(),
+        rec in record_strategy(),
+    ) {
+        let lem = Formula::Or(vec![f.clone(), negate(&f)]);
+        prop_assert!(eval_formula(&lem, &rec));
+    }
+}

@@ -1,0 +1,167 @@
+//! The classifier abstraction of the multiple classification /
+//! regression approach.
+//!
+//! "The error confidence measure can be used with each classifier that
+//! both outputs a predicted class distribution and the number of
+//! training instances this prediction is based on. This independence
+//! from C4.5 makes it usable in data auditing tools for domains that
+//! require different data mining algorithms." (sec. 5.2)
+
+use crate::dataset::TrainingSet;
+use crate::error::MiningError;
+use dq_stats::argmax;
+use dq_table::Value;
+
+/// A class-distribution prediction with its evidential support.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// Weighted class counts (not normalized — callers that need
+    /// probabilities divide by [`Prediction::support`]). Keeping raw
+    /// counts preserves the sample size the confidence bounds need.
+    pub counts: Vec<f64>,
+    /// Number of training instances the prediction is based on
+    /// (fractional under C4.5's missing-value weighting).
+    pub support: f64,
+}
+
+impl Prediction {
+    /// A prediction carrying no evidence (empty leaf / untrained
+    /// region). Its error confidence is always 0.
+    pub fn empty(card: u32) -> Self {
+        Prediction { counts: vec![0.0; card as usize], support: 0.0 }
+    }
+
+    /// Build from counts, computing the support as their sum.
+    pub fn from_counts(counts: Vec<f64>) -> Self {
+        let support = counts.iter().sum();
+        Prediction { counts, support }
+    }
+
+    /// The predicted (majority) class code.
+    pub fn predicted_class(&self) -> u32 {
+        argmax(&self.counts) as u32
+    }
+
+    /// Normalized probability of class `c` (0 when support is 0).
+    pub fn probability(&self, c: u32) -> f64 {
+        if self.support <= 0.0 {
+            0.0
+        } else {
+            self.counts.get(c as usize).copied().unwrap_or(0.0) / self.support
+        }
+    }
+
+    /// Error confidence of observing class `c` against this prediction
+    /// (Def. 7), at two-sided confidence `level`.
+    pub fn error_confidence(&self, observed: u32, level: f64) -> f64 {
+        dq_stats::error_confidence(&self.counts, observed as usize, level)
+    }
+}
+
+/// A trained model predicting the class distribution of a record.
+///
+/// Records are full rows of the audited table (indexed by attribute,
+/// like [`dq_table::Table::row`] produces); implementations only look
+/// at their base attributes.
+pub trait Classifier: Send + Sync {
+    /// Predict the class distribution for a record.
+    fn predict(&self, record: &[Value]) -> Prediction;
+
+    /// A short human-readable description (family, size).
+    fn describe(&self) -> String;
+
+    /// Number of class codes this classifier distinguishes.
+    fn class_card(&self) -> u32;
+}
+
+/// An induction algorithm producing [`Classifier`]s.
+pub trait Inducer {
+    /// Induce a classifier from a training set.
+    fn induce(&self, train: &TrainingSet<'_>) -> Result<Box<dyn Classifier>, MiningError>;
+
+    /// The family name (for reports).
+    fn name(&self) -> &'static str;
+}
+
+/// The classifier families evaluated in the paper, as a configuration
+/// enum ("instance based classifiers, naive Bayes classifiers,
+/// classification rule inducers, and decision trees").
+#[derive(Debug, Clone, PartialEq)]
+pub enum InducerKind {
+    /// C4.5 decision trees with the data-auditing adjustments.
+    C45(crate::tree::C45Config),
+    /// Naive Bayes with Laplace smoothing.
+    NaiveBayes,
+    /// k-nearest-neighbour instance-based classification.
+    Knn {
+        /// Neighbourhood size.
+        k: usize,
+    },
+    /// OneR single-attribute rules.
+    OneR,
+    /// Majority-class baseline.
+    ZeroR,
+}
+
+impl InducerKind {
+    /// Materialize the inducer.
+    pub fn build(&self) -> Box<dyn Inducer> {
+        match self {
+            InducerKind::C45(cfg) => Box::new(crate::tree::C45Inducer::new(cfg.clone())),
+            InducerKind::NaiveBayes => Box::new(crate::naive_bayes::NaiveBayesInducer::default()),
+            InducerKind::Knn { k } => Box::new(crate::knn::KnnInducer::new(*k)),
+            InducerKind::OneR => Box::new(crate::oner::OneRInducer),
+            InducerKind::ZeroR => Box::new(crate::zeror::ZeroRInducer),
+        }
+    }
+
+    /// The family name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            InducerKind::C45(_) => "c4.5",
+            InducerKind::NaiveBayes => "naive-bayes",
+            InducerKind::Knn { .. } => "knn",
+            InducerKind::OneR => "oner",
+            InducerKind::ZeroR => "zeror",
+        }
+    }
+}
+
+impl Default for InducerKind {
+    fn default() -> Self {
+        InducerKind::C45(crate::tree::C45Config::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prediction_accessors() {
+        let p = Prediction::from_counts(vec![6.0, 2.0, 0.0]);
+        assert_eq!(p.support, 8.0);
+        assert_eq!(p.predicted_class(), 0);
+        assert_eq!(p.probability(0), 0.75);
+        assert_eq!(p.probability(9), 0.0);
+        assert_eq!(p.error_confidence(0, 0.95), 0.0);
+        assert!(p.error_confidence(2, 0.95) >= 0.0);
+    }
+
+    #[test]
+    fn empty_prediction_is_inert() {
+        let p = Prediction::empty(4);
+        assert_eq!(p.support, 0.0);
+        assert_eq!(p.probability(1), 0.0);
+        assert_eq!(p.error_confidence(1, 0.95), 0.0);
+    }
+
+    #[test]
+    fn kind_names_and_default() {
+        assert_eq!(InducerKind::default().name(), "c4.5");
+        assert_eq!(InducerKind::NaiveBayes.name(), "naive-bayes");
+        assert_eq!((InducerKind::Knn { k: 3 }).name(), "knn");
+        assert_eq!(InducerKind::OneR.name(), "oner");
+        assert_eq!(InducerKind::ZeroR.name(), "zeror");
+    }
+}

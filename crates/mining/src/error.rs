@@ -1,0 +1,33 @@
+//! Error type for induction failures.
+
+use std::fmt;
+
+/// Errors raised while preparing training data or inducing models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MiningError {
+    /// The class attribute index is out of range.
+    UnknownAttribute(usize),
+    /// The class attribute appears among the base attributes.
+    ClassInBaseSet,
+    /// No training rows with a non-NULL class value.
+    EmptyTrainingSet,
+    /// A configuration parameter is out of its valid range.
+    BadConfig(String),
+}
+
+impl fmt::Display for MiningError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MiningError::UnknownAttribute(i) => write!(f, "attribute index {i} out of range"),
+            MiningError::ClassInBaseSet => {
+                write!(f, "class attribute listed among base attributes")
+            }
+            MiningError::EmptyTrainingSet => {
+                write!(f, "no training rows with a non-NULL class value")
+            }
+            MiningError::BadConfig(m) => write!(f, "bad configuration: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MiningError {}

@@ -1,0 +1,166 @@
+//! OneR: single-attribute classification rules (Holte 1993) — the
+//! "classification rule inducers" family the paper evaluated for the
+//! QUIS domain (sec. 5).
+//!
+//! OneR picks the one base attribute whose value → majority-class table
+//! misclassifies the fewest training instances. Ordered attributes are
+//! discretized into equal-frequency bins first. The model keeps full
+//! per-value class counts, so predictions carry the class distribution
+//! and support the error confidence needs.
+
+use crate::classifier::{Classifier, Inducer, Prediction};
+use crate::dataset::{ClassSpec, TrainingSet};
+use crate::error::MiningError;
+use dq_table::{AttrIdx, Value};
+
+/// The OneR induction algorithm.
+#[derive(Debug, Clone, Copy)]
+pub struct OneRInducer;
+
+impl OneRInducer {
+    /// Bins used for ordered attributes.
+    const BINS: usize = 8;
+}
+
+#[derive(Debug, Clone)]
+struct OneRModel {
+    /// The selected base attribute.
+    attr: AttrIdx,
+    /// The selected attribute's code mapping.
+    coder: ClassSpec,
+    /// Per attribute code: class counts.
+    tables: Vec<Vec<f64>>,
+    /// Fallback for NULL / out-of-range values: overall class counts.
+    fallback: Vec<f64>,
+}
+
+impl Inducer for OneRInducer {
+    fn induce(&self, train: &TrainingSet<'_>) -> Result<Box<dyn Classifier>, MiningError> {
+        if train.base_attrs.is_empty() {
+            return Err(MiningError::BadConfig("OneR needs at least one base attribute".into()));
+        }
+        let card = train.class_card() as usize;
+        let coders = train.base_coders(Self::BINS);
+        let fallback = train.class_counts();
+
+        let mut best: Option<(f64, usize, Vec<Vec<f64>>)> = None;
+        for (i, coder) in coders.iter().enumerate() {
+            let a = train.base_attrs[i];
+            let mut tables = vec![vec![0.0; card]; coder.card() as usize];
+            for &r in &train.rows {
+                if let Some(code) = coder.code_of(&train.table.get(r, a)) {
+                    let idx = (code as usize).min(tables.len() - 1);
+                    tables[idx][train.class_codes[r].expect("class") as usize] += 1.0;
+                }
+            }
+            // Training accuracy of "value → its majority class".
+            let correct: f64 =
+                tables.iter().map(|t| t.iter().cloned().fold(0.0, f64::max)).sum();
+            if best.as_ref().is_none_or(|(bc, _, _)| correct > *bc) {
+                best = Some((correct, i, tables));
+            }
+        }
+        let (_, i, tables) = best.expect("at least one base attribute");
+        Ok(Box::new(OneRModel {
+            attr: train.base_attrs[i],
+            coder: coders[i].clone(),
+            tables,
+            fallback,
+        }))
+    }
+
+    fn name(&self) -> &'static str {
+        "oner"
+    }
+}
+
+impl Classifier for OneRModel {
+    fn predict(&self, record: &[Value]) -> Prediction {
+        match self.coder.code_of(&record[self.attr]) {
+            Some(code) => {
+                let idx = (code as usize).min(self.tables.len() - 1);
+                Prediction::from_counts(self.tables[idx].clone())
+            }
+            None => Prediction::from_counts(self.fallback.clone()),
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!("oner on attr {} with {} rule values", self.attr, self.tables.len())
+    }
+
+    fn class_card(&self) -> u32 {
+        self.fallback.len() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dq_table::{SchemaBuilder, Table};
+
+    /// `y` is a function of `a`; `b` is pure noise.
+    fn one_attribute_table() -> Table {
+        let schema = SchemaBuilder::new()
+            .nominal("a", ["k0", "k1", "k2"])
+            .nominal("b", ["n0", "n1"])
+            .nominal("y", ["c0", "c1", "c2"])
+            .build()
+            .unwrap();
+        let mut t = Table::new(schema);
+        for i in 0..90 {
+            let a = (i % 3) as u32;
+            t.push_row(&[Value::Nominal(a), Value::Nominal((i % 2) as u32), Value::Nominal(a)])
+                .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn picks_the_predictive_attribute() {
+        let t = one_attribute_table();
+        let ts = TrainingSet::full(&t, 2, 4).unwrap();
+        let clf = OneRInducer.induce(&ts).unwrap();
+        for a in 0..3u32 {
+            let p = clf.predict(&[Value::Nominal(a), Value::Nominal(0), Value::Null]);
+            assert_eq!(p.predicted_class(), a);
+            assert_eq!(p.support, 30.0);
+        }
+        assert!(clf.describe().contains("attr 0"));
+    }
+
+    #[test]
+    fn null_selected_value_falls_back_to_prior() {
+        let t = one_attribute_table();
+        let ts = TrainingSet::full(&t, 2, 4).unwrap();
+        let clf = OneRInducer.induce(&ts).unwrap();
+        let p = clf.predict(&[Value::Null, Value::Nominal(0), Value::Null]);
+        assert_eq!(p.support, 90.0);
+    }
+
+    #[test]
+    fn numeric_attribute_rules_via_bins() {
+        let schema = SchemaBuilder::new()
+            .numeric("x", 0.0, 100.0)
+            .nominal("y", ["lo", "hi"])
+            .build()
+            .unwrap();
+        let mut t = Table::new(schema);
+        for i in 0..100 {
+            let x = i as f64;
+            t.push_row(&[Value::Number(x), Value::Nominal(u32::from(x >= 50.0))]).unwrap();
+        }
+        let ts = TrainingSet::full(&t, 1, 4).unwrap();
+        let clf = OneRInducer.induce(&ts).unwrap();
+        assert_eq!(clf.predict(&[Value::Number(5.0), Value::Null]).predicted_class(), 0);
+        assert_eq!(clf.predict(&[Value::Number(95.0), Value::Null]).predicted_class(), 1);
+    }
+
+    #[test]
+    fn rejects_empty_base_set() {
+        let t = one_attribute_table();
+        let ts = TrainingSet::new(&t, 2, vec![], 4).unwrap();
+        assert!(OneRInducer.induce(&ts).is_err());
+        assert_eq!(OneRInducer.name(), "oner");
+    }
+}

@@ -1,0 +1,1560 @@
+//! C4.5 decision trees, adjusted for data auditing (secs. 5.1 & 5.4).
+//!
+//! The induction follows Quinlan's C4.5 as the paper describes it:
+//!
+//! * split selection by **information gain** (ID3) or **gain ratio**
+//!   (C4.5's correction for many-valued attributes), with Quinlan's
+//!   heuristic of maximizing gain ratio only among splits of at least
+//!   average gain;
+//! * **numeric/date base attributes** split by binary thresholds
+//!   "taken from the set of all occurring values";
+//! * **missing values** handled by fractional instance weights: an
+//!   instance with a NULL split value is distributed over all branches
+//!   proportionally to the known instances, both in training and in
+//!   classification;
+//! * **pruning** in three selectable flavours — none, C4.5's
+//!   pessimistic-error subtree replacement, and the paper's *integrated
+//!   expected-error-confidence* pruning (sec. 5.4), which collapses a
+//!   subtree during construction whenever the collapsed leaf has a
+//!   higher expected error confidence (Def. 9);
+//! * **minInst pre-pruning** (sec. 5.4): a node is not partitioned
+//!   further unless some partition keeps at least `min_inst` instances
+//!   of one class;
+//! * **tree → rule set** transformation with per-rule expected and
+//!   maximum-achievable error confidences, so the auditor can "delete
+//!   all rules that are not useful for error detection".
+
+use crate::classifier::{Classifier, Inducer, Prediction};
+use crate::dataset::TrainingSet;
+use crate::error::MiningError;
+use dq_stats::{argmax, expected_error_confidence, info_gain, max_error_confidence};
+use dq_table::{AttrIdx, AttrType, Schema, Value};
+
+/// Instances lighter than this are dropped when partitioning; repeated
+/// fractional distribution otherwise produces dust that costs time and
+/// adds nothing to any count.
+const MIN_WEIGHT: f64 = 1e-6;
+
+/// Pruning strategy.
+///
+/// ## Interpreting the paper's Def. 9 pruning
+///
+/// The paper replaces a subtree by a leaf "whenever this transformation
+/// leads to a higher value for expErrorConf". Read with *raw* Def. 9
+/// values, that rule contradicts the paper's own flagship result: for
+/// the QUIS table behind `BRV = 404 → GBM = 901` (16117+1 vs 2000
+/// records) the unsplit root scores `expErrorConf ≈ 0.085` (it softly
+/// flags all 2000 `GBM = 911` records at ≈ 77% — *below* the 80%
+/// minimal confidence the experiments fix) while the perfect split
+/// scores `≈ 5.5 × 10⁻⁵`; raw maximization would prune the very split
+/// that detects the deviation the paper reports at 99.95%. Sec. 5.4
+/// resolves part of this: "low error confidence values are mostly not
+/// useful in reality" — the user's minimal confidence bounds what
+/// counts as detection, so all quantities below are **threshold-aware**
+/// (contributions under [`C45Config::min_detect_conf`] are zeroed).
+///
+/// [`Pruning::ExpectedErrorConfidence`] keeps a subtree iff the
+/// partition either *explains away* would-be flags (lower
+/// above-threshold expected error confidence: minority mass that looks
+/// erroneous at the parent is legitimate structure in a child — this
+/// is what protects correct outliers, cf. sec. 2.2 "outliers can be
+/// correct") or *enables new detections* (higher above-threshold
+/// detection capability — this is what keeps the QUIS split alive).
+/// Everything else "does not increase the error detection capability"
+/// and is collapsed — in particular the noise trees of the sec. 5.4
+/// motivation, whose leaves can neither fire nor explain. The raw
+/// literal rule is retained as
+/// [`Pruning::ExpectedErrorConfidenceRaw`] for the ablation
+/// experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Pruning {
+    /// Grow the full tree (bounded only by the stopping rules).
+    None,
+    /// C4.5's subtree replacement by pessimistic classification error
+    /// (sec. 5.1.2): post-prune after construction.
+    PessimisticError,
+    /// The paper's integrated pruning (sec. 5.4), threshold-aware (see
+    /// the enum-level discussion): during construction, a subtree is
+    /// replaced by a leaf unless it either lowers the expected
+    /// above-threshold error confidence or adds detection capability.
+    #[default]
+    ExpectedErrorConfidence,
+    /// Def. 9 exactly as worded, on raw values: replace whenever the
+    /// collapsed leaf's expected error confidence is higher. Collapses
+    /// high-support impure nodes (see discussion); ablation only.
+    ExpectedErrorConfidenceRaw,
+}
+
+/// Split selection criterion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SplitCriterion {
+    /// ID3's information gain (systematically favours many-valued
+    /// attributes — kept for ablation).
+    InfoGain,
+    /// C4.5's gain ratio over splits of at least average gain.
+    #[default]
+    GainRatio,
+}
+
+/// Configuration of the C4.5 inducer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct C45Config {
+    /// Split selection criterion.
+    pub criterion: SplitCriterion,
+    /// Pruning strategy.
+    pub pruning: Pruning,
+    /// Two-sided confidence level for all interval bounds (pessimistic
+    /// error, expected error confidence).
+    pub level: f64,
+    /// minInst pre-pruning (sec. 5.4): a split is admissible only if at
+    /// least one partition retains `min_inst` instances of one class,
+    /// and a node whose best class count is already below `min_inst`
+    /// becomes a leaf immediately. `0` disables the rule.
+    pub min_inst: f64,
+    /// Minimum total instance weight required to attempt a split
+    /// (C4.5's default of 2: splitting fewer cannot generalize).
+    pub min_split: f64,
+    /// Minimum instance weight per branch: a split is admissible only
+    /// if at least two branches carry this much weight (C4.5's MINOBJS
+    /// rule, slightly strengthened). Without it the tree *carves every
+    /// training error into its own singleton leaf* — the corrupted
+    /// record then premise-matches its private pure leaf and is
+    /// invisible to deviation detection.
+    pub min_branch: f64,
+    /// Hard depth bound (safety net on degenerate data).
+    pub max_depth: usize,
+    /// The user's minimal error confidence for detections; error-
+    /// confidence contributions below it are ignored by the
+    /// threshold-aware [`Pruning::ExpectedErrorConfidence`] criterion
+    /// (see the [`Pruning`] discussion). The auditor sets this to its
+    /// own minimal confidence.
+    pub min_detect_conf: f64,
+}
+
+impl Default for C45Config {
+    fn default() -> Self {
+        C45Config {
+            criterion: SplitCriterion::GainRatio,
+            pruning: Pruning::ExpectedErrorConfidence,
+            level: 0.95,
+            min_inst: 0.0,
+            min_split: 2.0,
+            min_branch: 4.0,
+            max_depth: 64,
+            min_detect_conf: 0.8,
+        }
+    }
+}
+
+impl C45Config {
+    /// Validate parameter ranges.
+    pub fn validate(&self) -> Result<(), MiningError> {
+        if !(self.level > 0.0 && self.level < 1.0) {
+            return Err(MiningError::BadConfig(format!(
+                "confidence level must be in (0, 1), got {}",
+                self.level
+            )));
+        }
+        if self.min_inst < 0.0 || self.min_split < 0.0 || self.min_branch < 0.0 {
+            return Err(MiningError::BadConfig(
+                "min_inst, min_split and min_branch must be non-negative".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.min_detect_conf) {
+            return Err(MiningError::BadConfig(format!(
+                "min_detect_conf must be in [0, 1], got {}",
+                self.min_detect_conf
+            )));
+        }
+        if self.max_depth == 0 {
+            return Err(MiningError::BadConfig("max_depth must be at least 1".into()));
+        }
+        Ok(())
+    }
+}
+
+/// How an inner node routes records.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SplitKind {
+    /// One child per nominal code of the attribute.
+    Nominal,
+    /// Two children: `value <= threshold` (child 0) and
+    /// `value > threshold` (child 1).
+    Threshold(f64),
+}
+
+/// A node of the induced tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Node {
+    /// A leaf predicting its class-count distribution. Disabled leaves
+    /// (`enabled == false`) have been deleted from the structure model
+    /// (sec. 5.4 rule deletion) and predict nothing.
+    Leaf {
+        /// Weighted class counts of the training instances at the leaf.
+        counts: Vec<f64>,
+        /// Whether the leaf still takes part in deviation detection.
+        enabled: bool,
+    },
+    /// An inner test node.
+    Split {
+        /// The tested base attribute.
+        attr: AttrIdx,
+        /// The routing kind.
+        kind: SplitKind,
+        /// One node per branch.
+        children: Vec<Node>,
+        /// Fraction of (known) training weight that went to each child —
+        /// the distribution used for records with a NULL test value.
+        fractions: Vec<f64>,
+        /// Class counts at this node (kept for diagnostics).
+        counts: Vec<f64>,
+    },
+}
+
+impl Node {
+    fn counts(&self) -> &[f64] {
+        match self {
+            Node::Leaf { counts, .. } | Node::Split { counts, .. } => counts,
+        }
+    }
+
+    fn weight(&self) -> f64 {
+        self.counts().iter().sum()
+    }
+
+    /// Expected error confidence of the subtree (Def. 9): leaves use
+    /// the class-frequency-weighted average of their own instances'
+    /// error confidences; inner nodes the weight-share-weighted average
+    /// of their children.
+    pub fn expected_error_confidence(&self, level: f64) -> f64 {
+        match self {
+            Node::Leaf { counts, .. } => expected_error_confidence(counts, level),
+            Node::Split { children, .. } => {
+                let total: f64 = children.iter().map(Node::weight).sum();
+                if total <= 0.0 {
+                    return 0.0;
+                }
+                children
+                    .iter()
+                    .map(|c| c.weight() / total * c.expected_error_confidence(level))
+                    .sum()
+            }
+        }
+    }
+
+    /// Weight of training instances the subtree *flags*: instances
+    /// whose asymptotic error confidence (`max(0, P(ĉ) − P(c))`,
+    /// sec. 5.2) under their leaf reaches `min_conf` ("low error
+    /// confidence values are mostly not useful in reality", sec. 5.4).
+    /// The count is binary per instance and **hiding-aware**:
+    ///
+    /// * binary, because a flag only counts as *explained* when a
+    ///   partition pushes the instance's confidence below the user's
+    ///   threshold (its observed class is ordinary in the new region);
+    ///   mere confidence decay from shrinking proportions would
+    ///   otherwise make every minority-concentrating split look like
+    ///   an explanation;
+    /// * hiding-aware, because instances in leaves lighter than
+    ///   `min_inst` keep the flag they would receive under
+    ///   `decision_counts` (the node where pruning is decided): a
+    ///   sub-minInst leaf is unusable for detection, so moving a
+    ///   suspicious instance into one *hides* it rather than explaining
+    ///   it. Without this rule the greedy splitter carves every
+    ///   training error into a tiny pure leaf — gain rewards exactly
+    ///   that — and deviation detection goes blind.
+    fn flagged_weight(&self, min_conf: f64, min_inst: f64, decision_counts: &[f64]) -> f64 {
+        match self {
+            Node::Leaf { counts, .. } => {
+                let w: f64 = counts.iter().sum();
+                if w <= 0.0 {
+                    return 0.0;
+                }
+                let reference = if w >= min_inst { counts } else { decision_counts };
+                let mut acc = 0.0;
+                for (c, &cnt) in counts.iter().enumerate() {
+                    if cnt > 0.0
+                        && dq_stats::asymptotic_error_confidence(reference, c) >= min_conf
+                    {
+                        acc += cnt;
+                    }
+                }
+                acc
+            }
+            Node::Split { children, .. } => children
+                .iter()
+                .map(|c| c.flagged_weight(min_conf, min_inst, decision_counts))
+                .sum(),
+        }
+    }
+
+    /// Detection capability at or above `min_conf`: the weight-share
+    /// average of each leaf's maximum achievable error confidence,
+    /// counting only leaves that can fire at the threshold. Breaks the
+    /// 0-vs-0 ties of the threshold-aware pruning comparison: a pure
+    /// high-support split flags nothing *in training* but can flag
+    /// future deviations; a noise split can flag nothing at all.
+    pub fn detection_capability(&self, level: f64, min_conf: f64) -> f64 {
+        match self {
+            Node::Leaf { counts, .. } => {
+                let m = max_error_confidence(counts, level);
+                if m >= min_conf {
+                    m
+                } else {
+                    0.0
+                }
+            }
+            Node::Split { children, .. } => {
+                let total: f64 = children.iter().map(Node::weight).sum();
+                if total <= 0.0 {
+                    return 0.0;
+                }
+                children
+                    .iter()
+                    .map(|c| c.weight() / total * c.detection_capability(level, min_conf))
+                    .sum()
+            }
+        }
+    }
+
+    /// Pessimistic classification error of the subtree (sec. 5.1.2):
+    /// `rightBound(observed error rate, |S|)` at leaves, weight-share
+    /// average at inner nodes.
+    pub fn pessimistic_error(&self, level: f64) -> f64 {
+        match self {
+            Node::Leaf { counts, .. } => pessimistic_leaf_error(counts, level),
+            Node::Split { children, .. } => {
+                let total: f64 = children.iter().map(Node::weight).sum();
+                if total <= 0.0 {
+                    return 0.0;
+                }
+                children
+                    .iter()
+                    .map(|c| c.weight() / total * c.pessimistic_error(level))
+                    .sum()
+            }
+        }
+    }
+
+    fn n_leaves(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 1,
+            Node::Split { children, .. } => children.iter().map(Node::n_leaves).sum(),
+        }
+    }
+
+    fn depth(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 1,
+            Node::Split { children, .. } => {
+                1 + children.iter().map(Node::depth).max().unwrap_or(0)
+            }
+        }
+    }
+}
+
+fn pessimistic_leaf_error(counts: &[f64], level: f64) -> f64 {
+    let n: f64 = counts.iter().sum();
+    if n <= 0.0 {
+        return 0.0;
+    }
+    let majority = counts[argmax(counts)];
+    dq_stats::right_bound(1.0 - majority / n, n, level)
+}
+
+/// A trained C4.5 decision tree for one class attribute.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    root: Node,
+    class_card: u32,
+    class_attr: AttrIdx,
+    level: f64,
+}
+
+impl DecisionTree {
+    /// The class attribute this tree predicts.
+    pub fn class_attr(&self) -> AttrIdx {
+        self.class_attr
+    }
+
+    /// The root node (read access for inspection / rendering).
+    pub fn root(&self) -> &Node {
+        &self.root
+    }
+
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        self.root.n_leaves()
+    }
+
+    /// Tree depth (a lone leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        self.root.depth()
+    }
+
+    /// The confidence level the tree was induced with.
+    pub fn level(&self) -> f64 {
+        self.level
+    }
+
+    /// Disable every leaf whose *maximum achievable* error confidence
+    /// falls below `min_conf` — the paper's rule deletion (sec. 5.4):
+    /// such leaves "cannot contribute to an error detection" at the
+    /// user's minimal confidence, so they are removed from the
+    /// structure model. Returns the number of leaves disabled.
+    pub fn disable_undetecting_leaves(&mut self, min_conf: f64) -> usize {
+        fn walk(node: &mut Node, min_conf: f64, level: f64) -> usize {
+            match node {
+                Node::Leaf { counts, enabled } => {
+                    if *enabled && max_error_confidence(counts, level) < min_conf {
+                        *enabled = false;
+                        1
+                    } else {
+                        0
+                    }
+                }
+                Node::Split { children, .. } => children
+                    .iter_mut()
+                    .map(|c| walk(c, min_conf, level))
+                    .sum(),
+            }
+        }
+        walk(&mut self.root, min_conf, self.level)
+    }
+
+    /// Number of enabled leaves (rules in the structure model).
+    pub fn n_enabled_leaves(&self) -> usize {
+        fn walk(node: &Node) -> usize {
+            match node {
+                Node::Leaf { enabled, .. } => usize::from(*enabled),
+                Node::Split { children, .. } => children.iter().map(walk).sum(),
+            }
+        }
+        walk(&self.root)
+    }
+
+    /// Transform the tree into its equivalent rule set ("It is
+    /// straightforward to represent an induced decision tree as a set
+    /// of rules from the root to its leaves", sec. 5.4). Disabled
+    /// leaves are skipped.
+    pub fn to_rules(&self) -> Vec<TreeRule> {
+        let mut rules = Vec::with_capacity(self.n_leaves());
+        let mut path: Vec<Condition> = Vec::new();
+        collect_rules(&self.root, &mut path, self.level, &mut rules);
+        rules
+    }
+}
+
+fn collect_rules(node: &Node, path: &mut Vec<Condition>, level: f64, out: &mut Vec<TreeRule>) {
+    match node {
+        Node::Leaf { counts, enabled } => {
+            if *enabled && counts.iter().sum::<f64>() > 0.0 {
+                out.push(TreeRule {
+                    conditions: merge_conditions(path),
+                    predicted: argmax(counts) as u32,
+                    counts: counts.clone(),
+                    support: counts.iter().sum(),
+                    expected_error_confidence: expected_error_confidence(counts, level),
+                    max_error_confidence: max_error_confidence(counts, level),
+                });
+            }
+        }
+        Node::Split { attr, kind, children, .. } => {
+            for (i, child) in children.iter().enumerate() {
+                let test = match kind {
+                    SplitKind::Nominal => ConditionTest::Eq(i as u32),
+                    SplitKind::Threshold(t) => {
+                        if i == 0 {
+                            ConditionTest::LessEq(*t)
+                        } else {
+                            ConditionTest::Greater(*t)
+                        }
+                    }
+                };
+                path.push(Condition { attr: *attr, test });
+                collect_rules(child, path, level, out);
+                path.pop();
+            }
+        }
+    }
+}
+
+/// Collapse repeated threshold tests on the same attribute along a path
+/// (`x <= 7` then `x <= 3` becomes `x <= 3`).
+fn merge_conditions(path: &[Condition]) -> Vec<Condition> {
+    let mut out: Vec<Condition> = Vec::with_capacity(path.len());
+    for c in path {
+        if let Some(prev) = out
+            .iter_mut()
+            .find(|p| p.attr == c.attr && p.test.same_kind(&c.test))
+        {
+            prev.test = prev.test.tighten(&c.test);
+        } else {
+            out.push(c.clone());
+        }
+    }
+    out
+}
+
+/// One test of a [`TreeRule`] premise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Condition {
+    /// The tested base attribute.
+    pub attr: AttrIdx,
+    /// The test applied to it.
+    pub test: ConditionTest,
+}
+
+/// The test kinds a decision-tree path can impose.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConditionTest {
+    /// Nominal equality with a code.
+    Eq(u32),
+    /// Ordered `value <= threshold`.
+    LessEq(f64),
+    /// Ordered `value > threshold`.
+    Greater(f64),
+}
+
+impl ConditionTest {
+    fn same_kind(&self, other: &ConditionTest) -> bool {
+        matches!(
+            (self, other),
+            (ConditionTest::Eq(_), ConditionTest::Eq(_))
+                | (ConditionTest::LessEq(_), ConditionTest::LessEq(_))
+                | (ConditionTest::Greater(_), ConditionTest::Greater(_))
+        )
+    }
+
+    fn tighten(&self, other: &ConditionTest) -> ConditionTest {
+        match (self, other) {
+            (ConditionTest::LessEq(a), ConditionTest::LessEq(b)) => {
+                ConditionTest::LessEq(a.min(*b))
+            }
+            (ConditionTest::Greater(a), ConditionTest::Greater(b)) => {
+                ConditionTest::Greater(a.max(*b))
+            }
+            // Equal-kind nominal tests on one path can only repeat the
+            // same code (everything else has an empty instance set).
+            _ => *other,
+        }
+    }
+
+    /// Three-valued evaluation against a cell (`None` for NULL).
+    pub fn matches(&self, v: &Value) -> Option<bool> {
+        if v.is_null() {
+            return None;
+        }
+        match self {
+            ConditionTest::Eq(code) => Some(v.as_nominal() == Some(*code)),
+            ConditionTest::LessEq(t) => v.as_numeric().map(|x| x <= *t),
+            ConditionTest::Greater(t) => v.as_numeric().map(|x| x > *t),
+        }
+    }
+}
+
+/// A root-to-leaf rule of the structure model: "in database terminology
+/// it can be seen as a set of integrity constraints that must hold with
+/// a given probability" (sec. 5.4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeRule {
+    /// Premise: conjunction of base-attribute tests.
+    pub conditions: Vec<Condition>,
+    /// The predicted (majority) class code.
+    pub predicted: u32,
+    /// Weighted class counts at the leaf.
+    pub counts: Vec<f64>,
+    /// Number of training instances the rule is based on.
+    pub support: f64,
+    /// Expected error confidence of the leaf (Def. 9).
+    pub expected_error_confidence: f64,
+    /// Highest error confidence an observation could score against the
+    /// rule — its detection capability.
+    pub max_error_confidence: f64,
+}
+
+impl TreeRule {
+    /// `Some(true)` when the record satisfies every condition,
+    /// `Some(false)` when some condition is violated, `None` when a
+    /// NULL makes the premise undecidable.
+    pub fn premise_matches(&self, record: &[Value]) -> Option<bool> {
+        let mut all = true;
+        for c in &self.conditions {
+            match c.test.matches(&record[c.attr]) {
+                Some(true) => {}
+                Some(false) => return Some(false),
+                None => all = false,
+            }
+        }
+        if all {
+            Some(true)
+        } else {
+            None
+        }
+    }
+
+    /// Render the rule as text using the schema's attribute names and
+    /// labels, e.g. `BRV = 404 ∧ KBM = 01 → GBM = 901 [n=16118]`.
+    pub fn render(&self, schema: &Schema, class_attr: AttrIdx, class_label: &str) -> String {
+        let mut premise = String::new();
+        if self.conditions.is_empty() {
+            premise.push_str("true");
+        }
+        for (i, c) in self.conditions.iter().enumerate() {
+            if i > 0 {
+                premise.push_str(" ∧ ");
+            }
+            let name = &schema.attr(c.attr).name;
+            match c.test {
+                ConditionTest::Eq(code) => {
+                    let label = schema
+                        .attr(c.attr)
+                        .label(code)
+                        .map(str::to_string)
+                        .unwrap_or_else(|| format!("#{code}"));
+                    premise.push_str(&format!("{name} = {label}"));
+                }
+                ConditionTest::LessEq(t) => premise.push_str(&format!("{name} <= {t}")),
+                ConditionTest::Greater(t) => premise.push_str(&format!("{name} > {t}")),
+            }
+        }
+        format!(
+            "{premise} → {} = {} [n={:.0}]",
+            schema.attr(class_attr).name,
+            class_label,
+            self.support
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Induction
+// ---------------------------------------------------------------------------
+
+/// The C4.5 induction algorithm as an [`Inducer`].
+#[derive(Debug, Clone, Default)]
+pub struct C45Inducer {
+    config: C45Config,
+}
+
+impl C45Inducer {
+    /// Create an inducer with the given configuration.
+    pub fn new(config: C45Config) -> Self {
+        C45Inducer { config }
+    }
+
+    /// Induce a typed [`DecisionTree`] (the trait method boxes it).
+    pub fn induce_tree(&self, train: &TrainingSet<'_>) -> Result<DecisionTree, MiningError> {
+        self.config.validate()?;
+        let card = train.class_card() as usize;
+        let mut instances: Vec<(usize, f64)> = Vec::with_capacity(train.rows.len());
+        for &r in &train.rows {
+            instances.push((r, 1.0));
+        }
+        let ctx = InductionContext {
+            train,
+            card,
+            cfg: &self.config,
+            attr_types: train
+                .base_attrs
+                .iter()
+                .map(|&a| train.table.schema().attr(a).ty.clone())
+                .collect(),
+        };
+        let root = grow(&ctx, instances, 0);
+        let mut tree = DecisionTree {
+            root,
+            class_card: card as u32,
+            class_attr: train.class_attr,
+            level: self.config.level,
+        };
+        if self.config.pruning == Pruning::PessimisticError {
+            prune_pessimistic(&mut tree.root, self.config.level);
+        }
+        Ok(tree)
+    }
+}
+
+impl Inducer for C45Inducer {
+    fn induce(&self, train: &TrainingSet<'_>) -> Result<Box<dyn Classifier>, MiningError> {
+        self.induce_tree(train).map(|t| Box::new(t) as Box<dyn Classifier>)
+    }
+
+    fn name(&self) -> &'static str {
+        "c4.5"
+    }
+}
+
+struct InductionContext<'a, 'b> {
+    train: &'a TrainingSet<'b>,
+    card: usize,
+    cfg: &'a C45Config,
+    /// Types of the base attributes, parallel to `train.base_attrs`.
+    attr_types: Vec<AttrType>,
+}
+
+impl InductionContext<'_, '_> {
+    fn class_of(&self, row: usize) -> u32 {
+        self.train.class_codes[row].expect("training instances have a class")
+    }
+
+    fn value(&self, row: usize, attr: AttrIdx) -> Value {
+        self.train.table.get(row, attr)
+    }
+}
+
+fn class_counts(ctx: &InductionContext, instances: &[(usize, f64)]) -> Vec<f64> {
+    let mut counts = vec![0.0; ctx.card];
+    for &(row, w) in instances {
+        counts[ctx.class_of(row) as usize] += w;
+    }
+    counts
+}
+
+/// A candidate split of one node.
+struct CandidateSplit {
+    /// Index into `base_attrs` / `attr_types`.
+    attr_pos: usize,
+    kind: SplitKind,
+    gain: f64,
+    gain_ratio: f64,
+    /// Class counts per branch (known instances only).
+    branch_counts: Vec<Vec<f64>>,
+}
+
+fn grow(ctx: &InductionContext, instances: Vec<(usize, f64)>, depth: usize) -> Node {
+    let counts = class_counts(ctx, &instances);
+    let total: f64 = counts.iter().sum();
+    let max_class = counts.iter().cloned().fold(0.0, f64::max);
+
+    // Stopping rules: pure node, too small to split, depth bound, or
+    // minInst pre-pruning (no partition can keep min_inst instances of
+    // one class if this node already has fewer).
+    let pure = counts.iter().filter(|&&c| c > 0.0).count() <= 1;
+    if pure
+        || total < ctx.cfg.min_split
+        || depth + 1 >= ctx.cfg.max_depth
+        || (ctx.cfg.min_inst > 0.0 && max_class < ctx.cfg.min_inst)
+    {
+        return Node::Leaf { counts, enabled: true };
+    }
+
+    let Some(best) = select_split(ctx, &instances, &counts) else {
+        return Node::Leaf { counts, enabled: true };
+    };
+
+    let attr = ctx.train.base_attrs[best.attr_pos];
+    let n_branches = best.branch_counts.len();
+
+    // Branch fractions over known instances (for missing-value routing).
+    let branch_weights: Vec<f64> =
+        best.branch_counts.iter().map(|c| c.iter().sum()).collect();
+    let known: f64 = branch_weights.iter().sum();
+    let fractions: Vec<f64> = if known > 0.0 {
+        branch_weights.iter().map(|w| w / known).collect()
+    } else {
+        vec![1.0 / n_branches as f64; n_branches]
+    };
+
+    // Partition the instances; NULLs go to every branch with their
+    // weight scaled by the branch fraction.
+    let mut parts: Vec<Vec<(usize, f64)>> = (0..n_branches)
+        .map(|i| Vec::with_capacity((instances.len() as f64 * fractions[i]) as usize + 1))
+        .collect();
+    for &(row, w) in &instances {
+        match branch_of(&best.kind, &ctx.value(row, attr), n_branches) {
+            Some(b) => parts[b].push((row, w)),
+            None => {
+                for (b, part) in parts.iter_mut().enumerate() {
+                    let wf = w * fractions[b];
+                    if wf >= MIN_WEIGHT {
+                        part.push((row, wf));
+                    }
+                }
+            }
+        }
+    }
+    drop(instances);
+
+    let children: Vec<Node> =
+        parts.into_iter().map(|p| grow(ctx, p, depth + 1)).collect();
+    let node = Node::Split {
+        attr,
+        kind: best.kind,
+        children,
+        fractions,
+        counts: counts.clone(),
+    };
+
+    // Integrated expected-error-confidence pruning (sec. 5.4), applied
+    // to the freshly built subtree — see the [`Pruning`] discussion for
+    // why the default compares threshold-aware values.
+    match ctx.cfg.pruning {
+        Pruning::ExpectedErrorConfidence => {
+            let leaf = Node::Leaf { counts: counts.clone(), enabled: true };
+            let (level, min_conf) = (ctx.cfg.level, ctx.cfg.min_detect_conf);
+            // Keep the subtree iff the partition either *explains away*
+            // would-be flags (lower above-threshold expected error
+            // confidence: minority mass that looked like errors at the
+            // parent is legitimate structure in a child) or *enables
+            // new detections* (higher above-threshold capability).
+            // Anything else "does not increase the error detection
+            // capability" (sec. 5.4) and is collapsed.
+            let leaf_mass = leaf.flagged_weight(min_conf, ctx.cfg.min_inst, &counts);
+            let sub_mass = node.flagged_weight(min_conf, ctx.cfg.min_inst, &counts);
+            let explains = sub_mass < leaf_mass - 1e-9 * leaf_mass.max(1.0);
+            let enables = node.detection_capability(level, min_conf)
+                > leaf.detection_capability(level, min_conf) + 1e-12;
+            if !explains && !enables {
+                return leaf;
+            }
+        }
+        Pruning::ExpectedErrorConfidenceRaw => {
+            let leaf_eec = expected_error_confidence(&counts, ctx.cfg.level);
+            if leaf_eec > node.expected_error_confidence(ctx.cfg.level) {
+                return Node::Leaf { counts, enabled: true };
+            }
+        }
+        Pruning::None | Pruning::PessimisticError => {}
+    }
+    node
+}
+
+/// Which branch a value falls into; `None` for NULL or out-of-domain
+/// nominal codes (treated like missing, as C4.5 treats unseen values).
+fn branch_of(kind: &SplitKind, v: &Value, n_branches: usize) -> Option<usize> {
+    match kind {
+        SplitKind::Nominal => match v.as_nominal() {
+            Some(code) if (code as usize) < n_branches => Some(code as usize),
+            _ => None,
+        },
+        SplitKind::Threshold(t) => v.as_numeric().map(|x| usize::from(x > *t)),
+    }
+}
+
+fn select_split(
+    ctx: &InductionContext,
+    instances: &[(usize, f64)],
+    parent_counts: &[f64],
+) -> Option<CandidateSplit> {
+    let total: f64 = parent_counts.iter().sum();
+    let mut candidates: Vec<CandidateSplit> = Vec::new();
+    for (pos, ty) in ctx.attr_types.iter().enumerate() {
+        let attr = ctx.train.base_attrs[pos];
+        let cand = match ty {
+            AttrType::Nominal { labels } => {
+                nominal_candidate(ctx, instances, attr, pos, labels.len(), total)
+            }
+            AttrType::Numeric { .. } | AttrType::Date { .. } => {
+                threshold_candidate(ctx, instances, attr, pos, total)
+            }
+        };
+        if let Some(c) = cand {
+            candidates.push(c);
+        }
+    }
+    if candidates.is_empty() {
+        return None;
+    }
+    match ctx.cfg.criterion {
+        SplitCriterion::InfoGain => candidates
+            .into_iter()
+            .max_by(|a, b| a.gain.total_cmp(&b.gain)),
+        SplitCriterion::GainRatio => {
+            // Quinlan's heuristic: best gain ratio among candidates with
+            // at least average gain (avoids the ratio exploding on
+            // near-zero-gain splits with tiny split info).
+            let avg_gain: f64 =
+                candidates.iter().map(|c| c.gain).sum::<f64>() / candidates.len() as f64;
+            candidates
+                .into_iter()
+                .filter(|c| c.gain >= avg_gain - 1e-9)
+                .max_by(|a, b| a.gain_ratio.total_cmp(&b.gain_ratio))
+        }
+    }
+}
+
+/// Shared post-processing: gain scaled by the known-value fraction
+/// (C4.5's missing-value discount), split info including the missing
+/// pseudo-branch, minInst admissibility.
+fn finish_candidate(
+    ctx: &InductionContext,
+    attr_pos: usize,
+    kind: SplitKind,
+    branch_counts: Vec<Vec<f64>>,
+    missing_weight: f64,
+    total: f64,
+) -> Option<CandidateSplit> {
+    let known: f64 = branch_counts
+        .iter()
+        .map(|c| c.iter().sum::<f64>())
+        .sum();
+    if known <= 0.0 {
+        return None;
+    }
+    // minInst admissibility: some partition must retain min_inst
+    // instances of one class.
+    if ctx.cfg.min_inst > 0.0
+        && !branch_counts
+            .iter()
+            .any(|c| c.iter().any(|&x| x >= ctx.cfg.min_inst))
+    {
+        return None;
+    }
+    // At least two sufficiently heavy branches, otherwise nothing is
+    // separated — or worse, a training error gets carved into its own
+    // singleton leaf where detection can never see it again.
+    let heavy = branch_counts
+        .iter()
+        .filter(|c| c.iter().sum::<f64>() >= ctx.cfg.min_branch.max(f64::MIN_POSITIVE))
+        .count();
+    if heavy < 2 {
+        return None;
+    }
+    // Known-instance class counts (the parent restricted to known).
+    let card = ctx.card;
+    let mut known_counts = vec![0.0; card];
+    for bc in &branch_counts {
+        for (k, &c) in bc.iter().enumerate() {
+            known_counts[k] += c;
+        }
+    }
+    let raw_gain = info_gain(&known_counts, &branch_counts);
+    let gain = raw_gain * (known / total);
+    if gain <= 1e-9 {
+        return None;
+    }
+    // Split info over the real branches plus the missing pseudo-branch.
+    let mut parts_for_si = branch_counts.clone();
+    if missing_weight > 0.0 {
+        parts_for_si.push(vec![missing_weight]);
+    }
+    let gr = gain_ratio_with_parts(&known_counts, &branch_counts, &parts_for_si, known, total);
+    Some(CandidateSplit { attr_pos, kind, gain, gain_ratio: gr, branch_counts })
+}
+
+fn gain_ratio_with_parts(
+    known_counts: &[f64],
+    branch_counts: &[Vec<f64>],
+    parts_for_si: &[Vec<f64>],
+    known: f64,
+    total: f64,
+) -> f64 {
+    let si = dq_stats::split_info(parts_for_si);
+    if si <= 1e-12 {
+        return 0.0;
+    }
+    info_gain(known_counts, branch_counts) * (known / total) / si
+}
+
+fn nominal_candidate(
+    ctx: &InductionContext,
+    instances: &[(usize, f64)],
+    attr: AttrIdx,
+    attr_pos: usize,
+    card_attr: usize,
+    total: f64,
+) -> Option<CandidateSplit> {
+    let mut branch_counts = vec![vec![0.0; ctx.card]; card_attr];
+    let mut missing = 0.0;
+    for &(row, w) in instances {
+        match ctx.value(row, attr).as_nominal() {
+            Some(code) if (code as usize) < card_attr => {
+                branch_counts[code as usize][ctx.class_of(row) as usize] += w;
+            }
+            _ => missing += w,
+        }
+    }
+    finish_candidate(ctx, attr_pos, SplitKind::Nominal, branch_counts, missing, total)
+}
+
+fn threshold_candidate(
+    ctx: &InductionContext,
+    instances: &[(usize, f64)],
+    attr: AttrIdx,
+    attr_pos: usize,
+    total: f64,
+) -> Option<CandidateSplit> {
+    // Gather known (value, class, weight), sorted by value.
+    let mut known: Vec<(f64, u32, f64)> = Vec::with_capacity(instances.len());
+    let mut missing = 0.0;
+    for &(row, w) in instances {
+        match ctx.value(row, attr).as_numeric() {
+            Some(x) => known.push((x, ctx.class_of(row), w)),
+            None => missing += w,
+        }
+    }
+    if known.len() < 2 {
+        return None;
+    }
+    known.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+    // Scan all cuts between distinct adjacent values, maintaining
+    // incremental low-side class counts; the threshold is the lower
+    // value itself ("split points taken from the set of all occurring
+    // values").
+    let card = ctx.card;
+    let mut low = vec![0.0; card];
+    let mut all = vec![0.0; card];
+    for &(_, c, w) in &known {
+        all[c as usize] += w;
+    }
+    let known_weight: f64 = all.iter().sum();
+    let parent_entropy = dq_stats::entropy(&all);
+    let mut best: Option<(f64, f64)> = None; // (gain_known, threshold)
+    for i in 0..known.len() - 1 {
+        let (x, c, w) = known[i];
+        low[c as usize] += w;
+        if known[i + 1].0 <= x {
+            continue; // not a cut between distinct values
+        }
+        // info_gain specialized for the binary partition, computed
+        // incrementally to keep the scan O(n · card).
+        let low_w: f64 = low.iter().sum();
+        let high_w = known_weight - low_w;
+        let min_side = ctx.cfg.min_branch.max(f64::MIN_POSITIVE);
+        if low_w < min_side || high_w < min_side {
+            continue;
+        }
+        let mut high_entropy_counts = 0.0;
+        let mut low_entropy = 0.0;
+        for k in 0..card {
+            let l = low[k];
+            if l > 0.0 {
+                let p = l / low_w;
+                low_entropy -= p * p.log2();
+            }
+            let h = all[k] - l;
+            if h > 0.0 {
+                let p = h / high_w;
+                high_entropy_counts -= p * p.log2();
+            }
+        }
+        let g = parent_entropy
+            - low_w / known_weight * low_entropy
+            - high_w / known_weight * high_entropy_counts;
+        if best.is_none_or(|(bg, _)| g > bg) {
+            best = Some((g, x));
+        }
+    }
+    let (_, threshold) = best?;
+    let mut branch_counts = vec![vec![0.0; card]; 2];
+    for &(x, c, w) in &known {
+        branch_counts[usize::from(x > threshold)][c as usize] += w;
+    }
+    finish_candidate(
+        ctx,
+        attr_pos,
+        SplitKind::Threshold(threshold),
+        branch_counts,
+        missing,
+        total,
+    )
+}
+
+/// C4.5 post-pruning by pessimistic classification error: bottom-up
+/// subtree replacement whenever the collapsed leaf's pessimistic error
+/// does not exceed the subtree's.
+fn prune_pessimistic(node: &mut Node, level: f64) {
+    if let Node::Split { children, counts, .. } = node {
+        for c in children.iter_mut() {
+            prune_pessimistic(c, level);
+        }
+        let leaf_err = pessimistic_leaf_error(counts, level);
+        let subtree_err = node.pessimistic_error(level);
+        if leaf_err <= subtree_err + 1e-12 {
+            *node = Node::Leaf { counts: node.counts().to_vec(), enabled: true };
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Classification
+// ---------------------------------------------------------------------------
+
+impl Classifier for DecisionTree {
+    fn predict(&self, record: &[Value]) -> Prediction {
+        let mut acc = vec![0.0; self.class_card as usize];
+        accumulate(&self.root, record, 1.0, &mut acc);
+        Prediction::from_counts(acc)
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "c4.5 tree for attr {}: {} leaves ({} enabled), depth {}",
+            self.class_attr,
+            self.n_leaves(),
+            self.n_enabled_leaves(),
+            self.depth()
+        )
+    }
+
+    fn class_card(&self) -> u32 {
+        self.class_card
+    }
+}
+
+fn accumulate(node: &Node, record: &[Value], weight: f64, acc: &mut [f64]) {
+    if weight < MIN_WEIGHT {
+        return;
+    }
+    match node {
+        Node::Leaf { counts, enabled } => {
+            if *enabled {
+                for (a, &c) in acc.iter_mut().zip(counts) {
+                    *a += weight * c;
+                }
+            }
+        }
+        Node::Split { attr, kind, children, fractions, .. } => {
+            match branch_of(kind, &record[*attr], children.len()) {
+                Some(b) => accumulate(&children[b], record, weight, acc),
+                None => {
+                    // NULL (or unseen) test value: distribute over all
+                    // branches with the training fractions — the paper's
+                    // "possibility to 'distribute' a training instance
+                    // over several branches", applied at audit time.
+                    for (child, &f) in children.iter().zip(fractions) {
+                        accumulate(child, record, weight * f, acc);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dq_table::{SchemaBuilder, Table};
+
+    /// A table where `y = x0 XOR x1` plus an irrelevant attribute.
+    fn xor_table(n: usize) -> Table {
+        let schema = SchemaBuilder::new()
+            .nominal("x0", ["f", "t"])
+            .nominal("x1", ["f", "t"])
+            .nominal("noise", ["a", "b", "c"])
+            .nominal("y", ["f", "t"])
+            .build()
+            .unwrap();
+        let mut t = Table::new(schema);
+        for i in 0..n {
+            let a = (i % 2) as u32;
+            let b = ((i / 2) % 2) as u32;
+            let noise = (i % 3) as u32;
+            t.push_row(&[
+                Value::Nominal(a),
+                Value::Nominal(b),
+                Value::Nominal(noise),
+                Value::Nominal(a ^ b),
+            ])
+            .unwrap();
+        }
+        t
+    }
+
+    /// A table where `y = x0 AND x1` — greedy-learnable to purity
+    /// (unlike XOR, every split has positive marginal gain).
+    fn and_table(n: usize) -> Table {
+        let schema = SchemaBuilder::new()
+            .nominal("x0", ["f", "t"])
+            .nominal("x1", ["f", "t"])
+            .nominal("noise", ["a", "b", "c"])
+            .nominal("y", ["f", "t"])
+            .build()
+            .unwrap();
+        let mut t = Table::new(schema);
+        for i in 0..n {
+            let a = (i % 2) as u32;
+            let b = ((i / 2) % 2) as u32;
+            t.push_row(&[
+                Value::Nominal(a),
+                Value::Nominal(b),
+                Value::Nominal((i % 3) as u32),
+                Value::Nominal(a & b),
+            ])
+            .unwrap();
+        }
+        t
+    }
+
+    fn grown_config() -> C45Config {
+        C45Config { pruning: Pruning::None, ..C45Config::default() }
+    }
+
+    #[test]
+    fn learns_xor_exactly() {
+        let t = xor_table(80);
+        let ts = TrainingSet::full(&t, 3, 4).unwrap();
+        let tree = C45Inducer::new(grown_config()).induce_tree(&ts).unwrap();
+        for (a, b) in [(0u32, 0u32), (0, 1), (1, 0), (1, 1)] {
+            let rec = vec![
+                Value::Nominal(a),
+                Value::Nominal(b),
+                Value::Nominal(0),
+                Value::Null,
+            ];
+            let p = tree.predict(&rec);
+            assert_eq!(p.predicted_class(), a ^ b, "xor({a},{b})");
+            assert!(p.support > 0.0);
+        }
+    }
+
+    #[test]
+    fn pure_class_yields_single_leaf() {
+        let schema = SchemaBuilder::new()
+            .nominal("x", ["p", "q"])
+            .nominal("y", ["only", "never"])
+            .build()
+            .unwrap();
+        let mut t = Table::new(schema);
+        for i in 0..10 {
+            t.push_row(&[Value::Nominal((i % 2) as u32), Value::Nominal(0)]).unwrap();
+        }
+        let ts = TrainingSet::full(&t, 1, 4).unwrap();
+        let tree = C45Inducer::default().induce_tree(&ts).unwrap();
+        assert_eq!(tree.n_leaves(), 1);
+        assert_eq!(tree.depth(), 1);
+        let p = tree.predict(&[Value::Nominal(0), Value::Null]);
+        assert_eq!(p.predicted_class(), 0);
+        assert_eq!(p.support, 10.0);
+    }
+
+    #[test]
+    fn numeric_threshold_split() {
+        let schema = SchemaBuilder::new()
+            .numeric("x", 0.0, 100.0)
+            .nominal("y", ["lo", "hi"])
+            .build()
+            .unwrap();
+        let mut t = Table::new(schema);
+        for i in 0..40 {
+            let x = i as f64;
+            let y = u32::from(x >= 20.0);
+            t.push_row(&[Value::Number(x), Value::Nominal(y)]).unwrap();
+        }
+        let ts = TrainingSet::full(&t, 1, 4).unwrap();
+        let tree = C45Inducer::new(grown_config()).induce_tree(&ts).unwrap();
+        assert_eq!(tree.predict(&[Value::Number(3.0), Value::Null]).predicted_class(), 0);
+        assert_eq!(tree.predict(&[Value::Number(77.0), Value::Null]).predicted_class(), 1);
+        // The threshold must be an occurring value in [19, 20).
+        let rules = tree.to_rules();
+        assert_eq!(rules.len(), 2);
+        match rules[0].conditions[0].test {
+            ConditionTest::LessEq(t) => assert_eq!(t, 19.0),
+            ref other => panic!("expected LessEq, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn date_attributes_split_like_numbers() {
+        let schema = SchemaBuilder::new()
+            .date_ymd("d", (2000, 1, 1), (2020, 1, 1))
+            .nominal("y", ["old", "new"])
+            .build()
+            .unwrap();
+        let base = dq_table::date::days_from_civil(2000, 1, 1);
+        let mut t = Table::new(schema);
+        for i in 0..30 {
+            t.push_row(&[Value::Date(base + i * 100), Value::Nominal(u32::from(i >= 15))])
+                .unwrap();
+        }
+        let ts = TrainingSet::full(&t, 1, 4).unwrap();
+        let tree = C45Inducer::new(grown_config()).induce_tree(&ts).unwrap();
+        assert_eq!(
+            tree.predict(&[Value::Date(base), Value::Null]).predicted_class(),
+            0
+        );
+        assert_eq!(
+            tree.predict(&[Value::Date(base + 2900), Value::Null]).predicted_class(),
+            1
+        );
+    }
+
+    #[test]
+    fn missing_values_are_distributed() {
+        let t = and_table(80);
+        let ts = TrainingSet::full(&t, 3, 4).unwrap();
+        let tree = C45Inducer::new(grown_config()).induce_tree(&ts).unwrap();
+        // With x0 missing and x1 = t, the record straddles the x0
+        // branches: both classes keep positive probability and the
+        // prediction rests on a proper subset of the training weight.
+        let p = tree.predict(&[Value::Null, Value::Nominal(1), Value::Nominal(0), Value::Null]);
+        assert!(p.support > 0.0 && p.support < 80.0, "support {}", p.support);
+        assert!(p.probability(0) > 0.0 && p.probability(1) > 0.0, "{p:?}");
+        // With both known the prediction is certain.
+        let q = tree.predict(&[
+            Value::Nominal(1),
+            Value::Nominal(1),
+            Value::Nominal(0),
+            Value::Null,
+        ]);
+        assert_eq!(q.predicted_class(), 1);
+        assert_eq!(q.probability(1), 1.0);
+    }
+
+    #[test]
+    fn nulls_in_training_do_not_break_induction() {
+        let schema = SchemaBuilder::new()
+            .nominal("x", ["p", "q"])
+            .nominal("y", ["a", "b"])
+            .build()
+            .unwrap();
+        let mut t = Table::new(schema);
+        for i in 0..40 {
+            let x = if i % 5 == 0 { Value::Null } else { Value::Nominal((i % 2) as u32) };
+            t.push_row(&[x, Value::Nominal((i % 2) as u32)]).unwrap();
+        }
+        let ts = TrainingSet::full(&t, 1, 4).unwrap();
+        let tree = C45Inducer::new(grown_config()).induce_tree(&ts).unwrap();
+        let p = tree.predict(&[Value::Nominal(1), Value::Null]);
+        assert_eq!(p.predicted_class(), 1);
+    }
+
+    #[test]
+    fn out_of_domain_codes_classify_as_missing() {
+        let t = xor_table(80);
+        let ts = TrainingSet::full(&t, 3, 4).unwrap();
+        let tree = C45Inducer::new(grown_config()).induce_tree(&ts).unwrap();
+        let p = tree.predict(&[
+            Value::Nominal(99),
+            Value::Nominal(0),
+            Value::Nominal(0),
+            Value::Null,
+        ]);
+        assert!(p.support > 0.0);
+    }
+
+    #[test]
+    fn min_inst_prepruning_stops_growth() {
+        let t = xor_table(16); // 4 instances per XOR cell
+        let ts = TrainingSet::full(&t, 3, 4).unwrap();
+        let big = C45Config { min_inst: 100.0, pruning: Pruning::None, ..C45Config::default() };
+        let tree = C45Inducer::new(big).induce_tree(&ts).unwrap();
+        assert_eq!(tree.n_leaves(), 1, "minInst must freeze the root");
+        let ok = C45Config { min_inst: 2.0, pruning: Pruning::None, ..C45Config::default() };
+        let tree = C45Inducer::new(ok).induce_tree(&ts).unwrap();
+        assert!(tree.n_leaves() > 1);
+    }
+
+    #[test]
+    fn expected_error_confidence_pruning_collapses_uninformative_splits() {
+        // Class barely depends on x (51/49 in both branches): splitting
+        // cannot raise the expected error confidence, so the integrated
+        // pruning keeps a single node; unpruned induction splits happily
+        // on noise given enough attributes.
+        let schema = SchemaBuilder::new()
+            .nominal("x", ["p", "q"])
+            .nominal("z", ["u", "v", "w"])
+            .nominal("y", ["a", "b"])
+            .build()
+            .unwrap();
+        let mut t = Table::new(schema);
+        // Deterministic near-noise pattern.
+        for i in 0..400 {
+            let x = (i % 2) as u32;
+            let z = (i % 3) as u32;
+            let y = u32::from((i * 7 + 3) % 10 < 5);
+            t.push_row(&[Value::Nominal(x), Value::Nominal(z), Value::Nominal(y)]).unwrap();
+        }
+        let ts = TrainingSet::full(&t, 2, 4).unwrap();
+        let pruned = C45Inducer::default().induce_tree(&ts).unwrap();
+        let unpruned = C45Inducer::new(grown_config()).induce_tree(&ts).unwrap();
+        assert!(pruned.n_leaves() <= unpruned.n_leaves());
+    }
+
+    /// The QUIS anecdote shape: BRV=404 ⇒ GBM=901 (16117 + 1
+    /// deviation), BRV=501 ⇒ GBM=911 (2000 records).
+    fn quis_anecdote_training() -> Table {
+        let schema = SchemaBuilder::new()
+            .nominal("brv", ["404", "501"])
+            .nominal("gbm", ["901", "911"])
+            .build()
+            .unwrap();
+        let mut t = Table::new(schema);
+        for _ in 0..16_117 {
+            t.push_row(&[Value::Nominal(0), Value::Nominal(0)]).unwrap();
+        }
+        for _ in 0..2000 {
+            t.push_row(&[Value::Nominal(1), Value::Nominal(1)]).unwrap();
+        }
+        t.push_row(&[Value::Nominal(0), Value::Nominal(1)]).unwrap();
+        t
+    }
+
+    #[test]
+    fn threshold_aware_pruning_keeps_the_quis_split() {
+        let t = quis_anecdote_training();
+        let ts = TrainingSet::full(&t, 1, 4).unwrap();
+        let tree = C45Inducer::default().induce_tree(&ts).unwrap();
+        assert!(tree.n_leaves() >= 2, "the BRV split must survive pruning");
+        // The deviating record is flagged at the paper's confidence.
+        let p = tree.predict(&[Value::Nominal(0), Value::Null]);
+        assert!(p.error_confidence(1, 0.95) > 0.999);
+    }
+
+    #[test]
+    fn raw_def9_pruning_collapses_the_quis_split() {
+        // Documented failure mode of the literal Def. 9 reading: the
+        // impure root leaf's raw expected error confidence (soft flags
+        // at ~77%, below the 80% threshold) beats the split's, so the
+        // split is pruned and the 99.95% detection is lost.
+        let t = quis_anecdote_training();
+        let ts = TrainingSet::full(&t, 1, 4).unwrap();
+        let cfg = C45Config {
+            pruning: Pruning::ExpectedErrorConfidenceRaw,
+            ..C45Config::default()
+        };
+        let tree = C45Inducer::new(cfg).induce_tree(&ts).unwrap();
+        assert_eq!(tree.n_leaves(), 1);
+    }
+
+    #[test]
+    fn pessimistic_pruning_shrinks_noisy_trees() {
+        let schema = SchemaBuilder::new()
+            .nominal("x", ["p", "q"])
+            .nominal("z", ["u", "v", "w"])
+            .nominal("y", ["a", "b"])
+            .build()
+            .unwrap();
+        let mut t = Table::new(schema);
+        for i in 0..300 {
+            let y = u32::from((i * 13 + 5) % 7 < 3);
+            t.push_row(&[
+                Value::Nominal((i % 2) as u32),
+                Value::Nominal((i % 3) as u32),
+                Value::Nominal(y),
+            ])
+            .unwrap();
+        }
+        let ts = TrainingSet::full(&t, 2, 4).unwrap();
+        let cfg = C45Config { pruning: Pruning::PessimisticError, ..C45Config::default() };
+        let pruned = C45Inducer::new(cfg).induce_tree(&ts).unwrap();
+        let unpruned = C45Inducer::new(grown_config()).induce_tree(&ts).unwrap();
+        assert!(pruned.n_leaves() <= unpruned.n_leaves());
+    }
+
+    #[test]
+    fn rules_round_trip_the_tree() {
+        let t = and_table(80);
+        let ts = TrainingSet::full(&t, 3, 4).unwrap();
+        let tree = C45Inducer::new(grown_config()).induce_tree(&ts).unwrap();
+        let rules = tree.to_rules();
+        assert_eq!(rules.len(), tree.n_enabled_leaves());
+        // Every training record matches exactly one rule, and the rule
+        // predicts its class (XOR is noise-free).
+        for r in 0..t.n_rows() {
+            let rec = t.row(r);
+            let matching: Vec<&TreeRule> = rules
+                .iter()
+                .filter(|rule| rule.premise_matches(&rec) == Some(true))
+                .collect();
+            assert_eq!(matching.len(), 1, "row {r}");
+            assert_eq!(
+                Value::Nominal(matching[0].predicted),
+                rec[3],
+                "rule must predict the observed class"
+            );
+        }
+        // Supports sum to the table size.
+        let total: f64 = rules.iter().map(|r| r.support).sum();
+        assert!((total - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rule_rendering_uses_labels() {
+        let t = xor_table(80);
+        let ts = TrainingSet::full(&t, 3, 4).unwrap();
+        let tree = C45Inducer::new(grown_config()).induce_tree(&ts).unwrap();
+        let rules = tree.to_rules();
+        let text = rules[0].render(t.schema(), 3, "f");
+        assert!(text.contains("→ y = f"), "got {text}");
+        assert!(text.contains("x0 = ") || text.contains("x1 = "), "got {text}");
+    }
+
+    #[test]
+    fn disabling_weak_leaves_reduces_structure_model() {
+        let t = xor_table(12); // tiny: 3 instances per leaf
+        let ts = TrainingSet::full(&t, 3, 4).unwrap();
+        let mut tree = C45Inducer::new(grown_config()).induce_tree(&ts).unwrap();
+        let before = tree.n_enabled_leaves();
+        let disabled = tree.disable_undetecting_leaves(0.8);
+        assert_eq!(tree.n_enabled_leaves() + disabled, before);
+        assert!(disabled > 0, "3-instance leaves cannot reach 80% confidence");
+        // Disabled leaves predict nothing.
+        let p = tree.predict(&[
+            Value::Nominal(0),
+            Value::Nominal(0),
+            Value::Nominal(0),
+            Value::Null,
+        ]);
+        assert_eq!(p.support, 0.0);
+    }
+
+    #[test]
+    fn large_pure_rule_reaches_paper_confidence() {
+        // The QUIS anecdote: a rule based on 16118 instances flags a
+        // single deviation with 99.95% error confidence.
+        let schema = SchemaBuilder::new()
+            .nominal("brv", ["404", "501"])
+            .nominal("gbm", ["901", "911"])
+            .build()
+            .unwrap();
+        let mut t = Table::new(schema);
+        for _ in 0..16_117 {
+            t.push_row(&[Value::Nominal(0), Value::Nominal(0)]).unwrap();
+        }
+        t.push_row(&[Value::Nominal(0), Value::Nominal(1)]).unwrap();
+        let ts = TrainingSet::full(&t, 1, 4).unwrap();
+        let tree = C45Inducer::default().induce_tree(&ts).unwrap();
+        let p = tree.predict(&[Value::Nominal(0), Value::Null]);
+        assert_eq!(p.predicted_class(), 0);
+        let conf = p.error_confidence(1, 0.95);
+        assert!(conf > 0.99, "got {conf}");
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(C45Config { level: 1.5, ..C45Config::default() }.validate().is_err());
+        assert!(C45Config { min_inst: -1.0, ..C45Config::default() }.validate().is_err());
+        assert!(C45Config { max_depth: 0, ..C45Config::default() }.validate().is_err());
+        assert!(C45Config::default().validate().is_ok());
+        let ts_table = xor_table(8);
+        let ts = TrainingSet::full(&ts_table, 3, 4).unwrap();
+        let bad = C45Inducer::new(C45Config { level: 0.0, ..C45Config::default() });
+        assert!(bad.induce_tree(&ts).is_err());
+    }
+
+    #[test]
+    fn inducer_trait_boxes_classifier() {
+        let t = xor_table(40);
+        let ts = TrainingSet::full(&t, 3, 4).unwrap();
+        let inducer = C45Inducer::default();
+        assert_eq!(inducer.name(), "c4.5");
+        let clf = inducer.induce(&ts).unwrap();
+        assert_eq!(clf.class_card(), 2);
+        assert!(clf.describe().contains("c4.5"));
+    }
+
+    #[test]
+    fn depth_bound_is_respected() {
+        let t = xor_table(80);
+        let ts = TrainingSet::full(&t, 3, 4).unwrap();
+        let cfg = C45Config { max_depth: 2, pruning: Pruning::None, ..C45Config::default() };
+        let tree = C45Inducer::new(cfg).induce_tree(&ts).unwrap();
+        assert!(tree.depth() <= 2);
+    }
+
+    #[test]
+    fn merge_conditions_tightens_thresholds() {
+        let path = vec![
+            Condition { attr: 0, test: ConditionTest::LessEq(9.0) },
+            Condition { attr: 1, test: ConditionTest::Greater(2.0) },
+            Condition { attr: 0, test: ConditionTest::LessEq(4.0) },
+            Condition { attr: 1, test: ConditionTest::Greater(5.0) },
+        ];
+        let merged = merge_conditions(&path);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].test, ConditionTest::LessEq(4.0));
+        assert_eq!(merged[1].test, ConditionTest::Greater(5.0));
+    }
+}

@@ -1,0 +1,26 @@
+//! # dq-pollute — controlled data corruption (sec. 4.2 of the paper)
+//!
+//! The test environment of *Systematic Development of Data
+//! Mining-Based Data Quality Tools* "pollutes … data in a controlled
+//! and logged procedure". This crate provides the five polluter
+//! families of the paper —
+//!
+//! * **wrong value** (new value drawn from a distribution),
+//! * **null value** (cell replaced by NULL),
+//! * **limiter** (numeric/date value cut off at a bound),
+//! * **switcher** (two attributes' values swapped),
+//! * **duplicator** (record duplicated or deleted),
+//!
+//! — each wrapped in a [`PollutionStep`] with an activation
+//! probability, combined into a [`PollutionConfig`] whose common
+//! *pollution factor* scales all probabilities at once (the x-axis of
+//! Figure 5), and executed by [`pollute`], which returns the dirty
+//! table together with the ground-truth [`PollutionLog`].
+
+pub mod log;
+pub mod pipeline;
+pub mod polluter;
+
+pub use log::{CellCorruption, PollutionLog, RowProvenance};
+pub use pipeline::{pollute, PollutionConfig, PollutionStep};
+pub use polluter::{Polluter, PolluterKind};

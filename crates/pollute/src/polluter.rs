@@ -1,0 +1,392 @@
+//! The five polluters of sec. 4.2.
+//!
+//! Each polluter "simulate\[s\] the strategies for identification and
+//! analysis of different forms of data pollution as defined by Dasu
+//! and Hernandez": wrong values (coding/typing errors), missing values
+//! (load failures), limited values (truncation), switched attributes
+//! (column mix-ups) and duplicated/deleted records.
+//!
+//! A polluter application either *changes* the record (and is logged)
+//! or is a no-op (e.g. nulling an already-NULL cell, limiting an
+//! in-range value) — no-ops are **not** logged, so the pollution log
+//! contains genuine deviations from the clean database only.
+
+use dq_stats::DistributionSpec;
+use dq_table::{AttrIdx, AttrType, Schema, Value};
+use rand::Rng;
+
+/// Discriminates the polluter families in logs and reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolluterKind {
+    /// Wrong-value polluter.
+    WrongValue,
+    /// Null-value polluter.
+    NullValue,
+    /// Limiter.
+    Limiter,
+    /// Switcher.
+    Switcher,
+    /// Duplicator (both its duplicate and delete actions).
+    Duplicator,
+}
+
+impl std::fmt::Display for PolluterKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            PolluterKind::WrongValue => "wrong-value",
+            PolluterKind::NullValue => "null-value",
+            PolluterKind::Limiter => "limiter",
+            PolluterKind::Switcher => "switcher",
+            PolluterKind::Duplicator => "duplicator",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A configured polluter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Polluter {
+    /// Assign a new value to an attribute "according to a probability
+    /// distribution defined in the same way as in section 4.1.4".
+    WrongValue {
+        /// Target attribute; `None` picks a random attribute per
+        /// application.
+        attr: Option<AttrIdx>,
+        /// Distribution of replacement values.
+        dist: DistributionSpec,
+    },
+    /// Replace a value by NULL.
+    NullValue {
+        /// Target attribute; `None` picks a random attribute.
+        attr: Option<AttrIdx>,
+    },
+    /// Cut off a numerical (or date) value at a bound. The bounds are
+    /// given as fractions of the attribute's domain extent; values
+    /// outside `[lower_frac, upper_frac]` are clamped to the bound.
+    Limiter {
+        /// Target attribute; `None` picks a random ordered attribute.
+        attr: Option<AttrIdx>,
+        /// Lower cut position as a domain fraction.
+        lower_frac: f64,
+        /// Upper cut position as a domain fraction.
+        upper_frac: f64,
+    },
+    /// Switch the values of two attributes (column mix-up). The pair
+    /// must be of the same value kind so the cells stay representable;
+    /// mismatched domains (e.g. codes from a larger label set) are the
+    /// *point* — they simulate coding errors.
+    Switcher {
+        /// Attribute pair; `None` picks a random same-kind pair.
+        attrs: Option<(AttrIdx, AttrIdx)>,
+    },
+    /// Duplicate (or delete) the record.
+    Duplicator {
+        /// Probability that an activation deletes instead of
+        /// duplicating.
+        p_delete: f64,
+    },
+}
+
+impl Polluter {
+    /// The polluter's kind tag.
+    pub fn kind(&self) -> PolluterKind {
+        match self {
+            Polluter::WrongValue { .. } => PolluterKind::WrongValue,
+            Polluter::NullValue { .. } => PolluterKind::NullValue,
+            Polluter::Limiter { .. } => PolluterKind::Limiter,
+            Polluter::Switcher { .. } => PolluterKind::Switcher,
+            Polluter::Duplicator { .. } => PolluterKind::Duplicator,
+        }
+    }
+
+    /// Apply the polluter to a record buffer. Returns the cell changes
+    /// made (empty when the application was a no-op). Row-level actions
+    /// (duplicate/delete) are signalled through [`RowAction`] instead.
+    pub(crate) fn apply_cells<R: Rng + ?Sized>(
+        &self,
+        schema: &Schema,
+        record: &mut [Value],
+        rng: &mut R,
+    ) -> Vec<(AttrIdx, Value, Value)> {
+        match self {
+            Polluter::WrongValue { attr, dist } => {
+                let a = attr.unwrap_or_else(|| rng.gen_range(0..schema.len()));
+                let before = record[a];
+                // Draw until the value actually differs (bounded; a
+                // single-value domain cannot be wrong-value-polluted).
+                for _ in 0..16 {
+                    let after = dist.sample(&schema.attr(a).ty, rng);
+                    if after.sql_eq(&before) != Some(true) && !(before.is_null() && after.is_null())
+                    {
+                        record[a] = after;
+                        return vec![(a, before, after)];
+                    }
+                }
+                Vec::new()
+            }
+            Polluter::NullValue { attr } => {
+                let a = attr.unwrap_or_else(|| rng.gen_range(0..schema.len()));
+                let before = record[a];
+                if before.is_null() {
+                    return Vec::new();
+                }
+                record[a] = Value::Null;
+                vec![(a, before, Value::Null)]
+            }
+            Polluter::Limiter { attr, lower_frac, upper_frac } => {
+                let a = match attr {
+                    Some(a) => *a,
+                    None => match random_ordered_attr(schema, rng) {
+                        Some(a) => a,
+                        None => return Vec::new(),
+                    },
+                };
+                let ty = &schema.attr(a).ty;
+                let (lo, hi) = match ty {
+                    AttrType::Numeric { min, max, .. } => (*min, *max),
+                    AttrType::Date { min, max } => (*min as f64, *max as f64),
+                    AttrType::Nominal { .. } => return Vec::new(),
+                };
+                let cut_lo = lo + lower_frac * (hi - lo);
+                let cut_hi = lo + upper_frac * (hi - lo);
+                let before = record[a];
+                let Some(x) = before.as_numeric() else {
+                    return Vec::new();
+                };
+                let cut = x.clamp(cut_lo.min(cut_hi), cut_lo.max(cut_hi));
+                if cut == x {
+                    return Vec::new();
+                }
+                let after = match ty {
+                    AttrType::Date { .. } => Value::Date(cut.round() as i64),
+                    _ => Value::Number(cut),
+                };
+                if after.sql_eq(&before) == Some(true) {
+                    return Vec::new();
+                }
+                record[a] = after;
+                vec![(a, before, after)]
+            }
+            Polluter::Switcher { attrs } => {
+                let pair = match attrs {
+                    Some(p) => Some(*p),
+                    None => random_same_kind_pair(schema, rng),
+                };
+                let Some((a, b)) = pair else {
+                    return Vec::new();
+                };
+                let (va, vb) = (record[a], record[b]);
+                if va.sql_eq(&vb) == Some(true) || (va.is_null() && vb.is_null()) {
+                    return Vec::new();
+                }
+                record[a] = vb;
+                record[b] = va;
+                vec![(a, va, vb), (b, vb, va)]
+            }
+            // Row-level; handled by the pipeline.
+            Polluter::Duplicator { .. } => Vec::new(),
+        }
+    }
+}
+
+/// Row-level outcome of a duplicator activation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RowAction {
+    /// Keep the (possibly cell-polluted) record once.
+    Keep,
+    /// Emit the record twice; the second copy is the error.
+    Duplicate,
+    /// Drop the record.
+    Delete,
+}
+
+pub(crate) fn duplicator_action<R: Rng + ?Sized>(p_delete: f64, rng: &mut R) -> RowAction {
+    if rng.gen::<f64>() < p_delete {
+        RowAction::Delete
+    } else {
+        RowAction::Duplicate
+    }
+}
+
+fn random_ordered_attr<R: Rng + ?Sized>(schema: &Schema, rng: &mut R) -> Option<AttrIdx> {
+    let ordered: Vec<AttrIdx> =
+        (0..schema.len()).filter(|&a| schema.attr(a).ty.is_ordered()).collect();
+    if ordered.is_empty() {
+        None
+    } else {
+        Some(ordered[rng.gen_range(0..ordered.len())])
+    }
+}
+
+fn random_same_kind_pair<R: Rng + ?Sized>(
+    schema: &Schema,
+    rng: &mut R,
+) -> Option<(AttrIdx, AttrIdx)> {
+    let mut pairs = Vec::new();
+    for a in 0..schema.len() {
+        for b in (a + 1)..schema.len() {
+            let same = matches!(
+                (&schema.attr(a).ty, &schema.attr(b).ty),
+                (AttrType::Nominal { .. }, AttrType::Nominal { .. })
+                    | (AttrType::Numeric { .. }, AttrType::Numeric { .. })
+                    | (AttrType::Date { .. }, AttrType::Date { .. })
+            );
+            if same {
+                pairs.push((a, b));
+            }
+        }
+    }
+    if pairs.is_empty() {
+        None
+    } else {
+        Some(pairs[rng.gen_range(0..pairs.len())])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dq_table::SchemaBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn schema() -> std::sync::Arc<Schema> {
+        SchemaBuilder::new()
+            .nominal("a", ["x", "y", "z"])
+            .nominal("b", ["x", "y"])
+            .numeric("n", 0.0, 100.0)
+            .date_ymd("d", (2000, 1, 1), (2001, 1, 1))
+            .build()
+            .unwrap()
+    }
+
+    fn record() -> Vec<Value> {
+        vec![Value::Nominal(2), Value::Nominal(0), Value::Number(50.0), Value::Date(11_000)]
+    }
+
+    #[test]
+    fn wrong_value_always_changes() {
+        let s = schema();
+        let p = Polluter::WrongValue { attr: Some(0), dist: DistributionSpec::Uniform };
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let mut rec = record();
+            let changes = p.apply_cells(&s, &mut rec, &mut rng);
+            assert_eq!(changes.len(), 1);
+            let (a, before, after) = changes[0];
+            assert_eq!(a, 0);
+            assert_eq!(before, Value::Nominal(2));
+            assert_ne!(after, before);
+            assert_eq!(rec[0], after);
+        }
+    }
+
+    #[test]
+    fn wrong_value_single_label_domain_is_noop() {
+        let s = SchemaBuilder::new().nominal("only", ["just-one"]).build().unwrap();
+        let p = Polluter::WrongValue { attr: Some(0), dist: DistributionSpec::Uniform };
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut rec = vec![Value::Nominal(0)];
+        assert!(p.apply_cells(&s, &mut rec, &mut rng).is_empty());
+        assert_eq!(rec[0], Value::Nominal(0));
+    }
+
+    #[test]
+    fn null_value_pollutes_once() {
+        let s = schema();
+        let p = Polluter::NullValue { attr: Some(2) };
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut rec = record();
+        let changes = p.apply_cells(&s, &mut rec, &mut rng);
+        assert_eq!(changes, vec![(2, Value::Number(50.0), Value::Null)]);
+        assert!(rec[2].is_null());
+        // Nulling again is a no-op (not a new corruption).
+        assert!(p.apply_cells(&s, &mut rec, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn limiter_clamps_tails_only() {
+        let s = schema();
+        let p = Polluter::Limiter { attr: Some(2), lower_frac: 0.2, upper_frac: 0.8 };
+        let mut rng = StdRng::seed_from_u64(4);
+        // In-range value: no-op.
+        let mut rec = record();
+        assert!(p.apply_cells(&s, &mut rec, &mut rng).is_empty());
+        // Tail value: clamped to the cut.
+        rec[2] = Value::Number(95.0);
+        let changes = p.apply_cells(&s, &mut rec, &mut rng);
+        assert_eq!(changes, vec![(2, Value::Number(95.0), Value::Number(80.0))]);
+        assert_eq!(rec[2], Value::Number(80.0));
+    }
+
+    #[test]
+    fn limiter_rounds_dates_to_days() {
+        let s = schema();
+        let p = Polluter::Limiter { attr: Some(3), lower_frac: 0.5, upper_frac: 1.0 };
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut rec = record();
+        rec[3] = Value::Date(10_958); // below the midpoint cut
+        let changes = p.apply_cells(&s, &mut rec, &mut rng);
+        assert_eq!(changes.len(), 1);
+        assert!(matches!(rec[3], Value::Date(_)));
+    }
+
+    #[test]
+    fn switcher_swaps_and_reports_both_cells() {
+        let s = schema();
+        let p = Polluter::Switcher { attrs: Some((0, 1)) };
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut rec = record();
+        let changes = p.apply_cells(&s, &mut rec, &mut rng);
+        assert_eq!(changes.len(), 2);
+        assert_eq!(rec[0], Value::Nominal(0));
+        // Code 2 is out of b's 2-label domain — exactly the kind of
+        // coding error the audit should catch.
+        assert_eq!(rec[1], Value::Nominal(2));
+    }
+
+    #[test]
+    fn switcher_equal_values_is_noop() {
+        let s = schema();
+        let p = Polluter::Switcher { attrs: Some((0, 1)) };
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut rec = record();
+        rec[1] = Value::Nominal(2);
+        assert!(p.apply_cells(&s, &mut rec, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn random_pair_selection_respects_kinds() {
+        let s = schema();
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..50 {
+            let (a, b) = random_same_kind_pair(&s, &mut rng).unwrap();
+            assert_eq!((a, b), (0, 1), "only the two nominals are same-kind here");
+        }
+        // A schema without same-kind pairs yields None.
+        let lonely = SchemaBuilder::new()
+            .nominal("a", ["x"])
+            .numeric("n", 0.0, 1.0)
+            .build()
+            .unwrap();
+        assert_eq!(random_same_kind_pair(&lonely, &mut rng), None);
+    }
+
+    #[test]
+    fn duplicator_action_split() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let actions: Vec<RowAction> =
+            (0..1000).map(|_| duplicator_action(0.3, &mut rng)).collect();
+        let deletes = actions.iter().filter(|&&a| a == RowAction::Delete).count();
+        assert!((250..350).contains(&deletes), "deletes {deletes}");
+        assert!(actions.iter().all(|&a| a != RowAction::Keep));
+    }
+
+    #[test]
+    fn kinds_render() {
+        assert_eq!(PolluterKind::WrongValue.to_string(), "wrong-value");
+        assert_eq!(PolluterKind::Duplicator.to_string(), "duplicator");
+        let p = Polluter::NullValue { attr: None };
+        assert_eq!(p.kind(), PolluterKind::NullValue);
+    }
+}

@@ -1,0 +1,248 @@
+//! Engine families: the generative ground truth of the synthetic QUIS
+//! table.
+//!
+//! "Domain experts had defined some characteristic domain dependencies
+//! over the QUIS schema" (sec. 3.2) — here those dependencies are
+//! encoded as *families*: each family fixes the model-series code
+//! (`BRV`), the base engine model (`GBM`), the admissible component
+//! codes (`KBM`), a plant mix, a sales series, a displacement range
+//! and a production window. Two families reproduce the paper's example
+//! rules with matching supports at 200k rows:
+//!
+//! * `BRV = 404 → GBM = 901` (≈ 16118 records at 200k);
+//! * `KBM = 01 ∧ GBM = 901 → BRV = 501` (≈ 9530 records at 200k).
+
+/// One engine family.
+#[derive(Debug, Clone)]
+pub struct Family {
+    /// Sampling weight (relative share of production volume).
+    pub weight: f64,
+    /// `BRV` code index.
+    pub brv: u32,
+    /// `GBM` code index.
+    pub gbm: u32,
+    /// Admissible `KBM` code indices (uniform within).
+    pub kbm: &'static [u32],
+    /// Plant code indices with weights.
+    pub plants: &'static [(u32, f64)],
+    /// Sales-series code index.
+    pub series: u32,
+    /// Displacement range in cm³ (inclusive).
+    pub displacement: (i64, i64),
+    /// Production window as day numbers relative to 1990-01-01.
+    pub prod_window_days: (i64, i64),
+}
+
+/// Indices into the code lists of [`crate::schema`]; keep in sync with
+/// the `*_CODES` constants there.
+mod code {
+    pub const BRV_404: u32 = 3;
+    pub const BRV_501: u32 = 5;
+    pub const GBM_901: u32 = 0;
+    pub const KBM_01: u32 = 0;
+}
+
+/// The family catalogue. Weights sum to 1 (checked in tests).
+pub fn families() -> Vec<Family> {
+    use code::*;
+    vec![
+        // The paper's first rule: BRV 404, always GBM 901, KBM ≠ 01.
+        Family {
+            weight: 0.0806, // ≈ 16118 / 200_000
+            brv: BRV_404,
+            gbm: GBM_901,
+            kbm: &[1, 2, 3],
+            plants: &[(0, 0.7), (1, 0.3)],
+            series: 0,
+            displacement: (1800, 2400),
+            prod_window_days: (730, 2920), // 1992-1998
+        },
+        // The paper's second rule: KBM 01 ∧ GBM 901 ⇒ BRV 501.
+        Family {
+            weight: 0.0477, // ≈ 9530 / 200_000
+            brv: BRV_501,
+            gbm: GBM_901,
+            kbm: &[KBM_01],
+            plants: &[(2, 0.6), (3, 0.4)],
+            series: 1,
+            displacement: (2400, 3200),
+            prod_window_days: (1095, 3650), // 1993-2000
+        },
+        Family {
+            weight: 0.10,
+            brv: 0, // 401
+            gbm: 1, // 902
+            kbm: &[1, 2],
+            plants: &[(0, 0.5), (4, 0.5)],
+            series: 2,
+            displacement: (600, 1400),
+            prod_window_days: (0, 1825),
+        },
+        Family {
+            weight: 0.12,
+            brv: 1, // 402
+            gbm: 2, // 904
+            kbm: &[2, 3, 4],
+            plants: &[(1, 1.0)],
+            series: 2,
+            displacement: (1200, 2000),
+            prod_window_days: (365, 2555),
+        },
+        Family {
+            weight: 0.11,
+            brv: 2, // 403
+            gbm: 3, // 911
+            kbm: &[0, 4],
+            plants: &[(2, 0.8), (5, 0.2)],
+            series: 3,
+            displacement: (2800, 4200),
+            prod_window_days: (1460, 3285),
+        },
+        Family {
+            weight: 0.10,
+            brv: 4, // 407
+            gbm: 4, // 912
+            kbm: &[5, 6],
+            plants: &[(3, 1.0)],
+            series: 3,
+            displacement: (3800, 6000),
+            prod_window_days: (1825, 4015),
+        },
+        Family {
+            weight: 0.09,
+            brv: 6, // 541
+            gbm: 5, // 921
+            kbm: &[1, 5],
+            plants: &[(4, 0.5), (5, 0.5)],
+            series: 4,
+            displacement: (5500, 9000),
+            prod_window_days: (2190, 4380),
+        },
+        Family {
+            weight: 0.09,
+            brv: 7, // 601
+            gbm: 6, // 932
+            kbm: &[3, 7],
+            plants: &[(0, 0.3), (2, 0.7)],
+            series: 0,
+            displacement: (900, 1600),
+            prod_window_days: (0, 2190),
+        },
+        Family {
+            weight: 0.08,
+            brv: 8, // 602
+            gbm: 6, // 932 (shares GBM with 601 — non-functional BRV↔GBM)
+            kbm: &[2, 6],
+            plants: &[(1, 0.6), (5, 0.4)],
+            series: 1,
+            displacement: (1600, 2600),
+            prod_window_days: (1095, 3285),
+        },
+        Family {
+            weight: 0.07,
+            brv: 9, // 611
+            gbm: 7, // 941
+            kbm: &[0, 1, 2],
+            plants: &[(4, 1.0)],
+            series: 4,
+            displacement: (9000, 14_000),
+            prod_window_days: (2555, 4745),
+        },
+        Family {
+            weight: 0.06,
+            brv: 10, // 904
+            gbm: 4,  // 912 (shares GBM with 407)
+            kbm: &[4, 5],
+            plants: &[(3, 0.5), (5, 0.5)],
+            series: 3,
+            displacement: (4200, 7000),
+            prod_window_days: (2920, 4745),
+        },
+        Family {
+            weight: 0.0517,
+            brv: 11, // 906
+            gbm: 5,  // 921 (shares GBM with 541)
+            kbm: &[6, 7],
+            plants: &[(2, 0.4), (4, 0.6)],
+            series: 4,
+            displacement: (10_000, 16_000),
+            prod_window_days: (3285, 4745),
+        },
+    ]
+}
+
+/// Deterministic power class from displacement — the numeric→nominal
+/// dependency the auditor should rediscover.
+pub fn power_class_of(displacement_ccm: i64) -> u32 {
+    match displacement_ccm {
+        ..=1400 => 0,
+        1401..=2400 => 1,
+        2401..=3800 => 2,
+        3801..=6500 => 3,
+        6501..=10_000 => 4,
+        _ => 5,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{attr, engine_schema};
+
+    #[test]
+    fn weights_sum_to_one() {
+        let total: f64 = families().iter().map(|f| f.weight).sum();
+        assert!((total - 1.0).abs() < 1e-9, "weights sum to {total}");
+    }
+
+    #[test]
+    fn paper_rules_hold_in_the_catalogue() {
+        let fams = families();
+        let schema = engine_schema();
+        let brv404 = schema.attr(attr::BRV).code("404").unwrap();
+        let brv501 = schema.attr(attr::BRV).code("501").unwrap();
+        let gbm901 = schema.attr(attr::GBM).code("901").unwrap();
+        let kbm01 = schema.attr(attr::KBM).code("01").unwrap();
+        for f in &fams {
+            // BRV = 404 → GBM = 901.
+            if f.brv == brv404 {
+                assert_eq!(f.gbm, gbm901);
+                assert!(!f.kbm.contains(&kbm01), "404 must avoid KBM 01");
+            }
+            // KBM = 01 ∧ GBM = 901 → BRV = 501.
+            if f.gbm == gbm901 && f.kbm.contains(&kbm01) {
+                assert_eq!(f.brv, brv501);
+            }
+        }
+        // Both premise families exist.
+        assert!(fams.iter().any(|f| f.brv == brv404));
+        assert!(fams.iter().any(|f| f.brv == brv501 && f.kbm == [kbm01]));
+    }
+
+    #[test]
+    fn catalogue_is_schema_consistent() {
+        let fams = families();
+        let schema = engine_schema();
+        for f in &fams {
+            assert!(f.brv < 12 && f.gbm < 8 && f.series < 5);
+            assert!(f.kbm.iter().all(|&k| k < 8));
+            assert!(f.plants.iter().all(|&(p, w)| p < 6 && w > 0.0));
+            let (lo, hi) = f.displacement;
+            assert!((600..=16_000).contains(&lo) && lo <= hi && hi <= 16_000);
+            let (d0, d1) = f.prod_window_days;
+            assert!(d0 <= d1 && d1 <= 4745);
+        }
+        let _ = schema; // schema bounds asserted via literals above
+    }
+
+    #[test]
+    fn power_classes_cover_all_codes() {
+        let mut seen = [false; 6];
+        for d in (600..=16_000).step_by(100) {
+            seen[power_class_of(d) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+        assert_eq!(power_class_of(600), 0);
+        assert_eq!(power_class_of(16_000), 5);
+    }
+}

@@ -1,0 +1,30 @@
+//! # dq-quis — the synthetic QUIS engine-composition substrate
+//!
+//! The paper's real-world evaluation (sec. 6.2) audits an excerpt of
+//! QUIS, DaimlerChrysler's 70 GB proprietary quality-information
+//! system: "a table … that describes the composition of all industry
+//! engines manufactured by Mercedes-Benz. It contains 8 attributes and
+//! about 200000 records." That data is unavailable, so this crate
+//! builds its public stand-in:
+//!
+//! * [`schema`] — the 8-attribute engine schema (mostly nominal, one
+//!   numeric, one date — the attribute mix the paper describes), with
+//!   the `BRV`/`GBM`/`KBM` codes from the paper's example rules;
+//! * [`mod@families`] — the generative ground truth: engine families whose
+//!   fixed code combinations embed the published dependencies
+//!   `BRV = 404 → GBM = 901` (support ≈ 16118 at 200k rows) and
+//!   `KBM = 01 ∧ GBM = 901 → BRV = 501` (support ≈ 9530), plus
+//!   plant/series/displacement/date structure;
+//! * [`generator`] — clean-table sampling and error injection through
+//!   the `dq-pollute` suite, so every audit finding can be verified
+//!   against a ground-truth log (which the real QUIS audit could not:
+//!   "an exact quantification of real-world sensitivity and
+//!   specificity by domain experts turned out to be too expensive").
+
+pub mod families;
+pub mod generator;
+pub mod schema;
+
+pub use families::{families, power_class_of, Family};
+pub use generator::{default_pollution, generate_quis, QuisBenchmark, QuisConfig};
+pub use schema::{attr, engine_schema};

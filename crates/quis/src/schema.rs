@@ -1,0 +1,91 @@
+//! The synthetic engine-composition schema.
+//!
+//! Stand-in for the QUIS table of sec. 6.2: "a table of the QUIS
+//! database that describes the composition of all industry engines
+//! manufactured by Mercedes-Benz. It contains 8 attributes … The
+//! attributes code the model category of each individual engine and
+//! its production date." The attribute names `BRV`, `GBM`, `KBM` are
+//! taken from the paper's example rules; the rest follow the
+//! description (mostly nominal, one date, one numeric).
+
+use dq_table::{Schema, SchemaBuilder};
+use std::sync::Arc;
+
+/// Engine model-series codes (`BRV`). Includes the paper's `404` and
+/// `501`.
+pub const BRV_CODES: [&str; 12] = [
+    "401", "402", "403", "404", "407", "501", "541", "601", "602", "611", "904", "906",
+];
+
+/// Base engine model codes (`GBM`). Includes the paper's `901` and the
+/// deviating `911`.
+pub const GBM_CODES: [&str; 8] = ["901", "902", "904", "911", "912", "921", "932", "941"];
+
+/// Component/variant codes (`KBM`). Includes the paper's `01`.
+pub const KBM_CODES: [&str; 8] = ["01", "02", "03", "04", "05", "07", "09", "11"];
+
+/// Manufacturing plant codes.
+pub const PLANT_CODES: [&str; 6] = ["B10", "B20", "M05", "M07", "U30", "U44"];
+
+/// Sales series codes.
+pub const SERIES_CODES: [&str; 5] = ["IND", "MAR", "GEN", "AGG", "PWR"];
+
+/// Power-class codes (derived from displacement).
+pub const POWER_CODES: [&str; 6] = ["P040", "P075", "P110", "P180", "P250", "P400"];
+
+/// Attribute indices into the engine schema, in declaration order.
+pub mod attr {
+    /// Model series (`BRV`).
+    pub const BRV: usize = 0;
+    /// Base engine model (`GBM`).
+    pub const GBM: usize = 1;
+    /// Component code (`KBM`).
+    pub const KBM: usize = 2;
+    /// Manufacturing plant.
+    pub const PLANT: usize = 3;
+    /// Sales series.
+    pub const SERIES: usize = 4;
+    /// Power class.
+    pub const POWER: usize = 5;
+    /// Displacement in cm³ (numeric).
+    pub const DISPLACEMENT: usize = 6;
+    /// Production date.
+    pub const PROD_DATE: usize = 7;
+}
+
+/// Build the 8-attribute engine-composition schema.
+pub fn engine_schema() -> Arc<Schema> {
+    SchemaBuilder::new()
+        .nominal("brv", BRV_CODES)
+        .nominal("gbm", GBM_CODES)
+        .nominal("kbm", KBM_CODES)
+        .nominal("plant", PLANT_CODES)
+        .nominal("series", SERIES_CODES)
+        .nominal("power", POWER_CODES)
+        .integer("displacement", 600.0, 16_000.0)
+        .date_ymd("prod_date", (1990, 1, 1), (2002, 12, 31))
+        .build()
+        .expect("engine schema is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_matches_paper_description() {
+        let s = engine_schema();
+        assert_eq!(s.len(), 8, "8 attributes like the QUIS table");
+        // Mostly nominal, one numeric, one date.
+        let nominal = s.attributes().iter().filter(|a| !a.ty.is_ordered()).count();
+        assert_eq!(nominal, 6);
+        assert_eq!(s.index_of("brv"), Some(attr::BRV));
+        assert_eq!(s.index_of("prod_date"), Some(attr::PROD_DATE));
+        // The paper's codes are present.
+        assert_eq!(s.attr(attr::BRV).code("404"), Some(3));
+        assert_eq!(s.attr(attr::BRV).code("501"), Some(5));
+        assert_eq!(s.attr(attr::GBM).code("901"), Some(0));
+        assert_eq!(s.attr(attr::GBM).code("911"), Some(3));
+        assert_eq!(s.attr(attr::KBM).code("01"), Some(0));
+    }
+}

@@ -1,0 +1,329 @@
+//! Binomial-proportion confidence intervals.
+//!
+//! The paper leans on two interval bounds (it never names the interval
+//! construction):
+//!
+//! * `rightBound(p, n)` — "the right bound of the confidence interval
+//!   for the true probability of occurrence given the observed
+//!   probability p and a sample size of n" — used by the pessimistic
+//!   classification error (sec. 5.1.2);
+//! * `leftBound(p, n)` — its lower mirror — used together with
+//!   `rightBound` in the error confidence (Def. 7).
+//!
+//! We use the **Wilson score interval**: it is defined for every `n ≥ 1`
+//! (including `p = 0` and `p = 1`, where the Wald interval collapses),
+//! always stays inside `[0, 1]`, and both bounds converge monotonically
+//! towards `p` as `n` grows — exactly the behaviour the paper's error
+//! confidence needs (more supporting instances ⇒ higher confidence).
+//! C4.5's own pruning uses the same family of upper confidence bounds.
+
+use crate::quantile::normal_quantile;
+
+/// Two-sided Wilson score interval for an observed proportion.
+///
+/// * `p` — observed proportion in `[0, 1]`,
+/// * `n` — sample size (fractional sizes allowed: C4.5 distributes
+///   instances with missing values fractionally, so leaf "counts" are
+///   weights),
+/// * `level` — two-sided confidence level in `(0, 1)`, e.g. `0.95`.
+///
+/// Returns `(left, right)`. For `n = 0` the interval is the vacuous
+/// `(0, 1)`: with no evidence, every proportion is possible.
+pub fn wilson_interval(p: f64, n: f64, level: f64) -> (f64, f64) {
+    assert!((0.0..=1.0).contains(&p), "proportion out of range: {p}");
+    assert!(n >= 0.0, "negative sample size: {n}");
+    assert!(level > 0.0 && level < 1.0, "confidence level out of range: {level}");
+    if n == 0.0 {
+        return (0.0, 1.0);
+    }
+    let z = normal_quantile(0.5 + level / 2.0);
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt() / denom;
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
+/// The paper's `leftBound(p, n)` at the given confidence level.
+pub fn left_bound(p: f64, n: f64, level: f64) -> f64 {
+    wilson_interval(p, n, level).0
+}
+
+/// The paper's `rightBound(p, n)` at the given confidence level.
+pub fn right_bound(p: f64, n: f64, level: f64) -> f64 {
+    wilson_interval(p, n, level).1
+}
+
+/// Error confidence wrt one classifier (Def. 7 of the paper).
+///
+/// Given the predicted class distribution as weighted counts and the
+/// observed class `c`, with `ĉ` the majority (predicted) class:
+///
+/// ```text
+/// errorConf(P, c) = max(0, leftBound(P(ĉ), n) − rightBound(P(c), n))
+/// ```
+///
+/// The counts-based signature keeps callers honest about the support
+/// `n` (the number of training instances the prediction is based on):
+/// `n` is the sum of `counts`. Returns 0 when the observed class *is*
+/// the predicted one, when `n = 0`, or when the bounds overlap.
+pub fn error_confidence(counts: &[f64], observed: usize, level: f64) -> f64 {
+    let n: f64 = counts.iter().sum();
+    if n <= 0.0 || observed >= counts.len() {
+        return 0.0;
+    }
+    let predicted = argmax(counts);
+    if predicted == observed {
+        return 0.0;
+    }
+    let p_pred = counts[predicted] / n;
+    let p_obs = counts[observed] / n;
+    (left_bound(p_pred, n, level) - right_bound(p_obs, n, level)).max(0.0)
+}
+
+/// Expected error confidence of a leaf (Def. 9 of the paper): the
+/// class-frequency-weighted average of the error confidences its own
+/// instances would score against its prediction:
+///
+/// ```text
+/// expErrorConf = Σ_c |S_{C=c}|/|S| · errorConf(P, c)
+/// ```
+///
+/// This is the integrated pruning criterion of sec. 5.4 — a subtree is
+/// replaced by a leaf whenever that *raises* the expected error
+/// confidence.
+pub fn expected_error_confidence(counts: &[f64], level: f64) -> f64 {
+    let n: f64 = counts.iter().sum();
+    if n <= 0.0 {
+        return 0.0;
+    }
+    let mut acc = 0.0;
+    for (c, &cnt) in counts.iter().enumerate() {
+        if cnt > 0.0 {
+            acc += cnt / n * error_confidence(counts, c, level);
+        }
+    }
+    acc
+}
+
+/// The *asymptotic* error confidence: the raw difference
+/// `max(0, P(ĉ) − P(c))` that motivates Def. 7 in sec. 5.2 ("the last
+/// example motivates the idea of utilizing the difference
+/// P(ĉ) − P(c)"), before the interval bounds discount small samples.
+/// It is what Def. 7 converges to as the support grows, and — being
+/// independent of the sample size — the right yardstick when two
+/// differently-sized instance sets must be compared on *proportions*
+/// alone (the integrated pruning uses it to tell genuine explanation
+/// apart from mere dilution).
+pub fn asymptotic_error_confidence(counts: &[f64], observed: usize) -> f64 {
+    let n: f64 = counts.iter().sum();
+    if n <= 0.0 || observed >= counts.len() {
+        return 0.0;
+    }
+    let predicted = argmax(counts);
+    if predicted == observed {
+        return 0.0;
+    }
+    ((counts[predicted] - counts[observed]) / n).max(0.0)
+}
+
+/// The highest error confidence any *observable* class could score
+/// against this prediction: `max_{c ≠ ĉ} errorConf(P, c)`.
+///
+/// This is the detection capability of a leaf / rule. The paper deletes
+/// rules "that … cannot contribute to an error detection" (sec. 5.4);
+/// a rule cannot contribute exactly when this maximum is zero (or below
+/// the user's minimal error confidence — the effect behind the jump at
+/// 6000 records in Figure 3: smaller training sets only produce rules
+/// below the limit, which are deleted).
+pub fn max_error_confidence(counts: &[f64], level: f64) -> f64 {
+    let n: f64 = counts.iter().sum();
+    if n <= 0.0 || counts.len() < 2 {
+        return 0.0;
+    }
+    let predicted = argmax(counts);
+    // errorConf is antitone in P(c); the best detectable class is the
+    // rarest non-predicted one.
+    let mut best = 0.0f64;
+    for (c, _) in counts.iter().enumerate() {
+        if c != predicted {
+            best = best.max(error_confidence(counts, c, level));
+        }
+    }
+    best
+}
+
+/// Index of the maximal count (ties resolve to the first maximum —
+/// deterministic, like C4.5's majority-class choice).
+pub fn argmax(counts: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &c) in counts.iter().enumerate().skip(1) {
+        if c > counts[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LEVEL: f64 = 0.95;
+
+    #[test]
+    fn interval_contains_p() {
+        for &(p, n) in &[(0.0, 5.0), (0.2, 10.0), (0.5, 3.0), (1.0, 100.0)] {
+            let (l, r) = wilson_interval(p, n, LEVEL);
+            assert!(l <= p + 1e-12 && p <= r + 1e-12, "({l}, {r}) must contain {p}");
+            assert!((0.0..=1.0).contains(&l));
+            assert!((0.0..=1.0).contains(&r));
+        }
+    }
+
+    #[test]
+    fn zero_sample_is_vacuous() {
+        assert_eq!(wilson_interval(0.3, 0.0, LEVEL), (0.0, 1.0));
+    }
+
+    #[test]
+    fn bounds_tighten_with_n() {
+        let mut prev_width = f64::INFINITY;
+        for n in [1.0, 2.0, 5.0, 10.0, 100.0, 10_000.0] {
+            let (l, r) = wilson_interval(0.7, n, LEVEL);
+            let width = r - l;
+            assert!(width < prev_width, "width must shrink with n");
+            prev_width = width;
+        }
+        // And in the limit both bounds converge to p.
+        let (l, r) = wilson_interval(0.7, 1e12, LEVEL);
+        assert!((l - 0.7).abs() < 1e-4 && (r - 0.7).abs() < 1e-4);
+    }
+
+    #[test]
+    fn left_bound_of_certainty_grows_with_n() {
+        // A pure leaf (p = 1) becomes more trustworthy as it gets more
+        // instances — this is what makes the paper's error confidence
+        // reward large supporting populations.
+        let mut prev = 0.0;
+        for n in [1.0, 4.0, 16.0, 64.0, 16_118.0] {
+            let l = left_bound(1.0, n, LEVEL);
+            assert!(l > prev, "leftBound(1, n) must grow with n");
+            prev = l;
+        }
+        // With 16118 instances (the paper's BRV=404 → GBM=901 rule) the
+        // lower bound is extremely close to 1: the 99.95% confidence
+        // the paper reports for the deviating record.
+        assert!(left_bound(1.0, 16_118.0, LEVEL) > 0.999);
+    }
+
+    #[test]
+    fn higher_level_widens_interval() {
+        let (l90, r90) = wilson_interval(0.4, 20.0, 0.90);
+        let (l99, r99) = wilson_interval(0.4, 20.0, 0.99);
+        assert!(l99 < l90 && r99 > r90);
+    }
+
+    #[test]
+    fn wald_comparison_sanity() {
+        // For large n and mid-range p, Wilson ≈ Wald.
+        let n: f64 = 100_000.0;
+        let p: f64 = 0.37;
+        let z = normal_quantile(0.975);
+        let wald = z * (p * (1.0 - p) / n).sqrt();
+        let (l, r) = wilson_interval(p, n, 0.95);
+        assert!((r - p - wald).abs() < 1e-5);
+        assert!((p - l - wald).abs() < 1e-5);
+    }
+
+    #[test]
+    fn fractional_sample_sizes_are_accepted() {
+        // C4.5 fractional instance weights produce non-integer n.
+        let (l, r) = wilson_interval(0.5, 2.5, LEVEL);
+        assert!(l > 0.0 && r < 1.0 || (l, r) != (0.0, 1.0));
+    }
+
+    #[test]
+    fn error_confidence_basics() {
+        // Observed class == predicted class → no error evidence.
+        assert_eq!(error_confidence(&[8.0, 2.0], 0, LEVEL), 0.0);
+        // Tiny sample → bounds overlap → zero confidence.
+        assert_eq!(error_confidence(&[1.0, 1.0], 1, LEVEL), 0.0);
+        // Large, pure sample with one deviation → near 1.
+        let mut counts = vec![16_117.0, 1.0];
+        assert!(error_confidence(&counts, 1, LEVEL) > 0.99);
+        // Confidence grows with support at fixed proportions.
+        counts = vec![80.0, 20.0];
+        let small = error_confidence(&counts, 1, LEVEL);
+        let big = error_confidence(&[8000.0, 2000.0], 1, LEVEL);
+        assert!(big > small);
+        // Out-of-range observed class is harmless.
+        assert_eq!(error_confidence(&[5.0, 5.0], 9, LEVEL), 0.0);
+        assert_eq!(error_confidence(&[], 0, LEVEL), 0.0);
+    }
+
+    #[test]
+    fn error_confidence_separates_the_papers_distributions() {
+        // Sec. 5.2 motivates P(ĉ) − P(c) over 1 − P(c) with
+        // P1 = (0.2, 0.2, 0.2, 0.1, 0.3) vs P2 = (0.2, 0.8, 0, 0, 0),
+        // first class observed: the error is more apparent in P2.
+        let n = 1000.0;
+        let p1: Vec<f64> = [0.2, 0.2, 0.2, 0.1, 0.3].iter().map(|p| p * n).collect();
+        let p2: Vec<f64> = [0.2, 0.8, 0.0, 0.0, 0.0].iter().map(|p| p * n).collect();
+        assert!(error_confidence(&p2, 0, LEVEL) > error_confidence(&p1, 0, LEVEL));
+        // And P(ĉ) alone fails on (0, 0.1, 0.9) vs (0.1, 0, 0.9):
+        // observing class 0 must score higher for the first.
+        let q1: Vec<f64> = [0.0, 0.1, 0.9].iter().map(|p| p * n).collect();
+        let q2: Vec<f64> = [0.1, 0.0, 0.9].iter().map(|p| p * n).collect();
+        assert!(error_confidence(&q1, 0, LEVEL) > error_confidence(&q2, 0, LEVEL));
+    }
+
+    #[test]
+    fn expected_error_confidence_prefers_informative_leaves() {
+        // A pure leaf has zero expected error confidence *about its own
+        // instances* — none of them deviates.
+        assert_eq!(expected_error_confidence(&[50.0, 0.0], LEVEL), 0.0);
+        // A leaf with a small contamination expects some error mass.
+        let some = expected_error_confidence(&[49.0, 1.0], LEVEL);
+        assert!(some > 0.0);
+        // An even leaf offers no error evidence at all.
+        assert_eq!(expected_error_confidence(&[25.0, 25.0], LEVEL), 0.0);
+        // Empty leaf.
+        assert_eq!(expected_error_confidence(&[], LEVEL), 0.0);
+    }
+
+    #[test]
+    fn max_error_confidence_measures_detection_capability() {
+        // A large pure leaf is maximally capable of flagging deviations.
+        assert!(max_error_confidence(&[16_118.0, 0.0], LEVEL) > 0.99);
+        // A tiny pure leaf cannot flag anything confidently.
+        assert!(max_error_confidence(&[1.0, 0.0], LEVEL) < 0.5);
+        // A balanced leaf can never fire.
+        assert_eq!(max_error_confidence(&[50.0, 50.0], LEVEL), 0.0);
+        // Degenerate shapes.
+        assert_eq!(max_error_confidence(&[10.0], LEVEL), 0.0);
+        assert_eq!(max_error_confidence(&[], LEVEL), 0.0);
+        // Capability grows with support at fixed proportions.
+        let small = max_error_confidence(&[9.0, 1.0], LEVEL);
+        let big = max_error_confidence(&[900.0, 100.0], LEVEL);
+        assert!(big > small);
+    }
+
+    #[test]
+    fn argmax_breaks_ties_deterministically() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), 1);
+        assert_eq!(argmax(&[2.0]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "proportion out of range")]
+    fn rejects_bad_proportion() {
+        wilson_interval(1.5, 10.0, LEVEL);
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence level out of range")]
+    fn rejects_bad_level() {
+        wilson_interval(0.5, 10.0, 1.0);
+    }
+}

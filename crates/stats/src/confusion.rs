@@ -1,0 +1,241 @@
+//! The 2×2 evaluation matrices of sec. 4.3.
+//!
+//! Detection is summarized by a confusion matrix whose rows are the
+//! ground truth from the pollution log and whose columns are the tool's
+//! opinion; the paper's headline measures are **sensitivity** (truly
+//! found errors / corrupted records) and **specificity** (error-free
+//! records marked as such / error-free records). The paper favours
+//! sensitivity over recall "as it is independent from the prevalence".
+//!
+//! Correction is summarized by a second 2×2 matrix counting record
+//! correctness before and after applying the proposed corrections; the
+//! paper's improvement measure is `((c+d)-(b+d))/(c+d)`.
+
+/// Detection confusion matrix.
+///
+/// Terminology follows the paper exactly: a *positive* is a corrupted
+/// record, so `tp` counts corrupted records flagged by the tool and
+/// `fn_` corrupted records the tool missed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    /// Corrupted records flagged as errors.
+    pub tp: u64,
+    /// Clean records flagged as errors (false alarms).
+    pub fp: u64,
+    /// Corrupted records not flagged (missed errors).
+    pub fn_: u64,
+    /// Clean records not flagged.
+    pub tn: u64,
+}
+
+impl ConfusionMatrix {
+    /// Accumulate one observation.
+    pub fn record(&mut self, truly_corrupted: bool, flagged: bool) {
+        match (truly_corrupted, flagged) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fn_ += 1,
+            (false, true) => self.fp += 1,
+            (false, false) => self.tn += 1,
+        }
+    }
+
+    /// Merge another matrix into this one.
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.fn_ += other.fn_;
+        self.tn += other.tn;
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.tp + self.fp + self.fn_ + self.tn
+    }
+
+    /// Sensitivity = tp / (tp + fn): the ratio of truly found errors to
+    /// corrupted records. `None` when nothing was corrupted.
+    pub fn sensitivity(&self) -> Option<f64> {
+        ratio(self.tp, self.tp + self.fn_)
+    }
+
+    /// Specificity = tn / (tn + fp): how many of the error-free records
+    /// have been marked as such. `None` when nothing was clean.
+    pub fn specificity(&self) -> Option<f64> {
+        ratio(self.tn, self.tn + self.fp)
+    }
+
+    /// Precision = tp / (tp + fp). `None` when nothing was flagged.
+    pub fn precision(&self) -> Option<f64> {
+        ratio(self.tp, self.tp + self.fp)
+    }
+
+    /// Recall — identical to sensitivity; provided because the
+    /// information-retrieval literature the paper cites uses the term.
+    pub fn recall(&self) -> Option<f64> {
+        self.sensitivity()
+    }
+
+    /// Accuracy = (tp + tn) / total.
+    pub fn accuracy(&self) -> Option<f64> {
+        ratio(self.tp + self.tn, self.total())
+    }
+
+    /// Prevalence = (tp + fn) / total — the total ratio of errors in
+    /// the table, which the paper notes sensitivity is independent of.
+    pub fn prevalence(&self) -> Option<f64> {
+        ratio(self.tp + self.fn_, self.total())
+    }
+
+    /// F1 = harmonic mean of precision and sensitivity.
+    pub fn f1(&self) -> Option<f64> {
+        let p = self.precision()?;
+        let r = self.sensitivity()?;
+        if p + r == 0.0 {
+            Some(0.0)
+        } else {
+            Some(2.0 * p * r / (p + r))
+        }
+    }
+}
+
+/// Correction quality matrix (sec. 4.3): record correctness before
+/// (rows) and after (columns) applying the proposed corrections.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CorrectionMatrix {
+    /// Correct before, correct after (untouched or harmlessly touched).
+    pub a: u64,
+    /// Correct before, **incorrect** after (correction damage).
+    pub b: u64,
+    /// Incorrect before, correct after (successful repair).
+    pub c: u64,
+    /// Incorrect before, incorrect after (failed repair).
+    pub d: u64,
+}
+
+impl CorrectionMatrix {
+    /// Accumulate one record.
+    pub fn record(&mut self, correct_before: bool, correct_after: bool) {
+        match (correct_before, correct_after) {
+            (true, true) => self.a += 1,
+            (true, false) => self.b += 1,
+            (false, true) => self.c += 1,
+            (false, false) => self.d += 1,
+        }
+    }
+
+    /// The paper's improvement measure: the difference between the
+    /// number of errors before (`c + d`) and after (`b + d`) the
+    /// correction, normalized by the number of errors before:
+    /// `((c+d) - (b+d)) / (c+d)`.
+    ///
+    /// 1 means every error was repaired and none introduced; negative
+    /// values mean the correction made things worse. `None` when there
+    /// were no errors to begin with.
+    pub fn improvement(&self) -> Option<f64> {
+        let before = self.c + self.d;
+        if before == 0 {
+            return None;
+        }
+        let after = self.b + self.d;
+        Some((before as f64 - after as f64) / before as f64)
+    }
+}
+
+fn ratio(num: u64, den: u64) -> Option<f64> {
+    if den == 0 {
+        None
+    } else {
+        Some(num as f64 / den as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ConfusionMatrix {
+        // 10 corrupted (7 found), 90 clean (3 false alarms).
+        ConfusionMatrix { tp: 7, fn_: 3, fp: 3, tn: 87 }
+    }
+
+    #[test]
+    fn detection_measures() {
+        let m = sample();
+        assert_eq!(m.total(), 100);
+        assert!((m.sensitivity().unwrap() - 0.7).abs() < 1e-12);
+        assert!((m.specificity().unwrap() - 0.9666666666666667).abs() < 1e-12);
+        assert!((m.precision().unwrap() - 0.7).abs() < 1e-12);
+        assert_eq!(m.recall(), m.sensitivity());
+        assert!((m.accuracy().unwrap() - 0.94).abs() < 1e-12);
+        assert!((m.prevalence().unwrap() - 0.1).abs() < 1e-12);
+        assert!((m.f1().unwrap() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_and_merge() {
+        let mut m = ConfusionMatrix::default();
+        m.record(true, true);
+        m.record(true, false);
+        m.record(false, true);
+        m.record(false, false);
+        assert_eq!(m, ConfusionMatrix { tp: 1, fn_: 1, fp: 1, tn: 1 });
+        let mut m2 = m;
+        m2.merge(&m);
+        assert_eq!(m2.total(), 8);
+    }
+
+    #[test]
+    fn degenerate_denominators_are_none() {
+        let empty = ConfusionMatrix::default();
+        assert_eq!(empty.sensitivity(), None);
+        assert_eq!(empty.specificity(), None);
+        assert_eq!(empty.precision(), None);
+        assert_eq!(empty.accuracy(), None);
+        let all_clean = ConfusionMatrix { tn: 5, ..Default::default() };
+        assert_eq!(all_clean.sensitivity(), None);
+        assert_eq!(all_clean.specificity(), Some(1.0));
+    }
+
+    #[test]
+    fn sensitivity_is_prevalence_independent() {
+        // Same detector behaviour at two prevalences → same sensitivity.
+        let low = ConfusionMatrix { tp: 8, fn_: 2, fp: 10, tn: 980 };
+        let high = ConfusionMatrix { tp: 400, fn_: 100, fp: 5, tn: 495 };
+        assert!((low.sensitivity().unwrap() - high.sensitivity().unwrap()).abs() < 1e-12);
+        assert!(low.prevalence().unwrap() < high.prevalence().unwrap());
+        // While precision swings wildly with prevalence.
+        assert!(low.precision().unwrap() < high.precision().unwrap());
+    }
+
+    #[test]
+    fn correction_improvement() {
+        // 10 errors; 6 repaired, 4 failed, 1 clean record damaged.
+        let m = CorrectionMatrix { a: 89, b: 1, c: 6, d: 4 };
+        // before = 10, after = 5 → improvement 0.5.
+        assert!((m.improvement().unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correction_can_degrade() {
+        // 2 errors, none repaired, 5 clean records damaged.
+        let m = CorrectionMatrix { a: 10, b: 5, c: 0, d: 2 };
+        assert!((m.improvement().unwrap() - (2.0 - 7.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correction_no_errors_is_none() {
+        let m = CorrectionMatrix { a: 10, b: 1, c: 0, d: 0 };
+        assert_eq!(m.improvement(), None);
+    }
+
+    #[test]
+    fn correction_record() {
+        let mut m = CorrectionMatrix::default();
+        m.record(false, true);
+        m.record(false, false);
+        m.record(true, true);
+        m.record(true, false);
+        assert_eq!(m, CorrectionMatrix { a: 1, b: 1, c: 1, d: 1 });
+        assert_eq!(m.improvement(), Some(0.0));
+    }
+}

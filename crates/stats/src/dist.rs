@@ -1,0 +1,274 @@
+//! User-parameterizable sampling distributions over attribute domains.
+//!
+//! "Our system offers uniform, normal and exponential distributions
+//! that can be parameterized by the user" (sec. 4.1.4). These are the
+//! *univariate start distributions* of the test data generator; the
+//! multivariate ones live in `dq-bayes`.
+//!
+//! A [`DistributionSpec`] is resolved against an attribute's declared
+//! domain ([`dq_table::AttrType`]): samples are clamped into the domain
+//! and snapped to the domain's grid (integer numeric, date days,
+//! nominal codes).
+
+use dq_table::{AttrType, Value};
+use rand::Rng;
+
+/// A sampling distribution, parameterized in *normalized domain
+/// coordinates*: positions are fractions of the domain extent in
+/// `[0, 1]`, so the same spec works for a 5-label nominal attribute and
+/// a `[0, 10_000]` numeric one.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DistributionSpec {
+    /// Uniform over the whole domain.
+    Uniform,
+    /// Normal with mean and standard deviation given as domain
+    /// fractions (e.g. `mean: 0.5, sd: 0.15` concentrates around the
+    /// domain center). Samples are clamped into the domain.
+    Normal {
+        /// Mean position as a fraction of the domain extent.
+        mean: f64,
+        /// Standard deviation as a fraction of the domain extent.
+        sd: f64,
+    },
+    /// Exponential decaying from the domain minimum; `rate` is the
+    /// decay rate per domain extent (higher = more mass near the
+    /// minimum). Samples are clamped into the domain.
+    Exponential {
+        /// Decay rate per domain extent.
+        rate: f64,
+    },
+    /// Explicit per-code weights for nominal attributes (normalized
+    /// internally; must match the label count when sampled).
+    Categorical {
+        /// Relative weight of each nominal code.
+        weights: Vec<f64>,
+    },
+}
+
+impl DistributionSpec {
+    /// Draw one value for an attribute of type `ty`.
+    ///
+    /// Panics if a [`DistributionSpec::Categorical`] spec is applied to
+    /// a non-nominal attribute or its weight vector does not match the
+    /// label count — these are configuration errors, caught eagerly by
+    /// `dq-tdg`'s config validation.
+    pub fn sample<R: Rng + ?Sized>(&self, ty: &AttrType, rng: &mut R) -> Value {
+        match ty {
+            AttrType::Nominal { labels } => {
+                let n = labels.len();
+                let idx = match self {
+                    DistributionSpec::Uniform => rng.gen_range(0..n),
+                    DistributionSpec::Normal { mean, sd } => {
+                        let x = sample_normal(rng, *mean, *sd) * n as f64;
+                        (x.floor().max(0.0) as usize).min(n - 1)
+                    }
+                    DistributionSpec::Exponential { rate } => {
+                        let x = sample_exponential(rng, *rate) * n as f64;
+                        (x.floor().max(0.0) as usize).min(n - 1)
+                    }
+                    DistributionSpec::Categorical { weights } => {
+                        assert_eq!(
+                            weights.len(),
+                            n,
+                            "categorical weights must match the label count"
+                        );
+                        weighted_choice(rng, weights)
+                    }
+                };
+                Value::Nominal(idx as u32)
+            }
+            AttrType::Numeric { min, max, integer } => {
+                let x = self.sample_unit(rng);
+                let v = min + x * (max - min);
+                let v = if *integer { v.round() } else { v };
+                Value::Number(v.clamp(*min, *max))
+            }
+            AttrType::Date { min, max } => {
+                let x = self.sample_unit(rng);
+                let span = (max - min) as f64;
+                let d = *min + (x * span).round() as i64;
+                Value::Date(d.clamp(*min, *max))
+            }
+        }
+    }
+
+    /// Draw a position in `[0, 1]` (clamped).
+    fn sample_unit<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match self {
+            DistributionSpec::Uniform => rng.gen::<f64>(),
+            DistributionSpec::Normal { mean, sd } => sample_normal(rng, *mean, *sd),
+            DistributionSpec::Exponential { rate } => sample_exponential(rng, *rate),
+            DistributionSpec::Categorical { .. } => {
+                panic!("categorical distributions apply to nominal attributes only")
+            }
+        }
+    }
+}
+
+/// Normal sample via Box–Muller, clamped to `[0, 1]`.
+fn sample_normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (mean + sd * z).clamp(0.0, 1.0)
+}
+
+/// Exponential sample via inverse CDF, scaled by `1/rate`, clamped to
+/// `[0, 1]`.
+fn sample_exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    let rate = if rate <= 0.0 { 1.0 } else { rate };
+    let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    (-u.ln() / rate).clamp(0.0, 1.0)
+}
+
+/// Index drawn proportionally to `weights` (all weights must be
+/// non-negative; an all-zero vector falls back to index 0).
+pub fn weighted_choice<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    debug_assert!(weights.iter().all(|w| *w >= 0.0), "negative weight");
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return 0;
+    }
+    let mut x = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        x -= w;
+        if x <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn uniform_nominal_covers_domain() {
+        let ty = AttrType::Nominal { labels: (0..5).map(|i| format!("l{i}")).collect() };
+        let mut seen = [false; 5];
+        let mut r = rng();
+        for _ in 0..500 {
+            match DistributionSpec::Uniform.sample(&ty, &mut r) {
+                Value::Nominal(c) => seen[c as usize] = true,
+                v => panic!("unexpected value {v:?}"),
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "all 5 codes should appear in 500 draws");
+    }
+
+    #[test]
+    fn numeric_samples_stay_in_domain() {
+        let ty = AttrType::Numeric { min: -3.0, max: 7.0, integer: false };
+        let mut r = rng();
+        for spec in [
+            DistributionSpec::Uniform,
+            DistributionSpec::Normal { mean: 0.5, sd: 0.5 },
+            DistributionSpec::Exponential { rate: 2.0 },
+        ] {
+            for _ in 0..200 {
+                match spec.sample(&ty, &mut r) {
+                    Value::Number(x) => assert!((-3.0..=7.0).contains(&x)),
+                    v => panic!("unexpected value {v:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn integer_attribute_snaps_to_grid() {
+        let ty = AttrType::Numeric { min: 0.0, max: 10.0, integer: true };
+        let mut r = rng();
+        for _ in 0..100 {
+            match DistributionSpec::Uniform.sample(&ty, &mut r) {
+                Value::Number(x) => assert_eq!(x.fract(), 0.0),
+                v => panic!("unexpected value {v:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn date_samples_stay_in_domain() {
+        let ty = AttrType::Date { min: 100, max: 200 };
+        let mut r = rng();
+        for _ in 0..100 {
+            match (DistributionSpec::Normal { mean: 0.2, sd: 0.4 }).sample(&ty, &mut r) {
+                Value::Date(d) => assert!((100..=200).contains(&d)),
+                v => panic!("unexpected value {v:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn normal_concentrates_around_mean() {
+        let ty = AttrType::Numeric { min: 0.0, max: 1.0, integer: false };
+        let spec = DistributionSpec::Normal { mean: 0.5, sd: 0.1 };
+        let mut r = rng();
+        let mut sum = 0.0;
+        let n = 2000;
+        for _ in 0..n {
+            if let Value::Number(x) = spec.sample(&ty, &mut r) {
+                sum += x;
+            }
+        }
+        assert!((sum / n as f64 - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn exponential_skews_to_minimum() {
+        let ty = AttrType::Numeric { min: 0.0, max: 1.0, integer: false };
+        let spec = DistributionSpec::Exponential { rate: 5.0 };
+        let mut r = rng();
+        let n = 2000;
+        let below = (0..n)
+            .filter(|_| matches!(spec.sample(&ty, &mut r), Value::Number(x) if x < 0.2))
+            .count();
+        // P(X < 0.2) for Exp(5) is 1 - e^-1 ≈ 0.63.
+        assert!(below as f64 / n as f64 > 0.5);
+    }
+
+    #[test]
+    fn categorical_respects_weights() {
+        let ty = AttrType::Nominal { labels: vec!["a".into(), "b".into(), "c".into()] };
+        let spec = DistributionSpec::Categorical { weights: vec![0.0, 3.0, 1.0] };
+        let mut counts = [0usize; 3];
+        let mut r = rng();
+        for _ in 0..4000 {
+            if let Value::Nominal(c) = spec.sample(&ty, &mut r) {
+                counts[c as usize] += 1;
+            }
+        }
+        assert_eq!(counts[0], 0);
+        let ratio = counts[1] as f64 / counts[2] as f64;
+        assert!((2.0..4.5).contains(&ratio), "expected ≈3:1, got {ratio}");
+    }
+
+    #[test]
+    fn weighted_choice_degenerate() {
+        let mut r = rng();
+        assert_eq!(weighted_choice(&mut r, &[0.0, 0.0]), 0);
+        assert_eq!(weighted_choice(&mut r, &[0.0, 1.0]), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "categorical weights must match")]
+    fn categorical_weight_mismatch_panics() {
+        let ty = AttrType::Nominal { labels: vec!["a".into(), "b".into()] };
+        let mut r = rng();
+        DistributionSpec::Categorical { weights: vec![1.0] }.sample(&ty, &mut r);
+    }
+
+    #[test]
+    #[should_panic(expected = "nominal attributes only")]
+    fn categorical_on_numeric_panics() {
+        let ty = AttrType::Numeric { min: 0.0, max: 1.0, integer: false };
+        let mut r = rng();
+        DistributionSpec::Categorical { weights: vec![1.0] }.sample(&ty, &mut r);
+    }
+}

@@ -1,0 +1,124 @@
+//! Entropy-family impurity measures for decision-tree induction
+//! (sec. 5.1 of the paper).
+//!
+//! All functions take *weighted* class counts (`f64`), because C4.5
+//! distributes instances with missing values fractionally over
+//! branches, making counts non-integral.
+
+/// Shannon entropy (bits) of a class distribution given as counts.
+/// Zero counts contribute nothing; an empty or all-zero vector has
+/// entropy 0.
+pub fn entropy(counts: &[f64]) -> f64 {
+    let total: f64 = counts.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let mut h = 0.0;
+    for &c in counts {
+        if c > 0.0 {
+            let p = c / total;
+            h -= p * p.log2();
+        }
+    }
+    h
+}
+
+/// Information gain of a partition (ID3's split criterion):
+/// `entr(S) − Σ |S_j|/|S| · entr(S_j)` where `parts[j]` holds the class
+/// counts of partition `j`.
+pub fn info_gain(parent: &[f64], parts: &[Vec<f64>]) -> f64 {
+    let total: f64 = parent.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let mut remainder = 0.0;
+    for part in parts {
+        let size: f64 = part.iter().sum();
+        if size > 0.0 {
+            remainder += size / total * entropy(part);
+        }
+    }
+    entropy(parent) - remainder
+}
+
+/// Split information (C4.5): the entropy of the partition *sizes*,
+/// used to penalize splits with many small branches.
+pub fn split_info(parts: &[Vec<f64>]) -> f64 {
+    let sizes: Vec<f64> = parts.iter().map(|p| p.iter().sum()).collect();
+    entropy(&sizes)
+}
+
+/// Gain ratio (C4.5's split criterion): information gain divided by
+/// split information. Returns 0 when the split information vanishes
+/// (all instances in one branch), where the ratio is undefined and the
+/// split is useless anyway.
+pub fn gain_ratio(parent: &[f64], parts: &[Vec<f64>]) -> f64 {
+    let si = split_info(parts);
+    if si <= 1e-12 {
+        return 0.0;
+    }
+    info_gain(parent, parts) / si
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entropy_basics() {
+        assert_eq!(entropy(&[]), 0.0);
+        assert_eq!(entropy(&[0.0, 0.0]), 0.0);
+        assert_eq!(entropy(&[10.0]), 0.0);
+        assert!((entropy(&[5.0, 5.0]) - 1.0).abs() < 1e-12);
+        assert!((entropy(&[1.0, 1.0, 1.0, 1.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_is_maximal_for_uniform() {
+        let uniform = entropy(&[3.0, 3.0, 3.0]);
+        let skewed = entropy(&[7.0, 1.0, 1.0]);
+        assert!(uniform > skewed);
+        assert!((uniform - 3f64.log2()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_split_gains_full_entropy() {
+        let parent = [4.0, 4.0];
+        let parts = vec![vec![4.0, 0.0], vec![0.0, 4.0]];
+        assert!((info_gain(&parent, &parts) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn useless_split_gains_nothing() {
+        let parent = [4.0, 4.0];
+        let parts = vec![vec![2.0, 2.0], vec![2.0, 2.0]];
+        assert!(info_gain(&parent, &parts).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gain_ratio_penalizes_many_way_splits() {
+        // Quinlan's motivating case: splitting 8 instances into 8
+        // singleton branches has perfect gain but huge split info.
+        let parent = [4.0, 4.0];
+        let many: Vec<Vec<f64>> = (0..8)
+            .map(|i| if i < 4 { vec![1.0, 0.0] } else { vec![0.0, 1.0] })
+            .collect();
+        let two = vec![vec![4.0, 0.0], vec![0.0, 4.0]];
+        assert!(info_gain(&parent, &many) >= info_gain(&parent, &two) - 1e-12);
+        assert!(gain_ratio(&parent, &many) < gain_ratio(&parent, &two));
+    }
+
+    #[test]
+    fn degenerate_split_info_yields_zero_ratio() {
+        let parent = [4.0, 4.0];
+        let parts = vec![vec![4.0, 4.0], vec![0.0, 0.0]];
+        assert_eq!(gain_ratio(&parent, &parts), 0.0);
+    }
+
+    #[test]
+    fn fractional_counts_are_fine() {
+        let parent = [2.5, 2.5];
+        let parts = vec![vec![2.5, 0.0], vec![0.0, 2.5]];
+        assert!((info_gain(&parent, &parts) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,37 @@
+//! # dq-stats — statistical substrate for data auditing
+//!
+//! Small, dependency-light statistics used throughout the workspace:
+//!
+//! * [`ci`] — binomial proportion confidence intervals. The paper's
+//!   `leftBound(p, n)` / `rightBound(p, n)` (used in pessimistic error
+//!   pruning, sec. 5.1.2, and in the error confidence, Def. 7) are
+//!   implemented with the Wilson score interval, which is well defined
+//!   for small samples and tightens monotonically with `n` — the
+//!   property the paper's error confidence exploits ("the influence of
+//!   the sample size to the calculation of the error confidence").
+//! * [`mod@entropy`] — entropy, information gain, split information and
+//!   gain ratio over class-count vectors (ID3/C4.5, sec. 5.1).
+//! * [`dist`] — user-parameterizable sampling distributions (uniform,
+//!   normal, exponential, categorical) over attribute domains, the
+//!   univariate start distributions of the test data generator
+//!   (sec. 4.1.4).
+//! * [`confusion`] — the 2×2 detection matrix with sensitivity and
+//!   specificity, and the 2×2 correction matrix with the paper's
+//!   quality-of-correction measure (sec. 4.3).
+//! * [`quantile`] — the standard normal quantile function used by the
+//!   interval code.
+
+pub mod ci;
+pub mod confusion;
+pub mod dist;
+pub mod entropy;
+pub mod quantile;
+
+pub use ci::{
+    argmax, asymptotic_error_confidence, error_confidence, expected_error_confidence, left_bound,
+    max_error_confidence, right_bound, wilson_interval,
+};
+pub use confusion::{ConfusionMatrix, CorrectionMatrix};
+pub use dist::{weighted_choice, DistributionSpec};
+pub use entropy::{entropy, gain_ratio, info_gain, split_info};
+pub use quantile::normal_quantile;

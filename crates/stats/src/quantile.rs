@@ -1,0 +1,140 @@
+//! Standard normal quantile (inverse CDF).
+
+/// Inverse of the standard normal CDF, Φ⁻¹(p).
+///
+/// Peter Acklam's rational approximation (relative error < 1.15e-9 over
+/// the open unit interval) — far more precision than any confidence
+/// bound in this workspace needs.
+///
+/// Panics on `p <= 0` or `p >= 1` — callers clamp their confidence
+/// levels to the open interval.
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "normal_quantile requires p in (0,1), got {p}");
+
+    // Coefficients for the three regions of Acklam's approximation.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+/// Complementary error function, via the classic Numerical Recipes
+/// Chebyshev fit (absolute error < 1.2e-7 — ample for CDF reporting).
+fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let ans = t
+        * (-z * z - 1.26551223
+            + t * (1.00002368
+                + t * (0.37409196
+                    + t * (0.09678418
+                        + t * (-0.18628806
+                            + t * (0.27886807
+                                + t * (-1.13520398
+                                    + t * (1.48851587
+                                        + t * (-0.82215223 + t * 0.17087277)))))))))
+        .exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+/// Standard normal CDF, Φ(x) (exposed for tests and for callers that
+/// need p-values).
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_quantiles() {
+        // Reference values from standard normal tables.
+        let cases = [
+            (0.5, 0.0),
+            (0.975, 1.959963984540054),
+            (0.95, 1.6448536269514722),
+            (0.9, 1.2815515655446004),
+            (0.995, 2.5758293035489004),
+            (0.8, 0.8416212335729143),
+        ];
+        for (p, z) in cases {
+            assert!(
+                (normal_quantile(p) - z).abs() < 1e-8,
+                "quantile({p}) = {} != {z}",
+                normal_quantile(p)
+            );
+        }
+    }
+
+    #[test]
+    fn symmetry() {
+        for p in [0.01, 0.1, 0.3, 0.45] {
+            assert!((normal_quantile(p) + normal_quantile(1.0 - p)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn tails() {
+        assert!(normal_quantile(1e-10) < -6.0);
+        assert!(normal_quantile(1.0 - 1e-10) > 6.0);
+    }
+
+    #[test]
+    fn cdf_inverts_quantile() {
+        for p in [0.001, 0.025, 0.2, 0.5, 0.8, 0.975, 0.999] {
+            assert!((normal_cdf(normal_quantile(p)) - p).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires p in (0,1)")]
+    fn rejects_degenerate_p() {
+        normal_quantile(1.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based checks of the statistical substrate: the interval
+//! bounds and error-confidence measures must satisfy the monotonicity
+//! and ordering properties the auditing tool's guarantees rest on.
+
+use dq_stats::{
+    asymptotic_error_confidence, entropy, error_confidence, expected_error_confidence, gain_ratio,
+    info_gain, left_bound, max_error_confidence, right_bound, wilson_interval,
+};
+use proptest::prelude::*;
+
+fn proportion() -> impl Strategy<Value = f64> {
+    0.0f64..=1.0
+}
+
+fn sample_size() -> impl Strategy<Value = f64> {
+    1.0f64..100_000.0
+}
+
+fn counts(max_card: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..5_000.0, 2..=max_card)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    /// The Wilson interval always contains the observed proportion and
+    /// stays inside [0, 1].
+    #[test]
+    fn interval_contains_p_and_is_bounded(p in proportion(), n in sample_size()) {
+        let (l, r) = wilson_interval(p, n, 0.95);
+        prop_assert!(l <= p + 1e-9 && p <= r + 1e-9, "({l}, {r}) vs {p}");
+        prop_assert!((0.0..=1.0).contains(&l) && (0.0..=1.0).contains(&r));
+        prop_assert!(l <= r);
+    }
+
+    /// Bounds tighten monotonically with the sample size — "the
+    /// influence of the sample size to the calculation of the error
+    /// confidence".
+    #[test]
+    fn interval_tightens_with_n(p in proportion(), n in 1.0f64..10_000.0, k in 2.0f64..10.0) {
+        let (l1, r1) = wilson_interval(p, n, 0.95);
+        let (l2, r2) = wilson_interval(p, n * k, 0.95);
+        prop_assert!(r2 - l2 <= r1 - l1 + 1e-12);
+    }
+
+    /// Higher confidence levels widen the interval.
+    #[test]
+    fn interval_widens_with_level(p in proportion(), n in sample_size()) {
+        let (l90, r90) = wilson_interval(p, n, 0.90);
+        let (l99, r99) = wilson_interval(p, n, 0.99);
+        prop_assert!(l99 <= l90 + 1e-12 && r90 <= r99 + 1e-12);
+    }
+
+    /// Error confidence is a probability, zero on the predicted class,
+    /// and never exceeds its asymptotic (interval-free) value.
+    #[test]
+    fn error_confidence_is_bounded_by_asymptotic(cs in counts(6), obs in 0usize..6) {
+        prop_assume!(obs < cs.len());
+        let ec = error_confidence(&cs, obs, 0.95);
+        prop_assert!((0.0..=1.0).contains(&ec));
+        let asym = asymptotic_error_confidence(&cs, obs);
+        prop_assert!(ec <= asym + 1e-9, "interval {ec} must not exceed asymptotic {asym}");
+        let predicted = dq_stats::argmax(&cs);
+        if obs == predicted {
+            prop_assert_eq!(ec, 0.0);
+        }
+    }
+
+    /// Error confidence grows with support at fixed proportions.
+    #[test]
+    fn error_confidence_grows_with_support(cs in counts(5), obs in 0usize..5, k in 2.0f64..50.0) {
+        prop_assume!(obs < cs.len());
+        prop_assume!(cs.iter().sum::<f64>() > 0.0);
+        let scaled: Vec<f64> = cs.iter().map(|c| c * k).collect();
+        prop_assert!(
+            error_confidence(&scaled, obs, 0.95) + 1e-9 >= error_confidence(&cs, obs, 0.95)
+        );
+    }
+
+    /// The maximum achievable error confidence dominates every
+    /// observable one, and the expected error confidence is a convex
+    /// combination below it.
+    #[test]
+    fn confidence_measures_are_ordered(cs in counts(6)) {
+        let max = max_error_confidence(&cs, 0.95);
+        for obs in 0..cs.len() {
+            prop_assert!(error_confidence(&cs, obs, 0.95) <= max + 1e-12);
+        }
+        let expected = expected_error_confidence(&cs, 0.95);
+        prop_assert!((0.0..=1.0).contains(&expected));
+        prop_assert!(expected <= max + 1e-12);
+    }
+
+    /// Entropy is bounded by log2(k) and zero exactly for pure
+    /// distributions.
+    #[test]
+    fn entropy_bounds(cs in counts(8)) {
+        let h = entropy(&cs);
+        let k = cs.iter().filter(|&&c| c > 0.0).count();
+        prop_assert!(h >= -1e-12);
+        if k > 0 {
+            prop_assert!(h <= (k as f64).log2() + 1e-9);
+        }
+        if k <= 1 {
+            prop_assert!(h.abs() < 1e-12);
+        }
+    }
+
+    /// Information gain of any two-way partition of the parent is
+    /// non-negative and bounded by the parent entropy; the gain ratio
+    /// stays within [0, ~1] for proper partitions.
+    #[test]
+    fn gain_is_nonnegative_and_bounded(
+        parent in counts(5),
+        split in proptest::collection::vec(proportion(), 5),
+    ) {
+        // Partition the parent cell-wise by the split fractions.
+        let a: Vec<f64> = parent.iter().zip(&split).map(|(c, f)| c * f).collect();
+        let b: Vec<f64> = parent.iter().zip(&split).map(|(c, f)| c * (1.0 - f)).collect();
+        let parts = vec![a, b];
+        let g = info_gain(&parent, &parts);
+        prop_assert!(g >= -1e-9, "gain {g}");
+        prop_assert!(g <= entropy(&parent) + 1e-9);
+        let gr = gain_ratio(&parent, &parts);
+        prop_assert!(gr >= -1e-9);
+    }
+
+    /// leftBound/rightBound are consistent with the two-sided interval.
+    #[test]
+    fn bounds_match_interval(p in proportion(), n in sample_size()) {
+        let (l, r) = wilson_interval(p, n, 0.95);
+        prop_assert_eq!(left_bound(p, n, 0.95), l);
+        prop_assert_eq!(right_bound(p, n, 0.95), r);
+    }
+}

@@ -1,0 +1,121 @@
+//! Fluent schema construction.
+
+use crate::date::days_from_civil;
+use crate::error::TableError;
+use crate::schema::{AttrType, Attribute, Schema};
+use std::sync::Arc;
+
+/// Fluent builder for [`Schema`]s.
+///
+/// ```
+/// use dq_table::SchemaBuilder;
+///
+/// let schema = SchemaBuilder::new()
+///     .nominal("BRV", ["404", "501", "611"])
+///     .integer("POWER_KW", 20.0, 500.0)
+///     .numeric("DISPLACEMENT", 0.6, 8.0)
+///     .date_ymd("PROD_DATE", (1990, 1, 1), (2003, 12, 31))
+///     .build()
+///     .unwrap();
+/// assert_eq!(schema.len(), 4);
+/// ```
+#[derive(Debug, Default)]
+pub struct SchemaBuilder {
+    attributes: Vec<Attribute>,
+}
+
+impl SchemaBuilder {
+    /// Start an empty builder.
+    pub fn new() -> Self {
+        SchemaBuilder::default()
+    }
+
+    /// Add a nominal attribute with the given labels.
+    pub fn nominal<I, S>(mut self, name: &str, labels: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.attributes.push(Attribute::new(
+            name,
+            AttrType::Nominal { labels: labels.into_iter().map(Into::into).collect() },
+        ));
+        self
+    }
+
+    /// Add a nominal attribute with synthetic labels `v0..v{n-1}` —
+    /// convenient for generated benchmark schemas where only the domain
+    /// *size* matters.
+    pub fn nominal_sized(mut self, name: &str, domain_size: usize) -> Self {
+        let labels = (0..domain_size).map(|i| format!("v{i}")).collect();
+        self.attributes.push(Attribute::new(name, AttrType::Nominal { labels }));
+        self
+    }
+
+    /// Add a real-valued numeric attribute over `[min, max]`.
+    pub fn numeric(mut self, name: &str, min: f64, max: f64) -> Self {
+        self.attributes
+            .push(Attribute::new(name, AttrType::Numeric { min, max, integer: false }));
+        self
+    }
+
+    /// Add an integer-valued numeric attribute over `[min, max]`.
+    pub fn integer(mut self, name: &str, min: f64, max: f64) -> Self {
+        self.attributes
+            .push(Attribute::new(name, AttrType::Numeric { min, max, integer: true }));
+        self
+    }
+
+    /// Add a date attribute over an inclusive range of civil dates.
+    pub fn date_ymd(mut self, name: &str, min: (i64, u32, u32), max: (i64, u32, u32)) -> Self {
+        self.attributes.push(Attribute::new(
+            name,
+            AttrType::Date {
+                min: days_from_civil(min.0, min.1, min.2),
+                max: days_from_civil(max.0, max.1, max.2),
+            },
+        ));
+        self
+    }
+
+    /// Add a pre-built attribute.
+    pub fn attribute(mut self, attribute: Attribute) -> Self {
+        self.attributes.push(attribute);
+        self
+    }
+
+    /// Finish, validating the schema.
+    pub fn build(self) -> Result<Arc<Schema>, TableError> {
+        Schema::shared(self.attributes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_all_kinds() {
+        let s = SchemaBuilder::new()
+            .nominal("a", ["x", "y"])
+            .nominal_sized("b", 4)
+            .numeric("n", 0.0, 1.0)
+            .integer("i", -5.0, 5.0)
+            .date_ymd("d", (2000, 1, 1), (2001, 1, 1))
+            .build()
+            .unwrap();
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.attr(1).label(3), Some("v3"));
+        assert!(matches!(s.attr(3).ty, AttrType::Numeric { integer: true, .. }));
+        match s.attr(4).ty {
+            AttrType::Date { min, max } => assert!(min < max),
+            _ => panic!("expected date"),
+        }
+    }
+
+    #[test]
+    fn propagates_validation_errors() {
+        assert!(SchemaBuilder::new().nominal("a", Vec::<String>::new()).build().is_err());
+        assert!(SchemaBuilder::new().numeric("n", 2.0, 1.0).build().is_err());
+    }
+}

@@ -1,0 +1,193 @@
+//! Minimal CSV import/export for tables.
+//!
+//! The format is deliberately simple (no quoting of separators inside
+//! labels): one header row with attribute names, then one row per
+//! record. NULL cells are written as the empty string, nominal cells as
+//! their labels, dates as ISO `YYYY-MM-DD`. This is enough to move
+//! generated benchmark tables and audit findings in and out of the
+//! workspace; it is not a general-purpose CSV engine.
+
+use crate::date::parse_iso;
+use crate::error::TableError;
+use crate::schema::{AttrType, Schema};
+use crate::table::Table;
+use crate::value::Value;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::sync::Arc;
+
+/// Write `table` as CSV.
+pub fn write_csv<W: Write>(table: &Table, out: W) -> Result<(), TableError> {
+    let mut w = BufWriter::new(out);
+    let schema = table.schema();
+    let names: Vec<&str> =
+        schema.attributes().iter().map(|a| a.name.as_str()).collect();
+    writeln!(w, "{}", names.join(","))?;
+    for r in 0..table.n_rows() {
+        for c in 0..table.n_cols() {
+            if c > 0 {
+                write!(w, ",")?;
+            }
+            let v = table.get(r, c);
+            if !v.is_null() {
+                write!(w, "{}", schema.display_value(c, &v))?;
+            }
+        }
+        writeln!(w)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Read a CSV stream into a table over the given schema.
+///
+/// The header must list exactly the schema's attribute names in order.
+/// Empty cells become NULL. Nominal cells are matched against the label
+/// list; unknown labels are an error (a polluted table round-trips
+/// because wrong-value pollution stays within the label space; columns
+/// holding out-of-label codes cannot be serialized as labels in the
+/// first place).
+pub fn read_csv<R: Read>(schema: Arc<Schema>, input: R) -> Result<Table, TableError> {
+    let mut reader = BufReader::new(input);
+    let mut header = String::new();
+    if reader.read_line(&mut header)? == 0 {
+        return Err(TableError::Csv("missing header row".into()));
+    }
+    let names: Vec<&str> = header.trim_end_matches(['\n', '\r']).split(',').collect();
+    if names.len() != schema.len() {
+        return Err(TableError::Csv(format!(
+            "header has {} columns, schema has {}",
+            names.len(),
+            schema.len()
+        )));
+    }
+    for (i, name) in names.iter().enumerate() {
+        if schema.attr(i).name != *name {
+            return Err(TableError::Csv(format!(
+                "header column {i} is `{name}`, schema expects `{}`",
+                schema.attr(i).name
+            )));
+        }
+    }
+
+    let mut table = Table::new(schema.clone());
+    let mut record = Vec::with_capacity(schema.len());
+    let mut line = String::new();
+    let mut line_no = 1usize;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        line_no += 1;
+        let trimmed = line.trim_end_matches(['\n', '\r']);
+        if trimmed.is_empty() {
+            continue;
+        }
+        record.clear();
+        let cells: Vec<&str> = trimmed.split(',').collect();
+        if cells.len() != schema.len() {
+            return Err(TableError::Csv(format!(
+                "line {line_no}: {} cells, schema has {}",
+                cells.len(),
+                schema.len()
+            )));
+        }
+        for (i, cell) in cells.iter().enumerate() {
+            record.push(parse_cell(&schema, i, cell, line_no)?);
+        }
+        table.push_row(&record)?;
+    }
+    Ok(table)
+}
+
+fn parse_cell(
+    schema: &Schema,
+    col: usize,
+    cell: &str,
+    line_no: usize,
+) -> Result<Value, TableError> {
+    if cell.is_empty() {
+        return Ok(Value::Null);
+    }
+    let attr = schema.attr(col);
+    match &attr.ty {
+        AttrType::Nominal { .. } => attr.code(cell).map(Value::Nominal).ok_or_else(|| {
+            TableError::Csv(format!(
+                "line {line_no}: `{cell}` is not a label of `{}`",
+                attr.name
+            ))
+        }),
+        AttrType::Numeric { .. } => cell.parse::<f64>().map(Value::Number).map_err(|_| {
+            TableError::Csv(format!("line {line_no}: `{cell}` is not a number"))
+        }),
+        AttrType::Date { .. } => parse_iso(cell).map(Value::Date).ok_or_else(|| {
+            TableError::Csv(format!("line {line_no}: `{cell}` is not an ISO date"))
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SchemaBuilder;
+
+    fn schema() -> Arc<Schema> {
+        SchemaBuilder::new()
+            .nominal("color", ["red", "green"])
+            .numeric("size", 0.0, 100.0)
+            .date_ymd("built", (2000, 1, 1), (2010, 1, 1))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn round_trip() {
+        let s = schema();
+        let mut t = Table::new(s.clone());
+        t.push_row(&[Value::Nominal(1), Value::Number(4.5), Value::Null]).unwrap();
+        t.push_row(&[
+            Value::Null,
+            Value::Null,
+            Value::Date(crate::date::days_from_civil(2005, 6, 7)),
+        ])
+        .unwrap();
+
+        let mut buf = Vec::new();
+        write_csv(&t, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("color,size,built\n"));
+        assert!(text.contains("green,4.5,\n"));
+        assert!(text.contains(",,2005-06-07\n"));
+
+        let back = read_csv(s, &buf[..]).unwrap();
+        assert_eq!(back.n_rows(), 2);
+        for r in 0..2 {
+            assert_eq!(back.row(r), t.row(r));
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_header() {
+        let s = schema();
+        assert!(read_csv(s.clone(), "a,b,c\n".as_bytes()).is_err());
+        assert!(read_csv(s.clone(), "color,size\n".as_bytes()).is_err());
+        assert!(read_csv(s, "".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_cells() {
+        let s = schema();
+        let head = "color,size,built\n";
+        assert!(read_csv(s.clone(), format!("{head}mauve,1,\n").as_bytes()).is_err());
+        assert!(read_csv(s.clone(), format!("{head}red,xx,\n").as_bytes()).is_err());
+        assert!(read_csv(s.clone(), format!("{head}red,1,tuesday\n").as_bytes()).is_err());
+        assert!(read_csv(s, format!("{head}red,1\n").as_bytes()).is_err());
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let s = schema();
+        let t = read_csv(s, "color,size,built\n\nred,1,\n\n".as_bytes()).unwrap();
+        assert_eq!(t.n_rows(), 1);
+    }
+}

@@ -1,0 +1,108 @@
+//! Proleptic-Gregorian day-number arithmetic.
+//!
+//! Dates are stored in tables as `i64` day numbers relative to
+//! 1970-01-01 (day 0). The conversions below are the classic
+//! `days_from_civil` / `civil_from_days` algorithms (Howard Hinnant),
+//! exact over the whole proleptic Gregorian calendar.
+
+/// Day number of a civil date `(year, month, day)`, relative to
+/// 1970-01-01. Months are 1-12, days 1-31.
+pub fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    debug_assert!((1..=12).contains(&m), "month out of range");
+    debug_assert!((1..=31).contains(&d), "day out of range");
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = (m as i64 + 9) % 12; // [0, 11], March = 0
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146097 + doe - 719468
+}
+
+/// Civil date `(year, month, day)` of a day number relative to
+/// 1970-01-01. Inverse of [`days_from_civil`].
+pub fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = z - era * 146097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = (if mp < 10 { mp + 3 } else { mp - 9 }) as u32; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Parse an ISO `YYYY-MM-DD` string into a day number.
+pub fn parse_iso(s: &str) -> Option<i64> {
+    let mut parts = s.splitn(3, '-');
+    // A leading '-' would make the year part empty; QUIS-era data does
+    // not carry BCE dates, so reject them rather than guessing.
+    let y: i64 = parts.next()?.parse().ok()?;
+    let m: u32 = parts.next()?.parse().ok()?;
+    let d: u32 = parts.next()?.parse().ok()?;
+    if !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return None;
+    }
+    // Round-trip to reject impossible dates such as Feb 30.
+    let days = days_from_civil(y, m, d);
+    if civil_from_days(days) == (y, m, d) {
+        Some(days)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_day_zero() {
+        assert_eq!(days_from_civil(1970, 1, 1), 0);
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+    }
+
+    #[test]
+    fn known_dates() {
+        // VLDB 2003 conference opening day.
+        assert_eq!(civil_from_days(days_from_civil(2003, 9, 9)), (2003, 9, 9));
+        assert_eq!(days_from_civil(2000, 3, 1), 11017);
+        assert_eq!(days_from_civil(1969, 12, 31), -1);
+    }
+
+    #[test]
+    fn leap_years() {
+        assert_eq!(
+            days_from_civil(2000, 2, 29) + 1,
+            days_from_civil(2000, 3, 1)
+        );
+        // 1900 is not a leap year in the Gregorian calendar.
+        assert_eq!(parse_iso("1900-02-29"), None);
+        assert!(parse_iso("2000-02-29").is_some());
+    }
+
+    #[test]
+    fn round_trip_over_two_centuries() {
+        let lo = days_from_civil(1900, 1, 1);
+        let hi = days_from_civil(2100, 1, 1);
+        let mut prev = civil_from_days(lo - 1);
+        for z in lo..=hi {
+            let cur = civil_from_days(z);
+            assert_eq!(days_from_civil(cur.0, cur.1, cur.2), z);
+            assert!(cur != prev, "dates must strictly advance");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(parse_iso(""), None);
+        assert_eq!(parse_iso("2003-13-01"), None);
+        assert_eq!(parse_iso("2003-00-10"), None);
+        assert_eq!(parse_iso("2003-02-30"), None);
+        assert_eq!(parse_iso("03/02/2003"), None);
+        assert_eq!(parse_iso("2003-09-09"), Some(days_from_civil(2003, 9, 9)));
+    }
+}

@@ -1,0 +1,87 @@
+//! Error type shared by all fallible table operations.
+
+use std::fmt;
+
+/// Errors raised by schema construction and table manipulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableError {
+    /// An attribute name was declared twice in one schema.
+    DuplicateAttribute(String),
+    /// A nominal attribute was declared with an empty label set.
+    EmptyDomain(String),
+    /// A numeric/date attribute was declared with `min > max` or a
+    /// non-finite bound.
+    InvalidRange(String),
+    /// An attribute name or index was not found in the schema.
+    UnknownAttribute(String),
+    /// A value's kind does not match the attribute's declared type.
+    TypeMismatch {
+        /// Attribute the value was destined for.
+        attribute: String,
+        /// Human description of the offending value.
+        value: String,
+    },
+    /// A nominal code is outside the attribute's label list.
+    CodeOutOfRange {
+        /// Attribute the code was destined for.
+        attribute: String,
+        /// The offending code.
+        code: u32,
+        /// Number of labels in the attribute's domain.
+        domain_size: usize,
+    },
+    /// A row index was past the end of the table.
+    RowOutOfRange(usize),
+    /// A record had the wrong number of fields for the schema.
+    ArityMismatch {
+        /// Fields expected (schema width).
+        expected: usize,
+        /// Fields provided.
+        got: usize,
+    },
+    /// Two tables (or a table and a schema) that must agree did not.
+    SchemaMismatch,
+    /// A malformed CSV line or cell.
+    Csv(String),
+    /// An underlying I/O failure (message only, to keep the error `Clone`).
+    Io(String),
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::DuplicateAttribute(name) => {
+                write!(f, "duplicate attribute name `{name}`")
+            }
+            TableError::EmptyDomain(name) => {
+                write!(f, "nominal attribute `{name}` has an empty domain")
+            }
+            TableError::InvalidRange(name) => {
+                write!(f, "attribute `{name}` has an invalid (empty or non-finite) range")
+            }
+            TableError::UnknownAttribute(name) => write!(f, "unknown attribute `{name}`"),
+            TableError::TypeMismatch { attribute, value } => {
+                write!(f, "value {value} does not match the type of attribute `{attribute}`")
+            }
+            TableError::CodeOutOfRange { attribute, code, domain_size } => write!(
+                f,
+                "nominal code {code} out of range for attribute `{attribute}` (domain size {domain_size})"
+            ),
+            TableError::RowOutOfRange(row) => write!(f, "row index {row} out of range"),
+            TableError::ArityMismatch { expected, got } => {
+                write!(f, "record has {got} fields, schema has {expected}")
+            }
+            TableError::SchemaMismatch => write!(f, "schemas do not match"),
+            TableError::Csv(msg) => write!(f, "csv error: {msg}"),
+            TableError::Io(msg) => write!(f, "io error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+impl From<std::io::Error> for TableError {
+    fn from(e: std::io::Error) -> Self {
+        TableError::Io(e.to_string())
+    }
+}

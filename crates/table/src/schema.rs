@@ -1,0 +1,365 @@
+//! Schemas: attribute declarations with explicit domains.
+//!
+//! The test data generator of the paper starts from "a schema for the
+//! target relation with domain ranges for each attribute" (sec. 4.1).
+//! Domains are first-class here: nominal attributes carry their full
+//! label list, numeric and date attributes carry closed ranges. The
+//! satisfiability test of `dq-logic` and the samplers of `dq-tdg` both
+//! work directly on these domain declarations.
+
+use crate::error::TableError;
+use crate::value::Value;
+use crate::AttrIdx;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// The declared type (and domain) of an attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrType {
+    /// Finite, ordered label set; values are stored as codes (indices)
+    /// into this list.
+    Nominal {
+        /// The domain labels, in code order.
+        labels: Vec<String>,
+    },
+    /// Bounded numeric range `[min, max]`.
+    Numeric {
+        /// Inclusive lower bound.
+        min: f64,
+        /// Inclusive upper bound.
+        max: f64,
+        /// If `true`, the domain is the integers within `[min, max]`.
+        integer: bool,
+    },
+    /// Bounded date range `[min, max]` in day numbers
+    /// (see [`crate::date`]).
+    Date {
+        /// Inclusive lower bound (day number).
+        min: i64,
+        /// Inclusive upper bound (day number).
+        max: i64,
+    },
+}
+
+impl AttrType {
+    /// `true` for numeric and date attributes — the attribute kinds that
+    /// take part in ordering atoms (`N < n`, `N > M`, …) of the TDG
+    /// logic and in the limiter polluter.
+    pub fn is_ordered(&self) -> bool {
+        !matches!(self, AttrType::Nominal { .. })
+    }
+
+    /// Number of distinct values in the domain, if finite and cheaply
+    /// countable (nominal: label count; integer numeric and date: range
+    /// width; real numeric: `None`).
+    pub fn domain_size(&self) -> Option<u64> {
+        match self {
+            AttrType::Nominal { labels } => Some(labels.len() as u64),
+            AttrType::Numeric { min, max, integer: true } => {
+                let lo = min.ceil() as i64;
+                let hi = max.floor() as i64;
+                Some((hi - lo + 1).max(0) as u64)
+            }
+            AttrType::Numeric { .. } => None,
+            AttrType::Date { min, max } => Some((max - min + 1).max(0) as u64),
+        }
+    }
+
+    /// Check that a (non-NULL) value is of the matching kind and inside
+    /// the declared domain.
+    pub fn contains(&self, v: &Value) -> bool {
+        match (self, v) {
+            (AttrType::Nominal { labels }, Value::Nominal(c)) => (*c as usize) < labels.len(),
+            (AttrType::Numeric { min, max, integer }, Value::Number(x)) => {
+                x.is_finite() && *x >= *min && *x <= *max && (!*integer || x.fract() == 0.0)
+            }
+            (AttrType::Date { min, max }, Value::Date(d)) => d >= min && d <= max,
+            _ => false,
+        }
+    }
+
+    /// Check only that the value's *kind* matches (NULL always matches).
+    pub fn kind_matches(&self, v: &Value) -> bool {
+        matches!(
+            (self, v),
+            (_, Value::Null)
+                | (AttrType::Nominal { .. }, Value::Nominal(_))
+                | (AttrType::Numeric { .. }, Value::Number(_))
+                | (AttrType::Date { .. }, Value::Date(_))
+        )
+    }
+}
+
+/// A named, typed attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attribute {
+    /// Attribute name; unique within a schema.
+    pub name: String,
+    /// Declared type and domain.
+    pub ty: AttrType,
+}
+
+impl Attribute {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, ty: AttrType) -> Self {
+        Attribute { name: name.into(), ty }
+    }
+
+    /// The label of a nominal code under this attribute, if any.
+    pub fn label(&self, code: u32) -> Option<&str> {
+        match &self.ty {
+            AttrType::Nominal { labels } => labels.get(code as usize).map(String::as_str),
+            _ => None,
+        }
+    }
+
+    /// The code of a nominal label under this attribute, if any.
+    pub fn code(&self, label: &str) -> Option<u32> {
+        match &self.ty {
+            AttrType::Nominal { labels } => {
+                labels.iter().position(|l| l == label).map(|i| i as u32)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// A relation schema: an ordered list of uniquely named attributes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schema {
+    attributes: Vec<Attribute>,
+    by_name: HashMap<String, AttrIdx>,
+}
+
+impl Schema {
+    /// Build a schema, validating name uniqueness and domain sanity.
+    pub fn new(attributes: Vec<Attribute>) -> Result<Self, TableError> {
+        let mut by_name = HashMap::with_capacity(attributes.len());
+        for (i, a) in attributes.iter().enumerate() {
+            if by_name.insert(a.name.clone(), i).is_some() {
+                return Err(TableError::DuplicateAttribute(a.name.clone()));
+            }
+            match &a.ty {
+                AttrType::Nominal { labels } => {
+                    if labels.is_empty() {
+                        return Err(TableError::EmptyDomain(a.name.clone()));
+                    }
+                }
+                AttrType::Numeric { min, max, .. } => {
+                    if !min.is_finite() || !max.is_finite() || min > max {
+                        return Err(TableError::InvalidRange(a.name.clone()));
+                    }
+                }
+                AttrType::Date { min, max } => {
+                    if min > max {
+                        return Err(TableError::InvalidRange(a.name.clone()));
+                    }
+                }
+            }
+        }
+        Ok(Schema { attributes, by_name })
+    }
+
+    /// Build and wrap in an [`Arc`], the form tables store.
+    pub fn shared(attributes: Vec<Attribute>) -> Result<Arc<Self>, TableError> {
+        Self::new(attributes).map(Arc::new)
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// `true` if the schema has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attributes.is_empty()
+    }
+
+    /// The attribute at `idx`; panics if out of range.
+    pub fn attr(&self, idx: AttrIdx) -> &Attribute {
+        &self.attributes[idx]
+    }
+
+    /// All attributes in declaration order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// Look an attribute up by name.
+    pub fn index_of(&self, name: &str) -> Option<AttrIdx> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Like [`Schema::index_of`] but returns a [`TableError`].
+    pub fn require(&self, name: &str) -> Result<AttrIdx, TableError> {
+        self.index_of(name)
+            .ok_or_else(|| TableError::UnknownAttribute(name.to_string()))
+    }
+
+    /// Render a value under the attribute at `idx` using domain labels
+    /// (nominal codes become their labels).
+    pub fn display_value(&self, idx: AttrIdx, v: &Value) -> String {
+        match (v, &self.attributes[idx].ty) {
+            (Value::Nominal(c), AttrType::Nominal { labels }) => labels
+                .get(*c as usize)
+                .cloned()
+                .unwrap_or_else(|| format!("#{c}?")),
+            _ => v.to_string(),
+        }
+    }
+
+    /// Validate a full record against the schema: arity, kinds, nominal
+    /// code ranges. Domain *range* membership is not enforced here —
+    /// polluted tables intentionally hold out-of-domain values.
+    pub fn validate_record(&self, record: &[Value]) -> Result<(), TableError> {
+        if record.len() != self.len() {
+            return Err(TableError::ArityMismatch { expected: self.len(), got: record.len() });
+        }
+        for (i, v) in record.iter().enumerate() {
+            let a = &self.attributes[i];
+            if !a.ty.kind_matches(v) {
+                return Err(TableError::TypeMismatch {
+                    attribute: a.name.clone(),
+                    value: v.to_string(),
+                });
+            }
+            if let (Value::Nominal(c), AttrType::Nominal { labels }) = (v, &a.ty) {
+                if *c as usize >= labels.len() {
+                    return Err(TableError::CodeOutOfRange {
+                        attribute: a.name.clone(),
+                        code: *c,
+                        domain_size: labels.len(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, a) in self.attributes.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            match &a.ty {
+                AttrType::Nominal { labels } => {
+                    write!(f, "{}: nominal({} labels)", a.name, labels.len())?
+                }
+                AttrType::Numeric { min, max, integer } => write!(
+                    f,
+                    "{}: {}[{}, {}]",
+                    a.name,
+                    if *integer { "integer" } else { "numeric" },
+                    min,
+                    max
+                )?,
+                AttrType::Date { min, max } => {
+                    write!(f, "{}: date[{}, {}]", a.name, Value::Date(*min), Value::Date(*max))?
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nominal(name: &str, labels: &[&str]) -> Attribute {
+        Attribute::new(
+            name,
+            AttrType::Nominal { labels: labels.iter().map(|s| s.to_string()).collect() },
+        )
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let err = Schema::new(vec![nominal("a", &["x"]), nominal("a", &["y"])]).unwrap_err();
+        assert_eq!(err, TableError::DuplicateAttribute("a".into()));
+    }
+
+    #[test]
+    fn rejects_empty_nominal_domain() {
+        let err = Schema::new(vec![nominal("a", &[])]).unwrap_err();
+        assert_eq!(err, TableError::EmptyDomain("a".into()));
+    }
+
+    #[test]
+    fn rejects_inverted_numeric_range() {
+        let err = Schema::new(vec![Attribute::new(
+            "n",
+            AttrType::Numeric { min: 5.0, max: 1.0, integer: false },
+        )])
+        .unwrap_err();
+        assert_eq!(err, TableError::InvalidRange("n".into()));
+    }
+
+    #[test]
+    fn name_lookup() {
+        let s = Schema::new(vec![nominal("a", &["x"]), nominal("b", &["y"])]).unwrap();
+        assert_eq!(s.index_of("b"), Some(1));
+        assert_eq!(s.index_of("c"), None);
+        assert!(s.require("c").is_err());
+    }
+
+    #[test]
+    fn domain_membership() {
+        let num = AttrType::Numeric { min: 0.0, max: 10.0, integer: true };
+        assert!(num.contains(&Value::Number(3.0)));
+        assert!(!num.contains(&Value::Number(3.5))); // not integral
+        assert!(!num.contains(&Value::Number(11.0))); // out of range
+        assert!(!num.contains(&Value::Null)); // NULL is not *in* a domain
+        let date = AttrType::Date { min: 0, max: 100 };
+        assert!(date.contains(&Value::Date(50)));
+        assert!(!date.contains(&Value::Date(101)));
+    }
+
+    #[test]
+    fn domain_sizes() {
+        assert_eq!(
+            AttrType::Numeric { min: 1.0, max: 5.0, integer: true }.domain_size(),
+            Some(5)
+        );
+        assert_eq!(
+            AttrType::Numeric { min: 1.0, max: 5.0, integer: false }.domain_size(),
+            None
+        );
+        assert_eq!(AttrType::Date { min: 10, max: 12 }.domain_size(), Some(3));
+    }
+
+    #[test]
+    fn record_validation() {
+        let s = Schema::new(vec![
+            nominal("a", &["x", "y"]),
+            Attribute::new("n", AttrType::Numeric { min: 0.0, max: 1.0, integer: false }),
+        ])
+        .unwrap();
+        assert!(s.validate_record(&[Value::Nominal(1), Value::Number(0.5)]).is_ok());
+        assert!(s.validate_record(&[Value::Null, Value::Null]).is_ok());
+        assert!(matches!(
+            s.validate_record(&[Value::Nominal(2), Value::Null]),
+            Err(TableError::CodeOutOfRange { .. })
+        ));
+        assert!(matches!(
+            s.validate_record(&[Value::Number(0.0), Value::Null]),
+            Err(TableError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            s.validate_record(&[Value::Null]),
+            Err(TableError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn label_code_round_trip() {
+        let a = nominal("a", &["red", "green", "blue"]);
+        assert_eq!(a.code("green"), Some(1));
+        assert_eq!(a.label(1), Some("green"));
+        assert_eq!(a.code("mauve"), None);
+        assert_eq!(a.label(9), None);
+    }
+}

@@ -1,0 +1,150 @@
+//! Per-column summaries — the "domain analysis" helpers a quality
+//! engineer runs before configuring the test data generator.
+
+use crate::column::Column;
+use crate::table::Table;
+use crate::AttrIdx;
+use std::collections::HashMap;
+
+/// Descriptive summary of one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnSummary {
+    /// Attribute name.
+    pub name: String,
+    /// Total cells.
+    pub n: usize,
+    /// NULL cells.
+    pub nulls: usize,
+    /// Distinct non-NULL values.
+    pub distinct: usize,
+    /// Minimum (numeric/date columns, widened to f64).
+    pub min: Option<f64>,
+    /// Maximum (numeric/date columns, widened to f64).
+    pub max: Option<f64>,
+    /// Mean (numeric/date columns).
+    pub mean: Option<f64>,
+    /// Most frequent non-NULL nominal code and its count.
+    pub mode: Option<(u32, usize)>,
+}
+
+impl ColumnSummary {
+    /// NULL ratio in `[0, 1]`; 0 for empty columns.
+    pub fn null_ratio(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.nulls as f64 / self.n as f64
+        }
+    }
+}
+
+/// Summarize column `col` of `table`.
+pub fn summarize(table: &Table, col: AttrIdx) -> ColumnSummary {
+    let name = table.schema().attr(col).name.clone();
+    let column = table.column(col);
+    let n = column.len();
+    let nulls = column.null_count();
+    match column {
+        Column::Nominal(v) => {
+            let mut counts: HashMap<u32, usize> = HashMap::new();
+            for c in v.iter().flatten() {
+                *counts.entry(*c).or_insert(0) += 1;
+            }
+            let mode = counts.iter().max_by_key(|(_, &n)| n).map(|(&c, &n)| (c, n));
+            ColumnSummary {
+                name,
+                n,
+                nulls,
+                distinct: counts.len(),
+                min: None,
+                max: None,
+                mean: None,
+                mode,
+            }
+        }
+        Column::Number(_) | Column::Date(_) => {
+            let values: Vec<f64> = match column {
+                Column::Number(v) => v.iter().flatten().copied().collect(),
+                Column::Date(v) => v.iter().flatten().map(|&d| d as f64).collect(),
+                Column::Nominal(_) => unreachable!(),
+            };
+            let mut distinct_sorted = values.clone();
+            distinct_sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-finite value"));
+            distinct_sorted.dedup();
+            let (min, max, mean) = if values.is_empty() {
+                (None, None, None)
+            } else {
+                let mut lo = f64::INFINITY;
+                let mut hi = f64::NEG_INFINITY;
+                let mut sum = 0.0;
+                for &x in &values {
+                    lo = lo.min(x);
+                    hi = hi.max(x);
+                    sum += x;
+                }
+                (Some(lo), Some(hi), Some(sum / values.len() as f64))
+            };
+            ColumnSummary {
+                name,
+                n,
+                nulls,
+                distinct: distinct_sorted.len(),
+                min,
+                max,
+                mean,
+                mode: None,
+            }
+        }
+    }
+}
+
+/// Summarize every column of `table`.
+pub fn summarize_all(table: &Table) -> Vec<ColumnSummary> {
+    (0..table.n_cols()).map(|c| summarize(table, c)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SchemaBuilder;
+    use crate::value::Value;
+
+    #[test]
+    fn summarizes_nominal_and_numeric() {
+        let schema = SchemaBuilder::new()
+            .nominal("c", ["a", "b", "z"])
+            .numeric("x", -100.0, 100.0)
+            .build()
+            .unwrap();
+        let mut t = Table::new(schema);
+        t.push_row(&[Value::Nominal(0), Value::Number(1.0)]).unwrap();
+        t.push_row(&[Value::Nominal(0), Value::Number(3.0)]).unwrap();
+        t.push_row(&[Value::Nominal(1), Value::Null]).unwrap();
+        t.push_row(&[Value::Null, Value::Number(3.0)]).unwrap();
+
+        let s = summarize(&t, 0);
+        assert_eq!(s.n, 4);
+        assert_eq!(s.nulls, 1);
+        assert_eq!(s.distinct, 2);
+        assert_eq!(s.mode, Some((0, 2)));
+        assert_eq!(s.null_ratio(), 0.25);
+
+        let s = summarize(&t, 1);
+        assert_eq!(s.distinct, 2);
+        assert_eq!(s.min, Some(1.0));
+        assert_eq!(s.max, Some(3.0));
+        assert!((s.mean.unwrap() - 7.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.mode, None);
+    }
+
+    #[test]
+    fn empty_table_summaries() {
+        let schema = SchemaBuilder::new().numeric("x", 0.0, 1.0).build().unwrap();
+        let t = Table::new(schema);
+        let s = summarize(&t, 0);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.min, None);
+        assert_eq!(s.null_ratio(), 0.0);
+        assert_eq!(summarize_all(&t).len(), 1);
+    }
+}

@@ -1,0 +1,330 @@
+//! The [`Table`]: a schema plus columnar data.
+
+use crate::column::Column;
+use crate::error::TableError;
+use crate::schema::Schema;
+use crate::value::Value;
+use crate::{AttrIdx, RowIdx};
+use std::sync::Arc;
+
+/// A single relation: shared schema + columnar storage.
+///
+/// All mutation is by full record push, by single-cell [`Table::set`]
+/// (what the polluters use), or by row duplication / deletion (what the
+/// duplicator polluter uses). Cell kinds are enforced; domain membership
+/// is not (dirty data must be representable).
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: Arc<Schema>,
+    columns: Vec<Column>,
+    n_rows: usize,
+}
+
+impl Table {
+    /// An empty table over `schema`.
+    pub fn new(schema: Arc<Schema>) -> Self {
+        let columns = schema.attributes().iter().map(|a| Column::for_type(&a.ty)).collect();
+        Table { schema, columns, n_rows: 0 }
+    }
+
+    /// An empty table with row capacity pre-reserved.
+    pub fn with_capacity(schema: Arc<Schema>, rows: usize) -> Self {
+        let mut t = Table::new(schema);
+        for c in &mut t.columns {
+            c.reserve(rows);
+        }
+        t
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns (= schema width).
+    pub fn n_cols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// `true` if the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.n_rows == 0
+    }
+
+    /// Append a record after validating it against the schema.
+    pub fn push_row(&mut self, record: &[Value]) -> Result<RowIdx, TableError> {
+        self.schema.validate_record(record)?;
+        for (col, v) in self.columns.iter_mut().zip(record) {
+            col.push(*v);
+        }
+        self.n_rows += 1;
+        Ok(self.n_rows - 1)
+    }
+
+    /// Append a record checking only arity and cell *kinds*, not
+    /// nominal code ranges — the door through which polluted records
+    /// enter a table ("dirty data must be representable"); see also
+    /// [`Table::set`], which is equally lenient.
+    pub fn push_row_lenient(&mut self, record: &[Value]) -> Result<RowIdx, TableError> {
+        if record.len() != self.n_cols() {
+            return Err(TableError::ArityMismatch {
+                expected: self.n_cols(),
+                got: record.len(),
+            });
+        }
+        for (v, attr) in record.iter().zip(self.schema.attributes()) {
+            if !attr.ty.kind_matches(v) {
+                return Err(TableError::TypeMismatch {
+                    attribute: attr.name.clone(),
+                    value: v.to_string(),
+                });
+            }
+        }
+        for (col, v) in self.columns.iter_mut().zip(record) {
+            col.push(*v);
+        }
+        self.n_rows += 1;
+        Ok(self.n_rows - 1)
+    }
+
+    /// The value at (`row`, `col`); panics if out of range.
+    #[inline]
+    pub fn get(&self, row: RowIdx, col: AttrIdx) -> Value {
+        self.columns[col].get(row)
+    }
+
+    /// Overwrite the cell at (`row`, `col`), checking bounds and kind.
+    pub fn set(&mut self, row: RowIdx, col: AttrIdx, value: Value) -> Result<(), TableError> {
+        if row >= self.n_rows {
+            return Err(TableError::RowOutOfRange(row));
+        }
+        let attr = self.schema.attr(col);
+        if !attr.ty.kind_matches(&value) {
+            return Err(TableError::TypeMismatch {
+                attribute: attr.name.clone(),
+                value: value.to_string(),
+            });
+        }
+        self.columns[col].set(row, value);
+        Ok(())
+    }
+
+    /// Copy a full row out as a record.
+    pub fn row(&self, row: RowIdx) -> Vec<Value> {
+        (0..self.n_cols()).map(|c| self.get(row, c)).collect()
+    }
+
+    /// Copy a full row into a caller-provided buffer (no allocation when
+    /// iterating many rows with a workhorse buffer).
+    pub fn row_into(&self, row: RowIdx, buf: &mut Vec<Value>) {
+        buf.clear();
+        buf.extend((0..self.n_cols()).map(|c| self.get(row, c)));
+    }
+
+    /// Iterate over all rows as records (allocates one `Vec` per row;
+    /// prefer [`Table::row_into`] in hot loops).
+    pub fn rows(&self) -> impl Iterator<Item = Vec<Value>> + '_ {
+        (0..self.n_rows).map(move |r| self.row(r))
+    }
+
+    /// Duplicate `row`, appending the copy as the last row; returns the
+    /// new row's index.
+    pub fn duplicate_row(&mut self, row: RowIdx) -> Result<RowIdx, TableError> {
+        if row >= self.n_rows {
+            return Err(TableError::RowOutOfRange(row));
+        }
+        for col in &mut self.columns {
+            col.push_copy_of(row);
+        }
+        self.n_rows += 1;
+        Ok(self.n_rows - 1)
+    }
+
+    /// Delete `row`, shifting all later rows up by one (order-
+    /// preserving; O(n · columns)).
+    pub fn delete_row(&mut self, row: RowIdx) -> Result<(), TableError> {
+        if row >= self.n_rows {
+            return Err(TableError::RowOutOfRange(row));
+        }
+        for col in &mut self.columns {
+            col.remove(row);
+        }
+        self.n_rows -= 1;
+        Ok(())
+    }
+
+    /// Borrow a column.
+    pub fn column(&self, col: AttrIdx) -> &Column {
+        &self.columns[col]
+    }
+
+    /// Count rows whose cell in `col` satisfies `pred`.
+    pub fn count_where<F: FnMut(Value) -> bool>(&self, col: AttrIdx, mut pred: F) -> usize {
+        (0..self.n_rows).filter(|&r| pred(self.get(r, col))).count()
+    }
+
+    /// A new table containing only the rows selected by `keep`
+    /// (indices must be in range; order and multiplicity respected).
+    pub fn select_rows(&self, keep: &[RowIdx]) -> Result<Table, TableError> {
+        let mut out = Table::with_capacity(self.schema.clone(), keep.len());
+        let mut buf = Vec::with_capacity(self.n_cols());
+        for &r in keep {
+            if r >= self.n_rows {
+                return Err(TableError::RowOutOfRange(r));
+            }
+            self.row_into(r, &mut buf);
+            for (col, v) in out.columns.iter_mut().zip(&buf) {
+                col.push(*v);
+            }
+            out.n_rows += 1;
+        }
+        Ok(out)
+    }
+
+    /// Report the positions of all cells whose value lies *outside* the
+    /// declared attribute domain (NULLs are never reported). This is the
+    /// trivial schema-based scrub the paper contrasts data auditing
+    /// against: it can only catch errors that leave the domain.
+    pub fn domain_violations(&self) -> Vec<(RowIdx, AttrIdx)> {
+        let mut out = Vec::new();
+        for (c, attr) in self.schema.attributes().iter().enumerate() {
+            for r in 0..self.n_rows {
+                let v = self.get(r, c);
+                if !v.is_null() && !attr.ty.contains(&v) {
+                    out.push((r, c));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AttrType, Attribute};
+
+    fn small_schema() -> Arc<Schema> {
+        Schema::shared(vec![
+            Attribute::new(
+                "color",
+                AttrType::Nominal { labels: vec!["red".into(), "green".into()] },
+            ),
+            Attribute::new("size", AttrType::Numeric { min: 0.0, max: 100.0, integer: false }),
+            Attribute::new("built", AttrType::Date { min: 0, max: 20000 }),
+        ])
+        .unwrap()
+    }
+
+    fn small_table() -> Table {
+        let mut t = Table::new(small_schema());
+        t.push_row(&[Value::Nominal(0), Value::Number(10.0), Value::Date(100)]).unwrap();
+        t.push_row(&[Value::Nominal(1), Value::Null, Value::Date(200)]).unwrap();
+        t.push_row(&[Value::Null, Value::Number(30.0), Value::Null]).unwrap();
+        t
+    }
+
+    #[test]
+    fn push_and_get() {
+        let t = small_table();
+        assert_eq!(t.n_rows(), 3);
+        assert_eq!(t.n_cols(), 3);
+        assert_eq!(t.get(0, 0), Value::Nominal(0));
+        assert_eq!(t.get(1, 1), Value::Null);
+        assert_eq!(t.get(2, 2), Value::Null);
+    }
+
+    #[test]
+    fn push_rejects_bad_records() {
+        let mut t = small_table();
+        assert!(t.push_row(&[Value::Nominal(0), Value::Number(1.0)]).is_err());
+        assert!(t
+            .push_row(&[Value::Number(0.0), Value::Number(1.0), Value::Date(0)])
+            .is_err());
+    }
+
+    #[test]
+    fn set_checks_bounds_and_kind() {
+        let mut t = small_table();
+        t.set(0, 1, Value::Number(99.0)).unwrap();
+        assert_eq!(t.get(0, 1), Value::Number(99.0));
+        assert!(matches!(t.set(9, 0, Value::Null), Err(TableError::RowOutOfRange(9))));
+        assert!(matches!(
+            t.set(0, 0, Value::Number(1.0)),
+            Err(TableError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn set_allows_out_of_domain_values() {
+        // Polluters must be able to write values the domain forbids.
+        let mut t = small_table();
+        t.set(0, 1, Value::Number(1e9)).unwrap();
+        t.set(0, 0, Value::Nominal(77)).unwrap();
+        assert_eq!(t.get(0, 1), Value::Number(1e9));
+        let viols = t.domain_violations();
+        assert!(viols.contains(&(0, 0)));
+        assert!(viols.contains(&(0, 1)));
+        assert_eq!(viols.len(), 2);
+    }
+
+    #[test]
+    fn lenient_push_allows_out_of_domain_codes() {
+        let mut t = small_table();
+        // Out-of-domain nominal code: rejected strictly, accepted leniently.
+        assert!(t.push_row(&[Value::Nominal(9), Value::Null, Value::Null]).is_err());
+        let r = t.push_row_lenient(&[Value::Nominal(9), Value::Null, Value::Null]).unwrap();
+        assert_eq!(t.get(r, 0), Value::Nominal(9));
+        // Kind mismatches stay rejected.
+        assert!(t
+            .push_row_lenient(&[Value::Number(1.0), Value::Null, Value::Null])
+            .is_err());
+        assert!(t.push_row_lenient(&[Value::Null]).is_err());
+    }
+
+    #[test]
+    fn duplicate_and_delete() {
+        let mut t = small_table();
+        let new = t.duplicate_row(1).unwrap();
+        assert_eq!(new, 3);
+        assert_eq!(t.row(3), t.row(1));
+        t.delete_row(0).unwrap();
+        assert_eq!(t.n_rows(), 3);
+        // Former row 1 moved up to index 0.
+        assert_eq!(t.get(0, 0), Value::Nominal(1));
+        assert!(t.delete_row(10).is_err());
+    }
+
+    #[test]
+    fn select_rows_respects_order_and_multiplicity() {
+        let t = small_table();
+        let s = t.select_rows(&[2, 0, 0]).unwrap();
+        assert_eq!(s.n_rows(), 3);
+        assert_eq!(s.row(0), t.row(2));
+        assert_eq!(s.row(1), t.row(0));
+        assert_eq!(s.row(2), t.row(0));
+        assert!(t.select_rows(&[99]).is_err());
+    }
+
+    #[test]
+    fn row_into_reuses_buffer() {
+        let t = small_table();
+        let mut buf = Vec::new();
+        t.row_into(1, &mut buf);
+        assert_eq!(buf, t.row(1));
+        t.row_into(0, &mut buf);
+        assert_eq!(buf, t.row(0));
+    }
+
+    #[test]
+    fn count_where_counts() {
+        let t = small_table();
+        assert_eq!(t.count_where(1, |v| v.is_null()), 1);
+        assert_eq!(t.count_where(0, |v| v == Value::Nominal(0)), 1);
+    }
+}

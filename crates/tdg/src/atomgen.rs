@@ -1,0 +1,374 @@
+//! Random sampling of well-formed atoms and formulae over a schema.
+//!
+//! "The test data generator creates instances of rule patterns randomly
+//! according to some user-defined parameters" (sec. 4.1). The
+//! user-defined parameters here are the [`AtomWeights`] (relative
+//! frequency of each atom kind) and the formula-shape parameters of
+//! [`FormulaShape`]; the sampler guarantees every produced atom passes
+//! [`dq_logic::Atom::validate`].
+
+use dq_logic::{Atom, Formula};
+use dq_stats::weighted_choice;
+use dq_table::{AttrIdx, AttrType, Schema, Value};
+use rand::Rng;
+
+/// Relative weights of the atom kinds of Def. 1. Kinds the schema
+/// cannot express (e.g. ordering atoms on an all-nominal schema) are
+/// skipped regardless of their weight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AtomWeights {
+    /// `A = a`.
+    pub eq_const: f64,
+    /// `A ≠ a`.
+    pub neq_const: f64,
+    /// `N < n`.
+    pub less_const: f64,
+    /// `N > n`.
+    pub greater_const: f64,
+    /// `A isnull`.
+    pub is_null: f64,
+    /// `A isnotnull`.
+    pub is_not_null: f64,
+    /// `A = B`.
+    pub eq_attr: f64,
+    /// `A ≠ B`.
+    pub neq_attr: f64,
+    /// `N < M`.
+    pub less_attr: f64,
+    /// `N > M`.
+    pub greater_attr: f64,
+}
+
+impl Default for AtomWeights {
+    /// Equality-heavy defaults mirroring the QUIS dependencies the
+    /// paper quotes (`BRV = 404 → GBM = 901`): mostly propositional
+    /// equalities, some ordering and null tests, a little relational
+    /// seasoning.
+    fn default() -> Self {
+        AtomWeights {
+            eq_const: 10.0,
+            neq_const: 2.0,
+            less_const: 2.0,
+            greater_const: 2.0,
+            is_null: 0.5,
+            is_not_null: 0.5,
+            eq_attr: 1.0,
+            neq_attr: 0.5,
+            less_attr: 1.0,
+            greater_attr: 1.0,
+        }
+    }
+}
+
+/// Shape parameters for random formulae.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FormulaShape {
+    /// Minimum number of atoms in the formula (at least 1).
+    pub min_atoms: usize,
+    /// Maximum number of atoms in the formula.
+    pub max_atoms: usize,
+    /// Probability that a multi-atom connective is a disjunction
+    /// (otherwise a conjunction).
+    pub p_disjunction: f64,
+}
+
+impl Default for FormulaShape {
+    fn default() -> Self {
+        FormulaShape { min_atoms: 1, max_atoms: 2, p_disjunction: 0.15 }
+    }
+}
+
+/// A sampler of random atoms/formulae over one schema. Precomputes the
+/// attribute pools each atom kind draws from.
+#[derive(Debug, Clone)]
+pub struct AtomSampler {
+    weights: AtomWeights,
+    /// All attributes.
+    all: Vec<AttrIdx>,
+    /// Ordered (numeric/date) attributes.
+    ordered: Vec<AttrIdx>,
+    /// Pairs comparable by `=`/`≠` (same nominal domain, or both
+    /// ordered).
+    eq_pairs: Vec<(AttrIdx, AttrIdx)>,
+    /// Pairs comparable by `<`/`>` (both ordered).
+    ord_pairs: Vec<(AttrIdx, AttrIdx)>,
+}
+
+/// Internal kind tags, ordered to match the weight vector.
+const KINDS: usize = 10;
+
+impl AtomSampler {
+    /// Build a sampler for `schema`.
+    pub fn new(schema: &Schema, weights: AtomWeights) -> Self {
+        let all: Vec<AttrIdx> = (0..schema.len()).collect();
+        let ordered: Vec<AttrIdx> =
+            all.iter().copied().filter(|&a| schema.attr(a).ty.is_ordered()).collect();
+        let mut eq_pairs = Vec::new();
+        let mut ord_pairs = Vec::new();
+        for &a in &all {
+            for &b in &all {
+                if a >= b {
+                    continue;
+                }
+                if dq_logic::atom::compatible(schema, a, b) {
+                    eq_pairs.push((a, b));
+                }
+                if schema.attr(a).ty.is_ordered() && schema.attr(b).ty.is_ordered() {
+                    ord_pairs.push((a, b));
+                }
+            }
+        }
+        AtomSampler { weights, all, ordered, eq_pairs, ord_pairs }
+    }
+
+    fn kind_weights(&self) -> [f64; KINDS] {
+        let w = &self.weights;
+        let mut ws = [
+            w.eq_const,
+            w.neq_const,
+            w.less_const,
+            w.greater_const,
+            w.is_null,
+            w.is_not_null,
+            w.eq_attr,
+            w.neq_attr,
+            w.less_attr,
+            w.greater_attr,
+        ];
+        // Zero out kinds the schema cannot express.
+        if self.ordered.is_empty() {
+            ws[2] = 0.0;
+            ws[3] = 0.0;
+        }
+        if self.eq_pairs.is_empty() {
+            ws[6] = 0.0;
+            ws[7] = 0.0;
+        }
+        if self.ord_pairs.is_empty() {
+            ws[8] = 0.0;
+            ws[9] = 0.0;
+        }
+        ws
+    }
+
+    /// Sample one random well-formed atom.
+    pub fn sample_atom<R: Rng + ?Sized>(&self, schema: &Schema, rng: &mut R) -> Atom {
+        let ws = self.kind_weights();
+        debug_assert!(ws.iter().sum::<f64>() > 0.0, "no expressible atom kind");
+        let pick = |v: &[AttrIdx], rng: &mut R| v[rng.gen_range(0..v.len())];
+        let pick_pair = |v: &[(AttrIdx, AttrIdx)], rng: &mut R| {
+            let (a, b) = v[rng.gen_range(0..v.len())];
+            if rng.gen::<bool>() {
+                (a, b)
+            } else {
+                (b, a)
+            }
+        };
+        match weighted_choice(rng, &ws) {
+            0 => {
+                let attr = pick(&self.all, rng);
+                Atom::EqConst { attr, value: random_domain_value(schema, attr, rng) }
+            }
+            1 => {
+                let attr = pick(&self.all, rng);
+                Atom::NeqConst { attr, value: random_domain_value(schema, attr, rng) }
+            }
+            2 => {
+                let attr = pick(&self.ordered, rng);
+                Atom::LessConst { attr, value: random_threshold(schema, attr, rng) }
+            }
+            3 => {
+                let attr = pick(&self.ordered, rng);
+                Atom::GreaterConst { attr, value: random_threshold(schema, attr, rng) }
+            }
+            4 => Atom::IsNull { attr: pick(&self.all, rng) },
+            5 => Atom::IsNotNull { attr: pick(&self.all, rng) },
+            6 => {
+                let (left, right) = pick_pair(&self.eq_pairs, rng);
+                Atom::EqAttr { left, right }
+            }
+            7 => {
+                let (left, right) = pick_pair(&self.eq_pairs, rng);
+                Atom::NeqAttr { left, right }
+            }
+            8 => {
+                let (left, right) = pick_pair(&self.ord_pairs, rng);
+                Atom::LessAttr { left, right }
+            }
+            _ => {
+                let (left, right) = pick_pair(&self.ord_pairs, rng);
+                Atom::GreaterAttr { left, right }
+            }
+        }
+    }
+
+    /// Sample a random formula with the given shape: a single atom, or
+    /// a flat conjunction/disjunction of 2..=`max_atoms` atoms.
+    pub fn sample_formula<R: Rng + ?Sized>(
+        &self,
+        schema: &Schema,
+        shape: &FormulaShape,
+        rng: &mut R,
+    ) -> Formula {
+        let lo = shape.min_atoms.max(1);
+        let n = rng.gen_range(lo..=shape.max_atoms.max(lo));
+        if n == 1 {
+            return Formula::Atom(self.sample_atom(schema, rng));
+        }
+        let atoms: Vec<Formula> =
+            (0..n).map(|_| Formula::Atom(self.sample_atom(schema, rng))).collect();
+        if rng.gen::<f64>() < shape.p_disjunction {
+            Formula::Or(atoms)
+        } else {
+            Formula::And(atoms)
+        }
+    }
+}
+
+/// A uniformly random in-domain (non-NULL) value for an attribute.
+pub fn random_domain_value<R: Rng + ?Sized>(
+    schema: &Schema,
+    attr: AttrIdx,
+    rng: &mut R,
+) -> Value {
+    match &schema.attr(attr).ty {
+        AttrType::Nominal { labels } => Value::Nominal(rng.gen_range(0..labels.len()) as u32),
+        AttrType::Numeric { min, max, integer } => {
+            let x = rng.gen_range(*min..=*max);
+            Value::Number(if *integer { x.round() } else { x })
+        }
+        AttrType::Date { min, max } => Value::Date(rng.gen_range(*min..=*max)),
+    }
+}
+
+/// A threshold strictly inside the attribute's domain (so `N < n` and
+/// `N > n` are both satisfiable — a precondition for natural atoms).
+fn random_threshold<R: Rng + ?Sized>(schema: &Schema, attr: AttrIdx, rng: &mut R) -> f64 {
+    match &schema.attr(attr).ty {
+        AttrType::Numeric { min, max, .. } => {
+            if max > min {
+                let frac = rng.gen_range(0.05..0.95);
+                min + frac * (max - min)
+            } else {
+                *min
+            }
+        }
+        AttrType::Date { min, max } => {
+            if max > min {
+                rng.gen_range(*min..*max) as f64 + 0.5
+            } else {
+                *min as f64
+            }
+        }
+        AttrType::Nominal { .. } => unreachable!("threshold on nominal attribute"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dq_table::SchemaBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mixed_schema() -> std::sync::Arc<Schema> {
+        SchemaBuilder::new()
+            .nominal("a", ["x", "y", "z"])
+            .nominal("b", ["x", "y", "z"])
+            .numeric("n", 0.0, 100.0)
+            .date_ymd("d", (2000, 1, 1), (2010, 1, 1))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn sampled_atoms_always_validate() {
+        let s = mixed_schema();
+        let sampler = AtomSampler::new(&s, AtomWeights::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..500 {
+            let atom = sampler.sample_atom(&s, &mut rng);
+            assert_eq!(atom.validate(&s), Ok(()), "atom {atom:?}");
+        }
+    }
+
+    #[test]
+    fn sampled_formulae_always_validate() {
+        let s = mixed_schema();
+        let sampler = AtomSampler::new(&s, AtomWeights::default());
+        let shape = FormulaShape { min_atoms: 1, max_atoms: 4, p_disjunction: 0.3 };
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let f = sampler.sample_formula(&s, &shape, &mut rng);
+            assert!(f.validate(&s).is_ok(), "formula {f:?}");
+            assert!(f.atom_count() <= 4);
+        }
+    }
+
+    #[test]
+    fn all_nominal_schema_skips_ordering_kinds() {
+        let s = SchemaBuilder::new()
+            .nominal("a", ["x", "y"])
+            .nominal("b", ["p", "q"]) // different labels: no eq pairs
+            .build()
+            .unwrap();
+        let sampler = AtomSampler::new(&s, AtomWeights::default());
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..300 {
+            let atom = sampler.sample_atom(&s, &mut rng);
+            assert!(
+                !matches!(
+                    atom,
+                    Atom::LessConst { .. }
+                        | Atom::GreaterConst { .. }
+                        | Atom::LessAttr { .. }
+                        | Atom::GreaterAttr { .. }
+                        | Atom::EqAttr { .. }
+                        | Atom::NeqAttr { .. }
+                ),
+                "inexpressible kind sampled: {atom:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn nominal_pairs_require_identical_domains() {
+        let s = SchemaBuilder::new()
+            .nominal("a", ["x", "y"])
+            .nominal("b", ["x", "y"])
+            .nominal("c", ["p", "q"])
+            .build()
+            .unwrap();
+        let sampler = AtomSampler::new(&s, AtomWeights::default());
+        assert_eq!(sampler.eq_pairs, vec![(0, 1)]);
+        assert!(sampler.ord_pairs.is_empty());
+    }
+
+    #[test]
+    fn thresholds_stay_inside_domains() {
+        let s = mixed_schema();
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..200 {
+            let t = random_threshold(&s, 2, &mut rng);
+            assert!(t > 0.0 && t < 100.0);
+            let d = random_threshold(&s, 3, &mut rng);
+            let (min, max) = match s.attr(3).ty {
+                AttrType::Date { min, max } => (min as f64, max as f64),
+                _ => unreachable!(),
+            };
+            assert!(d > min && d < max);
+        }
+    }
+
+    #[test]
+    fn domain_values_are_in_domain() {
+        let s = mixed_schema();
+        let mut rng = StdRng::seed_from_u64(5);
+        for attr in 0..s.len() {
+            for _ in 0..100 {
+                let v = random_domain_value(&s, attr, &mut rng);
+                assert!(s.attr(attr).ty.contains(&v), "{v:?} outside attr {attr}");
+            }
+        }
+    }
+}

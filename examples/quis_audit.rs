@@ -1,0 +1,68 @@
+//! The sec. 6.2 scenario: audit the (synthetic) QUIS engine-composition
+//! table — ~200k records, 8 attributes, strong domain dependencies,
+//! realistic coding errors — and rank the suspicious records by error
+//! confidence for expert cross-checking.
+//!
+//! ```text
+//! cargo run --release --example quis_audit [rows]
+//! ```
+
+use data_audit::prelude::*;
+use data_audit::quis::{generate_quis, QuisConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let rows: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(200_000);
+    println!("generating synthetic QUIS engine table ({rows} rows)…");
+    let mut rng = StdRng::seed_from_u64(2003);
+    let bench = generate_quis(&QuisConfig::default().with_rows(rows), &mut rng);
+    let schema = bench.dirty.schema().clone();
+
+    println!("running the audit (paper: ~21 min on an Athlon 900MHz for 200k)…");
+    let auditor = Auditor::default();
+    let t0 = Instant::now();
+    let model = auditor.induce(&bench.dirty).expect("audit runs");
+    let report = auditor.detect(&model, &bench.dirty);
+    println!("done in {:.1}s\n", t0.elapsed().as_secs_f64());
+
+    println!(
+        "{} suspicious records of {} (paper: ~6000 of 200k)",
+        report.n_suspicious(),
+        bench.dirty.n_rows()
+    );
+
+    // The paper's example dependencies should be rediscovered with
+    // matching supports (≈16118 and ≈9530 at 200k rows).
+    println!("\nstrongest structure rules:");
+    let mut rules: Vec<(f64, String)> = Vec::new();
+    for m in &model.models {
+        for r in &m.rules {
+            let label = m.spec.label_of(&schema, m.class_attr, r.predicted);
+            rules.push((r.support, r.render(&schema, m.class_attr, &label)));
+        }
+    }
+    rules.sort_by(|a, b| b.0.total_cmp(&a.0));
+    for (_, r) in rules.iter().take(8) {
+        println!("  {r}");
+    }
+
+    println!("\ntop-ranked findings (expert cross-check list):");
+    for f in report.top(10) {
+        let verified = if bench.log.is_row_corrupted(f.row) { "true error" } else { "outlier" };
+        println!("  {}  [{verified}]", f.render(&schema));
+    }
+
+    // Unlike the paper ("an exact quantification … turned out to be too
+    // expensive"), the synthetic substrate has ground truth:
+    let detection = data_audit::eval::score_detection(&bench.log, &report);
+    println!(
+        "\nground truth: sensitivity {:.3}, specificity {:.4}",
+        detection.sensitivity().unwrap_or(0.0),
+        detection.specificity().unwrap_or(1.0)
+    );
+}

@@ -1,0 +1,74 @@
+//! # data-audit — data mining-based data quality tools
+//!
+//! Umbrella crate for the workspace reproducing *Systematic Development
+//! of Data Mining-Based Data Quality Tools* (Luebbers, Grimmer, Jarke;
+//! VLDB 2003). It re-exports every subsystem under one roof so that
+//! examples, integration tests and downstream users can depend on a
+//! single crate:
+//!
+//! * [`table`] — typed columnar tables with nominal/numeric/date
+//!   domains and NULLs;
+//! * [`stats`] — confidence intervals, entropy measures, distributions,
+//!   evaluation matrices;
+//! * [`logic`] — TDG formulae/rules, satisfiability, natural rule sets;
+//! * [`bayes`] — Bayesian networks for multivariate start distributions;
+//! * [`tdg`] — the rule-pattern based artificial test data generator;
+//! * [`pollute`] — controlled data corruption with pollution logs;
+//! * [`mining`] — C4.5 decision trees and baseline classifiers;
+//! * [`core`] — the data auditing tool: error confidence, the multiple
+//!   classification/regression auditor, corrections, structure models;
+//! * [`quis`] — a synthetic QUIS-like engine-composition table;
+//! * [`eval`] — the test environment: generate → pollute → audit →
+//!   score, plus canned experiments for every figure/table of the
+//!   paper.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use data_audit::prelude::*;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! // 1. Describe a relation and generate rule-structured test data.
+//! let schema = SchemaBuilder::new()
+//!     .nominal("color", ["red", "green", "blue", "grey"])
+//!     .nominal("shape", ["disc", "drum", "vent"])
+//!     .build()
+//!     .unwrap();
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let generated = TestDataGenerator::new(schema, 6, 600).generate(&mut rng);
+//!
+//! // 2. Corrupt it in a controlled, logged way.
+//! let (dirty, log) = pollute(&generated.clean, &PollutionConfig::standard(), &mut rng);
+//!
+//! // 3. Audit the dirty table; detections can be scored against the log.
+//! let (model, report) = Auditor::default().run(&dirty).unwrap();
+//! assert_eq!(report.n_rows(), dirty.n_rows());
+//! assert!(model.n_rules() < dirty.n_rows());
+//! ```
+
+pub use dq_bayes as bayes;
+pub use dq_core as core;
+pub use dq_eval as eval;
+pub use dq_logic as logic;
+pub use dq_mining as mining;
+pub use dq_pollute as pollute;
+pub use dq_quis as quis;
+pub use dq_stats as stats;
+pub use dq_table as table;
+pub use dq_tdg as tdg;
+
+/// One-stop imports for examples and applications.
+pub mod prelude {
+    pub use dq_core::{
+        apply_corrections, propose_corrections, AuditConfig, AuditReport, Auditor, Correction,
+        Finding, StructureModel,
+    };
+    pub use dq_eval::{Scale, Series, TestEnvironment};
+    pub use dq_logic::{parse_formula, parse_rule, Atom, Formula, Rule, RuleSet};
+    pub use dq_mining::InducerKind;
+    pub use dq_pollute::{pollute, PollutionConfig, PollutionLog, PollutionStep, Polluter};
+    pub use dq_stats::{ConfusionMatrix, CorrectionMatrix, DistributionSpec};
+    pub use dq_table::{AttrType, Attribute, Schema, SchemaBuilder, Table, Value};
+    pub use dq_tdg::{GeneratedBenchmark, StartDistributions, TestDataGenerator};
+}
