@@ -32,10 +32,7 @@ impl Dag {
     /// duplicate.
     pub fn add_edge(&mut self, parent: usize, child: usize) -> bool {
         assert!(parent < self.len() && child < self.len(), "node out of range");
-        if parent == child
-            || self.parents[child].contains(&parent)
-            || self.reaches(child, parent)
-        {
+        if parent == child || self.parents[child].contains(&parent) || self.reaches(child, parent) {
             return false;
         }
         self.parents[child].push(parent);

@@ -24,4 +24,4 @@ pub mod network;
 
 pub use cpt::Cpt;
 pub use graph::Dag;
-pub use network::{BayesNetBuilder, BayesError, BayesianNetwork};
+pub use network::{BayesError, BayesNetBuilder, BayesianNetwork};

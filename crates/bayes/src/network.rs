@@ -76,8 +76,7 @@ impl BayesianNetwork {
         let mut values = vec![0u32; self.nodes.len()];
         for &i in &self.order {
             let node = &self.nodes[i];
-            let parent_values: Vec<u32> =
-                node.parents.iter().map(|&p| values[p]).collect();
+            let parent_values: Vec<u32> = node.parents.iter().map(|&p| values[p]).collect();
             let row = node.cpt.row(&parent_values);
             values[i] = draw(rng, row) as u32;
         }
@@ -101,8 +100,7 @@ impl BayesianNetwork {
         let values = values?;
         let mut ll = 0.0;
         for (i, node) in self.nodes.iter().enumerate() {
-            let parent_values: Vec<u32> =
-                node.parents.iter().map(|&p| values[p]).collect();
+            let parent_values: Vec<u32> = node.parents.iter().map(|&p| values[p]).collect();
             let p = node.cpt.prob(values[i], &parent_values);
             if p <= 0.0 {
                 return Some(f64::NEG_INFINITY);
@@ -142,14 +140,11 @@ impl BayesianNetwork {
         let mut built = Vec::with_capacity(n);
         for (i, &(attr, card)) in nodes.iter().enumerate() {
             let parents: Vec<usize> = dag.parents(i).to_vec();
-            let parent_cards: Vec<u32> =
-                parents.iter().map(|&p| nodes[p].1).collect();
+            let parent_cards: Vec<u32> = parents.iter().map(|&p| nodes[p].1).collect();
             let n_rows: usize = parent_cards.iter().map(|&c| c as usize).product();
             let rows: Vec<Vec<f64>> = (0..n_rows)
                 .map(|_| {
-                    (0..card)
-                        .map(|_| -(rng.gen::<f64>().max(f64::MIN_POSITIVE)).ln())
-                        .collect()
+                    (0..card).map(|_| -(rng.gen::<f64>().max(f64::MIN_POSITIVE)).ln()).collect()
                 })
                 .collect();
             let cpt = Cpt::from_rows(card, parent_cards, rows)
@@ -206,8 +201,7 @@ impl BayesianNetwork {
                 }
                 counts[idx][v as usize] += 1.0;
             }
-            let cpt = Cpt::from_rows(card, parent_cards, counts)
-                .map_err(BayesError::BadCpt)?;
+            let cpt = Cpt::from_rows(card, parent_cards, counts).map_err(BayesError::BadCpt)?;
             nodes.push(Node { attr, card, parents, cpt });
         }
         Ok(BayesianNetwork { nodes, order })
@@ -266,10 +260,9 @@ impl BayesNetBuilder {
         for (i, (attr, card, parents, rows)) in self.entries.iter().enumerate() {
             let parent_nodes: Vec<usize> =
                 parents.iter().map(|p| attr_pos(*p).expect("checked above")).collect();
-            let parent_cards: Vec<u32> =
-                parent_nodes.iter().map(|&p| self.entries[p].1).collect();
-            let cpt = Cpt::from_rows(*card, parent_cards, rows.clone())
-                .map_err(BayesError::BadCpt)?;
+            let parent_cards: Vec<u32> = parent_nodes.iter().map(|&p| self.entries[p].1).collect();
+            let cpt =
+                Cpt::from_rows(*card, parent_cards, rows.clone()).map_err(BayesError::BadCpt)?;
             let _ = i;
             nodes.push(Node { attr: *attr, card: *card, parents: parent_nodes, cpt });
         }
@@ -407,11 +400,8 @@ mod tests {
     fn fit_recovers_dependency() {
         // Build a table where b copies a; fitting a → b must put the
         // conditional mass on the diagonal.
-        let schema = SchemaBuilder::new()
-            .nominal("a", ["x", "y"])
-            .nominal("b", ["x", "y"])
-            .build()
-            .unwrap();
+        let schema =
+            SchemaBuilder::new().nominal("a", ["x", "y"]).nominal("b", ["x", "y"]).build().unwrap();
         let mut t = dq_table::Table::new(schema);
         let mut r = rng();
         for _ in 0..500 {
@@ -429,11 +419,8 @@ mod tests {
 
     #[test]
     fn fit_skips_nulls_and_rejects_non_nominal() {
-        let schema = SchemaBuilder::new()
-            .nominal("a", ["x", "y"])
-            .numeric("n", 0.0, 1.0)
-            .build()
-            .unwrap();
+        let schema =
+            SchemaBuilder::new().nominal("a", ["x", "y"]).numeric("n", 0.0, 1.0).build().unwrap();
         let mut t = dq_table::Table::new(schema);
         t.push_row(&[Value::Null, Value::Number(0.5)]).unwrap();
         t.push_row(&[Value::Nominal(1), Value::Null]).unwrap();

@@ -14,7 +14,8 @@ use dq_eval::{ablation, classifier_comparison, fig3, fig4, fig5, quis_audit, Sca
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
-    let mut wanted: Vec<&str> = args.iter().map(String::as_str).filter(|a| *a != "--smoke").collect();
+    let mut wanted: Vec<&str> =
+        args.iter().map(String::as_str).filter(|a| *a != "--smoke").collect();
     if wanted.is_empty() || wanted.contains(&"all") {
         wanted = vec!["fig3", "fig4", "fig5", "compare", "ablation", "quis"];
     }
@@ -44,7 +45,9 @@ fn main() {
                 "Figure 5 — influence of the pollution factor on sensitivity",
             ),
             "compare" => {
-                println!("## Classifier comparison (sec. 5 'we evaluated different alternatives')\n");
+                println!(
+                    "## Classifier comparison (sec. 5 'we evaluated different alternatives')\n"
+                );
                 println!("{}", classifier_comparison(&scale).expect("comparison runs").render());
             }
             "ablation" => {
@@ -52,7 +55,9 @@ fn main() {
                 println!("{}", ablation(&scale).expect("ablation runs").render());
             }
             "quis" => print_quis(&scale),
-            other => eprintln!("unknown experiment `{other}` (try fig3|fig4|fig5|compare|ablation|quis)"),
+            other => {
+                eprintln!("unknown experiment `{other}` (try fig3|fig4|fig5|compare|ablation|quis)")
+            }
         }
     }
 }
@@ -72,7 +77,10 @@ fn print_quis(scale: &Scale) {
     println!("rows audited:        {}", s.n_rows);
     println!("total wall-clock:    {:.1}s (paper: ~21 min on an Athlon 900MHz)", s.total_secs);
     println!("suspicious records:  {} (paper: ~6000 of 200k)", s.n_suspicious);
-    println!("sensitivity:         {:.3} (vs ground-truth log; unavailable to the paper)", s.sensitivity);
+    println!(
+        "sensitivity:         {:.3} (vs ground-truth log; unavailable to the paper)",
+        s.sensitivity
+    );
     println!("specificity:         {:.4}", s.specificity);
     println!("top-50 precision:    {:.2}", s.top50_precision);
     println!("top confidence:      {:.4} (paper's example: 0.9995)", s.top_confidence);

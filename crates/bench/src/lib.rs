@@ -66,4 +66,36 @@ mod tests {
         let q = quis_fixture(500, 2);
         assert!(q.dirty.n_rows() >= 490);
     }
+
+    /// Benchmarks compare timings across sizes, so the same (size,
+    /// seed) pair must rebuild the identical fixture every time.
+    #[test]
+    fn fixtures_are_deterministic_per_seed() {
+        let a = baseline_fixture(300, 6, 9);
+        let b = baseline_fixture(300, 6, 9);
+        assert_eq!(a.dirty.n_rows(), b.dirty.n_rows());
+        assert_eq!(a.log.n_corrupted_rows(), b.log.n_corrupted_rows());
+        let ra = a.auditor.detect(&a.induce(), &a.dirty);
+        let rb = b.auditor.detect(&b.induce(), &b.dirty);
+        assert_eq!(ra.n_suspicious(), rb.n_suspicious());
+
+        let c = baseline_fixture(300, 6, 10);
+        let differs = c.dirty.n_rows() != a.dirty.n_rows()
+            || c.log.n_corrupted_rows() != a.log.n_corrupted_rows();
+        assert!(differs, "different seeds should corrupt differently");
+    }
+
+    /// The bench matrix sweeps sizes; fixtures must track the
+    /// requested scale (pollution may add/remove a few rows).
+    #[test]
+    fn fixtures_scale_with_requested_rows() {
+        for &(rows, lo) in &[(200usize, 180usize), (800, 760)] {
+            let f = baseline_fixture(rows, 6, 3);
+            assert!(
+                f.dirty.n_rows() >= lo && f.dirty.n_rows() <= rows + rows / 10,
+                "requested {rows} rows, built {}",
+                f.dirty.n_rows()
+            );
+        }
+    }
 }

@@ -178,9 +178,7 @@ mod tests {
         // Multiple violated rules: the sum clamps to 1, the max stays
         // at the strongest single rule (< 1 on finite evidence… both
         // are ~1 here, but sum ≥ max always).
-        assert!(
-            sum_report.record_confidence[deviant] >= max_report.record_confidence[deviant]
-        );
+        assert!(sum_report.record_confidence[deviant] >= max_report.record_confidence[deviant]);
         assert!(max_report.is_flagged(deviant));
     }
 

@@ -66,11 +66,8 @@ mod tests {
     use dq_table::SchemaBuilder;
 
     fn table() -> Table {
-        let schema = SchemaBuilder::new()
-            .nominal("a", ["x", "y"])
-            .nominal("b", ["x", "y"])
-            .build()
-            .unwrap();
+        let schema =
+            SchemaBuilder::new().nominal("a", ["x", "y"]).nominal("b", ["x", "y"]).build().unwrap();
         let mut t = Table::new(schema);
         t.push_row(&[Value::Nominal(0), Value::Nominal(1)]).unwrap();
         t.push_row(&[Value::Nominal(1), Value::Nominal(0)]).unwrap();

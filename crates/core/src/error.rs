@@ -46,10 +46,7 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = AuditError::Induction {
-            class_attr: 3,
-            source: MiningError::EmptyTrainingSet,
-        };
+        let e = AuditError::Induction { class_attr: 3, source: MiningError::EmptyTrainingSet };
         assert!(e.to_string().contains("attribute 3"));
         assert!(std::error::Error::source(&e).is_some());
         assert!(std::error::Error::source(&AuditError::EmptyTable).is_none());

@@ -172,11 +172,7 @@ impl Baseline {
     pub fn generator(&self, n_rules: usize, n_rows: usize) -> TestDataGenerator {
         let mut data = DataGenConfig::new(&self.schema, n_rows);
         data.start = self.start.clone();
-        TestDataGenerator {
-            schema: self.schema.clone(),
-            rules: self.rule_config(n_rules),
-            data,
-        }
+        TestDataGenerator { schema: self.schema.clone(), rules: self.rule_config(n_rules), data }
     }
 
     /// The environment at given rule/row counts and pollution factor.
@@ -292,8 +288,7 @@ pub fn fig5(scale: &Scale) -> Result<Series, AuditError> {
         let env = baseline.environment(scale.rules, scale.rows, factor);
         let mut reps = Vec::with_capacity(scale.replicates as usize);
         for rep in 0..scale.replicates {
-            let mut rng =
-                StdRng::seed_from_u64(scale.seed ^ (factor * 16.0) as u64 ^ (rep << 32));
+            let mut rng = StdRng::seed_from_u64(scale.seed ^ (factor * 16.0) as u64 ^ (rep << 32));
             let (dirty, log) = pollute(&benchmark.clean, &env.pollution, &mut rng);
             let r = env.audit_prepared(benchmark.clone(), dirty, log)?;
             reps.push(measures(&r));
@@ -441,10 +436,7 @@ pub fn ablation(scale: &Scale) -> Result<Comparison, AuditError> {
         ("full (paper adjustments)".into(), baseline.audit.clone()),
         (
             "pruning: none".into(),
-            AuditConfig {
-                inducer: c45(&|c| c.pruning = Pruning::None),
-                ..baseline.audit.clone()
-            },
+            AuditConfig { inducer: c45(&|c| c.pruning = Pruning::None), ..baseline.audit.clone() },
         ),
         (
             "pruning: pessimistic".into(),
@@ -460,10 +452,7 @@ pub fn ablation(scale: &Scale) -> Result<Comparison, AuditError> {
                 ..baseline.audit.clone()
             },
         ),
-        (
-            "no minInst".into(),
-            AuditConfig { derive_min_inst: false, ..baseline.audit.clone() },
-        ),
+        ("no minInst".into(), AuditConfig { derive_min_inst: false, ..baseline.audit.clone() }),
         (
             "no rule deletion".into(),
             AuditConfig { delete_undetecting_rules: false, ..baseline.audit.clone() },
@@ -530,8 +519,7 @@ pub fn quis_audit(scale: &Scale) -> Result<QuisSummary, AuditError> {
     let total_secs = t0.elapsed().as_secs_f64();
     let detection = crate::scoring::score_detection(&b.log, &report);
     let top = report.top(50);
-    let top50_hits =
-        top.iter().filter(|f| b.log.is_row_corrupted(f.row)).count();
+    let top50_hits = top.iter().filter(|f| b.log.is_row_corrupted(f.row)).count();
     let schema = b.dirty.schema();
     let mut all_rules: Vec<(f64, String)> = Vec::new();
     for m in &model.models {
@@ -547,11 +535,7 @@ pub fn quis_audit(scale: &Scale) -> Result<QuisSummary, AuditError> {
         n_suspicious: report.n_suspicious(),
         sensitivity: detection.sensitivity().unwrap_or(0.0),
         specificity: detection.specificity().unwrap_or(1.0),
-        top50_precision: if top.is_empty() {
-            0.0
-        } else {
-            top50_hits as f64 / top.len() as f64
-        },
+        top50_precision: if top.is_empty() { 0.0 } else { top50_hits as f64 / top.len() as f64 },
         top_confidence: report.findings.first().map_or(0.0, |f| f.confidence),
         top_findings: top.iter().take(10).map(|f| f.render(schema)).collect(),
         top_rules: all_rules.into_iter().take(10).map(|(_, r)| r).collect(),
@@ -605,10 +589,7 @@ mod tests {
         // top ("the more constraints are imposed on the data the easier
         // it is to identify errors").
         let last = *sens.last().unwrap();
-        assert!(
-            last >= sens[0],
-            "sensitivity must not fall as rules are added: {sens:?}"
-        );
+        assert!(last >= sens[0], "sensitivity must not fall as rules are added: {sens:?}");
     }
 
     #[test]

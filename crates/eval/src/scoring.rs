@@ -21,11 +21,7 @@ use dq_table::{AttrType, Table, Value};
 /// table and do not contribute (a record-marking tool cannot flag
 /// them).
 pub fn score_detection(log: &PollutionLog, report: &AuditReport) -> ConfusionMatrix {
-    assert_eq!(
-        log.n_rows(),
-        report.n_rows(),
-        "log and report must describe the same dirty table"
-    );
+    assert_eq!(log.n_rows(), report.n_rows(), "log and report must describe the same dirty table");
     let mut m = ConfusionMatrix::default();
     for row in 0..log.n_rows() {
         m.record(log.is_row_corrupted(row), report.is_flagged(row));
@@ -78,12 +74,8 @@ fn values_match(ty: &AttrType, a: &Value, b: &Value, tolerance_frac: f64) -> boo
         (Value::Null, Value::Null) => true,
         _ => match ty {
             AttrType::Nominal { .. } => a.sql_eq(b) == Some(true),
-            AttrType::Numeric { min, max, .. } => {
-                ordered_match(a, b, (max - min) * tolerance_frac)
-            }
-            AttrType::Date { min, max } => {
-                ordered_match(a, b, (max - min) as f64 * tolerance_frac)
-            }
+            AttrType::Numeric { min, max, .. } => ordered_match(a, b, (max - min) * tolerance_frac),
+            AttrType::Date { min, max } => ordered_match(a, b, (max - min) as f64 * tolerance_frac),
         },
     }
 }
@@ -98,7 +90,7 @@ fn ordered_match(a: &Value, b: &Value, tolerance: f64) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dq_pollute::{pollute, PollutionConfig, PollutionStep, Polluter};
+    use dq_pollute::{pollute, Polluter, PollutionConfig, PollutionStep};
     use dq_table::SchemaBuilder;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -189,7 +181,7 @@ mod tests {
             attr: 0,
             old: dirty.get(clean_row, 0),
             new: Value::Nominal(2),
-        confidence: 1.0,
+            confidence: 1.0,
         };
         let breakage = if dirty.get(clean_row, 0) == Value::Nominal(2) {
             dq_core::Correction { new: Value::Nominal(1), ..breakage }

@@ -38,9 +38,7 @@ impl Series {
     pub fn column(&self, name: &str) -> Vec<f64> {
         self.points
             .iter()
-            .filter_map(|p| {
-                p.measures.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
-            })
+            .filter_map(|p| p.measures.iter().find(|(n, _)| n == name).map(|&(_, v)| v))
             .collect()
     }
 
@@ -70,14 +68,8 @@ impl Series {
         let mut out = String::new();
         let _ = writeln!(out, "{} — {}", self.title, measure);
         for p in &self.points {
-            let v = p
-                .measures
-                .iter()
-                .find(|(n, _)| n == measure)
-                .map(|&(_, v)| v)
-                .unwrap_or(0.0);
-            let filled =
-                ((v / y_max).clamp(0.0, 1.0) * width as f64).round() as usize;
+            let v = p.measures.iter().find(|(n, _)| n == measure).map(|&(_, v)| v).unwrap_or(0.0);
+            let filled = ((v / y_max).clamp(0.0, 1.0) * width as f64).round() as usize;
             let _ = writeln!(
                 out,
                 "{:>10} | {}{} {:.3}",
@@ -135,10 +127,7 @@ mod tests {
         for (i, x) in [1000.0, 2000.0, 3000.0].iter().enumerate() {
             s.push(
                 *x,
-                vec![
-                    ("sensitivity".into(), 0.1 * (i + 1) as f64),
-                    ("specificity".into(), 0.99),
-                ],
+                vec![("sensitivity".into(), 0.1 * (i + 1) as f64), ("specificity".into(), 0.99)],
             );
         }
         s

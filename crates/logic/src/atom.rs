@@ -313,10 +313,7 @@ mod tests {
     #[test]
     fn rendering_uses_labels_and_dates() {
         let s = schema();
-        assert_eq!(
-            Atom::EqConst { attr: 0, value: Value::Nominal(1) }.render(&s),
-            "c1 = b"
-        );
+        assert_eq!(Atom::EqConst { attr: 0, value: Value::Nominal(1) }.render(&s), "c1 = b");
         assert_eq!(Atom::LessAttr { left: 3, right: 4 }.render(&s), "n1 < n2");
         let a = Atom::GreaterConst { attr: 5, value: 0.0 };
         assert_eq!(a.render(&s), "d > 1970-01-01");

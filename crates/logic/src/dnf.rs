@@ -96,10 +96,7 @@ mod tests {
         // equivalence on all 8 null/not-null records.
         let f = Formula::And(vec![
             Formula::Or(vec![null_atom(0), notnull_atom(1)]),
-            Formula::Or(vec![
-                notnull_atom(0),
-                Formula::And(vec![null_atom(1), null_atom(2)]),
-            ]),
+            Formula::Or(vec![notnull_atom(0), Formula::And(vec![null_atom(1), null_atom(2)])]),
         ]);
         let dnf = to_dnf(&f).unwrap();
         for bits in 0..8u32 {
@@ -107,9 +104,7 @@ mod tests {
                 .map(|i| if bits & (1 << i) != 0 { Value::Null } else { Value::Nominal(0) })
                 .collect();
             let direct = eval_formula(&f, &rec);
-            let via_dnf = dnf
-                .iter()
-                .any(|conj| conj.iter().all(|a| eval_atom(a, &rec)));
+            let via_dnf = dnf.iter().any(|conj| conj.iter().all(|a| eval_atom(a, &rec)));
             assert_eq!(direct, via_dnf, "record {rec:?}");
         }
     }

@@ -104,10 +104,9 @@ impl DomainSet {
     pub fn restrict_neq(&mut self, value: &Value) {
         self.can_null = false;
         match (&mut self.values, value) {
-            (ValueDomain::Nominal(allowed), Value::Nominal(c))
-                if (*c as usize) < allowed.len() => {
-                    allowed[*c as usize] = false;
-                }
+            (ValueDomain::Nominal(allowed), Value::Nominal(c)) if (*c as usize) < allowed.len() => {
+                allowed[*c as usize] = false;
+            }
             (ValueDomain::Range { excluded, .. }, v) => {
                 if let Some(x) = v.as_numeric() {
                     if !excluded.contains(&x) {
@@ -205,9 +204,7 @@ impl ValueDomain {
     /// itself is returned as the infimum).
     pub fn inf(&self) -> Option<f64> {
         match self {
-            ValueDomain::Nominal(allowed) => {
-                allowed.iter().position(|&a| a).map(|i| i as f64)
-            }
+            ValueDomain::Nominal(allowed) => allowed.iter().position(|&a| a).map(|i| i as f64),
             ValueDomain::Range { .. } => self.effective_bounds().map(|(lo, _)| lo),
             ValueDomain::Empty => None,
         }
@@ -217,9 +214,7 @@ impl ValueDomain {
     /// bounds).
     pub fn sup(&self) -> Option<f64> {
         match self {
-            ValueDomain::Nominal(allowed) => {
-                allowed.iter().rposition(|&a| a).map(|i| i as f64)
-            }
+            ValueDomain::Nominal(allowed) => allowed.iter().rposition(|&a| a).map(|i| i as f64),
             ValueDomain::Range { .. } => self.effective_bounds().map(|(_, hi)| hi),
             ValueDomain::Empty => None,
         }
@@ -235,11 +230,8 @@ impl ValueDomain {
         if let ValueDomain::Range { hi, hi_open, integer, .. } = self {
             // Integer grids turn a strict bound into a closed one a
             // step below.
-            let (b, open) = if *integer && strict {
-                (step_below(bound), false)
-            } else {
-                (bound, strict)
-            };
+            let (b, open) =
+                if *integer && strict { (step_below(bound), false) } else { (bound, strict) };
             if b < *hi || (b == *hi && open && !*hi_open) {
                 *hi = b;
                 *hi_open = open;
@@ -250,11 +242,8 @@ impl ValueDomain {
     /// Tighten the lower bound to `bound` (strict if `strict`).
     pub fn tighten_lo(&mut self, bound: f64, strict: bool) {
         if let ValueDomain::Range { lo, lo_open, integer, .. } = self {
-            let (b, open) = if *integer && strict {
-                (step_above(bound), false)
-            } else {
-                (bound, strict)
-            };
+            let (b, open) =
+                if *integer && strict { (step_above(bound), false) } else { (bound, strict) };
             if b > *lo || (b == *lo && open && !*lo_open) {
                 *lo = b;
                 *lo_open = open;
@@ -280,7 +269,10 @@ impl ValueDomain {
                     }
                 }
             }
-            (me @ ValueDomain::Range { .. }, ValueDomain::Range { lo, hi, lo_open, hi_open, excluded, .. }) => {
+            (
+                me @ ValueDomain::Range { .. },
+                ValueDomain::Range { lo, hi, lo_open, hi_open, excluded, .. },
+            ) => {
                 me.tighten_lo(*lo, *lo_open);
                 me.tighten_hi(*hi, *hi_open);
                 if let ValueDomain::Range { excluded: mine, .. } = me {
@@ -375,9 +367,7 @@ mod tests {
     use super::*;
 
     fn nominal3() -> DomainSet {
-        DomainSet::full(&AttrType::Nominal {
-            labels: vec!["a".into(), "b".into(), "c".into()],
-        })
+        DomainSet::full(&AttrType::Nominal { labels: vec!["a".into(), "b".into(), "c".into()] })
     }
 
     fn real01() -> DomainSet {

@@ -142,24 +142,15 @@ mod tests {
             eval_rule(&rule, &[Value::Nominal(0), Value::Nominal(1)]),
             RuleStatus::Satisfied
         );
-        assert_eq!(
-            eval_rule(&rule, &[Value::Nominal(0), Value::Nominal(0)]),
-            RuleStatus::Violated
-        );
+        assert_eq!(eval_rule(&rule, &[Value::Nominal(0), Value::Nominal(0)]), RuleStatus::Violated);
         // NULL premise attribute → not applicable.
-        assert_eq!(
-            eval_rule(&rule, &[Value::Null, Value::Nominal(0)]),
-            RuleStatus::NotApplicable
-        );
+        assert_eq!(eval_rule(&rule, &[Value::Null, Value::Nominal(0)]), RuleStatus::NotApplicable);
     }
 
     #[test]
     fn table_violations() {
-        let schema = SchemaBuilder::new()
-            .nominal("a", ["x", "y"])
-            .nominal("b", ["x", "y"])
-            .build()
-            .unwrap();
+        let schema =
+            SchemaBuilder::new().nominal("a", ["x", "y"]).nominal("b", ["x", "y"]).build().unwrap();
         let mut t = dq_table::Table::new(schema);
         t.push_row(&[Value::Nominal(0), Value::Nominal(1)]).unwrap(); // satisfied
         t.push_row(&[Value::Nominal(0), Value::Nominal(0)]).unwrap(); // violated

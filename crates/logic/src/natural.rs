@@ -39,8 +39,7 @@ pub fn is_natural_formula(schema: &Schema, formula: &Formula) -> bool {
                 if rest.is_empty() {
                     continue;
                 }
-                let rest_f =
-                    if rest.len() == 1 { rest[0].clone() } else { Formula::And(rest) };
+                let rest_f = if rest.len() == 1 { rest[0].clone() } else { Formula::And(rest) };
                 if implies(schema, &rest_f, &parts[i]) {
                     return false;
                 }
@@ -77,9 +76,7 @@ pub fn is_natural_formula(schema: &Schema, formula: &Formula) -> bool {
 /// `α ∧ β` is satisfiable (not contradictory) and `α` does not already
 /// imply `β` (not tautological).
 pub fn is_natural_rule(schema: &Schema, rule: &Rule) -> bool {
-    if !is_natural_formula(schema, &rule.premise)
-        || !is_natural_formula(schema, &rule.consequent)
-    {
+    if !is_natural_formula(schema, &rule.premise) || !is_natural_formula(schema, &rule.consequent) {
         return false;
     }
     let both = Formula::And(vec![rule.premise.clone(), rule.consequent.clone()]);
@@ -103,16 +100,12 @@ fn directed_conflict(schema: &Schema, ri: &Rule, rj: &Rule) -> bool {
     if !implies(schema, &rj.premise, &ri.premise) {
         return false;
     }
-    let overlap = Formula::And(vec![
-        rj.premise.clone(),
-        ri.consequent.clone(),
-        rj.consequent.clone(),
-    ]);
+    let overlap =
+        Formula::And(vec![rj.premise.clone(), ri.consequent.clone(), rj.consequent.clone()]);
     if !satisfiable(schema, &overlap) {
         return true; // contradictory consequences on αⱼ-records
     }
-    let redundant_premise =
-        Formula::And(vec![rj.premise.clone(), ri.consequent.clone()]);
+    let redundant_premise = Formula::And(vec![rj.premise.clone(), ri.consequent.clone()]);
     implies(schema, &redundant_premise, &rj.consequent) // rⱼ adds nothing
 }
 
@@ -228,8 +221,7 @@ mod tests {
         // The paper's second example:
         //   A = Val1 ∧ B = Val2 → C = Val1   (specific, adds nothing)
         //   A = Val1 → C = Val1              (general)
-        let specific =
-            Rule::new(Formula::And(vec![eq(0, 0), eq(1, 1)]), eq(2, 0));
+        let specific = Rule::new(Formula::And(vec![eq(0, 0), eq(1, 1)]), eq(2, 0));
         let general = Rule::new(eq(0, 0), eq(2, 0));
         assert!(rule_pair_conflict(&s, &general, &specific));
         assert!(!is_natural_rule_set(&s, &[general, specific]));
@@ -243,8 +235,7 @@ mod tests {
         //   A = Val1 ∧ B = Val2 → C = Val1  (consistent with C ≠ Val3,
         //                                    and adds information)
         let general = Rule::new(eq(0, 0), neq(2, 2));
-        let specific =
-            Rule::new(Formula::And(vec![eq(0, 0), eq(1, 1)]), eq(2, 0));
+        let specific = Rule::new(Formula::And(vec![eq(0, 0), eq(1, 1)]), eq(2, 0));
         assert!(!rule_pair_conflict(&s, &general, &specific));
         assert!(is_natural_rule_set(&s, &[general, specific]));
     }

@@ -45,9 +45,7 @@ impl std::error::Error for ParseError {}
 pub fn parse_rule(schema: &Schema, text: &str) -> Result<Rule, ParseError> {
     let mut parts = text.splitn(2, "->");
     let prem = parts.next().unwrap_or("");
-    let cons = parts
-        .next()
-        .ok_or_else(|| ParseError("missing `->` in rule".into()))?;
+    let cons = parts.next().ok_or_else(|| ParseError("missing `->` in rule".into()))?;
     if cons.contains("->") {
         return Err(ParseError("more than one `->` in rule".into()));
     }
@@ -141,10 +139,8 @@ impl<'a> Parser<'a> {
     }
 
     fn atom(&mut self) -> Result<Atom, ParseError> {
-        let name = self
-            .next()
-            .ok_or_else(|| ParseError("expected an attribute name".into()))?
-            .to_string();
+        let name =
+            self.next().ok_or_else(|| ParseError("expected an attribute name".into()))?.to_string();
         let attr = self
             .schema
             .index_of(&name)
@@ -200,9 +196,10 @@ impl<'a> Parser<'a> {
     fn constant_for(&self, attr: AttrIdx, token: &str) -> Result<Value, ParseError> {
         let a = self.schema.attr(attr);
         match &a.ty {
-            AttrType::Nominal { .. } => a.code(token).map(Value::Nominal).ok_or_else(|| {
-                ParseError(format!("`{token}` is not a label of `{}`", a.name))
-            }),
+            AttrType::Nominal { .. } => a
+                .code(token)
+                .map(Value::Nominal)
+                .ok_or_else(|| ParseError(format!("`{token}` is not a label of `{}`", a.name))),
             AttrType::Numeric { .. } => token.parse::<f64>().map(Value::Number).map_err(|_| {
                 ParseError(format!("`{token}` is not a number (attribute `{}`)", a.name))
             }),
@@ -312,21 +309,21 @@ mod tests {
         let s = schema();
         for text in [
             "",
-            "BRV = 404",              // missing arrow (rule)
+            "BRV = 404", // missing arrow (rule)
         ] {
             assert!(parse_rule(&s, text).is_err(), "`{text}` must fail");
         }
         for text in [
-            "NOPE = 404",             // unknown attribute
-            "BRV == 404",             // unknown operator
-            "BRV = 999",              // label not in domain
-            "POWER = high",           // non-number for numeric attr
-            "PROD > yesterday",       // bad date
-            "BRV = 404 and",          // dangling connective
-            "(BRV = 404",             // unbalanced paren
-            "BRV = 404 GBM = 901",    // missing connective
-            "BRV < 404",              // ordering on nominal attribute
-            "BRV = GBM",              // incompatible label lists
+            "NOPE = 404",          // unknown attribute
+            "BRV == 404",          // unknown operator
+            "BRV = 999",           // label not in domain
+            "POWER = high",        // non-number for numeric attr
+            "PROD > yesterday",    // bad date
+            "BRV = 404 and",       // dangling connective
+            "(BRV = 404",          // unbalanced paren
+            "BRV = 404 GBM = 901", // missing connective
+            "BRV < 404",           // ordering on nominal attribute
+            "BRV = GBM",           // incompatible label lists
         ] {
             assert!(parse_formula(&s, text).is_err(), "`{text}` must fail");
         }

@@ -250,17 +250,11 @@ mod tests {
         let s = schema();
         assert!(!satisfiable_conjunction(
             &s,
-            &[
-                Atom::LessConst { attr: 2, value: 3.0 },
-                Atom::GreaterConst { attr: 2, value: 3.0 },
-            ]
+            &[Atom::LessConst { attr: 2, value: 3.0 }, Atom::GreaterConst { attr: 2, value: 3.0 },]
         ));
         assert!(satisfiable_conjunction(
             &s,
-            &[
-                Atom::GreaterConst { attr: 2, value: 2.0 },
-                Atom::LessConst { attr: 2, value: 3.0 },
-            ]
+            &[Atom::GreaterConst { attr: 2, value: 2.0 }, Atom::LessConst { attr: 2, value: 3.0 },]
         ));
         // Out-of-domain demands are unsatisfiable: n ∈ [0, 10].
         assert!(!satisfiable_conjunction(&s, &[Atom::GreaterConst { attr: 2, value: 10.0 }]));
@@ -318,18 +312,12 @@ mod tests {
         // Two-cycle via > and <.
         assert!(!satisfiable_conjunction(
             &s,
-            &[
-                Atom::LessAttr { left: 2, right: 3 },
-                Atom::GreaterAttr { left: 2, right: 3 },
-            ]
+            &[Atom::LessAttr { left: 2, right: 3 }, Atom::GreaterAttr { left: 2, right: 3 },]
         ));
         // A chain is fine.
         assert!(satisfiable_conjunction(
             &s,
-            &[
-                Atom::LessAttr { left: 2, right: 3 },
-                Atom::LessAttr { left: 3, right: 4 },
-            ]
+            &[Atom::LessAttr { left: 2, right: 3 }, Atom::LessAttr { left: 3, right: 4 },]
         ));
     }
 
@@ -339,18 +327,12 @@ mod tests {
         // n = m ∧ n < m collapses to x < x.
         assert!(!satisfiable_conjunction(
             &s,
-            &[
-                Atom::EqAttr { left: 2, right: 3 },
-                Atom::LessAttr { left: 2, right: 3 },
-            ]
+            &[Atom::EqAttr { left: 2, right: 3 }, Atom::LessAttr { left: 2, right: 3 },]
         ));
         // n ≠ m ∧ n = m likewise.
         assert!(!satisfiable_conjunction(
             &s,
-            &[
-                Atom::EqAttr { left: 2, right: 3 },
-                Atom::NeqAttr { left: 2, right: 3 },
-            ]
+            &[Atom::EqAttr { left: 2, right: 3 }, Atom::NeqAttr { left: 2, right: 3 },]
         ));
     }
 
@@ -390,10 +372,7 @@ mod tests {
         // integral point.
         assert!(!satisfiable_conjunction(
             &s,
-            &[
-                Atom::GreaterConst { attr: 5, value: 2.0 },
-                Atom::LessConst { attr: 5, value: 3.0 },
-            ]
+            &[Atom::GreaterConst { attr: 5, value: 2.0 }, Atom::LessConst { attr: 5, value: 3.0 },]
         ));
         // The crisp boundary case: i > 3 leaves {0..3} entirely.
         assert!(!satisfiable_conjunction(&s, &[Atom::GreaterConst { attr: 5, value: 3.0 }]));
@@ -406,10 +385,7 @@ mod tests {
             &s,
             &[eq(0, 1), eq(1, 1), Atom::NeqAttr { left: 0, right: 1 }]
         ));
-        assert!(satisfiable_conjunction(
-            &s,
-            &[eq(0, 1), Atom::NeqAttr { left: 0, right: 1 }]
-        ));
+        assert!(satisfiable_conjunction(&s, &[eq(0, 1), Atom::NeqAttr { left: 0, right: 1 }]));
     }
 
     #[test]
@@ -421,10 +397,8 @@ mod tests {
             Formula::Atom(eq(0, 2)),
         ]);
         assert!(satisfiable(&s, &f));
-        let g = Formula::Or(vec![Formula::And(vec![
-            Formula::Atom(eq(0, 0)),
-            Formula::Atom(eq(0, 1)),
-        ])]);
+        let g =
+            Formula::Or(vec![Formula::And(vec![Formula::Atom(eq(0, 0)), Formula::Atom(eq(0, 1))])]);
         assert!(!satisfiable(&s, &g));
     }
 
@@ -459,10 +433,7 @@ mod tests {
         let top = dq_table::date::days_from_civil(2000, 1, 10) as f64;
         assert!(!satisfiable_conjunction(
             &s,
-            &[
-                Atom::GreaterAttr { left: 0, right: 1 },
-                Atom::GreaterConst { attr: 1, value: top },
-            ]
+            &[Atom::GreaterAttr { left: 0, right: 1 }, Atom::GreaterConst { attr: 1, value: top },]
         ));
     }
 }

@@ -23,32 +23,14 @@ fn schema() -> Arc<Schema> {
 /// test is exactly the NULL-aware one).
 fn value_strategy(attr: usize) -> BoxedStrategy<Value> {
     match attr {
-        0 | 1 => prop_oneof![
-            Just(Value::Null),
-            (0u32..3).prop_map(Value::Nominal),
-        ]
-        .boxed(),
-        2 | 3 => prop_oneof![
-            Just(Value::Null),
-            (0.0f64..100.0).prop_map(Value::Number),
-        ]
-        .boxed(),
-        _ => prop_oneof![
-            Just(Value::Null),
-            (10_957i64..11_322).prop_map(Value::Date),
-        ]
-        .boxed(),
+        0 | 1 => prop_oneof![Just(Value::Null), (0u32..3).prop_map(Value::Nominal),].boxed(),
+        2 | 3 => prop_oneof![Just(Value::Null), (0.0f64..100.0).prop_map(Value::Number),].boxed(),
+        _ => prop_oneof![Just(Value::Null), (10_957i64..11_322).prop_map(Value::Date),].boxed(),
     }
 }
 
 fn record_strategy() -> impl Strategy<Value = Vec<Value>> {
-    (
-        value_strategy(0),
-        value_strategy(1),
-        value_strategy(2),
-        value_strategy(3),
-        value_strategy(4),
-    )
+    (value_strategy(0), value_strategy(1), value_strategy(2), value_strategy(3), value_strategy(4))
         .prop_map(|(a, b, u, v, d)| vec![a, b, u, v, d])
 }
 
@@ -62,10 +44,8 @@ fn atom_strategy() -> impl Strategy<Value = Atom> {
             .prop_map(|(attr, c)| Atom::EqConst { attr, value: Value::Nominal(c) }),
         (nominal_attr.clone(), 0u32..3)
             .prop_map(|(attr, c)| Atom::NeqConst { attr, value: Value::Nominal(c) }),
-        (2usize..4, threshold.clone())
-            .prop_map(|(attr, value)| Atom::LessConst { attr, value }),
-        (2usize..4, threshold)
-            .prop_map(|(attr, value)| Atom::GreaterConst { attr, value }),
+        (2usize..4, threshold.clone()).prop_map(|(attr, value)| Atom::LessConst { attr, value }),
+        (2usize..4, threshold).prop_map(|(attr, value)| Atom::GreaterConst { attr, value }),
         (0usize..5).prop_map(|attr| Atom::IsNull { attr }),
         (0usize..5).prop_map(|attr| Atom::IsNotNull { attr }),
         Just(Atom::EqAttr { left: 0, right: 1 }),
@@ -91,7 +71,16 @@ fn formula_strategy() -> impl Strategy<Value = Formula> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+    // The runner is deterministic by default; pinning the seed here
+    // additionally insulates this suite from future changes to the
+    // workspace-wide default stream. The reduced case count trades
+    // coverage for CI speed — bump `cases` locally when hunting for
+    // counterexamples.
+    #![proptest_config(ProptestConfig {
+        cases: 96,
+        rng_seed: 0xDA7A_10C1,
+        ..ProptestConfig::default()
+    })]
 
     /// Table 1: the TDG-negation is true exactly when the formula is
     /// false — on every record, including NULL-bearing ones.

@@ -93,9 +93,9 @@ impl Apriori {
         let coders: Vec<ClassSpec> = (0..table.n_cols())
             .map(|a| match &table.schema().attr(a).ty {
                 AttrType::Nominal { labels } => ClassSpec::Nominal { card: labels.len() as u32 },
-                _ => ClassSpec::Binned {
-                    binning: discretize_equal_frequency(table, a, config.bins),
-                },
+                _ => {
+                    ClassSpec::Binned { binning: discretize_equal_frequency(table, a, config.bins) }
+                }
             })
             .collect();
 
@@ -322,9 +322,10 @@ mod tests {
     fn mines_the_dependency() {
         let t = quis_like_table();
         let ap = Apriori::mine(&t, AprioriConfig::default()).unwrap();
-        let found = ap.rules().iter().any(|r| {
-            r.antecedent == vec![item(0, 0)] && r.attr == 1 && r.code == 0
-        });
+        let found = ap
+            .rules()
+            .iter()
+            .any(|r| r.antecedent == vec![item(0, 0)] && r.attr == 1 && r.code == 0);
         assert!(found, "BRV=404 → GBM=901 must be mined; got {:?}", ap.rules());
     }
 
@@ -366,11 +367,8 @@ mod tests {
 
     #[test]
     fn numeric_attributes_enter_via_bins() {
-        let schema = SchemaBuilder::new()
-            .nominal("c", ["x", "y"])
-            .numeric("n", 0.0, 100.0)
-            .build()
-            .unwrap();
+        let schema =
+            SchemaBuilder::new().nominal("c", ["x", "y"]).numeric("n", 0.0, 100.0).build().unwrap();
         let mut t = Table::new(schema);
         for i in 0..100 {
             // c = x ⟺ n < 50.
@@ -392,11 +390,9 @@ mod tests {
     #[test]
     fn rules_sorted_by_confidence() {
         let t = quis_like_table();
-        let ap = Apriori::mine(
-            &t,
-            AprioriConfig { min_confidence: 0.5, ..AprioriConfig::default() },
-        )
-        .unwrap();
+        let ap =
+            Apriori::mine(&t, AprioriConfig { min_confidence: 0.5, ..AprioriConfig::default() })
+                .unwrap();
         for w in ap.rules().windows(2) {
             assert!(w[0].confidence >= w[1].confidence);
         }

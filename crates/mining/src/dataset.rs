@@ -85,8 +85,7 @@ impl<'a> TrainingSet<'a> {
     /// Build a training set for `class_attr` with all other attributes
     /// as base attributes.
     pub fn full(table: &'a Table, class_attr: AttrIdx, bins: usize) -> Result<Self, MiningError> {
-        let base: Vec<AttrIdx> =
-            (0..table.n_cols()).filter(|&a| a != class_attr).collect();
+        let base: Vec<AttrIdx> = (0..table.n_cols()).filter(|&a| a != class_attr).collect();
         Self::new(table, class_attr, base, bins)
     }
 
@@ -113,9 +112,7 @@ impl<'a> TrainingSet<'a> {
         }
         let spec = match &table.schema().attr(class_attr).ty {
             AttrType::Nominal { labels } => ClassSpec::Nominal { card: labels.len() as u32 },
-            _ => ClassSpec::Binned {
-                binning: discretize_equal_frequency(table, class_attr, bins),
-            },
+            _ => ClassSpec::Binned { binning: discretize_equal_frequency(table, class_attr, bins) },
         };
         let mut class_codes = Vec::with_capacity(table.n_rows());
         let mut rows = Vec::new();
@@ -157,9 +154,7 @@ impl<'a> TrainingSet<'a> {
             .iter()
             .map(|&a| match &self.table.schema().attr(a).ty {
                 AttrType::Nominal { labels } => ClassSpec::Nominal { card: labels.len() as u32 },
-                _ => ClassSpec::Binned {
-                    binning: discretize_equal_frequency(self.table, a, bins),
-                },
+                _ => ClassSpec::Binned { binning: discretize_equal_frequency(self.table, a, bins) },
             })
             .collect()
     }
@@ -220,14 +215,8 @@ mod tests {
     #[test]
     fn rejects_bad_configurations() {
         let t = table();
-        assert!(matches!(
-            TrainingSet::full(&t, 9, 4),
-            Err(MiningError::UnknownAttribute(9))
-        ));
-        assert!(matches!(
-            TrainingSet::new(&t, 0, vec![0], 4),
-            Err(MiningError::ClassInBaseSet)
-        ));
+        assert!(matches!(TrainingSet::full(&t, 9, 4), Err(MiningError::UnknownAttribute(9))));
+        assert!(matches!(TrainingSet::new(&t, 0, vec![0], 4), Err(MiningError::ClassInBaseSet)));
         assert!(matches!(
             TrainingSet::new(&t, 0, vec![7], 4),
             Err(MiningError::UnknownAttribute(7))
@@ -236,10 +225,7 @@ mod tests {
         let schema = SchemaBuilder::new().nominal("c", ["a"]).nominal("d", ["x"]).build().unwrap();
         let mut empty = Table::new(schema);
         empty.push_row(&[Value::Null, Value::Nominal(0)]).unwrap();
-        assert!(matches!(
-            TrainingSet::full(&empty, 0, 4),
-            Err(MiningError::EmptyTrainingSet)
-        ));
+        assert!(matches!(TrainingSet::full(&empty, 0, 4), Err(MiningError::EmptyTrainingSet)));
     }
 
     #[test]

@@ -50,10 +50,8 @@ impl Inducer for NaiveBayesInducer {
         }
         let card = train.class_card() as usize;
         let coders = train.base_coders(self.bins);
-        let mut likelihoods: Vec<Vec<Vec<f64>>> = coders
-            .iter()
-            .map(|c| vec![vec![0.0; c.card() as usize]; card])
-            .collect();
+        let mut likelihoods: Vec<Vec<Vec<f64>>> =
+            coders.iter().map(|c| vec![vec![0.0; c.card() as usize]; card]).collect();
         let mut priors = vec![0.0; card];
         for &r in &train.rows {
             let class = train.class_codes[r].expect("training row has a class") as usize;

@@ -54,8 +54,7 @@ impl Inducer for OneRInducer {
                 }
             }
             // Training accuracy of "value → its majority class".
-            let correct: f64 =
-                tables.iter().map(|t| t.iter().cloned().fold(0.0, f64::max)).sum();
+            let correct: f64 = tables.iter().map(|t| t.iter().cloned().fold(0.0, f64::max)).sum();
             if best.as_ref().is_none_or(|(bc, _, _)| correct > *bc) {
                 best = Some((correct, i, tables));
             }

@@ -272,18 +272,16 @@ impl Node {
                 let reference = if w >= min_inst { counts } else { decision_counts };
                 let mut acc = 0.0;
                 for (c, &cnt) in counts.iter().enumerate() {
-                    if cnt > 0.0
-                        && dq_stats::asymptotic_error_confidence(reference, c) >= min_conf
+                    if cnt > 0.0 && dq_stats::asymptotic_error_confidence(reference, c) >= min_conf
                     {
                         acc += cnt;
                     }
                 }
                 acc
             }
-            Node::Split { children, .. } => children
-                .iter()
-                .map(|c| c.flagged_weight(min_conf, min_inst, decision_counts))
-                .sum(),
+            Node::Split { children, .. } => {
+                children.iter().map(|c| c.flagged_weight(min_conf, min_inst, decision_counts)).sum()
+            }
         }
     }
 
@@ -327,10 +325,7 @@ impl Node {
                 if total <= 0.0 {
                     return 0.0;
                 }
-                children
-                    .iter()
-                    .map(|c| c.weight() / total * c.pessimistic_error(level))
-                    .sum()
+                children.iter().map(|c| c.weight() / total * c.pessimistic_error(level)).sum()
             }
         }
     }
@@ -345,9 +340,7 @@ impl Node {
     fn depth(&self) -> usize {
         match self {
             Node::Leaf { .. } => 1,
-            Node::Split { children, .. } => {
-                1 + children.iter().map(Node::depth).max().unwrap_or(0)
-            }
+            Node::Split { children, .. } => 1 + children.iter().map(Node::depth).max().unwrap_or(0),
         }
     }
 }
@@ -412,10 +405,9 @@ impl DecisionTree {
                         0
                     }
                 }
-                Node::Split { children, .. } => children
-                    .iter_mut()
-                    .map(|c| walk(c, min_conf, level))
-                    .sum(),
+                Node::Split { children, .. } => {
+                    children.iter_mut().map(|c| walk(c, min_conf, level)).sum()
+                }
             }
         }
         walk(&mut self.root, min_conf, self.level)
@@ -483,10 +475,7 @@ fn collect_rules(node: &Node, path: &mut Vec<Condition>, level: f64, out: &mut V
 fn merge_conditions(path: &[Condition]) -> Vec<Condition> {
     let mut out: Vec<Condition> = Vec::with_capacity(path.len());
     for c in path {
-        if let Some(prev) = out
-            .iter_mut()
-            .find(|p| p.attr == c.attr && p.test.same_kind(&c.test))
-        {
+        if let Some(prev) = out.iter_mut().find(|p| p.attr == c.attr && p.test.same_kind(&c.test)) {
             prev.test = prev.test.tighten(&c.test);
         } else {
             out.push(c.clone());
@@ -746,8 +735,7 @@ fn grow(ctx: &InductionContext, instances: Vec<(usize, f64)>, depth: usize) -> N
     let n_branches = best.branch_counts.len();
 
     // Branch fractions over known instances (for missing-value routing).
-    let branch_weights: Vec<f64> =
-        best.branch_counts.iter().map(|c| c.iter().sum()).collect();
+    let branch_weights: Vec<f64> = best.branch_counts.iter().map(|c| c.iter().sum()).collect();
     let known: f64 = branch_weights.iter().sum();
     let fractions: Vec<f64> = if known > 0.0 {
         branch_weights.iter().map(|w| w / known).collect()
@@ -775,15 +763,8 @@ fn grow(ctx: &InductionContext, instances: Vec<(usize, f64)>, depth: usize) -> N
     }
     drop(instances);
 
-    let children: Vec<Node> =
-        parts.into_iter().map(|p| grow(ctx, p, depth + 1)).collect();
-    let node = Node::Split {
-        attr,
-        kind: best.kind,
-        children,
-        fractions,
-        counts: counts.clone(),
-    };
+    let children: Vec<Node> = parts.into_iter().map(|p| grow(ctx, p, depth + 1)).collect();
+    let node = Node::Split { attr, kind: best.kind, children, fractions, counts: counts.clone() };
 
     // Integrated expected-error-confidence pruning (sec. 5.4), applied
     // to the freshly built subtree — see the [`Pruning`] discussion for
@@ -856,9 +837,7 @@ fn select_split(
         return None;
     }
     match ctx.cfg.criterion {
-        SplitCriterion::InfoGain => candidates
-            .into_iter()
-            .max_by(|a, b| a.gain.total_cmp(&b.gain)),
+        SplitCriterion::InfoGain => candidates.into_iter().max_by(|a, b| a.gain.total_cmp(&b.gain)),
         SplitCriterion::GainRatio => {
             // Quinlan's heuristic: best gain ratio among candidates with
             // at least average gain (avoids the ratio exploding on
@@ -884,19 +863,14 @@ fn finish_candidate(
     missing_weight: f64,
     total: f64,
 ) -> Option<CandidateSplit> {
-    let known: f64 = branch_counts
-        .iter()
-        .map(|c| c.iter().sum::<f64>())
-        .sum();
+    let known: f64 = branch_counts.iter().map(|c| c.iter().sum::<f64>()).sum();
     if known <= 0.0 {
         return None;
     }
     // minInst admissibility: some partition must retain min_inst
     // instances of one class.
     if ctx.cfg.min_inst > 0.0
-        && !branch_counts
-            .iter()
-            .any(|c| c.iter().any(|&x| x >= ctx.cfg.min_inst))
+        && !branch_counts.iter().any(|c| c.iter().any(|&x| x >= ctx.cfg.min_inst))
     {
         return None;
     }
@@ -1041,14 +1015,7 @@ fn threshold_candidate(
     for &(x, c, w) in &known {
         branch_counts[usize::from(x > threshold)][c as usize] += w;
     }
-    finish_candidate(
-        ctx,
-        attr_pos,
-        SplitKind::Threshold(threshold),
-        branch_counts,
-        missing,
-        total,
-    )
+    finish_candidate(ctx, attr_pos, SplitKind::Threshold(threshold), branch_counts, missing, total)
 }
 
 /// C4.5 post-pruning by pessimistic classification error: bottom-up
@@ -1187,12 +1154,7 @@ mod tests {
         let ts = TrainingSet::full(&t, 3, 4).unwrap();
         let tree = C45Inducer::new(grown_config()).induce_tree(&ts).unwrap();
         for (a, b) in [(0u32, 0u32), (0, 1), (1, 0), (1, 1)] {
-            let rec = vec![
-                Value::Nominal(a),
-                Value::Nominal(b),
-                Value::Nominal(0),
-                Value::Null,
-            ];
+            let rec = vec![Value::Nominal(a), Value::Nominal(b), Value::Nominal(0), Value::Null];
             let p = tree.predict(&rec);
             assert_eq!(p.predicted_class(), a ^ b, "xor({a},{b})");
             assert!(p.support > 0.0);
@@ -1255,19 +1217,12 @@ mod tests {
         let base = dq_table::date::days_from_civil(2000, 1, 1);
         let mut t = Table::new(schema);
         for i in 0..30 {
-            t.push_row(&[Value::Date(base + i * 100), Value::Nominal(u32::from(i >= 15))])
-                .unwrap();
+            t.push_row(&[Value::Date(base + i * 100), Value::Nominal(u32::from(i >= 15))]).unwrap();
         }
         let ts = TrainingSet::full(&t, 1, 4).unwrap();
         let tree = C45Inducer::new(grown_config()).induce_tree(&ts).unwrap();
-        assert_eq!(
-            tree.predict(&[Value::Date(base), Value::Null]).predicted_class(),
-            0
-        );
-        assert_eq!(
-            tree.predict(&[Value::Date(base + 2900), Value::Null]).predicted_class(),
-            1
-        );
+        assert_eq!(tree.predict(&[Value::Date(base), Value::Null]).predicted_class(), 0);
+        assert_eq!(tree.predict(&[Value::Date(base + 2900), Value::Null]).predicted_class(), 1);
     }
 
     #[test]
@@ -1282,23 +1237,16 @@ mod tests {
         assert!(p.support > 0.0 && p.support < 80.0, "support {}", p.support);
         assert!(p.probability(0) > 0.0 && p.probability(1) > 0.0, "{p:?}");
         // With both known the prediction is certain.
-        let q = tree.predict(&[
-            Value::Nominal(1),
-            Value::Nominal(1),
-            Value::Nominal(0),
-            Value::Null,
-        ]);
+        let q =
+            tree.predict(&[Value::Nominal(1), Value::Nominal(1), Value::Nominal(0), Value::Null]);
         assert_eq!(q.predicted_class(), 1);
         assert_eq!(q.probability(1), 1.0);
     }
 
     #[test]
     fn nulls_in_training_do_not_break_induction() {
-        let schema = SchemaBuilder::new()
-            .nominal("x", ["p", "q"])
-            .nominal("y", ["a", "b"])
-            .build()
-            .unwrap();
+        let schema =
+            SchemaBuilder::new().nominal("x", ["p", "q"]).nominal("y", ["a", "b"]).build().unwrap();
         let mut t = Table::new(schema);
         for i in 0..40 {
             let x = if i % 5 == 0 { Value::Null } else { Value::Nominal((i % 2) as u32) };
@@ -1315,12 +1263,8 @@ mod tests {
         let t = xor_table(80);
         let ts = TrainingSet::full(&t, 3, 4).unwrap();
         let tree = C45Inducer::new(grown_config()).induce_tree(&ts).unwrap();
-        let p = tree.predict(&[
-            Value::Nominal(99),
-            Value::Nominal(0),
-            Value::Nominal(0),
-            Value::Null,
-        ]);
+        let p =
+            tree.predict(&[Value::Nominal(99), Value::Nominal(0), Value::Nominal(0), Value::Null]);
         assert!(p.support > 0.0);
     }
 
@@ -1400,10 +1344,8 @@ mod tests {
         // split is pruned and the 99.95% detection is lost.
         let t = quis_anecdote_training();
         let ts = TrainingSet::full(&t, 1, 4).unwrap();
-        let cfg = C45Config {
-            pruning: Pruning::ExpectedErrorConfidenceRaw,
-            ..C45Config::default()
-        };
+        let cfg =
+            C45Config { pruning: Pruning::ExpectedErrorConfidenceRaw, ..C45Config::default() };
         let tree = C45Inducer::new(cfg).induce_tree(&ts).unwrap();
         assert_eq!(tree.n_leaves(), 1);
     }
@@ -1444,10 +1386,8 @@ mod tests {
         // predicts its class (XOR is noise-free).
         for r in 0..t.n_rows() {
             let rec = t.row(r);
-            let matching: Vec<&TreeRule> = rules
-                .iter()
-                .filter(|rule| rule.premise_matches(&rec) == Some(true))
-                .collect();
+            let matching: Vec<&TreeRule> =
+                rules.iter().filter(|rule| rule.premise_matches(&rec) == Some(true)).collect();
             assert_eq!(matching.len(), 1, "row {r}");
             assert_eq!(
                 Value::Nominal(matching[0].predicted),
@@ -1481,12 +1421,8 @@ mod tests {
         assert_eq!(tree.n_enabled_leaves() + disabled, before);
         assert!(disabled > 0, "3-instance leaves cannot reach 80% confidence");
         // Disabled leaves predict nothing.
-        let p = tree.predict(&[
-            Value::Nominal(0),
-            Value::Nominal(0),
-            Value::Nominal(0),
-            Value::Null,
-        ]);
+        let p =
+            tree.predict(&[Value::Nominal(0), Value::Nominal(0), Value::Nominal(0), Value::Null]);
         assert_eq!(p.support, 0.0);
     }
 

@@ -103,10 +103,7 @@ impl PollutionLog {
     /// The clean value of a cell (what a perfect correction would
     /// restore): the logged `before` if the cell was corrupted.
     pub fn clean_value_of(&self, dirty_row: RowIdx, attr: AttrIdx) -> Option<Value> {
-        self.cells
-            .iter()
-            .find(|c| c.dirty_row == dirty_row && c.attr == attr)
-            .map(|c| c.before)
+        self.cells.iter().find(|c| c.dirty_row == dirty_row && c.attr == attr).map(|c| c.before)
     }
 
     /// Prevalence: fraction of dirty rows that are corrupted.

@@ -52,18 +52,12 @@ impl PollutionConfig {
                     polluter: Polluter::WrongValue { attr: None, dist: DistributionSpec::Uniform },
                     activation: 0.020,
                 },
-                PollutionStep {
-                    polluter: Polluter::NullValue { attr: None },
-                    activation: 0.012,
-                },
+                PollutionStep { polluter: Polluter::NullValue { attr: None }, activation: 0.012 },
                 PollutionStep {
                     polluter: Polluter::Limiter { attr: None, lower_frac: 0.1, upper_frac: 0.9 },
                     activation: 0.010,
                 },
-                PollutionStep {
-                    polluter: Polluter::Switcher { attrs: None },
-                    activation: 0.006,
-                },
+                PollutionStep { polluter: Polluter::Switcher { attrs: None }, activation: 0.006 },
                 PollutionStep {
                     polluter: Polluter::Duplicator { p_delete: 0.3 },
                     activation: 0.004,
@@ -263,8 +257,7 @@ mod tests {
         let clean = clean_table(2000);
         let mut rng = StdRng::seed_from_u64(4);
         let (_, log1) = pollute(&clean, &PollutionConfig::standard(), &mut rng);
-        let (_, log4) =
-            pollute(&clean, &PollutionConfig::standard().with_factor(4.0), &mut rng);
+        let (_, log4) = pollute(&clean, &PollutionConfig::standard().with_factor(4.0), &mut rng);
         assert!(
             log4.n_corrupted_rows() > 2 * log1.n_corrupted_rows(),
             "factor 4: {} vs factor 1: {}",
@@ -277,14 +270,8 @@ mod tests {
     fn expected_strikes_accounts_for_factor_and_clamp() {
         let cfg = PollutionConfig {
             steps: vec![
-                PollutionStep {
-                    polluter: Polluter::NullValue { attr: None },
-                    activation: 0.4,
-                },
-                PollutionStep {
-                    polluter: Polluter::NullValue { attr: None },
-                    activation: 0.8,
-                },
+                PollutionStep { polluter: Polluter::NullValue { attr: None }, activation: 0.4 },
+                PollutionStep { polluter: Polluter::NullValue { attr: None }, activation: 0.8 },
             ],
             factor: 2.0,
         };
@@ -326,8 +313,7 @@ mod tests {
 
     #[test]
     fn empty_table_pollutes_to_empty() {
-        let schema: Arc<_> =
-            SchemaBuilder::new().nominal("a", ["x"]).build().unwrap();
+        let schema: Arc<_> = SchemaBuilder::new().nominal("a", ["x"]).build().unwrap();
         let clean = Table::new(schema);
         let mut rng = StdRng::seed_from_u64(7);
         let (dirty, log) = pollute(&clean, &PollutionConfig::standard(), &mut rng);

@@ -364,19 +364,15 @@ mod tests {
             assert_eq!((a, b), (0, 1), "only the two nominals are same-kind here");
         }
         // A schema without same-kind pairs yields None.
-        let lonely = SchemaBuilder::new()
-            .nominal("a", ["x"])
-            .numeric("n", 0.0, 1.0)
-            .build()
-            .unwrap();
+        let lonely =
+            SchemaBuilder::new().nominal("a", ["x"]).numeric("n", 0.0, 1.0).build().unwrap();
         assert_eq!(random_same_kind_pair(&lonely, &mut rng), None);
     }
 
     #[test]
     fn duplicator_action_split() {
         let mut rng = StdRng::seed_from_u64(9);
-        let actions: Vec<RowAction> =
-            (0..1000).map(|_| duplicator_action(0.3, &mut rng)).collect();
+        let actions: Vec<RowAction> = (0..1000).map(|_| duplicator_action(0.3, &mut rng)).collect();
         let deletes = actions.iter().filter(|&&a| a == RowAction::Delete).count();
         assert!((250..350).contains(&deletes), "deletes {deletes}");
         assert!(actions.iter().all(|&a| a != RowAction::Keep));

@@ -12,7 +12,7 @@
 
 use crate::families::{families, power_class_of, Family};
 use crate::schema::{attr, engine_schema};
-use dq_pollute::{pollute, PollutionConfig, PollutionLog, PollutionStep, Polluter};
+use dq_pollute::{pollute, Polluter, PollutionConfig, PollutionLog, PollutionStep};
 use dq_stats::{weighted_choice, DistributionSpec};
 use dq_table::{date::days_from_civil, Table, Value};
 use rand::Rng;
@@ -52,10 +52,7 @@ pub fn default_pollution() -> PollutionConfig {
                 polluter: Polluter::WrongValue { attr: None, dist: DistributionSpec::Uniform },
                 activation: 0.012,
             },
-            PollutionStep {
-                polluter: Polluter::NullValue { attr: None },
-                activation: 0.006,
-            },
+            PollutionStep { polluter: Polluter::NullValue { attr: None }, activation: 0.006 },
             PollutionStep {
                 polluter: Polluter::Limiter {
                     attr: Some(attr::DISPLACEMENT),
@@ -68,10 +65,7 @@ pub fn default_pollution() -> PollutionConfig {
                 polluter: Polluter::Switcher { attrs: Some((attr::PLANT, attr::SERIES)) },
                 activation: 0.003,
             },
-            PollutionStep {
-                polluter: Polluter::Duplicator { p_delete: 0.25 },
-                activation: 0.002,
-            },
+            PollutionStep { polluter: Polluter::Duplicator { p_delete: 0.25 }, activation: 0.002 },
         ],
         factor: 1.0,
     }
@@ -154,10 +148,7 @@ mod tests {
         assert!(!viols.is_empty(), "pollution should break the headline rule somewhere");
         // Each violating row is a logged corruption.
         for r in viols {
-            assert!(
-                b.log.is_row_corrupted(r),
-                "row {r} violates the rule but is not in the log"
-            );
+            assert!(b.log.is_row_corrupted(r), "row {r} violates the rule but is not in the log");
         }
     }
 
@@ -175,11 +166,7 @@ mod tests {
         let b = small();
         for r in (0..b.clean.n_rows()).step_by(97) {
             let d = b.clean.get(r, attr::DISPLACEMENT).as_numeric().unwrap() as i64;
-            assert_eq!(
-                b.clean.get(r, attr::POWER),
-                Value::Nominal(power_class_of(d)),
-                "row {r}"
-            );
+            assert_eq!(b.clean.get(r, attr::POWER), Value::Nominal(power_class_of(d)), "row {r}");
         }
     }
 

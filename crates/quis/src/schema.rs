@@ -13,9 +13,8 @@ use std::sync::Arc;
 
 /// Engine model-series codes (`BRV`). Includes the paper's `404` and
 /// `501`.
-pub const BRV_CODES: [&str; 12] = [
-    "401", "402", "403", "404", "407", "501", "541", "601", "602", "611", "904", "906",
-];
+pub const BRV_CODES: [&str; 12] =
+    ["401", "402", "403", "404", "407", "501", "541", "601", "602", "611", "904", "906"];
 
 /// Base engine model codes (`GBM`). Includes the paper's `901` and the
 /// deviating `911`.

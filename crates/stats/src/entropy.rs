@@ -100,9 +100,8 @@ mod tests {
         // Quinlan's motivating case: splitting 8 instances into 8
         // singleton branches has perfect gain but huge split info.
         let parent = [4.0, 4.0];
-        let many: Vec<Vec<f64>> = (0..8)
-            .map(|i| if i < 4 { vec![1.0, 0.0] } else { vec![0.0, 1.0] })
-            .collect();
+        let many: Vec<Vec<f64>> =
+            (0..8).map(|i| if i < 4 { vec![1.0, 0.0] } else { vec![0.0, 1.0] }).collect();
         let two = vec![vec![4.0, 0.0], vec![0.0, 4.0]];
         assert!(info_gain(&parent, &many) >= info_gain(&parent, &two) - 1e-12);
         assert!(gain_ratio(&parent, &many) < gain_ratio(&parent, &two));

@@ -54,15 +54,13 @@ impl SchemaBuilder {
 
     /// Add a real-valued numeric attribute over `[min, max]`.
     pub fn numeric(mut self, name: &str, min: f64, max: f64) -> Self {
-        self.attributes
-            .push(Attribute::new(name, AttrType::Numeric { min, max, integer: false }));
+        self.attributes.push(Attribute::new(name, AttrType::Numeric { min, max, integer: false }));
         self
     }
 
     /// Add an integer-valued numeric attribute over `[min, max]`.
     pub fn integer(mut self, name: &str, min: f64, max: f64) -> Self {
-        self.attributes
-            .push(Attribute::new(name, AttrType::Numeric { min, max, integer: true }));
+        self.attributes.push(Attribute::new(name, AttrType::Numeric { min, max, integer: true }));
         self
     }
 

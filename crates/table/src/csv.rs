@@ -19,8 +19,7 @@ use std::sync::Arc;
 pub fn write_csv<W: Write>(table: &Table, out: W) -> Result<(), TableError> {
     let mut w = BufWriter::new(out);
     let schema = table.schema();
-    let names: Vec<&str> =
-        schema.attributes().iter().map(|a| a.name.as_str()).collect();
+    let names: Vec<&str> = schema.attributes().iter().map(|a| a.name.as_str()).collect();
     writeln!(w, "{}", names.join(","))?;
     for r in 0..table.n_rows() {
         for c in 0..table.n_cols() {
@@ -112,17 +111,15 @@ fn parse_cell(
     let attr = schema.attr(col);
     match &attr.ty {
         AttrType::Nominal { .. } => attr.code(cell).map(Value::Nominal).ok_or_else(|| {
-            TableError::Csv(format!(
-                "line {line_no}: `{cell}` is not a label of `{}`",
-                attr.name
-            ))
+            TableError::Csv(format!("line {line_no}: `{cell}` is not a label of `{}`", attr.name))
         }),
-        AttrType::Numeric { .. } => cell.parse::<f64>().map(Value::Number).map_err(|_| {
-            TableError::Csv(format!("line {line_no}: `{cell}` is not a number"))
-        }),
-        AttrType::Date { .. } => parse_iso(cell).map(Value::Date).ok_or_else(|| {
-            TableError::Csv(format!("line {line_no}: `{cell}` is not an ISO date"))
-        }),
+        AttrType::Numeric { .. } => cell
+            .parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| TableError::Csv(format!("line {line_no}: `{cell}` is not a number"))),
+        AttrType::Date { .. } => parse_iso(cell)
+            .map(Value::Date)
+            .ok_or_else(|| TableError::Csv(format!("line {line_no}: `{cell}` is not an ISO date"))),
     }
 }
 

@@ -74,10 +74,7 @@ mod tests {
 
     #[test]
     fn leap_years() {
-        assert_eq!(
-            days_from_civil(2000, 2, 29) + 1,
-            days_from_civil(2000, 3, 1)
-        );
+        assert_eq!(days_from_civil(2000, 2, 29) + 1, days_from_civil(2000, 3, 1));
         // 1900 is not a leap year in the Gregorian calendar.
         assert_eq!(parse_iso("1900-02-29"), None);
         assert!(parse_iso("2000-02-29").is_some());

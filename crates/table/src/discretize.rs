@@ -202,10 +202,8 @@ mod tests {
 
     #[test]
     fn date_columns_discretize_via_day_numbers() {
-        let schema = SchemaBuilder::new()
-            .date_ymd("d", (2000, 1, 1), (2010, 1, 1))
-            .build()
-            .unwrap();
+        let schema =
+            SchemaBuilder::new().date_ymd("d", (2000, 1, 1), (2010, 1, 1)).build().unwrap();
         let mut t = Table::new(schema);
         for d in [0i64, 100, 200, 300].iter() {
             t.push_row(&[Value::Date(crate::date::days_from_civil(2001, 1, 1) + d)]).unwrap();

@@ -193,18 +193,16 @@ impl Schema {
 
     /// Like [`Schema::index_of`] but returns a [`TableError`].
     pub fn require(&self, name: &str) -> Result<AttrIdx, TableError> {
-        self.index_of(name)
-            .ok_or_else(|| TableError::UnknownAttribute(name.to_string()))
+        self.index_of(name).ok_or_else(|| TableError::UnknownAttribute(name.to_string()))
     }
 
     /// Render a value under the attribute at `idx` using domain labels
     /// (nominal codes become their labels).
     pub fn display_value(&self, idx: AttrIdx, v: &Value) -> String {
         match (v, &self.attributes[idx].ty) {
-            (Value::Nominal(c), AttrType::Nominal { labels }) => labels
-                .get(*c as usize)
-                .cloned()
-                .unwrap_or_else(|| format!("#{c}?")),
+            (Value::Nominal(c), AttrType::Nominal { labels }) => {
+                labels.get(*c as usize).cloned().unwrap_or_else(|| format!("#{c}?"))
+            }
             _ => v.to_string(),
         }
     }
@@ -320,14 +318,8 @@ mod tests {
 
     #[test]
     fn domain_sizes() {
-        assert_eq!(
-            AttrType::Numeric { min: 1.0, max: 5.0, integer: true }.domain_size(),
-            Some(5)
-        );
-        assert_eq!(
-            AttrType::Numeric { min: 1.0, max: 5.0, integer: false }.domain_size(),
-            None
-        );
+        assert_eq!(AttrType::Numeric { min: 1.0, max: 5.0, integer: true }.domain_size(), Some(5));
+        assert_eq!(AttrType::Numeric { min: 1.0, max: 5.0, integer: false }.domain_size(), None);
         assert_eq!(AttrType::Date { min: 10, max: 12 }.domain_size(), Some(3));
     }
 
@@ -348,10 +340,7 @@ mod tests {
             s.validate_record(&[Value::Number(0.0), Value::Null]),
             Err(TableError::TypeMismatch { .. })
         ));
-        assert!(matches!(
-            s.validate_record(&[Value::Null]),
-            Err(TableError::ArityMismatch { .. })
-        ));
+        assert!(matches!(s.validate_record(&[Value::Null]), Err(TableError::ArityMismatch { .. })));
     }
 
     #[test]

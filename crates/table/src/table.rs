@@ -72,10 +72,7 @@ impl Table {
     /// [`Table::set`], which is equally lenient.
     pub fn push_row_lenient(&mut self, record: &[Value]) -> Result<RowIdx, TableError> {
         if record.len() != self.n_cols() {
-            return Err(TableError::ArityMismatch {
-                expected: self.n_cols(),
-                got: record.len(),
-            });
+            return Err(TableError::ArityMismatch { expected: self.n_cols(), got: record.len() });
         }
         for (v, attr) in record.iter().zip(self.schema.attributes()) {
             if !attr.ty.kind_matches(v) {
@@ -243,9 +240,7 @@ mod tests {
     fn push_rejects_bad_records() {
         let mut t = small_table();
         assert!(t.push_row(&[Value::Nominal(0), Value::Number(1.0)]).is_err());
-        assert!(t
-            .push_row(&[Value::Number(0.0), Value::Number(1.0), Value::Date(0)])
-            .is_err());
+        assert!(t.push_row(&[Value::Number(0.0), Value::Number(1.0), Value::Date(0)]).is_err());
     }
 
     #[test]
@@ -254,10 +249,7 @@ mod tests {
         t.set(0, 1, Value::Number(99.0)).unwrap();
         assert_eq!(t.get(0, 1), Value::Number(99.0));
         assert!(matches!(t.set(9, 0, Value::Null), Err(TableError::RowOutOfRange(9))));
-        assert!(matches!(
-            t.set(0, 0, Value::Number(1.0)),
-            Err(TableError::TypeMismatch { .. })
-        ));
+        assert!(matches!(t.set(0, 0, Value::Number(1.0)), Err(TableError::TypeMismatch { .. })));
     }
 
     #[test]
@@ -281,9 +273,7 @@ mod tests {
         let r = t.push_row_lenient(&[Value::Nominal(9), Value::Null, Value::Null]).unwrap();
         assert_eq!(t.get(r, 0), Value::Nominal(9));
         // Kind mismatches stay rejected.
-        assert!(t
-            .push_row_lenient(&[Value::Number(1.0), Value::Null, Value::Null])
-            .is_err());
+        assert!(t.push_row_lenient(&[Value::Number(1.0), Value::Null, Value::Null]).is_err());
         assert!(t.push_row_lenient(&[Value::Null]).is_err());
     }
 

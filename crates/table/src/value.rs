@@ -126,21 +126,12 @@ mod tests {
 
     #[test]
     fn sql_cmp_orders_dates_and_numbers_together() {
-        assert_eq!(
-            Value::Date(5).sql_cmp(&Value::Number(6.0)),
-            Some(Ordering::Less)
-        );
-        assert_eq!(
-            Value::Number(6.0).sql_cmp(&Value::Date(5)),
-            Some(Ordering::Greater)
-        );
+        assert_eq!(Value::Date(5).sql_cmp(&Value::Number(6.0)), Some(Ordering::Less));
+        assert_eq!(Value::Number(6.0).sql_cmp(&Value::Date(5)), Some(Ordering::Greater));
         assert_eq!(Value::Null.sql_cmp(&Value::Number(0.0)), None);
         // Nominal values only order against other nominal values.
         assert_eq!(Value::Nominal(1).sql_cmp(&Value::Number(0.0)), None);
-        assert_eq!(
-            Value::Nominal(1).sql_cmp(&Value::Nominal(2)),
-            Some(Ordering::Less)
-        );
+        assert_eq!(Value::Nominal(1).sql_cmp(&Value::Nominal(2)), Some(Ordering::Less));
     }
 
     #[test]

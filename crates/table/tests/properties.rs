@@ -2,8 +2,8 @@
 //! discretization invariants and row-surgery accounting.
 
 use dq_table::{
-    discretize_equal_frequency, discretize_equal_width, read_csv, write_csv, Schema,
-    SchemaBuilder, Table, Value,
+    discretize_equal_frequency, discretize_equal_width, read_csv, write_csv, Schema, SchemaBuilder,
+    Table, Value,
 };
 use proptest::prelude::*;
 use std::sync::Arc;

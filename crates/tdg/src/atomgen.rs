@@ -226,11 +226,7 @@ impl AtomSampler {
 }
 
 /// A uniformly random in-domain (non-NULL) value for an attribute.
-pub fn random_domain_value<R: Rng + ?Sized>(
-    schema: &Schema,
-    attr: AttrIdx,
-    rng: &mut R,
-) -> Value {
+pub fn random_domain_value<R: Rng + ?Sized>(schema: &Schema, attr: AttrIdx, rng: &mut R) -> Value {
     match &schema.attr(attr).ty {
         AttrType::Nominal { labels } => Value::Nominal(rng.gen_range(0..labels.len()) as u32),
         AttrType::Numeric { min, max, integer } => {

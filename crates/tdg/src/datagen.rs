@@ -106,11 +106,7 @@ pub fn generate_table<R: Rng + ?Sized>(
     config: &DataGenConfig,
     rng: &mut R,
 ) -> (Table, GenReport) {
-    assert_eq!(
-        config.start.univariate.len(),
-        schema.len(),
-        "one univariate spec per attribute"
-    );
+    assert_eq!(config.start.univariate.len(), schema.len(), "one univariate spec per attribute");
     let mut table = Table::with_capacity(schema.clone(), config.n_rows);
     let mut report = GenReport::default();
     // Attributes covered by a multivariate group skip univariate
@@ -124,7 +120,14 @@ pub fn generate_table<R: Rng + ?Sized>(
     let mut record: Vec<Value> = vec![Value::Null; schema.len()];
     for _ in 0..config.n_rows {
         sample_start(schema, config, &covered, &mut record, rng);
-        let unresolved = repair_record(schema, rules, &mut record, config.max_repair_passes, rng, &mut report.repairs);
+        let unresolved = repair_record(
+            schema,
+            rules,
+            &mut record,
+            config.max_repair_passes,
+            rng,
+            &mut report.repairs,
+        );
         if unresolved > 0 {
             report.unresolved_rows += 1;
             report.unresolved_violations += unresolved as u64;
@@ -198,16 +201,15 @@ fn repair_record<R: Rng + ?Sized>(
     let mut order: Vec<usize> = (0..rules.len()).collect();
     for pass in 0..max_passes {
         shuffle(&mut order, rng);
-        let (enforce, prefer_null) =
-            (pass < enforce_end, pass >= falsify_end);
+        let (enforce, prefer_null) = (pass < enforce_end, pass >= falsify_end);
         let mut violated = false;
         for &i in &order {
             let rule = &rules.rules[i];
             if eval_rule(rule, record) == RuleStatus::Violated {
                 violated = true;
                 *repairs += 1;
-                let repaired = enforce
-                    && make_true(schema, &rule.consequent, record, rng, prefer_null);
+                let repaired =
+                    enforce && make_true(schema, &rule.consequent, record, rng, prefer_null);
                 if !repaired {
                     make_true(schema, &negate(&rule.premise), record, rng, prefer_null);
                 }
@@ -343,9 +345,7 @@ fn make_atom_true<R: Rng + ?Sized>(
             false
         }
         Atom::LessAttr { left, right } => make_attrs_ordered(schema, *left, *right, record, rng),
-        Atom::GreaterAttr { left, right } => {
-            make_attrs_ordered(schema, *right, *left, record, rng)
-        }
+        Atom::GreaterAttr { left, right } => make_attrs_ordered(schema, *right, *left, record, rng),
     }
 }
 
@@ -576,10 +576,7 @@ mod tests {
         let s = schema();
         let rules = RuleSet::from_rules(vec![
             Rule::new(eq(0, 0), eq(1, 1)),
-            Rule::new(
-                eq(1, 2),
-                Formula::Atom(Atom::LessConst { attr: 2, value: 50.0 }),
-            ),
+            Rule::new(eq(1, 2), Formula::Atom(Atom::LessConst { attr: 2, value: 50.0 })),
         ]);
         let cfg = DataGenConfig::new(&s, 500);
         let mut rng = StdRng::seed_from_u64(1);
@@ -637,10 +634,8 @@ mod tests {
     #[test]
     fn disjunctive_consequents_pick_a_branch() {
         let s = schema();
-        let rules = RuleSet::from_rules(vec![Rule::new(
-            eq(0, 0),
-            Formula::Or(vec![eq(1, 0), eq(1, 2)]),
-        )]);
+        let rules =
+            RuleSet::from_rules(vec![Rule::new(eq(0, 0), Formula::Or(vec![eq(1, 0), eq(1, 2)]))]);
         let cfg = DataGenConfig::new(&s, 400);
         let mut rng = StdRng::seed_from_u64(4);
         let (table, report) = generate_table(&s, &rules, &cfg, &mut rng);
@@ -670,11 +665,7 @@ mod tests {
                 1,
                 3,
                 vec![0],
-                vec![
-                    vec![0.0, 0.0, 1.0],
-                    vec![1.0, 0.0, 0.0],
-                    vec![1.0, 0.0, 0.0],
-                ],
+                vec![vec![0.0, 0.0, 1.0], vec![1.0, 0.0, 0.0], vec![1.0, 0.0, 0.0]],
             )
             .build()
             .unwrap();

@@ -125,8 +125,7 @@ mod tests {
         assert_eq!(b.rules.len(), 12);
         // Whatever the repair loop could not fix is reported; everything
         // else must hold in the emitted table.
-        let total_violations: usize =
-            b.rules.iter().map(|r| violations(r, &b.clean).len()).sum();
+        let total_violations: usize = b.rules.iter().map(|r| violations(r, &b.clean).len()).sum();
         assert_eq!(total_violations as u64, b.gen_report.unresolved_violations);
         // The overwhelming majority of rows must comply (the generator
         // exists to create *structured* data).

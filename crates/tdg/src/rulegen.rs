@@ -104,8 +104,7 @@ pub fn generate_rule_set<R: Rng + ?Sized>(
             }
             tries += 1;
             let premise = premise_sampler.sample_formula(schema, &config.premise, rng);
-            let consequent =
-                consequent_sampler.sample_formula(schema, &config.consequent, rng);
+            let consequent = consequent_sampler.sample_formula(schema, &config.consequent, rng);
             let rule = Rule::new(premise, consequent);
             if !is_natural_rule(schema, &rule) {
                 report.rejected_unnatural += 1;
@@ -195,16 +194,10 @@ mod tests {
     #[test]
     fn tiny_schema_exhausts_gracefully() {
         // One binary attribute cannot host many mutually natural rules.
-        let s = SchemaBuilder::new()
-            .nominal("a", ["x", "y"])
-            .nominal("z", ["x", "y"])
-            .build()
-            .unwrap();
-        let cfg = RuleGenConfig {
-            n_rules: 500,
-            max_tries_per_rule: 50,
-            ..RuleGenConfig::default()
-        };
+        let s =
+            SchemaBuilder::new().nominal("a", ["x", "y"]).nominal("z", ["x", "y"]).build().unwrap();
+        let cfg =
+            RuleGenConfig { n_rules: 500, max_tries_per_rule: 50, ..RuleGenConfig::default() };
         let mut rng = StdRng::seed_from_u64(9);
         let (rules, report) = generate_rule_set(&s, &cfg, &mut rng);
         assert!(report.exhausted);

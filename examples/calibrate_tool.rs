@@ -57,9 +57,8 @@ fn main() {
             pollution: baseline.pollution.clone(),
             audit,
         };
-        let r = env
-            .audit_prepared(benchmark.clone(), dirty.clone(), log.clone())
-            .expect("audit runs");
+        let r =
+            env.audit_prepared(benchmark.clone(), dirty.clone(), log.clone()).expect("audit runs");
         println!(
             "{:<28}{:>13.3}{:>13.4}{:>13.3}{:>12.2}",
             name,

@@ -14,10 +14,7 @@ use rand::SeedableRng;
 use std::time::Instant;
 
 fn main() {
-    let rows: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(200_000);
+    let rows: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(200_000);
     println!("generating synthetic QUIS engine table ({rows} rows)…");
     let mut rng = StdRng::seed_from_u64(2003);
     let bench = generate_quis(&QuisConfig::default().with_rows(rows), &mut rng);

@@ -1,0 +1,257 @@
+//! Offline, dependency-free re-implementation of the subset of the
+//! `criterion` API this workspace's benches use.
+//!
+//! The build environment has no access to crates.io, so the bench
+//! harness is vendored: `Criterion`, `BenchmarkGroup` with
+//! `throughput`/`sample_size`/`bench_with_input`, `Bencher::iter`,
+//! `BenchmarkId`, `black_box` and the `criterion_group!`/
+//! `criterion_main!` macros. Measurements are honest wall-clock
+//! medians over a small fixed number of samples — good enough to rank
+//! the paper's hot paths against each other, without criterion's
+//! statistical machinery. Each bench prints one
+//! `name ... median time/iter (throughput)` line.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock spent measuring one benchmark function.
+const TARGET_MEASURE_TIME: Duration = Duration::from_millis(200);
+
+/// Samples collected per benchmark (the median is reported).
+const N_SAMPLES: usize = 5;
+
+/// Entry point handed to the `criterion_group!` targets.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Run `f` as a standalone benchmark named `name`.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, None, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            throughput: None,
+            sample_size: N_SAMPLES,
+        }
+    }
+
+    /// Accepted for API compatibility; this shim has no CLI options.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the work per iteration so a rate is reported.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Override the number of samples (clamped to keep runs short).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.clamp(2, 20);
+        self
+    }
+
+    /// Benchmark `f` against a borrowed `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        run_benchmark_with(&label, self.throughput.clone(), self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Benchmark a closure under this group's settings.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        run_benchmark_with(&label, self.throughput.clone(), self.sample_size, |b| f(b));
+        self
+    }
+
+    /// End the group (separator line only; nothing is accumulated).
+    pub fn finish(self) {
+        eprintln!();
+    }
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `group/parameter` form.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+
+    /// `group/name/parameter` form.
+    pub fn new<P: Display>(name: &str, parameter: P) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+}
+
+/// Work performed per iteration, for rate reporting.
+#[derive(Clone, Debug)]
+pub enum Throughput {
+    /// Logical elements (rows, formulas, ...) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Timer handed to the benchmark closure.
+pub struct Bencher {
+    /// Nanoseconds per iteration, one entry per sample.
+    sampled_nanos: Vec<f64>,
+    samples: usize,
+}
+
+impl Bencher {
+    /// Measure `routine`, calling it enough times to fill the sample
+    /// budget. The routine's return value is `black_box`ed so the
+    /// computation is not optimized away.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Calibrate: one timed call decides how many iterations fit in
+        // the per-sample budget.
+        let once = Instant::now();
+        black_box(routine());
+        let single = once.elapsed().max(Duration::from_nanos(1));
+        let budget = TARGET_MEASURE_TIME / self.samples.max(1) as u32;
+        let iters = (budget.as_nanos() / single.as_nanos()).clamp(1, 1_000) as u64;
+
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let nanos = start.elapsed().as_nanos() as f64 / iters as f64;
+            self.sampled_nanos.push(nanos);
+        }
+    }
+
+    fn median_nanos(&mut self) -> f64 {
+        if self.sampled_nanos.is_empty() {
+            return f64::NAN;
+        }
+        self.sampled_nanos.sort_by(|a, b| a.total_cmp(b));
+        self.sampled_nanos[self.sampled_nanos.len() / 2]
+    }
+}
+
+fn run_benchmark<F>(name: &str, throughput: Option<Throughput>, f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    run_benchmark_with(name, throughput, N_SAMPLES, f);
+}
+
+fn run_benchmark_with<F>(name: &str, throughput: Option<Throughput>, samples: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher =
+        Bencher { sampled_nanos: Vec::with_capacity(samples.max(1)), samples: samples.max(1) };
+    f(&mut bencher);
+    let nanos = bencher.median_nanos();
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  ({:.0} elem/s)", n as f64 / (nanos * 1e-9))
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  ({:.0} B/s)", n as f64 / (nanos * 1e-9))
+        }
+        None => String::new(),
+    };
+    eprintln!("{name:<44} {}{rate}", format_nanos(nanos));
+}
+
+fn format_nanos(nanos: f64) -> String {
+    if nanos.is_nan() {
+        "not measured".to_string()
+    } else if nanos < 1_000.0 {
+        format!("{nanos:.0} ns/iter")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} µs/iter", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2} ms/iter", nanos / 1_000_000.0)
+    } else {
+        format!("{:.2} s/iter", nanos / 1_000_000_000.0)
+    }
+}
+
+/// Collect bench functions into a single runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit the `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_reports() {
+        let mut c = Criterion::default();
+        c.bench_function("shim/smoke", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Elements(100));
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::from_parameter(100), &100u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn format_covers_magnitudes() {
+        assert!(format_nanos(10.0).ends_with("ns/iter"));
+        assert!(format_nanos(10_000.0).ends_with("µs/iter"));
+        assert!(format_nanos(10_000_000.0).ends_with("ms/iter"));
+        assert!(format_nanos(10_000_000_000.0).ends_with("s/iter"));
+    }
+}

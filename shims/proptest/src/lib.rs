@@ -1,0 +1,232 @@
+//! Offline, dependency-free re-implementation of the subset of the
+//! `proptest` API this workspace's property tests use.
+//!
+//! The build environment has no access to crates.io, so this shim
+//! provides the pieces the test suites actually exercise:
+//!
+//! * [`strategy::Strategy`] with `prop_map`, `prop_filter`,
+//!   `prop_recursive` and `boxed`, plus strategies for numeric ranges,
+//!   tuples, [`strategy::Just`] and unions;
+//! * [`collection::vec`] for variable-length vectors;
+//! * the [`proptest!`] runner macro with `#![proptest_config(..)]`
+//!   support, and the `prop_assert!`/`prop_assert_eq!`/`prop_assume!`/
+//!   `prop_oneof!` assertion and composition macros;
+//! * a deterministic [`test_runner::ProptestConfig`] carrying a fixed
+//!   RNG seed, so property tests are reproducible in CI.
+//!
+//! Shrinking is intentionally not implemented: a failing case panics
+//! with the rendered assertion message (the generated inputs for the
+//! paper-scale suites are small enough to debug directly).
+
+pub mod strategy;
+
+pub mod test_runner;
+
+pub mod collection {
+    //! Strategies for collections (only `Vec` is needed here).
+
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive bounds on a generated collection's length. Mirrors
+    /// `proptest::collection::SizeRange` closely enough that plain
+    /// `usize` range literals (`1..4`, `2..=8`) keep inferring `usize`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            SizeRange { lo: exact, hi_inclusive: exact }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            let (lo, hi) = r.into_inner();
+            assert!(lo <= hi, "empty collection size range");
+            SizeRange { lo, hi_inclusive: hi }
+        }
+    }
+
+    /// Strategy producing `Vec`s whose length is drawn from `len` and
+    /// whose elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, len: len.into() }
+    }
+
+    /// See [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let n = rng.gen_range(self.len.lo..=self.len.hi_inclusive);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Defines deterministic property tests; mirrors `proptest::proptest!`.
+///
+/// Supports the `#![proptest_config(expr)]` header and any number of
+/// `fn name(arg in strategy, ...) { body }` items carrying their own
+/// attributes (`#[test]`, doc comments, ...).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            cfg = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = ($cfg:expr); $($(#[$meta:meta])* fn $name:ident(
+        $($arg:ident in $strat:expr),+ $(,)?
+    ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                // Salt the workspace-wide seed with the test name so
+                // each property walks its own (still fixed) stream.
+                let salt = $crate::test_runner::fnv1a(stringify!($name));
+                let mut rng = $crate::test_runner::rng_for_seed(config.rng_seed ^ salt);
+                // Build each strategy once, outside the case loop (the
+                // value bindings below shadow these names per case).
+                let ($($arg,)+) = ($($strat,)+);
+                let mut accepted: u32 = 0;
+                let mut rejected: u32 = 0;
+                while accepted < config.cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&$arg, &mut rng);)+
+                    let outcome = (|| -> $crate::test_runner::TestCaseResult {
+                        $body
+                        Ok(())
+                    })();
+                    match outcome {
+                        Ok(()) => accepted += 1,
+                        Err($crate::test_runner::TestCaseError::Reject(why)) => {
+                            rejected += 1;
+                            if rejected > config.max_global_rejects {
+                                panic!(
+                                    "property {} rejected {} inputs (last: {})",
+                                    stringify!($name), rejected, why
+                                );
+                            }
+                        }
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "property {} failed after {} passing cases\n{}",
+                                stringify!($name), accepted, msg
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` for property bodies; fails the current case (with the
+/// optional formatted context) instead of unwinding immediately.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: {}\n  {}",
+                stringify!($cond),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// `assert_eq!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}\n  {}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Discards the current case when the precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Reject(stringify!($cond).to_string()));
+        }
+    };
+}
+
+/// Uniform choice between strategies that produce the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,86 @@
+//! Runner configuration and the per-case error channel used by the
+//! `proptest!`/`prop_assert!` macros.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Workspace-wide default seed ("data seed"); every property test
+/// derives its stream from this unless overridden per suite, so runs
+/// are reproducible across machines and CI.
+pub const DEFAULT_RNG_SEED: u64 = 0xDA7A_5EED;
+
+/// Configuration for a `proptest!` block, set via
+/// `#![proptest_config(ProptestConfig { .. })]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases each property must pass.
+    pub cases: u32,
+    /// Base seed for the deterministic RNG; combined with a per-test
+    /// name hash so sibling properties see independent streams.
+    pub rng_seed: u64,
+    /// Upper bound on `prop_assume!` rejections before the property is
+    /// reported as failing to generate inputs.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, rng_seed: DEFAULT_RNG_SEED, max_global_rejects: 4_096 }
+    }
+}
+
+impl ProptestConfig {
+    /// Convenience constructor mirroring `proptest`'s
+    /// `ProptestConfig::with_cases`.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, ..ProptestConfig::default() }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was discarded by `prop_assume!` (not a failure).
+    Reject(String),
+    /// An assertion failed; the payload is the rendered message.
+    Fail(String),
+}
+
+/// Result type the macro-generated case closures return.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// FNV-1a hash used to salt the seed with the property's name.
+pub fn fnv1a(name: &str) -> u64 {
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for byte in name.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Build the deterministic generator for one property run.
+pub fn rng_for_seed(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_deterministic_and_bounded() {
+        let cfg = ProptestConfig::default();
+        assert_eq!(cfg.rng_seed, DEFAULT_RNG_SEED);
+        assert!(cfg.cases > 0);
+        let overridden = ProptestConfig { cases: 16, ..ProptestConfig::default() };
+        assert_eq!(overridden.cases, 16);
+        assert_eq!(overridden.rng_seed, cfg.rng_seed);
+    }
+
+    #[test]
+    fn name_salt_separates_streams() {
+        assert_ne!(fnv1a("negation_is_semantic_complement"), fnv1a("dnf_preserves_semantics"));
+        assert_eq!(fnv1a("same"), fnv1a("same"));
+    }
+}

@@ -1,0 +1,68 @@
+//! End-to-end checks that the `proptest!` runner actually runs cases,
+//! fails on violated assertions and honors `prop_assume!` — guarding
+//! against the macro expanding to a vacuous test body.
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+static EXACT_CASES: AtomicU32 = AtomicU32::new(0);
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn generated_values_respect_their_strategies(x in 0u32..1000, y in 0.0f64..1.0) {
+        prop_assert!(x < 1000);
+        prop_assert!((0.0..1.0).contains(&y), "y out of range: {y}");
+    }
+
+    #[test]
+    #[should_panic(expected = "assertion failed")]
+    fn violated_assertions_fail_the_property(x in 5u32..10) {
+        prop_assert!(x < 7, "x was {}", x);
+    }
+
+    #[test]
+    fn assume_discards_without_failing(x in 0u32..10) {
+        prop_assume!(x % 2 == 0);
+        prop_assert_eq!(x % 2, 0);
+    }
+
+    #[test]
+    fn tuples_filters_and_vecs_compose(
+        pair in (0usize..5, 0usize..5).prop_filter("distinct", |(a, b)| a != b),
+        xs in proptest::collection::vec(0i64..100, 1..8),
+    ) {
+        prop_assert!(pair.0 != pair.1);
+        prop_assert!(!xs.is_empty() && xs.len() < 8);
+        prop_assert!(xs.iter().all(|&x| (0..100).contains(&x)));
+    }
+
+    // No #[test] attribute: this one is invoked directly by
+    // `case_count_is_honored` below so the counter cannot race with
+    // the harness's parallel test threads.
+    fn exact_case_counter(_x in 0u32..10) {
+        EXACT_CASES.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[test]
+fn case_count_is_honored() {
+    exact_case_counter();
+    assert_eq!(EXACT_CASES.load(Ordering::Relaxed), 64);
+}
+
+#[test]
+fn boxed_strategies_are_deterministic_per_seed() {
+    let strat = prop_oneof![Just(1u32), Just(2u32), 10u32..20].boxed();
+    let a: Vec<u32> = {
+        let mut rng = proptest::test_runner::rng_for_seed(99);
+        (0..32).map(|_| strat.generate(&mut rng)).collect()
+    };
+    let b: Vec<u32> = {
+        let mut rng = proptest::test_runner::rng_for_seed(99);
+        (0..32).map(|_| strat.generate(&mut rng)).collect()
+    };
+    assert_eq!(a, b);
+    assert!(a.iter().any(|&v| v >= 10), "union reaches every arm: {a:?}");
+}

@@ -46,6 +46,41 @@
 //! assert_eq!(report.n_rows(), dirty.n_rows());
 //! assert!(model.n_rules() < dirty.n_rows());
 //! ```
+//!
+//! ## Workspace layout
+//!
+//! Each subsystem is its own crate under `crates/` (package names carry
+//! a `dq_` prefix: `crates/table` is `dq_table`, and so on); this crate
+//! is the root package. The dependency DAG between the members:
+//!
+//! ```text
+//! table ──┬────────────┬──────────┬─────────┬────────────────┐
+//!         stats        logic      bayes     mining           │
+//!         │  │          │  │        │        │  (stats)      │
+//!         │  └──────────┼──┼────────┼────────┤               │
+//!         │   pollute ──┘  └── tdg ─┘        └── core        │
+//!         │      │              │                 │          │
+//!         └──── quis ───────────┴────── eval ─────┴──────────┘
+//!                                         │
+//!                                       bench (+ the `repro` bin)
+//! ```
+//!
+//! In words: `stats`, `logic`, `bayes` and `mining` build directly on
+//! `table`; `tdg` combines `logic`/`stats`/`bayes`; `pollute` needs
+//! `stats`; `core` needs `mining`/`stats`; `quis` composes
+//! `logic`/`pollute`/`stats`; `eval` sits on top of everything below
+//! it, and `dq_bench` hosts fixtures for the criterion benches. The
+//! `rand`/`proptest`/`criterion` dependencies resolve to offline,
+//! API-compatible shims under `shims/` because the build environment
+//! has no crates.io access.
+//!
+//! The tier-1 verification for the whole workspace is:
+//!
+//! ```text
+//! cargo build --release && cargo test -q
+//! ```
+//!
+//! See `README.md` for the same map plus per-crate one-liners.
 
 pub use dq_bayes as bayes;
 pub use dq_core as core;
@@ -59,6 +94,32 @@ pub use dq_table as table;
 pub use dq_tdg as tdg;
 
 /// One-stop imports for examples and applications.
+///
+/// Everything a typical audit touches is re-exported flat: schema and
+/// table building (`SchemaBuilder`, `Table`, `Value`), rule logic
+/// (`parse_rule`, `Formula`), generation and pollution
+/// (`TestDataGenerator`, `pollute`), auditing (`Auditor`,
+/// `AuditReport`, `propose_corrections`) and scoring
+/// (`ConfusionMatrix`, `TestEnvironment`).
+///
+/// ```
+/// use data_audit::prelude::*;
+///
+/// // Rule logic and schema building come from one import.
+/// let schema = SchemaBuilder::new()
+///     .nominal("color", ["red", "green", "blue"])
+///     .nominal("shape", ["disc", "drum", "vent"])
+///     .build()
+///     .unwrap();
+/// let rule: Rule = parse_rule(&schema, "color = red -> shape = disc").unwrap();
+/// assert_eq!(rule.render(&schema), "color = red -> shape = disc");
+///
+/// // Auditing types are configured through the same prelude.
+/// let auditor = Auditor::new(AuditConfig::default());
+/// let table = Table::new(schema.clone());
+/// assert_eq!(table.n_rows(), 0);
+/// let _ = (auditor, PollutionConfig::standard(), InducerKind::default());
+/// ```
 pub mod prelude {
     pub use dq_core::{
         apply_corrections, propose_corrections, AuditConfig, AuditReport, Auditor, Correction,
@@ -67,7 +128,7 @@ pub mod prelude {
     pub use dq_eval::{Scale, Series, TestEnvironment};
     pub use dq_logic::{parse_formula, parse_rule, Atom, Formula, Rule, RuleSet};
     pub use dq_mining::InducerKind;
-    pub use dq_pollute::{pollute, PollutionConfig, PollutionLog, PollutionStep, Polluter};
+    pub use dq_pollute::{pollute, Polluter, PollutionConfig, PollutionLog, PollutionStep};
     pub use dq_stats::{ConfusionMatrix, CorrectionMatrix, DistributionSpec};
     pub use dq_table::{AttrType, Attribute, Schema, SchemaBuilder, Table, Value};
     pub use dq_tdg::{GeneratedBenchmark, StartDistributions, TestDataGenerator};

@@ -130,8 +130,5 @@ fn synthetic_quis_audit_reproduces_the_62_figures() {
     assert!(rendered.contains("→ gbm = 901") || rendered.contains("brv = 404"));
     // Power class is derivable from displacement: the model must carry
     // rules predicting `power`.
-    assert!(
-        model.models[attr::POWER].rules.len() > 1,
-        "power-class structure missing"
-    );
+    assert!(model.models[attr::POWER].rules.len() > 1, "power-class structure missing");
 }

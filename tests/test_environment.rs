@@ -30,10 +30,7 @@ fn full_pipeline_accounts_for_every_row() {
     assert_eq!(r.report.n_rows(), r.dirty.n_rows());
     assert_eq!(r.detection.total() as usize, r.dirty.n_rows());
     // The confusion matrix's positive side equals the log's count.
-    assert_eq!(
-        (r.detection.tp + r.detection.fn_) as usize,
-        r.log.n_corrupted_rows()
-    );
+    assert_eq!((r.detection.tp + r.detection.fn_) as usize, r.log.n_corrupted_rows());
 }
 
 #[test]
@@ -78,12 +75,9 @@ fn environment_is_deterministic() {
 fn pollution_factor_increases_prevalence() {
     let env = environment();
     let light = env.run(5).unwrap();
-    let heavy = TestEnvironment {
-        pollution: PollutionConfig::standard().with_factor(4.0),
-        ..env
-    }
-    .run(5)
-    .unwrap();
+    let heavy = TestEnvironment { pollution: PollutionConfig::standard().with_factor(4.0), ..env }
+        .run(5)
+        .unwrap();
     assert!(heavy.log.prevalence() > 2.0 * light.log.prevalence());
 }
 
