@@ -5,6 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dq_bench::{baseline_fixture, quis_fixture};
+use dq_core::{AuditConfig, Auditor};
 
 fn detection_baseline(c: &mut Criterion) {
     let mut group = c.benchmark_group("detection/baseline");
@@ -33,5 +34,29 @@ fn detection_quis(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, detection_baseline, detection_quis);
+/// The sharded record scan (one row chunk per worker) against the
+/// exact serial path (`threads = Some(1)`), on the large fixtures. The
+/// structure model is induced once and shared — detection output is
+/// identical at every thread count (see `tests/parallel_equivalence.rs`).
+fn detection_thread_scaling(c: &mut Criterion) {
+    for (name, fixture, rows) in [
+        ("detection/threads/baseline-10k", baseline_fixture(10_000, 100, 42), 10_000u64),
+        ("detection/threads/quis-50k", quis_fixture(50_000, 42), 50_000),
+    ] {
+        let model = fixture.induce();
+        let mut group = c.benchmark_group(name);
+        for &threads in &[1usize, 2, 4, 8] {
+            let auditor =
+                Auditor::new(AuditConfig { threads: Some(threads), ..AuditConfig::default() });
+            group.throughput(Throughput::Elements(rows));
+            group.sample_size(10);
+            group.bench_with_input(BenchmarkId::from_parameter(threads), &auditor, |b, a| {
+                b.iter(|| a.detect(&model, &fixture.dirty))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, detection_baseline, detection_quis, detection_thread_scaling);
 criterion_main!(benches);

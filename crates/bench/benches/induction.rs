@@ -5,6 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dq_bench::{baseline_fixture, quis_fixture};
+use dq_core::{AuditConfig, Auditor};
 
 fn induction_baseline(c: &mut Criterion) {
     let mut group = c.benchmark_group("induction/baseline");
@@ -32,5 +33,28 @@ fn induction_quis(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, induction_baseline, induction_quis);
+/// The parallel fan-out (one C4.5 induction per attribute across the
+/// `dq_exec` pool) against the exact serial path (`threads = Some(1)`),
+/// on the large fixtures. Equivalence of the *results* is proven by
+/// `tests/parallel_equivalence.rs`; this measures the wall-clock side.
+fn induction_thread_scaling(c: &mut Criterion) {
+    for (name, fixture, rows) in [
+        ("induction/threads/baseline-10k", baseline_fixture(10_000, 100, 42), 10_000u64),
+        ("induction/threads/quis-50k", quis_fixture(50_000, 42), 50_000),
+    ] {
+        let mut group = c.benchmark_group(name);
+        for &threads in &[1usize, 2, 4, 8] {
+            let auditor =
+                Auditor::new(AuditConfig { threads: Some(threads), ..AuditConfig::default() });
+            group.throughput(Throughput::Elements(rows));
+            group.sample_size(10);
+            group.bench_with_input(BenchmarkId::from_parameter(threads), &auditor, |b, a| {
+                b.iter(|| a.induce(&fixture.dirty).expect("fixture tables are auditable"))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, induction_baseline, induction_quis, induction_thread_scaling);
 criterion_main!(benches);

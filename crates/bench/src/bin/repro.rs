@@ -2,30 +2,63 @@
 //! evaluation (sec. 6).
 //!
 //! ```text
-//! repro [--smoke] [fig3] [fig4] [fig5] [compare] [ablation] [quis] [all]
+//! repro [--smoke] [--threads N] [fig3] [fig4] [fig5] [compare] [ablation] [quis] [all]
 //! ```
 //!
 //! With no experiment argument, `all` is assumed. `--smoke` runs the
 //! reduced test scale instead of the paper scale (10k records, 100
-//! rules, 200k-row QUIS table).
+//! rules, 200k-row QUIS table). `--threads N` fixes the sweep worker
+//! count (`--threads 1` is the exact legacy serial order); the default
+//! uses every hardware thread. The figure/table numbers are identical
+//! at every thread count — see `tests/golden/`.
 
 use dq_eval::{ablation, classifier_comparison, fig3, fig4, fig5, quis_audit, Scale, Series};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
-    let mut wanted: Vec<&str> =
-        args.iter().map(String::as_str).filter(|a| *a != "--smoke").collect();
+    let mut threads: Option<usize> = None;
+    if let Some(i) = args.iter().position(|a| a == "--threads") {
+        match args.get(i + 1).and_then(|v| v.parse().ok()) {
+            Some(n) => threads = Some(n),
+            None => {
+                eprintln!("--threads needs a positive integer (got {:?})", args.get(i + 1));
+                std::process::exit(2);
+            }
+        }
+    }
+    let mut skip_next = false;
+    let mut wanted: Vec<&str> = args
+        .iter()
+        .map(String::as_str)
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--threads" {
+                skip_next = true;
+                return false;
+            }
+            *a != "--smoke"
+        })
+        .collect();
     if wanted.is_empty() || wanted.contains(&"all") {
         wanted = vec!["fig3", "fig4", "fig5", "compare", "ablation", "quis"];
     }
-    let scale = if smoke { Scale::smoke() } else { Scale::paper() };
+    let mut scale = if smoke { Scale::smoke() } else { Scale::paper() };
+    scale.threads = threads.or(scale.threads);
     println!(
         "# repro — Systematic Development of Data Mining-Based Data Quality Tools (VLDB 2003)"
     );
     println!(
-        "# scale: {} records, {} rules, QUIS {} rows, {} replicate(s), seed {}\n",
-        scale.rows, scale.rules, scale.quis_rows, scale.replicates, scale.seed
+        "# scale: {} records, {} rules, QUIS {} rows, {} replicate(s), seed {}, {} sweep thread(s)\n",
+        scale.rows,
+        scale.rules,
+        scale.quis_rows,
+        scale.replicates,
+        scale.seed,
+        dq_exec::resolve_threads(scale.threads)
     );
     for experiment in wanted {
         match experiment {

@@ -16,8 +16,9 @@
 use crate::confidence::{min_instances_for_confidence, null_error_confidence};
 use crate::error::AuditError;
 use crate::report::{AuditReport, Finding};
+use dq_exec::WorkerPool;
 use dq_mining::{C45Inducer, ClassSpec, Classifier, InducerKind, TrainingSet, TreeRule};
-use dq_table::{AttrIdx, AttrType, Schema, Table, Value};
+use dq_table::{AttrIdx, AttrType, RowSlice, Schema, Table, Value};
 
 /// Configuration of the auditing tool.
 #[derive(Debug, Clone)]
@@ -49,6 +50,14 @@ pub struct AuditConfig {
     /// attribute ("if it is known that an attribute does not influence
     /// the value of a class attribute, it can be removed").
     pub base_attr_overrides: Vec<(AttrIdx, Vec<AttrIdx>)>,
+    /// Worker threads for structure induction (one classifier per
+    /// attribute fans out across the pool) and deviation detection
+    /// (the record scan is sharded into row chunks). `None` resolves
+    /// to the available hardware parallelism, overridable through the
+    /// `DQ_THREADS` environment variable; `Some(1)` is the exact
+    /// legacy serial path. Results are identical at every thread
+    /// count — parallelism only changes wall-clock time.
+    pub threads: Option<usize>,
 }
 
 impl Default for AuditConfig {
@@ -63,6 +72,7 @@ impl Default for AuditConfig {
             flag_nulls: true,
             audited_attrs: None,
             base_attr_overrides: Vec::new(),
+            threads: None,
         }
     }
 }
@@ -166,10 +176,17 @@ impl Auditor {
 
     /// **Structure induction**: induce one dependency model per audited
     /// attribute from `table`.
+    ///
+    /// The per-attribute inductions are independent, so they fan out
+    /// across [`AuditConfig::threads`] workers; results come back in
+    /// audited-attribute order and are identical to a serial run.
     pub fn induce(&self, table: &Table) -> Result<StructureModel, AuditError> {
         self.config.validate()?;
         if table.is_empty() {
             return Err(AuditError::EmptyTable);
+        }
+        if table.n_cols() < 2 {
+            return Err(AuditError::SingleColumn);
         }
         let min_inst = if self.config.derive_min_inst {
             min_instances_for_confidence(self.config.min_confidence, self.config.level) as f64
@@ -180,12 +197,14 @@ impl Auditor {
             Some(list) => list.clone(),
             None => (0..table.n_cols()).collect(),
         };
-        let mut models = Vec::with_capacity(audited.len());
-        for class_attr in audited {
-            let train = self.training_set(table, class_attr)?;
-            let model = self.induce_one(&train, class_attr, min_inst)?;
-            models.push(model);
-        }
+        let pool = WorkerPool::from_config(self.config.threads);
+        let models = pool
+            .map_indexed(&audited, |_, &class_attr| {
+                let train = self.training_set(table, class_attr)?;
+                self.induce_one(&train, class_attr, min_inst)
+            })
+            .into_iter()
+            .collect::<Result<Vec<AttrModel>, AuditError>>()?;
         Ok(StructureModel { models, min_inst, config: self.config.clone() })
     }
 
@@ -252,46 +271,21 @@ impl Auditor {
     /// **Deviation detection**: check every record of `table` against
     /// the structure model. `table` may be the training table (single-
     /// database mode) or fresh data (warehouse-loading mode).
+    ///
+    /// The scan shards into one row chunk per worker (see
+    /// [`Table::chunks`]); per-chunk partial reports merge back in row
+    /// order, so the result is identical at every thread count. An
+    /// empty table yields an empty, well-formed report.
     pub fn detect(&self, model: &StructureModel, table: &Table) -> AuditReport {
         let cfg = &model.config;
+        let pool = WorkerPool::from_config(self.config.threads);
+        let chunks = table.chunks(pool.threads());
+        let partials = pool.map_indexed(&chunks, |_, chunk| scan_chunk(model, chunk));
         let mut findings = Vec::new();
-        let mut record_confidence = vec![0.0f64; table.n_rows()];
-        let mut record: Vec<Value> = Vec::with_capacity(table.n_cols());
-        #[allow(clippy::needless_range_loop)] // row indexes the table, not just the vec
-        for row in 0..table.n_rows() {
-            table.row_into(row, &mut record);
-            for m in &model.models {
-                let prediction = m.classifier.predict(&record);
-                if prediction.support <= 0.0 {
-                    continue;
-                }
-                let observed = record[m.class_attr];
-                let confidence = match m.spec.code_of(&observed) {
-                    Some(code) => prediction.error_confidence(code, cfg.level),
-                    None if cfg.flag_nulls => null_error_confidence(&prediction.counts, cfg.level),
-                    None => 0.0,
-                };
-                if confidence <= 0.0 {
-                    continue;
-                }
-                record_confidence[row] = record_confidence[row].max(confidence);
-                if confidence >= cfg.min_confidence {
-                    let predicted_code = prediction.predicted_class();
-                    findings.push(Finding {
-                        row,
-                        attr: m.class_attr,
-                        observed,
-                        proposed: materialize_class(
-                            table.schema(),
-                            m.class_attr,
-                            &m.spec,
-                            predicted_code,
-                        ),
-                        confidence,
-                        support: prediction.support,
-                    });
-                }
-            }
+        let mut record_confidence = Vec::with_capacity(table.n_rows());
+        for (chunk_findings, chunk_confidence) in partials {
+            findings.extend(chunk_findings);
+            record_confidence.extend(chunk_confidence);
         }
         AuditReport::new(findings, record_confidence, cfg.min_confidence)
     }
@@ -302,6 +296,58 @@ impl Auditor {
         let report = self.detect(&model, table);
         Ok((model, report))
     }
+}
+
+/// Scan one row chunk against the structure model, returning the
+/// chunk's findings (global row indices) and its per-row overall error
+/// confidences (Def. 8), in row order. This is the serial inner loop of
+/// [`Auditor::detect`], unchanged — sharding happens strictly at chunk
+/// granularity so the per-row arithmetic is bit-identical to the legacy
+/// single-threaded scan.
+fn scan_chunk(model: &StructureModel, chunk: &RowSlice<'_>) -> (Vec<Finding>, Vec<f64>) {
+    let cfg = &model.config;
+    let table = chunk.table();
+    let mut findings = Vec::new();
+    let mut confidences = Vec::with_capacity(chunk.len());
+    let mut record: Vec<Value> = Vec::with_capacity(table.n_cols());
+    for row in chunk.rows() {
+        table.row_into(row, &mut record);
+        let mut row_confidence = 0.0f64;
+        for m in &model.models {
+            let prediction = m.classifier.predict(&record);
+            if prediction.support <= 0.0 {
+                continue;
+            }
+            let observed = record[m.class_attr];
+            let confidence = match m.spec.code_of(&observed) {
+                Some(code) => prediction.error_confidence(code, cfg.level),
+                None if cfg.flag_nulls => null_error_confidence(&prediction.counts, cfg.level),
+                None => 0.0,
+            };
+            if confidence <= 0.0 {
+                continue;
+            }
+            row_confidence = row_confidence.max(confidence);
+            if confidence >= cfg.min_confidence {
+                let predicted_code = prediction.predicted_class();
+                findings.push(Finding {
+                    row,
+                    attr: m.class_attr,
+                    observed,
+                    proposed: materialize_class(
+                        table.schema(),
+                        m.class_attr,
+                        &m.spec,
+                        predicted_code,
+                    ),
+                    confidence,
+                    support: prediction.support,
+                });
+            }
+        }
+        confidences.push(row_confidence);
+    }
+    (findings, confidences)
 }
 
 /// Materialize a predicted class code as a concrete cell value for the
@@ -489,6 +535,69 @@ mod tests {
         }
         let empty = Table::new(t.schema().clone());
         assert_eq!(Auditor::default().induce(&empty).unwrap_err(), AuditError::EmptyTable);
+    }
+
+    #[test]
+    fn detect_on_empty_table_yields_clean_empty_report() {
+        let train = anecdote(2000, 400);
+        let auditor = Auditor::default();
+        let model = auditor.induce(&train).unwrap();
+        let empty = Table::new(train.schema().clone());
+        for threads in [Some(1), Some(4), None] {
+            let auditor = Auditor::new(AuditConfig { threads, ..AuditConfig::default() });
+            let report = auditor.detect(&model, &empty);
+            assert_eq!(report.n_rows(), 0);
+            assert!(report.findings.is_empty());
+            assert_eq!(report.n_suspicious(), 0);
+        }
+    }
+
+    #[test]
+    fn induce_on_single_column_schema_is_a_clean_error() {
+        let schema = SchemaBuilder::new().nominal("only", ["a", "b"]).build().unwrap();
+        let mut t = Table::new(schema);
+        for i in 0..100 {
+            t.push_row(&[Value::Nominal(i % 2)]).unwrap();
+        }
+        for threads in [Some(1), Some(4)] {
+            let auditor = Auditor::new(AuditConfig { threads, ..AuditConfig::default() });
+            assert_eq!(auditor.induce(&t).unwrap_err(), AuditError::SingleColumn);
+            assert_eq!(auditor.run(&t).unwrap_err(), AuditError::SingleColumn);
+        }
+    }
+
+    #[test]
+    fn thread_counts_do_not_change_results() {
+        let t = quis_anecdote();
+        let serial = Auditor::new(AuditConfig { threads: Some(1), ..AuditConfig::default() });
+        let (model_s, report_s) = serial.run(&t).unwrap();
+        for threads in [2, 4, 7] {
+            let par =
+                Auditor::new(AuditConfig { threads: Some(threads), ..AuditConfig::default() });
+            let (model_p, report_p) = par.run(&t).unwrap();
+            assert_eq!(model_p.render(t.schema()), model_s.render(t.schema()));
+            assert_eq!(report_p.findings, report_s.findings, "threads={threads}");
+            assert_eq!(report_p.record_confidence, report_s.record_confidence);
+        }
+    }
+
+    #[test]
+    fn induction_errors_surface_identically_in_parallel() {
+        // An out-of-range audited attribute fails induction; the
+        // parallel fan-out must return the same first-by-index error
+        // as the legacy serial loop.
+        let t = anecdote(200, 40);
+        for threads in [Some(1), Some(4)] {
+            let auditor = Auditor::new(AuditConfig {
+                audited_attrs: Some(vec![0, 9, 7]),
+                threads,
+                ..AuditConfig::default()
+            });
+            match auditor.induce(&t) {
+                Err(AuditError::Induction { class_attr, .. }) => assert_eq!(class_attr, 9),
+                other => panic!("expected induction error for attribute 9, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -17,6 +17,11 @@ pub enum AuditError {
     },
     /// The audited table has no rows.
     EmptyTable,
+    /// The audited table has fewer than two columns: a dependency
+    /// model predicts one attribute *from the others*, so a
+    /// single-column schema admits no structure model at all (only a
+    /// degenerate class prior).
+    SingleColumn,
 }
 
 impl fmt::Display for AuditError {
@@ -27,6 +32,10 @@ impl fmt::Display for AuditError {
                 write!(f, "inducing classifier for attribute {class_attr}: {source}")
             }
             AuditError::EmptyTable => write!(f, "cannot audit an empty table"),
+            AuditError::SingleColumn => write!(
+                f,
+                "cannot audit a single-column table: a dependency model needs at least one base attribute"
+            ),
         }
     }
 }
@@ -51,5 +60,7 @@ mod tests {
         assert!(std::error::Error::source(&e).is_some());
         assert!(std::error::Error::source(&AuditError::EmptyTable).is_none());
         assert!(AuditError::BadConfig("x".into()).to_string().contains("x"));
+        assert!(AuditError::SingleColumn.to_string().contains("single-column"));
+        assert!(std::error::Error::source(&AuditError::SingleColumn).is_none());
     }
 }

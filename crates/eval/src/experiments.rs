@@ -14,6 +14,7 @@ use dq_core::{
     AssociationAuditConfig, AssociationAuditor, AssociationScoring, AuditConfig, AuditError,
     Auditor,
 };
+use dq_exec::WorkerPool;
 use dq_mining::{C45Config, InducerKind, Pruning, SplitCriterion};
 use dq_pollute::{pollute, PollutionConfig};
 use dq_quis::{generate_quis, QuisConfig};
@@ -50,6 +51,12 @@ pub struct Scale {
     pub replicates: u64,
     /// Master seed.
     pub seed: u64,
+    /// Worker threads for the sweep: independent (sweep-point,
+    /// replicate) cells run concurrently. `None` resolves to the
+    /// available hardware parallelism (or `DQ_THREADS`); `Some(1)` is
+    /// the exact legacy serial order. Every cell reseeds its own RNG,
+    /// so results are identical at any thread count.
+    pub threads: Option<usize>,
 }
 
 impl Scale {
@@ -65,6 +72,7 @@ impl Scale {
             quis_rows: 200_000,
             replicates: 5,
             seed: 2003,
+            threads: None,
         }
     }
 
@@ -80,6 +88,7 @@ impl Scale {
             quis_rows: 4000,
             replicates: 1,
             seed: 2003,
+            threads: None,
         }
     }
 }
@@ -199,6 +208,35 @@ fn average(points: &[Vec<(String, f64)>]) -> Vec<(String, f64)> {
     out
 }
 
+/// Fan the independent (sweep-point, replicate) cells of a figure
+/// sweep out across [`Scale::threads`] workers and regroup the
+/// per-cell measures into one replicate-averaged row per point, in
+/// point order. Each cell reseeds its own RNG exactly as the legacy
+/// serial loops did, so the fan-out changes wall-clock time only.
+/// Inside a cell the audit runs serially (`threads = Some(1)`): the
+/// cell level already saturates the pool, and serial inner phases keep
+/// the per-cell `induction_secs`/`detection_secs` measures comparable
+/// across thread counts.
+fn run_cells<P: Sync>(
+    scale: &Scale,
+    points: &[P],
+    cell: impl Fn(&P, u64) -> Result<Vec<(String, f64)>, AuditError> + Sync,
+) -> Result<Vec<Vec<(String, f64)>>, AuditError> {
+    let cells: Vec<(usize, u64)> =
+        (0..points.len()).flat_map(|p| (0..scale.replicates).map(move |rep| (p, rep))).collect();
+    let pool = WorkerPool::from_config(scale.threads);
+    let results = pool.map_indexed(&cells, |_, &(p, rep)| cell(&points[p], rep));
+    let mut averaged = Vec::with_capacity(points.len());
+    let mut results = results.into_iter();
+    for _ in points {
+        let reps: Vec<Vec<(String, f64)>> = (0..scale.replicates)
+            .map(|_| results.next().expect("one result per cell"))
+            .collect::<Result<_, _>>()?;
+        averaged.push(average(&reps));
+    }
+    Ok(averaged)
+}
+
 /// The standard measure columns of a run.
 fn measures(r: &crate::environment::RunResult) -> Vec<(String, f64)> {
     vec![
@@ -224,17 +262,16 @@ pub fn fig3(scale: &Scale) -> Result<Series, AuditError> {
         format!("fig3: sensitivity vs number of records ({} rules)", rules.len()),
         "records",
     );
-    for &n in &scale.record_points {
-        let env = baseline.environment(scale.rules, n, 1.0);
-        let mut reps = Vec::with_capacity(scale.replicates as usize);
-        for rep in 0..scale.replicates {
-            let mut rng = StdRng::seed_from_u64(scale.seed ^ n as u64 ^ (rep << 32));
-            let benchmark = env.generator.generate_with_rules(rules.clone(), &mut rng);
-            let (dirty, log) = pollute(&benchmark.clean, &env.pollution, &mut rng);
-            let r = env.audit_prepared(benchmark, dirty, log)?;
-            reps.push(measures(&r));
-        }
-        series.push(n as f64, average(&reps));
+    let averaged = run_cells(scale, &scale.record_points, |&n, rep| {
+        let mut env = baseline.environment(scale.rules, n, 1.0);
+        env.audit.threads = Some(1);
+        let mut rng = StdRng::seed_from_u64(scale.seed ^ n as u64 ^ (rep << 32));
+        let benchmark = env.generator.generate_with_rules(rules.clone(), &mut rng);
+        let (dirty, log) = pollute(&benchmark.clean, &env.pollution, &mut rng);
+        Ok(measures(&env.audit_prepared(benchmark, dirty, log)?))
+    })?;
+    for (&n, avg) in scale.record_points.iter().zip(averaged) {
+        series.push(n as f64, avg);
     }
     Ok(series)
 }
@@ -252,19 +289,18 @@ pub fn fig4(scale: &Scale) -> Result<Series, AuditError> {
         format!("fig4: sensitivity vs number of rules ({} records)", scale.rows),
         "rules",
     );
-    for &k in &scale.rule_points {
-        let k = k.min(all_rules.len());
+    let ks: Vec<usize> = scale.rule_points.iter().map(|&k| k.min(all_rules.len())).collect();
+    let averaged = run_cells(scale, &ks, |&k, rep| {
         let prefix = dq_logic::RuleSet::from_rules(all_rules.rules[..k].to_vec());
-        let env = baseline.environment(k, scale.rows, 1.0);
-        let mut reps = Vec::with_capacity(scale.replicates as usize);
-        for rep in 0..scale.replicates {
-            let mut rng = StdRng::seed_from_u64(scale.seed ^ ((k as u64) << 8) ^ (rep << 32));
-            let benchmark = env.generator.generate_with_rules(prefix.clone(), &mut rng);
-            let (dirty, log) = pollute(&benchmark.clean, &env.pollution, &mut rng);
-            let r = env.audit_prepared(benchmark, dirty, log)?;
-            reps.push(measures(&r));
-        }
-        series.push(k as f64, average(&reps));
+        let mut env = baseline.environment(k, scale.rows, 1.0);
+        env.audit.threads = Some(1);
+        let mut rng = StdRng::seed_from_u64(scale.seed ^ ((k as u64) << 8) ^ (rep << 32));
+        let benchmark = env.generator.generate_with_rules(prefix, &mut rng);
+        let (dirty, log) = pollute(&benchmark.clean, &env.pollution, &mut rng);
+        Ok(measures(&env.audit_prepared(benchmark, dirty, log)?))
+    })?;
+    for (&k, avg) in ks.iter().zip(averaged) {
+        series.push(k as f64, avg);
     }
     Ok(series)
 }
@@ -284,16 +320,15 @@ pub fn fig5(scale: &Scale) -> Result<Series, AuditError> {
         ),
         "factor",
     );
-    for &factor in &scale.factor_points {
-        let env = baseline.environment(scale.rules, scale.rows, factor);
-        let mut reps = Vec::with_capacity(scale.replicates as usize);
-        for rep in 0..scale.replicates {
-            let mut rng = StdRng::seed_from_u64(scale.seed ^ (factor * 16.0) as u64 ^ (rep << 32));
-            let (dirty, log) = pollute(&benchmark.clean, &env.pollution, &mut rng);
-            let r = env.audit_prepared(benchmark.clone(), dirty, log)?;
-            reps.push(measures(&r));
-        }
-        series.push(factor, average(&reps));
+    let averaged = run_cells(scale, &scale.factor_points, |&factor, rep| {
+        let mut env = baseline.environment(scale.rules, scale.rows, factor);
+        env.audit.threads = Some(1);
+        let mut rng = StdRng::seed_from_u64(scale.seed ^ (factor * 16.0) as u64 ^ (rep << 32));
+        let (dirty, log) = pollute(&benchmark.clean, &env.pollution, &mut rng);
+        Ok(measures(&env.audit_prepared(benchmark.clone(), dirty, log)?))
+    })?;
+    for (&factor, avg) in scale.factor_points.iter().zip(averaged) {
+        series.push(factor, avg);
     }
     Ok(series)
 }
@@ -355,7 +390,10 @@ impl Comparison {
 /// evaluated different alternatives") — the inducer families plus the
 /// Hipp-style association auditor, on one shared benchmark.
 pub fn classifier_comparison(scale: &Scale) -> Result<Comparison, AuditError> {
-    let baseline = Baseline::new(scale.seed);
+    // The variants run in sequence, so the scale's thread knob flows
+    // into the audit phases themselves (results are thread-invariant).
+    let mut baseline = Baseline::new(scale.seed);
+    baseline.audit.threads = scale.threads;
     let env = baseline.environment(scale.rules, scale.comparison_rows, 1.0);
     let mut rng = StdRng::seed_from_u64(scale.seed ^ 0xC);
     let benchmark = env.generator.generate(&mut rng);
@@ -421,7 +459,9 @@ pub fn classifier_comparison(scale: &Scale) -> Result<Comparison, AuditError> {
 /// **Ablation** of the sec. 5.4 adjustments: pruning criterion,
 /// minInst pre-pruning, rule deletion, split criterion.
 pub fn ablation(scale: &Scale) -> Result<Comparison, AuditError> {
-    let baseline = Baseline::new(scale.seed);
+    // As in `classifier_comparison`: the thread knob reaches the audit.
+    let mut baseline = Baseline::new(scale.seed);
+    baseline.audit.threads = scale.threads;
     let env = baseline.environment(scale.rules, scale.rows, 1.0);
     let mut rng = StdRng::seed_from_u64(scale.seed ^ 0xAB);
     let benchmark = env.generator.generate(&mut rng);
@@ -512,7 +552,7 @@ pub fn quis_audit(scale: &Scale) -> Result<QuisSummary, AuditError> {
     let cfg = QuisConfig::default().with_rows(scale.quis_rows);
     let mut rng = StdRng::seed_from_u64(scale.seed ^ 0x9015);
     let b = generate_quis(&cfg, &mut rng);
-    let auditor = Auditor::default();
+    let auditor = Auditor::new(AuditConfig { threads: scale.threads, ..AuditConfig::default() });
     let t0 = Instant::now();
     let model = auditor.induce(&b.dirty)?;
     let report = auditor.detect(&model, &b.dirty);
@@ -611,6 +651,25 @@ mod tests {
         let abl = ablation(&Scale::smoke()).unwrap();
         assert_eq!(abl.rows.len(), 7);
         assert!(abl.measure("full (paper adjustments)", "specificity").unwrap() > 0.9);
+    }
+
+    #[test]
+    fn sweep_results_are_identical_at_any_thread_count() {
+        let serial = Scale { threads: Some(1), ..Scale::smoke() };
+        let parallel = Scale { threads: Some(4), ..Scale::smoke() };
+        let s3 = fig3(&serial).unwrap();
+        let p3 = fig3(&parallel).unwrap();
+        // Timing columns differ run to run; compare the deterministic
+        // quality measures instead of whole-series equality.
+        for col in ["sensitivity", "specificity", "correction", "model_rules", "suspicious"] {
+            assert_eq!(s3.column(col), p3.column(col), "fig3 column {col}");
+            assert!(!s3.column(col).is_empty(), "fig3 column {col} exists");
+        }
+        let s5 = fig5(&serial).unwrap();
+        let p5 = fig5(&parallel).unwrap();
+        for col in ["sensitivity", "specificity", "suspicious"] {
+            assert_eq!(s5.column(col), p5.column(col), "fig5 column {col}");
+        }
     }
 
     #[test]

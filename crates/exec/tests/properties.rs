@@ -1,0 +1,56 @@
+//! Property-based checks of the worker pool: deterministic input-order
+//! results for arbitrary (item count, thread count) combinations, and
+//! panic propagation as errors from arbitrary positions.
+
+use dq_exec::{ExecError, WorkerPool};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Results come back in input order for any pool width — including
+    /// pools wider than the job list — and agree with the serial map.
+    #[test]
+    fn results_are_in_input_order(items in proptest::collection::vec(0u64..1_000_000, 0..80),
+                                  threads in 1usize..12) {
+        let serial: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(2654435761) >> 7).collect();
+        let pool = WorkerPool::new(threads);
+        let parallel = pool.map_indexed(&items, |_, &x| x.wrapping_mul(2654435761) >> 7);
+        prop_assert_eq!(parallel, serial);
+    }
+
+    /// The closure's index argument always equals the item's position.
+    #[test]
+    fn indices_match_positions(n in 0usize..120, threads in 1usize..9) {
+        let items: Vec<usize> = (0..n).collect();
+        let pool = WorkerPool::new(threads);
+        let echoed = pool.map_indexed(&items, |i, &x| (i, x));
+        for (i, &(idx, x)) in echoed.iter().enumerate() {
+            prop_assert_eq!(idx, i);
+            prop_assert_eq!(x, i);
+        }
+    }
+
+    /// A panic in any single item surfaces as `WorkerPanic` naming that
+    /// item's index; panic-free runs never error.
+    #[test]
+    fn panics_propagate_as_errors(n in 1usize..60, bad in 0usize..60, threads in 1usize..9) {
+        let bad = bad % n;
+        let items: Vec<usize> = (0..n).collect();
+        let pool = WorkerPool::new(threads);
+        let err = pool
+            .try_map_indexed(&items, |_, &x| {
+                if x == bad {
+                    panic!("injected failure at {x}");
+                }
+                x
+            })
+            .unwrap_err();
+        let ExecError::WorkerPanic { index, message } = err;
+        prop_assert_eq!(index, bad);
+        prop_assert!(message.contains("injected failure"));
+
+        let clean = pool.try_map_indexed(&items, |_, &x| x + 1);
+        prop_assert!(clean.is_ok());
+    }
+}

@@ -40,7 +40,7 @@ pub use discretize::{discretize_equal_frequency, discretize_equal_width, Binning
 pub use error::TableError;
 pub use schema::{AttrType, Attribute, Schema};
 pub use stats::ColumnSummary;
-pub use table::Table;
+pub use table::{RowSlice, Table};
 pub use value::Value;
 
 /// Index of an attribute within a [`Schema`] (and of the corresponding

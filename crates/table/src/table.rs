@@ -183,6 +183,30 @@ impl Table {
         Ok(out)
     }
 
+    /// Split the row range into `n` contiguous, balanced chunks — the
+    /// sharding substrate for parallel record scans. Chunk sizes differ
+    /// by at most one row; concatenating the chunks' row ranges always
+    /// reproduces `0..n_rows` exactly, so a sharded scan visits every
+    /// row once and in order. `n` is clamped to at least 1 and at most
+    /// `n_rows` (an empty table yields no chunks).
+    pub fn chunks(&self, n: usize) -> Vec<RowSlice<'_>> {
+        let n = n.clamp(1, self.n_rows.max(1));
+        if self.n_rows == 0 {
+            return Vec::new();
+        }
+        let base = self.n_rows / n;
+        let extra = self.n_rows % n;
+        let mut out = Vec::with_capacity(n);
+        let mut start = 0;
+        for i in 0..n {
+            let len = base + usize::from(i < extra);
+            out.push(RowSlice { table: self, start, end: start + len });
+            start += len;
+        }
+        debug_assert_eq!(start, self.n_rows);
+        out
+    }
+
     /// Report the positions of all cells whose value lies *outside* the
     /// declared attribute domain (NULLs are never reported). This is the
     /// trivial schema-based scrub the paper contrasts data auditing
@@ -198,6 +222,55 @@ impl Table {
             }
         }
         out
+    }
+}
+
+/// A borrowed view of a contiguous row range of a [`Table`], produced
+/// by [`Table::chunks`]. Row indices are **global** table indices, so a
+/// per-chunk worker reports findings that merge without translation.
+#[derive(Debug, Clone, Copy)]
+pub struct RowSlice<'a> {
+    table: &'a Table,
+    start: RowIdx,
+    end: RowIdx,
+}
+
+impl<'a> RowSlice<'a> {
+    /// The underlying table.
+    pub fn table(&self) -> &'a Table {
+        self.table
+    }
+
+    /// First (global) row index covered by this chunk.
+    pub fn start(&self) -> RowIdx {
+        self.start
+    }
+
+    /// One past the last (global) row index covered by this chunk.
+    pub fn end(&self) -> RowIdx {
+        self.end
+    }
+
+    /// Number of rows in this chunk.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// `true` if the chunk covers no rows.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The chunk's global row indices, in order.
+    pub fn rows(&self) -> std::ops::Range<RowIdx> {
+        self.start..self.end
+    }
+
+    /// The value at (global `row`, `col`); panics if `row` lies outside
+    /// this chunk.
+    pub fn get(&self, row: RowIdx, col: AttrIdx) -> Value {
+        assert!(self.rows().contains(&row), "row {row} outside chunk {}..{}", self.start, self.end);
+        self.table.get(row, col)
     }
 }
 
@@ -309,6 +382,58 @@ mod tests {
         assert_eq!(buf, t.row(1));
         t.row_into(0, &mut buf);
         assert_eq!(buf, t.row(0));
+    }
+
+    #[test]
+    fn chunks_partition_the_row_range() {
+        let mut t = small_table();
+        while t.n_rows() < 10 {
+            t.duplicate_row(0).unwrap();
+        }
+        for n in [1, 2, 3, 4, 7, 10, 11, 100] {
+            let chunks = t.chunks(n);
+            assert!(chunks.len() <= t.n_rows(), "n={n}");
+            let all: Vec<usize> = chunks.iter().flat_map(|c| c.rows()).collect();
+            assert_eq!(all, (0..t.n_rows()).collect::<Vec<_>>(), "n={n}");
+            // Balanced: sizes differ by at most one.
+            let sizes: Vec<usize> = chunks.iter().map(|c| c.len()).collect();
+            let (lo, hi) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(hi - lo <= 1, "n={n}, sizes {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn chunks_edge_cases() {
+        let empty = Table::new(small_schema());
+        assert!(empty.chunks(4).is_empty());
+        assert!(empty.chunks(0).is_empty());
+        let t = small_table(); // 3 rows
+        let chunks = t.chunks(0); // clamps to 1
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0].rows(), 0..3);
+        let wide = t.chunks(99); // clamps to n_rows singleton chunks
+        assert_eq!(wide.len(), 3);
+        assert!(wide.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn row_slice_reads_through_to_the_table() {
+        let t = small_table();
+        let chunks = t.chunks(2);
+        assert_eq!(chunks[0].table().n_rows(), 3);
+        assert_eq!(chunks[0].start(), 0);
+        assert_eq!(chunks[0].end(), 2);
+        assert!(!chunks[0].is_empty());
+        assert_eq!(chunks[0].get(1, 0), t.get(1, 0));
+        assert_eq!(chunks[1].get(2, 2), t.get(2, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside chunk")]
+    fn row_slice_rejects_out_of_chunk_rows() {
+        let t = small_table();
+        let chunks = t.chunks(2);
+        let _ = chunks[0].get(2, 0);
     }
 
     #[test]

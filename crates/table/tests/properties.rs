@@ -137,6 +137,33 @@ proptest! {
         }
     }
 
+    /// `Table::chunks(n)` partitions the row range: the concatenated
+    /// chunk row-indices equal `0..n_rows` for arbitrary chunk counts —
+    /// including `n > n_rows`, `n = 0` and empty tables — and chunk
+    /// sizes stay balanced to within one row.
+    #[test]
+    fn chunks_partition_rows_exactly(t in table_strategy(), n in 0usize..90) {
+        let chunks = t.chunks(n);
+        let concatenated: Vec<usize> = chunks.iter().flat_map(|c| c.rows()).collect();
+        prop_assert_eq!(concatenated, (0..t.n_rows()).collect::<Vec<usize>>());
+        if t.is_empty() {
+            prop_assert!(chunks.is_empty());
+        } else {
+            prop_assert_eq!(chunks.len(), n.clamp(1, t.n_rows()));
+            let sizes: Vec<usize> = chunks.iter().map(|c| c.len()).collect();
+            let lo = *sizes.iter().min().unwrap();
+            let hi = *sizes.iter().max().unwrap();
+            prop_assert!(hi - lo <= 1, "unbalanced chunks: {:?}", sizes);
+            prop_assert!(chunks.iter().all(|c| !c.is_empty()));
+            // Chunk reads pass through to the underlying table.
+            for c in &chunks {
+                for r in c.rows() {
+                    prop_assert_eq!(c.get(r, 0), t.get(r, 0));
+                }
+            }
+        }
+    }
+
     /// Pushed records validate; domain violations only report non-NULL
     /// out-of-domain cells.
     #[test]

@@ -4,8 +4,12 @@
 //! confidence for expert cross-checking.
 //!
 //! ```text
-//! cargo run --release --example quis_audit [rows]
+//! cargo run --release --example quis_audit [rows] [threads]
 //! ```
+//!
+//! `threads` defaults to the available hardware parallelism; `1` forces
+//! the legacy serial path (the findings are identical either way — only
+//! the wall-clock time changes).
 
 use data_audit::prelude::*;
 use data_audit::quis::{generate_quis, QuisConfig};
@@ -15,13 +19,17 @@ use std::time::Instant;
 
 fn main() {
     let rows: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(200_000);
+    let threads: Option<usize> = std::env::args().nth(2).and_then(|a| a.parse().ok());
     println!("generating synthetic QUIS engine table ({rows} rows)…");
     let mut rng = StdRng::seed_from_u64(2003);
     let bench = generate_quis(&QuisConfig::default().with_rows(rows), &mut rng);
     let schema = bench.dirty.schema().clone();
 
-    println!("running the audit (paper: ~21 min on an Athlon 900MHz for 200k)…");
-    let auditor = Auditor::default();
+    println!(
+        "running the audit on {} worker thread(s) (paper: ~21 min on an Athlon 900MHz for 200k)…",
+        data_audit::exec::resolve_threads(threads)
+    );
+    let auditor = Auditor::new(AuditConfig { threads, ..AuditConfig::default() });
     let t0 = Instant::now();
     let model = auditor.induce(&bench.dirty).expect("audit runs");
     let report = auditor.detect(&model, &bench.dirty);

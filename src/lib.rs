@@ -7,7 +7,10 @@
 //! single crate:
 //!
 //! * [`table`] — typed columnar tables with nominal/numeric/date
-//!   domains and NULLs;
+//!   domains and NULLs, plus chunked row-range views for sharded scans;
+//! * [`exec`] — a std-only scoped worker pool with deterministic
+//!   input-order results, the execution substrate of every parallel
+//!   phase;
 //! * [`stats`] — confidence intervals, entropy measures, distributions,
 //!   evaluation matrices;
 //! * [`logic`] — TDG formulae/rules, satisfiability, natural rule sets;
@@ -58,18 +61,22 @@
 //!         stats        logic      bayes     mining           │
 //!         │  │          │  │        │        │  (stats)      │
 //!         │  └──────────┼──┼────────┼────────┤               │
-//!         │   pollute ──┘  └── tdg ─┘        └── core        │
+//!         │   pollute ──┘  └── tdg ─┘        └── core (exec) │
 //!         │      │              │                 │          │
-//!         └──── quis ───────────┴────── eval ─────┴──────────┘
+//!         └──── quis ───────────┴── eval (exec) ──┴──────────┘
 //!                                         │
 //!                                       bench (+ the `repro` bin)
 //! ```
 //!
 //! In words: `stats`, `logic`, `bayes` and `mining` build directly on
 //! `table`; `tdg` combines `logic`/`stats`/`bayes`; `pollute` needs
-//! `stats`; `core` needs `mining`/`stats`; `quis` composes
-//! `logic`/`pollute`/`stats`; `eval` sits on top of everything below
-//! it, and `dq_bench` hosts fixtures for the criterion benches. The
+//! `stats`; `core` needs `mining`/`stats` plus the `exec` worker pool
+//! (structure induction fans out one classifier per attribute,
+//! deviation detection shards the record scan into row chunks); `quis`
+//! composes `logic`/`pollute`/`stats`; `eval` sits on top of
+//! everything below it and uses `exec` to run independent sweep cells
+//! concurrently; `dq_bench` hosts fixtures for the criterion benches.
+//! `exec` itself is std-only and depends on nothing. The
 //! `rand`/`proptest`/`criterion` dependencies resolve to offline,
 //! API-compatible shims under `shims/` because the build environment
 //! has no crates.io access.
@@ -85,6 +92,7 @@
 pub use dq_bayes as bayes;
 pub use dq_core as core;
 pub use dq_eval as eval;
+pub use dq_exec as exec;
 pub use dq_logic as logic;
 pub use dq_mining as mining;
 pub use dq_pollute as pollute;
@@ -126,6 +134,7 @@ pub mod prelude {
         Finding, StructureModel,
     };
     pub use dq_eval::{Scale, Series, TestEnvironment};
+    pub use dq_exec::WorkerPool;
     pub use dq_logic::{parse_formula, parse_rule, Atom, Formula, Rule, RuleSet};
     pub use dq_mining::InducerKind;
     pub use dq_pollute::{pollute, Polluter, PollutionConfig, PollutionLog, PollutionStep};
