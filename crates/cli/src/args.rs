@@ -1,0 +1,135 @@
+//! A tiny, std-only `--flag value` parser.
+//!
+//! Every `dq` flag takes exactly one value; there are no positional
+//! arguments past the subcommand and no combined short forms. Unknown
+//! flags are rejected against the subcommand's allow-list so a typo
+//! fails loudly instead of silently running with defaults.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::str::FromStr;
+
+/// A subcommand failure, typed by who got it wrong — the *invocation*
+/// (exit code 2) or the *run* (exit code 1). Exit codes derive from
+/// this variant, never from sniffing the message text (a runtime
+/// message like ``missing header field `config.flag-nulls` `` must
+/// not read as a usage error).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// The invocation is malformed (unknown flag, missing value, …).
+    Usage(String),
+    /// The invocation is fine but the work failed (I/O, bad data,
+    /// fingerprint mismatch, …).
+    Runtime(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) | CliError::Runtime(m) => f.write_str(m),
+        }
+    }
+}
+
+/// Plain-string errors (the file plumbing, `e.to_string()` mappings)
+/// are runtime failures by default.
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError::Runtime(message)
+    }
+}
+
+/// Parsed flags of one subcommand invocation.
+#[derive(Debug, Default)]
+pub struct Flags {
+    values: HashMap<String, String>,
+}
+
+impl Flags {
+    /// Parse `--key value` pairs, validating against `allowed` (flag
+    /// names without the `--` prefix).
+    pub fn parse(args: &[String], allowed: &[&str]) -> Result<Flags, CliError> {
+        let mut values = HashMap::new();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let key = arg
+                .strip_prefix("--")
+                .ok_or_else(|| CliError::Usage(format!("expected a `--flag`, got `{arg}`")))?;
+            if !allowed.contains(&key) {
+                return Err(CliError::Usage(format!(
+                    "unknown flag `--{key}` (expected one of: {})",
+                    allowed.iter().map(|a| format!("--{a}")).collect::<Vec<_>>().join(", ")
+                )));
+            }
+            let value = it
+                .next()
+                .ok_or_else(|| CliError::Usage(format!("flag `--{key}` is missing its value")))?;
+            if values.insert(key.to_string(), value.clone()).is_some() {
+                return Err(CliError::Usage(format!("flag `--{key}` given twice")));
+            }
+        }
+        Ok(Flags { values })
+    }
+
+    /// The flag's raw value, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// A required string flag.
+    pub fn require(&self, key: &str) -> Result<&str, CliError> {
+        self.get(key).ok_or_else(|| CliError::Usage(format!("missing required flag `--{key}`")))
+    }
+
+    /// An optional typed flag with a default.
+    pub fn parse_or<T: FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse::<T>()
+                .map_err(|_| CliError::Usage(format!("flag `--{key}`: cannot parse `{raw}`"))),
+        }
+    }
+
+    /// An optional typed flag without a default (`None` when absent).
+    pub fn parse_opt<T: FromStr>(&self, key: &str) -> Result<Option<T>, CliError> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse::<T>()
+                .map(Some)
+                .map_err(|_| CliError::Usage(format!("flag `--{key}`: cannot parse `{raw}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_typed_flags_with_defaults() {
+        let f =
+            Flags::parse(&args(&["--rows", "500", "--out", "/tmp/x"]), &["rows", "out", "seed"])
+                .unwrap();
+        assert_eq!(f.parse_or("rows", 10usize).unwrap(), 500);
+        assert_eq!(f.parse_or("seed", 7u64).unwrap(), 7);
+        assert_eq!(f.require("out").unwrap(), "/tmp/x");
+        assert_eq!(f.parse_opt::<usize>("seed").unwrap(), None);
+    }
+
+    #[test]
+    fn rejects_malformed_invocations() {
+        assert!(Flags::parse(&args(&["rows", "5"]), &["rows"]).is_err());
+        assert!(Flags::parse(&args(&["--rows"]), &["rows"]).is_err());
+        assert!(Flags::parse(&args(&["--nope", "5"]), &["rows"]).is_err());
+        assert!(Flags::parse(&args(&["--rows", "5", "--rows", "6"]), &["rows"]).is_err());
+        let f = Flags::parse(&args(&["--rows", "abc"]), &["rows"]).unwrap();
+        assert!(f.parse_or("rows", 1usize).is_err());
+        assert!(f.require("out").is_err());
+    }
+}

@@ -1,0 +1,65 @@
+//! `dq detect` — streaming deviation detection against a saved model.
+//!
+//! The input CSV is never fully materialized: it flows through
+//! [`dq_table::CsvChunkReader`] in `--chunk-rows` batches into
+//! [`dq_core::Auditor::detect_stream`], so a file (much) larger than
+//! RAM audits at O(chunk) memory with a report byte-identical to the
+//! in-memory path.
+
+use crate::args::{CliError, Flags};
+use crate::io_util::{load_schema, say, write_file};
+use dq_core::{corrections_to_csv, propose_corrections, AuditConfig, Auditor, StructureModel};
+use dq_table::CsvChunkReader;
+use std::fs::File;
+use std::io::BufReader;
+use std::path::Path;
+use std::time::Instant;
+
+pub const USAGE: &str = "dq detect --schema F.dqs --model m.dqm --input data.csv \
+[--report report.csv] [--corrections c.csv] [--chunk-rows N] [--threads N] [--top N]";
+
+pub fn run(args: &[String]) -> Result<(), CliError> {
+    let flags = Flags::parse(
+        args,
+        &["schema", "model", "input", "report", "corrections", "chunk-rows", "threads", "top"],
+    )?;
+    let schema = load_schema(flags.require("schema")?)?;
+    let model_path = flags.require("model")?;
+    let model = StructureModel::load_from_path(&schema, model_path)
+        .map_err(|e| format!("{model_path}: {e}"))?;
+    let input = flags.require("input")?;
+    let chunk_rows: usize = flags.parse_or("chunk-rows", 4096)?;
+    let threads = flags.parse_opt("threads")?;
+    let top: usize = flags.parse_or("top", 10)?;
+
+    let file = File::open(input).map_err(|e| format!("{input}: {e}"))?;
+    let batches = CsvChunkReader::new(schema.clone(), BufReader::new(file), chunk_rows)
+        .map_err(|e| format!("{input}: {e}"))?;
+    let auditor = Auditor::new(AuditConfig { threads, ..AuditConfig::default() });
+    let t0 = Instant::now();
+    let report = auditor.detect_stream(&model, batches).map_err(|e| format!("{input}: {e}"))?;
+    let secs = t0.elapsed().as_secs_f64();
+
+    if let Some(path) = flags.get("report") {
+        write_file(Path::new(path), &report.to_csv(&schema))?;
+    }
+    if let Some(path) = flags.get("corrections") {
+        let corrections = propose_corrections(&report);
+        write_file(Path::new(path), &corrections_to_csv(&corrections, &schema))?;
+    }
+
+    say!(
+        "scanned {} rows in {secs:.2}s ({} per chunk): {} suspicious rows, {} findings at \
+         min confidence {}",
+        report.n_rows(),
+        chunk_rows,
+        report.n_suspicious(),
+        report.findings.len(),
+        report.min_confidence,
+    );
+    if top > 0 && !report.findings.is_empty() {
+        say!("top findings:");
+        say!("{}", report.render_top(&schema, top));
+    }
+    Ok(())
+}

@@ -1,0 +1,83 @@
+//! Shared file plumbing for the subcommands.
+
+/// A `println!` that ignores a closed stdout (e.g. `dq … | head`), so
+/// pipelines can stop reading without a broken-pipe panic.
+macro_rules! say {
+    ($($t:tt)*) => {
+        $crate::io_util::print_ignoring_pipe(format_args!($($t)*))
+    };
+}
+pub(crate) use say;
+
+/// The `say!` backend.
+pub fn print_ignoring_pipe(args: std::fmt::Arguments<'_>) {
+    use std::io::Write as _;
+    let mut out = std::io::stdout().lock();
+    let _ = writeln!(out, "{args}");
+}
+
+use dq_pollute::PollutionLog;
+use dq_table::{read_schema, Schema, Table, TableError};
+use std::fs::File;
+use std::io::{BufReader, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Human-facing error text with the file path attached.
+fn at(path: &Path, e: impl std::fmt::Display) -> String {
+    format!("{}: {e}", path.display())
+}
+
+/// Load a `.dqs` schema file.
+pub fn load_schema(path: &str) -> Result<Arc<Schema>, String> {
+    let path = Path::new(path);
+    let file = File::open(path).map_err(|e| at(path, e))?;
+    read_schema(BufReader::new(file)).map_err(|e| at(path, e))
+}
+
+/// Load a whole CSV file against a schema (for training-sized data;
+/// `dq detect` streams instead).
+pub fn load_table(schema: Arc<Schema>, path: &str) -> Result<Table, String> {
+    let path = Path::new(path);
+    let file = File::open(path).map_err(|e| at(path, e))?;
+    dq_table::read_csv(schema, BufReader::new(file)).map_err(|e| at(path, e))
+}
+
+/// Write a whole string to a file, creating parent directories.
+pub fn write_file(path: &Path, content: &str) -> Result<(), String> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| at(parent, e))?;
+        }
+    }
+    let mut f = File::create(path).map_err(|e| at(path, e))?;
+    f.write_all(content.as_bytes()).map_err(|e| at(path, e))
+}
+
+/// Write a table as CSV to a file.
+pub fn write_table(table: &Table, path: &Path) -> Result<(), String> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| at(parent, e))?;
+        }
+    }
+    let file = File::create(path).map_err(|e| at(path, e))?;
+    dq_table::write_csv(table, file).map_err(|e: TableError| at(path, e))
+}
+
+/// Render a pollution log's cell corruptions as CSV — the ground
+/// truth a generated benchmark's detections are scored against.
+pub fn log_to_csv(log: &PollutionLog, schema: &Schema) -> String {
+    let mut out = String::from("dirty_row,attribute,polluter,before,after\n");
+    for c in &log.cells {
+        out.push_str(&format!(
+            "{},{},{},{},{}\n",
+            c.dirty_row,
+            schema.attr(c.attr).name,
+            c.polluter,
+            schema.display_value(c.attr, &c.before),
+            schema.display_value(c.attr, &c.after),
+        ));
+    }
+    out
+}

@@ -1,0 +1,86 @@
+//! `dq` — the data-quality audit pipeline from a shell.
+//!
+//! Every layer of the workspace is reachable without writing Rust:
+//!
+//! ```text
+//! dq generate tdg --out bench --rows 10000      # sec. 4: test data generator
+//! dq pollute --schema bench/schema.dqs …        # sec. 4.2: controlled corruption
+//! dq induce --schema … --model bench/model.dqm  # sec. 5: structure induction
+//! dq detect --schema … --model … --input …      # sec. 5: streaming detection
+//! dq eval --rows 5000                           # Figure 2: the full loop, scored
+//! ```
+//!
+//! `induce` is the train-once half (off-line, in-memory); `detect` is
+//! the audit-forever half (streamed, bounded memory, byte-identical to
+//! the in-memory path). Exit codes: 0 success, 1 runtime failure,
+//! 2 usage error.
+
+mod args;
+mod detect;
+mod eval_cmd;
+mod generate;
+mod induce;
+mod io_util;
+mod pollute_cmd;
+
+use crate::args::CliError;
+use crate::io_util::say;
+use std::process::ExitCode;
+
+const USAGE: &str = "dq — data mining-based data quality tools (VLDB 2003)
+
+usage: dq <command> [flags]
+
+commands:
+  generate   write a benchmark dataset (schema, clean/dirty CSV, ground truth)
+  pollute    corrupt a clean CSV with the standard suite, logging the truth
+  induce     induce a structure model from a CSV and save it (train once)
+  detect     stream a CSV through a saved model (audit forever)
+  eval       run one generate -> pollute -> audit -> score cycle
+
+command usage:
+";
+
+fn usage() -> String {
+    format!(
+        "{USAGE}  {}\n  {}\n  {}\n  {}\n  {}\n",
+        generate::USAGE,
+        pollute_cmd::USAGE,
+        induce::USAGE,
+        detect::USAGE,
+        eval_cmd::USAGE
+    )
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = argv.split_first() else {
+        eprintln!("{}", usage());
+        return ExitCode::from(2);
+    };
+    let result = match command.as_str() {
+        "generate" => generate::run(rest),
+        "pollute" => pollute_cmd::run(rest),
+        "induce" => induce::run(rest),
+        "detect" => detect::run(rest),
+        "eval" => eval_cmd::run(rest),
+        "help" | "--help" | "-h" => {
+            say!("{}", usage());
+            return ExitCode::SUCCESS;
+        }
+        other => {
+            eprintln!("unknown command `{other}`\n\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(error) => {
+            eprintln!("dq {command}: {error}");
+            match error {
+                CliError::Usage(_) => ExitCode::from(2),
+                CliError::Runtime(_) => ExitCode::FAILURE,
+            }
+        }
+    }
+}

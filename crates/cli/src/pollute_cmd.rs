@@ -1,0 +1,36 @@
+//! `dq pollute` — corrupt a clean CSV with the standard suite and
+//! write the ground-truth log.
+
+use crate::args::{CliError, Flags};
+use crate::io_util::{load_schema, load_table, log_to_csv, say, write_file, write_table};
+use dq_pollute::{pollute, PollutionConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::Path;
+
+pub const USAGE: &str =
+    "dq pollute --schema F.dqs --input clean.csv --output dirty.csv [--log L.csv] [--factor X] [--seed N]";
+
+pub fn run(args: &[String]) -> Result<(), CliError> {
+    let flags = Flags::parse(args, &["schema", "input", "output", "log", "factor", "seed"])?;
+    let schema = load_schema(flags.require("schema")?)?;
+    let clean = load_table(schema.clone(), flags.require("input")?)?;
+    let output = Path::new(flags.require("output")?).to_path_buf();
+    let factor: f64 = flags.parse_or("factor", 1.0)?;
+    let seed: u64 = flags.parse_or("seed", 2003)?;
+
+    let config = PollutionConfig::standard().with_factor(factor);
+    let (dirty, log) = pollute(&clean, &config, &mut StdRng::seed_from_u64(seed));
+    write_table(&dirty, &output)?;
+    if let Some(log_path) = flags.get("log") {
+        write_file(Path::new(log_path), &log_to_csv(&log, &schema))?;
+    }
+    say!(
+        "polluted {} rows -> {} rows ({} corrupted, prevalence {:.2}%) at factor {factor}",
+        clean.n_rows(),
+        dirty.n_rows(),
+        log.n_corrupted_rows(),
+        log.prevalence() * 100.0,
+    );
+    Ok(())
+}

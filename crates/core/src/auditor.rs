@@ -135,14 +135,21 @@ pub struct StructureModel {
     pub models: Vec<AttrModel>,
     /// The derived minInst bound (0 when disabled).
     pub min_inst: f64,
-    /// The configuration used for induction (reused by detection).
-    config: AuditConfig,
+    /// The configuration used for induction (reused by detection,
+    /// persisted as provenance by `model_io`).
+    pub(crate) config: AuditConfig,
 }
 
 impl StructureModel {
     /// Total number of structure-model rules across attributes.
     pub fn n_rules(&self) -> usize {
         self.models.iter().map(|m| m.rules.len()).sum()
+    }
+
+    /// The configuration the model was induced with (provenance; the
+    /// persisted file records it in its header).
+    pub fn config(&self) -> &AuditConfig {
+        &self.config
     }
 
     /// Render the probabilistic integrity constraints with schema
@@ -288,6 +295,52 @@ impl Auditor {
             record_confidence.extend(chunk_confidence);
         }
         AuditReport::new(findings, record_confidence, cfg.min_confidence)
+    }
+
+    /// **Streaming deviation detection**: check a sequence of row
+    /// batches (e.g. [`dq_table::CsvChunkReader`] over a CSV file
+    /// larger than RAM) against the structure model, at O(batch)
+    /// memory for the data.
+    ///
+    /// Each batch is sharded across the worker pool exactly like
+    /// [`Auditor::detect`] shards a full table, and the partial
+    /// reports merge back in global row order. Because every row's
+    /// arithmetic is independent and the final ranking sort is stable
+    /// with a row-order tiebreak, the result is **byte-identical** to
+    /// an in-memory [`Auditor::detect`] over the concatenated batches,
+    /// for every batch size ≥ 1 and every thread count.
+    ///
+    /// Row indices in the returned report are global (0-based over the
+    /// whole stream). The first failing batch aborts the scan with its
+    /// error; batches after the first must keep the same schema width
+    /// (guaranteed by any single-reader source).
+    pub fn detect_stream<I>(
+        &self,
+        model: &StructureModel,
+        batches: I,
+    ) -> Result<AuditReport, AuditError>
+    where
+        I: IntoIterator<Item = Result<Table, dq_table::TableError>>,
+    {
+        let cfg = &model.config;
+        let pool = WorkerPool::from_config(self.config.threads);
+        let mut findings = Vec::new();
+        let mut record_confidence = Vec::new();
+        let mut offset = 0usize;
+        for batch in batches {
+            let batch = batch?;
+            let chunks = batch.chunks(pool.threads());
+            let partials = pool.map_indexed(&chunks, |_, chunk| scan_chunk(model, chunk));
+            for (chunk_findings, chunk_confidence) in partials {
+                findings.extend(chunk_findings.into_iter().map(|mut f| {
+                    f.row += offset;
+                    f
+                }));
+                record_confidence.extend(chunk_confidence);
+            }
+            offset += batch.n_rows();
+        }
+        Ok(AuditReport::new(findings, record_confidence, cfg.min_confidence))
     }
 
     /// Single-database mode: induce and detect on the same table.

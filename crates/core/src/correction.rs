@@ -44,6 +44,24 @@ pub fn propose_corrections(report: &AuditReport) -> Vec<Correction> {
     out
 }
 
+/// Render a correction list as CSV (one row per proposed replacement,
+/// values shown with the schema's labels) — the `dq detect
+/// --corrections` output a quality engineer reviews before applying.
+pub fn corrections_to_csv(corrections: &[Correction], schema: &dq_table::Schema) -> String {
+    let mut out = String::from("row,attribute,old,new,confidence\n");
+    for c in corrections {
+        out.push_str(&format!(
+            "{},{},{},{},{}\n",
+            c.row,
+            schema.attr(c.attr).name,
+            schema.display_value(c.attr, &c.old),
+            schema.display_value(c.attr, &c.new),
+            c.confidence
+        ));
+    }
+    out
+}
+
 /// Apply corrections to a table in place. Returns the number applied.
 ///
 /// This is the non-interactive path; "the correction of outliers
@@ -116,6 +134,16 @@ mod tests {
         assert_eq!(n, 1);
         assert_eq!(t.get(0, 1), Value::Nominal(0));
         assert_eq!(t.get(1, 0), Value::Nominal(1), "unflagged rows untouched");
+    }
+
+    #[test]
+    fn corrections_render_as_csv() {
+        let t = table();
+        let cs = propose_corrections(&report());
+        let csv = corrections_to_csv(&cs, t.schema());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "row,attribute,old,new,confidence");
+        assert_eq!(lines[1], "0,b,y,x,0.9");
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Error type for audit configuration and induction failures.
 
 use dq_mining::MiningError;
+use dq_table::TableError;
 use std::fmt;
 
 /// Errors raised while configuring or running an audit.
@@ -22,6 +23,27 @@ pub enum AuditError {
     /// single-column schema admits no structure model at all (only a
     /// degenerate class prior).
     SingleColumn,
+    /// Saving or loading a persisted structure model failed (version
+    /// mismatch, malformed line, unsupported classifier family, …).
+    Persistence(String),
+    /// A persisted model was induced on a different relation: its
+    /// embedded schema fingerprint does not match the schema it is
+    /// being loaded against.
+    SchemaFingerprint {
+        /// The fingerprint of the schema the caller supplied.
+        expected: u64,
+        /// The fingerprint recorded in the model file.
+        found: u64,
+    },
+    /// A table-layer failure while streaming or persisting (CSV cell
+    /// errors, I/O, schema text).
+    Table(TableError),
+}
+
+impl From<TableError> for AuditError {
+    fn from(e: TableError) -> Self {
+        AuditError::Table(e)
+    }
 }
 
 impl fmt::Display for AuditError {
@@ -36,6 +58,13 @@ impl fmt::Display for AuditError {
                 f,
                 "cannot audit a single-column table: a dependency model needs at least one base attribute"
             ),
+            AuditError::Persistence(m) => write!(f, "structure model persistence: {m}"),
+            AuditError::SchemaFingerprint { expected, found } => write!(
+                f,
+                "schema fingerprint mismatch: the model was induced on relation {found:016x}, \
+                 but the supplied schema is {expected:016x} — refusing to audit the wrong relation"
+            ),
+            AuditError::Table(e) => write!(f, "table error: {e}"),
         }
     }
 }
@@ -44,6 +73,7 @@ impl std::error::Error for AuditError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             AuditError::Induction { source, .. } => Some(source),
+            AuditError::Table(source) => Some(source),
             _ => None,
         }
     }

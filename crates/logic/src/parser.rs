@@ -135,10 +135,10 @@ impl<'a> Parser<'a> {
             }
             return Ok(f);
         }
-        self.atom().map(Formula::Atom)
+        self.atom()
     }
 
-    fn atom(&mut self) -> Result<Atom, ParseError> {
+    fn atom(&mut self) -> Result<Formula, ParseError> {
         let name =
             self.next().ok_or_else(|| ParseError("expected an attribute name".into()))?.to_string();
         let attr = self
@@ -150,14 +150,33 @@ impl<'a> Parser<'a> {
             .ok_or_else(|| ParseError(format!("expected an operator after `{name}`")))?
             .to_string();
         match op.as_str() {
-            "isnull" => Ok(Atom::IsNull { attr }),
-            "isnotnull" => Ok(Atom::IsNotNull { attr }),
+            "isnull" => Ok(Formula::Atom(Atom::IsNull { attr })),
+            "isnotnull" => Ok(Formula::Atom(Atom::IsNotNull { attr })),
             "=" | "!=" | "<" | ">" => {
                 let operand = self
                     .next()
                     .ok_or_else(|| ParseError(format!("expected an operand after `{op}`")))?
                     .to_string();
-                self.build_binary(attr, &op, &operand)
+                self.build_binary(attr, &op, &operand).map(Formula::Atom)
+            }
+            // `<=` / `>=` are sugar over the Def. 1 atom kinds: the
+            // bound is itself a domain constant, so `N <= n` is exactly
+            // `N < n or N = n`. Relational forms (`N <= M`) are not
+            // sugared — Table 1 has no negation for them.
+            "<=" | ">=" => {
+                let operand = self
+                    .next()
+                    .ok_or_else(|| ParseError(format!("expected an operand after `{op}`")))?
+                    .to_string();
+                if self.schema.index_of(&operand).is_some() {
+                    return Err(ParseError(format!(
+                        "`{op}` only takes a constant operand, not attribute `{operand}`"
+                    )));
+                }
+                let strict =
+                    self.build_binary(attr, if op == "<=" { "<" } else { ">" }, &operand)?;
+                let equal = self.build_binary(attr, "=", &operand)?;
+                Ok(Formula::Or(vec![Formula::Atom(strict), Formula::Atom(equal)]))
             }
             other => Err(ParseError(format!("unknown operator `{other}`"))),
         }
@@ -302,6 +321,41 @@ mod tests {
             let reparsed = parse_rule(&s, &rendered).unwrap();
             assert_eq!(rule, reparsed, "render/parse must round-trip for `{text}`");
         }
+    }
+
+    #[test]
+    fn le_ge_desugar_to_or_of_atoms() {
+        let s = schema();
+        // `N <= n` is `N < n or N = n` — structure-model rule lines
+        // with threshold premises round-trip through this sugar.
+        let f = parse_formula(&s, "POWER <= 100").unwrap();
+        assert_eq!(
+            f,
+            Formula::Or(vec![
+                Formula::Atom(Atom::LessConst { attr: 3, value: 100.0 }),
+                Formula::Atom(Atom::EqConst { attr: 3, value: Value::Number(100.0) }),
+            ])
+        );
+        let f = parse_formula(&s, "POWER >= 250.5").unwrap();
+        assert_eq!(
+            f,
+            Formula::Or(vec![
+                Formula::Atom(Atom::GreaterConst { attr: 3, value: 250.5 }),
+                Formula::Atom(Atom::EqConst { attr: 3, value: Value::Number(250.5) }),
+            ])
+        );
+        // Dates desugar through their day numbers.
+        let f = parse_formula(&s, "PROD <= 2000-02-01").unwrap();
+        match f {
+            Formula::Or(parts) => assert_eq!(parts.len(), 2),
+            other => panic!("expected Or, got {other:?}"),
+        }
+        // Rules accept the sugar anywhere a formula sits.
+        assert!(parse_rule(&s, "POWER <= 10 -> TORQUE >= 20").is_ok());
+        // Nominal attributes stay unordered, and the sugar has no
+        // relational (attribute-operand) form.
+        assert!(parse_formula(&s, "BRV <= 404").is_err());
+        assert!(parse_formula(&s, "POWER <= TORQUE").is_err());
     }
 
     #[test]

@@ -72,6 +72,13 @@ pub trait Classifier: Send + Sync {
 
     /// Number of class codes this classifier distinguishes.
     fn class_card(&self) -> u32;
+
+    /// Downcast to a C4.5 decision tree, if that is what this is.
+    /// Structure-model persistence serializes trees exactly; other
+    /// classifier families return `None` (and cannot be persisted).
+    fn as_c45(&self) -> Option<&crate::tree::DecisionTree> {
+        None
+    }
 }
 
 /// An induction algorithm producing [`Classifier`]s.

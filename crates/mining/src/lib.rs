@@ -45,5 +45,8 @@ pub use error::MiningError;
 pub use knn::KnnInducer;
 pub use naive_bayes::NaiveBayesInducer;
 pub use oner::OneRInducer;
-pub use tree::{C45Config, C45Inducer, DecisionTree, Pruning, SplitCriterion, TreeRule};
+pub use tree::{
+    C45Config, C45Inducer, Condition, ConditionTest, DecisionTree, Node, Pruning, SplitCriterion,
+    SplitKind, TreeRule,
+};
 pub use zeror::ZeroRInducer;

@@ -364,6 +364,15 @@ pub struct DecisionTree {
 }
 
 impl DecisionTree {
+    /// Reassemble a tree from its parts — the inverse of structural
+    /// serialization (`dq_core`'s model persistence). The caller is
+    /// responsible for the parts' internal consistency (counts
+    /// cardinality `class_card`, one fraction per child); predictions
+    /// over inconsistent parts are unspecified but memory-safe.
+    pub fn from_parts(root: Node, class_card: u32, class_attr: AttrIdx, level: f64) -> Self {
+        DecisionTree { root, class_card, class_attr, level }
+    }
+
     /// The class attribute this tree predicts.
     pub fn class_attr(&self) -> AttrIdx {
         self.class_attr
@@ -1058,6 +1067,10 @@ impl Classifier for DecisionTree {
     fn class_card(&self) -> u32 {
         self.class_card
     }
+
+    fn as_c45(&self) -> Option<&DecisionTree> {
+        Some(self)
+    }
 }
 
 fn accumulate(node: &Node, record: &[Value], weight: f64, acc: &mut [f64]) {
@@ -1478,6 +1491,25 @@ mod tests {
         let cfg = C45Config { max_depth: 2, pruning: Pruning::None, ..C45Config::default() };
         let tree = C45Inducer::new(cfg).induce_tree(&ts).unwrap();
         assert!(tree.depth() <= 2);
+    }
+
+    #[test]
+    fn from_parts_rebuilds_an_identical_tree() {
+        let t = xor_table(80);
+        let ts = TrainingSet::full(&t, 3, 4).unwrap();
+        let tree = C45Inducer::new(grown_config()).induce_tree(&ts).unwrap();
+        let clf: &dyn Classifier = &tree;
+        let original = clf.as_c45().expect("a decision tree downcasts to itself");
+        let rebuilt = DecisionTree::from_parts(
+            original.root().clone(),
+            original.class_card(),
+            original.class_attr(),
+            original.level(),
+        );
+        assert_eq!(rebuilt.to_rules(), tree.to_rules());
+        for r in 0..t.n_rows() {
+            assert_eq!(rebuilt.predict(&t.row(r)), tree.predict(&t.row(r)), "row {r}");
+        }
     }
 
     #[test]

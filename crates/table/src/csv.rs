@@ -6,6 +6,25 @@
 //! their labels, dates as ISO `YYYY-MM-DD`. This is enough to move
 //! generated benchmark tables and audit findings in and out of the
 //! workspace; it is not a general-purpose CSV engine.
+//!
+//! **Dirty data is representable**: a nominal cell holding a code
+//! outside the label list (the switcher polluter produces those)
+//! is written as `#<code>` and read back verbatim, and reading checks
+//! cell *kinds* only (like [`Table::push_row_lenient`]), so any
+//! workspace-generated table — polluted or clean — round-trips
+//! exactly. Labels starting with `#` are reserved for this escape.
+//!
+//! Two readers share one parsing core:
+//!
+//! * [`read_csv`] materializes the whole stream as a single [`Table`];
+//! * [`CsvChunkReader`] iterates the stream as bounded-size [`Table`]
+//!   batches, so a file (much) larger than RAM can be scanned at
+//!   O(chunk) memory — the substrate of `dq_core`'s streaming
+//!   deviation detection.
+//!
+//! All cell-level errors are reported as [`TableError::CsvCell`] with
+//! the 1-based physical line number (the header is line 1) and the
+//! column name, so the bad cell can be found in a million-row file.
 
 use crate::date::parse_iso;
 use crate::error::TableError;
@@ -26,9 +45,14 @@ pub fn write_csv<W: Write>(table: &Table, out: W) -> Result<(), TableError> {
             if c > 0 {
                 write!(w, ",")?;
             }
-            let v = table.get(r, c);
-            if !v.is_null() {
-                write!(w, "{}", schema.display_value(c, &v))?;
+            match table.get(r, c) {
+                Value::Null => {}
+                // Out-of-label codes escape as `#<code>` so polluted
+                // tables round-trip.
+                Value::Nominal(code) if schema.attr(c).label(code).is_none() => {
+                    write!(w, "#{code}")?;
+                }
+                v => write!(w, "{}", schema.display_value(c, &v))?,
             }
         }
         writeln!(w)?;
@@ -40,63 +64,139 @@ pub fn write_csv<W: Write>(table: &Table, out: W) -> Result<(), TableError> {
 /// Read a CSV stream into a table over the given schema.
 ///
 /// The header must list exactly the schema's attribute names in order.
-/// Empty cells become NULL. Nominal cells are matched against the label
-/// list; unknown labels are an error (a polluted table round-trips
-/// because wrong-value pollution stays within the label space; columns
-/// holding out-of-label codes cannot be serialized as labels in the
-/// first place).
+/// Empty cells become NULL. Nominal cells are matched against the
+/// label list (with the `#<code>` escape for out-of-label codes);
+/// unknown labels are an error.
 pub fn read_csv<R: Read>(schema: Arc<Schema>, input: R) -> Result<Table, TableError> {
-    let mut reader = BufReader::new(input);
-    let mut header = String::new();
-    if reader.read_line(&mut header)? == 0 {
-        return Err(TableError::Csv("missing header row".into()));
+    let mut reader = CsvChunkReader::new(schema.clone(), BufReader::new(input), 1)?;
+    let mut table = Table::new(schema);
+    let mut record = Vec::with_capacity(table.n_cols());
+    while reader.next_record(&mut record)? {
+        table.push_row_lenient(&record)?;
     }
-    let names: Vec<&str> = header.trim_end_matches(['\n', '\r']).split(',').collect();
-    if names.len() != schema.len() {
-        return Err(TableError::Csv(format!(
-            "header has {} columns, schema has {}",
-            names.len(),
-            schema.len()
-        )));
-    }
-    for (i, name) in names.iter().enumerate() {
-        if schema.attr(i).name != *name {
-            return Err(TableError::Csv(format!(
-                "header column {i} is `{name}`, schema expects `{}`",
-                schema.attr(i).name
-            )));
-        }
-    }
+    Ok(table)
+}
 
-    let mut table = Table::new(schema.clone());
-    let mut record = Vec::with_capacity(schema.len());
-    let mut line = String::new();
-    let mut line_no = 1usize;
-    loop {
-        line.clear();
-        if reader.read_line(&mut line)? == 0 {
-            break;
+/// A bounded-memory CSV reader: iterates the stream as [`Table`]
+/// batches of at most `chunk_rows` rows each, over any [`BufRead`].
+///
+/// The header row is read and validated eagerly by
+/// [`CsvChunkReader::new`], so a malformed header fails before any
+/// batch is produced. Blank lines are skipped and do not count toward
+/// batch sizes; line numbers in errors are physical 1-based stream
+/// lines (the header is line 1). After the first error the iterator
+/// fuses (returns `None` forever) — a torn stream is not resumable.
+#[derive(Debug)]
+pub struct CsvChunkReader<R: BufRead> {
+    schema: Arc<Schema>,
+    reader: R,
+    chunk_rows: usize,
+    line_no: usize,
+    /// Scratch line buffer, reused across rows.
+    line: String,
+    done: bool,
+}
+
+impl<R: BufRead> CsvChunkReader<R> {
+    /// Open a chunked reader: reads and validates the header row.
+    /// `chunk_rows` is clamped to at least 1.
+    pub fn new(schema: Arc<Schema>, mut reader: R, chunk_rows: usize) -> Result<Self, TableError> {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Err(TableError::Csv("missing header row".into()));
         }
-        line_no += 1;
-        let trimmed = line.trim_end_matches(['\n', '\r']);
-        if trimmed.is_empty() {
-            continue;
-        }
-        record.clear();
-        let cells: Vec<&str> = trimmed.split(',').collect();
-        if cells.len() != schema.len() {
+        let names: Vec<&str> = header.trim_end_matches(['\n', '\r']).split(',').collect();
+        if names.len() != schema.len() {
             return Err(TableError::Csv(format!(
-                "line {line_no}: {} cells, schema has {}",
-                cells.len(),
+                "header has {} columns, schema has {}",
+                names.len(),
                 schema.len()
             )));
         }
-        for (i, cell) in cells.iter().enumerate() {
-            record.push(parse_cell(&schema, i, cell, line_no)?);
+        for (i, name) in names.iter().enumerate() {
+            if schema.attr(i).name != *name {
+                return Err(TableError::Csv(format!(
+                    "header column {i} is `{name}`, schema expects `{}`",
+                    schema.attr(i).name
+                )));
+            }
         }
-        table.push_row(&record)?;
+        Ok(CsvChunkReader {
+            schema,
+            reader,
+            chunk_rows: chunk_rows.max(1),
+            line_no: 1,
+            line: String::new(),
+            done: false,
+        })
     }
-    Ok(table)
+
+    /// The physical line number of the last line read (1-based; the
+    /// header is line 1).
+    pub fn line_no(&self) -> usize {
+        self.line_no
+    }
+
+    /// Parse the next data row into `record` (cleared first), skipping
+    /// blank lines. `Ok(false)` at end of stream. This is the single
+    /// parsing core both [`read_csv`] and the batch iterator run on.
+    fn next_record(&mut self, record: &mut Vec<Value>) -> Result<bool, TableError> {
+        loop {
+            self.line.clear();
+            if self.reader.read_line(&mut self.line)? == 0 {
+                return Ok(false);
+            }
+            self.line_no += 1;
+            let trimmed = self.line.trim_end_matches(['\n', '\r']);
+            if trimmed.is_empty() {
+                continue;
+            }
+            let cells: Vec<&str> = trimmed.split(',').collect();
+            if cells.len() != self.schema.len() {
+                return Err(TableError::Csv(format!(
+                    "line {}: {} cells, schema has {}",
+                    self.line_no,
+                    cells.len(),
+                    self.schema.len()
+                )));
+            }
+            record.clear();
+            for (i, cell) in cells.iter().enumerate() {
+                record.push(parse_cell(&self.schema, i, cell, self.line_no)?);
+            }
+            return Ok(true);
+        }
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Table>, TableError> {
+        let mut batch = Table::new(self.schema.clone());
+        let mut record = Vec::with_capacity(self.schema.len());
+        while batch.n_rows() < self.chunk_rows && self.next_record(&mut record)? {
+            batch.push_row_lenient(&record)?;
+        }
+        Ok(if batch.is_empty() { None } else { Some(batch) })
+    }
+}
+
+impl<R: BufRead> Iterator for CsvChunkReader<R> {
+    type Item = Result<Table, TableError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        match self.next_batch() {
+            Ok(Some(batch)) => Some(Ok(batch)),
+            Ok(None) => {
+                self.done = true;
+                None
+            }
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
+            }
+        }
+    }
 }
 
 fn parse_cell(
@@ -109,17 +209,29 @@ fn parse_cell(
         return Ok(Value::Null);
     }
     let attr = schema.attr(col);
+    let located =
+        |message: String| TableError::CsvCell { line: line_no, column: attr.name.clone(), message };
     match &attr.ty {
-        AttrType::Nominal { .. } => attr.code(cell).map(Value::Nominal).ok_or_else(|| {
-            TableError::Csv(format!("line {line_no}: `{cell}` is not a label of `{}`", attr.name))
-        }),
+        AttrType::Nominal { .. } => {
+            // `#<code>` is the escape for out-of-label codes written by
+            // `write_csv` for polluted cells.
+            if let Some(code) = cell.strip_prefix('#') {
+                return code
+                    .parse::<u32>()
+                    .map(Value::Nominal)
+                    .map_err(|_| located(format!("`{cell}` is not a `#<code>` escape")));
+            }
+            attr.code(cell)
+                .map(Value::Nominal)
+                .ok_or_else(|| located(format!("`{cell}` is not a label of the domain")))
+        }
         AttrType::Numeric { .. } => cell
             .parse::<f64>()
             .map(Value::Number)
-            .map_err(|_| TableError::Csv(format!("line {line_no}: `{cell}` is not a number"))),
+            .map_err(|_| located(format!("`{cell}` is not a number"))),
         AttrType::Date { .. } => parse_iso(cell)
             .map(Value::Date)
-            .ok_or_else(|| TableError::Csv(format!("line {line_no}: `{cell}` is not an ISO date"))),
+            .ok_or_else(|| located(format!("`{cell}` is not an ISO date"))),
     }
 }
 
@@ -182,9 +294,111 @@ mod tests {
     }
 
     #[test]
+    fn cell_errors_carry_line_and_column() {
+        let s = schema();
+        let input = "color,size,built\nred,1,\n\ngreen,oops,\n";
+        let err = read_csv(s, input.as_bytes()).unwrap_err();
+        match err {
+            TableError::CsvCell { line, ref column, ref message } => {
+                // Physical line: header=1, red=2, blank=3, green=4.
+                assert_eq!(line, 4);
+                assert_eq!(column, "size");
+                assert!(message.contains("oops"), "got {message}");
+            }
+            other => panic!("expected CsvCell, got {other:?}"),
+        }
+        let shown = err.to_string();
+        assert!(shown.contains("line 4"), "got {shown}");
+        assert!(shown.contains("`size`"), "got {shown}");
+    }
+
+    #[test]
+    fn out_of_label_codes_escape_and_round_trip() {
+        // The switcher polluter can leave codes outside the label list;
+        // they serialize as `#<code>` and read back verbatim.
+        let s = schema();
+        let mut t = Table::new(s.clone());
+        t.push_row_lenient(&[Value::Nominal(7), Value::Number(1e9), Value::Null]).unwrap();
+        let mut buf = Vec::new();
+        write_csv(&t, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.contains("#7,1000000000,\n"), "got:\n{text}");
+        let back = read_csv(s.clone(), &buf[..]).unwrap();
+        assert_eq!(back.row(0), t.row(0));
+        // A malformed escape is a located error.
+        let err = read_csv(s, "color,size,built\n#x,1,\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, TableError::CsvCell { line: 2, .. }), "got {err:?}");
+    }
+
+    #[test]
     fn skips_blank_lines() {
         let s = schema();
         let t = read_csv(s, "color,size,built\n\nred,1,\n\n".as_bytes()).unwrap();
         assert_eq!(t.n_rows(), 1);
+    }
+
+    #[test]
+    fn chunk_reader_batches_cover_the_stream() {
+        let s = schema();
+        let mut t = Table::new(s.clone());
+        for i in 0..23 {
+            t.push_row(&[Value::Nominal((i % 2) as u32), Value::Number(i as f64), Value::Null])
+                .unwrap();
+        }
+        let mut buf = Vec::new();
+        write_csv(&t, &mut buf).unwrap();
+        for chunk_rows in [1, 2, 7, 23, 100] {
+            let reader = CsvChunkReader::new(s.clone(), buf.as_slice(), chunk_rows).unwrap();
+            let batches: Vec<Table> = reader.map(|b| b.unwrap()).collect();
+            // All but the last batch are full.
+            for b in &batches[..batches.len().saturating_sub(1)] {
+                assert_eq!(b.n_rows(), chunk_rows);
+            }
+            let mut row = 0;
+            for b in &batches {
+                assert!(b.n_rows() >= 1);
+                for r in 0..b.n_rows() {
+                    assert_eq!(b.row(r), t.row(row), "chunk_rows={chunk_rows}, row {row}");
+                    row += 1;
+                }
+            }
+            assert_eq!(row, t.n_rows(), "chunk_rows={chunk_rows}");
+        }
+    }
+
+    #[test]
+    fn chunk_reader_validates_header_eagerly() {
+        let s = schema();
+        assert!(CsvChunkReader::new(s.clone(), "a,b,c\n".as_bytes(), 4).is_err());
+        assert!(CsvChunkReader::new(s, "".as_bytes(), 4).is_err());
+    }
+
+    #[test]
+    fn chunk_reader_empty_body_yields_no_batches() {
+        let s = schema();
+        let mut reader = CsvChunkReader::new(s, "color,size,built\n\n".as_bytes(), 4).unwrap();
+        assert!(reader.next().is_none());
+        assert!(reader.next().is_none());
+    }
+
+    #[test]
+    fn chunk_reader_fuses_after_an_error() {
+        let s = schema();
+        let input = "color,size,built\nred,1,\nred,1,\nmauve,1,\nred,1,\n";
+        let mut reader = CsvChunkReader::new(s, input.as_bytes(), 2).unwrap();
+        assert_eq!(reader.next().unwrap().unwrap().n_rows(), 2);
+        let err = reader.next().unwrap().unwrap_err();
+        assert!(matches!(err, TableError::CsvCell { line: 4, .. }), "got {err:?}");
+        assert!(reader.next().is_none(), "the iterator must fuse after an error");
+    }
+
+    #[test]
+    fn chunk_reader_clamps_zero_chunk_rows() {
+        let s = schema();
+        let input = "color,size,built\nred,1,\n";
+        let reader = CsvChunkReader::new(s, input.as_bytes(), 0).unwrap();
+        let batches: Vec<Table> = reader.map(|b| b.unwrap()).collect();
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].n_rows(), 1);
     }
 }

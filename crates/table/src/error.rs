@@ -43,6 +43,19 @@ pub enum TableError {
     SchemaMismatch,
     /// A malformed CSV line or cell.
     Csv(String),
+    /// A malformed CSV cell, located by 1-based line number (counting
+    /// the header as line 1) and column name — so a user can find the
+    /// bad cell in a million-row file.
+    CsvCell {
+        /// 1-based physical line number in the CSV stream.
+        line: usize,
+        /// Name of the schema column the cell belongs to.
+        column: String,
+        /// What was wrong with the cell.
+        message: String,
+    },
+    /// A malformed line in a schema text file (see `schema_io`).
+    SchemaText(String),
     /// An underlying I/O failure (message only, to keep the error `Clone`).
     Io(String),
 }
@@ -73,6 +86,10 @@ impl fmt::Display for TableError {
             }
             TableError::SchemaMismatch => write!(f, "schemas do not match"),
             TableError::Csv(msg) => write!(f, "csv error: {msg}"),
+            TableError::CsvCell { line, column, message } => {
+                write!(f, "csv error: line {line}, column `{column}`: {message}")
+            }
+            TableError::SchemaText(msg) => write!(f, "schema text error: {msg}"),
             TableError::Io(msg) => write!(f, "io error: {msg}"),
         }
     }

@@ -29,16 +29,18 @@ pub mod date;
 pub mod discretize;
 pub mod error;
 pub mod schema;
+pub mod schema_io;
 pub mod stats;
 pub mod table;
 pub mod value;
 
 pub use builder::SchemaBuilder;
 pub use column::Column;
-pub use csv::{read_csv, write_csv};
+pub use csv::{read_csv, write_csv, CsvChunkReader};
 pub use discretize::{discretize_equal_frequency, discretize_equal_width, Binning};
 pub use error::TableError;
 pub use schema::{AttrType, Attribute, Schema};
+pub use schema_io::{read_schema, render_schema, write_schema};
 pub use stats::ColumnSummary;
 pub use table::{RowSlice, Table};
 pub use value::Value;

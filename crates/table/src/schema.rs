@@ -196,6 +196,14 @@ impl Schema {
         self.index_of(name).ok_or_else(|| TableError::UnknownAttribute(name.to_string()))
     }
 
+    /// The schema's 64-bit content fingerprint (FNV-1a over the
+    /// canonical text rendering of `crate::schema_io`). Persisted
+    /// artifacts — saved structure models in particular — embed it so
+    /// they can refuse to operate on the wrong relation.
+    pub fn fingerprint(&self) -> u64 {
+        crate::schema_io::fingerprint(self)
+    }
+
     /// Render a value under the attribute at `idx` using domain labels
     /// (nominal codes become their labels).
     pub fn display_value(&self, idx: AttrIdx, v: &Value) -> String {

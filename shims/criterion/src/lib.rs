@@ -10,6 +10,15 @@
 //! the paper's hot paths against each other, without criterion's
 //! statistical machinery. Each bench prints one
 //! `name ... median time/iter (throughput)` line.
+//!
+//! Two environment knobs serve the CI perf trajectory:
+//!
+//! * `DQ_BENCH_QUICK=1` — smoke mode: 2 samples on a small time
+//!   budget, so the whole bench suite finishes in seconds;
+//! * `DQ_BENCH_JSON=path` — append one JSON line
+//!   `{"name": …, "median_ns": …}` per benchmark to `path`
+//!   (JSON-lines, because each bench binary is a separate process);
+//!   CI folds the lines into the uploaded `BENCH_<n>.json` artifact.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -21,6 +30,20 @@ const TARGET_MEASURE_TIME: Duration = Duration::from_millis(200);
 
 /// Samples collected per benchmark (the median is reported).
 const N_SAMPLES: usize = 5;
+
+/// `true` when `DQ_BENCH_QUICK` asks for the CI smoke mode.
+fn quick_mode() -> bool {
+    std::env::var_os("DQ_BENCH_QUICK").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
+/// The per-benchmark measuring budget, shrunk in quick mode.
+fn target_measure_time() -> Duration {
+    if quick_mode() {
+        Duration::from_millis(40)
+    } else {
+        TARGET_MEASURE_TIME
+    }
+}
 
 /// Entry point handed to the `criterion_group!` targets.
 #[derive(Default)]
@@ -146,7 +169,7 @@ impl Bencher {
         let once = Instant::now();
         black_box(routine());
         let single = once.elapsed().max(Duration::from_nanos(1));
-        let budget = TARGET_MEASURE_TIME / self.samples.max(1) as u32;
+        let budget = target_measure_time() / self.samples.max(1) as u32;
         let iters = (budget.as_nanos() / single.as_nanos()).clamp(1, 1_000) as u64;
 
         for _ in 0..self.samples {
@@ -179,10 +202,11 @@ fn run_benchmark_with<F>(name: &str, throughput: Option<Throughput>, samples: us
 where
     F: FnMut(&mut Bencher),
 {
-    let mut bencher =
-        Bencher { sampled_nanos: Vec::with_capacity(samples.max(1)), samples: samples.max(1) };
+    let samples = if quick_mode() { samples.clamp(1, 2) } else { samples.max(1) };
+    let mut bencher = Bencher { sampled_nanos: Vec::with_capacity(samples), samples };
     f(&mut bencher);
     let nanos = bencher.median_nanos();
+    record_json_line(name, nanos);
     let rate = match throughput {
         Some(Throughput::Elements(n)) => {
             format!("  ({:.0} elem/s)", n as f64 / (nanos * 1e-9))
@@ -193,6 +217,42 @@ where
         None => String::new(),
     };
     eprintln!("{name:<44} {}{rate}", format_nanos(nanos));
+}
+
+/// Append a `{"name": …, "median_ns": …}` JSON line to the
+/// `DQ_BENCH_JSON` file, if the knob is set. Failures are reported on
+/// stderr but never fail the bench run.
+fn record_json_line(name: &str, nanos: f64) {
+    let Some(path) = std::env::var_os("DQ_BENCH_JSON") else {
+        return;
+    };
+    append_json_line(std::path::Path::new(&path), name, nanos);
+}
+
+/// The env-free half of [`record_json_line`] (unit-testable without
+/// mutating process-global state).
+fn append_json_line(path: &std::path::Path, name: &str, nanos: f64) {
+    if nanos.is_nan() {
+        return;
+    }
+    use std::io::Write as _;
+    let escaped: String = name
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if c.is_control() => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect();
+    let line = format!("{{\"name\": \"{escaped}\", \"median_ns\": {nanos:.0}}}\n");
+    let result = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = result {
+        eprintln!("DQ_BENCH_JSON: cannot append to {}: {e}", path.display());
+    }
 }
 
 fn format_nanos(nanos: f64) -> String {
@@ -245,6 +305,20 @@ mod tests {
             b.iter(|| (0..n).product::<u64>())
         });
         group.finish();
+    }
+
+    #[test]
+    fn json_lines_are_appended_and_escaped() {
+        // Exercise the env-free half directly — mutating the real
+        // DQ_BENCH_JSON here would race the other tests' benchmark
+        // runs (record_json_line reads it on every finished bench).
+        let path = std::env::temp_dir().join(format!("dq-bench-json-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        append_json_line(&path, "group/bench \"x\"", 1234.6);
+        append_json_line(&path, "skipped", f64::NAN);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(text, "{\"name\": \"group/bench \\\"x\\\"\", \"median_ns\": 1235}\n");
     }
 
     #[test]

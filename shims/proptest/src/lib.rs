@@ -66,7 +66,7 @@ pub mod collection {
         VecStrategy { element, len: len.into() }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Clone, Debug)]
     pub struct VecStrategy<S> {
         element: S,

@@ -130,8 +130,8 @@ pub use dq_tdg as tdg;
 /// ```
 pub mod prelude {
     pub use dq_core::{
-        apply_corrections, propose_corrections, AuditConfig, AuditReport, Auditor, Correction,
-        Finding, StructureModel,
+        apply_corrections, corrections_to_csv, propose_corrections, AuditConfig, AuditReport,
+        Auditor, Correction, Finding, StructureModel,
     };
     pub use dq_eval::{Scale, Series, TestEnvironment};
     pub use dq_exec::WorkerPool;
@@ -139,6 +139,9 @@ pub mod prelude {
     pub use dq_mining::InducerKind;
     pub use dq_pollute::{pollute, Polluter, PollutionConfig, PollutionLog, PollutionStep};
     pub use dq_stats::{ConfusionMatrix, CorrectionMatrix, DistributionSpec};
-    pub use dq_table::{AttrType, Attribute, Schema, SchemaBuilder, Table, Value};
+    pub use dq_table::{
+        read_csv, read_schema, render_schema, write_csv, write_schema, AttrType, Attribute,
+        CsvChunkReader, Schema, SchemaBuilder, Table, Value,
+    };
     pub use dq_tdg::{GeneratedBenchmark, StartDistributions, TestDataGenerator};
 }

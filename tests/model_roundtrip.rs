@@ -1,0 +1,154 @@
+//! The train-once / audit-forever round-trip guarantee.
+//!
+//! For any workspace-generated dataset, `induce → save → load →
+//! detect_stream` — at any chunk size ≥ 1 and any thread count — must
+//! produce a report **byte-identical** to the in-memory `induce →
+//! detect` path. The comparison is literal: the rendered report CSV
+//! and corrections CSV bytes, plus the exact `f64` finding lists.
+//! CI runs this suite twice (default parallelism and `DQ_THREADS=1`),
+//! so the guarantee is pinned on both scheduling regimes.
+
+use data_audit::prelude::*;
+use dq_quis::{generate_quis, QuisConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Workspace-generated fixtures: a mixed-type TDG benchmark, a QUIS
+/// excerpt, and a numeric/date-heavy table.
+fn fixtures() -> Vec<(&'static str, Table)> {
+    let mixed = SchemaBuilder::new()
+        .nominal("color", ["red", "green", "blue", "grey"])
+        .nominal("shape", ["disc", "drum", "vent"])
+        .numeric("size", 0.0, 100.0)
+        .date_ymd("built", (1999, 1, 1), (2003, 12, 31))
+        .build()
+        .unwrap();
+    let mut rng = StdRng::seed_from_u64(91);
+    let tdg = TestDataGenerator::new(mixed, 10, 1800).generate(&mut rng);
+    let (tdg_dirty, _) = pollute(&tdg.clean, &PollutionConfig::standard(), &mut rng);
+
+    let quis = generate_quis(&QuisConfig::default().with_rows(4000), &mut rng);
+
+    let ordered = SchemaBuilder::new()
+        .nominal("x", ["lo", "hi"])
+        .numeric("n", 0.0, 100.0)
+        .date_ymd("d", (2000, 1, 1), (2010, 1, 1))
+        .build()
+        .unwrap();
+    let base = dq_table::date::days_from_civil(2001, 1, 1);
+    let mut t = Table::new(ordered);
+    for i in 0..1200 {
+        let (x, n) =
+            if i % 2 == 0 { (0, 10.0 + (i % 9) as f64) } else { (1, 80.0 + (i % 9) as f64) };
+        let d = if i % 13 == 0 { Value::Null } else { Value::Date(base + (i % 40) as i64) };
+        t.push_row(&[Value::Nominal(x), Value::Number(n), d]).unwrap();
+    }
+    t.push_row(&[Value::Nominal(0), Value::Number(97.0), Value::Date(base)]).unwrap();
+
+    vec![("tdg-mixed", tdg_dirty), ("quis", quis.dirty), ("ordered", t)]
+}
+
+/// Stream `table` through CSV bytes into `detect_stream`.
+fn stream_report(
+    auditor: &Auditor,
+    model: &StructureModel,
+    schema: Arc<Schema>,
+    csv: &[u8],
+    chunk_rows: usize,
+) -> AuditReport {
+    let reader = CsvChunkReader::new(schema, csv, chunk_rows).expect("valid header");
+    auditor.detect_stream(model, reader).expect("stream detection succeeds")
+}
+
+#[test]
+fn save_load_detect_stream_is_byte_identical_to_in_memory() {
+    for (name, table) in fixtures() {
+        let auditor = Auditor::default();
+        let model = auditor.induce(&table).unwrap();
+        let in_memory = auditor.detect(&model, &table);
+        let reference_report = in_memory.to_csv(table.schema());
+        let reference_corrections =
+            corrections_to_csv(&propose_corrections(&in_memory), table.schema());
+
+        // Persist the model and the data.
+        let mut model_bytes = Vec::new();
+        model.save(table.schema(), &mut model_bytes).unwrap();
+        let loaded = StructureModel::load(table.schema(), model_bytes.as_slice()).unwrap();
+        let mut csv = Vec::new();
+        write_csv(&table, &mut csv).unwrap();
+
+        for chunk_rows in [1, 7, 113, table.n_rows().max(1), usize::MAX / 2] {
+            for threads in [Some(1), Some(2), Some(5), None] {
+                let streaming = Auditor::new(AuditConfig { threads, ..AuditConfig::default() });
+                let report =
+                    stream_report(&streaming, &loaded, table.schema().clone(), &csv, chunk_rows);
+                assert_eq!(
+                    report.to_csv(table.schema()),
+                    reference_report,
+                    "{name}: report differs at chunk_rows={chunk_rows}, threads={threads:?}"
+                );
+                assert_eq!(
+                    corrections_to_csv(&propose_corrections(&report), table.schema()),
+                    reference_corrections,
+                    "{name}: corrections differ at chunk_rows={chunk_rows}, threads={threads:?}"
+                );
+                // Beyond the rendering: the exact floats and flags.
+                assert_eq!(report.findings, in_memory.findings, "{name}");
+                assert_eq!(report.record_confidence, in_memory.record_confidence, "{name}");
+                assert_eq!(report.n_suspicious(), in_memory.n_suspicious(), "{name}");
+            }
+        }
+    }
+}
+
+#[test]
+fn save_load_save_is_byte_stable_for_all_fixtures() {
+    for (name, table) in fixtures() {
+        let model = Auditor::default().induce(&table).unwrap();
+        let first = dq_core::render_model(&model, table.schema()).unwrap();
+        let loaded = StructureModel::load(table.schema(), first.as_bytes()).unwrap();
+        let second = dq_core::render_model(&loaded, table.schema()).unwrap();
+        assert_eq!(first, second, "{name}: model file must be a fixed point of save → load");
+        assert_eq!(loaded.render(table.schema()), model.render(table.schema()), "{name}");
+    }
+}
+
+#[test]
+fn detect_stream_on_in_memory_batches_matches_detect() {
+    // detect_stream is not tied to CSV: hand it the table's own chunks
+    // as owned batches and the merged report must still be identical.
+    let (_, table) = fixtures().remove(2);
+    let auditor = Auditor::default();
+    let model = auditor.induce(&table).unwrap();
+    let reference = auditor.detect(&model, &table);
+    for n_batches in [1, 3, 8] {
+        let batches: Vec<Result<Table, dq_table::TableError>> = table
+            .chunks(n_batches)
+            .into_iter()
+            .map(|c| table.select_rows(&c.rows().collect::<Vec<_>>()))
+            .collect();
+        let report = auditor.detect_stream(&model, batches).unwrap();
+        assert_eq!(report.findings, reference.findings, "n_batches={n_batches}");
+        assert_eq!(report.record_confidence, reference.record_confidence);
+    }
+}
+
+#[test]
+fn stream_errors_surface_with_location() {
+    let (_, table) = fixtures().remove(2);
+    let auditor = Auditor::default();
+    let model = auditor.induce(&table).unwrap();
+    let mut csv = String::new();
+    {
+        let mut buf = Vec::new();
+        write_csv(&table, &mut buf).unwrap();
+        csv.push_str(std::str::from_utf8(&buf).unwrap());
+    }
+    csv.push_str("hi,not-a-number,2001-01-01\n");
+    let reader = CsvChunkReader::new(table.schema().clone(), csv.as_bytes(), 64).unwrap();
+    let err = auditor.detect_stream(&model, reader).unwrap_err();
+    let shown = err.to_string();
+    assert!(shown.contains("column `n`"), "got {shown}");
+    assert!(shown.contains(&format!("line {}", table.n_rows() + 2)), "got {shown}");
+}
