@@ -58,5 +58,37 @@ fn detection_thread_scaling(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, detection_baseline, detection_quis, detection_thread_scaling);
+/// The flattened-tree columnar scan (PR 4's hot-path rewrite) against
+/// the retained row-at-a-time reference scan (per-row `Vec<Value>`
+/// materialization, boxed-node walks, a count allocation per
+/// prediction), single threaded so the measured gap is purely the
+/// layout change. Reports are byte-identical — pinned by
+/// `tests/columnar_equivalence.rs`.
+fn detection_flat(c: &mut Criterion) {
+    for (name, fixture, rows) in [
+        ("detection/flat/baseline-10k", baseline_fixture(10_000, 100, 42), 10_000u64),
+        ("detection/flat/quis-50k", quis_fixture(50_000, 42), 50_000),
+    ] {
+        let model = fixture.induce();
+        let auditor = Auditor::new(AuditConfig { threads: Some(1), ..AuditConfig::default() });
+        let mut group = c.benchmark_group(name);
+        group.throughput(Throughput::Elements(rows));
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::from_parameter("reference"), &auditor, |b, a| {
+            b.iter(|| a.detect_reference(&model, &fixture.dirty))
+        });
+        group.bench_with_input(BenchmarkId::from_parameter("flat"), &auditor, |b, a| {
+            b.iter(|| a.detect(&model, &fixture.dirty))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(
+    benches,
+    detection_baseline,
+    detection_quis,
+    detection_flat,
+    detection_thread_scaling
+);
 criterion_main!(benches);

@@ -56,5 +56,36 @@ fn induction_thread_scaling(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, induction_baseline, induction_quis, induction_thread_scaling);
+/// The columnar **presorted** induction (PR 4's hot-path rewrite)
+/// against the retained row-at-a-time reference implementation, single
+/// threaded so the measured gap is purely the algorithmic/layout change
+/// (per-node re-sorts and `Value` cell access vs one-off presort and
+/// dense columns). Outputs are byte-identical — pinned by
+/// `tests/columnar_equivalence.rs`; this measures the wall-clock side.
+fn induction_presort(c: &mut Criterion) {
+    for (name, fixture, rows) in [
+        ("induction/presort/baseline-10k", baseline_fixture(10_000, 100, 42), 10_000u64),
+        ("induction/presort/quis-50k", quis_fixture(50_000, 42), 50_000),
+    ] {
+        let auditor = Auditor::new(AuditConfig { threads: Some(1), ..AuditConfig::default() });
+        let mut group = c.benchmark_group(name);
+        group.throughput(Throughput::Elements(rows));
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::from_parameter("reference"), &auditor, |b, a| {
+            b.iter(|| a.induce_reference(&fixture.dirty).expect("fixture tables are auditable"))
+        });
+        group.bench_with_input(BenchmarkId::from_parameter("presorted"), &auditor, |b, a| {
+            b.iter(|| a.induce(&fixture.dirty).expect("fixture tables are auditable"))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(
+    benches,
+    induction_baseline,
+    induction_quis,
+    induction_presort,
+    induction_thread_scaling
+);
 criterion_main!(benches);

@@ -70,10 +70,11 @@ impl AssociationAuditor {
         let mut findings = Vec::new();
         let mut record_confidence = vec![0.0f64; table.n_rows()];
         let mut record: Vec<Value> = Vec::with_capacity(table.n_cols());
+        let mut coded = Vec::with_capacity(table.n_cols());
         #[allow(clippy::needless_range_loop)] // row indexes the table, not just the vec
         for row in 0..table.n_rows() {
             table.row_into(row, &mut record);
-            let coded = miner.code_record(&record);
+            miner.code_record_into(&record, &mut coded);
             let mut score = 0.0f64;
             let mut best: Option<&dq_mining::AssociationRule> = None;
             for rule in miner.violated(&coded) {

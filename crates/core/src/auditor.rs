@@ -17,7 +17,10 @@ use crate::confidence::{min_instances_for_confidence, null_error_confidence};
 use crate::error::AuditError;
 use crate::report::{AuditReport, Finding};
 use dq_exec::WorkerPool;
-use dq_mining::{C45Inducer, ClassSpec, Classifier, InducerKind, TrainingSet, TreeRule};
+use dq_mining::{
+    C45Inducer, ClassSpec, Classifier, FlatTree, InducerKind, TableCache, TrainingSet, TreeRule,
+};
+use dq_stats::argmax;
 use dq_table::{AttrIdx, AttrType, RowSlice, Schema, Table, Value};
 
 /// Configuration of the auditing tool.
@@ -111,6 +114,33 @@ pub struct AttrModel {
     pub rules: Vec<TreeRule>,
     /// Leaves removed by the rule-deletion step.
     pub deleted_rules: usize,
+    /// The flattened evaluator compiled from a C4.5 tree at
+    /// construction time (`None` for other classifier families) —
+    /// what [`Auditor::detect`] classifies through.
+    flat: Option<FlatTree>,
+}
+
+impl AttrModel {
+    /// Assemble a dependency model, compiling the classifier into its
+    /// flat detection form when it is a C4.5 tree. Every model — from
+    /// [`Auditor::induce`] or from a persisted file — is built through
+    /// here, so detection always has the flat evaluator available.
+    pub fn new(
+        class_attr: AttrIdx,
+        spec: ClassSpec,
+        classifier: Box<dyn Classifier>,
+        rules: Vec<TreeRule>,
+        deleted_rules: usize,
+    ) -> Self {
+        let flat = classifier.as_c45().map(FlatTree::from_tree);
+        AttrModel { class_attr, spec, classifier, rules, deleted_rules, flat }
+    }
+
+    /// The flattened tree evaluator, when the classifier is a C4.5
+    /// tree.
+    pub fn flat_tree(&self) -> Option<&FlatTree> {
+        self.flat.as_ref()
+    }
 }
 
 impl std::fmt::Debug for AttrModel {
@@ -188,6 +218,20 @@ impl Auditor {
     /// across [`AuditConfig::threads`] workers; results come back in
     /// audited-attribute order and are identical to a serial run.
     pub fn induce(&self, table: &Table) -> Result<StructureModel, AuditError> {
+        self.induce_impl(table, false)
+    }
+
+    /// Reference structure induction: identical to [`Auditor::induce`]
+    /// but running the pre-columnar row-at-a-time C4.5 recursion
+    /// ([`C45Inducer::induce_tree_reference`]). Kept as the ground
+    /// truth of the columnar-equivalence property suite and as the
+    /// "before" side of the `induction/presort` benchmarks; the
+    /// returned model is byte-identical to [`Auditor::induce`]'s.
+    pub fn induce_reference(&self, table: &Table) -> Result<StructureModel, AuditError> {
+        self.induce_impl(table, true)
+    }
+
+    fn induce_impl(&self, table: &Table, reference: bool) -> Result<StructureModel, AuditError> {
         self.config.validate()?;
         if table.is_empty() {
             return Err(AuditError::EmptyTable);
@@ -204,11 +248,17 @@ impl Auditor {
             Some(list) => list.clone(),
             None => (0..table.n_cols()).collect(),
         };
+        // One table-level column cache (widened payloads + presorts)
+        // shared by every per-attribute induction.
+        let cache = match &self.config.inducer {
+            InducerKind::C45(_) if !reference => Some(TableCache::build(table)),
+            _ => None,
+        };
         let pool = WorkerPool::from_config(self.config.threads);
         let models = pool
             .map_indexed(&audited, |_, &class_attr| {
                 let train = self.training_set(table, class_attr)?;
-                self.induce_one(&train, class_attr, min_inst)
+                self.induce_one(&train, class_attr, min_inst, reference, cache.as_ref())
             })
             .into_iter()
             .collect::<Result<Vec<AttrModel>, AuditError>>()?;
@@ -238,6 +288,8 @@ impl Auditor {
         train: &TrainingSet<'_>,
         class_attr: AttrIdx,
         min_inst: f64,
+        reference: bool,
+        cache: Option<&TableCache>,
     ) -> Result<AttrModel, AuditError> {
         let wrap = |source| AuditError::Induction { class_attr, source };
         match &self.config.inducer {
@@ -247,30 +299,25 @@ impl Auditor {
                 if self.config.derive_min_inst {
                     cfg.min_inst = min_inst;
                 }
-                let mut tree = C45Inducer::new(cfg).induce_tree(train).map_err(wrap)?;
+                let inducer = C45Inducer::new(cfg);
+                let mut tree = if reference {
+                    inducer.induce_tree_reference(train).map_err(wrap)?
+                } else if let Some(cache) = cache {
+                    inducer.induce_tree_cached(train, cache).map_err(wrap)?
+                } else {
+                    inducer.induce_tree(train).map_err(wrap)?
+                };
                 let deleted = if self.config.delete_undetecting_rules {
                     tree.disable_undetecting_leaves(self.config.min_confidence)
                 } else {
                     0
                 };
                 let rules = tree.to_rules();
-                Ok(AttrModel {
-                    class_attr,
-                    spec: train.spec.clone(),
-                    classifier: Box::new(tree),
-                    rules,
-                    deleted_rules: deleted,
-                })
+                Ok(AttrModel::new(class_attr, train.spec.clone(), Box::new(tree), rules, deleted))
             }
             other => {
                 let classifier = other.build().induce(train).map_err(wrap)?;
-                Ok(AttrModel {
-                    class_attr,
-                    spec: train.spec.clone(),
-                    classifier,
-                    rules: Vec::new(),
-                    deleted_rules: 0,
-                })
+                Ok(AttrModel::new(class_attr, train.spec.clone(), classifier, Vec::new(), 0))
             }
         }
     }
@@ -284,10 +331,24 @@ impl Auditor {
     /// order, so the result is identical at every thread count. An
     /// empty table yields an empty, well-formed report.
     pub fn detect(&self, model: &StructureModel, table: &Table) -> AuditReport {
+        self.detect_impl(model, table, scan_chunk)
+    }
+
+    /// Reference deviation detection: identical to [`Auditor::detect`]
+    /// but scanning row-at-a-time through materialized `Vec<Value>`
+    /// records and the boxed [`Node`](dq_mining::Node) trees. Kept as
+    /// the ground truth of the columnar-equivalence property suite and
+    /// as the "before" side of the `detection/flat` benchmarks; the
+    /// returned report is byte-identical to [`Auditor::detect`]'s.
+    pub fn detect_reference(&self, model: &StructureModel, table: &Table) -> AuditReport {
+        self.detect_impl(model, table, scan_chunk_reference)
+    }
+
+    fn detect_impl(&self, model: &StructureModel, table: &Table, scan: ScanFn) -> AuditReport {
         let cfg = &model.config;
         let pool = WorkerPool::from_config(self.config.threads);
         let chunks = table.chunks(pool.threads());
-        let partials = pool.map_indexed(&chunks, |_, chunk| scan_chunk(model, chunk));
+        let partials = pool.map_indexed(&chunks, |_, chunk| scan(model, chunk));
         let mut findings = Vec::new();
         let mut record_confidence = Vec::with_capacity(table.n_rows());
         for (chunk_findings, chunk_confidence) in partials {
@@ -351,13 +412,99 @@ impl Auditor {
     }
 }
 
+/// A chunk scanner: the columnar [`scan_chunk`] or the reference
+/// [`scan_chunk_reference`].
+type ScanFn = fn(&StructureModel, &RowSlice<'_>) -> (Vec<Finding>, Vec<f64>);
+
 /// Scan one row chunk against the structure model, returning the
 /// chunk's findings (global row indices) and its per-row overall error
-/// confidences (Def. 8), in row order. This is the serial inner loop of
-/// [`Auditor::detect`], unchanged — sharding happens strictly at chunk
-/// granularity so the per-row arithmetic is bit-identical to the legacy
-/// single-threaded scan.
+/// confidences (Def. 8), in row order. Sharding happens strictly at
+/// chunk granularity, so the per-row arithmetic is bit-identical at
+/// every thread count.
+///
+/// This is the **columnar** inner loop: C4.5 models classify through
+/// their compiled [`FlatTree`]s straight off the table's typed columns
+/// into one reused class-count buffer — no per-row `Vec<Value>`
+/// materialization, no per-prediction allocation. A full row record is
+/// materialized only when a non-C4.5 model (which takes whole records)
+/// is present. The per-finding arithmetic is unchanged from
+/// [`scan_chunk_reference`], so reports are byte-identical.
 fn scan_chunk(model: &StructureModel, chunk: &RowSlice<'_>) -> (Vec<Finding>, Vec<f64>) {
+    let cfg = &model.config;
+    let table = chunk.table();
+    let mut findings = Vec::new();
+    let mut confidences = Vec::with_capacity(chunk.len());
+    // Per-model facts hoisted out of the row loop (the class-card
+    // lookup is a virtual call; rows × models of them add up).
+    let prepared: Vec<(&AttrModel, usize, Option<&dq_mining::FlatTree>)> = model
+        .models
+        .iter()
+        .map(|m| (m, m.classifier.class_card() as usize, m.flat_tree()))
+        .collect();
+    let max_card = prepared.iter().map(|&(_, card, _)| card).max().unwrap_or(0);
+    let mut acc = vec![0.0f64; max_card];
+    // One typed-cell row buffer shared by every model's tree walk (the
+    // cells are fetched once per row); a full `Value` record exists
+    // only when a non-C4.5 model (which takes whole records) is
+    // present.
+    let mut cells: Vec<dq_table::TypedCell> = Vec::with_capacity(table.n_cols());
+    let needs_record = prepared.iter().any(|&(_, _, flat)| flat.is_none());
+    let mut record: Vec<Value> = Vec::with_capacity(if needs_record { table.n_cols() } else { 0 });
+    for row in chunk.rows() {
+        table.typed_row_into(row, &mut cells);
+        if needs_record {
+            table.row_into(row, &mut record);
+        }
+        let mut row_confidence = 0.0f64;
+        for &(m, card, flat) in &prepared {
+            let boxed_prediction;
+            let counts: &[f64] = match flat {
+                Some(flat) => flat.classify_cells(&cells, &mut acc[..card]),
+                None => {
+                    boxed_prediction = m.classifier.predict(&record);
+                    &boxed_prediction.counts
+                }
+            };
+            let support: f64 = counts.iter().sum();
+            if support <= 0.0 {
+                continue;
+            }
+            let confidence = match m.spec.code_of_cell(cells[m.class_attr]) {
+                Some(code) => dq_stats::error_confidence(counts, code as usize, cfg.level),
+                None if cfg.flag_nulls => null_error_confidence(counts, cfg.level),
+                None => 0.0,
+            };
+            if confidence <= 0.0 {
+                continue;
+            }
+            row_confidence = row_confidence.max(confidence);
+            if confidence >= cfg.min_confidence {
+                let predicted_code = argmax(counts) as u32;
+                findings.push(Finding {
+                    row,
+                    attr: m.class_attr,
+                    observed: table.get(row, m.class_attr),
+                    proposed: materialize_class(
+                        table.schema(),
+                        m.class_attr,
+                        &m.spec,
+                        predicted_code,
+                    ),
+                    confidence,
+                    support,
+                });
+            }
+        }
+        confidences.push(row_confidence);
+    }
+    (findings, confidences)
+}
+
+/// The pre-flattening inner loop: every row materialized into a
+/// `Vec<Value>` record, every model classified through its boxed
+/// [`Node`](dq_mining::Node) tree with a fresh count allocation per
+/// prediction. Ground truth for [`scan_chunk`]'s byte-identity.
+fn scan_chunk_reference(model: &StructureModel, chunk: &RowSlice<'_>) -> (Vec<Finding>, Vec<f64>) {
     let cfg = &model.config;
     let table = chunk.table();
     let mut findings = Vec::new();
@@ -651,6 +798,56 @@ mod tests {
                 other => panic!("expected induction error for attribute 9, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn columnar_paths_are_byte_identical_to_reference_paths() {
+        // Mixed-type table: nominal dependency + numeric class + NULLs.
+        let schema = SchemaBuilder::new()
+            .nominal("x", ["lo", "hi"])
+            .numeric("n", 0.0, 100.0)
+            .nominal("z", ["a", "b", "c"])
+            .build()
+            .unwrap();
+        let mut t = Table::new(schema);
+        for i in 0..1500 {
+            let (x, n) =
+                if i % 2 == 0 { (0, 10.0 + (i % 9) as f64) } else { (1, 80.0 + (i % 9) as f64) };
+            let z = if i % 13 == 0 { Value::Null } else { Value::Nominal((i % 3) as u32) };
+            t.push_row(&[Value::Nominal(x), Value::Number(n), z]).unwrap();
+        }
+        t.push_row(&[Value::Nominal(0), Value::Number(95.0), Value::Nominal(0)]).unwrap();
+        let auditor = Auditor::default();
+        let model = auditor.induce(&t).unwrap();
+        let reference_model = auditor.induce_reference(&t).unwrap();
+        assert_eq!(
+            crate::model_io::render_model(&model, t.schema()).unwrap(),
+            crate::model_io::render_model(&reference_model, t.schema()).unwrap(),
+            "presorted induction must serialize identically to the reference"
+        );
+        let report = auditor.detect(&model, &t);
+        let reference_report = auditor.detect_reference(&reference_model, &t);
+        assert_eq!(report.findings, reference_report.findings);
+        for (a, b) in report.record_confidence.iter().zip(&reference_report.record_confidence) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn non_c45_models_detect_without_flat_trees() {
+        // The columnar scan must fall back to whole-record prediction
+        // for classifier families without a flat compilation.
+        let t = anecdote(2000, 400);
+        let auditor = Auditor::new(AuditConfig {
+            inducer: InducerKind::NaiveBayes,
+            ..AuditConfig::default()
+        });
+        let model = auditor.induce(&t).unwrap();
+        assert!(model.models.iter().all(|m| m.flat_tree().is_none()));
+        let report = auditor.detect(&model, &t);
+        let reference = auditor.detect_reference(&model, &t);
+        assert_eq!(report.findings, reference.findings);
+        assert_eq!(report.record_confidence, reference.record_confidence);
     }
 
     #[test]

@@ -28,19 +28,31 @@ pub struct Correction {
 /// Derive one correction per flagged row: the highest-confidence
 /// finding wins (its classifier is "the classifier with the highest
 /// error confidence" for that record).
+///
+/// The findings arrive ranked by descending confidence (with the same
+/// tiebreaks `AuditReport::best_finding_for` resolves by), so a single
+/// pass taking each row's *first* finding selects exactly the per-row
+/// winners — O(findings) instead of the former per-suspicious-row
+/// rescan of the whole finding list, with byte-identical output (a row
+/// is flagged iff it has a finding, both gated on the same
+/// `min_confidence`).
 pub fn propose_corrections(report: &AuditReport) -> Vec<Correction> {
+    let mut taken = vec![false; report.n_rows()];
     let mut out = Vec::new();
-    for row in report.suspicious_rows() {
-        if let Some(f) = report.best_finding_for(row) {
-            out.push(Correction {
-                row,
-                attr: f.attr,
-                old: f.observed,
-                new: f.proposed,
-                confidence: f.confidence,
-            });
+    for f in &report.findings {
+        if taken[f.row] {
+            continue;
         }
+        taken[f.row] = true;
+        out.push(Correction {
+            row: f.row,
+            attr: f.attr,
+            old: f.observed,
+            new: f.proposed,
+            confidence: f.confidence,
+        });
     }
+    out.sort_by_key(|c| c.row);
     out
 }
 

@@ -533,7 +533,9 @@ fn parse_attr_model<R: BufRead>(
     }
     let tree = DecisionTree::from_parts(root, spec.card(), class_attr, level);
     let rules = tree.to_rules();
-    Ok(AttrModel { class_attr, spec, rules, deleted_rules, classifier: Box::new(tree) })
+    // AttrModel::new compiles the flat evaluator here, at load time —
+    // a loaded model detects at the same speed as a freshly induced one.
+    Ok(AttrModel::new(class_attr, spec, Box::new(tree), rules, deleted_rules))
 }
 
 fn parse_class_spec<R: BufRead>(

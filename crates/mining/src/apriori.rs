@@ -207,11 +207,19 @@ impl Apriori {
 
     /// Code a record under the miner's attribute coding.
     pub fn code_record(&self, record: &[Value]) -> Vec<Option<Item>> {
-        record
-            .iter()
-            .enumerate()
-            .map(|(a, v)| self.coders[a].code_of(v).map(|c| item(a, c)))
-            .collect()
+        let mut coded = Vec::with_capacity(record.len());
+        self.code_record_into(record, &mut coded);
+        coded
+    }
+
+    /// [`Apriori::code_record`] into a caller-provided buffer — the
+    /// association auditor codes every row of the audited table, so
+    /// its scan reuses one buffer instead of allocating per record.
+    pub fn code_record_into(&self, record: &[Value], coded: &mut Vec<Option<Item>>) {
+        coded.clear();
+        coded.extend(
+            record.iter().enumerate().map(|(a, v)| self.coders[a].code_of(v).map(|c| item(a, c))),
+        );
     }
 
     /// Hipp-style deviation score: the **sum of the confidences of all

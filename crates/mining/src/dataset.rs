@@ -49,6 +49,23 @@ impl ClassSpec {
         }
     }
 
+    /// Class code of a typed cell — exactly [`ClassSpec::code_of`] on
+    /// the cell's `Value`, minus the enum round-trip (the detection
+    /// scan codes the observed class straight off a cached typed row).
+    #[inline]
+    pub fn code_of_cell(&self, cell: dq_table::TypedCell) -> Option<u32> {
+        match self {
+            ClassSpec::Nominal { card } => match cell.as_nominal() {
+                Some(c) if c < *card => Some(c),
+                // Out-of-domain codes are clamped into the last class,
+                // like `code_of` clamps them.
+                Some(_) => Some(card.saturating_sub(1)),
+                None => None,
+            },
+            ClassSpec::Binned { binning } => cell.as_numeric().map(|x| binning.bin_of(x)),
+        }
+    }
+
     /// Human-readable label of a class code under `schema`.
     pub fn label_of(&self, schema: &dq_table::Schema, attr: AttrIdx, code: u32) -> String {
         match self {
@@ -79,6 +96,10 @@ pub struct TrainingSet<'a> {
     pub class_codes: Vec<Option<u32>>,
     /// Rows usable for training (non-NULL class).
     pub rows: Vec<RowIdx>,
+    /// Dense, pre-validated class codes, parallel to [`TrainingSet::rows`]
+    /// — `codes[i]` is the class code of `rows[i]`. Hot loops index this
+    /// instead of re-unwrapping [`TrainingSet::class_codes`].
+    pub codes: Vec<u32>,
 }
 
 impl<'a> TrainingSet<'a> {
@@ -116,17 +137,19 @@ impl<'a> TrainingSet<'a> {
         };
         let mut class_codes = Vec::with_capacity(table.n_rows());
         let mut rows = Vec::new();
+        let mut codes = Vec::new();
         for r in 0..table.n_rows() {
             let code = spec.code_of(&table.get(r, class_attr));
-            if code.is_some() {
+            if let Some(c) = code {
                 rows.push(r);
+                codes.push(c);
             }
             class_codes.push(code);
         }
         if rows.is_empty() {
             return Err(MiningError::EmptyTrainingSet);
         }
-        Ok(TrainingSet { table, class_attr, base_attrs, spec, class_codes, rows })
+        Ok(TrainingSet { table, class_attr, base_attrs, spec, class_codes, rows, codes })
     }
 
     /// Number of class codes.
@@ -137,10 +160,8 @@ impl<'a> TrainingSet<'a> {
     /// Class counts over the training rows (weighted 1 each).
     pub fn class_counts(&self) -> Vec<f64> {
         let mut counts = vec![0.0; self.class_card() as usize];
-        for &r in &self.rows {
-            if let Some(c) = self.class_codes[r] {
-                counts[c as usize] += 1.0;
-            }
+        for &c in &self.codes {
+            counts[c as usize] += 1.0;
         }
         counts
     }
@@ -205,11 +226,42 @@ mod tests {
     }
 
     #[test]
+    fn dense_codes_parallel_the_training_rows() {
+        let t = table();
+        let ts = TrainingSet::full(&t, 0, 4).unwrap();
+        assert_eq!(ts.codes.len(), ts.rows.len());
+        for (&r, &c) in ts.rows.iter().zip(&ts.codes) {
+            assert_eq!(ts.class_codes[r], Some(c));
+        }
+    }
+
+    #[test]
     fn out_of_domain_nominal_codes_are_clamped() {
         let spec = ClassSpec::Nominal { card: 3 };
         assert_eq!(spec.code_of(&Value::Nominal(1)), Some(1));
         assert_eq!(spec.code_of(&Value::Nominal(9)), Some(2));
         assert_eq!(spec.code_of(&Value::Null), None);
+    }
+
+    #[test]
+    fn cell_coding_matches_value_coding() {
+        let t = table();
+        for class_attr in [0usize, 1] {
+            let ts = TrainingSet::full(&t, class_attr, 3).unwrap();
+            let mut cells = Vec::new();
+            for r in 0..t.n_rows() {
+                t.typed_row_into(r, &mut cells);
+                assert_eq!(
+                    ts.spec.code_of_cell(cells[class_attr]),
+                    ts.spec.code_of(&t.get(r, class_attr)),
+                    "row {r}, class {class_attr}"
+                );
+            }
+        }
+        // Clamping applies to cells too.
+        let spec = ClassSpec::Nominal { card: 3 };
+        assert_eq!(spec.code_of_cell(dq_table::TypedCell::Nominal(Some(9))), Some(2));
+        assert_eq!(spec.code_of_cell(dq_table::TypedCell::Nominal(None)), None);
     }
 
     #[test]

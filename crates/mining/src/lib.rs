@@ -21,6 +21,13 @@
 //!   error pruning) with the paper's data-auditing adjustments
 //!   (minInst pre-pruning, integrated expected-error-confidence
 //!   pruning, tree→rule-set transformation);
+//! * [`columns`] — the dense columnar cache of a training set (typed
+//!   arrays, null masks, dense class codes, one-off presorted ordered
+//!   attributes) that the C4.5 induction recursion runs on;
+//! * [`flat`] — the contiguous array-of-structs compilation of an
+//!   induced tree that deviation detection classifies through,
+//!   byte-identical to the boxed tree but allocation- and
+//!   pointer-chase-free;
 //! * [`naive_bayes`], [`knn`], [`oner`], [`zeror`] — the alternative
 //!   inducer families the paper evaluated for the QUIS domain
 //!   ("instance based classifiers, naive Bayes classifiers,
@@ -30,8 +37,10 @@
 
 pub mod apriori;
 pub mod classifier;
+pub mod columns;
 pub mod dataset;
 pub mod error;
+pub mod flat;
 pub mod knn;
 pub mod naive_bayes;
 pub mod oner;
@@ -40,8 +49,10 @@ pub mod zeror;
 
 pub use apriori::{Apriori, AprioriConfig, AssociationRule};
 pub use classifier::{Classifier, Inducer, InducerKind, Prediction};
+pub use columns::{BaseColumn, ColumnarTraining, TableCache};
 pub use dataset::{ClassSpec, TrainingSet};
 pub use error::MiningError;
+pub use flat::FlatTree;
 pub use knn::KnnInducer;
 pub use naive_bayes::NaiveBayesInducer;
 pub use oner::OneRInducer;

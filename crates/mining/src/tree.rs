@@ -25,15 +25,16 @@
 //!   all rules that are not useful for error detection".
 
 use crate::classifier::{Classifier, Inducer, Prediction};
+use crate::columns::{BaseColumn, ColumnarTraining, TableCache};
 use crate::dataset::TrainingSet;
 use crate::error::MiningError;
-use dq_stats::{argmax, expected_error_confidence, info_gain, max_error_confidence};
+use dq_stats::{argmax, expected_error_confidence, max_error_confidence};
 use dq_table::{AttrIdx, AttrType, Schema, Value};
 
 /// Instances lighter than this are dropped when partitioning; repeated
 /// fractional distribution otherwise produces dust that costs time and
 /// adds nothing to any count.
-const MIN_WEIGHT: f64 = 1e-6;
+pub(crate) const MIN_WEIGHT: f64 = 1e-6;
 
 /// Pruning strategy.
 ///
@@ -641,34 +642,79 @@ impl C45Inducer {
     }
 
     /// Induce a typed [`DecisionTree`] (the trait method boxes it).
+    ///
+    /// This is the **columnar presorted** induction: a
+    /// [`ColumnarTraining`] cache is built once, every ordered base
+    /// attribute is sorted once, and the recursion threads stably
+    /// partitioned sorted index slices downwards (SLIQ/SPRINT style),
+    /// so the per-node threshold search is O(n) instead of
+    /// O(n log n). The induced tree is **byte-identical** to
+    /// [`C45Inducer::induce_tree_reference`] — every float is produced
+    /// by the same operations in the same order; only the data layout
+    /// changed.
     pub fn induce_tree(&self, train: &TrainingSet<'_>) -> Result<DecisionTree, MiningError> {
+        self.induce_tree_impl(train, None)
+    }
+
+    /// [`C45Inducer::induce_tree`] against a shared [`TableCache`] —
+    /// the multiple classification / regression auditor induces one
+    /// tree per attribute of one table, and the cache lets the
+    /// per-attribute inductions share the table-level column widening
+    /// and presorts instead of redoing them per class attribute. The
+    /// induced tree is identical either way.
+    pub fn induce_tree_cached(
+        &self,
+        train: &TrainingSet<'_>,
+        cache: &TableCache,
+    ) -> Result<DecisionTree, MiningError> {
+        self.induce_tree_impl(train, Some(cache))
+    }
+
+    fn induce_tree_impl(
+        &self,
+        train: &TrainingSet<'_>,
+        cache: Option<&TableCache>,
+    ) -> Result<DecisionTree, MiningError> {
         self.config.validate()?;
-        let card = train.class_card() as usize;
+        let ctx = InductionContext::new(train, &self.config, cache);
+        let root_set = NodeSet::root(&ctx);
+        let mut scratch = Scratch::new(ctx.card);
+        let root = grow(&ctx, &mut scratch, root_set, 0);
+        Ok(self.finish_tree(train, root))
+    }
+
+    /// Reference implementation: the pre-columnar row-at-a-time
+    /// induction, which re-sorts every ordered attribute at every tree
+    /// node and reads cells through [`dq_table::Table::get`]. Kept —
+    /// unoptimized on purpose — as the ground truth the equivalence
+    /// property suite pins [`C45Inducer::induce_tree`] against, and as
+    /// the "before" side of the `induction/presort` benchmarks.
+    pub fn induce_tree_reference(
+        &self,
+        train: &TrainingSet<'_>,
+    ) -> Result<DecisionTree, MiningError> {
+        self.config.validate()?;
+        let ctx = InductionContext::reference(train, &self.config);
         let mut instances: Vec<(usize, f64)> = Vec::with_capacity(train.rows.len());
         for &r in &train.rows {
             instances.push((r, 1.0));
         }
-        let ctx = InductionContext {
-            train,
-            card,
-            cfg: &self.config,
-            attr_types: train
-                .base_attrs
-                .iter()
-                .map(|&a| train.table.schema().attr(a).ty.clone())
-                .collect(),
-        };
-        let root = grow(&ctx, instances, 0);
+        let root = grow_reference(&ctx, instances, 0);
+        Ok(self.finish_tree(train, root))
+    }
+
+    /// Shared post-construction steps (tree assembly, post-pruning).
+    fn finish_tree(&self, train: &TrainingSet<'_>, root: Node) -> DecisionTree {
         let mut tree = DecisionTree {
             root,
-            class_card: card as u32,
+            class_card: train.class_card(),
             class_attr: train.class_attr,
             level: self.config.level,
         };
         if self.config.pruning == Pruning::PessimisticError {
             prune_pessimistic(&mut tree.root, self.config.level);
         }
-        Ok(tree)
+        tree
     }
 }
 
@@ -688,13 +734,96 @@ struct InductionContext<'a, 'b> {
     cfg: &'a C45Config,
     /// Types of the base attributes, parallel to `train.base_attrs`.
     attr_types: Vec<AttrType>,
+    /// The dense columnar cache (class codes, typed base columns,
+    /// presorted ordered-attribute row indices).
+    cols: ColumnarTraining,
+    /// For each base attribute position: its index into the per-node
+    /// sorted lists (`None` for nominal attributes, which need none).
+    ordered_idx: Vec<Option<usize>>,
+    /// `(attr_pos, card_attr, offset)` of every nominal base attribute:
+    /// the layout of the node-level single-pass count accumulation
+    /// (offsets into one flat `Σ card_attr × card` scratch matrix).
+    nominal_layout: Vec<(usize, usize, usize)>,
+    /// Total length of that flat matrix.
+    nominal_len: usize,
 }
 
-impl InductionContext<'_, '_> {
-    fn class_of(&self, row: usize) -> u32 {
-        self.train.class_codes[row].expect("training instances have a class")
+impl<'a, 'b> InductionContext<'a, 'b> {
+    fn new(train: &'a TrainingSet<'b>, cfg: &'a C45Config, cache: Option<&TableCache>) -> Self {
+        let cols = ColumnarTraining::build_with(train, cache);
+        let mut next_ordered = 0usize;
+        let ordered_idx = cols
+            .attrs
+            .iter()
+            .map(|c| match c {
+                BaseColumn::Ordered { .. } => {
+                    next_ordered += 1;
+                    Some(next_ordered - 1)
+                }
+                BaseColumn::Nominal { .. } => None,
+            })
+            .collect();
+        let card = train.class_card() as usize;
+        let mut nominal_layout = Vec::new();
+        let mut nominal_len = 0usize;
+        for (pos, col) in cols.attrs.iter().enumerate() {
+            if let BaseColumn::Nominal { card: card_attr, .. } = col {
+                nominal_layout.push((pos, *card_attr, nominal_len));
+                nominal_len += card_attr * card;
+            }
+        }
+        InductionContext {
+            train,
+            card,
+            cfg,
+            attr_types: train
+                .base_attrs
+                .iter()
+                .map(|&a| train.table.schema().attr(a).ty.clone())
+                .collect(),
+            cols,
+            ordered_idx,
+            nominal_layout,
+            nominal_len,
+        }
     }
 
+    /// Context for the row-at-a-time reference recursion: only the
+    /// dense class codes are materialized — the reference path reads
+    /// cells through [`dq_table::Table::get`], so building the typed
+    /// columns and presorts here would charge the columnar setup cost
+    /// to the "before" side of the presort benchmarks.
+    fn reference(train: &'a TrainingSet<'b>, cfg: &'a C45Config) -> Self {
+        let n_rows = train.table.n_rows();
+        let mut class_codes = vec![crate::columns::NULL_CODE; n_rows];
+        for (&r, &c) in train.rows.iter().zip(&train.codes) {
+            class_codes[r] = c;
+        }
+        InductionContext {
+            train,
+            card: train.class_card() as usize,
+            cfg,
+            attr_types: train
+                .base_attrs
+                .iter()
+                .map(|&a| train.table.schema().attr(a).ty.clone())
+                .collect(),
+            cols: ColumnarTraining { class_codes, attrs: Vec::new() },
+            ordered_idx: Vec::new(),
+            nominal_layout: Vec::new(),
+            nominal_len: 0,
+        }
+    }
+
+    /// Class code of a training row — dense, pre-validated, no
+    /// per-access unwrap.
+    #[inline]
+    fn class_of(&self, row: usize) -> u32 {
+        self.cols.class_codes[row]
+    }
+
+    /// Cell access through the table (reference path only; the
+    /// columnar path reads `self.cols` instead).
     fn value(&self, row: usize, attr: AttrIdx) -> Value {
         self.train.table.get(row, attr)
     }
@@ -715,42 +844,718 @@ struct CandidateSplit {
     kind: SplitKind,
     gain: f64,
     gain_ratio: f64,
-    /// Class counts per branch (known instances only).
-    branch_counts: Vec<Vec<f64>>,
+    /// Total known instance weight per branch (the per-branch sums of
+    /// the class counts the candidate was scored on — all a chosen
+    /// split still needs, for its missing-value routing fractions).
+    branch_sizes: Vec<f64>,
 }
 
-fn grow(ctx: &InductionContext, instances: Vec<(usize, f64)>, depth: usize) -> Node {
-    let counts = class_counts(ctx, &instances);
+/// Shared stopping rules: `Some(leaf)` when the node must not be
+/// partitioned further.
+fn stop_as_leaf(ctx: &InductionContext, counts: &[f64], depth: usize) -> bool {
     let total: f64 = counts.iter().sum();
     let max_class = counts.iter().cloned().fold(0.0, f64::max);
-
-    // Stopping rules: pure node, too small to split, depth bound, or
-    // minInst pre-pruning (no partition can keep min_inst instances of
-    // one class if this node already has fewer).
+    // Pure node, too small to split, depth bound, or minInst
+    // pre-pruning (no partition can keep min_inst instances of one
+    // class if this node already has fewer).
     let pure = counts.iter().filter(|&&c| c > 0.0).count() <= 1;
-    if pure
-        || total < ctx.cfg.min_split
+    pure || total < ctx.cfg.min_split
         || depth + 1 >= ctx.cfg.max_depth
         || (ctx.cfg.min_inst > 0.0 && max_class < ctx.cfg.min_inst)
-    {
+}
+
+/// Missing-value routing fractions over the known branch weights.
+fn branch_fractions(branch_sizes: &[f64]) -> Vec<f64> {
+    let known: f64 = branch_sizes.iter().sum();
+    if known > 0.0 {
+        branch_sizes.iter().map(|w| w / known).collect()
+    } else {
+        vec![1.0 / branch_sizes.len() as f64; branch_sizes.len()]
+    }
+}
+
+/// Integrated pruning (sec. 5.4), applied to a freshly built subtree —
+/// see the [`Pruning`] discussion for why the default compares
+/// threshold-aware values. Shared verbatim by the columnar and the
+/// reference recursion, so their trees cannot drift apart here.
+fn integrated_prune(ctx: &InductionContext, node: Node, counts: Vec<f64>) -> Node {
+    match ctx.cfg.pruning {
+        Pruning::ExpectedErrorConfidence => {
+            let leaf = Node::Leaf { counts: counts.clone(), enabled: true };
+            let (level, min_conf) = (ctx.cfg.level, ctx.cfg.min_detect_conf);
+            // Keep the subtree iff the partition either *explains away*
+            // would-be flags (lower above-threshold expected error
+            // confidence: minority mass that looked like errors at the
+            // parent is legitimate structure in a child) or *enables
+            // new detections* (higher above-threshold capability).
+            // Anything else "does not increase the error detection
+            // capability" (sec. 5.4) and is collapsed.
+            let leaf_mass = leaf.flagged_weight(min_conf, ctx.cfg.min_inst, &counts);
+            let sub_mass = node.flagged_weight(min_conf, ctx.cfg.min_inst, &counts);
+            let explains = sub_mass < leaf_mass - 1e-9 * leaf_mass.max(1.0);
+            let enables = node.detection_capability(level, min_conf)
+                > leaf.detection_capability(level, min_conf) + 1e-12;
+            if !explains && !enables {
+                return leaf;
+            }
+            node
+        }
+        Pruning::ExpectedErrorConfidenceRaw => {
+            let leaf_eec = expected_error_confidence(&counts, ctx.cfg.level);
+            if leaf_eec > node.expected_error_confidence(ctx.cfg.level) {
+                return Node::Leaf { counts, enabled: true };
+            }
+            node
+        }
+        Pruning::None | Pruning::PessimisticError => node,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Columnar presorted induction (the hot path)
+// ---------------------------------------------------------------------------
+
+/// One node's instance view in the presorted recursion.
+struct NodeSet {
+    /// `(row, weight)` in ascending row order — the same order the
+    /// reference recursion's instance vectors carry.
+    instances: Vec<(u32, f64)>,
+    /// Per ordered base attribute (indexed through
+    /// `InductionContext::ordered_idx`): this node's known-value
+    /// instances, sorted by `(value, row)`. Maintained by stable
+    /// partition, never re-sorted.
+    sorted: Vec<SortedCol>,
+    /// Bitmask (by base-attribute position, first 64 only) of nominal
+    /// attributes this node can no longer usefully split on: an
+    /// ancestor split on the attribute and routed *no* missing-value
+    /// instances into this branch, so every instance here carries that
+    /// branch's single code — the candidate would land its whole mass
+    /// in one branch and always fail the two-heavy-branches rule.
+    /// Skipping it produces exactly the `None` the evaluation would.
+    exhausted: u64,
+}
+
+/// One ordered attribute's node-local instances in presorted order,
+/// struct-of-arrays so the threshold scan streams sequentially instead
+/// of gathering `(value, class, weight)` through three random-access
+/// indirections per step.
+struct SortedCol {
+    /// Global row indices (kept for the membership filter at splits).
+    rows: Vec<u32>,
+    /// Attribute values, parallel to `rows`.
+    values: Vec<f64>,
+    /// Class codes, parallel to `rows`.
+    classes: Vec<u32>,
+    /// Instance weights *in this node*, parallel to `rows`.
+    weights: Vec<f64>,
+}
+
+impl NodeSet {
+    fn root(ctx: &InductionContext) -> NodeSet {
+        let instances = ctx.train.rows.iter().map(|&r| (r as u32, 1.0)).collect();
+        let sorted = ctx
+            .cols
+            .attrs
+            .iter()
+            .filter_map(|c| match c {
+                BaseColumn::Ordered { values, sorted_rows, .. } => Some(SortedCol {
+                    rows: sorted_rows.clone(),
+                    values: sorted_rows.iter().map(|&r| values[r as usize]).collect(),
+                    classes: sorted_rows
+                        .iter()
+                        .map(|&r| ctx.cols.class_codes[r as usize])
+                        .collect(),
+                    weights: vec![1.0; sorted_rows.len()],
+                }),
+                BaseColumn::Nominal { .. } => None,
+            })
+            .collect();
+        NodeSet { instances, sorted, exhausted: 0 }
+    }
+}
+
+/// Reusable per-induction scratch state: small class-indexed buffers
+/// that spare the candidate search one heap allocation per node ×
+/// attribute.
+struct Scratch {
+    /// Low-side class counts of the threshold scan (length `card`).
+    low: Vec<f64>,
+    /// Node class counts over known instances (length `card`).
+    all: Vec<f64>,
+    /// Ascending list of class codes present in `all` (non-zero count).
+    present: Vec<u32>,
+    /// Flat count matrix holding every nominal attribute's
+    /// `branch × class` counts for one node (see
+    /// `InductionContext::nominal_layout`).
+    counts: Vec<f64>,
+    /// Per-nominal-attribute missing weight, parallel to the layout.
+    nominal_missing: Vec<f64>,
+    /// Per-ordered-attribute missing (NULL) weight, indexed like the
+    /// per-node sorted columns.
+    ordered_missing: Vec<f64>,
+    /// Flat `2 × class` branch counts of a chosen threshold cut.
+    threshold_counts: Vec<f64>,
+    /// Low-side snapshot of the best cut seen so far (length `card`).
+    best_low: Vec<f64>,
+    /// Low-side snapshot of a pending run-interior cut (length `card`).
+    pending_low: Vec<f64>,
+}
+
+impl Scratch {
+    fn new(card: usize) -> Scratch {
+        Scratch {
+            low: vec![0.0; card],
+            all: vec![0.0; card],
+            present: Vec::with_capacity(card),
+            counts: Vec::new(),
+            nominal_missing: Vec::new(),
+            ordered_missing: Vec::new(),
+            threshold_counts: Vec::new(),
+            best_low: vec![0.0; card],
+            pending_low: vec![0.0; card],
+        }
+    }
+}
+
+fn grow(ctx: &InductionContext, scratch: &mut Scratch, node_set: NodeSet, depth: usize) -> Node {
+    let counts = class_counts_columnar(ctx, &node_set.instances);
+    if stop_as_leaf(ctx, &counts, depth) {
         return Node::Leaf { counts, enabled: true };
     }
-
-    let Some(best) = select_split(ctx, &instances, &counts) else {
+    let (best, dead_mask) = select_split_columnar(ctx, scratch, &node_set, &counts);
+    let Some(best) = best else {
         return Node::Leaf { counts, enabled: true };
     };
 
     let attr = ctx.train.base_attrs[best.attr_pos];
-    let n_branches = best.branch_counts.len();
+    let n_branches = best.branch_sizes.len();
+    let fractions = branch_fractions(&best.branch_sizes);
 
-    // Branch fractions over known instances (for missing-value routing).
-    let branch_weights: Vec<f64> = best.branch_counts.iter().map(|c| c.iter().sum()).collect();
-    let known: f64 = branch_weights.iter().sum();
-    let fractions: Vec<f64> = if known > 0.0 {
-        branch_weights.iter().map(|w| w / known).collect()
-    } else {
-        vec![1.0 / n_branches as f64; n_branches]
+    // Partition the instances; NULLs go to every branch with their
+    // weight scaled by the branch fraction.
+    let mut parts: Vec<Vec<(u32, f64)>> = (0..n_branches)
+        .map(|i| Vec::with_capacity((node_set.instances.len() as f64 * fractions[i]) as usize + 1))
+        .collect();
+    let col = &ctx.cols.attrs[best.attr_pos];
+    let mut distributed = false;
+    for &(row, w) in &node_set.instances {
+        match branch_of_columnar(col, &best.kind, row, n_branches) {
+            Some(b) => parts[b].push((row, w)),
+            None => {
+                distributed = true;
+                for (b, part) in parts.iter_mut().enumerate() {
+                    let wf = w * fractions[b];
+                    if wf >= MIN_WEIGHT {
+                        part.push((row, wf));
+                    }
+                }
+            }
+        }
+    }
+    let child_exhausted = node_set.exhausted
+        | dead_mask
+        | if !distributed && matches!(best.kind, SplitKind::Nominal) && best.attr_pos < 64 {
+            1u64 << best.attr_pos
+        } else {
+            0
+        };
+
+    // Thread the presorted columns down: stable partitioning of the
+    // parent's columns yields each child's columns already sorted —
+    // this is what replaces the per-node re-sort. The split
+    // attribute's own column partitions *contiguously* at the
+    // threshold (its elements are sorted by exactly the tested value),
+    // so it is split by bulk copy; every other column re-derives each
+    // element's branch from the split column, carrying parent weights
+    // for routed rows and fraction-scaled weights for distributed
+    // (NULL-test) rows — the same decisions, weights and relative
+    // order the instance partition above produced.
+    let split_oi = match best.kind {
+        SplitKind::Threshold(_) => ctx.ordered_idx[best.attr_pos],
+        SplitKind::Nominal => None,
     };
+    let part_lens: Vec<usize> = parts.iter().map(Vec::len).collect();
+    let mut child_cols: Vec<Vec<SortedCol>> =
+        (0..n_branches).map(|_| Vec::with_capacity(node_set.sorted.len())).collect();
+    for (oi, parent) in node_set.sorted.iter().enumerate() {
+        // The split attribute's own column partitions *contiguously* at
+        // the threshold (its elements are sorted by exactly the tested
+        // value), so it splits by bulk copy. NaN payloads sort to the
+        // ends under total_cmp but route like ordinary values
+        // (`x > t` is false), breaking contiguity — they fall through
+        // to the general filter.
+        if split_oi == Some(oi) {
+            if let SplitKind::Threshold(t) = best.kind {
+                let no_nan = parent.values.first().is_none_or(|v| !v.is_nan())
+                    && parent.values.last().is_none_or(|v| !v.is_nan());
+                if no_nan {
+                    let cut = parent.values.partition_point(|&v| v <= t);
+                    for (b, cols) in child_cols.iter_mut().enumerate() {
+                        let range = if b == 0 { 0..cut } else { cut..parent.rows.len() };
+                        cols.push(SortedCol {
+                            rows: parent.rows[range.clone()].to_vec(),
+                            values: parent.values[range.clone()].to_vec(),
+                            classes: parent.classes[range.clone()].to_vec(),
+                            weights: parent.weights[range].to_vec(),
+                        });
+                    }
+                    continue;
+                }
+            }
+        }
+        // One pass over the parent column routes every element to its
+        // child column(s): routed rows keep their parent weight,
+        // distributed (NULL-test) rows get the fraction-scaled weight —
+        // the same decisions, weights and relative order the instance
+        // partition above produced.
+        let mut outs: Vec<SortedCol> = part_lens
+            .iter()
+            .map(|&len| {
+                let cap = len.min(parent.rows.len());
+                SortedCol {
+                    rows: Vec::with_capacity(cap),
+                    values: Vec::with_capacity(cap),
+                    classes: Vec::with_capacity(cap),
+                    weights: Vec::with_capacity(cap),
+                }
+            })
+            .collect();
+        for (i, &row) in parent.rows.iter().enumerate() {
+            match branch_of_columnar(col, &best.kind, row, n_branches) {
+                Some(rb) => {
+                    let out = &mut outs[rb];
+                    out.rows.push(row);
+                    out.values.push(parent.values[i]);
+                    out.classes.push(parent.classes[i]);
+                    out.weights.push(parent.weights[i]);
+                }
+                None => {
+                    for (b, out) in outs.iter_mut().enumerate() {
+                        let wf = parent.weights[i] * fractions[b];
+                        if wf >= MIN_WEIGHT {
+                            out.rows.push(row);
+                            out.values.push(parent.values[i]);
+                            out.classes.push(parent.classes[i]);
+                            out.weights.push(wf);
+                        }
+                    }
+                }
+            }
+        }
+        for (cols, out) in child_cols.iter_mut().zip(outs) {
+            cols.push(out);
+        }
+    }
+    let child_sets: Vec<NodeSet> = parts
+        .into_iter()
+        .zip(child_cols)
+        .map(|(part, sorted)| NodeSet { instances: part, sorted, exhausted: child_exhausted })
+        .collect();
+    drop(node_set);
+
+    let children: Vec<Node> =
+        child_sets.into_iter().map(|s| grow(ctx, scratch, s, depth + 1)).collect();
+    let node = Node::Split { attr, kind: best.kind, children, fractions, counts: counts.clone() };
+    integrated_prune(ctx, node, counts)
+}
+
+fn class_counts_columnar(ctx: &InductionContext, instances: &[(u32, f64)]) -> Vec<f64> {
+    let mut counts = vec![0.0; ctx.card];
+    for &(row, w) in instances {
+        counts[ctx.cols.class_codes[row as usize] as usize] += w;
+    }
+    counts
+}
+
+/// Which branch a row falls into under the columnar cache; `None` for
+/// NULL or out-of-domain nominal codes (treated like missing, as C4.5
+/// treats unseen values). Mirrors [`branch_of`] exactly.
+#[inline]
+fn branch_of_columnar(
+    col: &BaseColumn,
+    kind: &SplitKind,
+    row: u32,
+    n_branches: usize,
+) -> Option<usize> {
+    match (kind, col) {
+        (SplitKind::Nominal, BaseColumn::Nominal { codes, .. }) => {
+            let code = codes[row as usize] as usize;
+            if code < n_branches {
+                Some(code)
+            } else {
+                None
+            }
+        }
+        (SplitKind::Threshold(t), BaseColumn::Ordered { values, known, .. }) => {
+            if known[row as usize] {
+                Some(usize::from(values[row as usize] > *t))
+            } else {
+                None
+            }
+        }
+        // A split kind never disagrees with its own attribute's column
+        // kind (both derive from the schema).
+        _ => unreachable!("split kind matches the attribute's column kind"),
+    }
+}
+
+/// Split selection over the columnar node view. Besides the winning
+/// candidate, returns a bitmask of nominal attributes whose count
+/// matrix has *no* cell reaching `min_inst`: their candidates are
+/// `None` here and — because a child's cells are float-monotone
+/// subset sums of the parent's (fewer addends, each at most its
+/// original) — provably `None` in every descendant too, so the
+/// recursion stops accumulating them.
+fn select_split_columnar(
+    ctx: &InductionContext,
+    scratch: &mut Scratch,
+    node_set: &NodeSet,
+    parent_counts: &[f64],
+) -> (Option<CandidateSplit>, u64) {
+    let total: f64 = parent_counts.iter().sum();
+
+    // One shared pass over the instances accumulates *every* nominal
+    // attribute's branch × class matrix (and missing weight) at once —
+    // the row, weight and class of each instance are loaded once
+    // instead of once per attribute. Per matrix, cells receive exactly
+    // the per-instance additions of the one-attribute loop, in the
+    // same instance order, so every count is bit-identical.
+    let card = ctx.card;
+    scratch.counts.clear();
+    scratch.counts.resize(ctx.nominal_len, 0.0);
+    scratch.nominal_missing.clear();
+    scratch.nominal_missing.resize(ctx.nominal_layout.len(), 0.0);
+    let exhausted = |pos: usize| pos < 64 && node_set.exhausted & (1u64 << pos) != 0;
+    {
+        let nominal_cols: Vec<(&[u32], usize, usize, usize)> = ctx
+            .nominal_layout
+            .iter()
+            .enumerate()
+            .filter(|&(_, &(pos, _, _))| !exhausted(pos))
+            .map(|(layout_i, &(pos, card_attr, offset))| {
+                let BaseColumn::Nominal { codes, .. } = &ctx.cols.attrs[pos] else {
+                    unreachable!("nominal layout points at a nominal column");
+                };
+                (codes.as_slice(), card_attr, offset, layout_i)
+            })
+            .collect();
+        // Ordered attributes ride the same pass: their per-attribute
+        // NULL weights accumulate in the same instance order the
+        // reference path's per-attribute gathering loop used.
+        let ordered_known: Vec<&[bool]> = ctx
+            .cols
+            .attrs
+            .iter()
+            .filter_map(|c| match c {
+                BaseColumn::Ordered { known, .. } => Some(known.as_slice()),
+                BaseColumn::Nominal { .. } => None,
+            })
+            .collect();
+        scratch.ordered_missing.clear();
+        scratch.ordered_missing.resize(ordered_known.len(), 0.0);
+        let flat = &mut scratch.counts;
+        let missing = &mut scratch.nominal_missing;
+        let ordered_missing = &mut scratch.ordered_missing;
+        for &(row, w) in &node_set.instances {
+            let class = ctx.cols.class_codes[row as usize] as usize;
+            for &(codes, card_attr, offset, layout_i) in &nominal_cols {
+                let code = codes[row as usize] as usize;
+                if code < card_attr {
+                    flat[offset + code * card + class] += w;
+                } else {
+                    missing[layout_i] += w;
+                }
+            }
+            for (oi, known) in ordered_known.iter().enumerate() {
+                if !known[row as usize] {
+                    ordered_missing[oi] += w;
+                }
+            }
+        }
+    }
+
+    // Candidates are collected in base-attribute order — `max_by`
+    // breaks ties towards the *last* maximum, so the order is part of
+    // the pinned selection semantics.
+    let mut dead_mask = 0u64;
+    let mut candidates: Vec<CandidateSplit> = Vec::new();
+    let mut nominal_i = 0usize;
+    for (pos, col) in ctx.cols.attrs.iter().enumerate() {
+        let cand = match col {
+            BaseColumn::Nominal { .. } => {
+                let (_, card_attr, offset) = ctx.nominal_layout[nominal_i];
+                let missing = scratch.nominal_missing[nominal_i];
+                nominal_i += 1;
+                if exhausted(pos) {
+                    // An ancestor's split left a single code here; the
+                    // candidate would put all mass in one branch and be
+                    // rejected by the two-heavy-branches rule — skip
+                    // the accumulation, the outcome is exactly `None`.
+                    None
+                } else {
+                    let flat = &scratch.counts[offset..offset + card_attr * card];
+                    if ctx.cfg.min_inst > 0.0
+                        && pos < 64
+                        && !flat.iter().any(|&x| x >= ctx.cfg.min_inst)
+                    {
+                        dead_mask |= 1u64 << pos;
+                    }
+                    finish_candidate_flat(
+                        ctx,
+                        pos,
+                        SplitKind::Nominal,
+                        flat,
+                        card_attr,
+                        missing,
+                        total,
+                    )
+                }
+            }
+            BaseColumn::Ordered { .. } => {
+                threshold_candidate_presorted(ctx, scratch, node_set, pos, total)
+            }
+        };
+        if let Some(c) = cand {
+            candidates.push(c);
+        }
+    }
+    (pick_candidate(ctx, candidates), dead_mask)
+}
+
+/// The presorted threshold search: the node's known instances arrive
+/// already sorted by `(value, row)` in contiguous arrays, so one
+/// sequential sweep finds the best cut — no per-node sort, no random
+/// access. Every accumulation runs in the same order as
+/// [`threshold_candidate_reference`], so the selected threshold, gain
+/// and branch counts are bit-identical. The per-cut entropy loop
+/// iterates only the classes present in the node (absent classes have
+/// zero counts on both sides and contribute nothing in either
+/// implementation).
+fn threshold_candidate_presorted(
+    ctx: &InductionContext,
+    scratch: &mut Scratch,
+    node_set: &NodeSet,
+    attr_pos: usize,
+    total: f64,
+) -> Option<CandidateSplit> {
+    let oi = ctx.ordered_idx[attr_pos].expect("ordered attribute");
+    let sorted = &node_set.sorted[oi];
+    // Missing (NULL) weight, pre-accumulated in instance order by the
+    // node-level shared pass.
+    let missing = scratch.ordered_missing[oi];
+    let n = sorted.rows.len();
+    if n < 2 {
+        return None;
+    }
+
+    // Scan all cuts between distinct adjacent values, maintaining
+    // incremental low-side class counts; the threshold is the lower
+    // value itself ("split points taken from the set of all occurring
+    // values").
+    let card = ctx.card;
+    let (values, classes, weights) = (&sorted.values, &sorted.classes, &sorted.weights);
+    scratch.low[..card].fill(0.0);
+    scratch.all[..card].fill(0.0);
+    let (low, all) = (&mut scratch.low[..card], &mut scratch.all[..card]);
+    for i in 0..n {
+        all[classes[i] as usize] += weights[i];
+    }
+    scratch.present.clear();
+    for (k, &a) in all.iter().enumerate() {
+        if a > 0.0 {
+            scratch.present.push(k as u32);
+        }
+    }
+    let present = &scratch.present;
+    let known_weight: f64 = all.iter().sum();
+    let parent_entropy = dq_stats::entropy(all);
+    let min_side = ctx.cfg.min_branch.max(f64::MIN_POSITIVE);
+    // The evaluated-cut set is thinned with the Fayyad-Irani boundary
+    // theorem (Fayyad & Irani 1992): the information-gain optimum of a
+    // binary split never lies strictly inside a run of same-class
+    // instances, so a cut whose two adjacent value groups are both
+    // pure with the same class cannot win and its (expensive) entropy
+    // evaluation is skipped. Two refinements keep the *selection*
+    // exactly legacy-equivalent:
+    //
+    // * the min-branch feasibility window clips runs — the gain is
+    //   convex within a run, so its maximum over the feasible part of
+    //   a run sits at the first or last *feasible* cut, which are
+    //   evaluated even when run-interior (the last one retroactively,
+    //   from a saved low-side snapshot, preserving the ascending
+    //   first-maximum tie order);
+    // * every evaluated cut computes `low_w` and its entropies with
+    //   the same float operations in the same order as the exhaustive
+    //   scan, so the winning `(gain, threshold)` is bit-identical.
+    // (gain_known, threshold, end index of the cut's low side); the
+    // winner's low-side class counts are kept in `best_low` so the
+    // final branch-count pass only has to re-accumulate the high side.
+    let mut best: Option<(f64, f64, usize)> = None;
+    let best_low = &mut scratch.best_low[..card];
+    // Entropy evaluation of one cut from its low-side class counts.
+    let evaluate = |low: &[f64], low_w: f64, high_w: f64, all: &[f64], present: &[u32]| {
+        let mut high_entropy = 0.0;
+        let mut low_entropy = 0.0;
+        for &k in present {
+            let l = low[k as usize];
+            if l > 0.0 {
+                let p = l / low_w;
+                low_entropy -= p * p.log2();
+            }
+            let h = all[k as usize] - l;
+            if h > 0.0 {
+                let p = h / high_w;
+                high_entropy -= p * p.log2();
+            }
+        }
+        parent_entropy - low_w / known_weight * low_entropy - high_w / known_weight * high_entropy
+    };
+    // Pending skipped-but-feasible cut: its threshold and low-side end
+    // index, with its low-side snapshot in `pending_low`. If the
+    // feasibility window closes before another cut is evaluated, this
+    // was the last feasible cut and is evaluated retroactively (its
+    // exact `low_w` is re-derived from the snapshot by the same
+    // present-class sum).
+    let mut pending: Option<(f64, usize)> = None;
+    let pending_low = &mut scratch.pending_low[..card];
+    // Feasibility is checked exactly (fresh `low_w` sum) at evaluated
+    // cuts and near the window edges; far from the edges a running
+    // surrogate decides. The surrogate's drift is bounded by ~n·ε
+    // relative error, orders of magnitude inside the guard band, so
+    // its verdicts agree with the exact check everywhere it is used.
+    let fresh_low_w = |low: &[f64], present: &[u32]| {
+        let mut low_w = 0.0;
+        for &k in present {
+            low_w += low[k as usize];
+        }
+        low_w
+    };
+    let guard = 1e-6 * (known_weight + 1.0);
+    let mut run_low = 0.0f64;
+    let mut was_feasible = false;
+    let mut prev_pure: Option<u32> = None;
+    let mut have_prev_group = false;
+    let mut prev_last_value = 0.0f64;
+    let mut i = 0usize;
+    while i < n {
+        // The value group [i..=j]: IEEE-equal values (exactly the cuts
+        // the exhaustive scan's `values[i + 1] <= x` test suppresses;
+        // NaN never equals and so forms singleton, never-pure groups).
+        let v0 = values[i];
+        let mut j = i;
+        let mut pure = if v0.is_nan() { None } else { Some(classes[i]) };
+        while j + 1 < n && values[j + 1] == v0 {
+            j += 1;
+            if pure.is_some_and(|c| c != classes[j]) {
+                pure = None;
+            }
+        }
+        // The cut between the previous group and this one.
+        if have_prev_group {
+            let run_high = known_weight - run_low;
+            let feasible =
+                if (run_low - min_side).abs() > guard && (run_high - min_side).abs() > guard {
+                    // Far from both window edges: the surrogate's verdict
+                    // is certain.
+                    run_low > min_side && run_high > min_side
+                } else {
+                    let low_w = fresh_low_w(low, present);
+                    !(low_w < min_side || known_weight - low_w < min_side)
+                };
+            if feasible {
+                let boundary = !(prev_pure.is_some() && prev_pure == pure);
+                if boundary || !was_feasible {
+                    // Run boundary, or the first feasible cut of a
+                    // clipped run: evaluate exactly.
+                    let low_w = fresh_low_w(low, present);
+                    let high_w = known_weight - low_w;
+                    let g = evaluate(low, low_w, high_w, all, present);
+                    if best.is_none_or(|(bg, _, _)| g > bg) {
+                        best = Some((g, prev_last_value, i - 1));
+                        best_low.copy_from_slice(low);
+                    }
+                    pending = None;
+                } else {
+                    // Run-interior and feasible: remember it in case it
+                    // turns out to be the last feasible cut.
+                    pending_low.copy_from_slice(low);
+                    pending = Some((prev_last_value, i - 1));
+                }
+            } else if was_feasible {
+                // The window just closed; the most recent feasible cut
+                // was the clipped run's last feasible position.
+                if let Some((px, ppos)) = pending.take() {
+                    let plw = fresh_low_w(pending_low, present);
+                    let g = evaluate(pending_low, plw, known_weight - plw, all, present);
+                    if best.is_none_or(|(bg, _, _)| g > bg) {
+                        best = Some((g, px, ppos));
+                        best_low.copy_from_slice(pending_low);
+                    }
+                }
+            }
+            was_feasible = feasible;
+        }
+        for t in i..=j {
+            low[classes[t] as usize] += weights[t];
+            run_low += weights[t];
+        }
+        prev_pure = pure;
+        prev_last_value = values[j];
+        have_prev_group = true;
+        i = j + 1;
+    }
+    if let Some((px, ppos)) = pending.take() {
+        // Scan ended while the window was still open: the remembered
+        // cut was the last feasible one.
+        let plw = fresh_low_w(pending_low, present);
+        let g = evaluate(pending_low, plw, known_weight - plw, all, present);
+        if best.is_none_or(|(bg, _, _)| g > bg) {
+            best = Some((g, px, ppos));
+            best_low.copy_from_slice(pending_low);
+        }
+    }
+    let (_, threshold, cut_end) = best?;
+    scratch.threshold_counts.clear();
+    scratch.threshold_counts.resize(2 * card, 0.0);
+    let flat = &mut scratch.threshold_counts;
+    let nan_free =
+        values.first().is_none_or(|v| !v.is_nan()) && values.last().is_none_or(|v| !v.is_nan());
+    if nan_free {
+        // NaN-free columns route exactly by sorted position: the low
+        // side is the prefix through `cut_end`, whose class counts the
+        // winning cut already accumulated (same additions, same
+        // order); only the high suffix needs a pass.
+        flat[..card].copy_from_slice(best_low);
+        for t in cut_end + 1..n {
+            flat[card + classes[t] as usize] += weights[t];
+        }
+    } else {
+        // NaN payloads sort to the ends but compare false against any
+        // threshold — keep the exhaustive routing for them.
+        for i in 0..n {
+            flat[usize::from(values[i] > threshold) * card + classes[i] as usize] += weights[i];
+        }
+    }
+    finish_candidate_flat(ctx, attr_pos, SplitKind::Threshold(threshold), flat, 2, missing, total)
+}
+
+// ---------------------------------------------------------------------------
+// Reference induction (row-at-a-time; equivalence ground truth)
+// ---------------------------------------------------------------------------
+
+fn grow_reference(ctx: &InductionContext, instances: Vec<(usize, f64)>, depth: usize) -> Node {
+    let counts = class_counts(ctx, &instances);
+    if stop_as_leaf(ctx, &counts, depth) {
+        return Node::Leaf { counts, enabled: true };
+    }
+
+    let Some(best) = select_split_reference(ctx, &instances, &counts) else {
+        return Node::Leaf { counts, enabled: true };
+    };
+
+    let attr = ctx.train.base_attrs[best.attr_pos];
+    let n_branches = best.branch_sizes.len();
+    let fractions = branch_fractions(&best.branch_sizes);
 
     // Partition the instances; NULLs go to every branch with their
     // weight scaled by the branch fraction.
@@ -772,41 +1577,10 @@ fn grow(ctx: &InductionContext, instances: Vec<(usize, f64)>, depth: usize) -> N
     }
     drop(instances);
 
-    let children: Vec<Node> = parts.into_iter().map(|p| grow(ctx, p, depth + 1)).collect();
+    let children: Vec<Node> =
+        parts.into_iter().map(|p| grow_reference(ctx, p, depth + 1)).collect();
     let node = Node::Split { attr, kind: best.kind, children, fractions, counts: counts.clone() };
-
-    // Integrated expected-error-confidence pruning (sec. 5.4), applied
-    // to the freshly built subtree — see the [`Pruning`] discussion for
-    // why the default compares threshold-aware values.
-    match ctx.cfg.pruning {
-        Pruning::ExpectedErrorConfidence => {
-            let leaf = Node::Leaf { counts: counts.clone(), enabled: true };
-            let (level, min_conf) = (ctx.cfg.level, ctx.cfg.min_detect_conf);
-            // Keep the subtree iff the partition either *explains away*
-            // would-be flags (lower above-threshold expected error
-            // confidence: minority mass that looked like errors at the
-            // parent is legitimate structure in a child) or *enables
-            // new detections* (higher above-threshold capability).
-            // Anything else "does not increase the error detection
-            // capability" (sec. 5.4) and is collapsed.
-            let leaf_mass = leaf.flagged_weight(min_conf, ctx.cfg.min_inst, &counts);
-            let sub_mass = node.flagged_weight(min_conf, ctx.cfg.min_inst, &counts);
-            let explains = sub_mass < leaf_mass - 1e-9 * leaf_mass.max(1.0);
-            let enables = node.detection_capability(level, min_conf)
-                > leaf.detection_capability(level, min_conf) + 1e-12;
-            if !explains && !enables {
-                return leaf;
-            }
-        }
-        Pruning::ExpectedErrorConfidenceRaw => {
-            let leaf_eec = expected_error_confidence(&counts, ctx.cfg.level);
-            if leaf_eec > node.expected_error_confidence(ctx.cfg.level) {
-                return Node::Leaf { counts, enabled: true };
-            }
-        }
-        Pruning::None | Pruning::PessimisticError => {}
-    }
-    node
+    integrated_prune(ctx, node, counts)
 }
 
 /// Which branch a value falls into; `None` for NULL or out-of-domain
@@ -821,7 +1595,7 @@ fn branch_of(kind: &SplitKind, v: &Value, n_branches: usize) -> Option<usize> {
     }
 }
 
-fn select_split(
+fn select_split_reference(
     ctx: &InductionContext,
     instances: &[(usize, f64)],
     parent_counts: &[f64],
@@ -832,16 +1606,25 @@ fn select_split(
         let attr = ctx.train.base_attrs[pos];
         let cand = match ty {
             AttrType::Nominal { labels } => {
-                nominal_candidate(ctx, instances, attr, pos, labels.len(), total)
+                nominal_candidate_reference(ctx, instances, attr, pos, labels.len(), total)
             }
             AttrType::Numeric { .. } | AttrType::Date { .. } => {
-                threshold_candidate(ctx, instances, attr, pos, total)
+                threshold_candidate_reference(ctx, instances, attr, pos, total)
             }
         };
         if let Some(c) = cand {
             candidates.push(c);
         }
     }
+    pick_candidate(ctx, candidates)
+}
+
+/// The split-selection criterion applied to a node's candidate list —
+/// shared by the columnar and reference paths.
+fn pick_candidate(
+    ctx: &InductionContext,
+    candidates: Vec<CandidateSplit>,
+) -> Option<CandidateSplit> {
     if candidates.is_empty() {
         return None;
     }
@@ -864,6 +1647,93 @@ fn select_split(
 /// Shared post-processing: gain scaled by the known-value fraction
 /// (C4.5's missing-value discount), split info including the missing
 /// pseudo-branch, minInst admissibility.
+/// Shared post-processing on a flat `branch × class` count matrix:
+/// gain scaled by the known-value fraction (C4.5's missing-value
+/// discount), split info including the missing pseudo-branch, minInst
+/// admissibility. Every intermediate float (per-branch sums, known
+/// total, entropies, gain, gain ratio) is produced by the same
+/// operations in the same order as the historical nested-`Vec`
+/// formulation, so candidate scores never drift between the columnar
+/// and reference paths.
+fn finish_candidate_flat(
+    ctx: &InductionContext,
+    attr_pos: usize,
+    kind: SplitKind,
+    flat: &[f64],
+    n_branches: usize,
+    missing_weight: f64,
+    total: f64,
+) -> Option<CandidateSplit> {
+    let card = ctx.card;
+    debug_assert_eq!(flat.len(), n_branches * card);
+    // Per-branch known weights, then their total (same nested-sum
+    // order as `branch_counts.iter().map(sum).sum()`).
+    let branch_sizes: Vec<f64> =
+        (0..n_branches).map(|b| flat[b * card..(b + 1) * card].iter().sum::<f64>()).collect();
+    let known: f64 = branch_sizes.iter().sum();
+    if known <= 0.0 {
+        return None;
+    }
+    // minInst admissibility: some partition must retain min_inst
+    // instances of one class.
+    if ctx.cfg.min_inst > 0.0 && !flat.iter().any(|&x| x >= ctx.cfg.min_inst) {
+        return None;
+    }
+    // At least two sufficiently heavy branches, otherwise nothing is
+    // separated — or worse, a training error gets carved into its own
+    // singleton leaf where detection can never see it again.
+    let heavy =
+        branch_sizes.iter().filter(|&&s| s >= ctx.cfg.min_branch.max(f64::MIN_POSITIVE)).count();
+    if heavy < 2 {
+        return None;
+    }
+    // Known-instance class counts (the parent restricted to known).
+    let mut known_counts = vec![0.0; card];
+    for b in 0..n_branches {
+        for (k, &c) in flat[b * card..(b + 1) * card].iter().enumerate() {
+            known_counts[k] += c;
+        }
+    }
+    // `info_gain` inlined over the flat rows: identical entropy calls
+    // and weighted-remainder accumulation order as the slice-of-vecs
+    // version in `dq_stats`. The remainder divisor is the *class-major*
+    // total exactly as `info_gain` computes it (summing `known_counts`,
+    // not the branch sizes — with fractional weights the two orders can
+    // differ in the last ulp, and pre-refactor gains used this one).
+    let class_total: f64 = known_counts.iter().sum();
+    let raw_gain = if class_total <= 0.0 {
+        0.0
+    } else {
+        let mut remainder = 0.0;
+        for b in 0..n_branches {
+            let size = branch_sizes[b];
+            if size > 0.0 {
+                remainder +=
+                    size / class_total * dq_stats::entropy(&flat[b * card..(b + 1) * card]);
+            }
+        }
+        dq_stats::entropy(&known_counts) - remainder
+    };
+    let gain = raw_gain * (known / total);
+    if gain <= 1e-9 {
+        return None;
+    }
+    // Split info over the real branches plus the missing pseudo-branch
+    // (the entropy of the partition *sizes*; the per-branch sums are
+    // exactly `branch_sizes`, the missing pseudo-branch sums to
+    // `missing_weight`).
+    let mut sizes_for_si = branch_sizes.clone();
+    if missing_weight > 0.0 {
+        sizes_for_si.push(missing_weight);
+    }
+    let si = dq_stats::entropy(&sizes_for_si);
+    let gain_ratio = if si <= 1e-12 { 0.0 } else { gain / si };
+    Some(CandidateSplit { attr_pos, kind, gain, gain_ratio, branch_sizes })
+}
+
+/// Nested-`Vec` adapter for the reference candidates: flattens the
+/// historical `branch_counts` layout (copying preserves every float)
+/// and delegates to [`finish_candidate_flat`].
 fn finish_candidate(
     ctx: &InductionContext,
     attr_pos: usize,
@@ -872,64 +1742,15 @@ fn finish_candidate(
     missing_weight: f64,
     total: f64,
 ) -> Option<CandidateSplit> {
-    let known: f64 = branch_counts.iter().map(|c| c.iter().sum::<f64>()).sum();
-    if known <= 0.0 {
-        return None;
-    }
-    // minInst admissibility: some partition must retain min_inst
-    // instances of one class.
-    if ctx.cfg.min_inst > 0.0
-        && !branch_counts.iter().any(|c| c.iter().any(|&x| x >= ctx.cfg.min_inst))
-    {
-        return None;
-    }
-    // At least two sufficiently heavy branches, otherwise nothing is
-    // separated — or worse, a training error gets carved into its own
-    // singleton leaf where detection can never see it again.
-    let heavy = branch_counts
-        .iter()
-        .filter(|c| c.iter().sum::<f64>() >= ctx.cfg.min_branch.max(f64::MIN_POSITIVE))
-        .count();
-    if heavy < 2 {
-        return None;
-    }
-    // Known-instance class counts (the parent restricted to known).
     let card = ctx.card;
-    let mut known_counts = vec![0.0; card];
-    for bc in &branch_counts {
-        for (k, &c) in bc.iter().enumerate() {
-            known_counts[k] += c;
-        }
+    let mut flat = vec![0.0; branch_counts.len() * card];
+    for (b, bc) in branch_counts.iter().enumerate() {
+        flat[b * card..(b + 1) * card].copy_from_slice(bc);
     }
-    let raw_gain = info_gain(&known_counts, &branch_counts);
-    let gain = raw_gain * (known / total);
-    if gain <= 1e-9 {
-        return None;
-    }
-    // Split info over the real branches plus the missing pseudo-branch.
-    let mut parts_for_si = branch_counts.clone();
-    if missing_weight > 0.0 {
-        parts_for_si.push(vec![missing_weight]);
-    }
-    let gr = gain_ratio_with_parts(&known_counts, &branch_counts, &parts_for_si, known, total);
-    Some(CandidateSplit { attr_pos, kind, gain, gain_ratio: gr, branch_counts })
+    finish_candidate_flat(ctx, attr_pos, kind, &flat, branch_counts.len(), missing_weight, total)
 }
 
-fn gain_ratio_with_parts(
-    known_counts: &[f64],
-    branch_counts: &[Vec<f64>],
-    parts_for_si: &[Vec<f64>],
-    known: f64,
-    total: f64,
-) -> f64 {
-    let si = dq_stats::split_info(parts_for_si);
-    if si <= 1e-12 {
-        return 0.0;
-    }
-    info_gain(known_counts, branch_counts) * (known / total) / si
-}
-
-fn nominal_candidate(
+fn nominal_candidate_reference(
     ctx: &InductionContext,
     instances: &[(usize, f64)],
     attr: AttrIdx,
@@ -950,7 +1771,7 @@ fn nominal_candidate(
     finish_candidate(ctx, attr_pos, SplitKind::Nominal, branch_counts, missing, total)
 }
 
-fn threshold_candidate(
+fn threshold_candidate_reference(
     ctx: &InductionContext,
     instances: &[(usize, f64)],
     attr: AttrIdx,
@@ -1509,6 +2330,71 @@ mod tests {
         assert_eq!(rebuilt.to_rules(), tree.to_rules());
         for r in 0..t.n_rows() {
             assert_eq!(rebuilt.predict(&t.row(r)), tree.predict(&t.row(r)), "row {r}");
+        }
+    }
+
+    /// A messy mixed table: NULLs, value ties, a numeric and a date
+    /// attribute, out-of-domain codes — everything the presorted path
+    /// must agree with the reference path on.
+    fn messy_table(n: usize) -> Table {
+        let schema = SchemaBuilder::new()
+            .nominal("a", ["p", "q", "r"])
+            .numeric("x", 0.0, 100.0)
+            .date_ymd("d", (2000, 1, 1), (2010, 1, 1))
+            .nominal("y", ["lo", "mid", "hi"])
+            .build()
+            .unwrap();
+        let base = dq_table::date::days_from_civil(2001, 1, 1);
+        let mut t = Table::new(schema);
+        for i in 0..n {
+            let a = if i % 11 == 0 { Value::Null } else { Value::Nominal((i % 3) as u32) };
+            let x = if i % 7 == 0 { Value::Null } else { Value::Number((i % 13) as f64) };
+            let d = if i % 5 == 0 { Value::Null } else { Value::Date(base + (i % 9) as i64) };
+            let y = Value::Nominal(((i % 13) / 5).min(2) as u32);
+            t.push_row(&[a, x, d, y]).unwrap();
+        }
+        // Out-of-domain nominal code (pollution can write those).
+        t.push_row_lenient(&[
+            Value::Nominal(9),
+            Value::Number(3.0),
+            Value::Null,
+            Value::Nominal(1),
+        ])
+        .unwrap();
+        t
+    }
+
+    #[test]
+    fn presorted_induction_is_byte_identical_to_reference() {
+        let t = messy_table(400);
+        for class_attr in 0..t.n_cols() {
+            let ts = TrainingSet::full(&t, class_attr, 4).unwrap();
+            for pruning in [
+                Pruning::None,
+                Pruning::ExpectedErrorConfidence,
+                Pruning::ExpectedErrorConfidenceRaw,
+                Pruning::PessimisticError,
+            ] {
+                for criterion in [SplitCriterion::GainRatio, SplitCriterion::InfoGain] {
+                    let cfg = C45Config { pruning, criterion, ..C45Config::default() };
+                    let inducer = C45Inducer::new(cfg);
+                    let fast = inducer.induce_tree(&ts).unwrap();
+                    let reference = inducer.induce_tree_reference(&ts).unwrap();
+                    assert_eq!(
+                        fast.root(),
+                        reference.root(),
+                        "class {class_attr}, {pruning:?}, {criterion:?}"
+                    );
+                    // Equality above is structural; also pin the floats.
+                    for r in 0..t.n_rows() {
+                        let rec = t.row(r);
+                        let (pf, pr) = (fast.predict(&rec), reference.predict(&rec));
+                        for (a, b) in pf.counts.iter().zip(&pr.counts) {
+                            assert_eq!(a.to_bits(), b.to_bits(), "row {r}");
+                        }
+                    }
+                }
+            }
         }
     }
 

@@ -2,6 +2,41 @@
 
 use crate::value::Value;
 
+/// A single cell read out of a typed column without going through the
+/// [`Value`] enum: nominal columns yield codes, ordered (number/date)
+/// columns yield the numeric widening [`Value::as_numeric`] performs.
+/// This is the shape hot scans cache one row of — the distinction that
+/// matters to them is "code or number", not the full value kind.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TypedCell {
+    /// A nominal column's cell: the code, `None` for NULL.
+    Nominal(Option<u32>),
+    /// An ordered column's cell: the widened payload, `None` for NULL.
+    Numeric(Option<f64>),
+}
+
+impl TypedCell {
+    /// The nominal code — mirrors `Value::as_nominal` on the cell's
+    /// value (`None` for NULLs and for ordered columns).
+    #[inline]
+    pub fn as_nominal(self) -> Option<u32> {
+        match self {
+            TypedCell::Nominal(c) => c,
+            TypedCell::Numeric(_) => None,
+        }
+    }
+
+    /// The numeric payload — mirrors `Value::as_numeric` on the cell's
+    /// value (`None` for NULLs and for nominal columns).
+    #[inline]
+    pub fn as_numeric(self) -> Option<f64> {
+        match self {
+            TypedCell::Numeric(x) => x,
+            TypedCell::Nominal(_) => None,
+        }
+    }
+}
+
 /// One column of a table, stored as a typed vector with per-cell NULLs.
 ///
 /// Columns never change their kind after creation; the kind always
@@ -147,6 +182,52 @@ impl Column {
         }
     }
 
+    /// The nominal code at `row`, without constructing a [`Value`]:
+    /// `Some(code)` only when this is a nominal column with a non-NULL
+    /// cell — exactly `self.get(row).as_nominal()`, minus the enum
+    /// round-trip. This is the typed per-cell accessor the flattened
+    /// tree evaluator classifies through.
+    #[inline]
+    pub fn nominal_at(&self, row: usize) -> Option<u32> {
+        match self {
+            Column::Nominal(v) => v[row],
+            _ => None,
+        }
+    }
+
+    /// The numeric payload at `row`, widening dates to their day number
+    /// — exactly `self.get(row).as_numeric()`, minus the enum
+    /// round-trip. `None` for NULL cells and nominal columns.
+    #[inline]
+    pub fn numeric_at(&self, row: usize) -> Option<f64> {
+        match self {
+            Column::Number(v) => v[row],
+            Column::Date(v) => v[row].map(|d| d as f64),
+            Column::Nominal(_) => None,
+        }
+    }
+
+    /// The cell at `row` as a [`TypedCell`] (one enum match instead of
+    /// a `Value` round-trip per accessor call).
+    #[inline]
+    pub fn typed_cell(&self, row: usize) -> TypedCell {
+        match self {
+            Column::Nominal(v) => TypedCell::Nominal(v[row]),
+            Column::Number(v) => TypedCell::Numeric(v[row]),
+            Column::Date(v) => TypedCell::Numeric(v[row].map(|d| d as f64)),
+        }
+    }
+
+    /// `true` iff the cell at `row` is NULL.
+    #[inline]
+    pub fn is_null_at(&self, row: usize) -> bool {
+        match self {
+            Column::Nominal(v) => v[row].is_none(),
+            Column::Number(v) => v[row].is_none(),
+            Column::Date(v) => v[row].is_none(),
+        }
+    }
+
     /// Direct access to the codes of a nominal column.
     pub fn as_nominal(&self) -> Option<&[Option<u32>]> {
         match self {
@@ -204,6 +285,22 @@ mod tests {
         assert_eq!(c.get(0), Value::Number(1.0));
         assert_eq!(c.get(1), Value::Number(3.0));
         assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn typed_per_cell_accessors_mirror_value_accessors() {
+        let nom = Column::Nominal(vec![Some(3), None]);
+        let num = Column::Number(vec![Some(2.5), None]);
+        let date = Column::Date(vec![Some(7), None]);
+        for (col, row) in [(&nom, 0), (&nom, 1), (&num, 0), (&num, 1), (&date, 0), (&date, 1)] {
+            assert_eq!(col.nominal_at(row), col.get(row).as_nominal());
+            assert_eq!(col.numeric_at(row), col.get(row).as_numeric());
+            assert_eq!(col.is_null_at(row), col.get(row).is_null());
+        }
+        assert_eq!(nom.nominal_at(0), Some(3));
+        assert_eq!(num.numeric_at(0), Some(2.5));
+        assert_eq!(date.numeric_at(0), Some(7.0));
+        assert!(date.is_null_at(1));
     }
 
     #[test]

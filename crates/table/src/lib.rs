@@ -35,7 +35,7 @@ pub mod table;
 pub mod value;
 
 pub use builder::SchemaBuilder;
-pub use column::Column;
+pub use column::{Column, TypedCell};
 pub use csv::{read_csv, write_csv, CsvChunkReader};
 pub use discretize::{discretize_equal_frequency, discretize_equal_width, Binning};
 pub use error::TableError;

@@ -123,6 +123,16 @@ impl Table {
         buf.extend((0..self.n_cols()).map(|c| self.get(row, c)));
     }
 
+    /// Copy a full row into a caller-provided buffer of
+    /// [`TypedCell`](crate::column::TypedCell)s — the typed-slice
+    /// sibling of [`Table::row_into`] for scans that never need
+    /// `Value`s (one enum match per cell, dates pre-widened to their
+    /// day number).
+    pub fn typed_row_into(&self, row: RowIdx, buf: &mut Vec<crate::column::TypedCell>) {
+        buf.clear();
+        buf.extend(self.columns.iter().map(|c| c.typed_cell(row)));
+    }
+
     /// Iterate over all rows as records (allocates one `Vec` per row;
     /// prefer [`Table::row_into`] in hot loops).
     pub fn rows(&self) -> impl Iterator<Item = Vec<Value>> + '_ {
@@ -382,6 +392,21 @@ mod tests {
         assert_eq!(buf, t.row(1));
         t.row_into(0, &mut buf);
         assert_eq!(buf, t.row(0));
+    }
+
+    #[test]
+    fn typed_rows_mirror_value_rows() {
+        let t = small_table();
+        let mut buf = Vec::new();
+        for r in 0..t.n_rows() {
+            t.typed_row_into(r, &mut buf);
+            assert_eq!(buf.len(), t.n_cols());
+            for (c, cell) in buf.iter().enumerate() {
+                let v = t.get(r, c);
+                assert_eq!(cell.as_nominal(), v.as_nominal(), "({r},{c})");
+                assert_eq!(cell.as_numeric(), v.as_numeric(), "({r},{c})");
+            }
+        }
     }
 
     #[test]
