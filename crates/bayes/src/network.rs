@@ -73,14 +73,37 @@ impl BayesianNetwork {
     /// Ancestral sampling: draw one joint assignment, returned as
     /// `(attribute, code)` pairs in node order.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<(AttrIdx, u32)> {
-        let mut values = vec![0u32; self.nodes.len()];
+        let mut out = Vec::with_capacity(self.nodes.len());
+        self.sample_into(rng, &mut out);
+        out
+    }
+
+    /// [`BayesianNetwork::sample`] into a caller-provided buffer —
+    /// same draws, no per-call allocation (start-value sampling calls
+    /// this once per generated record).
+    pub fn sample_into<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut Vec<(AttrIdx, u32)>) {
+        const NO_VALUE: u32 = u32::MAX;
+        out.clear();
+        out.resize(self.nodes.len(), (0, NO_VALUE));
+        // Parent values live on the stack for ordinary networks; the
+        // rare wider-than-16-parent node falls back to the heap.
+        let mut stack_values = [0u32; 16];
+        let mut heap_values: Vec<u32> = Vec::new();
         for &i in &self.order {
             let node = &self.nodes[i];
-            let parent_values: Vec<u32> = node.parents.iter().map(|&p| values[p]).collect();
-            let row = node.cpt.row(&parent_values);
-            values[i] = draw(rng, row) as u32;
+            let n_parents = node.parents.len();
+            let parent_values: &mut [u32] = if n_parents <= stack_values.len() {
+                &mut stack_values[..n_parents]
+            } else {
+                heap_values.resize(n_parents, 0);
+                &mut heap_values[..n_parents]
+            };
+            for (slot, &p) in parent_values.iter_mut().zip(&node.parents) {
+                *slot = out[p].1;
+            }
+            let row = node.cpt.row(parent_values);
+            out[i] = (node.attr, draw(rng, row) as u32);
         }
-        self.nodes.iter().enumerate().map(|(i, n)| (n.attr, values[i])).collect()
     }
 
     /// Joint log-likelihood of a full assignment `(attribute, code)`

@@ -1,9 +1,16 @@
 //! Test-data-generator throughput: natural-rule-set generation and
 //! rule-repair data generation (sec. 4.1).
+//!
+//! `tdg/rules/*` and `tdg/data/*` time the shipped fast paths (memoized
+//! pairwise hygiene, compiled rule programs); the `*-reference` twins
+//! time the retained uncached/interpreted paths, which are pinned
+//! byte-identical to the fast ones by the equivalence suites. The rule
+//! set is built once outside the timed closures, so `tdg/data/*`
+//! measures generation only.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dq_eval::Baseline;
-use dq_tdg::generate_rule_set;
+use dq_tdg::{generate_rule_set, generate_rule_set_reference};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -20,6 +27,15 @@ fn rule_generation(c: &mut Criterion) {
         });
     }
     group.finish();
+    let mut group = c.benchmark_group("tdg/rules-reference");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::from_parameter(100), &100usize, |b, &n| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            generate_rule_set_reference(&baseline.schema, &baseline.rule_config(n), &mut rng)
+        })
+    });
+    group.finish();
 }
 
 fn data_generation(c: &mut Criterion) {
@@ -27,17 +43,34 @@ fn data_generation(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(7);
     let (rules, _) = generate_rule_set(&baseline.schema, &baseline.rule_config(100), &mut rng);
     let mut group = c.benchmark_group("tdg/data");
-    for &n in &[1_000usize, 10_000] {
-        let generator = baseline.generator(100, n);
+    // The 1k/10k tiers run single-threaded so their medians track the
+    // compiled-evaluation speedup alone; the million-row tier uses the
+    // configured default (DQ_THREADS / available cores).
+    for &n in &[1_000usize, 10_000, 1_000_000] {
+        let mut generator = baseline.generator(100, n);
+        if n < 1_000_000 {
+            generator.data.threads = Some(1);
+        }
         group.throughput(Throughput::Elements(n as u64));
-        group.sample_size(10);
+        group.sample_size(if n >= 1_000_000 { 3 } else { 10 });
         group.bench_with_input(BenchmarkId::from_parameter(n), &generator, |b, g| {
             b.iter(|| {
                 let mut rng = StdRng::seed_from_u64(11);
-                g.generate_with_rules(rules.clone(), &mut rng)
+                g.generate_with_rules(&rules, &mut rng)
             })
         });
     }
+    group.finish();
+    let mut group = c.benchmark_group("tdg/data-reference");
+    let generator = baseline.generator(100, 10_000);
+    group.throughput(Throughput::Elements(10_000));
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::from_parameter(10_000), &generator, |b, g| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(11);
+            g.generate_with_rules_reference(&rules, &mut rng)
+        })
+    });
     group.finish();
 }
 

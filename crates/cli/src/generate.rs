@@ -11,8 +11,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::Path;
 
-pub const USAGE: &str =
-    "dq generate <tdg|quis> --out DIR [--rows N] [--seed N] [--factor X] [--rules N (tdg only)]";
+pub const USAGE: &str = "dq generate <tdg|quis> --out DIR [--rows N] [--seed N] [--factor X] \
+                         [--rules N --threads N (tdg only)]";
 
 pub fn run(args: &[String]) -> Result<(), CliError> {
     let (kind, rest) = args
@@ -30,15 +30,19 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
 /// The sec. 6.1 artificial benchmark: rule-structured data over the
 /// 8-attribute baseline schema, polluted by the standard suite.
 fn tdg(args: &[String]) -> Result<(), CliError> {
-    let flags = Flags::parse(args, &["out", "rows", "rules", "seed", "factor"])?;
+    let flags = Flags::parse(args, &["out", "rows", "rules", "seed", "factor", "threads"])?;
     let out = Path::new(flags.require("out")?).to_path_buf();
     let rows: usize = flags.parse_or("rows", 10_000)?;
     let rules: usize = flags.parse_or("rules", 30)?;
     let seed: u64 = flags.parse_or("seed", 2003)?;
     let factor: f64 = flags.parse_or("factor", 1.0)?;
+    let threads: Option<usize> = flags.parse_opt("threads")?;
 
     let baseline = Baseline::new(seed);
-    let env = baseline.environment(rules, rows, factor);
+    let mut env = baseline.environment(rules, rows, factor);
+    // Generation is byte-identical at any worker count (chunk-seeded
+    // RNG streams), so the knob only changes wall-clock time.
+    env.generator.data.threads = threads;
     let mut rng = StdRng::seed_from_u64(seed);
     let benchmark = env.generator.generate(&mut rng);
     let (dirty, log) = pollute(&benchmark.clean, &env.pollution, &mut rng);

@@ -183,7 +183,7 @@ mod tests {
         let rule = dq_logic::parse_rule(&env.generator.schema, "a = v1 -> c = w2").unwrap();
         let mut rng = StdRng::seed_from_u64(14);
         let benchmark =
-            env.generator.generate_with_rules(dq_logic::RuleSet::from_rules(vec![rule]), &mut rng);
+            env.generator.generate_with_rules(&dq_logic::RuleSet::from_rules(vec![rule]), &mut rng);
         let targeted = PollutionConfig {
             steps: vec![PollutionStep {
                 polluter: Polluter::WrongValue {

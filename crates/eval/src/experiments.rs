@@ -265,8 +265,12 @@ pub fn fig3(scale: &Scale) -> Result<Series, AuditError> {
     let averaged = run_cells(scale, &scale.record_points, |&n, rep| {
         let mut env = baseline.environment(scale.rules, n, 1.0);
         env.audit.threads = Some(1);
+        // The cell level already saturates the pool; a nested
+        // generation pool would only add contention (output is
+        // thread-count-invariant either way).
+        env.generator.data.threads = Some(1);
         let mut rng = StdRng::seed_from_u64(scale.seed ^ n as u64 ^ (rep << 32));
-        let benchmark = env.generator.generate_with_rules(rules.clone(), &mut rng);
+        let benchmark = env.generator.generate_with_rules(&rules, &mut rng);
         let (dirty, log) = pollute(&benchmark.clean, &env.pollution, &mut rng);
         Ok(measures(&env.audit_prepared(benchmark, dirty, log)?))
     })?;
@@ -294,8 +298,10 @@ pub fn fig4(scale: &Scale) -> Result<Series, AuditError> {
         let prefix = dq_logic::RuleSet::from_rules(all_rules.rules[..k].to_vec());
         let mut env = baseline.environment(k, scale.rows, 1.0);
         env.audit.threads = Some(1);
+        // As in fig3: serial generation inside already-parallel cells.
+        env.generator.data.threads = Some(1);
         let mut rng = StdRng::seed_from_u64(scale.seed ^ ((k as u64) << 8) ^ (rep << 32));
-        let benchmark = env.generator.generate_with_rules(prefix, &mut rng);
+        let benchmark = env.generator.generate_with_rules(&prefix, &mut rng);
         let (dirty, log) = pollute(&benchmark.clean, &env.pollution, &mut rng);
         Ok(measures(&env.audit_prepared(benchmark, dirty, log)?))
     })?;

@@ -15,7 +15,7 @@ use std::fmt;
 ///
 /// NULL semantics (which Table 1's negation encodes): every atom except
 /// `IsNull` requires its attribute(s) to be non-NULL to hold.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Atom {
     /// `A = a`.
     EqConst {

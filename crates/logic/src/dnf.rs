@@ -18,7 +18,7 @@ pub const MAX_DNF_CONJUNCTS: usize = 4096;
 /// Returns `None` if the expansion exceeds [`MAX_DNF_CONJUNCTS`].
 pub fn to_dnf(formula: &Formula) -> Option<Vec<Vec<Atom>>> {
     match formula {
-        Formula::Atom(a) => Some(vec![vec![a.clone()]]),
+        Formula::Atom(a) => Some(vec![vec![*a]]),
         Formula::Or(fs) => {
             let mut out = Vec::new();
             for f in fs {

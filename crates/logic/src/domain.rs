@@ -8,11 +8,159 @@
 
 use dq_table::{AttrType, Value};
 
+/// The allowed codes of a nominal domain, as a bitset.
+///
+/// Stored inline as a `u128` mask when the label list fits (every
+/// schema in this workspace does); wider domains spill to a boxed
+/// vector. Bit `c` set ⇔ code `c` still allowed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NominalSet {
+    /// Domains of at most 128 labels: one bit per code.
+    Mask {
+        /// Allowed codes (bit `c`).
+        allowed: u128,
+        /// Number of labels in the domain.
+        len: u32,
+    },
+    /// Wider domains (`allowed[code]`).
+    Big(Vec<bool>),
+}
+
+impl NominalSet {
+    /// The full domain over `len` labels.
+    pub fn full(len: usize) -> NominalSet {
+        if len <= 128 {
+            let allowed = if len == 128 { u128::MAX } else { (1u128 << len) - 1 };
+            NominalSet::Mask { allowed, len: len as u32 }
+        } else {
+            NominalSet::Big(vec![true; len])
+        }
+    }
+
+    /// Number of labels.
+    fn len(&self) -> usize {
+        match self {
+            NominalSet::Mask { len, .. } => *len as usize,
+            NominalSet::Big(v) => v.len(),
+        }
+    }
+
+    /// Is code `c` allowed?
+    fn contains(&self, c: usize) -> bool {
+        match self {
+            NominalSet::Mask { allowed, len } => c < *len as usize && allowed & (1u128 << c) != 0,
+            NominalSet::Big(v) => c < v.len() && v[c],
+        }
+    }
+
+    /// Remove code `c`.
+    fn remove(&mut self, c: usize) {
+        match self {
+            NominalSet::Mask { allowed, len } => {
+                if c < *len as usize {
+                    *allowed &= !(1u128 << c);
+                }
+            }
+            NominalSet::Big(v) => {
+                if c < v.len() {
+                    v[c] = false;
+                }
+            }
+        }
+    }
+
+    /// Restrict to exactly code `c` (empty if `c` was not allowed).
+    fn keep_only(&mut self, c: usize) {
+        let keep = self.contains(c);
+        match self {
+            NominalSet::Mask { allowed, .. } => {
+                *allowed = if keep { 1u128 << c } else { 0 };
+            }
+            NominalSet::Big(v) => {
+                for x in v.iter_mut() {
+                    *x = false;
+                }
+                if keep {
+                    v[c] = true;
+                }
+            }
+        }
+    }
+
+    /// `true` when no code remains.
+    fn is_empty(&self) -> bool {
+        match self {
+            NominalSet::Mask { allowed, .. } => *allowed == 0,
+            NominalSet::Big(v) => !v.iter().any(|&a| a),
+        }
+    }
+
+    /// Lowest allowed code.
+    fn first(&self) -> Option<usize> {
+        match self {
+            NominalSet::Mask { allowed, .. } => {
+                if *allowed == 0 {
+                    None
+                } else {
+                    Some(allowed.trailing_zeros() as usize)
+                }
+            }
+            NominalSet::Big(v) => v.iter().position(|&a| a),
+        }
+    }
+
+    /// Highest allowed code.
+    fn last(&self) -> Option<usize> {
+        match self {
+            NominalSet::Mask { allowed, .. } => {
+                if *allowed == 0 {
+                    None
+                } else {
+                    Some(127 - allowed.leading_zeros() as usize)
+                }
+            }
+            NominalSet::Big(v) => v.iter().rposition(|&a| a),
+        }
+    }
+
+    /// Number of allowed codes.
+    fn count(&self) -> usize {
+        match self {
+            NominalSet::Mask { allowed, .. } => allowed.count_ones() as usize,
+            NominalSet::Big(v) => v.iter().filter(|&&a| a).count(),
+        }
+    }
+
+    /// Intersect with another nominal set; codes beyond the shorter
+    /// domain are dropped (compatible attributes share label lists, so
+    /// this only matters for defensive inputs).
+    fn intersect(&mut self, other: &NominalSet) {
+        match (&mut *self, other) {
+            (NominalSet::Mask { allowed, len }, NominalSet::Mask { allowed: ob, len: ol }) => {
+                *allowed &= ob;
+                if *ol < *len {
+                    let keep = if *ol == 128 { u128::MAX } else { (1u128 << *ol).wrapping_sub(1) };
+                    *allowed &= keep;
+                }
+            }
+            (me, other) => {
+                // Mixed widths: fall back to per-code filtering.
+                let n = me.len();
+                for c in 0..n {
+                    if me.contains(c) && !other.contains(c) {
+                        me.remove(c);
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// The set of *non-NULL* values an attribute may still take.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ValueDomain {
-    /// Allowed nominal codes (`allowed[code]`).
-    Nominal(Vec<bool>),
+    /// Allowed nominal codes.
+    Nominal(NominalSet),
     /// An interval in widened numeric coordinates (dates are day
     /// numbers), with excluded points from `≠` constraints.
     Range {
@@ -50,7 +198,7 @@ impl DomainSet {
     /// about NULLs explicitly).
     pub fn full(ty: &AttrType) -> DomainSet {
         let values = match ty {
-            AttrType::Nominal { labels } => ValueDomain::Nominal(vec![true; labels.len()]),
+            AttrType::Nominal { labels } => ValueDomain::Nominal(NominalSet::full(labels.len())),
             AttrType::Numeric { min, max, integer } => ValueDomain::Range {
                 lo: *min,
                 hi: *max,
@@ -81,13 +229,7 @@ impl DomainSet {
         self.can_null = false;
         match (&mut self.values, value) {
             (ValueDomain::Nominal(allowed), Value::Nominal(c)) => {
-                let keep = (*c as usize) < allowed.len() && allowed[*c as usize];
-                for a in allowed.iter_mut() {
-                    *a = false;
-                }
-                if keep {
-                    allowed[*c as usize] = true;
-                }
+                allowed.keep_only(*c as usize);
             }
             (vd @ ValueDomain::Range { .. }, v) => {
                 if let Some(x) = v.as_numeric() {
@@ -104,8 +246,8 @@ impl DomainSet {
     pub fn restrict_neq(&mut self, value: &Value) {
         self.can_null = false;
         match (&mut self.values, value) {
-            (ValueDomain::Nominal(allowed), Value::Nominal(c)) if (*c as usize) < allowed.len() => {
-                allowed[*c as usize] = false;
+            (ValueDomain::Nominal(allowed), Value::Nominal(c)) => {
+                allowed.remove(*c as usize);
             }
             (ValueDomain::Range { excluded, .. }, v) => {
                 if let Some(x) = v.as_numeric() {
@@ -162,8 +304,8 @@ impl ValueDomain {
     pub fn is_empty_set(&self) -> bool {
         match self {
             ValueDomain::Empty => true,
-            ValueDomain::Nominal(allowed) => !allowed.iter().any(|&a| a),
-            ValueDomain::Range { .. } => self.clone().normalized_is_empty(),
+            ValueDomain::Nominal(allowed) => allowed.is_empty(),
+            ValueDomain::Range { .. } => self.normalized_is_empty(),
         }
     }
 
@@ -171,12 +313,10 @@ impl ValueDomain {
     pub fn singleton(&self) -> Option<f64> {
         match self {
             ValueDomain::Nominal(allowed) => {
-                let mut it = allowed.iter().enumerate().filter(|(_, &a)| a);
-                let first = it.next()?;
-                if it.next().is_some() {
-                    None
+                if allowed.count() == 1 {
+                    allowed.first().map(|c| c as f64)
                 } else {
-                    Some(first.0 as f64)
+                    None
                 }
             }
             ValueDomain::Range { integer, excluded, .. } => {
@@ -204,7 +344,7 @@ impl ValueDomain {
     /// itself is returned as the infimum).
     pub fn inf(&self) -> Option<f64> {
         match self {
-            ValueDomain::Nominal(allowed) => allowed.iter().position(|&a| a).map(|i| i as f64),
+            ValueDomain::Nominal(allowed) => allowed.first().map(|i| i as f64),
             ValueDomain::Range { .. } => self.effective_bounds().map(|(lo, _)| lo),
             ValueDomain::Empty => None,
         }
@@ -214,7 +354,7 @@ impl ValueDomain {
     /// bounds).
     pub fn sup(&self) -> Option<f64> {
         match self {
-            ValueDomain::Nominal(allowed) => allowed.iter().rposition(|&a| a).map(|i| i as f64),
+            ValueDomain::Nominal(allowed) => allowed.last().map(|i| i as f64),
             ValueDomain::Range { .. } => self.effective_bounds().map(|(_, hi)| hi),
             ValueDomain::Empty => None,
         }
@@ -256,19 +396,10 @@ impl ValueDomain {
         match (&mut *self, other) {
             (_, ValueDomain::Empty) => *self = ValueDomain::Empty,
             (ValueDomain::Empty, _) => {}
-            (ValueDomain::Nominal(a), ValueDomain::Nominal(b)) => {
-                for (x, y) in a.iter_mut().zip(b) {
-                    *x &= *y;
-                }
-                // Length mismatch would mean incompatible attributes,
-                // which atom validation rules out; extra codes on
-                // either side are simply dropped.
-                if a.len() > b.len() {
-                    for x in a.iter_mut().skip(b.len()) {
-                        *x = false;
-                    }
-                }
-            }
+            // Length mismatch would mean incompatible attributes,
+            // which atom validation rules out; extra codes on either
+            // side are simply dropped.
+            (ValueDomain::Nominal(a), ValueDomain::Nominal(b)) => a.intersect(b),
             (
                 me @ ValueDomain::Range { .. },
                 ValueDomain::Range { lo, hi, lo_open, hi_open, excluded, .. },

@@ -68,7 +68,25 @@ pub fn eval_rule(rule: &Rule, record: &[Value]) -> RuleStatus {
 }
 
 /// Indices of all rows in `table` that violate `rule`.
+///
+/// Compiles the rule into a [`RuleProgram`](crate::program::RuleProgram)
+/// and scans with it — semantically identical to
+/// [`violations_reference`], which row-by-row interpretation pins.
 pub fn violations(rule: &Rule, table: &Table) -> Vec<usize> {
+    let program = crate::program::RuleProgram::compile(rule);
+    let mut buf = Vec::with_capacity(table.n_cols());
+    let mut out = Vec::new();
+    for r in 0..table.n_rows() {
+        table.row_into(r, &mut buf);
+        if program.violates(&buf) {
+            out.push(r);
+        }
+    }
+    out
+}
+
+/// The retained interpreted scan — ground truth for the compiled path.
+pub fn violations_reference(rule: &Rule, table: &Table) -> Vec<usize> {
     let mut buf = Vec::with_capacity(table.n_cols());
     let mut out = Vec::new();
     for r in 0..table.n_rows() {
@@ -161,5 +179,6 @@ mod tests {
             Formula::Atom(Atom::EqConst { attr: 1, value: Value::Nominal(1) }),
         );
         assert_eq!(violations(&rule, &t), vec![1, 3]);
+        assert_eq!(violations_reference(&rule, &t), vec![1, 3]);
     }
 }

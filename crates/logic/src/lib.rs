@@ -37,7 +37,9 @@ pub mod formula;
 pub mod implies;
 pub mod natural;
 pub mod negate;
+pub mod pairs;
 pub mod parser;
+pub mod program;
 pub mod sat;
 
 pub use atom::Atom;
@@ -48,5 +50,7 @@ pub use formula::{Formula, Rule, RuleSet};
 pub use implies::{equivalent, implies, is_contradictory_rule, is_tautological_rule, valid};
 pub use natural::{is_natural_formula, is_natural_rule, is_natural_rule_set, rule_pair_conflict};
 pub use negate::negate;
+pub use pairs::CachedRule;
 pub use parser::{parse_formula, parse_rule, ParseError};
+pub use program::{AttrMask, CompiledFormula, CompiledRuleSet, RecordView, RuleProgram};
 pub use sat::{satisfiable, satisfiable_conjunction};

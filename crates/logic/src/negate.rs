@@ -120,7 +120,7 @@ mod tests {
         let a_vals = [Value::Null, Value::Nominal(0), Value::Nominal(1)];
         let n_vals = [Value::Null, Value::Number(3.0), Value::Number(5.0), Value::Number(7.0)];
         for atom in &atoms {
-            let f = Formula::Atom(atom.clone());
+            let f = Formula::Atom(*atom);
             let g = negate(&f);
             for &av in &a_vals {
                 for &bv in &a_vals {

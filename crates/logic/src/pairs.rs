@@ -1,0 +1,339 @@
+//! Memoized pairwise rule hygiene — the fast path behind the rule
+//! generator's quadratic Def. 6 / instance-compatibility pass.
+//!
+//! Admitting the n-th rule into a natural rule set compares the
+//! candidate against every accepted rule; each comparison re-derives
+//! the same DNFs and TDG-negations from scratch, which makes rule-set
+//! generation quadratic with a large constant. A [`CachedRule`]
+//! computes, once per rule:
+//!
+//! * the DNFs of its premise, consequent and their TDG-negations (the
+//!   building blocks of every [`implies`](crate::implies::implies) and
+//!   [`satisfiable`](crate::sat::satisfiable) call the checks make);
+//! * its attribute masks (premise and whole-rule);
+//! * whether its premise is *valid* (true on every record) under the
+//!   implemented decision procedure.
+//!
+//! [`pair_conflict`] and [`instance_conflict`] then combine cached
+//! DNFs with the exact conjunction-product rule
+//! [`to_dnf`] uses (including its overflow cap),
+//! so every satisfiability verdict — and therefore every accept/reject
+//! decision of the rule generator — is **identical** to the uncached
+//! [`rule_pair_conflict`](crate::natural::rule_pair_conflict) path.
+//!
+//! On top of the memoization sit two attribute-disjointness prefilters
+//! that skip entire checks without changing any verdict (arguments in
+//! the function docs); both rely on the inputs being natural rules,
+//! which is the order the generator establishes anyway.
+
+use crate::atom::Atom;
+use crate::dnf::{to_dnf, MAX_DNF_CONJUNCTS};
+use crate::formula::Rule;
+use crate::negate::negate;
+use crate::program::AttrMask;
+use crate::sat::satisfiable_conjunction;
+use dq_table::Schema;
+
+/// A DNF as [`to_dnf`] produces it; `None` is the overflow verdict,
+/// which every consumer treats as "conservatively satisfiable".
+type Dnf = Option<Vec<Vec<Atom>>>;
+
+/// A rule with its pairwise-check ingredients precomputed.
+#[derive(Debug, Clone)]
+pub struct CachedRule {
+    /// The underlying rule.
+    pub rule: Rule,
+    attrs: AttrMask,
+    premise_attrs: AttrMask,
+    premise_valid: bool,
+    dnf_premise: Dnf,
+    dnf_neg_premise: Dnf,
+    dnf_consequent: Dnf,
+    dnf_neg_consequent: Dnf,
+}
+
+impl CachedRule {
+    /// Precompute the pairwise-check ingredients of `rule`.
+    pub fn new(schema: &Schema, rule: Rule) -> CachedRule {
+        let mut attrs = AttrMask::default();
+        for a in rule.attrs() {
+            attrs.set(a);
+        }
+        let mut premise_attrs = AttrMask::default();
+        for a in rule.premise.attrs() {
+            premise_attrs.set(a);
+        }
+        let dnf_premise = to_dnf(&rule.premise);
+        let dnf_neg_premise = to_dnf(&negate(&rule.premise));
+        let dnf_consequent = to_dnf(&rule.consequent);
+        let dnf_neg_consequent = to_dnf(&negate(&rule.consequent));
+        // The premise is valid iff its TDG-negation is unsatisfiable —
+        // the same decision `implies(⊤, premise)` would reach.
+        let premise_valid = !sat_dnf(schema, &dnf_neg_premise);
+        CachedRule {
+            rule,
+            attrs,
+            premise_attrs,
+            premise_valid,
+            dnf_premise,
+            dnf_neg_premise,
+            dnf_consequent,
+            dnf_neg_consequent,
+        }
+    }
+
+    /// Attributes mentioned anywhere in the rule.
+    pub fn attrs(&self) -> AttrMask {
+        self.attrs
+    }
+}
+
+/// Satisfiability of a cached DNF (`None` = overflow = satisfiable),
+/// exactly as [`satisfiable`](crate::sat::satisfiable) decides it.
+fn sat_dnf(schema: &Schema, dnf: &Dnf) -> bool {
+    match dnf {
+        None => true,
+        Some(conjs) => conjs.iter().any(|c| satisfiable_conjunction(schema, c)),
+    }
+}
+
+/// `satisfiable(schema, And(parts))` from cached part DNFs, without
+/// materializing the product: the conjuncts of the product DNF are
+/// enumerated lazily into one reusable buffer and solved until the
+/// first satisfiable one.
+///
+/// Verdict-identical to building [`to_dnf`]'s product and testing it:
+/// the enumerated conjunct set is the same, existence (`any`) does not
+/// depend on enumeration order, and the overflow cap triggers in
+/// exactly the same cases — with every factor non-empty the stepwise
+/// prefix products are monotone, so "some prefix exceeds the cap" is
+/// "the running product exceeds the cap at that step", which is what
+/// the loop below checks.
+fn sat_and(schema: &Schema, parts: &[&Dnf]) -> bool {
+    const MAX_PARTS: usize = 4;
+    assert!(parts.len() <= MAX_PARTS, "pairwise checks conjoin at most 4 formulae");
+    let mut factors: [&[Vec<Atom>]; MAX_PARTS] = [&[]; MAX_PARTS];
+    let mut total = 1usize;
+    for (k, part) in parts.iter().enumerate() {
+        let Some(d) = part.as_ref() else {
+            return true; // a factor already overflowed: conservative SAT
+        };
+        match total.checked_mul(d.len()) {
+            Some(t) if t <= MAX_DNF_CONJUNCTS => total = t,
+            _ => return true, // product overflow: conservative SAT
+        }
+        factors[k] = d;
+    }
+    if total == 0 {
+        return false; // an empty factor empties the product
+    }
+    let factors = &factors[..parts.len()];
+    // Odometer over one conjunct index per factor, merging into one
+    // reusable buffer.
+    let mut idx = [0usize; MAX_PARTS];
+    CONJ_SCRATCH.with(|cell| {
+        let mut conj = cell.borrow_mut();
+        loop {
+            conj.clear();
+            for (f, &i) in factors.iter().zip(&idx) {
+                conj.extend_from_slice(&f[i]);
+            }
+            if satisfiable_conjunction(schema, &conj) {
+                return true;
+            }
+            // Advance the odometer (last factor fastest, like the
+            // nested product loops).
+            let mut k = factors.len();
+            loop {
+                if k == 0 {
+                    return false;
+                }
+                k -= 1;
+                idx[k] += 1;
+                if idx[k] < factors[k].len() {
+                    break;
+                }
+                idx[k] = 0;
+            }
+        }
+    })
+}
+
+thread_local! {
+    /// Reusable merged-conjunct buffer for [`sat_and`]. The solver it
+    /// feeds never calls back into `sat_and`, so the borrow is never
+    /// reentrant.
+    static CONJ_SCRATCH: std::cell::RefCell<Vec<Atom>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Cached equivalent of
+/// [`rule_pair_conflict`](crate::natural::rule_pair_conflict):
+/// identical verdict on every natural rule pair.
+pub fn pair_conflict(schema: &Schema, a: &CachedRule, b: &CachedRule) -> bool {
+    directed_conflict(schema, a, b) || directed_conflict(schema, b, a)
+}
+
+/// The Def. 6 check for the ordered pair (`ri` = αᵢ → βᵢ,
+/// `rj` = αⱼ → βⱼ), off cached DNFs.
+///
+/// Prefilter: when the premises share no attribute and αᵢ is not
+/// valid, `αⱼ ⇒ αᵢ` is decidedly false — a satisfiable conjunct of
+/// DNF(αⱼ) (αⱼ is natural, hence satisfiable) concatenated with a
+/// satisfiable conjunct of DNF(α̃ᵢ) (exists since αᵢ is not valid)
+/// stays satisfiable under the per-attribute domain-restriction
+/// procedure, because restrictions and links never cross disjoint
+/// attribute sets. The full check would reach the same "no
+/// implication" answer, so skipping changes no verdict.
+fn directed_conflict(schema: &Schema, ri: &CachedRule, rj: &CachedRule) -> bool {
+    if !ri.premise_attrs.intersects(rj.premise_attrs) && !ri.premise_valid {
+        return false;
+    }
+    // implies(αⱼ, αᵢ) = UNSAT(αⱼ ∧ α̃ᵢ).
+    if sat_and(schema, &[&rj.dnf_premise, &ri.dnf_neg_premise]) {
+        return false; // αⱼ does not imply αᵢ
+    }
+    let overlap_sat = sat_and(schema, &[&rj.dnf_premise, &ri.dnf_consequent, &rj.dnf_consequent]);
+    if !overlap_sat {
+        return true; // contradictory consequences on αⱼ-records
+    }
+    // (αⱼ ∧ βᵢ) ⇒ βⱼ — rⱼ adds nothing beyond rᵢ on its own records.
+    !sat_and(schema, &[&rj.dnf_premise, &ri.dnf_consequent, &rj.dnf_neg_consequent])
+}
+
+/// Cached equivalent of the rule generator's strict
+/// instance-compatibility check: can the two rules clash on a single
+/// record (premises can hold together but premises ∧ consequents
+/// cannot)?
+///
+/// Prefilter: when the rules share no attribute at all, both
+/// conjunctions factor into the two rules' own satisfiable halves
+/// (`αₖ ∧ βₖ` is satisfiable for every natural rule), so the check is
+/// decidedly "no conflict".
+pub fn instance_conflict(schema: &Schema, a: &CachedRule, b: &CachedRule) -> bool {
+    if !a.attrs.intersects(b.attrs) {
+        return false;
+    }
+    if !sat_and(schema, &[&a.dnf_premise, &b.dnf_premise]) {
+        return false; // premises disjoint: no record triggers both
+    }
+    !sat_and(schema, &[&a.dnf_premise, &b.dnf_premise, &a.dnf_consequent, &b.dnf_consequent])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::Formula;
+    use crate::natural::rule_pair_conflict;
+    use crate::sat::satisfiable;
+    use dq_table::{SchemaBuilder, Value};
+
+    fn schema() -> std::sync::Arc<Schema> {
+        SchemaBuilder::new()
+            .nominal("A", ["Val1", "Val2", "Val3"])
+            .nominal("B", ["Val1", "Val2", "Val3"])
+            .nominal("C", ["Val1", "Val2", "Val3"])
+            .numeric("N", 0.0, 10.0)
+            .build()
+            .unwrap()
+    }
+
+    fn eq(attr: usize, code: u32) -> Formula {
+        Formula::Atom(Atom::EqConst { attr, value: Value::Nominal(code) })
+    }
+
+    fn neq(attr: usize, code: u32) -> Formula {
+        Formula::Atom(Atom::NeqConst { attr, value: Value::Nominal(code) })
+    }
+
+    /// The uncached instance-compatibility check, verbatim from the
+    /// rule generator, as differential ground truth.
+    fn instance_conflict_plain(schema: &Schema, a: &Rule, b: &Rule) -> bool {
+        let premises = Formula::And(vec![a.premise.clone(), b.premise.clone()]);
+        if !satisfiable(schema, &premises) {
+            return false;
+        }
+        let all = Formula::And(vec![
+            a.premise.clone(),
+            b.premise.clone(),
+            a.consequent.clone(),
+            b.consequent.clone(),
+        ]);
+        !satisfiable(schema, &all)
+    }
+
+    #[test]
+    fn cached_verdicts_match_plain_on_paper_examples() {
+        let s = schema();
+        let pairs = [
+            // Mutually contradictory pair.
+            (Rule::new(eq(0, 0), eq(1, 0)), Rule::new(eq(0, 0), eq(1, 1))),
+            // Redundant specialization.
+            (
+                Rule::new(eq(0, 0), eq(2, 0)),
+                Rule::new(Formula::And(vec![eq(0, 0), eq(1, 1)]), eq(2, 0)),
+            ),
+            // Refining specialization (accepted).
+            (
+                Rule::new(eq(0, 0), neq(2, 2)),
+                Rule::new(Formula::And(vec![eq(0, 0), eq(1, 1)]), eq(2, 0)),
+            ),
+            // Unrelated rules.
+            (Rule::new(eq(0, 0), eq(1, 0)), Rule::new(eq(2, 1), eq(1, 2))),
+            // Fully attribute-disjoint rules (prefilter path).
+            (
+                Rule::new(eq(0, 0), eq(1, 0)),
+                Rule::new(eq(2, 1), Formula::Atom(Atom::LessConst { attr: 3, value: 5.0 })),
+            ),
+            // Instance conflict through overlapping premises.
+            (
+                Rule::new(eq(0, 0), Formula::Atom(Atom::LessConst { attr: 3, value: 2.0 })),
+                Rule::new(eq(1, 0), Formula::Atom(Atom::GreaterConst { attr: 3, value: 8.0 })),
+            ),
+        ];
+        for (ra, rb) in pairs {
+            let ca = CachedRule::new(&s, ra.clone());
+            let cb = CachedRule::new(&s, rb.clone());
+            assert_eq!(
+                pair_conflict(&s, &ca, &cb),
+                rule_pair_conflict(&s, &ra, &rb),
+                "pair_conflict({ra}, {rb})"
+            );
+            assert_eq!(
+                instance_conflict(&s, &ca, &cb),
+                instance_conflict_plain(&s, &ra, &rb),
+                "instance_conflict({ra}, {rb})"
+            );
+        }
+    }
+
+    #[test]
+    fn premise_validity_is_detected() {
+        let s = schema();
+        // N < 100 is valid over N ∈ [0, 10] … except NULLs: a NULL
+        // record falsifies it, so it is NOT valid under TDG semantics.
+        let almost = CachedRule::new(
+            &s,
+            Rule::new(Formula::Atom(Atom::LessConst { attr: 3, value: 100.0 }), eq(0, 0)),
+        );
+        assert!(!almost.premise_valid);
+        // N < 100 ∨ N isnull *is* valid.
+        let valid = CachedRule::new(
+            &s,
+            Rule::new(
+                Formula::Or(vec![
+                    Formula::Atom(Atom::LessConst { attr: 3, value: 100.0 }),
+                    Formula::Atom(Atom::IsNull { attr: 3 }),
+                ]),
+                eq(0, 0),
+            ),
+        );
+        assert!(valid.premise_valid);
+        // A valid premise defeats the disjointness prefilter: the pair
+        // verdict must still match the plain path.
+        let other = CachedRule::new(&s, Rule::new(eq(1, 0), eq(2, 0)));
+        assert_eq!(
+            pair_conflict(&s, &valid, &other),
+            rule_pair_conflict(&s, &valid.rule, &other.rule)
+        );
+    }
+}

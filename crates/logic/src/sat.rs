@@ -22,6 +22,11 @@ use dq_table::Schema;
 
 /// Satisfiability of an arbitrary TDG-formula over `schema`.
 pub fn satisfiable(schema: &Schema, formula: &Formula) -> bool {
+    // Single atoms are their own DNF — skip the expansion (naturality
+    // checks test every atom of every candidate rule this way).
+    if let Formula::Atom(a) = formula {
+        return satisfiable_conjunction(schema, std::slice::from_ref(a));
+    }
     match to_dnf(formula) {
         // DNF too large to enumerate: give the formula the benefit of
         // the doubt (errs toward SAT, preserving UNSAT soundness).
@@ -31,8 +36,15 @@ pub fn satisfiable(schema: &Schema, formula: &Formula) -> bool {
 }
 
 /// Satisfiability of a conjunction of atoms.
+///
+/// Runs the same solver as [`solve_conjunction`] but skips the final
+/// per-attribute domain materialization — the hot callers (rule-set
+/// hygiene, implication checks) only need the verdict.
 pub fn satisfiable_conjunction(schema: &Schema, atoms: &[Atom]) -> bool {
-    solve_conjunction(schema, atoms).is_some()
+    SOLVE_SCRATCH.with(|cell| {
+        let mut st = cell.borrow_mut();
+        solve_slots_in(schema, atoms, &mut st)
+    })
 }
 
 /// Run the domain-restriction procedure on a conjunction of atoms.
@@ -42,82 +54,188 @@ pub fn satisfiable_conjunction(schema: &Schema, atoms: &[Atom]) -> bool {
 /// samples repair values from exactly these sets — or `None` if it is
 /// definitely unsatisfiable.
 pub fn solve_conjunction(schema: &Schema, atoms: &[Atom]) -> Option<Vec<DomainSet>> {
-    let n = schema.len();
-    let mut dom: Vec<DomainSet> =
-        schema.attributes().iter().map(|a| DomainSet::full(&a.ty)).collect();
-    let mut uf = UnionFind::new(n);
-    let mut less_edges: Vec<(usize, usize)> = Vec::new(); // (a, b) means a < b
+    SOLVE_SCRATCH.with(|cell| {
+        let mut st = cell.borrow_mut();
+        if !solve_slots_in(schema, atoms, &mut st) {
+            return None;
+        }
+        // Copy root domains back to every member so callers see the
+        // restriction on the attribute they asked about; unmentioned
+        // attributes keep their full domain.
+        Some(
+            (0..schema.len())
+                .map(|i| match st.attrs.iter().position(|&a| a == i) {
+                    Some(s) => st.dom[st.root_of(s)].clone(),
+                    None => DomainSet::full(&schema.attr(i).ty),
+                })
+                .collect(),
+        )
+    })
+}
+
+/// The solver's working state, over *mentioned attributes only*: a
+/// conjunction of k atoms touches at most 2k attributes, so building
+/// (and intersecting, propagating, checking) domains for the whole
+/// schema is wasted work — unmentioned attributes keep their full
+/// domain, participate in no links, and are always satisfiable. The
+/// verdict is identical to solving over all attributes: restrictions
+/// and links never reach an unmentioned attribute, and the sweep count
+/// (one per slot) still covers the longest possible propagation chain.
+struct SlotState {
+    /// Mentioned attributes, in first-mention order (slot index →
+    /// attribute index).
+    attrs: Vec<usize>,
+    /// Per-slot restricted domain.
+    dom: Vec<DomainSet>,
+    /// Union-find parents over slots.
+    parent: Vec<usize>,
+}
+
+impl SlotState {
+    /// The slot for attribute `attr`, creating it (with the attribute's
+    /// full domain) on first mention.
+    fn slot(&mut self, schema: &Schema, attr: usize) -> usize {
+        match self.attrs.iter().position(|&a| a == attr) {
+            Some(s) => s,
+            None => {
+                self.attrs.push(attr);
+                self.dom.push(DomainSet::full(&schema.attr(attr).ty));
+                self.parent.push(self.parent.len());
+                self.attrs.len() - 1
+            }
+        }
+    }
+
+    fn root_of(&self, mut s: usize) -> usize {
+        while self.parent[s] != s {
+            s = self.parent[s];
+        }
+        s
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.root_of(a), self.root_of(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+thread_local! {
+    /// Reusable solver buffers — `solve_slots` is called once per DNF
+    /// conjunct on the hot hygiene paths, and with bitmask nominal
+    /// domains the buffers themselves were its only remaining heap
+    /// traffic. Never borrowed reentrantly: the solver does not call
+    /// back into itself.
+    static SOLVE_SCRATCH: std::cell::RefCell<SlotState> = const { std::cell::RefCell::new(SlotState {
+        attrs: Vec::new(),
+        dom: Vec::new(),
+        parent: Vec::new(),
+    }) };
+}
+
+/// The domain-restriction procedure over mentioned-attribute slots;
+/// `true` iff the conjunction is (believed) satisfiable. On success
+/// `st` holds the restricted slots.
+fn solve_slots_in(schema: &Schema, atoms: &[Atom], st: &mut SlotState) -> bool {
+    st.attrs.clear();
+    st.dom.clear();
+    st.parent.clear();
+    let mut less_edges: Vec<(usize, usize)> = Vec::new(); // (a, b) means a < b (slots)
     let mut neq_pairs: Vec<(usize, usize)> = Vec::new();
 
     // Phase 1: integrate propositional restrictions, collect links.
     for atom in atoms {
         match atom {
-            Atom::EqConst { attr, value } => dom[*attr].restrict_eq(value),
-            Atom::NeqConst { attr, value } => dom[*attr].restrict_neq(value),
-            Atom::LessConst { attr, value } => dom[*attr].restrict_less(*value, true),
-            Atom::GreaterConst { attr, value } => dom[*attr].restrict_greater(*value, true),
-            Atom::IsNull { attr } => dom[*attr].restrict_null(),
-            Atom::IsNotNull { attr } => dom[*attr].restrict_not_null(),
+            Atom::EqConst { attr, value } => {
+                let s = st.slot(schema, *attr);
+                st.dom[s].restrict_eq(value);
+            }
+            Atom::NeqConst { attr, value } => {
+                let s = st.slot(schema, *attr);
+                st.dom[s].restrict_neq(value);
+            }
+            Atom::LessConst { attr, value } => {
+                let s = st.slot(schema, *attr);
+                st.dom[s].restrict_less(*value, true);
+            }
+            Atom::GreaterConst { attr, value } => {
+                let s = st.slot(schema, *attr);
+                st.dom[s].restrict_greater(*value, true);
+            }
+            Atom::IsNull { attr } => {
+                let s = st.slot(schema, *attr);
+                st.dom[s].restrict_null();
+            }
+            Atom::IsNotNull { attr } => {
+                let s = st.slot(schema, *attr);
+                st.dom[s].restrict_not_null();
+            }
             Atom::EqAttr { left, right } => {
-                dom[*left].restrict_not_null();
-                dom[*right].restrict_not_null();
-                uf.union(*left, *right);
+                let (l, r) = (st.slot(schema, *left), st.slot(schema, *right));
+                st.dom[l].restrict_not_null();
+                st.dom[r].restrict_not_null();
+                st.union(l, r);
             }
             Atom::NeqAttr { left, right } => {
-                dom[*left].restrict_not_null();
-                dom[*right].restrict_not_null();
-                neq_pairs.push((*left, *right));
+                let (l, r) = (st.slot(schema, *left), st.slot(schema, *right));
+                st.dom[l].restrict_not_null();
+                st.dom[r].restrict_not_null();
+                neq_pairs.push((l, r));
             }
             Atom::LessAttr { left, right } => {
-                dom[*left].restrict_not_null();
-                dom[*right].restrict_not_null();
-                less_edges.push((*left, *right));
+                let (l, r) = (st.slot(schema, *left), st.slot(schema, *right));
+                st.dom[l].restrict_not_null();
+                st.dom[r].restrict_not_null();
+                less_edges.push((l, r));
             }
             Atom::GreaterAttr { left, right } => {
-                dom[*left].restrict_not_null();
-                dom[*right].restrict_not_null();
-                less_edges.push((*right, *left));
+                let (l, r) = (st.slot(schema, *left), st.slot(schema, *right));
+                st.dom[l].restrict_not_null();
+                st.dom[r].restrict_not_null();
+                less_edges.push((r, l));
             }
         }
     }
+    let k = st.attrs.len();
 
     // Phase 2: merge the domains of equality groups into the root.
-    for i in 0..n {
-        let r = uf.find(i);
-        if r != i {
-            let d = dom[i].clone();
-            dom[r].intersect(&d);
+    for s in 0..k {
+        let r = st.root_of(s);
+        if r != s {
+            let d = st.dom[s].clone();
+            st.dom[r].intersect(&d);
         }
     }
 
     // Map order/disequality constraints onto group roots.
     let less: Vec<(usize, usize)> =
-        less_edges.iter().map(|&(a, b)| (uf.find(a), uf.find(b))).collect();
+        less_edges.iter().map(|&(a, b)| (st.root_of(a), st.root_of(b))).collect();
     if less.iter().any(|&(a, b)| a == b) {
-        return None; // x < x via equality chain
+        return false; // x < x via equality chain
     }
     for &(a, b) in &neq_pairs {
-        if uf.find(a) == uf.find(b) {
-            return None; // x ≠ x via equality chain
+        if st.root_of(a) == st.root_of(b) {
+            return false; // x ≠ x via equality chain
         }
     }
 
     // A cycle in the strict-order graph is unsatisfiable
     // (a < … < a) — the transitivity the paper calls out.
-    if has_cycle(n, &less) {
-        return None;
+    if has_cycle(k, &less) {
+        return false;
     }
 
     // Phase 3: propagate interval bounds along order edges. The graph
-    // is a DAG with at most n nodes, so n sweeps reach the fixpoint.
-    for _ in 0..n.max(1) {
+    // is a DAG with at most k nodes, so k sweeps reach the fixpoint.
+    for _ in 0..k.max(1) {
         for &(a, b) in &less {
             // a < b: a stays below b's supremum, b above a's infimum.
             let (da, db) = if a < b {
-                let (x, y) = dom.split_at_mut(b);
+                let (x, y) = st.dom.split_at_mut(b);
                 (&mut x[a], &mut y[0])
             } else {
-                let (x, y) = dom.split_at_mut(a);
+                let (x, y) = st.dom.split_at_mut(a);
                 (&mut y[0], &mut x[b])
             };
             if let Some(sup_b) = db.values.sup() {
@@ -130,53 +248,23 @@ pub fn solve_conjunction(schema: &Schema, atoms: &[Atom]) -> Option<Vec<DomainSe
     }
 
     // Phase 4: verdicts. Every group root must still be satisfiable.
-    for i in 0..n {
-        let r = uf.find(i);
-        if !dom[r].is_satisfiable() {
-            return None;
+    for s in 0..k {
+        if !st.dom[st.root_of(s)].is_satisfiable() {
+            return false;
         }
         // Attributes linked relationally must have a *value* (they are
         // non-null); the intersect already dropped nullability.
     }
     // Disequality between two singleton groups pinned to one value.
     for &(a, b) in &neq_pairs {
-        let (ra, rb) = (uf.find(a), uf.find(b));
-        if let (Some(x), Some(y)) = (dom[ra].values.singleton(), dom[rb].values.singleton()) {
+        let (ra, rb) = (st.root_of(a), st.root_of(b));
+        if let (Some(x), Some(y)) = (st.dom[ra].values.singleton(), st.dom[rb].values.singleton()) {
             if x == y {
-                return None;
+                return false;
             }
         }
     }
-
-    // Copy root domains back to every member so callers see the
-    // restriction on the attribute they asked about.
-    let result: Vec<DomainSet> = (0..n).map(|i| dom[uf.find(i)].clone()).collect();
-    Some(result)
-}
-
-struct UnionFind {
-    parent: Vec<usize>,
-}
-
-impl UnionFind {
-    fn new(n: usize) -> Self {
-        UnionFind { parent: (0..n).collect() }
-    }
-
-    fn find(&mut self, mut x: usize) -> usize {
-        while self.parent[x] != x {
-            self.parent[x] = self.parent[self.parent[x]];
-            x = self.parent[x];
-        }
-        x
-    }
-
-    fn union(&mut self, a: usize, b: usize) {
-        let (ra, rb) = (self.find(a), self.find(b));
-        if ra != rb {
-            self.parent[ra] = rb;
-        }
-    }
+    true
 }
 
 /// Kahn's algorithm over the strict-order edges.

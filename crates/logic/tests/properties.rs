@@ -118,7 +118,7 @@ proptest! {
     ) {
         if let Some(dnf) = to_dnf(&f) {
             let dnf_true = dnf.iter().any(|conj| {
-                conj.iter().all(|atom| eval_formula(&Formula::Atom(atom.clone()), &rec))
+                conj.iter().all(|atom| eval_formula(&Formula::Atom(*atom), &rec))
             });
             prop_assert_eq!(eval_formula(&f, &rec), dnf_true);
         }

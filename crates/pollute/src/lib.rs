@@ -20,7 +20,9 @@
 pub mod log;
 pub mod pipeline;
 pub mod polluter;
+pub mod violations;
 
 pub use log::{CellCorruption, PollutionLog, RowProvenance};
 pub use pipeline::{pollute, PollutionConfig, PollutionStep};
 pub use polluter::{Polluter, PolluterKind};
+pub use violations::{count_violations, unexplained_violations, violating_rows};

@@ -130,6 +130,21 @@ impl Column {
         }
     }
 
+    /// Append every cell of `other` (which must be of the same kind) —
+    /// the columnar bulk move behind [`crate::Table::append_rows`].
+    pub fn append_from(&mut self, other: &Column) {
+        match (self, other) {
+            (Column::Nominal(v), Column::Nominal(o)) => v.extend_from_slice(o),
+            (Column::Number(v), Column::Number(o)) => v.extend_from_slice(o),
+            (Column::Date(v), Column::Date(o)) => v.extend_from_slice(o),
+            (col, other) => panic!(
+                "cannot append {:?} column to {:?} column",
+                other.kind_name(),
+                col.kind_name()
+            ),
+        }
+    }
+
     /// Remove the cell at `row`, shifting later cells up (order-
     /// preserving, O(n)).
     pub fn remove(&mut self, row: usize) {

@@ -170,6 +170,20 @@ impl Table {
         &self.columns[col]
     }
 
+    /// Append all rows of `other` (same schema required) by columnar
+    /// bulk copy — how sharded generators stitch their chunks back
+    /// together without going through per-row `Value` records.
+    pub fn append_rows(&mut self, other: &Table) -> Result<(), TableError> {
+        if self.schema != other.schema {
+            return Err(TableError::SchemaMismatch);
+        }
+        for (col, o) in self.columns.iter_mut().zip(&other.columns) {
+            col.append_from(o);
+        }
+        self.n_rows += other.n_rows;
+        Ok(())
+    }
+
     /// Count rows whose cell in `col` satisfies `pred`.
     pub fn count_where<F: FnMut(Value) -> bool>(&self, col: AttrIdx, mut pred: F) -> usize {
         (0..self.n_rows).filter(|&r| pred(self.get(r, col))).count()

@@ -16,11 +16,28 @@
 //! unresolved violations are reported rather than looped on forever.
 
 use dq_bayes::BayesianNetwork;
-use dq_logic::{eval_formula, eval_rule, negate, Atom, Formula, RuleSet, RuleStatus};
+use dq_exec::WorkerPool;
+use dq_logic::{
+    eval_formula, eval_rule, negate, Atom, CompiledFormula, CompiledRuleSet, Formula, RecordView,
+    RuleSet, RuleStatus,
+};
 use dq_stats::DistributionSpec;
 use dq_table::{AttrIdx, AttrType, Schema, Table, Value};
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::sync::Arc;
+
+/// Rows generated per independently seeded RNG stream.
+///
+/// Generation is sharded into fixed-size row chunks whose seeds are
+/// all drawn from the caller's RNG *up front*; each chunk then runs
+/// its own [`StdRng`] stream. The chunk layout depends only on
+/// `n_rows`, never on the worker count, so the generated table is
+/// byte-identical at any thread count — and identical to the serial
+/// [`generate_reference`] path. 4096 rows balance per-chunk setup
+/// (compiled scratch indexes) against scheduling granularity: a
+/// million-row run still yields ~244 chunks to spread over workers.
+pub const GEN_CHUNK_ROWS: usize = 4096;
 
 /// Start-value sampling: one univariate spec per attribute, optionally
 /// overridden by multivariate Bayesian-network groups.
@@ -76,12 +93,21 @@ pub struct DataGenConfig {
     pub start: StartDistributions,
     /// Maximum repair passes over the rule set per record.
     pub max_repair_passes: usize,
+    /// Worker threads for chunk generation: `None` resolves via
+    /// `DQ_THREADS`/available parallelism, `Some(1)` runs inline on the
+    /// caller's thread. Output is byte-identical at any setting.
+    pub threads: Option<usize>,
 }
 
 impl DataGenConfig {
-    /// Uniform start values, 24 repair passes.
+    /// Uniform start values, 24 repair passes, automatic threads.
     pub fn new(schema: &Schema, n_rows: usize) -> Self {
-        DataGenConfig { n_rows, start: StartDistributions::uniform(schema), max_repair_passes: 24 }
+        DataGenConfig {
+            n_rows,
+            start: StartDistributions::uniform(schema),
+            max_repair_passes: 24,
+            threads: None,
+        }
     }
 }
 
@@ -99,7 +125,11 @@ pub struct GenReport {
 }
 
 /// Generate `config.n_rows` records over `schema` that (after repair)
-/// follow `rules`.
+/// follow `rules` — the fast path: rules are compiled once into a
+/// [`CompiledRuleSet`], the repair loop re-evaluates only rules whose
+/// attributes a repair touched (dirty-attribute inverted index), and
+/// the fixed-size chunks are sharded across a [`WorkerPool`]. Output
+/// is byte-identical to [`generate_reference`] at any thread count.
 pub fn generate_table<R: Rng + ?Sized>(
     schema: &Arc<Schema>,
     rules: &RuleSet,
@@ -107,33 +137,135 @@ pub fn generate_table<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> (Table, GenReport) {
     assert_eq!(config.start.univariate.len(), schema.len(), "one univariate spec per attribute");
-    let mut table = Table::with_capacity(schema.clone(), config.n_rows);
-    let mut report = GenReport::default();
-    // Attributes covered by a multivariate group skip univariate
-    // sampling.
+    let plans = chunk_plans(config.n_rows, rng);
+    let covered = covered_attrs(schema, config);
+    let compiled = CompiledRuleSet::compile(rules, schema.len());
+    // Per rule, the two formulae a repair can enforce — the consequent
+    // and the TDG-negated premise — pre-compiled into repair trees
+    // (per-node programs + isnull flags) once per rule set instead of
+    // re-derived per repair action.
+    let repair_trees: Vec<(RepairTree, RepairTree)> = rules
+        .iter()
+        .map(|r| (RepairTree::compile(&r.consequent), RepairTree::compile(&negate(&r.premise))))
+        .collect();
+    let index = RepairIndex::new(schema, rules, &compiled);
+    let pool = WorkerPool::from_config(config.threads);
+    let parts = pool.map_indexed(&plans, |_, &(n, seed)| {
+        let mut chunk_rng = StdRng::seed_from_u64(seed);
+        let mut table = Table::with_capacity(schema.clone(), n);
+        let mut report = GenReport::default();
+        let mut record: Vec<Value> = vec![Value::Null; schema.len()];
+        let mut joint: Vec<(AttrIdx, u32)> = Vec::new();
+        let mut scratch = RepairScratch::new(schema, rules);
+        for _ in 0..n {
+            sample_start(schema, config, &covered, &mut record, &mut joint, &mut chunk_rng);
+            let unresolved = repair_record_compiled(
+                schema,
+                &compiled,
+                &repair_trees,
+                &index,
+                &mut record,
+                config.max_repair_passes,
+                &mut chunk_rng,
+                &mut report.repairs,
+                &mut scratch,
+            );
+            if unresolved > 0 {
+                report.unresolved_rows += 1;
+                report.unresolved_violations += unresolved as u64;
+            }
+            // Kind-checked append: repairs only write kind-correct
+            // domain values, and the retained reference path keeps the
+            // fully validating `push_row` on the same records.
+            table.push_row_lenient(&record).expect("generated record matches schema");
+            report.rows += 1;
+        }
+        (table, report)
+    });
+    merge_chunks(schema, config.n_rows, parts)
+}
+
+/// The retained serial row-at-a-time generator: interpreted rule
+/// evaluation ([`eval_rule`]), per-repair [`negate()`], full rule-set
+/// re-scan every pass. Ground truth for the compiled path and the
+/// "before" side of the `tdg/data` benches. Chunk seeding is shared
+/// with [`generate_table`], so the two paths must emit *byte-identical*
+/// tables and equal reports (pinned by the equivalence suite).
+pub fn generate_reference<R: Rng + ?Sized>(
+    schema: &Arc<Schema>,
+    rules: &RuleSet,
+    config: &DataGenConfig,
+    rng: &mut R,
+) -> (Table, GenReport) {
+    assert_eq!(config.start.univariate.len(), schema.len(), "one univariate spec per attribute");
+    let plans = chunk_plans(config.n_rows, rng);
+    let covered = covered_attrs(schema, config);
+    let mut parts = Vec::with_capacity(plans.len());
+    for &(n, seed) in &plans {
+        let mut chunk_rng = StdRng::seed_from_u64(seed);
+        let mut table = Table::with_capacity(schema.clone(), n);
+        let mut report = GenReport::default();
+        let mut record: Vec<Value> = vec![Value::Null; schema.len()];
+        let mut joint: Vec<(AttrIdx, u32)> = Vec::new();
+        for _ in 0..n {
+            sample_start(schema, config, &covered, &mut record, &mut joint, &mut chunk_rng);
+            let unresolved = repair_record(
+                schema,
+                rules,
+                &mut record,
+                config.max_repair_passes,
+                &mut chunk_rng,
+                &mut report.repairs,
+            );
+            if unresolved > 0 {
+                report.unresolved_rows += 1;
+                report.unresolved_violations += unresolved as u64;
+            }
+            table.push_row(&record).expect("generated record matches schema");
+            report.rows += 1;
+        }
+        parts.push((table, report));
+    }
+    merge_chunks(schema, config.n_rows, parts)
+}
+
+/// The deterministic chunk layout: `(len, seed)` per chunk, seeds drawn
+/// from the caller's RNG in chunk order before any generation starts.
+fn chunk_plans<R: Rng + ?Sized>(n_rows: usize, rng: &mut R) -> Vec<(usize, u64)> {
+    let n_chunks = n_rows.div_ceil(GEN_CHUNK_ROWS);
+    (0..n_chunks)
+        .map(|i| {
+            let len = GEN_CHUNK_ROWS.min(n_rows - i * GEN_CHUNK_ROWS);
+            (len, rng.gen::<u64>())
+        })
+        .collect()
+}
+
+/// Attributes covered by a multivariate group skip univariate sampling.
+fn covered_attrs(schema: &Schema, config: &DataGenConfig) -> Vec<bool> {
     let mut covered = vec![false; schema.len()];
     for net in &config.start.networks {
         for a in net.attrs() {
             covered[a] = true;
         }
     }
-    let mut record: Vec<Value> = vec![Value::Null; schema.len()];
-    for _ in 0..config.n_rows {
-        sample_start(schema, config, &covered, &mut record, rng);
-        let unresolved = repair_record(
-            schema,
-            rules,
-            &mut record,
-            config.max_repair_passes,
-            rng,
-            &mut report.repairs,
-        );
-        if unresolved > 0 {
-            report.unresolved_rows += 1;
-            report.unresolved_violations += unresolved as u64;
-        }
-        table.push_row(&record).expect("generated record matches schema");
-        report.rows += 1;
+    covered
+}
+
+/// Stitch per-chunk tables and reports back together, in chunk order.
+fn merge_chunks(
+    schema: &Arc<Schema>,
+    n_rows: usize,
+    parts: Vec<(Table, GenReport)>,
+) -> (Table, GenReport) {
+    let mut table = Table::with_capacity(schema.clone(), n_rows);
+    let mut report = GenReport::default();
+    for (part, part_report) in parts {
+        table.append_rows(&part).expect("chunk tables share the schema");
+        report.rows += part_report.rows;
+        report.repairs += part_report.repairs;
+        report.unresolved_rows += part_report.unresolved_rows;
+        report.unresolved_violations += part_report.unresolved_violations;
     }
     (table, report)
 }
@@ -143,6 +275,7 @@ fn sample_start<R: Rng + ?Sized>(
     config: &DataGenConfig,
     covered: &[bool],
     record: &mut [Value],
+    joint: &mut Vec<(AttrIdx, u32)>,
     rng: &mut R,
 ) {
     for (a, cell) in record.iter_mut().enumerate() {
@@ -153,7 +286,8 @@ fn sample_start<R: Rng + ?Sized>(
         };
     }
     for net in &config.start.networks {
-        for (attr, code) in net.sample(rng) {
+        net.sample_into(rng, joint);
+        for &(attr, code) in joint.iter() {
             record[attr] = Value::Nominal(code);
         }
     }
@@ -228,6 +362,508 @@ fn shuffle<R: Rng + ?Sized, T>(items: &mut [T], rng: &mut R) {
     }
 }
 
+/// Precomputed exact-remainder magic for one divisor (Lemire's
+/// fastmod): `m = ⌈2⁶⁴ / s⌉` and `p = 2³² mod s`.
+#[derive(Clone, Copy)]
+struct ModMagic {
+    s: u64,
+    m: u64,
+    p: u64,
+}
+
+impl ModMagic {
+    fn new(s: u64) -> ModMagic {
+        debug_assert!((1..=1 << 16).contains(&s));
+        ModMagic { s, m: (u64::MAX / s).wrapping_add(1), p: (1u64 << 32) % s }
+    }
+
+    /// `y mod s` for `y < 2³²` without a hardware division
+    /// (Lemire's fastmod; exact for 32-bit dividends).
+    #[inline]
+    fn rem32(&self, y: u64) -> u64 {
+        if self.s == 1 {
+            return 0;
+        }
+        ((self.m.wrapping_mul(y) as u128 * self.s as u128) >> 64) as u64
+    }
+
+    /// `x mod s` for any `x`, by splitting into 32-bit halves:
+    /// `x = hi·2³² + lo ⇒ x mod s = (hi mod s · (2³² mod s) + lo mod s)
+    /// mod s`. With `s ≤ 2¹⁶` the recombined dividend stays below
+    /// 2³², so every step uses the exact 32-bit fastmod. Produces the
+    /// same value as `x % s` bit for bit (the shuffle replays the
+    /// reference RNG stream through this).
+    #[inline]
+    fn rem64(&self, x: u64) -> u64 {
+        let hi = self.rem32(x >> 32);
+        let lo = self.rem32(x & 0xFFFF_FFFF);
+        self.rem32(hi * self.p + lo)
+    }
+}
+
+/// The compiled repair loop's shuffle: identical swaps to [`shuffle`]
+/// (one `next_u64` draw per step, same index), with the modulo done by
+/// precomputed magics instead of a hardware division per draw.
+fn shuffle_fast<R: Rng + ?Sized, T>(items: &mut [T], rng: &mut R, magics: &[ModMagic]) {
+    for i in (1..items.len()).rev() {
+        let j = magics[i + 1].rem64(rng.next_u64());
+        items.swap(i, j as usize);
+    }
+}
+
+/// Immutable scheduling indexes of one compiled rule set — built
+/// once per generation call and shared by every chunk worker.
+struct RepairIndex {
+    /// The identity permutation, memcpy'd into the visit order per
+    /// record.
+    identity: Vec<u32>,
+    /// Attribute list per rule (premise ∪ consequent), precomputed so
+    /// repairs do not re-derive it.
+    rule_attrs: Vec<Vec<usize>>,
+    /// `guard_buckets[attr][code]` lists the rules whose nominal guard
+    /// is `attr = code` — the per-record initial scan only evaluates
+    /// the buckets the record's cells select.
+    guard_buckets: Vec<Vec<Vec<u32>>>,
+    /// Rules with a numeric-threshold guard, swept type-major by the
+    /// initial scan: `(attr, threshold, rule)` per comparison kind.
+    less_guards: Vec<(u32, f64, u32)>,
+    eq_num_guards: Vec<(u32, f64, u32)>,
+    greater_guards: Vec<(u32, f64, u32)>,
+    /// Rules with no indexable guard, always evaluated by the initial
+    /// scan.
+    always_check: Vec<u32>,
+    /// Per-span modulus magics for the shuffle (`None` when the rule
+    /// count exceeds the exact-fastmod range).
+    magics: Option<Vec<ModMagic>>,
+    /// Per attribute: the rules whose *guard* reads that attribute.
+    guards_on_attr: Vec<Vec<u32>>,
+    /// Split inverted index for invalidation: per attribute, the
+    /// touching rules whose nominal guard sits on that very attribute
+    /// (stored with their guard code) and the rest. After a cell
+    /// change only matching-guard and unguarded-on-this-attribute
+    /// rules can *become* violated.
+    by_attr_nom: Vec<Vec<(u32, u32)>>,
+    by_attr_rest: Vec<Vec<u32>>,
+}
+
+impl RepairIndex {
+    fn new(schema: &Schema, rules: &RuleSet, compiled: &CompiledRuleSet) -> RepairIndex {
+        let identity: Vec<u32> = (0..rules.len() as u32).collect();
+        let mut guard_buckets: Vec<Vec<Vec<u32>>> = schema
+            .attributes()
+            .iter()
+            .map(|a| match &a.ty {
+                AttrType::Nominal { labels } => vec![Vec::new(); labels.len()],
+                _ => Vec::new(),
+            })
+            .collect();
+        let mut always_check = Vec::new();
+        let (mut less_guards, mut eq_num_guards, mut greater_guards) =
+            (Vec::new(), Vec::new(), Vec::new());
+        let mut guard_attr = vec![u32::MAX; rules.len()];
+        let mut guard_code = vec![u32::MAX; rules.len()];
+        for i in 0..rules.len() {
+            match compiled.guard_nominal(i) {
+                Some((attr, code))
+                    if attr < guard_buckets.len()
+                        && (code as usize) < guard_buckets[attr].len() =>
+                {
+                    guard_buckets[attr][code as usize].push(i as u32);
+                    guard_attr[i] = attr as u32;
+                    guard_code[i] = code;
+                }
+                _ => match compiled.guard_numeric(i) {
+                    Some((attr, x, -1)) => less_guards.push((attr as u32, x, i as u32)),
+                    Some((attr, x, 0)) => eq_num_guards.push((attr as u32, x, i as u32)),
+                    Some((attr, x, _)) => greater_guards.push((attr as u32, x, i as u32)),
+                    None => always_check.push(i as u32),
+                },
+            }
+        }
+        let mut by_attr_nom: Vec<Vec<(u32, u32)>> = vec![Vec::new(); schema.len()];
+        let mut by_attr_rest: Vec<Vec<u32>> = vec![Vec::new(); schema.len()];
+        for a in 0..schema.len() {
+            for &j in compiled.rules_on_attr(a) {
+                if guard_attr[j as usize] == a as u32 {
+                    by_attr_nom[a].push((guard_code[j as usize], j));
+                } else {
+                    by_attr_rest[a].push(j);
+                }
+            }
+        }
+        let mut guards_on_attr: Vec<Vec<u32>> = vec![Vec::new(); schema.len()];
+        for i in 0..rules.len() {
+            for a in compiled.guard_attrs(i) {
+                if a < guards_on_attr.len() {
+                    guards_on_attr[a].push(i as u32);
+                }
+            }
+        }
+        RepairIndex {
+            identity,
+            rule_attrs: rules.iter().map(|r| r.attrs()).collect(),
+            guard_buckets,
+            less_guards,
+            eq_num_guards,
+            greater_guards,
+            always_check,
+            by_attr_nom,
+            by_attr_rest,
+            guards_on_attr,
+            magics: if rules.len() < (1 << 16) {
+                Some((0..=rules.len().max(1)).map(|s| ModMagic::new(s.max(1) as u64)).collect())
+            } else {
+                None
+            },
+        }
+    }
+}
+
+/// Mutable per-worker buffers of the compiled repair loop.
+struct RepairScratch {
+    /// Shuffled visit order (reset to identity per record — the
+    /// reference path starts every record from the identity order).
+    order: Vec<u32>,
+    /// Inverse of `order`: `pos[rule] = turn`, rebuilt per repairing
+    /// pass.
+    pos: Vec<u32>,
+    /// `violated[i]`: rule `i`'s current verdict. Kept current at all
+    /// times by sequential batch re-evaluation (never lazily stale).
+    violated: Vec<bool>,
+    /// Indices of the rules with `violated[i] == true` (kept in sync).
+    violated_set: Vec<u32>,
+    /// Rules whose verdict the current repair may have changed,
+    /// awaiting batch re-evaluation.
+    dirty: Vec<u32>,
+    /// Dedup stamps for `dirty` (`dirty_stamp[i] == stamp` ⇔ rule `i`
+    /// is already queued for this repair).
+    dirty_stamp: Vec<u32>,
+    /// The current repair's stamp.
+    stamp: u32,
+    /// Snapshot of the repaired rule's cells, for change detection.
+    before: Vec<Value>,
+    /// Which snapshot slots actually changed during the repair.
+    changed: Vec<bool>,
+    /// Typed mirror of the current record (kept cell-exact in sync).
+    view: RecordView,
+    /// `guard_pass_stamp[i] == record_stamp` ⇔ rule `i`'s guard holds
+    /// on the current record (kept current: guards are re-checked when
+    /// one of their attributes changes). A failing guard lets the
+    /// invalidation skip the rule without evaluating its program.
+    guard_pass_stamp: Vec<u32>,
+    record_stamp: u32,
+}
+
+impl RepairScratch {
+    fn new(schema: &Schema, rules: &RuleSet) -> RepairScratch {
+        let identity: Vec<u32> = (0..rules.len() as u32).collect();
+        RepairScratch {
+            order: identity.clone(),
+            pos: identity,
+            violated: vec![false; rules.len()],
+            violated_set: Vec::new(),
+            dirty: Vec::new(),
+            dirty_stamp: vec![0; rules.len()],
+            stamp: 0,
+            before: Vec::new(),
+            changed: Vec::new(),
+            view: RecordView::new(schema.len()),
+            guard_pass_stamp: vec![0; rules.len()],
+            record_stamp: 0,
+        }
+    }
+}
+
+/// The compiled twin of [`repair_record`]: same escalation phases, same
+/// shuffles, same repair actions — and therefore the same RNG stream.
+///
+/// The reference scans the whole rule set in shuffled order every
+/// pass, which is dominated by branch-mispredicted scattered
+/// evaluations. This loop keeps every rule's verdict *current*
+/// instead: one guarded initial scan per record (dispatched through
+/// the nominal guard buckets, so most rules are ruled out by a table
+/// lookup), then after each repair a sequential batch re-evaluation of
+/// exactly the rules reading a changed cell (the dirty-attribute
+/// inverted index). A pass then just replays the violated rules in
+/// shuffled-turn order — the verdict a rule would get at its turn
+/// equals its current verdict, because verdicts only change when the
+/// record changes, and every record change immediately refreshes the
+/// affected verdicts.
+#[allow(clippy::too_many_arguments)]
+fn repair_record_compiled<R: Rng + ?Sized>(
+    schema: &Schema,
+    compiled: &CompiledRuleSet,
+    repair_trees: &[(RepairTree, RepairTree)],
+    index: &RepairIndex,
+    record: &mut [Value],
+    max_passes: usize,
+    rng: &mut R,
+    repairs: &mut u64,
+    scratch: &mut RepairScratch,
+) -> usize {
+    let enforce_end = (max_passes / 2).max(1);
+    let falsify_end = enforce_end + (max_passes / 4);
+    let RepairIndex {
+        identity,
+        rule_attrs,
+        guard_buckets,
+        less_guards,
+        eq_num_guards,
+        greater_guards,
+        always_check,
+        by_attr_nom,
+        by_attr_rest,
+        guards_on_attr,
+        magics,
+    } = index;
+    let RepairScratch {
+        order,
+        pos,
+        violated,
+        violated_set,
+        dirty,
+        dirty_stamp,
+        stamp,
+        before,
+        changed,
+        view,
+        guard_pass_stamp,
+        record_stamp,
+    } = scratch;
+    *record_stamp = record_stamp.wrapping_add(1);
+    let rs = *record_stamp;
+    order.copy_from_slice(identity);
+    view.sync_all(record);
+
+    // Initial scan: compute every rule's verdict for the fresh record.
+    // A rule whose nominal guard does not match its cell cannot be
+    // violated, so only the matching buckets and the unguarded rules
+    // are evaluated.
+    violated.fill(false);
+    violated_set.clear();
+    for (a, buckets) in guard_buckets.iter().enumerate() {
+        if let Value::Nominal(c) = record[a] {
+            if let Some(bucket) = buckets.get(c as usize) {
+                for &i in bucket {
+                    // The bucket lookup *is* the guard check.
+                    guard_pass_stamp[i as usize] = rs;
+                    if compiled.violates_rule_view_postguard(i as usize, view) {
+                        violated[i as usize] = true;
+                        violated_set.push(i);
+                    }
+                }
+            }
+        }
+    }
+    {
+        // Type-major threshold-guard sweeps: one predictable compare
+        // per rule; only survivors run their violation program.
+        let nums = view.nums();
+        for &(a, x, i) in less_guards.iter() {
+            if nums[a as usize] < x {
+                guard_pass_stamp[i as usize] = rs;
+                if compiled.violates_rule_view_postguard(i as usize, view) {
+                    violated[i as usize] = true;
+                    violated_set.push(i);
+                }
+            }
+        }
+        for &(a, x, i) in eq_num_guards.iter() {
+            if nums[a as usize] == x {
+                guard_pass_stamp[i as usize] = rs;
+                if compiled.violates_rule_view_postguard(i as usize, view) {
+                    violated[i as usize] = true;
+                    violated_set.push(i);
+                }
+            }
+        }
+        for &(a, x, i) in greater_guards.iter() {
+            if nums[a as usize] > x {
+                guard_pass_stamp[i as usize] = rs;
+                if compiled.violates_rule_view_postguard(i as usize, view) {
+                    violated[i as usize] = true;
+                    violated_set.push(i);
+                }
+            }
+        }
+    }
+    for &i in always_check.iter() {
+        if compiled.guard_passes_view(i as usize, view) {
+            guard_pass_stamp[i as usize] = rs;
+            if compiled.violates_rule_view_postguard(i as usize, view) {
+                violated[i as usize] = true;
+                violated_set.push(i);
+            }
+        }
+    }
+
+    for pass in 0..max_passes {
+        if violated_set.is_empty() {
+            // The reference's clean confirm pass: shuffle, observe no
+            // violation, exit. The permutation is never read again
+            // (every record resets it), so only the shuffle's RNG
+            // draws need consuming — one `next_u64` per step.
+            for _ in 1..order.len() {
+                rng.next_u64();
+            }
+            return 0;
+        }
+        match magics {
+            Some(m) => shuffle_fast(order, rng, m),
+            None => shuffle(order, rng),
+        }
+        for (turn, &iu) in order.iter().enumerate() {
+            pos[iu as usize] = turn as u32;
+        }
+        let (enforce, prefer_null) = (pass < enforce_end, pass >= falsify_end);
+        let mut cursor = 0u32;
+        // Replay the violated rules in turn order. A rule fixed by an
+        // earlier-turn repair is skipped exactly like the reference
+        // (which would re-evaluate it at its turn and see it clean);
+        // a rule that *becomes* violated mid-pass after its turn waits
+        // for the next pass, again like the reference.
+        loop {
+            let mut best: Option<(u32, u32)> = None; // (turn, rule)
+            for &j in violated_set.iter() {
+                let p = pos[j as usize];
+                if p >= cursor && best.is_none_or(|(bp, _)| p < bp) {
+                    best = Some((p, j));
+                }
+            }
+            let Some((turn, iu)) = best else {
+                break;
+            };
+            cursor = turn + 1;
+            let i = iu as usize;
+            *repairs += 1;
+            let (consequent_tree, neg_premise_tree) = &repair_trees[i];
+            let attrs = &rule_attrs[i];
+            // Snapshot the rule's cells: `make_true` only ever writes
+            // attributes of the formula it enforces, and both the
+            // consequent and the TDG-negated premise mention only this
+            // rule's attributes.
+            before.clear();
+            before.extend(attrs.iter().map(|&a| record[a]));
+            // The rule is violated on the *current* record (verdicts
+            // are kept current), so the consequent is known false —
+            // and so is the negated premise as long as nothing has
+            // been adjusted yet.
+            let repaired = enforce
+                && make_true_compiled_known_false(
+                    schema,
+                    consequent_tree,
+                    record,
+                    rng,
+                    prefer_null,
+                );
+            if !repaired {
+                if enforce {
+                    make_true_compiled(schema, neg_premise_tree, record, rng, prefer_null);
+                } else {
+                    make_true_compiled_known_false(
+                        schema,
+                        neg_premise_tree,
+                        record,
+                        rng,
+                        prefer_null,
+                    );
+                }
+            }
+            // Refresh the verdicts of every rule reading a cell whose
+            // value actually changed, in one sequential batch. The
+            // split index keeps the candidate list small: a clean rule
+            // whose nominal guard sits on the changed attribute can
+            // only flip when the new cell matches its guard code.
+            // Currently-violated rules are swept separately below so
+            // their removal is never missed.
+            dirty.clear();
+            *stamp = stamp.wrapping_add(1);
+            let mut any_changed = false;
+            // First sweep: mirror the changed cells and refresh the
+            // guard verdicts that read them.
+            changed.clear();
+            for (k, &a) in attrs.iter().enumerate() {
+                let cell_changed = record[a] != before[k];
+                changed.push(cell_changed);
+                if cell_changed {
+                    any_changed = true;
+                    view.sync_attr(a, &record[a]);
+                    for &j in guards_on_attr[a].iter() {
+                        guard_pass_stamp[j as usize] =
+                            if compiled.guard_passes_view(j as usize, view) { rs } else { 0 };
+                    }
+                }
+            }
+            // Second sweep: collect the re-evaluation candidates. A
+            // clean rule whose guard (now up to date) fails cannot
+            // have become violated.
+            for (k, &a) in attrs.iter().enumerate() {
+                if changed[k] {
+                    let new_code = match record[a] {
+                        Value::Nominal(c) => c,
+                        _ => u32::MAX,
+                    };
+                    for &j in by_attr_rest[a].iter() {
+                        let ju = j as usize;
+                        if !violated[ju] && guard_pass_stamp[ju] != rs {
+                            continue;
+                        }
+                        if dirty_stamp[ju] != *stamp {
+                            dirty_stamp[ju] = *stamp;
+                            dirty.push(j);
+                        }
+                    }
+                    for &(code, j) in by_attr_nom[a].iter() {
+                        if code == new_code && dirty_stamp[j as usize] != *stamp {
+                            dirty_stamp[j as usize] = *stamp;
+                            dirty.push(j);
+                        }
+                    }
+                }
+            }
+            if any_changed {
+                // A violated rule touching any changed attribute must
+                // be re-evaluated even when its guard now rejects it —
+                // that is exactly how it leaves the violated set.
+                for &j in violated_set.iter() {
+                    let ju = j as usize;
+                    if dirty_stamp[ju] == *stamp {
+                        continue;
+                    }
+                    let touched = attrs
+                        .iter()
+                        .enumerate()
+                        .any(|(k, &a)| changed[k] && rule_attrs[ju].contains(&a));
+                    if touched {
+                        dirty_stamp[ju] = *stamp;
+                        dirty.push(j);
+                    }
+                }
+            }
+            for &j in dirty.iter() {
+                let was = violated[j as usize];
+                // The stamp invariant says whether the guard holds, so
+                // stamped rules enter past their guard op.
+                let now = guard_pass_stamp[j as usize] == rs
+                    && compiled.violates_rule_view_postguard(j as usize, view);
+                if was != now {
+                    violated[j as usize] = now;
+                    if now {
+                        violated_set.push(j);
+                    } else {
+                        let at = violated_set
+                            .iter()
+                            .position(|&x| x == j)
+                            .expect("violated rule is in the set");
+                        violated_set.swap_remove(at);
+                    }
+                }
+            }
+        }
+    }
+    violated_set.len()
+}
+
 /// Adjust the record so `formula` holds; returns `false` when no
 /// adjustment was found (rare: empty domains or exhausted retries).
 fn make_true<R: Rng + ?Sized>(
@@ -240,6 +876,106 @@ fn make_true<R: Rng + ?Sized>(
     if eval_formula(formula, record) {
         return true;
     }
+    make_true_known_false(schema, formula, record, rng, prefer_null)
+}
+
+/// A formula pre-compiled for the repair step: the tree shape
+/// [`make_true`] walks, with a flat evaluation program and the
+/// `contains_isnull` flag cached at every node. The compiled walker
+/// below mirrors `make_true` decision for decision (and therefore RNG
+/// draw for RNG draw); only the satisfaction checks and isnull tests
+/// run on precomputed data instead of re-walking `Formula` trees.
+struct RepairTree {
+    program: CompiledFormula,
+    has_isnull: bool,
+    kind: RepairKind,
+}
+
+enum RepairKind {
+    Atom(Atom),
+    And(Vec<RepairTree>),
+    Or(Vec<RepairTree>),
+}
+
+impl RepairTree {
+    fn compile(formula: &Formula) -> RepairTree {
+        let kind = match formula {
+            Formula::Atom(a) => RepairKind::Atom(*a),
+            Formula::And(fs) => RepairKind::And(fs.iter().map(RepairTree::compile).collect()),
+            Formula::Or(fs) => RepairKind::Or(fs.iter().map(RepairTree::compile).collect()),
+        };
+        RepairTree {
+            program: CompiledFormula::compile(formula),
+            has_isnull: contains_isnull(formula),
+            kind,
+        }
+    }
+}
+
+/// [`make_true`] over a [`RepairTree`] — identical adjustments and RNG
+/// stream, compiled checks.
+fn make_true_compiled<R: Rng + ?Sized>(
+    schema: &Schema,
+    tree: &RepairTree,
+    record: &mut [Value],
+    rng: &mut R,
+    prefer_null: bool,
+) -> bool {
+    if tree.program.eval(record) {
+        return true;
+    }
+    make_true_compiled_known_false(schema, tree, record, rng, prefer_null)
+}
+
+/// [`make_true_known_false`] over a [`RepairTree`].
+fn make_true_compiled_known_false<R: Rng + ?Sized>(
+    schema: &Schema,
+    tree: &RepairTree,
+    record: &mut [Value],
+    rng: &mut R,
+    prefer_null: bool,
+) -> bool {
+    match &tree.kind {
+        RepairKind::Atom(a) => make_atom_true(schema, a, record, rng),
+        RepairKind::And(children) => {
+            let mut ok = true;
+            for child in children {
+                ok &= make_true_compiled(schema, child, record, rng, prefer_null);
+            }
+            // Later conjuncts may have disturbed earlier ones; report
+            // success only if the whole conjunction now holds.
+            ok && tree.program.eval(record)
+        }
+        RepairKind::Or(children) => {
+            // Same two-tier disjunct walk as `make_true`, with the
+            // per-disjunct isnull test precomputed.
+            let start = rng.gen_range(0..children.len());
+            for null_tier in [prefer_null, !prefer_null] {
+                for i in 0..children.len() {
+                    let child = &children[(start + i) % children.len()];
+                    if child.has_isnull == null_tier
+                        && make_true_compiled(schema, child, record, rng, prefer_null)
+                    {
+                        return true;
+                    }
+                }
+            }
+            false
+        }
+    }
+}
+
+/// [`make_true`] minus the entry satisfaction check, for callers that
+/// already know `formula` is false on the record (a violated rule's
+/// consequent, or — before any other adjustment — the TDG-negation of
+/// its premise).
+fn make_true_known_false<R: Rng + ?Sized>(
+    schema: &Schema,
+    formula: &Formula,
+    record: &mut [Value],
+    rng: &mut R,
+    prefer_null: bool,
+) -> bool {
     match formula {
         Formula::Atom(a) => make_atom_true(schema, a, record, rng),
         Formula::And(fs) => {
@@ -720,6 +1456,41 @@ mod tests {
                 !(buf[0] == Value::Nominal(0) && buf[1] == Value::Nominal(0)),
                 "row {r} keeps the impossible premise combination"
             );
+        }
+    }
+
+    #[test]
+    fn fastmod_matches_hardware_remainder_exactly() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for s in 1..=300u64 {
+            let magic = ModMagic::new(s);
+            for x in [0u64, 1, s, s + 1, u64::MAX, u64::MAX - 1, 1 << 32, (1 << 32) - 1] {
+                assert_eq!(magic.rem64(x), x % s, "x={x} s={s}");
+            }
+            for _ in 0..200 {
+                let x: u64 = rng.gen();
+                assert_eq!(magic.rem64(x), x % s, "x={x} s={s}");
+            }
+        }
+        // The largest supported span.
+        let magic = ModMagic::new(1 << 16);
+        for _ in 0..1000 {
+            let x: u64 = rng.gen();
+            assert_eq!(magic.rem64(x), x % (1 << 16));
+        }
+    }
+
+    #[test]
+    fn shuffle_fast_replays_shuffle_exactly() {
+        let magics: Vec<ModMagic> = (0..=128u64).map(|s| ModMagic::new(s.max(1))).collect();
+        for n in [2usize, 3, 17, 100, 128] {
+            for seed in 0..20 {
+                let mut a: Vec<u32> = (0..n as u32).collect();
+                let mut b = a.clone();
+                shuffle(&mut a, &mut StdRng::seed_from_u64(seed));
+                shuffle_fast(&mut b, &mut StdRng::seed_from_u64(seed), &magics);
+                assert_eq!(a, b, "n={n} seed={seed}");
+            }
         }
     }
 

@@ -26,8 +26,11 @@ pub mod datagen;
 pub mod rulegen;
 
 pub use atomgen::{random_domain_value, AtomSampler, AtomWeights, FormulaShape};
-pub use datagen::{generate_table, DataGenConfig, GenReport, StartDistributions};
-pub use rulegen::{generate_rule_set, RuleGenConfig, RuleGenReport};
+pub use datagen::{
+    generate_reference, generate_table, DataGenConfig, GenReport, StartDistributions,
+    GEN_CHUNK_ROWS,
+};
+pub use rulegen::{generate_rule_set, generate_rule_set_reference, RuleGenConfig, RuleGenReport};
 
 use dq_logic::RuleSet;
 use dq_table::{Schema, Table};
@@ -81,16 +84,36 @@ impl TestDataGenerator {
     }
 
     /// Generate data for an externally supplied rule set (e.g. a
-    /// hand-written domain model).
+    /// hand-written domain model). Borrows the rule set — generation
+    /// compiles the rules once and never needs ownership; the returned
+    /// benchmark carries its own copy.
     pub fn generate_with_rules<R: Rng + ?Sized>(
         &self,
-        rules: RuleSet,
+        rules: &RuleSet,
         rng: &mut R,
     ) -> GeneratedBenchmark {
-        let (clean, gen_report) = generate_table(&self.schema, &rules, &self.data, rng);
+        let (clean, gen_report) = generate_table(&self.schema, rules, &self.data, rng);
         GeneratedBenchmark {
             schema: self.schema.clone(),
-            rules,
+            rules: rules.clone(),
+            clean,
+            rule_report: RuleGenReport::default(),
+            gen_report,
+        }
+    }
+
+    /// [`TestDataGenerator::generate_with_rules`] on the retained
+    /// serial interpreted path ([`generate_reference`]) — ground truth
+    /// for equivalence tests and the "before" side of the benches.
+    pub fn generate_with_rules_reference<R: Rng + ?Sized>(
+        &self,
+        rules: &RuleSet,
+        rng: &mut R,
+    ) -> GeneratedBenchmark {
+        let (clean, gen_report) = generate_reference(&self.schema, rules, &self.data, rng);
+        GeneratedBenchmark {
+            schema: self.schema.clone(),
+            rules: rules.clone(),
             clean,
             rule_report: RuleGenReport::default(),
             gen_report,
@@ -151,7 +174,7 @@ mod tests {
         let rule = parse_rule(&s, "a = v1 -> b = v2").unwrap();
         let gen = TestDataGenerator::new(s.clone(), 0, 300);
         let mut rng = StdRng::seed_from_u64(6);
-        let b = gen.generate_with_rules(RuleSet::from_rules(vec![rule.clone()]), &mut rng);
+        let b = gen.generate_with_rules(&RuleSet::from_rules(vec![rule.clone()]), &mut rng);
         assert!(violations(&rule, &b.clean).is_empty());
     }
 }

@@ -9,6 +9,7 @@
 //! parameterized by rule count.
 
 use crate::atomgen::{AtomSampler, AtomWeights, FormulaShape};
+use dq_logic::pairs::{instance_conflict, pair_conflict, CachedRule};
 use dq_logic::{is_natural_rule, rule_pair_conflict, satisfiable, Formula, Rule, RuleSet};
 use dq_table::Schema;
 use rand::Rng;
@@ -93,6 +94,55 @@ pub fn generate_rule_set<R: Rng + ?Sized>(
 ) -> (RuleSet, RuleGenReport) {
     let premise_sampler = AtomSampler::new(schema, config.premise_weights.clone());
     let consequent_sampler = AtomSampler::new(schema, config.consequent_weights.clone());
+    // The quadratic hygiene pass compares every candidate against every
+    // accepted rule; `CachedRule` memoizes each rule's DNFs, attribute
+    // masks and premise validity once, and the cached checks prefilter
+    // attribute-disjoint pairs — same accept/reject decisions as the
+    // uncached `rule_pair_conflict` path, only cheaper.
+    let mut accepted: Vec<CachedRule> = Vec::with_capacity(config.n_rules);
+    let mut report = RuleGenReport::default();
+    'quota: while accepted.len() < config.n_rules {
+        let mut tries = 0;
+        loop {
+            if tries >= config.max_tries_per_rule {
+                report.exhausted = true;
+                break 'quota;
+            }
+            tries += 1;
+            let premise = premise_sampler.sample_formula(schema, &config.premise, rng);
+            let consequent = consequent_sampler.sample_formula(schema, &config.consequent, rng);
+            let rule = Rule::new(premise, consequent);
+            if !is_natural_rule(schema, &rule) {
+                report.rejected_unnatural += 1;
+                continue;
+            }
+            let cached = CachedRule::new(schema, rule);
+            if accepted.iter().any(|a| {
+                pair_conflict(schema, a, &cached)
+                    || (config.strict_compatibility && instance_conflict(schema, a, &cached))
+            }) {
+                report.rejected_conflict += 1;
+                continue;
+            }
+            accepted.push(cached);
+            report.accepted += 1;
+            break;
+        }
+    }
+    (RuleSet::from_rules(accepted.into_iter().map(|c| c.rule).collect()), report)
+}
+
+/// The retained uncached generator — ground truth for the memoized
+/// fast path: same RNG consumption, same accept/reject decisions, so
+/// [`generate_rule_set`] must reproduce its output *byte for byte*
+/// (the equivalence suite pins this).
+pub fn generate_rule_set_reference<R: Rng + ?Sized>(
+    schema: &Schema,
+    config: &RuleGenConfig,
+    rng: &mut R,
+) -> (RuleSet, RuleGenReport) {
+    let premise_sampler = AtomSampler::new(schema, config.premise_weights.clone());
+    let consequent_sampler = AtomSampler::new(schema, config.consequent_weights.clone());
     let mut accepted: Vec<Rule> = Vec::with_capacity(config.n_rules);
     let mut report = RuleGenReport::default();
     'quota: while accepted.len() < config.n_rules {
@@ -112,7 +162,7 @@ pub fn generate_rule_set<R: Rng + ?Sized>(
             }
             if accepted.iter().any(|a| {
                 rule_pair_conflict(schema, a, &rule)
-                    || (config.strict_compatibility && instance_conflict(schema, a, &rule))
+                    || (config.strict_compatibility && instance_conflict_plain(schema, a, &rule))
             }) {
                 report.rejected_conflict += 1;
                 continue;
@@ -127,8 +177,9 @@ pub fn generate_rule_set<R: Rng + ?Sized>(
 
 /// Can the two rules clash on a single record? True when the premises
 /// can hold together but the consequents cannot be satisfied alongside
-/// them.
-fn instance_conflict(schema: &Schema, a: &Rule, b: &Rule) -> bool {
+/// them. (Uncached form, used by the reference generator;
+/// [`dq_logic::pairs::instance_conflict`] is the memoized equivalent.)
+fn instance_conflict_plain(schema: &Schema, a: &Rule, b: &Rule) -> bool {
     let premises = Formula::And(vec![a.premise.clone(), b.premise.clone()]);
     if !satisfiable(schema, &premises) {
         return false; // premises disjoint: no record triggers both
@@ -213,6 +264,25 @@ mod tests {
         let (rules, report) = generate_rule_set(&s, &cfg, &mut rng);
         assert!(rules.is_empty());
         assert_eq!(report, RuleGenReport::default());
+    }
+
+    #[test]
+    fn memoized_generator_is_byte_identical_to_reference() {
+        let s = schema();
+        for seed in [3u64, 21, 99] {
+            let cfg = RuleGenConfig { n_rules: 25, ..RuleGenConfig::default() };
+            let (fast, fast_report) = generate_rule_set(&s, &cfg, &mut StdRng::seed_from_u64(seed));
+            let (reference, ref_report) =
+                generate_rule_set_reference(&s, &cfg, &mut StdRng::seed_from_u64(seed));
+            assert_eq!(fast, reference, "seed {seed}");
+            assert_eq!(fast_report, ref_report, "seed {seed}");
+        }
+        // Def. 6-only mode (no strict compatibility) too.
+        let cfg =
+            RuleGenConfig { n_rules: 20, strict_compatibility: false, ..RuleGenConfig::default() };
+        let (fast, _) = generate_rule_set(&s, &cfg, &mut StdRng::seed_from_u64(5));
+        let (reference, _) = generate_rule_set_reference(&s, &cfg, &mut StdRng::seed_from_u64(5));
+        assert_eq!(fast, reference);
     }
 
     #[test]

@@ -32,7 +32,7 @@ fn main() {
     // Offline: generate the historical database and induce structure.
     let mut rng = StdRng::seed_from_u64(7);
     let generator = TestDataGenerator::new(schema.clone(), 0, 20_000);
-    let history = generator.generate_with_rules(rules, &mut rng);
+    let history = generator.generate_with_rules(&rules, &mut rng);
     let auditor = Auditor::default();
     let model = auditor.induce(&history.clean).expect("induction runs");
     println!("induced structure model:\n{}\n", model.render(&schema));

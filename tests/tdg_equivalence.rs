@@ -1,0 +1,152 @@
+//! Equivalence suite for the compiled/parallel test-data generator:
+//! the fast path of `dq_tdg::generate_table` (compiled rule programs,
+//! dirty-attribute invalidation, worker-pool sharding) must emit
+//! *byte-identical* tables and equal reports to the retained serial
+//! interpreted path `generate_reference`, at every thread count — and
+//! the compiled pollution-side violation accounting must agree with
+//! the interpreted scans on the quis-50k fixture.
+
+use data_audit::eval::Baseline;
+use data_audit::logic::eval::violations_reference;
+use data_audit::pollute::{count_violations, unexplained_violations, violating_rows};
+use data_audit::prelude::*;
+use data_audit::quis::{generate_quis, QuisConfig};
+use data_audit::tdg::{generate_rule_set, generate_rule_set_reference, GEN_CHUNK_ROWS};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Bit-exact cell comparison (floats compared by bit pattern — "byte
+/// identical" means byte identical).
+fn cells_identical(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Number(x), Value::Number(y)) => x.to_bits() == y.to_bits(),
+        _ => a == b,
+    }
+}
+
+fn assert_tables_identical(a: &Table, b: &Table) {
+    assert_eq!(a.n_rows(), b.n_rows(), "row counts differ");
+    assert_eq!(a.n_cols(), b.n_cols(), "column counts differ");
+    for r in 0..a.n_rows() {
+        for c in 0..a.n_cols() {
+            assert!(
+                cells_identical(&a.get(r, c), &b.get(r, c)),
+                "cell ({r}, {c}): {:?} vs {:?}",
+                a.get(r, c),
+                b.get(r, c)
+            );
+        }
+    }
+}
+
+/// The compiled, pool-sharded generator reproduces the serial
+/// interpreted reference byte for byte at threads 1, 2 and 4, on the
+/// paper's 100-rule baseline and across multiple RNG chunks.
+#[test]
+fn parallel_generation_is_byte_identical_to_reference() {
+    let baseline = Baseline::new(7);
+    let mut rng = StdRng::seed_from_u64(7);
+    let (rules, _) = generate_rule_set(&baseline.schema, &baseline.rule_config(100), &mut rng);
+    let rows = GEN_CHUNK_ROWS + GEN_CHUNK_ROWS / 2; // crosses a chunk boundary
+    let mut generator = baseline.generator(100, rows);
+
+    let reference = generator.generate_with_rules_reference(&rules, &mut StdRng::seed_from_u64(11));
+    for threads in [1usize, 2, 4] {
+        generator.data.threads = Some(threads);
+        let fast = generator.generate_with_rules(&rules, &mut StdRng::seed_from_u64(11));
+        assert_eq!(fast.gen_report, reference.gen_report, "threads={threads}");
+        assert_tables_identical(&fast.clean, &reference.clean);
+    }
+
+    // The emitted table actually follows the rules (up to the reported
+    // unresolved violations).
+    let total: usize = rules.iter().map(|r| violations_reference(r, &reference.clean).len()).sum();
+    assert_eq!(total as u64, reference.gen_report.unresolved_violations);
+}
+
+/// The memoized rule-set generator reproduces the uncached reference
+/// byte for byte on the baseline configuration.
+#[test]
+fn rule_generation_is_byte_identical_to_reference() {
+    let baseline = Baseline::new(7);
+    let cfg = baseline.rule_config(60);
+    let (fast, fast_report) =
+        generate_rule_set(&baseline.schema, &cfg, &mut StdRng::seed_from_u64(7));
+    let (reference, ref_report) =
+        generate_rule_set_reference(&baseline.schema, &cfg, &mut StdRng::seed_from_u64(7));
+    assert_eq!(fast, reference);
+    assert_eq!(fast_report, ref_report);
+}
+
+/// The quis-50k fixture: pollution logs are deterministic and
+/// complete, and the compiled violation accounting in `dq_pollute`
+/// agrees with the interpreted per-rule scans.
+#[test]
+fn quis_50k_pollution_logs_and_violation_scans_agree() {
+    let cfg = QuisConfig::default().with_rows(50_000);
+    let a = generate_quis(&cfg, &mut StdRng::seed_from_u64(42));
+    let b = generate_quis(&cfg, &mut StdRng::seed_from_u64(42));
+
+    // The pollution pipeline is untouched by the compiled layer: two
+    // runs are byte-identical, log included.
+    assert_tables_identical(&a.clean, &b.clean);
+    assert_tables_identical(&a.dirty, &b.dirty);
+    assert_eq!(a.log.cells.len(), b.log.cells.len());
+    assert_eq!(a.log.provenance, b.log.provenance);
+    assert_eq!(a.log.deleted_clean_rows, b.log.deleted_clean_rows);
+    for (x, y) in a.log.cells.iter().zip(&b.log.cells) {
+        assert_eq!(x, y);
+    }
+
+    // Compiled violation accounting == interpreted scans.
+    let schema = a.dirty.schema();
+    let rules = RuleSet::from_rules(vec![
+        parse_rule(schema, "brv = 404 -> gbm = 901").unwrap(),
+        parse_rule(schema, "kbm = 01 and gbm = 901 -> brv = 501").unwrap(),
+    ]);
+    let counts = count_violations(&a.dirty, &rules);
+    for (i, rule) in rules.iter().enumerate() {
+        assert_eq!(counts[i], violations_reference(rule, &a.dirty).len(), "rule {i}");
+    }
+    assert_eq!(count_violations(&a.clean, &rules), vec![0, 0], "clean table follows the rules");
+
+    // Every violating dirty row is a logged corruption: pollution is
+    // the only source of rule violations.
+    assert!(unexplained_violations(&a.dirty, &rules, &a.log).is_empty());
+    assert!(!violating_rows(&a.dirty, &rules).is_empty(), "pollution must break something");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// Fast path ≡ reference on random small schemas, rule counts and
+    /// row counts (several RNG chunks when rows allow), at 1 and 3
+    /// worker threads.
+    #[test]
+    fn generation_equivalence_on_random_configs(
+        seed in 0u64..5_000,
+        n_rules in 0usize..10,
+        rows in 50usize..400,
+        card in 3usize..6,
+    ) {
+        let schema = SchemaBuilder::new()
+            .nominal_sized("a", card)
+            .nominal_sized("b", card)
+            .numeric("x", 0.0, 50.0)
+            .build()
+            .unwrap();
+        let generator = TestDataGenerator::new(schema, n_rules, rows);
+        let mut gen_rng = StdRng::seed_from_u64(seed);
+        let b = generator.generate(&mut gen_rng);
+        let reference =
+            generator.generate_with_rules_reference(&b.rules, &mut StdRng::seed_from_u64(seed ^ 1));
+        for threads in [1usize, 3] {
+            let mut g = generator.clone();
+            g.data.threads = Some(threads);
+            let fast = g.generate_with_rules(&b.rules, &mut StdRng::seed_from_u64(seed ^ 1));
+            prop_assert_eq!(&fast.gen_report, &reference.gen_report);
+            assert_tables_identical(&fast.clean, &reference.clean);
+        }
+    }
+}
