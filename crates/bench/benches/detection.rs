@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dq_bench::{baseline_fixture, quis_fixture};
-use dq_core::{AuditConfig, Auditor};
+use dq_core::{AssociationAuditConfig, AssociationAuditor, AuditConfig, Auditor};
 
 fn detection_baseline(c: &mut Criterion) {
     let mut group = c.benchmark_group("detection/baseline");
@@ -84,11 +84,42 @@ fn detection_flat(c: &mut Criterion) {
     }
 }
 
+/// The association auditor's compiled violation programs (the mined
+/// rules lowered once onto `dq_logic::program`, records checked
+/// through coded `RecordView`s) against the retained interpreted
+/// `Apriori::violated` item walk, single threaded. Reports are
+/// byte-identical — pinned by `tests/audit_program_equivalence.rs`;
+/// the same-run `reference` sibling turns the speedup into a
+/// runner-independent ratio.
+fn detection_association(c: &mut Criterion) {
+    for (name, fixture, rows) in [
+        ("detection/association/baseline-10k", baseline_fixture(10_000, 100, 42), 10_000u64),
+        ("detection/association/quis-50k", quis_fixture(50_000, 42), 50_000),
+    ] {
+        let auditor = AssociationAuditor::new(AssociationAuditConfig {
+            threads: Some(1),
+            ..AssociationAuditConfig::default()
+        });
+        let (miner, _) = auditor.run(&fixture.dirty).expect("fixture tables are minable");
+        let mut group = c.benchmark_group(name);
+        group.throughput(Throughput::Elements(rows));
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::from_parameter("reference"), &auditor, |b, a| {
+            b.iter(|| a.detect_reference(&miner, &fixture.dirty))
+        });
+        group.bench_with_input(BenchmarkId::from_parameter("compiled"), &auditor, |b, a| {
+            b.iter(|| a.detect(&miner, &fixture.dirty))
+        });
+        group.finish();
+    }
+}
+
 criterion_group!(
     benches,
     detection_baseline,
     detection_quis,
     detection_flat,
-    detection_thread_scaling
+    detection_thread_scaling,
+    detection_association
 );
 criterion_main!(benches);

@@ -2,21 +2,25 @@
 //! evaluation (sec. 6).
 //!
 //! ```text
-//! repro [--smoke] [--threads N] [fig3] [fig4] [fig5] [compare] [ablation] [quis] [all]
+//! repro [--smoke] [--large] [--threads N] [fig3] [fig4] [fig5] [compare] [ablation] [quis] [all]
 //! ```
 //!
 //! With no experiment argument, `all` is assumed. `--smoke` runs the
 //! reduced test scale instead of the paper scale (10k records, 100
-//! rules, 200k-row QUIS table). `--threads N` fixes the sweep worker
-//! count (`--threads 1` is the exact legacy serial order); the default
-//! uses every hardware thread. The figure/table numbers are identical
-//! at every thread count — see `tests/golden/`.
+//! rules, 200k-row QUIS table). `--large` runs the million-row tier
+//! (10⁵–10⁶-row sweeps, two orders above the paper); `--large --smoke`
+//! caps that tier at one 10⁵-row point per sweep for CI wall-clock
+//! budgets. `--threads N` fixes the sweep worker count (`--threads 1`
+//! is the exact legacy serial order); the default uses every hardware
+//! thread. The figure/table numbers are identical at every thread
+//! count — see `tests/golden/`.
 
 use dq_eval::{ablation, classifier_comparison, fig3, fig4, fig5, quis_audit, Scale, Series};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let large = args.iter().any(|a| a == "--large");
     let mut threads: Option<usize> = None;
     if let Some(i) = args.iter().position(|a| a == "--threads") {
         match args.get(i + 1).and_then(|v| v.parse().ok()) {
@@ -40,13 +44,18 @@ fn main() {
                 skip_next = true;
                 return false;
             }
-            *a != "--smoke"
+            *a != "--smoke" && *a != "--large"
         })
         .collect();
     if wanted.is_empty() || wanted.contains(&"all") {
         wanted = vec!["fig3", "fig4", "fig5", "compare", "ablation", "quis"];
     }
-    let mut scale = if smoke { Scale::smoke() } else { Scale::paper() };
+    let mut scale = match (large, smoke) {
+        (true, true) => Scale::large_smoke(),
+        (true, false) => Scale::large(),
+        (false, true) => Scale::smoke(),
+        (false, false) => Scale::paper(),
+    };
     scale.threads = threads.or(scale.threads);
     println!(
         "# repro — Systematic Development of Data Mining-Based Data Quality Tools (VLDB 2003)"

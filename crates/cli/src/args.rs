@@ -101,6 +101,23 @@ impl Flags {
                 .map_err(|_| CliError::Usage(format!("flag `--{key}`: cannot parse `{raw}`"))),
         }
     }
+
+    /// An optional count flag that must be ≥ 1 when given (`None` when
+    /// absent). The libraries clamp zero to a working value, but an
+    /// explicit `--threads 0` or `--chunk-rows 0` on the command line
+    /// is always a typo — reject it as a usage error instead of
+    /// silently running with something else.
+    pub fn parse_positive_opt(&self, key: &str) -> Result<Option<usize>, CliError> {
+        match self.parse_opt::<usize>(key)? {
+            Some(0) => Err(CliError::Usage(format!("flag `--{key}` must be at least 1, got `0`"))),
+            other => Ok(other),
+        }
+    }
+
+    /// A count flag with a default; an explicit `0` is a usage error.
+    pub fn parse_positive_or(&self, key: &str, default: usize) -> Result<usize, CliError> {
+        Ok(self.parse_positive_opt(key)?.unwrap_or(default))
+    }
 }
 
 #[cfg(test)]
@@ -120,6 +137,22 @@ mod tests {
         assert_eq!(f.parse_or("seed", 7u64).unwrap(), 7);
         assert_eq!(f.require("out").unwrap(), "/tmp/x");
         assert_eq!(f.parse_opt::<usize>("seed").unwrap(), None);
+    }
+
+    #[test]
+    fn zero_counts_are_usage_errors() {
+        let f = Flags::parse(&args(&["--threads", "0"]), &["threads", "chunk-rows"]).unwrap();
+        match f.parse_positive_opt("threads") {
+            Err(CliError::Usage(m)) => assert!(m.contains("--threads"), "{m}"),
+            other => panic!("expected a usage error, got {other:?}"),
+        }
+        // Absent flags keep their defaults; valid values pass through.
+        assert_eq!(f.parse_positive_opt("chunk-rows").unwrap(), None);
+        assert_eq!(f.parse_positive_or("chunk-rows", 4096).unwrap(), 4096);
+        let ok = Flags::parse(&args(&["--chunk-rows", "257"]), &["chunk-rows"]).unwrap();
+        assert_eq!(ok.parse_positive_or("chunk-rows", 4096).unwrap(), 257);
+        let zero = Flags::parse(&args(&["--chunk-rows", "0"]), &["chunk-rows"]).unwrap();
+        assert!(matches!(zero.parse_positive_or("chunk-rows", 4096), Err(CliError::Usage(_))));
     }
 
     #[test]

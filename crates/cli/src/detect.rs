@@ -28,8 +28,8 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     let model = StructureModel::load_from_path(&schema, model_path)
         .map_err(|e| format!("{model_path}: {e}"))?;
     let input = flags.require("input")?;
-    let chunk_rows: usize = flags.parse_or("chunk-rows", 4096)?;
-    let threads = flags.parse_opt("threads")?;
+    let chunk_rows: usize = flags.parse_positive_or("chunk-rows", 4096)?;
+    let threads = flags.parse_positive_opt("threads")?;
     let top: usize = flags.parse_or("top", 10)?;
 
     let file = File::open(input).map_err(|e| format!("{input}: {e}"))?;

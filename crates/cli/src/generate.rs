@@ -36,7 +36,7 @@ fn tdg(args: &[String]) -> Result<(), CliError> {
     let rules: usize = flags.parse_or("rules", 30)?;
     let seed: u64 = flags.parse_or("seed", 2003)?;
     let factor: f64 = flags.parse_or("factor", 1.0)?;
-    let threads: Option<usize> = flags.parse_opt("threads")?;
+    let threads: Option<usize> = flags.parse_positive_opt("threads")?;
 
     let baseline = Baseline::new(seed);
     let mut env = baseline.environment(rules, rows, factor);

@@ -51,11 +51,15 @@ pub mod correction;
 pub mod error;
 pub mod model_io;
 pub mod report;
+pub mod structure_rules;
 
-pub use association::{AssociationAuditConfig, AssociationAuditor, AssociationScoring};
+pub use association::{
+    association_rule_set, AssociationAuditConfig, AssociationAuditor, AssociationScoring,
+};
 pub use auditor::{AttrModel, AuditConfig, Auditor, StructureModel};
 pub use confidence::{min_instances_for_confidence, null_error_confidence};
 pub use correction::{apply_corrections, corrections_to_csv, propose_corrections, Correction};
 pub use error::AuditError;
 pub use model_io::{parse_model, render_model};
 pub use report::{AuditReport, Finding};
+pub use structure_rules::{StructureRule, StructureRuleSet};

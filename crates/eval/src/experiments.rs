@@ -76,6 +76,44 @@ impl Scale {
         }
     }
 
+    /// Two orders of magnitude above the paper's sec. 6 scale
+    /// (10⁴ → 10⁶ base records): the million-row audit tier. The
+    /// quadratic kNN family is excluded from the classifier
+    /// comparison above [`KNN_COMPARISON_CAP`] rows; every other
+    /// experiment runs unchanged.
+    pub fn large() -> Self {
+        Scale {
+            rows: 1_000_000,
+            rules: 100,
+            record_points: vec![100_000, 250_000, 500_000, 1_000_000],
+            rule_points: vec![0, 50, 100],
+            factor_points: vec![1.0, 2.0, 4.0],
+            comparison_rows: 100_000,
+            quis_rows: 1_000_000,
+            replicates: 1,
+            seed: 2003,
+            threads: None,
+        }
+    }
+
+    /// The large tier capped for CI smoke: one 10⁵-row point per
+    /// sweep, still an order of magnitude above the paper's base
+    /// scale, sized to finish inside a CI wall-clock budget.
+    pub fn large_smoke() -> Self {
+        Scale {
+            rows: 100_000,
+            rules: 100,
+            record_points: vec![100_000],
+            rule_points: vec![0, 100],
+            factor_points: vec![1.0],
+            comparison_rows: 100_000,
+            quis_rows: 100_000,
+            replicates: 1,
+            seed: 2003,
+            threads: None,
+        }
+    }
+
     /// A fast configuration for tests and smoke runs.
     pub fn smoke() -> Self {
         Scale {
@@ -392,6 +430,13 @@ impl Comparison {
     }
 }
 
+/// Largest comparison table at which the quadratic kNN family still
+/// runs: prediction scans the full training set per record, so 10⁵+
+/// rows would cost ~10¹⁰ distance evaluations per audited attribute.
+/// [`classifier_comparison`] drops kNN above this cap (the paper's
+/// own comparison ran at 5000 rows).
+pub const KNN_COMPARISON_CAP: usize = 20_000;
+
 /// **Classifier comparison** (sec. 5: "for the QUIS domain we
 /// evaluated different alternatives") — the inducer families plus the
 /// Hipp-style association auditor, on one shared benchmark.
@@ -406,16 +451,18 @@ pub fn classifier_comparison(scale: &Scale) -> Result<Comparison, AuditError> {
     let (dirty, log) = pollute(&benchmark.clean, &env.pollution, &mut rng);
 
     let mut rows = Vec::new();
-    let kinds: Vec<(String, InducerKind)> = vec![
+    let mut kinds: Vec<(String, InducerKind)> = vec![
         ("c4.5 (adjusted)".into(), InducerKind::default()),
         ("naive-bayes".into(), InducerKind::NaiveBayes),
-        // k must exceed minInst (≈35 at 80%/0.95): a k-neighbourhood is
-        // the prediction's entire support, and 5 instances can never
-        // push the error confidence past the reporting threshold.
-        ("knn (k=50)".into(), InducerKind::Knn { k: 50 }),
         ("oner".into(), InducerKind::OneR),
         ("zeror".into(), InducerKind::ZeroR),
     ];
+    if scale.comparison_rows <= KNN_COMPARISON_CAP {
+        // k must exceed minInst (≈35 at 80%/0.95): a k-neighbourhood is
+        // the prediction's entire support, and 5 instances can never
+        // push the error confidence past the reporting threshold.
+        kinds.insert(2, ("knn (k=50)".into(), InducerKind::Knn { k: 50 }));
+    }
     for (name, inducer) in kinds {
         let env = TestEnvironment {
             generator: env.generator.clone(),
@@ -657,6 +704,28 @@ mod tests {
         let abl = ablation(&Scale::smoke()).unwrap();
         assert_eq!(abl.rows.len(), 7);
         assert!(abl.measure("full (paper adjustments)", "specificity").unwrap() > 0.9);
+    }
+
+    #[test]
+    fn comparison_drops_quadratic_knn_above_the_cap() {
+        let below = classifier_comparison(&Scale::smoke()).unwrap();
+        assert!(below.rows.iter().any(|r| r.name.starts_with("knn")));
+        let scale = Scale { comparison_rows: KNN_COMPARISON_CAP + 1, rules: 15, ..Scale::smoke() };
+        let above = classifier_comparison(&scale).unwrap();
+        assert!(above.rows.iter().all(|r| !r.name.starts_with("knn")));
+        assert_eq!(above.rows.len(), below.rows.len() - 1);
+    }
+
+    #[test]
+    fn large_tiers_stay_at_or_above_one_hundred_thousand_rows() {
+        for scale in [Scale::large(), Scale::large_smoke()] {
+            assert!(scale.rows >= 100_000);
+            assert!(scale.comparison_rows >= 100_000);
+            assert!(scale.record_points.iter().all(|&n| n >= 100_000));
+            // kNN cannot survive the tier — the comparison must cap it.
+            assert!(scale.comparison_rows > KNN_COMPARISON_CAP);
+        }
+        assert_eq!(Scale::large().rows, 100 * Scale::paper().rows);
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub mod series;
 pub use environment::{RunResult, TestEnvironment, CORRECTION_TOLERANCE};
 pub use experiments::{
     ablation, baseline_schema, classifier_comparison, fig3, fig4, fig5, quis_audit, Baseline,
-    Comparison, ComparisonRow, QuisSummary, Scale,
+    Comparison, ComparisonRow, QuisSummary, Scale, KNN_COMPARISON_CAP,
 };
 pub use scoring::{score_correction, score_detection};
 pub use series::{Series, SweepPoint};

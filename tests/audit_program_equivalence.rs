@@ -1,0 +1,131 @@
+//! Audit-side compiled-program equivalence.
+//!
+//! PR 5 compiled the *generation* side onto `dq_logic::program`; this
+//! suite pins the *audit* side that followed it there. Both compiled
+//! scans — the association auditor's violation programs and the
+//! structure-rule audit lowered from the per-attribute C4.5 models —
+//! must be **byte-identical** to their retained interpreted
+//! `_reference` paths on randomly polluted tables (NULL cells and
+//! out-of-label `#<code>` nominal codes included), at every thread
+//! count. The comparison is literal: the rendered report CSV, the
+//! exact finding lists, and bit-equal `f64` record confidences.
+
+use data_audit::prelude::*;
+use dq_core::{AssociationAuditConfig, AssociationAuditor, AssociationScoring};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A rule-bearing nominal/numeric benchmark, polluted by the standard
+/// suite and then roughed up further: random NULLs and out-of-label
+/// nominal codes (rendered `#<code>` in CSV) that no generator emits
+/// but real dirty data contains.
+fn messy_benchmark(seed: u64) -> Table {
+    let schema = SchemaBuilder::new()
+        .nominal("brv", ["404", "501", "610"])
+        .nominal("gbm", ["901", "911", "921"])
+        .nominal("flag", ["y", "n"])
+        .numeric("load", 0.0, 50.0)
+        .build()
+        .unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let benchmark = TestDataGenerator::new(schema, 12, 1500).generate(&mut rng);
+    let (mut dirty, _) = pollute(&benchmark.clean, &PollutionConfig::standard(), &mut rng);
+    let n = dirty.n_rows();
+    for _ in 0..40 {
+        let row = rng.gen_range(0..n);
+        let col = rng.gen_range(0..3usize);
+        dirty.set(row, col, Value::Null).unwrap();
+    }
+    for _ in 0..25 {
+        let row = rng.gen_range(0..n);
+        let col = rng.gen_range(0..3usize);
+        // Cardinalities are 2-3; codes 7.. are firmly out of label.
+        dirty.set(row, col, Value::Nominal(7 + rng.gen_range(0..5) as u32)).unwrap();
+    }
+    dirty
+}
+
+/// Bit-level view of the per-record confidences (plain `==` on f64
+/// would already accept -0.0 / 0.0 and reject NaN).
+fn bits(confidences: &[f64]) -> Vec<u64> {
+    confidences.iter().map(|c| c.to_bits()).collect()
+}
+
+#[test]
+fn association_audit_matches_reference_at_every_thread_count() {
+    for seed in [11u64, 77] {
+        let table = messy_benchmark(seed);
+        for scoring in [AssociationScoring::Sum, AssociationScoring::Max] {
+            let serial = AssociationAuditor::new(AssociationAuditConfig {
+                scoring,
+                threads: Some(1),
+                ..AssociationAuditConfig::default()
+            });
+            let (miner, _) = serial.run(&table).unwrap();
+            let reference = serial.detect_reference(&miner, &table);
+            for threads in [1usize, 2, 4] {
+                let auditor = AssociationAuditor::new(AssociationAuditConfig {
+                    scoring,
+                    threads: Some(threads),
+                    ..AssociationAuditConfig::default()
+                });
+                let report = auditor.detect(&miner, &table);
+                assert_eq!(
+                    report.to_csv(table.schema()),
+                    reference.to_csv(table.schema()),
+                    "seed {seed}, {scoring:?}, {threads} threads"
+                );
+                assert_eq!(report.findings, reference.findings);
+                assert_eq!(bits(&report.record_confidence), bits(&reference.record_confidence));
+                assert_eq!(report.n_suspicious(), reference.n_suspicious());
+            }
+        }
+    }
+}
+
+#[test]
+fn structure_rule_audit_matches_reference_at_every_thread_count() {
+    for seed in [11u64, 77] {
+        let table = messy_benchmark(seed);
+        for flag_nulls in [true, false] {
+            let config = AuditConfig { flag_nulls, ..AuditConfig::default() };
+            let model = Auditor::new(config.clone()).induce(&table).unwrap();
+            let reference = Auditor::new(AuditConfig { threads: Some(1), ..config.clone() })
+                .detect_rules_reference(&model, &table);
+            for threads in [1usize, 2, 4] {
+                let auditor =
+                    Auditor::new(AuditConfig { threads: Some(threads), ..config.clone() });
+                let report = auditor.detect_rules(&model, &table);
+                assert_eq!(
+                    report.to_csv(table.schema()),
+                    reference.to_csv(table.schema()),
+                    "seed {seed}, flag_nulls {flag_nulls}, {threads} threads"
+                );
+                assert_eq!(report.findings, reference.findings);
+                assert_eq!(bits(&report.record_confidence), bits(&reference.record_confidence));
+            }
+        }
+    }
+}
+
+#[test]
+fn structure_rule_audit_agrees_with_the_classifier_scan_on_flagging() {
+    // The lowered rule programs and the tree scan disagree only where
+    // rule semantics differ from tree semantics (NULL-strict premises
+    // vs distributed missing values). On the rows both paths score,
+    // the rule audit must never *exceed* the classifier audit's
+    // overall error confidence — every rule is one root-to-leaf path
+    // of the same tree, scored with the same counts.
+    let table = messy_benchmark(42);
+    let auditor = Auditor::default();
+    let model = auditor.induce(&table).unwrap();
+    let tree_scan = auditor.detect(&model, &table);
+    let rule_scan = auditor.detect_rules(&model, &table);
+    assert_eq!(tree_scan.record_confidence.len(), rule_scan.record_confidence.len());
+    assert!(rule_scan.n_suspicious() > 0, "the messy benchmark must trip some rule");
+    for (row, (&r, &t)) in
+        rule_scan.record_confidence.iter().zip(&tree_scan.record_confidence).enumerate()
+    {
+        assert!(r <= t + 1e-12, "row {row}: rule audit {r} exceeds classifier audit {t}");
+    }
+}

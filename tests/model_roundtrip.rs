@@ -135,6 +135,59 @@ fn detect_stream_on_in_memory_batches_matches_detect() {
 }
 
 #[test]
+fn detect_stream_zero_batches_matches_detect_on_empty_table() {
+    // A stream that yields no batches at all (an empty CSV body, a
+    // drained queue) must land exactly where the in-memory path lands
+    // on a zero-row table: an empty, well-formed report.
+    let (_, table) = fixtures().remove(2);
+    for threads in [Some(1), Some(4), None] {
+        let auditor = Auditor::new(AuditConfig { threads, ..AuditConfig::default() });
+        let model = auditor.induce(&table).unwrap();
+        let empty = Table::new(table.schema().clone());
+        let in_memory = auditor.detect(&model, &empty);
+        let batches: Vec<Result<Table, dq_table::TableError>> = Vec::new();
+        let streamed = auditor.detect_stream(&model, batches).unwrap();
+        assert_eq!(streamed.findings, in_memory.findings);
+        assert_eq!(streamed.record_confidence, in_memory.record_confidence);
+        assert_eq!(streamed.n_rows(), 0);
+        assert_eq!(streamed.n_suspicious(), 0);
+        assert_eq!(streamed.to_csv(table.schema()), in_memory.to_csv(table.schema()));
+        // Header-only CSV input is the same case through the reader.
+        let mut csv = Vec::new();
+        write_csv(&empty, &mut csv).unwrap();
+        let reader = CsvChunkReader::new(table.schema().clone(), csv.as_slice(), 64).unwrap();
+        let from_csv = auditor.detect_stream(&model, reader).unwrap();
+        assert_eq!(from_csv.to_csv(table.schema()), in_memory.to_csv(table.schema()));
+    }
+}
+
+#[test]
+fn mid_stream_errors_carry_the_physical_line() {
+    // A malformed cell in the *middle* of the stream — batches before
+    // it already consumed, batches after it never read — must abort
+    // with the 1-based physical CSV line of the bad row (header is
+    // line 1), not a batch-relative index.
+    let (_, table) = fixtures().remove(2);
+    let auditor = Auditor::default();
+    let model = auditor.induce(&table).unwrap();
+    let mut buf = Vec::new();
+    write_csv(&table, &mut buf).unwrap();
+    let csv = String::from_utf8(buf).unwrap();
+    let mut lines: Vec<&str> = csv.lines().collect();
+    // Splice the bad row after 150 data rows: with chunk_rows = 64 it
+    // sits in the third batch.
+    let bad_at = 151; // 0-based index into `lines`; header is lines[0]
+    lines.insert(bad_at, "hi,not-a-number,2001-01-01");
+    let spliced = lines.join("\n") + "\n";
+    let reader = CsvChunkReader::new(table.schema().clone(), spliced.as_bytes(), 64).unwrap();
+    let err = auditor.detect_stream(&model, reader).unwrap_err();
+    let shown = err.to_string();
+    assert!(shown.contains("column `n`"), "got {shown}");
+    // Physical line = 0-based position in `lines` + 1.
+    assert!(shown.contains(&format!("line {}", bad_at + 1)), "got {shown}");
+}
+
+#[test]
 fn stream_errors_surface_with_location() {
     let (_, table) = fixtures().remove(2);
     let auditor = Auditor::default();
