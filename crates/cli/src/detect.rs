@@ -2,9 +2,15 @@
 //!
 //! The input CSV is never fully materialized: it flows through
 //! [`dq_table::CsvChunkReader`] in `--chunk-rows` batches into
-//! [`dq_core::Auditor::detect_stream`], so a file (much) larger than
-//! RAM audits at O(chunk) memory with a report byte-identical to the
-//! in-memory path.
+//! [`dq_core::Auditor::detect_stream_partial`], so a file (much)
+//! larger than RAM audits at O(chunk) memory with a report
+//! byte-identical to the in-memory path.
+//!
+//! A mid-stream failure (a bad CSV cell three million rows in) does
+//! not discard the scan: the report and corrections files are written
+//! over every complete chunk before the failure, the summary marks the
+//! scan partial, and the error — carrying the table layer's 1-based
+//! line number — goes to stderr with exit code 1.
 
 use crate::args::{CliError, Flags};
 use crate::io_util::{load_schema, say, write_file};
@@ -37,9 +43,11 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         .map_err(|e| format!("{input}: {e}"))?;
     let auditor = Auditor::new(AuditConfig { threads, ..AuditConfig::default() });
     let t0 = Instant::now();
-    let report = auditor.detect_stream(&model, batches).map_err(|e| format!("{input}: {e}"))?;
+    let (report, stream_error) = auditor.detect_stream_partial(&model, batches);
     let secs = t0.elapsed().as_secs_f64();
 
+    // Flush what was audited even when the stream failed mid-way: a
+    // partial report over millions of clean rows beats an empty file.
     if let Some(path) = flags.get("report") {
         write_file(Path::new(path), &report.to_csv(&schema))?;
     }
@@ -49,10 +57,11 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     }
 
     say!(
-        "scanned {} rows in {secs:.2}s ({} per chunk): {} suspicious rows, {} findings at \
+        "scanned {} rows in {secs:.2}s ({} per chunk{}): {} suspicious rows, {} findings at \
          min confidence {}",
         report.n_rows(),
         chunk_rows,
+        if stream_error.is_some() { ", PARTIAL — the stream failed" } else { "" },
         report.n_suspicious(),
         report.findings.len(),
         report.min_confidence,
@@ -61,5 +70,11 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         say!("top findings:");
         say!("{}", report.render_top(&schema, top));
     }
-    Ok(())
+    match stream_error {
+        Some(e) => Err(CliError::Runtime(format!(
+            "{input}: {e} (the report covers the {} complete rows before the failure)",
+            report.n_rows()
+        ))),
+        None => Ok(()),
+    }
 }

@@ -7,13 +7,15 @@
 //! dq pollute --schema bench/schema.dqs …        # sec. 4.2: controlled corruption
 //! dq induce --schema … --model bench/model.dqm  # sec. 5: structure induction
 //! dq detect --schema … --model … --input …      # sec. 5: streaming detection
+//! dq serve --models DIR --addr 127.0.0.1:7700   # detection as a daemon
 //! dq eval --rows 5000                           # Figure 2: the full loop, scored
 //! ```
 //!
 //! `induce` is the train-once half (off-line, in-memory); `detect` is
 //! the audit-forever half (streamed, bounded memory, byte-identical to
-//! the in-memory path). Exit codes: 0 success, 1 runtime failure,
-//! 2 usage error.
+//! the in-memory path); `serve` keeps a directory of models resident
+//! and answers the same audits over HTTP. Exit codes: 0 success,
+//! 1 runtime failure, 2 usage error.
 
 mod args;
 mod detect;
@@ -22,6 +24,7 @@ mod generate;
 mod induce;
 mod io_util;
 mod pollute_cmd;
+mod serve_cmd;
 
 use crate::args::CliError;
 use crate::io_util::say;
@@ -36,6 +39,7 @@ commands:
   pollute    corrupt a clean CSV with the standard suite, logging the truth
   induce     induce a structure model from a CSV and save it (train once)
   detect     stream a CSV through a saved model (audit forever)
+  serve      keep a directory of models resident, audit over HTTP
   eval       run one generate -> pollute -> audit -> score cycle
 
 command usage:
@@ -43,11 +47,12 @@ command usage:
 
 fn usage() -> String {
     format!(
-        "{USAGE}  {}\n  {}\n  {}\n  {}\n  {}\n",
+        "{USAGE}  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n",
         generate::USAGE,
         pollute_cmd::USAGE,
         induce::USAGE,
         detect::USAGE,
+        serve_cmd::USAGE,
         eval_cmd::USAGE
     )
 }
@@ -63,6 +68,7 @@ fn main() -> ExitCode {
         "pollute" => pollute_cmd::run(rest),
         "induce" => induce::run(rest),
         "detect" => detect::run(rest),
+        "serve" => serve_cmd::run(rest),
         "eval" => eval_cmd::run(rest),
         "help" | "--help" | "-h" => {
             say!("{}", usage());

@@ -1,0 +1,44 @@
+//! `dq serve` — the long-lived audit daemon.
+//!
+//! Loads every `<name>.dqm` / `<name>.dqs` pair under `--models` into
+//! resident [`dq_serve`] engines and answers audit requests over
+//! HTTP/1.1 until the process dies. Routes and knobs are documented in
+//! `dq_serve::server`; the short version:
+//!
+//! ```text
+//! curl localhost:7700/health
+//! curl localhost:7700/stats
+//! curl --data-binary @data.csv localhost:7700/audit/calls/stream
+//! curl --data-binary '404,911'  localhost:7700/audit/calls/record
+//! ```
+
+use crate::args::{CliError, Flags};
+use crate::io_util::say;
+use dq_serve::{ModelRegistry, ServeConfig, Server};
+
+pub const USAGE: &str = "dq serve --models DIR --addr HOST:PORT \
+[--workers N] [--queue-depth N] [--chunk-rows N] [--threads N]";
+
+pub fn run(args: &[String]) -> Result<(), CliError> {
+    let flags =
+        Flags::parse(args, &["models", "addr", "workers", "queue-depth", "chunk-rows", "threads"])?;
+    let models = flags.require("models")?;
+    let addr = flags.require("addr")?;
+    let defaults = ServeConfig::default();
+    let config = ServeConfig {
+        workers: flags.parse_positive_or("workers", defaults.workers)?,
+        queue_depth: flags.parse_positive_or("queue-depth", defaults.queue_depth)?,
+        chunk_rows: flags.parse_positive_or("chunk-rows", defaults.chunk_rows)?,
+        ..defaults
+    };
+    let detect_threads = Some(flags.parse_positive_opt("threads")?.unwrap_or(1));
+    let registry =
+        ModelRegistry::load_dir_with_threads(models, detect_threads).map_err(|e| e.to_string())?;
+    let server = Server::bind(addr, registry, config).map_err(|e| format!("{addr}: {e}"))?;
+    say!("serving {} model(s) on http://{}", server.registry().len(), server.addr());
+    for entry in server.registry().entries() {
+        say!("  {}  {}", entry.fingerprint_hex(), entry.name);
+    }
+    server.join();
+    Ok(())
+}

@@ -220,3 +220,86 @@ fn usage_errors_exit_2() {
     let out = dq(&["help"]);
     assert_eq!(out.status.code(), Some(0));
 }
+
+#[test]
+fn detect_flushes_the_partial_report_on_a_mid_stream_error() {
+    let dir = TempDir::new("partial");
+    let schema = dir.path("schema.dqs");
+    let model = dir.path("model.dqm");
+    dq_ok(&[
+        "generate",
+        "tdg",
+        "--out",
+        &dir.path(""),
+        "--rows",
+        "600",
+        "--rules",
+        "6",
+        "--seed",
+        "9",
+    ]);
+    dq_ok(&["induce", "--schema", &schema, "--input", &dir.path("dirty.csv"), "--model", &model]);
+
+    // Corrupt one cell of data row 320 (physical CSV line 322: the
+    // header is line 1). With --chunk-rows 64 the first five chunks
+    // (rows 0..320) are complete; the failing chunk is discarded.
+    let text = read(&dir.path("dirty.csv"));
+    let lines: Vec<&str> = text.lines().collect();
+    let bad_index = 321; // lines[0] is the header; data row 320
+    let mut corrupted: Vec<String> = lines.iter().map(|l| l.to_string()).collect();
+    let mut cells: Vec<&str> = lines[bad_index].split(',').collect();
+    cells[0] = "@@bad@@";
+    corrupted[bad_index] = cells.join(",");
+    std::fs::write(dir.path("corrupted.csv"), corrupted.join("\n") + "\n").unwrap();
+    // The ground truth: a clean run over exactly the complete prefix.
+    std::fs::write(dir.path("prefix.csv"), lines[..=320].join("\n") + "\n").unwrap();
+    dq_ok(&[
+        "detect",
+        "--schema",
+        &schema,
+        "--model",
+        &model,
+        "--input",
+        &dir.path("prefix.csv"),
+        "--report",
+        &dir.path("expected-report.csv"),
+        "--corrections",
+        &dir.path("expected-corrections.csv"),
+        "--chunk-rows",
+        "64",
+        "--top",
+        "0",
+    ]);
+
+    let out = dq(&[
+        "detect",
+        "--schema",
+        &schema,
+        "--model",
+        &model,
+        "--input",
+        &dir.path("corrupted.csv"),
+        "--report",
+        &dir.path("partial-report.csv"),
+        "--corrections",
+        &dir.path("partial-corrections.csv"),
+        "--chunk-rows",
+        "64",
+        "--top",
+        "0",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "a mid-stream error is a runtime failure");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("line 322"), "stderr must carry the 1-based CSV line: {stderr}");
+    assert!(stderr.contains("320 complete rows"), "got: {stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("PARTIAL"), "the summary must mark the scan partial: {stdout}");
+    assert!(stdout.contains("scanned 320 rows"), "got: {stdout}");
+
+    // The flushed partial files equal the clean run over the prefix.
+    assert_eq!(read(&dir.path("partial-report.csv")), read(&dir.path("expected-report.csv")));
+    assert_eq!(
+        read(&dir.path("partial-corrections.csv")),
+        read(&dir.path("expected-corrections.csv"))
+    );
+}

@@ -13,15 +13,15 @@
 //! loaded quickly". [`Auditor::run`] is the single-database mode where
 //! one table serves "both for training and data audit".
 
-use crate::confidence::{min_instances_for_confidence, null_error_confidence};
+use crate::confidence::min_instances_for_confidence;
+use crate::engine;
 use crate::error::AuditError;
-use crate::report::{AuditReport, Finding};
+use crate::report::AuditReport;
 use dq_exec::WorkerPool;
 use dq_mining::{
     C45Inducer, ClassSpec, Classifier, FlatTree, InducerKind, TableCache, TrainingSet, TreeRule,
 };
-use dq_stats::argmax;
-use dq_table::{AttrIdx, AttrType, RowSlice, Schema, Table, Value};
+use dq_table::{AttrIdx, AttrType, Schema, Table, Value};
 
 /// Configuration of the auditing tool.
 #[derive(Debug, Clone)]
@@ -355,7 +355,7 @@ impl Auditor {
     /// order, so the result is identical at every thread count. An
     /// empty table yields an empty, well-formed report.
     pub fn detect(&self, model: &StructureModel, table: &Table) -> AuditReport {
-        self.detect_impl(model, table, scan_chunk)
+        engine::detect_table(model, table, self.config.threads, engine::scan_chunk)
     }
 
     /// Reference deviation detection: identical to [`Auditor::detect`]
@@ -365,21 +365,7 @@ impl Auditor {
     /// as the "before" side of the `detection/flat` benchmarks; the
     /// returned report is byte-identical to [`Auditor::detect`]'s.
     pub fn detect_reference(&self, model: &StructureModel, table: &Table) -> AuditReport {
-        self.detect_impl(model, table, scan_chunk_reference)
-    }
-
-    fn detect_impl(&self, model: &StructureModel, table: &Table, scan: ScanFn) -> AuditReport {
-        let cfg = &model.config;
-        let pool = WorkerPool::from_config(self.config.threads);
-        let chunks = table.chunks(pool.threads());
-        let partials = pool.map_indexed(&chunks, |_, chunk| scan(model, chunk));
-        let mut findings = Vec::new();
-        let mut record_confidence = Vec::with_capacity(table.n_rows());
-        for (chunk_findings, chunk_confidence) in partials {
-            findings.extend(chunk_findings);
-            record_confidence.extend(chunk_confidence);
-        }
-        AuditReport::new(findings, record_confidence, cfg.min_confidence)
+        engine::detect_table(model, table, self.config.threads, engine::scan_chunk_reference)
     }
 
     /// **Streaming deviation detection**: check a sequence of row
@@ -407,25 +393,25 @@ impl Auditor {
     where
         I: IntoIterator<Item = Result<Table, dq_table::TableError>>,
     {
-        let cfg = &model.config;
-        let pool = WorkerPool::from_config(self.config.threads);
-        let mut findings = Vec::new();
-        let mut record_confidence = Vec::new();
-        let mut offset = 0usize;
-        for batch in batches {
-            let batch = batch?;
-            let chunks = batch.chunks(pool.threads());
-            let partials = pool.map_indexed(&chunks, |_, chunk| scan_chunk(model, chunk));
-            for (chunk_findings, chunk_confidence) in partials {
-                findings.extend(chunk_findings.into_iter().map(|mut f| {
-                    f.row += offset;
-                    f
-                }));
-                record_confidence.extend(chunk_confidence);
-            }
-            offset += batch.n_rows();
+        let (report, error) = engine::detect_batches(model, self.config.threads, batches);
+        match error {
+            Some(e) => Err(e),
+            None => Ok(report),
         }
-        Ok(AuditReport::new(findings, record_confidence, cfg.min_confidence))
+    }
+
+    /// Streaming detection that keeps the partial report when a batch
+    /// fails mid-stream: the report covers every complete batch before
+    /// the failure. See [`crate::AuditEngine::detect_stream_partial`].
+    pub fn detect_stream_partial<I>(
+        &self,
+        model: &StructureModel,
+        batches: I,
+    ) -> (AuditReport, Option<AuditError>)
+    where
+        I: IntoIterator<Item = Result<Table, dq_table::TableError>>,
+    {
+        engine::detect_batches(model, self.config.threads, batches)
     }
 
     /// Single-database mode: induce and detect on the same table.
@@ -434,144 +420,6 @@ impl Auditor {
         let report = self.detect(&model, table);
         Ok((model, report))
     }
-}
-
-/// A chunk scanner: the columnar [`scan_chunk`] or the reference
-/// [`scan_chunk_reference`].
-type ScanFn = fn(&StructureModel, &RowSlice<'_>) -> (Vec<Finding>, Vec<f64>);
-
-/// Scan one row chunk against the structure model, returning the
-/// chunk's findings (global row indices) and its per-row overall error
-/// confidences (Def. 8), in row order. Sharding happens strictly at
-/// chunk granularity, so the per-row arithmetic is bit-identical at
-/// every thread count.
-///
-/// This is the **columnar** inner loop: C4.5 models classify through
-/// their compiled [`FlatTree`]s straight off the table's typed columns
-/// into one reused class-count buffer — no per-row `Vec<Value>`
-/// materialization, no per-prediction allocation. A full row record is
-/// materialized only when a non-C4.5 model (which takes whole records)
-/// is present. The per-finding arithmetic is unchanged from
-/// [`scan_chunk_reference`], so reports are byte-identical.
-fn scan_chunk(model: &StructureModel, chunk: &RowSlice<'_>) -> (Vec<Finding>, Vec<f64>) {
-    let cfg = &model.config;
-    let table = chunk.table();
-    let mut findings = Vec::new();
-    let mut confidences = Vec::with_capacity(chunk.len());
-    // Per-model facts hoisted out of the row loop (the class-card
-    // lookup is a virtual call; rows × models of them add up).
-    let prepared: Vec<(&AttrModel, usize, Option<&dq_mining::FlatTree>)> = model
-        .models
-        .iter()
-        .map(|m| (m, m.classifier.class_card() as usize, m.flat_tree()))
-        .collect();
-    let max_card = prepared.iter().map(|&(_, card, _)| card).max().unwrap_or(0);
-    let mut acc = vec![0.0f64; max_card];
-    // One typed-cell row buffer shared by every model's tree walk (the
-    // cells are fetched once per row); a full `Value` record exists
-    // only when a non-C4.5 model (which takes whole records) is
-    // present.
-    let mut cells: Vec<dq_table::TypedCell> = Vec::with_capacity(table.n_cols());
-    let needs_record = prepared.iter().any(|&(_, _, flat)| flat.is_none());
-    let mut record: Vec<Value> = Vec::with_capacity(if needs_record { table.n_cols() } else { 0 });
-    for row in chunk.rows() {
-        table.typed_row_into(row, &mut cells);
-        if needs_record {
-            table.row_into(row, &mut record);
-        }
-        let mut row_confidence = 0.0f64;
-        for &(m, card, flat) in &prepared {
-            let boxed_prediction;
-            let counts: &[f64] = match flat {
-                Some(flat) => flat.classify_cells(&cells, &mut acc[..card]),
-                None => {
-                    boxed_prediction = m.classifier.predict(&record);
-                    &boxed_prediction.counts
-                }
-            };
-            let support: f64 = counts.iter().sum();
-            if support <= 0.0 {
-                continue;
-            }
-            let confidence = match m.spec.code_of_cell(cells[m.class_attr]) {
-                Some(code) => dq_stats::error_confidence(counts, code as usize, cfg.level),
-                None if cfg.flag_nulls => null_error_confidence(counts, cfg.level),
-                None => 0.0,
-            };
-            if confidence <= 0.0 {
-                continue;
-            }
-            row_confidence = row_confidence.max(confidence);
-            if confidence >= cfg.min_confidence {
-                let predicted_code = argmax(counts) as u32;
-                findings.push(Finding {
-                    row,
-                    attr: m.class_attr,
-                    observed: table.get(row, m.class_attr),
-                    proposed: materialize_class(
-                        table.schema(),
-                        m.class_attr,
-                        &m.spec,
-                        predicted_code,
-                    ),
-                    confidence,
-                    support,
-                });
-            }
-        }
-        confidences.push(row_confidence);
-    }
-    (findings, confidences)
-}
-
-/// The pre-flattening inner loop: every row materialized into a
-/// `Vec<Value>` record, every model classified through its boxed
-/// [`Node`](dq_mining::Node) tree with a fresh count allocation per
-/// prediction. Ground truth for [`scan_chunk`]'s byte-identity.
-fn scan_chunk_reference(model: &StructureModel, chunk: &RowSlice<'_>) -> (Vec<Finding>, Vec<f64>) {
-    let cfg = &model.config;
-    let table = chunk.table();
-    let mut findings = Vec::new();
-    let mut confidences = Vec::with_capacity(chunk.len());
-    let mut record: Vec<Value> = Vec::with_capacity(table.n_cols());
-    for row in chunk.rows() {
-        table.row_into(row, &mut record);
-        let mut row_confidence = 0.0f64;
-        for m in &model.models {
-            let prediction = m.classifier.predict(&record);
-            if prediction.support <= 0.0 {
-                continue;
-            }
-            let observed = record[m.class_attr];
-            let confidence = match m.spec.code_of(&observed) {
-                Some(code) => prediction.error_confidence(code, cfg.level),
-                None if cfg.flag_nulls => null_error_confidence(&prediction.counts, cfg.level),
-                None => 0.0,
-            };
-            if confidence <= 0.0 {
-                continue;
-            }
-            row_confidence = row_confidence.max(confidence);
-            if confidence >= cfg.min_confidence {
-                let predicted_code = prediction.predicted_class();
-                findings.push(Finding {
-                    row,
-                    attr: m.class_attr,
-                    observed,
-                    proposed: materialize_class(
-                        table.schema(),
-                        m.class_attr,
-                        &m.spec,
-                        predicted_code,
-                    ),
-                    confidence,
-                    support: prediction.support,
-                });
-            }
-        }
-        confidences.push(row_confidence);
-    }
-    (findings, confidences)
 }
 
 /// Materialize a predicted class code as a concrete cell value for the

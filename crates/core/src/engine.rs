@@ -1,0 +1,505 @@
+//! The resident audit engine: detection state, `Sync`-shareable.
+//!
+//! The paper separates structure induction from deviation detection so
+//! that "the time-consuming structure induction can be prepared
+//! off-line, new data can be checked for deviations and loaded
+//! quickly". [`AuditEngine`] is the serve-forever half of that split
+//! made concrete: it owns everything detection needs — the
+//! [`StructureModel`] (whose [`AttrModel`]s carry
+//! their compiled [`FlatTree`](dq_mining::FlatTree) evaluators), the
+//! relation's [`Schema`], and the structure rules lowered onto
+//! compiled violation programs ([`StructureRuleSet`]) — and exposes
+//! every detection entry point through `&self`, so one engine can
+//! answer any number of concurrent requests. The type is `Send + Sync`
+//! by construction (asserted at compile time below): share it behind
+//! an `Arc` across however many server threads you like.
+//!
+//! The batch [`Auditor`](crate::Auditor) is rewired on top of this
+//! module: `Auditor::detect`/`detect_stream` delegate to the same
+//! scan internals, so an engine's answers are **byte-identical** to
+//! the batch auditor's — the invariant `tests/serve_equivalence.rs`
+//! pins under concurrency.
+
+use crate::auditor::{materialize_class, AttrModel, StructureModel};
+use crate::error::AuditError;
+use crate::report::{AuditReport, Finding};
+use crate::structure_rules::StructureRuleSet;
+use dq_exec::WorkerPool;
+use dq_table::{CsvChunkReader, RowSlice, Schema, Table, TableError, Value};
+use std::io::BufRead;
+use std::path::Path;
+use std::sync::Arc;
+
+// The whole point of the engine: it must be shareable across request
+// threads without locks. Compile-time, not a test.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<AuditEngine>();
+};
+
+/// A loaded structure model plus its schema, resident and ready to
+/// answer detection requests concurrently.
+///
+/// Construction compiles the model's structure rules into violation
+/// programs once; after that every entry point takes `&self` and
+/// allocates only per-request state, so the engine is the
+/// train-once/audit-forever substrate of `dq serve`.
+#[derive(Debug)]
+pub struct AuditEngine {
+    model: StructureModel,
+    schema: Arc<Schema>,
+    rules: StructureRuleSet,
+    /// Worker threads *per request* (the [`AuditConfig::threads`]
+    /// semantics). A server answering many concurrent requests wants
+    /// `Some(1)`: concurrency comes from the request fan-out, not from
+    /// sharding each scan.
+    threads: Option<usize>,
+}
+
+impl AuditEngine {
+    /// Build an engine from an induced (or loaded) model and its
+    /// schema. Compiles the structure-rule programs eagerly so nothing
+    /// is built per request.
+    pub fn new(model: StructureModel, schema: Arc<Schema>) -> Self {
+        let rules = StructureRuleSet::compile(&model, &schema);
+        AuditEngine { model, schema, rules, threads: Some(1) }
+    }
+
+    /// Load a persisted `.dqm` model against `schema` and make it
+    /// resident (validates the format version, the schema fingerprint
+    /// and every rule line — see [`crate::model_io`]).
+    pub fn load<R: BufRead>(schema: Arc<Schema>, input: R) -> Result<Self, AuditError> {
+        let model = StructureModel::load(&schema, input)?;
+        Ok(AuditEngine::new(model, schema))
+    }
+
+    /// Load from a `.dqm` file path.
+    pub fn load_from_path(schema: Arc<Schema>, path: impl AsRef<Path>) -> Result<Self, AuditError> {
+        let model = StructureModel::load_from_path(&schema, path)?;
+        Ok(AuditEngine::new(model, schema))
+    }
+
+    /// Set the per-request worker-thread knob (`None` = hardware
+    /// parallelism, honouring `DQ_THREADS`). Results are identical at
+    /// every thread count.
+    pub fn with_threads(mut self, threads: Option<usize>) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The resident structure model.
+    pub fn model(&self) -> &StructureModel {
+        &self.model
+    }
+
+    /// The relation schema the model audits.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The schema fingerprint requests are routed by.
+    pub fn fingerprint(&self) -> u64 {
+        self.schema.fingerprint()
+    }
+
+    /// The structure rules lowered onto compiled violation programs,
+    /// resident since construction.
+    pub fn structure_rules(&self) -> &StructureRuleSet {
+        &self.rules
+    }
+
+    /// **Deviation detection** over an in-memory table — the engine
+    /// form of [`crate::Auditor::detect`], byte-identical to it.
+    pub fn detect(&self, table: &Table) -> AuditReport {
+        detect_table(&self.model, table, self.threads, scan_chunk)
+    }
+
+    /// Detection through the compiled structure-rule programs (the
+    /// explicit-constraint auditor of `structure_rules`), resident
+    /// since construction.
+    pub fn detect_rules(&self, table: &Table) -> AuditReport {
+        self.rules.detect(table, self.threads)
+    }
+
+    /// **Streaming deviation detection** — the engine form of
+    /// [`crate::Auditor::detect_stream`], byte-identical to it: the
+    /// first failing batch aborts the scan with its error.
+    pub fn detect_stream<I>(&self, batches: I) -> Result<AuditReport, AuditError>
+    where
+        I: IntoIterator<Item = Result<Table, TableError>>,
+    {
+        let (report, error) = detect_batches(&self.model, self.threads, batches);
+        match error {
+            Some(e) => Err(e),
+            None => Ok(report),
+        }
+    }
+
+    /// Streaming detection that **keeps the partial report** when the
+    /// stream fails mid-way: returns the report over every complete
+    /// batch before the failure, plus the error itself. With no error
+    /// the report covers the whole stream and equals
+    /// [`AuditEngine::detect_stream`]'s.
+    ///
+    /// Rows inside the failing batch are not recoverable (a torn batch
+    /// never materializes — see [`CsvChunkReader`]); the partial
+    /// report ends at the last complete batch boundary.
+    pub fn detect_stream_partial<I>(&self, batches: I) -> (AuditReport, Option<AuditError>)
+    where
+        I: IntoIterator<Item = Result<Table, TableError>>,
+    {
+        detect_batches(&self.model, self.threads, batches)
+    }
+
+    /// Audit a CSV stream (header + records) end to end: chunks of
+    /// `chunk_rows` rows flow through [`CsvChunkReader`] into the
+    /// streaming scan. Byte-identical to reading the whole stream into
+    /// memory and calling [`AuditEngine::detect`], at O(chunk) memory.
+    pub fn detect_csv<R: BufRead>(
+        &self,
+        input: R,
+        chunk_rows: usize,
+    ) -> Result<AuditReport, AuditError> {
+        let reader = CsvChunkReader::new(self.schema.clone(), input, chunk_rows)?;
+        self.detect_stream(reader)
+    }
+
+    /// Audit a single headerless CSV record line. The line is parsed
+    /// exactly like a data row of a one-row CSV body (cell errors
+    /// report the synthetic stream's line numbers: the implied header
+    /// is line 1, the record line 2).
+    pub fn detect_record_csv(&self, line: &str) -> Result<AuditReport, AuditError> {
+        let names: Vec<&str> = self.schema.attributes().iter().map(|a| a.name.as_str()).collect();
+        let body = format!("{}\n{}\n", names.join(","), line.trim_end_matches(['\r', '\n']));
+        self.detect_csv(body.as_bytes(), 1)
+    }
+}
+
+/// A chunk scanner: the columnar [`scan_chunk`] or the reference
+/// [`scan_chunk_reference`].
+pub(crate) type ScanFn = fn(&StructureModel, &RowSlice<'_>) -> (Vec<Finding>, Vec<f64>);
+
+/// The in-memory detection core shared by [`AuditEngine::detect`] and
+/// [`crate::Auditor::detect`]: shard the table into one row chunk per
+/// worker, scan, merge partial reports in row order.
+pub(crate) fn detect_table(
+    model: &StructureModel,
+    table: &Table,
+    threads: Option<usize>,
+    scan: ScanFn,
+) -> AuditReport {
+    let cfg = model.config();
+    let pool = WorkerPool::from_config(threads);
+    let chunks = table.chunks(pool.threads());
+    let partials = pool.map_indexed(&chunks, |_, chunk| scan(model, chunk));
+    let mut findings = Vec::new();
+    let mut record_confidence = Vec::with_capacity(table.n_rows());
+    for (chunk_findings, chunk_confidence) in partials {
+        findings.extend(chunk_findings);
+        record_confidence.extend(chunk_confidence);
+    }
+    AuditReport::new(findings, record_confidence, cfg.min_confidence)
+}
+
+/// The streaming detection core shared by the engine and the batch
+/// auditor: scan batches in order, offsetting row indices globally;
+/// stop at the first failing batch and return what was scanned so far
+/// together with the error. Byte-identical to the in-memory core over
+/// the concatenated batches, for every batch size and thread count.
+pub(crate) fn detect_batches<I>(
+    model: &StructureModel,
+    threads: Option<usize>,
+    batches: I,
+) -> (AuditReport, Option<AuditError>)
+where
+    I: IntoIterator<Item = Result<Table, TableError>>,
+{
+    let cfg = model.config();
+    let pool = WorkerPool::from_config(threads);
+    let mut findings = Vec::new();
+    let mut record_confidence = Vec::new();
+    let mut offset = 0usize;
+    let mut error = None;
+    for batch in batches {
+        let batch = match batch {
+            Ok(batch) => batch,
+            Err(e) => {
+                error = Some(AuditError::from(e));
+                break;
+            }
+        };
+        let chunks = batch.chunks(pool.threads());
+        let partials = pool.map_indexed(&chunks, |_, chunk| scan_chunk(model, chunk));
+        for (chunk_findings, chunk_confidence) in partials {
+            findings.extend(chunk_findings.into_iter().map(|mut f| {
+                f.row += offset;
+                f
+            }));
+            record_confidence.extend(chunk_confidence);
+        }
+        offset += batch.n_rows();
+    }
+    (AuditReport::new(findings, record_confidence, cfg.min_confidence), error)
+}
+
+/// Scan one row chunk against the structure model, returning the
+/// chunk's findings (global row indices) and its per-row overall error
+/// confidences (Def. 8), in row order. Sharding happens strictly at
+/// chunk granularity, so the per-row arithmetic is bit-identical at
+/// every thread count.
+///
+/// This is the **columnar** inner loop: C4.5 models classify through
+/// their compiled [`dq_mining::FlatTree`]s straight off the table's
+/// typed columns into one reused class-count buffer — no per-row
+/// `Vec<Value>` materialization, no per-prediction allocation. A full
+/// row record is materialized only when a non-C4.5 model (which takes
+/// whole records) is present. The per-finding arithmetic is unchanged
+/// from [`scan_chunk_reference`], so reports are byte-identical.
+pub(crate) fn scan_chunk(model: &StructureModel, chunk: &RowSlice<'_>) -> (Vec<Finding>, Vec<f64>) {
+    let cfg = model.config();
+    let table = chunk.table();
+    let mut findings = Vec::new();
+    let mut confidences = Vec::with_capacity(chunk.len());
+    // Per-model facts hoisted out of the row loop (the class-card
+    // lookup is a virtual call; rows × models of them add up).
+    let prepared: Vec<(&AttrModel, usize, Option<&dq_mining::FlatTree>)> = model
+        .models
+        .iter()
+        .map(|m| (m, m.classifier.class_card() as usize, m.flat_tree()))
+        .collect();
+    let max_card = prepared.iter().map(|&(_, card, _)| card).max().unwrap_or(0);
+    let mut acc = vec![0.0f64; max_card];
+    // One typed-cell row buffer shared by every model's tree walk (the
+    // cells are fetched once per row); a full `Value` record exists
+    // only when a non-C4.5 model (which takes whole records) is
+    // present.
+    let mut cells: Vec<dq_table::TypedCell> = Vec::with_capacity(table.n_cols());
+    let needs_record = prepared.iter().any(|&(_, _, flat)| flat.is_none());
+    let mut record: Vec<Value> = Vec::with_capacity(if needs_record { table.n_cols() } else { 0 });
+    for row in chunk.rows() {
+        table.typed_row_into(row, &mut cells);
+        if needs_record {
+            table.row_into(row, &mut record);
+        }
+        let mut row_confidence = 0.0f64;
+        for &(m, card, flat) in &prepared {
+            let boxed_prediction;
+            let counts: &[f64] = match flat {
+                Some(flat) => flat.classify_cells(&cells, &mut acc[..card]),
+                None => {
+                    boxed_prediction = m.classifier.predict(&record);
+                    &boxed_prediction.counts
+                }
+            };
+            let support: f64 = counts.iter().sum();
+            if support <= 0.0 {
+                continue;
+            }
+            let confidence = match m.spec.code_of_cell(cells[m.class_attr]) {
+                Some(code) => dq_stats::error_confidence(counts, code as usize, cfg.level),
+                None if cfg.flag_nulls => {
+                    crate::confidence::null_error_confidence(counts, cfg.level)
+                }
+                None => 0.0,
+            };
+            if confidence <= 0.0 {
+                continue;
+            }
+            row_confidence = row_confidence.max(confidence);
+            if confidence >= cfg.min_confidence {
+                let predicted_code = dq_stats::argmax(counts) as u32;
+                findings.push(Finding {
+                    row,
+                    attr: m.class_attr,
+                    observed: table.get(row, m.class_attr),
+                    proposed: materialize_class(
+                        table.schema(),
+                        m.class_attr,
+                        &m.spec,
+                        predicted_code,
+                    ),
+                    confidence,
+                    support,
+                });
+            }
+        }
+        confidences.push(row_confidence);
+    }
+    (findings, confidences)
+}
+
+/// The pre-flattening inner loop: every row materialized into a
+/// `Vec<Value>` record, every model classified through its boxed
+/// [`Node`](dq_mining::Node) tree with a fresh count allocation per
+/// prediction. Ground truth for [`scan_chunk`]'s byte-identity.
+pub(crate) fn scan_chunk_reference(
+    model: &StructureModel,
+    chunk: &RowSlice<'_>,
+) -> (Vec<Finding>, Vec<f64>) {
+    let cfg = model.config();
+    let table = chunk.table();
+    let mut findings = Vec::new();
+    let mut confidences = Vec::with_capacity(chunk.len());
+    let mut record: Vec<Value> = Vec::with_capacity(table.n_cols());
+    for row in chunk.rows() {
+        table.row_into(row, &mut record);
+        let mut row_confidence = 0.0f64;
+        for m in &model.models {
+            let prediction = m.classifier.predict(&record);
+            if prediction.support <= 0.0 {
+                continue;
+            }
+            let observed = record[m.class_attr];
+            let confidence = match m.spec.code_of(&observed) {
+                Some(code) => prediction.error_confidence(code, cfg.level),
+                None if cfg.flag_nulls => {
+                    crate::confidence::null_error_confidence(&prediction.counts, cfg.level)
+                }
+                None => 0.0,
+            };
+            if confidence <= 0.0 {
+                continue;
+            }
+            row_confidence = row_confidence.max(confidence);
+            if confidence >= cfg.min_confidence {
+                let predicted_code = prediction.predicted_class();
+                findings.push(Finding {
+                    row,
+                    attr: m.class_attr,
+                    observed,
+                    proposed: materialize_class(
+                        table.schema(),
+                        m.class_attr,
+                        &m.spec,
+                        predicted_code,
+                    ),
+                    confidence,
+                    support: prediction.support,
+                });
+            }
+        }
+        confidences.push(row_confidence);
+    }
+    (findings, confidences)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::auditor::Auditor;
+    use dq_table::{SchemaBuilder, Value};
+
+    fn fixture() -> Table {
+        let schema = SchemaBuilder::new()
+            .nominal("brv", ["404", "501"])
+            .nominal("gbm", ["901", "911"])
+            .numeric("n", 0.0, 100.0)
+            .build()
+            .unwrap();
+        let mut t = Table::new(schema);
+        for i in 0..1200u32 {
+            let (brv, gbm) = if i % 3 == 0 { (1, 1) } else { (0, 0) };
+            let n = if brv == 0 { 10.0 + f64::from(i % 9) } else { 80.0 + f64::from(i % 9) };
+            t.push_row(&[Value::Nominal(brv), Value::Nominal(gbm), Value::Number(n)]).unwrap();
+        }
+        t.push_row(&[Value::Nominal(0), Value::Nominal(1), Value::Number(12.0)]).unwrap();
+        t
+    }
+
+    #[test]
+    fn engine_detect_matches_auditor_detect_byte_for_byte() {
+        let t = fixture();
+        let auditor = Auditor::default();
+        let model = auditor.induce(&t).unwrap();
+        let expected = auditor.detect(&model, &t);
+        let schema = t.schema().clone();
+        let engine = AuditEngine::new(auditor.induce(&t).unwrap(), schema.clone());
+        let got = engine.detect(&t);
+        assert_eq!(got.to_csv(&schema), expected.to_csv(&schema));
+        assert_eq!(got.findings, expected.findings);
+        let bits = |v: &[f64]| v.iter().map(|c| c.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&got.record_confidence), bits(&expected.record_confidence));
+    }
+
+    #[test]
+    fn engine_is_shareable_across_scoped_threads() {
+        let t = fixture();
+        let auditor = Auditor::default();
+        let model = auditor.induce(&t).unwrap();
+        let expected = auditor.detect(&model, &t).to_csv(t.schema());
+        let engine = std::sync::Arc::new(AuditEngine::new(model, t.schema().clone()));
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let engine = engine.clone();
+                    let t = &t;
+                    let expected = expected.clone();
+                    s.spawn(move || {
+                        for _ in 0..3 {
+                            assert_eq!(engine.detect(t).to_csv(engine.schema()), expected);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn detect_csv_and_record_round_trip() {
+        let t = fixture();
+        let auditor = Auditor::default();
+        let model = auditor.induce(&t).unwrap();
+        let schema = t.schema().clone();
+        let engine = AuditEngine::new(model, schema.clone());
+        let mut csv = Vec::new();
+        dq_table::write_csv(&t, &mut csv).unwrap();
+        let streamed = engine.detect_csv(csv.as_slice(), 257).unwrap();
+        assert_eq!(streamed.to_csv(&schema), engine.detect(&t).to_csv(&schema));
+
+        // The deviant last row, audited alone.
+        let text = String::from_utf8(csv).unwrap();
+        let last = text.lines().last().unwrap();
+        let single = engine.detect_record_csv(last).unwrap();
+        assert_eq!(single.n_rows(), 1);
+        assert!(single.is_flagged(0), "the deviant record must be flagged alone");
+    }
+
+    #[test]
+    fn detect_stream_partial_keeps_complete_batches() {
+        let t = fixture();
+        let auditor = Auditor::default();
+        let model = auditor.induce(&t).unwrap();
+        let schema = t.schema().clone();
+        let engine = AuditEngine::new(model, schema.clone());
+
+        // Two good batches, then a torn one.
+        let (a, b) = (sub_table(&t, 0, 400), sub_table(&t, 400, 800));
+        let batches: Vec<Result<Table, TableError>> = vec![
+            Ok(a.clone()),
+            Ok(b.clone()),
+            Err(TableError::CsvCell { line: 802, column: "n".into(), message: "boom".into() }),
+        ];
+        let (partial, err) = engine.detect_stream_partial(batches);
+        assert_eq!(partial.n_rows(), 800);
+        match err {
+            Some(AuditError::Table(TableError::CsvCell { line, .. })) => assert_eq!(line, 802),
+            other => panic!("expected the CSV cell error, got {other:?}"),
+        }
+        // The partial equals an in-memory detect over the first 800 rows.
+        let first800 = sub_table(&t, 0, 800);
+        assert_eq!(partial.to_csv(&schema), engine.detect(&first800).to_csv(&schema));
+    }
+
+    fn sub_table(t: &Table, from: usize, to: usize) -> Table {
+        let mut out = Table::new(t.schema().clone());
+        let mut record = Vec::new();
+        for r in from..to {
+            t.row_into(r, &mut record);
+            out.push_row_lenient(&record).unwrap();
+        }
+        out
+    }
+}

@@ -12,6 +12,9 @@
 //!   approach**: one classifier per attribute, asynchronous structure
 //!   induction and deviation detection, the structure model as
 //!   probabilistic integrity constraints;
+//! * [`engine`] — the `Sync`-shareable [`AuditEngine`]: a resident
+//!   structure model (flat trees + compiled rule programs) answering
+//!   concurrent detection requests, the substrate of `dq serve`;
 //! * [`report`] — ranked findings with per-record overall error
 //!   confidence (Def. 8);
 //! * [`correction`] — proposed corrections from the highest-confidence
@@ -48,6 +51,7 @@ pub mod association;
 pub mod auditor;
 pub mod confidence;
 pub mod correction;
+pub mod engine;
 pub mod error;
 pub mod model_io;
 pub mod report;
@@ -59,6 +63,7 @@ pub use association::{
 pub use auditor::{AttrModel, AuditConfig, Auditor, StructureModel};
 pub use confidence::{min_instances_for_confidence, null_error_confidence};
 pub use correction::{apply_corrections, corrections_to_csv, propose_corrections, Correction};
+pub use engine::AuditEngine;
 pub use error::AuditError;
 pub use model_io::{parse_model, render_model};
 pub use report::{AuditReport, Finding};

@@ -509,7 +509,7 @@ fn parse_attr_model<R: BufRead>(
             if n_rule_lines > 0 {
                 return Err(r.bad("`tree =` lines must precede `rule` lines"));
             }
-            specs.push(parse_node_spec(r, node)?);
+            specs.push(parse_node_spec(r, node, spec.card() as usize)?);
         } else if let Some(rule) = line.strip_prefix("rule ") {
             // The human-facing constraint rendering must stay parseable
             // against the schema — the dq_logic round-trip guarantee.
@@ -585,7 +585,27 @@ enum NodeSpec {
     },
 }
 
-fn parse_node_spec<R: BufRead>(r: &ModelReader<'_, R>, text: &str) -> Result<NodeSpec, AuditError> {
+/// Parse one `tree =` line. `card` is the class cardinality declared by
+/// the section's `class =` line: every count vector in the tree must
+/// have exactly that arity, and threshold splits exactly two children —
+/// the flat evaluator indexes count slices by class code, so a wrong
+/// arity that slipped through here would panic at *detection* time
+/// instead of failing the load with a typed error.
+fn parse_node_spec<R: BufRead>(
+    r: &ModelReader<'_, R>,
+    text: &str,
+    card: usize,
+) -> Result<NodeSpec, AuditError> {
+    let check_arity = |counts: &[f64]| -> Result<(), AuditError> {
+        if counts.len() != card {
+            return Err(r.bad(format!(
+                "count vector has {} entr{}, class declares {card} code(s)",
+                counts.len(),
+                if counts.len() == 1 { "y" } else { "ies" }
+            )));
+        }
+        Ok(())
+    };
     let mut parts = text.split_whitespace();
     match parts.next() {
         Some("L") => {
@@ -600,8 +620,10 @@ fn parse_node_spec<R: BufRead>(r: &ModelReader<'_, R>, text: &str) -> Result<Nod
                     return Err(r.bad(format!("unknown leaf field `{field}`")));
                 }
             }
+            let counts = counts.ok_or_else(|| r.bad("leaf without counts"))?;
+            check_arity(&counts)?;
             Ok(NodeSpec::Leaf {
-                counts: counts.ok_or_else(|| r.bad("leaf without counts"))?,
+                counts,
                 enabled: enabled.ok_or_else(|| r.bad("leaf without enabled flag"))?,
             })
         }
@@ -633,6 +655,7 @@ fn parse_node_spec<R: BufRead>(r: &ModelReader<'_, R>, text: &str) -> Result<Nod
             if attr >= r.schema.len() {
                 return Err(r.bad(format!("split attribute {attr} out of schema range")));
             }
+            let kind = kind.ok_or_else(|| r.bad("split without kind"))?;
             let n_children = n.ok_or_else(|| r.bad("split without child count"))?;
             let fractions = fractions.ok_or_else(|| r.bad("split without fractions"))?;
             if n_children == 0 || fractions.len() != n_children {
@@ -641,13 +664,16 @@ fn parse_node_spec<R: BufRead>(r: &ModelReader<'_, R>, text: &str) -> Result<Nod
                     fractions.len()
                 )));
             }
-            Ok(NodeSpec::Split {
-                attr,
-                kind: kind.ok_or_else(|| r.bad("split without kind"))?,
-                n_children,
-                fractions,
-                counts: counts.ok_or_else(|| r.bad("split without counts"))?,
-            })
+            // Threshold descent is hard-wired two-way (low/high); any
+            // other arity is a corrupted file.
+            if matches!(kind, SplitKind::Threshold(_)) && n_children != 2 {
+                return Err(r.bad(format!(
+                    "threshold split declares {n_children} children, must be exactly 2"
+                )));
+            }
+            let counts = counts.ok_or_else(|| r.bad("split without counts"))?;
+            check_arity(&counts)?;
+            Ok(NodeSpec::Split { attr, kind, n_children, fractions, counts })
         }
         other => Err(r.bad(format!("unknown tree node kind `{}`", other.unwrap_or("")))),
     }

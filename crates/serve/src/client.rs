@@ -1,0 +1,98 @@
+//! A minimal blocking HTTP client for the server's own dialect.
+//!
+//! Exists so the test harnesses (and anything scripting the daemon
+//! without curl) can speak to [`crate::server`] with zero
+//! dependencies: one request per connection, `Content-Length` bodies,
+//! read-to-close responses — exactly what the server emits.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A received response: status code and raw body bytes.
+#[derive(Debug)]
+pub struct Response {
+    /// The HTTP status code.
+    pub status: u16,
+    /// The response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// The body as UTF-8 (the server only emits UTF-8 text).
+    pub fn body_str(&self) -> &str {
+        std::str::from_utf8(&self.body).expect("server responses are UTF-8")
+    }
+}
+
+/// `GET path` against `addr`.
+pub fn get(addr: SocketAddr, path: &str) -> io::Result<Response> {
+    request(addr, "GET", path, &[], b"")
+}
+
+/// `POST path` with `body` against `addr`.
+pub fn post(
+    addr: SocketAddr,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+) -> io::Result<Response> {
+    request(addr, "POST", path, headers, body)
+}
+
+/// One full request/response exchange on a fresh connection.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+) -> io::Result<Response> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    let mut head = format!("{method} {path} HTTP/1.1\r\nHost: dq-serve\r\n");
+    for (name, value) in headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status =
+        status_line.split(' ').nth(1).and_then(|s| s.parse::<u16>().ok()).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("bad status line `{status_line}`"))
+        })?;
+    let mut content_length: Option<usize> = None;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "headers cut short"));
+        }
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse::<usize>().ok();
+            }
+        }
+    }
+    let body = match content_length {
+        Some(n) => {
+            let mut body = vec![0u8; n];
+            reader.read_exact(&mut body)?;
+            body
+        }
+        None => {
+            let mut body = Vec::new();
+            reader.read_to_end(&mut body)?;
+            body
+        }
+    };
+    Ok(Response { status, body })
+}

@@ -1,0 +1,242 @@
+//! A deliberately small HTTP/1.1 subset over `std::io`.
+//!
+//! `dq serve` speaks exactly what its clients (curl, the test
+//! harnesses, [`crate::client`]) need and nothing more: one request
+//! per connection, `Content-Length` bodies, `Connection: close`
+//! responses. No chunked transfer coding, no keep-alive, no percent
+//! decoding — audit bodies are CSV, paths are plain model names. This
+//! is a protocol adapter, not a web framework; everything interesting
+//! happens in [`crate::server`].
+
+use std::io::{self, BufRead, Write};
+
+/// A parsed request: method, split path/query, lower-cased headers,
+/// raw body bytes.
+#[derive(Debug)]
+pub struct Request {
+    /// The request method (`GET`, `POST`, …), upper case as sent.
+    pub method: String,
+    /// The path component, without the query string.
+    pub path: String,
+    /// `key=value` pairs of the query string, in order. Flags without
+    /// `=` parse as `(flag, "")`.
+    pub query: Vec<(String, String)>,
+    /// Headers with lower-cased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The request body (`Content-Length` bytes).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a (lower-case) header name, if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// First value of a query key, if present.
+    pub fn query_value(&self, key: &str) -> Option<&str> {
+        self.query.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// `true` when the query carries `key` with a truthy value
+    /// (`1`/`true`/empty flag form).
+    pub fn query_flag(&self, key: &str) -> bool {
+        matches!(self.query_value(key), Some("" | "1" | "true"))
+    }
+}
+
+/// A request that could not be read. The server maps these to 4xx
+/// responses (or drops the connection when nothing arrived at all).
+#[derive(Debug)]
+pub enum HttpError {
+    /// The peer closed before sending a complete request.
+    ConnectionClosed,
+    /// The request line or a header is malformed.
+    Malformed(String),
+    /// The declared body exceeds the server's limit.
+    BodyTooLarge {
+        /// Declared `Content-Length`.
+        declared: usize,
+        /// The server's cap.
+        limit: usize,
+    },
+    /// An I/O failure (including read timeouts).
+    Io(io::Error),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::ConnectionClosed => write!(f, "connection closed mid-request"),
+            HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
+            HttpError::BodyTooLarge { declared, limit } => {
+                write!(f, "request body of {declared} bytes exceeds the {limit}-byte limit")
+            }
+            HttpError::Io(e) => write!(f, "i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Read one request from `stream`. Bodies larger than `max_body`
+/// bytes are rejected without being read.
+pub fn read_request<R: BufRead>(stream: &mut R, max_body: usize) -> Result<Request, HttpError> {
+    let mut line = String::new();
+    if stream.read_line(&mut line)? == 0 {
+        return Err(HttpError::ConnectionClosed);
+    }
+    let line = line.trim_end_matches(['\r', '\n']);
+    let mut parts = line.split(' ');
+    let (method, target) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) if v.starts_with("HTTP/1.") && !m.is_empty() => (m, t),
+        _ => return Err(HttpError::Malformed(format!("bad request line `{line}`"))),
+    };
+    let (path, query_text) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let query = query_text
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (kv.to_string(), String::new()),
+        })
+        .collect();
+
+    let mut headers: Vec<(String, String)> = Vec::new();
+    loop {
+        let mut header_line = String::new();
+        if stream.read_line(&mut header_line)? == 0 {
+            return Err(HttpError::ConnectionClosed);
+        }
+        let header_line = header_line.trim_end_matches(['\r', '\n']);
+        if header_line.is_empty() {
+            break;
+        }
+        let (name, value) = header_line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("bad header `{header_line}`")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
+        None => 0usize,
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::Malformed(format!("bad content-length `{v}`")))?,
+    };
+    if content_length > max_body {
+        return Err(HttpError::BodyTooLarge { declared: content_length, limit: max_body });
+    }
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body).map_err(|_| HttpError::ConnectionClosed)?;
+
+    Ok(Request { method: method.to_string(), path: path.to_string(), query, headers, body })
+}
+
+/// The reason phrase for the status codes the server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Write a complete `Connection: close` response.
+pub fn write_response<W: Write>(
+    stream: &mut W,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> Result<Request, HttpError> {
+        read_request(&mut text.as_bytes(), 1 << 20)
+    }
+
+    #[test]
+    fn parses_request_line_query_headers_and_body() {
+        let req = parse(
+            "POST /audit/quis/stream?corrections=1&x HTTP/1.1\r\nHost: h\r\nContent-Length: 4\r\nX-Schema-Fingerprint: 00ff\r\n\r\nbody",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/audit/quis/stream");
+        assert!(req.query_flag("corrections"));
+        assert_eq!(req.query_value("x"), Some(""));
+        assert_eq!(req.header("x-schema-fingerprint"), Some("00ff"));
+        assert_eq!(req.body, b"body");
+    }
+
+    #[test]
+    fn get_without_body_parses() {
+        let req = parse("GET /stats HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/stats");
+        assert!(req.body.is_empty());
+        assert!(req.query.is_empty());
+    }
+
+    #[test]
+    fn malformed_requests_are_typed() {
+        assert!(matches!(parse(""), Err(HttpError::ConnectionClosed)));
+        assert!(matches!(parse("nonsense\r\n\r\n"), Err(HttpError::Malformed(_))));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: zap\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nbroken header\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        // Declared body larger than the limit is rejected before reading.
+        let err =
+            read_request(&mut "POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\n".as_bytes(), 10)
+                .unwrap_err();
+        assert!(matches!(err, HttpError::BodyTooLarge { declared: 100, limit: 10 }));
+        // Truncated body.
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nhi"),
+            Err(HttpError::ConnectionClosed)
+        ));
+    }
+
+    #[test]
+    fn responses_carry_length_and_close() {
+        let mut out = Vec::new();
+        write_response(&mut out, 409, "text/plain", b"error: nope\n").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 409 Conflict\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 12\r\n"), "{text}");
+        assert!(text.contains("Connection: close\r\n"), "{text}");
+        assert!(text.ends_with("error: nope\n"), "{text}");
+    }
+}

@@ -1,0 +1,64 @@
+//! # dq-serve — the long-lived audit service
+//!
+//! The paper's asynchronous split — "the time-consuming structure
+//! induction can be prepared off-line, new data can be checked for
+//! deviations and loaded quickly" — taken to its operational
+//! conclusion: a daemon. `dq serve` loads a directory of persisted
+//! `.dqm` structure models (each beside its `.dqs` schema) into
+//! resident [`AuditEngine`](dq_core::AuditEngine)s at startup and
+//! answers audit requests over HTTP/1.1 for as long as it lives:
+//!
+//! * [`registry`] — the resident model collection, routed by model
+//!   name or 16-hex schema fingerprint, with per-model lock-free
+//!   service counters;
+//! * [`server`] — acceptor + bounded connection queue + worker pool
+//!   over `std::net::TcpListener`; `503` load-shedding at the queue
+//!   bound, panic-isolated handlers, clean drain-then-join shutdown;
+//! * [`http`] — the deliberately small HTTP/1.1 subset the daemon
+//!   speaks (one request per connection, `Content-Length` bodies);
+//! * [`client`] — a zero-dependency blocking client for tests and
+//!   scripts.
+//!
+//! Responses are byte-identical to the batch tool: a streamed request
+//! answers with exactly the CSV `dq detect` would have written for the
+//! same body, because both run the same
+//! [`AuditEngine`](dq_core::AuditEngine) scan internals
+//! (`tests/serve_equivalence.rs` pins this under concurrency).
+//!
+//! Everything here is `std`-only: sockets, threads, a condvar queue —
+//! no async runtime, no HTTP framework.
+
+pub mod client;
+pub mod http;
+pub mod registry;
+pub mod server;
+
+pub use registry::{ModelEntry, ModelRegistry, ModelStats};
+pub use server::{ServeConfig, Server};
+
+/// A serving-layer failure: registry startup problems, socket errors.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The model registry could not be assembled (missing or garbled
+    /// files, duplicate names, duplicate schema fingerprints).
+    Registry(String),
+    /// A socket-layer failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Registry(m) => write!(f, "model registry: {m}"),
+            ServeError::Io(e) => write!(f, "i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}

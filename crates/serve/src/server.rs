@@ -1,0 +1,534 @@
+//! The audit server: acceptor, bounded queue, worker pool, routing.
+//!
+//! One acceptor thread takes connections off a [`TcpListener`] and
+//! pushes them onto a bounded queue; `workers` handler threads pop and
+//! serve them, one request per connection. When the queue is full the
+//! acceptor answers `503` inline and drops the connection — that is
+//! the whole backpressure story, load is shed at the door instead of
+//! queueing unboundedly. Handlers run the resident
+//! [`AuditEngine`](dq_core::AuditEngine)s behind `Arc`s (no locks on
+//! the hot path; the engine is `Sync` by construction) and are wrapped
+//! in `catch_unwind`, so a panicking request costs one `500`, not the
+//! daemon.
+//!
+//! ## Routes
+//!
+//! | route | body | answer |
+//! |---|---|---|
+//! | `GET /health` | — | `ok` |
+//! | `GET /stats` | — | per-model counters, CSV |
+//! | `POST /audit/{model}/record` | one headerless CSV record | audit report CSV |
+//! | `POST /audit/{model}/batch` | headerless CSV records | audit report CSV |
+//! | `POST /audit/{model}/stream` | full CSV (header + records) | audit report CSV |
+//!
+//! `{model}` is a registry name or a 16-hex schema fingerprint.
+//! `?corrections=1` returns proposed corrections instead of the raw
+//! report. An `X-Schema-Fingerprint` header asserts the schema the
+//! client believes it is sending; a mismatch is `409` with the
+//! [`AuditError::SchemaFingerprint`] message. CSV cell errors come
+//! back as `400` carrying the table layer's message verbatim —
+//! including the 1-based line number of the offending cell.
+
+use crate::http::{self, HttpError, Request};
+use crate::registry::{ModelEntry, ModelRegistry};
+use dq_core::{corrections_to_csv, propose_corrections, AuditError, AuditReport};
+use std::collections::VecDeque;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server tuning knobs. The defaults suit the tests and small
+/// deployments; `dq serve` exposes each as a flag.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Handler threads popping the connection queue.
+    pub workers: usize,
+    /// Connection-queue bound; the acceptor answers `503` beyond it.
+    pub queue_depth: usize,
+    /// Rows per [`dq_table::CsvChunkReader`] chunk on the stream
+    /// endpoint (bounded memory per in-flight request). Per-request
+    /// detection threads are a registry knob
+    /// ([`ModelRegistry::load_dir_with_threads`]); engines default to
+    /// one thread per request — concurrency comes from the request
+    /// fan-out, not from sharding each scan.
+    pub chunk_rows: usize,
+    /// Largest accepted request body, bytes (`413` beyond it).
+    pub max_body: usize,
+    /// Socket read timeout, so a stalled client cannot pin a worker.
+    pub read_timeout: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            queue_depth: 64,
+            chunk_rows: 4096,
+            max_body: 64 << 20,
+            read_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+/// State shared by the acceptor and the workers.
+struct Shared {
+    registry: ModelRegistry,
+    config: ServeConfig,
+    queue: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+    stop: AtomicBool,
+}
+
+/// A running audit server. Dropping the handle leaks the threads;
+/// call [`Server::shutdown`] for a clean stop (used by every test),
+/// or [`Server::join`] to serve until the process dies (the CLI).
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (use port 0 for an ephemeral port), load-free:
+    /// `registry` is already resident. Spawns the acceptor and
+    /// `config.workers` handler threads and returns immediately.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        registry: ModelRegistry,
+        config: ServeConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            registry,
+            config,
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            stop: AtomicBool::new(false),
+        });
+
+        let acceptor = {
+            let shared = shared.clone();
+            std::thread::spawn(move || accept_loop(&listener, &shared))
+        };
+        let workers = (0..workers)
+            .map(|_| {
+                let shared = shared.clone();
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Ok(Server { addr, shared, acceptor, workers })
+    }
+
+    /// The bound address (resolves the ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The resident registry (for reading counters).
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.shared.registry
+    }
+
+    /// Stop accepting, drain the queue, join every thread. In-flight
+    /// and already-queued requests complete; nothing is dropped.
+    pub fn shutdown(self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Wake the acceptor out of its blocking accept.
+        let _ = TcpStream::connect(self.addr);
+        let _ = self.acceptor.join();
+        // Wake every idle worker; each drains the queue before exiting.
+        drop(self.shared.queue.lock().unwrap());
+        self.shared.ready.notify_all();
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+
+    /// Serve until the process dies (the CLI foreground mode).
+    pub fn join(self) {
+        let _ = self.acceptor.join();
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Accept connections and enqueue them; shed load inline at the
+/// queue bound.
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let mut queue = shared.queue.lock().unwrap();
+        if queue.len() >= shared.config.queue_depth {
+            drop(queue);
+            let mut stream = stream;
+            let _ = http::write_response(
+                &mut stream,
+                503,
+                "text/plain; charset=utf-8",
+                b"error: request queue is full, retry later\n",
+            );
+            continue;
+        }
+        queue.push_back(stream);
+        drop(queue);
+        shared.ready.notify_one();
+    }
+}
+
+/// Pop connections and serve them until stop + empty queue.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    break Some(stream);
+                }
+                if shared.stop.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = shared.ready.wait(queue).unwrap();
+            }
+        };
+        let Some(stream) = stream else { return };
+        // A panicking handler costs this request a 500, not the daemon.
+        let result = catch_unwind(AssertUnwindSafe(|| handle_connection(shared, stream)));
+        if let Err(_panic) = result {
+            // The stream moved into the handler; nothing to answer on.
+        }
+    }
+}
+
+/// Read one request, route it, write one response.
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    let _ = stream.set_read_timeout(shared.config.read_timeout);
+    let mut reader = BufReader::new(stream);
+    let request = match http::read_request(&mut reader, shared.config.max_body) {
+        Ok(request) => request,
+        Err(err) => {
+            let mut stream = reader.into_inner();
+            let (status, message) = match err {
+                // Nothing arrived (or the peer vanished): nothing to say.
+                HttpError::ConnectionClosed | HttpError::Io(_) => return,
+                HttpError::Malformed(_) => (400, err.to_string()),
+                HttpError::BodyTooLarge { .. } => (413, err.to_string()),
+            };
+            respond_error(&mut stream, status, &message);
+            return;
+        }
+    };
+    let mut stream = reader.into_inner();
+    let outcome = catch_unwind(AssertUnwindSafe(|| route(shared, &request)));
+    match outcome {
+        Ok((status, content_type, body)) => {
+            let _ = http::write_response(&mut stream, status, content_type, &body);
+        }
+        Err(_panic) => respond_error(&mut stream, 500, "internal error while auditing"),
+    }
+}
+
+fn respond_error(stream: &mut TcpStream, status: u16, message: &str) {
+    let body = format!("error: {message}\n");
+    let _ = http::write_response(stream, status, "text/plain; charset=utf-8", body.as_bytes());
+}
+
+type RouteAnswer = (u16, &'static str, Vec<u8>);
+
+fn error_answer(status: u16, message: impl std::fmt::Display) -> RouteAnswer {
+    (status, "text/plain; charset=utf-8", format!("error: {message}\n").into_bytes())
+}
+
+/// Dispatch a parsed request to its handler.
+fn route(shared: &Shared, request: &Request) -> RouteAnswer {
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    match segments.as_slice() {
+        ["health"] => match request.method.as_str() {
+            "GET" => (200, "text/plain; charset=utf-8", b"ok\n".to_vec()),
+            _ => error_answer(405, "use GET /health"),
+        },
+        ["stats"] => match request.method.as_str() {
+            "GET" => (200, "text/csv; charset=utf-8", stats_csv(&shared.registry).into_bytes()),
+            _ => error_answer(405, "use GET /stats"),
+        },
+        ["audit", key, kind @ ("record" | "batch" | "stream")] => {
+            if request.method != "POST" {
+                return error_answer(405, format!("use POST /audit/{key}/{kind}"));
+            }
+            let Some(entry) = shared.registry.resolve(key) else {
+                return error_answer(
+                    404,
+                    format!("unknown model `{key}` (not a registered name or 16-hex schema fingerprint)"),
+                );
+            };
+            entry.stats.requests.fetch_add(1, Ordering::Relaxed);
+            let answer = audit(shared, entry, kind, request);
+            if answer.0 != 200 {
+                entry.stats.errors.fetch_add(1, Ordering::Relaxed);
+            }
+            answer
+        }
+        _ => error_answer(404, format!("no route for `{}`", request.path)),
+    }
+}
+
+/// The audit endpoints proper: fingerprint assertion, body decode,
+/// detection, report rendering.
+fn audit(shared: &Shared, entry: &ModelEntry, kind: &str, request: &Request) -> RouteAnswer {
+    if let Some(claimed) = request.header("x-schema-fingerprint") {
+        let Ok(claimed_fp) = u64::from_str_radix(claimed, 16) else {
+            return error_answer(
+                400,
+                format!("malformed X-Schema-Fingerprint `{claimed}` (expected 16 hex digits)"),
+            );
+        };
+        let found = entry.engine.fingerprint();
+        if claimed_fp != found {
+            return error_answer(
+                409,
+                AuditError::SchemaFingerprint { expected: claimed_fp, found },
+            );
+        }
+    }
+    let Ok(body) = std::str::from_utf8(&request.body) else {
+        return error_answer(400, "request body is not valid UTF-8");
+    };
+    let engine = &entry.engine;
+    let result = match kind {
+        "record" => {
+            let line = body.trim_end_matches(['\r', '\n']);
+            if line.contains('\n') {
+                return error_answer(
+                    400,
+                    "the record endpoint takes exactly one CSV record; POST several to /batch",
+                );
+            }
+            engine.detect_record_csv(line)
+        }
+        "batch" => {
+            // A micro-batch of headerless records: audited as a
+            // synthetic CSV whose header is the schema's attribute
+            // line, so cell errors report 1-based lines with the
+            // implied header as line 1 (first record = line 2).
+            let names: Vec<&str> =
+                engine.schema().attributes().iter().map(|a| a.name.as_str()).collect();
+            let csv = format!("{}\n{}", names.join(","), body);
+            engine.detect_csv(csv.as_bytes(), shared.config.chunk_rows)
+        }
+        // A full CSV stream, header included: lines map 1:1 to the
+        // client's own file.
+        _ => engine.detect_csv(body.as_bytes(), shared.config.chunk_rows),
+    };
+    match result {
+        Ok(report) => {
+            entry.stats.records.fetch_add(report.n_rows() as u64, Ordering::Relaxed);
+            entry.stats.violations.fetch_add(report.findings.len() as u64, Ordering::Relaxed);
+            let csv = render_report(engine, &report, request.query_flag("corrections"));
+            (200, "text/csv; charset=utf-8", csv.into_bytes())
+        }
+        Err(err) => {
+            let status = match err {
+                AuditError::SchemaFingerprint { .. } => 409,
+                AuditError::Table(_) => 400,
+                _ => 500,
+            };
+            error_answer(status, err)
+        }
+    }
+}
+
+/// The response body: the audit report CSV, or the proposed
+/// corrections when `?corrections=1`.
+fn render_report(engine: &dq_core::AuditEngine, report: &AuditReport, corrections: bool) -> String {
+    if corrections {
+        corrections_to_csv(&propose_corrections(report), engine.schema())
+    } else {
+        report.to_csv(engine.schema())
+    }
+}
+
+/// The `GET /stats` body: one row per resident model.
+fn stats_csv(registry: &ModelRegistry) -> String {
+    let mut out = String::from("model,fingerprint,requests,records,violations,errors\n");
+    for entry in registry.entries() {
+        let (requests, records, violations, errors) = entry.stats.snapshot();
+        out.push_str(&format!(
+            "{},{},{requests},{records},{violations},{errors}\n",
+            entry.name,
+            entry.fingerprint_hex(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client;
+    use dq_core::Auditor;
+    use dq_table::{SchemaBuilder, Table, Value};
+    use std::io::Write as _;
+
+    fn fixture() -> (ModelRegistry, Table) {
+        let schema = SchemaBuilder::new()
+            .nominal("brv", ["404", "501"])
+            .nominal("gbm", ["901", "911"])
+            .build()
+            .unwrap();
+        let mut t = Table::new(schema);
+        for i in 0..400u32 {
+            let c = i % 2;
+            t.push_row(&[Value::Nominal(c), Value::Nominal(c)]).unwrap();
+        }
+        t.push_row(&[Value::Nominal(0), Value::Nominal(1)]).unwrap();
+        let model = Auditor::default().induce(&t).unwrap();
+        let engine = dq_core::AuditEngine::new(model, t.schema().clone());
+        let mut registry = ModelRegistry::new();
+        registry.insert("calls", engine).unwrap();
+        (registry, t)
+    }
+
+    fn start(registry: ModelRegistry) -> Server {
+        Server::bind("127.0.0.1:0", registry, ServeConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn health_stats_and_audit_round_trip() {
+        let (registry, table) = fixture();
+        let server = start(registry);
+        let addr = server.addr();
+
+        let health = client::get(addr, "/health").unwrap();
+        assert_eq!((health.status, health.body_str()), (200, "ok\n"));
+
+        // Stream the whole table; the response is the in-memory report.
+        let mut csv = Vec::new();
+        dq_table::write_csv(&table, &mut csv).unwrap();
+        let resp = client::post(addr, "/audit/calls/stream", &[], &csv).unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body_str());
+        let expected = server.registry().resolve("calls").unwrap().engine.detect(&table);
+        assert_eq!(resp.body_str(), expected.to_csv(table.schema()));
+
+        // One deviant record alone, by name and by fingerprint.
+        let record = "501,901";
+        for key in ["calls", &server.registry().entries()[0].fingerprint_hex()] {
+            let resp = client::post(addr, &format!("/audit/{key}/record"), &[], record.as_bytes())
+                .unwrap();
+            assert_eq!(resp.status, 200, "{}", resp.body_str());
+            assert!(resp.body_str().lines().count() > 1, "deviant record must be flagged");
+        }
+
+        let stats = client::get(addr, "/stats").unwrap();
+        let line = stats
+            .body_str()
+            .lines()
+            .find(|l| l.starts_with("calls,"))
+            .expect("stats row")
+            .to_string();
+        let fields: Vec<&str> = line.split(',').collect();
+        assert_eq!(fields[2], "3", "requests: {line}");
+        assert_eq!(fields[3], "403", "records: {line}");
+        assert_eq!(fields[5], "0", "errors: {line}");
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn error_statuses_are_typed() {
+        let (registry, _) = fixture();
+        let fp = registry.entries()[0].fingerprint_hex();
+        let server = start(registry);
+        let addr = server.addr();
+
+        // Unknown model: 404, immediately.
+        let resp = client::post(addr, "/audit/nope/record", &[], b"404,901").unwrap();
+        assert_eq!(resp.status, 404);
+        assert!(resp.body_str().contains("unknown model `nope`"), "{}", resp.body_str());
+
+        // Fingerprint mismatch: 409 with both fingerprints in the body.
+        let resp = client::post(
+            addr,
+            "/audit/calls/record",
+            &[("X-Schema-Fingerprint", "0000000000000000")],
+            b"404,901",
+        )
+        .unwrap();
+        assert_eq!(resp.status, 409);
+        assert!(resp.body_str().contains("schema fingerprint mismatch"), "{}", resp.body_str());
+        assert!(resp.body_str().contains(&fp), "{}", resp.body_str());
+
+        // Matching fingerprint: accepted.
+        let resp = client::post(
+            addr,
+            "/audit/calls/record",
+            &[("X-Schema-Fingerprint", fp.as_str())],
+            b"404,901",
+        )
+        .unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body_str());
+
+        // A bad cell: 400 carrying the table layer's 1-based line.
+        let resp =
+            client::post(addr, "/audit/calls/stream", &[], b"brv,gbm\n404,901\n404,zap\n").unwrap();
+        assert_eq!(resp.status, 400);
+        assert!(resp.body_str().contains("line 3"), "{}", resp.body_str());
+
+        // Wrong method: 405.
+        let resp = client::get(addr, "/audit/calls/record").unwrap();
+        assert_eq!(resp.status, 405);
+
+        // No route: 404.
+        let resp = client::get(addr, "/audit/calls/everything").unwrap();
+        assert_eq!(resp.status, 404);
+
+        // Errors were counted (the 409 + the 400; the 404s never
+        // resolved a model).
+        let errors =
+            server.registry().resolve("calls").unwrap().stats.errors.load(Ordering::Relaxed);
+        assert_eq!(errors, 2);
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_cleanly_and_port_closes() {
+        let (registry, _) = fixture();
+        let server = start(registry);
+        let addr = server.addr();
+        assert_eq!(client::get(addr, "/health").unwrap().status, 200);
+        server.shutdown();
+        // The listener is gone: a fresh connection must fail (or be
+        // refused on read).
+        match TcpStream::connect(addr) {
+            Err(_) => {}
+            Ok(stream) => {
+                // Connect can win a race with OS-level backlog teardown;
+                // the request must still go unanswered.
+                let mut stream = stream;
+                let _ = stream.write_all(b"GET /health HTTP/1.1\r\n\r\n");
+                let mut buf = Vec::new();
+                let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+                let n = std::io::Read::read_to_end(&mut stream, &mut buf).unwrap_or(0);
+                assert_eq!(n, 0, "no worker should answer after shutdown");
+            }
+        }
+    }
+}

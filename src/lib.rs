@@ -20,6 +20,9 @@
 //! * [`mining`] — C4.5 decision trees and baseline classifiers;
 //! * [`core`] — the data auditing tool: error confidence, the multiple
 //!   classification/regression auditor, corrections, structure models;
+//! * [`serve`] — the long-lived audit daemon: a std-only HTTP/1.1
+//!   server keeping persisted models resident, routing requests by
+//!   model name or schema fingerprint;
 //! * [`quis`] — a synthetic QUIS-like engine-composition table;
 //! * [`eval`] — the test environment: generate → pollute → audit →
 //!   score, plus canned experiments for every figure/table of the
@@ -62,8 +65,8 @@
 //!         │  │          │  │        │        │  (stats)      │
 //!         │  └──────────┼──┼────────┼────────┤               │
 //!         │   pollute ──┘  └── tdg ─┘        └── core (exec) │
-//!         │      │              │                 │          │
-//!         └──── quis ───────────┴── eval (exec) ──┴──────────┘
+//!         │      │              │                 │  │       │
+//!         └──── quis ───────────┴── eval (exec) ──┘  serve ──┘
 //!                                         │
 //!                                       bench (+ the `repro` bin)
 //! ```
@@ -72,8 +75,10 @@
 //! `table`; `tdg` combines `logic`/`stats`/`bayes`; `pollute` needs
 //! `stats`; `core` needs `mining`/`stats` plus the `exec` worker pool
 //! (structure induction fans out one classifier per attribute,
-//! deviation detection shards the record scan into row chunks); `quis`
-//! composes `logic`/`pollute`/`stats`; `eval` sits on top of
+//! deviation detection shards the record scan into row chunks);
+//! `serve` wraps `core`'s resident audit engine in a std-only HTTP
+//! daemon; `quis` composes `logic`/`pollute`/`stats`; `eval` sits on
+//! top of
 //! everything below it and uses `exec` to run independent sweep cells
 //! concurrently; `dq_bench` hosts fixtures for the criterion benches.
 //! `exec` itself is std-only and depends on nothing. The
@@ -97,6 +102,7 @@ pub use dq_logic as logic;
 pub use dq_mining as mining;
 pub use dq_pollute as pollute;
 pub use dq_quis as quis;
+pub use dq_serve as serve;
 pub use dq_stats as stats;
 pub use dq_table as table;
 pub use dq_tdg as tdg;

@@ -205,3 +205,73 @@ fn stream_errors_surface_with_location() {
     assert!(shown.contains("column `n`"), "got {shown}");
     assert!(shown.contains(&format!("line {}", table.n_rows() + 2)), "got {shown}");
 }
+
+#[test]
+fn garbled_model_files_fail_typed_and_never_panic() {
+    // The numeric fixture induces threshold splits, so every tree-line
+    // shape the format can carry is present in its rendering.
+    let (_, table) = fixtures().remove(2);
+    let schema = table.schema().clone();
+    let model = Auditor::default().induce(&table).unwrap();
+    let text = dq_core::render_model(&model, &schema).unwrap();
+    let load = |s: &str| StructureModel::load(&schema, s.as_bytes());
+    let persistence = |s: &str, tag: &str| match load(s) {
+        Err(dq_core::AuditError::Persistence(m)) => m,
+        other => panic!("{tag}: expected AuditError::Persistence, got {other:?}"),
+    };
+
+    // Truncations: the header cut mid-line, the file cut mid-model,
+    // the trailing `end` gone. All typed, none panic (a wrong-arity
+    // count vector reaching the flat-tree compiler would).
+    for cut in [0, 7, text.len() / 3, text.len() / 2, text.len() - 5] {
+        persistence(&text[..cut], &format!("cut at byte {cut}"));
+    }
+
+    // Mutate the first line matching `pred`, leaving the rest intact.
+    let mutate = |pred: &dyn Fn(&str) -> bool, edit: &dyn Fn(&str) -> String| -> String {
+        let mut done = false;
+        let mut out = String::new();
+        for line in text.lines() {
+            if !done && pred(line) {
+                out.push_str(&edit(line));
+                done = true;
+            } else {
+                out.push_str(line);
+            }
+            out.push('\n');
+        }
+        assert!(done, "fixture rendering lacks the line shape under test");
+        out
+    };
+
+    // A leaf whose count vector has one entry too many.
+    let fat_leaf = mutate(&|l| l.starts_with("tree = L"), &|l| l.replacen(" e=", ",0 e=", 1));
+    let msg = persistence(&fat_leaf, "fat leaf");
+    assert!(msg.contains("count vector"), "{msg}");
+
+    // A leaf whose count vector lost its last entry.
+    let thin_leaf = mutate(&|l| l.starts_with("tree = L"), &|l| {
+        let cut = l.rfind(',').unwrap();
+        format!("{}{}", &l[..cut], &l[l.find(" e=").unwrap()..])
+    });
+    persistence(&thin_leaf, "thin leaf");
+
+    // A split node whose count vector grew an entry (`c=` is last on
+    // the line).
+    let fat_split = mutate(&|l| l.starts_with("tree = S"), &|l| format!("{l},0"));
+    let msg = persistence(&fat_split, "fat split");
+    assert!(msg.contains("count vector"), "{msg}");
+
+    // A threshold split claiming three children (with a third fraction
+    // spliced in so the child/fraction consistency check passes and the
+    // threshold-arity check itself is what trips).
+    let wide_threshold = mutate(&|l| l.starts_with("tree = S") && l.contains("k=t:"), &|l| {
+        l.replacen("n=2", "n=3", 1).replacen(" c=", ",0 c=", 1)
+    });
+    let msg = persistence(&wide_threshold, "3-way threshold");
+    assert!(msg.contains("must be exactly 2"), "{msg}");
+
+    // The untouched rendering still loads, so every failure above came
+    // from the mutation, not the fixture.
+    load(&text).expect("the unmutated rendering loads");
+}

@@ -1,0 +1,202 @@
+//! The serving guarantee: `dq serve` answers byte-for-byte what the
+//! in-memory batch auditor computes.
+//!
+//! A server is started on an ephemeral port over **two** persisted
+//! models (loaded through the same `ModelRegistry::load_dir` path the
+//! CLI uses), and several client threads interleave all three request
+//! shapes — single record, micro-batch, streamed CSV — against both
+//! models concurrently. Every response must equal the CSV that
+//! `Auditor::detect` produces in memory for the same rows, literally:
+//! the rendered bytes, and the finding confidences down to the `f64`
+//! bit pattern (re-parsed from the response CSV and compared against
+//! the in-memory report's bits — Rust float formatting is shortest
+//! round-trip, so the bytes carry the full 64 bits).
+
+use data_audit::prelude::*;
+use data_audit::serve::{client, ModelRegistry, ServeConfig, Server};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A self-cleaning scratch directory (std-only).
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "dq-serve-eq-{tag}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&path).unwrap();
+        TempDir(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Two workspace-generated fixtures with distinct schemas.
+fn fixtures() -> Vec<(&'static str, Table)> {
+    let mixed = SchemaBuilder::new()
+        .nominal("color", ["red", "green", "blue", "grey"])
+        .nominal("shape", ["disc", "drum", "vent"])
+        .numeric("size", 0.0, 100.0)
+        .build()
+        .unwrap();
+    let mut rng = StdRng::seed_from_u64(23);
+    let tdg = TestDataGenerator::new(mixed, 8, 1500).generate(&mut rng);
+    let (dirty, _) = pollute(&tdg.clean, &PollutionConfig::standard(), &mut rng);
+
+    let ordered =
+        SchemaBuilder::new().nominal("x", ["lo", "hi"]).numeric("n", 0.0, 100.0).build().unwrap();
+    let mut t = Table::new(ordered);
+    for i in 0..1000 {
+        let (x, n) =
+            if i % 2 == 0 { (0, 10.0 + (i % 9) as f64) } else { (1, 80.0 + (i % 9) as f64) };
+        t.push_row(&[Value::Nominal(x), Value::Number(n)]).unwrap();
+    }
+    t.push_row(&[Value::Nominal(0), Value::Number(97.0)]).unwrap();
+
+    vec![("tdg-mixed", dirty), ("ordered", t)]
+}
+
+/// The rows `[from, to)` of `table`, as their own table.
+fn sub_table(table: &Table, from: usize, to: usize) -> Table {
+    let mut out = Table::new(table.schema().clone());
+    let mut record = Vec::new();
+    for r in from..to {
+        table.row_into(r, &mut record);
+        out.push_row_lenient(&record).unwrap();
+    }
+    out
+}
+
+/// Everything a client thread needs to audit one model and check the
+/// answers: request bodies paired with their expected 200 bodies.
+struct ModelCase {
+    name: &'static str,
+    /// `(path_suffix, body, expected_response)` triples.
+    exchanges: Vec<(String, Vec<u8>, String)>,
+    /// Expected `f64` bit patterns of the full-stream report's finding
+    /// confidences, for the bit-level comparison.
+    stream_confidence_bits: Vec<u64>,
+    /// The full-stream expected response (the CSV whose confidence
+    /// column is re-parsed).
+    stream_expected: String,
+}
+
+#[test]
+fn concurrent_requests_match_in_memory_detect_byte_for_byte() {
+    let dir = TempDir::new("models");
+    let auditor = Auditor::default();
+    let mut cases = Vec::new();
+
+    for (name, table) in fixtures() {
+        let schema = table.schema().clone();
+        let model = auditor.induce(&table).unwrap();
+        // Persist the pair the way `dq induce`/`dq generate` would.
+        model.save_to_path(&schema, dir.0.join(format!("{name}.dqm"))).unwrap();
+        let schema_file = std::fs::File::create(dir.0.join(format!("{name}.dqs"))).unwrap();
+        write_schema(&schema, schema_file).unwrap();
+
+        let mut csv = Vec::new();
+        write_csv(&table, &mut csv).unwrap();
+        let lines: Vec<&str> = std::str::from_utf8(&csv).unwrap().lines().collect();
+
+        let mut exchanges = Vec::new();
+        // Streamed CSV: the whole table, header included.
+        let stream_report = auditor.detect(&model, &table);
+        let stream_expected = stream_report.to_csv(&schema);
+        exchanges.push(("stream".to_string(), csv.clone(), stream_expected.clone()));
+        // Streamed CSV with corrections requested.
+        exchanges.push((
+            "stream?corrections=1".to_string(),
+            csv.clone(),
+            corrections_to_csv(&propose_corrections(&stream_report), &schema),
+        ));
+        // Micro-batches: two headerless windows (the last one spans the
+        // deviant tail rows).
+        let n = table.n_rows();
+        for (from, to) in [(100, 160), (n - 40, n)] {
+            let body = lines[1 + from..1 + to].join("\n") + "\n";
+            let expected = auditor.detect(&model, &sub_table(&table, from, to)).to_csv(&schema);
+            exchanges.push(("batch".to_string(), body.into_bytes(), expected));
+        }
+        // Single records, including the last (deviant) row.
+        for row in [0, n / 2, n - 1] {
+            let body = lines[1 + row].to_string();
+            let expected = auditor.detect(&model, &sub_table(&table, row, row + 1)).to_csv(&schema);
+            exchanges.push(("record".to_string(), body.into_bytes(), expected));
+        }
+        cases.push(ModelCase {
+            name,
+            exchanges,
+            stream_confidence_bits: stream_report
+                .findings
+                .iter()
+                .map(|f| f.confidence.to_bits())
+                .collect(),
+            stream_expected,
+        });
+    }
+
+    let registry = ModelRegistry::load_dir(&dir.0).unwrap();
+    assert_eq!(registry.len(), 2);
+    let server = Server::bind("127.0.0.1:0", registry, ServeConfig::default()).unwrap();
+    let addr = server.addr();
+    let cases = Arc::new(cases);
+
+    // Six client threads, each interleaving every shape against both
+    // models, offset so different shapes are in flight simultaneously.
+    std::thread::scope(|scope| {
+        for client_id in 0..6usize {
+            let cases = cases.clone();
+            scope.spawn(move || {
+                for round in 0..3usize {
+                    for case in cases.iter() {
+                        let k = case.exchanges.len();
+                        for i in 0..k {
+                            let (suffix, body, expected) =
+                                &case.exchanges[(i + client_id + round) % k];
+                            let path = format!("/audit/{}/{suffix}", case.name);
+                            let resp = client::post(addr, &path, &[], body).unwrap();
+                            assert_eq!(resp.status, 200, "{path}: {}", resp.body_str());
+                            assert_eq!(
+                                resp.body_str(),
+                                expected,
+                                "{path} (client {client_id} round {round})"
+                            );
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    // Bit-level check: the confidence column of the streamed response,
+    // re-parsed, carries exactly the in-memory report's f64 bits.
+    for case in cases.iter() {
+        let resp = client::post(addr, &format!("/audit/{}/stream", case.name), &[], {
+            let (_, body, _) = case.exchanges.iter().find(|(s, _, _)| s == "stream").unwrap();
+            body
+        })
+        .unwrap();
+        assert_eq!(resp.body_str(), case.stream_expected);
+        let bits: Vec<u64> = resp
+            .body_str()
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').nth(4).unwrap().parse::<f64>().unwrap().to_bits())
+            .collect();
+        assert_eq!(bits, case.stream_confidence_bits, "model {}", case.name);
+    }
+
+    server.shutdown();
+}

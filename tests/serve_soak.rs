@@ -1,0 +1,293 @@
+//! Soaking the audit daemon: randomized concurrent clients, hostile
+//! inputs, and counter reconciliation.
+//!
+//! Eight client threads fire seeded-random interleaved requests at a
+//! two-model server: valid records and micro-batches, malformed
+//! records, streamed CSV bodies with a cell error planted mid-stream,
+//! unknown model names, and schema-fingerprint mismatches. The daemon
+//! must answer **every** request (a dropped response fails the
+//! client's read), never panic, report the planted error's 1-based CSV
+//! line verbatim in the `400` body, and — the reconciliation — the
+//! `/stats` counters must equal exactly what the clients sent: no
+//! request lost, no request double-counted.
+//!
+//! The registry's startup discipline rides along: two models persisted
+//! over byte-identical schemas must be rejected at `load_dir` time
+//! (fingerprint routing would be ambiguous), not at first request.
+
+use data_audit::core::AuditEngine;
+use data_audit::prelude::*;
+use data_audit::serve::{client, ModelRegistry, ServeConfig, Server};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One model's worth of soak material: its name, its headerless CSV
+/// record lines, its header line, its fingerprint.
+struct SoakModel {
+    name: &'static str,
+    header: String,
+    records: Vec<String>,
+    fingerprint_hex: String,
+}
+
+/// Expected per-model counters, accumulated by the clients.
+#[derive(Default)]
+struct Expected {
+    requests: AtomicU64,
+    records: AtomicU64,
+    errors: AtomicU64,
+}
+
+fn fixture(seed: u64, labels: [&'static str; 2]) -> Table {
+    let schema = SchemaBuilder::new()
+        .nominal("flag", labels)
+        .nominal("kind", ["a", "b", "c"])
+        .numeric("load", 0.0, 100.0)
+        .build()
+        .unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Table::new(schema);
+    for _ in 0..600 {
+        let f = rng.gen_range(0..2u32);
+        let k = if f == 0 { 0 } else { rng.gen_range(1..3u32) };
+        let load = if f == 0 { rng.gen_range(5.0..20.0) } else { rng.gen_range(60.0..90.0) };
+        t.push_row(&[Value::Nominal(f), Value::Nominal(k), Value::Number(load)]).unwrap();
+    }
+    t
+}
+
+#[test]
+fn eight_randomized_clients_lose_nothing() {
+    let auditor = Auditor::default();
+    let mut registry = ModelRegistry::new();
+    let mut models = Vec::new();
+    for (name, seed, labels) in [("alpha", 7u64, ["on", "off"]), ("beta", 11u64, ["hot", "cold"])] {
+        let table = fixture(seed, labels);
+        let engine = AuditEngine::new(auditor.induce(&table).unwrap(), table.schema().clone());
+        let mut csv = Vec::new();
+        write_csv(&table, &mut csv).unwrap();
+        let mut lines = std::str::from_utf8(&csv).unwrap().lines().map(str::to_string);
+        let header = lines.next().unwrap();
+        models.push(SoakModel {
+            name,
+            header,
+            records: lines.collect(),
+            fingerprint_hex: format!("{:016x}", engine.fingerprint()),
+        });
+        registry.insert(name, engine).unwrap();
+    }
+
+    let server = Server::bind(
+        "127.0.0.1:0",
+        registry,
+        ServeConfig { workers: 4, queue_depth: 64, ..ServeConfig::default() },
+    )
+    .unwrap();
+    let addr = server.addr();
+    let models = Arc::new(models);
+    let expected: Arc<Vec<Expected>> =
+        Arc::new(models.iter().map(|_| Expected::default()).collect());
+
+    std::thread::scope(|scope| {
+        for thread_id in 0..8u64 {
+            let models = models.clone();
+            let expected = expected.clone();
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(1000 + thread_id);
+                for _ in 0..40 {
+                    let m = rng.gen_range(0..models.len());
+                    let model = &models[m];
+                    let tally = &expected[m];
+                    match rng.gen_range(0..6u32) {
+                        // A valid single record.
+                        0 => {
+                            let row = rng.gen_range(0..model.records.len());
+                            let resp = client::post(
+                                addr,
+                                &format!("/audit/{}/record", model.name),
+                                &[],
+                                model.records[row].as_bytes(),
+                            )
+                            .unwrap();
+                            assert_eq!(resp.status, 200, "{}", resp.body_str());
+                            tally.requests.fetch_add(1, Ordering::Relaxed);
+                            tally.records.fetch_add(1, Ordering::Relaxed);
+                        }
+                        // A valid micro-batch.
+                        1 => {
+                            let from = rng.gen_range(0..model.records.len() - 30);
+                            let len = rng.gen_range(1..30usize);
+                            let body = model.records[from..from + len].join("\n") + "\n";
+                            let resp = client::post(
+                                addr,
+                                &format!("/audit/{}/batch", model.name),
+                                &[],
+                                body.as_bytes(),
+                            )
+                            .unwrap();
+                            assert_eq!(resp.status, 200, "{}", resp.body_str());
+                            tally.requests.fetch_add(1, Ordering::Relaxed);
+                            tally.records.fetch_add(len as u64, Ordering::Relaxed);
+                        }
+                        // A malformed record: the numeric cell is garbage.
+                        // The implied header of the record endpoint is
+                        // line 1, so the planted error is at line 2.
+                        2 => {
+                            let row = rng.gen_range(0..model.records.len());
+                            let mut cells: Vec<&str> = model.records[row].split(',').collect();
+                            cells[2] = "zap";
+                            let resp = client::post(
+                                addr,
+                                &format!("/audit/{}/record", model.name),
+                                &[],
+                                cells.join(",").as_bytes(),
+                            )
+                            .unwrap();
+                            assert_eq!(resp.status, 400, "{}", resp.body_str());
+                            assert!(
+                                resp.body_str().contains("line 2, column `load`"),
+                                "{}",
+                                resp.body_str()
+                            );
+                            tally.requests.fetch_add(1, Ordering::Relaxed);
+                            tally.errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                        // A streamed CSV with a cell error planted
+                        // mid-stream: record k (0-based) sits at
+                        // physical line k + 2 (the header is line 1).
+                        3 => {
+                            let n = rng.gen_range(20..60usize);
+                            let bad = rng.gen_range(5..n);
+                            let mut body = model.header.clone();
+                            for (k, record) in model.records[..n].iter().enumerate() {
+                                body.push('\n');
+                                if k == bad {
+                                    let mut cells: Vec<&str> = record.split(',').collect();
+                                    cells[2] = "boom";
+                                    body.push_str(&cells.join(","));
+                                } else {
+                                    body.push_str(record);
+                                }
+                            }
+                            body.push('\n');
+                            let resp = client::post(
+                                addr,
+                                &format!("/audit/{}/stream", model.name),
+                                &[],
+                                body.as_bytes(),
+                            )
+                            .unwrap();
+                            assert_eq!(resp.status, 400, "{}", resp.body_str());
+                            let wanted = format!("line {}, column `load`", bad + 2);
+                            assert!(
+                                resp.body_str().contains(&wanted),
+                                "wanted `{wanted}` in `{}`",
+                                resp.body_str()
+                            );
+                            tally.requests.fetch_add(1, Ordering::Relaxed);
+                            tally.errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                        // An unknown model: typed 404, resolves no model.
+                        4 => {
+                            let resp =
+                                client::post(addr, "/audit/no-such-model/record", &[], b"on,a,10")
+                                    .unwrap();
+                            assert_eq!(resp.status, 404);
+                            assert!(
+                                resp.body_str().contains("unknown model `no-such-model`"),
+                                "{}",
+                                resp.body_str()
+                            );
+                        }
+                        // A schema-fingerprint mismatch: the *other*
+                        // model's fingerprint is asserted.
+                        _ => {
+                            let other = &models[(m + 1) % models.len()];
+                            let row = rng.gen_range(0..model.records.len());
+                            let resp = client::post(
+                                addr,
+                                &format!("/audit/{}/record", model.name),
+                                &[("X-Schema-Fingerprint", other.fingerprint_hex.as_str())],
+                                model.records[row].as_bytes(),
+                            )
+                            .unwrap();
+                            assert_eq!(resp.status, 409, "{}", resp.body_str());
+                            assert!(
+                                resp.body_str().contains("schema fingerprint mismatch"),
+                                "{}",
+                                resp.body_str()
+                            );
+                            assert!(
+                                resp.body_str().contains(&model.fingerprint_hex)
+                                    && resp.body_str().contains(&other.fingerprint_hex),
+                                "{}",
+                                resp.body_str()
+                            );
+                            tally.requests.fetch_add(1, Ordering::Relaxed);
+                            tally.errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    // Reconciliation: the daemon's counters are exactly the clients'.
+    let stats = client::get(addr, "/stats").unwrap();
+    assert_eq!(stats.status, 200);
+    for (m, model) in models.iter().enumerate() {
+        let line = stats
+            .body_str()
+            .lines()
+            .find(|l| l.starts_with(&format!("{},", model.name)))
+            .unwrap_or_else(|| panic!("no stats row for {}:\n{}", model.name, stats.body_str()));
+        let fields: Vec<&str> = line.split(',').collect();
+        assert_eq!(fields[1], model.fingerprint_hex, "{line}");
+        assert_eq!(
+            fields[2].parse::<u64>().unwrap(),
+            expected[m].requests.load(Ordering::Relaxed),
+            "requests of {}: {line}",
+            model.name
+        );
+        assert_eq!(
+            fields[3].parse::<u64>().unwrap(),
+            expected[m].records.load(Ordering::Relaxed),
+            "records of {}: {line}",
+            model.name
+        );
+        assert_eq!(
+            fields[5].parse::<u64>().unwrap(),
+            expected[m].errors.load(Ordering::Relaxed),
+            "errors of {}: {line}",
+            model.name
+        );
+    }
+
+    server.shutdown();
+}
+
+#[test]
+fn load_dir_rejects_duplicate_schema_fingerprints() {
+    let dir = std::env::temp_dir().join(format!("dq-serve-soak-dup-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let auditor = Auditor::default();
+    // Two models persisted over byte-identical schemas: the second
+    // load must fail with the fingerprint collision, at startup.
+    for name in ["a", "b"] {
+        let table = fixture(5, ["on", "off"]);
+        let model = auditor.induce(&table).unwrap();
+        model.save_to_path(table.schema(), dir.join(format!("{name}.dqm"))).unwrap();
+        let schema_file = std::fs::File::create(dir.join(format!("{name}.dqs"))).unwrap();
+        write_schema(table.schema(), schema_file).unwrap();
+    }
+    let err = ModelRegistry::load_dir(&dir).unwrap_err();
+    let text = err.to_string();
+    assert!(text.contains("collides with model `a`") && text.contains("fingerprint"), "{text}");
+    // A model whose schema pair is missing is a startup error too.
+    std::fs::remove_file(dir.join("b.dqs")).unwrap();
+    let err = ModelRegistry::load_dir(&dir).unwrap_err();
+    assert!(err.to_string().contains("b.dqs"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
