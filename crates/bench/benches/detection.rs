@@ -47,7 +47,7 @@ fn detection_thread_scaling(c: &mut Criterion) {
         let mut group = c.benchmark_group(name);
         for &threads in &[1usize, 2, 4, 8] {
             let auditor =
-                Auditor::new(AuditConfig { threads: Some(threads), ..AuditConfig::default() });
+                Auditor::new(AuditConfig { threads: threads.into(), ..AuditConfig::default() });
             group.throughput(Throughput::Elements(rows));
             group.sample_size(10);
             group.bench_with_input(BenchmarkId::from_parameter(threads), &auditor, |b, a| {
@@ -70,7 +70,7 @@ fn detection_flat(c: &mut Criterion) {
         ("detection/flat/quis-50k", quis_fixture(50_000, 42), 50_000),
     ] {
         let model = fixture.induce();
-        let auditor = Auditor::new(AuditConfig { threads: Some(1), ..AuditConfig::default() });
+        let auditor = Auditor::new(AuditConfig { threads: 1.into(), ..AuditConfig::default() });
         let mut group = c.benchmark_group(name);
         group.throughput(Throughput::Elements(rows));
         group.sample_size(10);
@@ -97,7 +97,7 @@ fn detection_association(c: &mut Criterion) {
         ("detection/association/quis-50k", quis_fixture(50_000, 42), 50_000),
     ] {
         let auditor = AssociationAuditor::new(AssociationAuditConfig {
-            threads: Some(1),
+            threads: 1.into(),
             ..AssociationAuditConfig::default()
         });
         let (miner, _) = auditor.run(&fixture.dirty).expect("fixture tables are minable");

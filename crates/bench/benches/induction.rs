@@ -45,7 +45,7 @@ fn induction_thread_scaling(c: &mut Criterion) {
         let mut group = c.benchmark_group(name);
         for &threads in &[1usize, 2, 4, 8] {
             let auditor =
-                Auditor::new(AuditConfig { threads: Some(threads), ..AuditConfig::default() });
+                Auditor::new(AuditConfig { threads: threads.into(), ..AuditConfig::default() });
             group.throughput(Throughput::Elements(rows));
             group.sample_size(10);
             group.bench_with_input(BenchmarkId::from_parameter(threads), &auditor, |b, a| {
@@ -67,7 +67,7 @@ fn induction_presort(c: &mut Criterion) {
         ("induction/presort/baseline-10k", baseline_fixture(10_000, 100, 42), 10_000u64),
         ("induction/presort/quis-50k", quis_fixture(50_000, 42), 50_000),
     ] {
-        let auditor = Auditor::new(AuditConfig { threads: Some(1), ..AuditConfig::default() });
+        let auditor = Auditor::new(AuditConfig { threads: 1.into(), ..AuditConfig::default() });
         let mut group = c.benchmark_group(name);
         group.throughput(Throughput::Elements(rows));
         group.sample_size(10);
@@ -96,14 +96,14 @@ fn induction_split_parallel(c: &mut Criterion) {
     let mut group = c.benchmark_group("induction/parallel/quis-50k");
     group.throughput(Throughput::Elements(50_000));
     group.sample_size(10);
-    let reference = Auditor::new(AuditConfig { threads: Some(1), ..AuditConfig::default() });
+    let reference = Auditor::new(AuditConfig { threads: 1.into(), ..AuditConfig::default() });
     group.bench_with_input(BenchmarkId::from_parameter("reference"), &reference, |b, a| {
         b.iter(|| a.induce(&fixture.dirty).expect("fixture tables are auditable"))
     });
     for &split in &[2usize, 4] {
         let auditor = Auditor::new(AuditConfig {
-            threads: Some(1),
-            split_threads: Some(split),
+            threads: 1.into(),
+            split_threads: split.into(),
             ..AuditConfig::default()
         });
         group.bench_with_input(

@@ -10,7 +10,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dq_eval::Baseline;
-use dq_tdg::{generate_rule_set, generate_rule_set_reference};
+use dq_table::BatchSource;
+use dq_tdg::{generate_rule_set, generate_rule_set_reference, GenerateStream};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -49,7 +50,7 @@ fn data_generation(c: &mut Criterion) {
     for &n in &[1_000usize, 10_000, 1_000_000] {
         let mut generator = baseline.generator(100, n);
         if n < 1_000_000 {
-            generator.data.threads = Some(1);
+            generator.data.threads = 1.into();
         }
         group.throughput(Throughput::Elements(n as u64));
         group.sample_size(if n >= 1_000_000 { 3 } else { 10 });
@@ -60,6 +61,26 @@ fn data_generation(c: &mut Criterion) {
             })
         });
     }
+    group.finish();
+    // The streamed generator at the million-row tier: drain
+    // GenerateStream batch by batch, holding O(chunk) memory. Compare
+    // against tdg/data/1000000 to price the streaming redesign.
+    let mut group = c.benchmark_group("tdg/stream");
+    let generator = baseline.generator(100, 1_000_000);
+    group.throughput(Throughput::Elements(1_000_000));
+    group.sample_size(3);
+    group.bench_with_input(BenchmarkId::from_parameter(1_000_000), &generator, |b, g| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(11);
+            let mut stream =
+                GenerateStream::new(g.schema.clone(), rules.clone(), g.data.clone(), &mut rng);
+            let mut rows = 0usize;
+            while let Some(batch) = stream.next_batch().expect("generation cannot fail") {
+                rows += batch.n_rows();
+            }
+            rows
+        })
+    });
     group.finish();
     let mut group = c.benchmark_group("tdg/data-reference");
     let generator = baseline.generator(100, 10_000);

@@ -56,7 +56,9 @@ fn main() {
         (false, true) => Scale::smoke(),
         (false, false) => Scale::paper(),
     };
-    scale.threads = threads.or(scale.threads);
+    if let Some(n) = threads {
+        scale.threads = n.into();
+    }
     println!(
         "# repro — Systematic Development of Data Mining-Based Data Quality Tools (VLDB 2003)"
     );
@@ -67,7 +69,7 @@ fn main() {
         scale.quis_rows,
         scale.replicates,
         scale.seed,
-        dq_exec::resolve_threads(scale.threads)
+        scale.threads.resolve()
     );
     for experiment in wanted {
         match experiment {

@@ -35,7 +35,7 @@ fn golden_scale() -> Scale {
         quis_rows: 2500,
         replicates: 1,
         seed: 2003,
-        threads: None,
+        threads: dq_exec::Parallelism::AUTO,
     }
 }
 

@@ -41,7 +41,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     let file = File::open(input).map_err(|e| format!("{input}: {e}"))?;
     let batches = CsvChunkReader::new(schema.clone(), BufReader::new(file), chunk_rows)
         .map_err(|e| format!("{input}: {e}"))?;
-    let auditor = Auditor::new(AuditConfig { threads, ..AuditConfig::default() });
+    let auditor = Auditor::new(AuditConfig { threads: threads.into(), ..AuditConfig::default() });
     let t0 = Instant::now();
     let (report, stream_error) = auditor.detect_stream_partial(&model, batches);
     let secs = t0.elapsed().as_secs_f64();

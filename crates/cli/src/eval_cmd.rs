@@ -16,7 +16,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
 
     let baseline = Baseline::new(seed);
     let mut env = baseline.environment(rules, rows, factor);
-    env.audit.threads = flags.parse_positive_opt("threads")?;
+    env.audit.threads = flags.parse_positive_opt("threads")?.into();
     let result = env.run(seed).map_err(|e| e.to_string())?;
 
     say!(

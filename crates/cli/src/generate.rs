@@ -2,17 +2,20 @@
 //! ground-truth log) to a directory.
 
 use crate::args::{CliError, Flags};
-use crate::io_util::{log_to_csv, say, write_file, write_table};
-use dq_eval::Baseline;
-use dq_pollute::pollute;
+use crate::io_util::{at, create_file, log_to_csv, say, write_file, write_table};
+use dq_eval::{Baseline, TestEnvironment};
+use dq_pollute::{pollute, PolluteStream};
 use dq_quis::{generate_quis, QuisConfig};
-use dq_table::render_schema;
+use dq_table::{render_schema, BatchSource, CsvWriter, Schema, Table, TableError};
+use dq_tdg::{generate_rule_set, GenerateStream};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::io::Write;
 use std::path::Path;
+use std::sync::Arc;
 
 pub const USAGE: &str = "dq generate <tdg|quis> --out DIR [--rows N] [--seed N] [--factor X] \
-                         [--rules N --threads N (tdg only)]";
+                         [--threads N] [--rules N --stream-chunk-rows N (tdg only)]";
 
 pub fn run(args: &[String]) -> Result<(), CliError> {
     let (kind, rest) = args
@@ -30,19 +33,26 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
 /// The sec. 6.1 artificial benchmark: rule-structured data over the
 /// 8-attribute baseline schema, polluted by the standard suite.
 fn tdg(args: &[String]) -> Result<(), CliError> {
-    let flags = Flags::parse(args, &["out", "rows", "rules", "seed", "factor", "threads"])?;
+    let flags = Flags::parse(
+        args,
+        &["out", "rows", "rules", "seed", "factor", "threads", "stream-chunk-rows"],
+    )?;
     let out = Path::new(flags.require("out")?).to_path_buf();
     let rows: usize = flags.parse_or("rows", 10_000)?;
     let rules: usize = flags.parse_or("rules", 30)?;
     let seed: u64 = flags.parse_or("seed", 2003)?;
     let factor: f64 = flags.parse_or("factor", 1.0)?;
     let threads: Option<usize> = flags.parse_positive_opt("threads")?;
+    let stream_chunk_rows: Option<usize> = flags.parse_positive_opt("stream-chunk-rows")?;
 
     let baseline = Baseline::new(seed);
     let mut env = baseline.environment(rules, rows, factor);
     // Generation is byte-identical at any worker count (chunk-seeded
     // RNG streams), so the knob only changes wall-clock time.
-    env.generator.data.threads = threads;
+    env.generator.data.threads = threads.into();
+    if let Some(chunk_rows) = stream_chunk_rows {
+        return tdg_streamed(&env, &out, seed, chunk_rows);
+    }
     let mut rng = StdRng::seed_from_u64(seed);
     let benchmark = env.generator.generate(&mut rng);
     let (dirty, log) = pollute(&benchmark.clean, &env.pollution, &mut rng);
@@ -67,13 +77,126 @@ fn tdg(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// A [`BatchSource`] pass-through that appends every batch to a CSV
+/// writer — how the streamed pipeline writes `clean.csv` while
+/// pollution consumes the very same batches, in one pass.
+struct TeeCsv<S, W: Write> {
+    inner: S,
+    writer: CsvWriter<W>,
+    done: bool,
+}
+
+impl<S: BatchSource, W: Write> BatchSource for TeeCsv<S, W> {
+    fn schema(&self) -> &Arc<Schema> {
+        self.inner.schema()
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Table>, TableError> {
+        if self.done {
+            return Ok(None);
+        }
+        match self.inner.next_batch() {
+            Ok(Some(batch)) => {
+                if let Err(e) = self.writer.write_batch(&batch) {
+                    self.done = true;
+                    return Err(e);
+                }
+                Ok(Some(batch))
+            }
+            Ok(None) => {
+                self.done = true;
+                Ok(None)
+            }
+            Err(e) => {
+                self.done = true;
+                Err(e)
+            }
+        }
+    }
+
+    fn rows_emitted(&self) -> usize {
+        self.inner.rows_emitted()
+    }
+
+    fn row_count_hint(&self) -> Option<usize> {
+        self.inner.row_count_hint()
+    }
+}
+
+/// The O(chunk)-memory tdg path: rule generation as usual, then the
+/// clean table streams from [`GenerateStream`] through a clean-CSV
+/// tee into [`PolluteStream`] and out to the dirty CSV — one pass,
+/// never holding more than a few chunks. Byte-identical to the
+/// in-memory path at every `--stream-chunk-rows`/`--threads` setting:
+/// generation is chunk-seeded, pollution consumes its RNG in
+/// clean-row order, and [`CsvWriter`] streams exactly what
+/// `write_table` materializes.
+fn tdg_streamed(
+    env: &TestEnvironment,
+    out: &Path,
+    seed: u64,
+    chunk_rows: usize,
+) -> Result<(), CliError> {
+    let schema = env.generator.schema.clone();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (rules, _rule_report) = generate_rule_set(&schema, &env.generator.rules, &mut rng);
+
+    write_file(&out.join("schema.dqs"), &render_schema(&schema).map_err(|e| e.to_string())?)?;
+    let rules_text: String = rules.iter().map(|r| r.render(&schema) + "\n").collect();
+    write_file(&out.join("rules.txt"), &rules_text)?;
+
+    let generator =
+        GenerateStream::new(schema.clone(), rules.clone(), env.generator.data.clone(), &mut rng)
+            .with_batch_rows(chunk_rows);
+    let clean_path = out.join("clean.csv");
+    let clean_writer = CsvWriter::new(schema.clone(), create_file(&clean_path)?)
+        .map_err(|e| at(&clean_path, e))?;
+    let dirty_path = out.join("dirty.csv");
+    let mut dirty_writer = CsvWriter::new(schema.clone(), create_file(&dirty_path)?)
+        .map_err(|e| at(&dirty_path, e))?;
+
+    let tee = TeeCsv { inner: generator, writer: clean_writer, done: false };
+    let mut stream = PolluteStream::new(tee, env.pollution.clone(), &mut rng);
+    let mut dirty_rows = 0usize;
+    loop {
+        match stream.next_batch() {
+            Ok(Some(batch)) => {
+                dirty_writer.write_batch(&batch).map_err(|e| at(&dirty_path, e))?;
+                dirty_rows += batch.n_rows();
+            }
+            Ok(None) => break,
+            Err(e) => return Err(CliError::Runtime(format!("streamed generation: {e}"))),
+        }
+    }
+    dirty_writer.finish().map_err(|e| at(&dirty_path, e))?;
+    let clean_rows = stream.clean_rows_seen();
+    let (tee, log) = stream.into_parts();
+    tee.writer.finish().map_err(|e| at(&clean_path, e))?;
+    write_file(&out.join("pollution-log.csv"), &log_to_csv(&log, &schema))?;
+
+    say!(
+        "generated tdg benchmark in {} (streamed, {chunk_rows}-row chunks): {} clean rows, \
+         {} dirty rows ({} corrupted), {} rules",
+        out.display(),
+        clean_rows,
+        dirty_rows,
+        log.n_corrupted_rows(),
+        rules.len(),
+    );
+    say!("files: schema.dqs clean.csv dirty.csv pollution-log.csv rules.txt");
+    Ok(())
+}
+
 /// The sec. 6.2 QUIS-like engine-composition benchmark.
 fn quis(args: &[String]) -> Result<(), CliError> {
-    let flags = Flags::parse(args, &["out", "rows", "seed", "factor"])?;
+    let flags = Flags::parse(args, &["out", "rows", "seed", "factor", "threads"])?;
     let out = Path::new(flags.require("out")?).to_path_buf();
     let rows: usize = flags.parse_or("rows", 200_000)?;
     let seed: u64 = flags.parse_or("seed", 2003)?;
     let factor: f64 = flags.parse_or("factor", 1.0)?;
+    // The QUIS generator is one sequential RNG walk; the flag is
+    // validated for CLI uniformity only.
+    let _threads: Option<usize> = flags.parse_positive_opt("threads")?;
 
     let mut cfg = QuisConfig::default().with_rows(rows);
     cfg.pollution.factor = factor;

@@ -21,7 +21,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         min_confidence: flags.parse_or("min-confidence", 0.8)?,
         level: flags.parse_or("level", 0.95)?,
         bins: flags.parse_or("bins", 8)?,
-        threads: flags.parse_positive_opt("threads")?,
+        threads: flags.parse_positive_opt("threads")?.into(),
         ..AuditConfig::default()
     };
 

@@ -24,8 +24,20 @@ use std::path::Path;
 use std::sync::Arc;
 
 /// Human-facing error text with the file path attached.
-fn at(path: &Path, e: impl std::fmt::Display) -> String {
+pub(crate) fn at(path: &Path, e: impl std::fmt::Display) -> String {
     format!("{}: {e}", path.display())
+}
+
+/// Create a file for streaming writes, creating parent directories —
+/// the open half of [`write_table`] for paths that go through a
+/// [`dq_table::CsvWriter`] batch by batch.
+pub fn create_file(path: &Path) -> Result<File, String> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| at(parent, e))?;
+        }
+    }
+    File::create(path).map_err(|e| at(path, e))
 }
 
 /// Load a `.dqs` schema file.

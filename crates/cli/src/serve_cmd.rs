@@ -31,7 +31,10 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         chunk_rows: flags.parse_positive_or("chunk-rows", defaults.chunk_rows)?,
         ..defaults
     };
-    let detect_threads = Some(flags.parse_positive_opt("threads")?.unwrap_or(1));
+    // Default is serial per request: concurrency comes from the worker
+    // fan-out, not from sharding each scan.
+    let detect_threads =
+        dq_exec::Parallelism::explicit(flags.parse_positive_opt("threads")?.unwrap_or(1));
     let registry =
         ModelRegistry::load_dir_with_threads(models, detect_threads).map_err(|e| e.to_string())?;
     let server = Server::bind(addr, registry, config).map_err(|e| format!("{addr}: {e}"))?;

@@ -39,11 +39,13 @@ pub struct AssociationAuditConfig {
     /// Records scoring at or above this are flagged.
     pub min_confidence: f64,
     /// Worker threads for the detection scan (the record loop shards
-    /// into row chunks, like [`crate::Auditor::detect`]). `None`
-    /// resolves to the available hardware parallelism (overridable via
-    /// `DQ_THREADS`); `Some(1)` is the exact serial path. Results are
-    /// identical at every thread count.
-    pub threads: Option<usize>,
+    /// into row chunks, like [`crate::Auditor::detect`]) — the shared
+    /// [`Parallelism`](dq_exec::Parallelism) knob. The default
+    /// [`AUTO`](dq_exec::Parallelism::AUTO) resolves to the available
+    /// hardware parallelism (overridable via `DQ_THREADS`);
+    /// [`serial`](dq_exec::Parallelism::serial) is the exact serial
+    /// path. Results are identical at every thread count.
+    pub threads: dq_exec::Parallelism,
 }
 
 /// The association-rule data auditor.
@@ -431,7 +433,7 @@ mod tests {
             for threads in [1, 2, 4] {
                 let par = AssociationAuditor::new(AssociationAuditConfig {
                     scoring,
-                    threads: Some(threads),
+                    threads: threads.into(),
                     ..AssociationAuditConfig::default()
                 });
                 let report = par.detect(&miner, &t);

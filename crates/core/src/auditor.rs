@@ -17,7 +17,7 @@ use crate::confidence::min_instances_for_confidence;
 use crate::engine;
 use crate::error::AuditError;
 use crate::report::AuditReport;
-use dq_exec::WorkerPool;
+use dq_exec::{Parallelism, WorkerPool};
 use dq_mining::{
     C45Inducer, ClassSpec, Classifier, FlatTree, InducerKind, TableCache, TrainingSet, TreeRule,
 };
@@ -55,22 +55,22 @@ pub struct AuditConfig {
     pub base_attr_overrides: Vec<(AttrIdx, Vec<AttrIdx>)>,
     /// Worker threads for structure induction (one classifier per
     /// attribute fans out across the pool) and deviation detection
-    /// (the record scan is sharded into row chunks). `None` resolves
-    /// to the available hardware parallelism, overridable through the
-    /// `DQ_THREADS` environment variable; `Some(1)` is the exact
-    /// legacy serial path. Results are identical at every thread
-    /// count — parallelism only changes wall-clock time.
-    pub threads: Option<usize>,
+    /// (the record scan is sharded into row chunks) — the shared
+    /// [`Parallelism`] knob: explicit count > `DQ_THREADS` >
+    /// available cores. The default ([`Parallelism::AUTO`]) defers to
+    /// the environment. Results are identical at every thread count —
+    /// parallelism only changes wall-clock time.
+    pub threads: Parallelism,
     /// SPRINT-style intra-attribute workers for C4.5 split search:
     /// within a single tree node, the numeric boundary-cut scan and
     /// the nominal count-matrix accumulation are sharded across this
-    /// many threads. `None` (the default) keeps the split search
-    /// serial — per-attribute fan-out via [`AuditConfig::threads`] is
-    /// usually enough; set it when the table is wide in rows but
-    /// narrow in attributes, where per-attribute fan-out alone caps
-    /// the speedup at the attribute count. Byte-identical results at
-    /// every thread count.
-    pub split_threads: Option<usize>,
+    /// many threads. The default is [`Parallelism::serial`] — a
+    /// serial split search; per-attribute fan-out via
+    /// [`AuditConfig::threads`] is usually enough. Set it when the
+    /// table is wide in rows but narrow in attributes, where
+    /// per-attribute fan-out alone caps the speedup at the attribute
+    /// count. Byte-identical results at every thread count.
+    pub split_threads: Parallelism,
 }
 
 impl Default for AuditConfig {
@@ -85,8 +85,8 @@ impl Default for AuditConfig {
             flag_nulls: true,
             audited_attrs: None,
             base_attr_overrides: Vec::new(),
-            threads: None,
-            split_threads: None,
+            threads: Parallelism::AUTO,
+            split_threads: Parallelism::serial(),
         }
     }
 }
@@ -267,8 +267,10 @@ impl Auditor {
         };
         let pool = WorkerPool::from_config(self.config.threads);
         // Optional second-level pool for intra-node split search; the
-        // scoped-thread design makes nesting safe.
-        let split_pool = self.config.split_threads.map(WorkerPool::new);
+        // scoped-thread design makes nesting safe. One resolved worker
+        // means "no nested pool" — the serial split path.
+        let split = self.config.split_threads.resolve();
+        let split_pool = (split > 1).then(|| WorkerPool::new(split));
         let models = pool
             .map_indexed(&audited, |_, &class_attr| {
                 let train = self.training_set(table, class_attr)?;
@@ -383,16 +385,13 @@ impl Auditor {
     ///
     /// Row indices in the returned report are global (0-based over the
     /// whole stream). The first failing batch aborts the scan with its
-    /// error; batches after the first must keep the same schema width
-    /// (guaranteed by any single-reader source).
-    pub fn detect_stream<I>(
+    /// error; the [`BatchSource`](dq_table::BatchSource) contract
+    /// guarantees every batch shares the source's schema.
+    pub fn detect_stream(
         &self,
         model: &StructureModel,
-        batches: I,
-    ) -> Result<AuditReport, AuditError>
-    where
-        I: IntoIterator<Item = Result<Table, dq_table::TableError>>,
-    {
+        batches: impl dq_table::BatchSource,
+    ) -> Result<AuditReport, AuditError> {
         let (report, error) = engine::detect_batches(model, self.config.threads, batches);
         match error {
             Some(e) => Err(e),
@@ -403,14 +402,11 @@ impl Auditor {
     /// Streaming detection that keeps the partial report when a batch
     /// fails mid-stream: the report covers every complete batch before
     /// the failure. See [`crate::AuditEngine::detect_stream_partial`].
-    pub fn detect_stream_partial<I>(
+    pub fn detect_stream_partial(
         &self,
         model: &StructureModel,
-        batches: I,
-    ) -> (AuditReport, Option<AuditError>)
-    where
-        I: IntoIterator<Item = Result<Table, dq_table::TableError>>,
-    {
+        batches: impl dq_table::BatchSource,
+    ) -> (AuditReport, Option<AuditError>) {
         engine::detect_batches(model, self.config.threads, batches)
     }
 
@@ -621,7 +617,8 @@ mod tests {
         let model = auditor.induce(&train).unwrap();
         let empty = Table::new(train.schema().clone());
         for threads in [Some(1), Some(4), None] {
-            let auditor = Auditor::new(AuditConfig { threads, ..AuditConfig::default() });
+            let auditor =
+                Auditor::new(AuditConfig { threads: threads.into(), ..AuditConfig::default() });
             let report = auditor.detect(&model, &empty);
             assert_eq!(report.n_rows(), 0);
             assert!(report.findings.is_empty());
@@ -636,8 +633,9 @@ mod tests {
         for i in 0..100 {
             t.push_row(&[Value::Nominal(i % 2)]).unwrap();
         }
-        for threads in [Some(1), Some(4)] {
-            let auditor = Auditor::new(AuditConfig { threads, ..AuditConfig::default() });
+        for threads in [1, 4] {
+            let auditor =
+                Auditor::new(AuditConfig { threads: threads.into(), ..AuditConfig::default() });
             assert_eq!(auditor.induce(&t).unwrap_err(), AuditError::SingleColumn);
             assert_eq!(auditor.run(&t).unwrap_err(), AuditError::SingleColumn);
         }
@@ -646,11 +644,12 @@ mod tests {
     #[test]
     fn thread_counts_do_not_change_results() {
         let t = quis_anecdote();
-        let serial = Auditor::new(AuditConfig { threads: Some(1), ..AuditConfig::default() });
+        let serial =
+            Auditor::new(AuditConfig { threads: Parallelism::serial(), ..AuditConfig::default() });
         let (model_s, report_s) = serial.run(&t).unwrap();
         for threads in [2, 4, 7] {
             let par =
-                Auditor::new(AuditConfig { threads: Some(threads), ..AuditConfig::default() });
+                Auditor::new(AuditConfig { threads: threads.into(), ..AuditConfig::default() });
             let (model_p, report_p) = par.run(&t).unwrap();
             assert_eq!(model_p.render(t.schema()), model_s.render(t.schema()));
             assert_eq!(report_p.findings, report_s.findings, "threads={threads}");
@@ -675,12 +674,13 @@ mod tests {
             let x = if i % 7 == 0 { Value::Null } else { Value::Number(f64::from(i % 13)) };
             t.push_row(&[Value::Nominal(a), x, Value::Nominal(u32::from(i % 13 >= 6))]).unwrap();
         }
-        let base = Auditor::new(AuditConfig { threads: Some(1), ..AuditConfig::default() });
+        let base =
+            Auditor::new(AuditConfig { threads: Parallelism::serial(), ..AuditConfig::default() });
         let (model_b, report_b) = base.run(&t).unwrap();
         for split_threads in [1, 2, 4] {
             let par = Auditor::new(AuditConfig {
-                threads: Some(1),
-                split_threads: Some(split_threads),
+                threads: Parallelism::serial(),
+                split_threads: split_threads.into(),
                 ..AuditConfig::default()
             });
             let (model_p, report_p) = par.run(&t).unwrap();
@@ -697,10 +697,10 @@ mod tests {
         // parallel fan-out must return the same first-by-index error
         // as the legacy serial loop.
         let t = anecdote(200, 40);
-        for threads in [Some(1), Some(4)] {
+        for threads in [1, 4] {
             let auditor = Auditor::new(AuditConfig {
                 audited_attrs: Some(vec![0, 9, 7]),
-                threads,
+                threads: threads.into(),
                 ..AuditConfig::default()
             });
             match auditor.induce(&t) {

@@ -24,8 +24,8 @@ use crate::auditor::{materialize_class, AttrModel, StructureModel};
 use crate::error::AuditError;
 use crate::report::{AuditReport, Finding};
 use crate::structure_rules::StructureRuleSet;
-use dq_exec::WorkerPool;
-use dq_table::{CsvChunkReader, RowSlice, Schema, Table, TableError, Value};
+use dq_exec::Parallelism;
+use dq_table::{BatchSource, CsvChunkReader, RowSlice, Schema, Table, Value};
 use std::io::BufRead;
 use std::path::Path;
 use std::sync::Arc;
@@ -50,10 +50,11 @@ pub struct AuditEngine {
     schema: Arc<Schema>,
     rules: StructureRuleSet,
     /// Worker threads *per request* (the [`AuditConfig::threads`]
-    /// semantics). A server answering many concurrent requests wants
-    /// `Some(1)`: concurrency comes from the request fan-out, not from
-    /// sharding each scan.
-    threads: Option<usize>,
+    /// semantics, as a shared [`Parallelism`] knob). A server answering
+    /// many concurrent requests wants [`Parallelism::serial`]:
+    /// concurrency comes from the request fan-out, not from sharding
+    /// each scan.
+    threads: Parallelism,
 }
 
 impl AuditEngine {
@@ -62,7 +63,7 @@ impl AuditEngine {
     /// is built per request.
     pub fn new(model: StructureModel, schema: Arc<Schema>) -> Self {
         let rules = StructureRuleSet::compile(&model, &schema);
-        AuditEngine { model, schema, rules, threads: Some(1) }
+        AuditEngine { model, schema, rules, threads: Parallelism::serial() }
     }
 
     /// Load a persisted `.dqm` model against `schema` and make it
@@ -79,11 +80,12 @@ impl AuditEngine {
         Ok(AuditEngine::new(model, schema))
     }
 
-    /// Set the per-request worker-thread knob (`None` = hardware
-    /// parallelism, honouring `DQ_THREADS`). Results are identical at
-    /// every thread count.
-    pub fn with_threads(mut self, threads: Option<usize>) -> Self {
-        self.threads = threads;
+    /// Set the per-request worker-thread knob (accepts a
+    /// [`Parallelism`], an explicit `usize`, or the legacy
+    /// `Option<usize>` where `None` = hardware parallelism honouring
+    /// `DQ_THREADS`). Results are identical at every thread count.
+    pub fn with_threads(mut self, threads: impl Into<Parallelism>) -> Self {
+        self.threads = threads.into();
         self
     }
 
@@ -121,13 +123,11 @@ impl AuditEngine {
         self.rules.detect(table, self.threads)
     }
 
-    /// **Streaming deviation detection** — the engine form of
-    /// [`crate::Auditor::detect_stream`], byte-identical to it: the
-    /// first failing batch aborts the scan with its error.
-    pub fn detect_stream<I>(&self, batches: I) -> Result<AuditReport, AuditError>
-    where
-        I: IntoIterator<Item = Result<Table, TableError>>,
-    {
+    /// **Streaming deviation detection** over any [`BatchSource`] —
+    /// the engine form of [`crate::Auditor::detect_stream`],
+    /// byte-identical to it: the first failing batch aborts the scan
+    /// with its error.
+    pub fn detect_stream(&self, batches: impl BatchSource) -> Result<AuditReport, AuditError> {
         let (report, error) = detect_batches(&self.model, self.threads, batches);
         match error {
             Some(e) => Err(e),
@@ -144,10 +144,10 @@ impl AuditEngine {
     /// Rows inside the failing batch are not recoverable (a torn batch
     /// never materializes — see [`CsvChunkReader`]); the partial
     /// report ends at the last complete batch boundary.
-    pub fn detect_stream_partial<I>(&self, batches: I) -> (AuditReport, Option<AuditError>)
-    where
-        I: IntoIterator<Item = Result<Table, TableError>>,
-    {
+    pub fn detect_stream_partial(
+        &self,
+        batches: impl BatchSource,
+    ) -> (AuditReport, Option<AuditError>) {
         detect_batches(&self.model, self.threads, batches)
     }
 
@@ -185,11 +185,11 @@ pub(crate) type ScanFn = fn(&StructureModel, &RowSlice<'_>) -> (Vec<Finding>, Ve
 pub(crate) fn detect_table(
     model: &StructureModel,
     table: &Table,
-    threads: Option<usize>,
+    threads: Parallelism,
     scan: ScanFn,
 ) -> AuditReport {
     let cfg = model.config();
-    let pool = WorkerPool::from_config(threads);
+    let pool = threads.pool();
     let chunks = table.chunks(pool.threads());
     let partials = pool.map_indexed(&chunks, |_, chunk| scan(model, chunk));
     let mut findings = Vec::new();
@@ -206,23 +206,21 @@ pub(crate) fn detect_table(
 /// stop at the first failing batch and return what was scanned so far
 /// together with the error. Byte-identical to the in-memory core over
 /// the concatenated batches, for every batch size and thread count.
-pub(crate) fn detect_batches<I>(
+pub(crate) fn detect_batches(
     model: &StructureModel,
-    threads: Option<usize>,
-    batches: I,
-) -> (AuditReport, Option<AuditError>)
-where
-    I: IntoIterator<Item = Result<Table, TableError>>,
-{
+    threads: Parallelism,
+    mut batches: impl BatchSource,
+) -> (AuditReport, Option<AuditError>) {
     let cfg = model.config();
-    let pool = WorkerPool::from_config(threads);
+    let pool = threads.pool();
     let mut findings = Vec::new();
-    let mut record_confidence = Vec::new();
+    let mut record_confidence = Vec::with_capacity(batches.row_count_hint().unwrap_or(0));
     let mut offset = 0usize;
     let mut error = None;
-    for batch in batches {
-        let batch = match batch {
-            Ok(batch) => batch,
+    loop {
+        let batch = match batches.next_batch() {
+            Ok(Some(batch)) => batch,
+            Ok(None) => break,
             Err(e) => {
                 error = Some(AuditError::from(e));
                 break;
@@ -387,7 +385,7 @@ pub(crate) fn scan_chunk_reference(
 mod tests {
     use super::*;
     use crate::auditor::Auditor;
-    use dq_table::{SchemaBuilder, Value};
+    use dq_table::{ReplaySource, SchemaBuilder, TableError, Value};
 
     fn fixture() -> Table {
         let schema = SchemaBuilder::new()
@@ -477,11 +475,14 @@ mod tests {
 
         // Two good batches, then a torn one.
         let (a, b) = (sub_table(&t, 0, 400), sub_table(&t, 400, 800));
-        let batches: Vec<Result<Table, TableError>> = vec![
-            Ok(a.clone()),
-            Ok(b.clone()),
-            Err(TableError::CsvCell { line: 802, column: "n".into(), message: "boom".into() }),
-        ];
+        let batches = ReplaySource::new(
+            schema.clone(),
+            vec![
+                Ok(a.clone()),
+                Ok(b.clone()),
+                Err(TableError::CsvCell { line: 802, column: "n".into(), message: "boom".into() }),
+            ],
+        );
         let (partial, err) = engine.detect_stream_partial(batches);
         assert_eq!(partial.n_rows(), 800);
         match err {

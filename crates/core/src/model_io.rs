@@ -441,8 +441,8 @@ pub fn parse_model<R: BufRead>(schema: &Schema, input: R) -> Result<StructureMod
         flag_nulls: r.parse_bool(get("config.flag-nulls")?)?,
         audited_attrs: parse_attr_list(get("config.audited-attrs")?)?,
         base_attr_overrides: parse_overrides(get("config.base-attr-overrides")?)?,
-        threads: None,       // runtime knob, never persisted
-        split_threads: None, // likewise
+        threads: dq_exec::Parallelism::AUTO, // runtime knob, never persisted
+        split_threads: dq_exec::Parallelism::serial(), // likewise
     };
     let min_inst = r.parse_f64(get("min-inst")?)?;
     let n_models = r.parse_usize(get("models")?)?;

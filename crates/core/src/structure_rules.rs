@@ -20,7 +20,6 @@
 use crate::auditor::{materialize_class, StructureModel};
 use crate::confidence::null_error_confidence;
 use crate::report::{AuditReport, Finding};
-use dq_exec::WorkerPool;
 use dq_logic::pairs::pair_conflict;
 use dq_logic::{
     eval_rule, Atom, CachedRule, CompiledRuleSet, Formula, RecordView, Rule, RuleSet, RuleStatus,
@@ -132,8 +131,8 @@ impl StructureRuleSet {
     /// rules are checked in kept order and scored exactly like
     /// [`StructureRuleSet::detect_reference`], so the report is
     /// byte-identical at every thread count.
-    pub fn detect(&self, table: &Table, threads: Option<usize>) -> AuditReport {
-        let pool = WorkerPool::from_config(threads);
+    pub fn detect(&self, table: &Table, threads: impl Into<dq_exec::Parallelism>) -> AuditReport {
+        let pool = threads.into().pool();
         let chunks = table.chunks(pool.threads());
         let partials = pool.map_indexed(&chunks, |_, chunk| self.scan_chunk(chunk));
         let mut findings = Vec::new();

@@ -52,11 +52,14 @@ pub struct Scale {
     /// Master seed.
     pub seed: u64,
     /// Worker threads for the sweep: independent (sweep-point,
-    /// replicate) cells run concurrently. `None` resolves to the
-    /// available hardware parallelism (or `DQ_THREADS`); `Some(1)` is
-    /// the exact legacy serial order. Every cell reseeds its own RNG,
-    /// so results are identical at any thread count.
-    pub threads: Option<usize>,
+    /// replicate) cells run concurrently — the shared
+    /// [`Parallelism`](dq_exec::Parallelism) knob.
+    /// [`AUTO`](dq_exec::Parallelism::AUTO) resolves to the available
+    /// hardware parallelism (or `DQ_THREADS`);
+    /// [`serial`](dq_exec::Parallelism::serial) is the exact legacy
+    /// serial order. Every cell reseeds its own RNG, so results are
+    /// identical at any thread count.
+    pub threads: dq_exec::Parallelism,
 }
 
 impl Scale {
@@ -72,7 +75,7 @@ impl Scale {
             quis_rows: 200_000,
             replicates: 5,
             seed: 2003,
-            threads: None,
+            threads: dq_exec::Parallelism::AUTO,
         }
     }
 
@@ -92,7 +95,7 @@ impl Scale {
             quis_rows: 1_000_000,
             replicates: 1,
             seed: 2003,
-            threads: None,
+            threads: dq_exec::Parallelism::AUTO,
         }
     }
 
@@ -110,7 +113,7 @@ impl Scale {
             quis_rows: 100_000,
             replicates: 1,
             seed: 2003,
-            threads: None,
+            threads: dq_exec::Parallelism::AUTO,
         }
     }
 
@@ -126,7 +129,7 @@ impl Scale {
             quis_rows: 4000,
             replicates: 1,
             seed: 2003,
-            threads: None,
+            threads: dq_exec::Parallelism::AUTO,
         }
     }
 }
@@ -302,11 +305,11 @@ pub fn fig3(scale: &Scale) -> Result<Series, AuditError> {
     );
     let averaged = run_cells(scale, &scale.record_points, |&n, rep| {
         let mut env = baseline.environment(scale.rules, n, 1.0);
-        env.audit.threads = Some(1);
+        env.audit.threads = dq_exec::Parallelism::serial();
         // The cell level already saturates the pool; a nested
         // generation pool would only add contention (output is
         // thread-count-invariant either way).
-        env.generator.data.threads = Some(1);
+        env.generator.data.threads = dq_exec::Parallelism::serial();
         let mut rng = StdRng::seed_from_u64(scale.seed ^ n as u64 ^ (rep << 32));
         let benchmark = env.generator.generate_with_rules(&rules, &mut rng);
         let (dirty, log) = pollute(&benchmark.clean, &env.pollution, &mut rng);
@@ -335,9 +338,9 @@ pub fn fig4(scale: &Scale) -> Result<Series, AuditError> {
     let averaged = run_cells(scale, &ks, |&k, rep| {
         let prefix = dq_logic::RuleSet::from_rules(all_rules.rules[..k].to_vec());
         let mut env = baseline.environment(k, scale.rows, 1.0);
-        env.audit.threads = Some(1);
+        env.audit.threads = dq_exec::Parallelism::serial();
         // As in fig3: serial generation inside already-parallel cells.
-        env.generator.data.threads = Some(1);
+        env.generator.data.threads = dq_exec::Parallelism::serial();
         let mut rng = StdRng::seed_from_u64(scale.seed ^ ((k as u64) << 8) ^ (rep << 32));
         let benchmark = env.generator.generate_with_rules(&prefix, &mut rng);
         let (dirty, log) = pollute(&benchmark.clean, &env.pollution, &mut rng);
@@ -366,7 +369,7 @@ pub fn fig5(scale: &Scale) -> Result<Series, AuditError> {
     );
     let averaged = run_cells(scale, &scale.factor_points, |&factor, rep| {
         let mut env = baseline.environment(scale.rules, scale.rows, factor);
-        env.audit.threads = Some(1);
+        env.audit.threads = dq_exec::Parallelism::serial();
         let mut rng = StdRng::seed_from_u64(scale.seed ^ (factor * 16.0) as u64 ^ (rep << 32));
         let (dirty, log) = pollute(&benchmark.clean, &env.pollution, &mut rng);
         Ok(measures(&env.audit_prepared(benchmark.clone(), dirty, log)?))
@@ -730,8 +733,8 @@ mod tests {
 
     #[test]
     fn sweep_results_are_identical_at_any_thread_count() {
-        let serial = Scale { threads: Some(1), ..Scale::smoke() };
-        let parallel = Scale { threads: Some(4), ..Scale::smoke() };
+        let serial = Scale { threads: 1.into(), ..Scale::smoke() };
+        let parallel = Scale { threads: 4.into(), ..Scale::smoke() };
         let s3 = fig3(&serial).unwrap();
         let p3 = fig3(&parallel).unwrap();
         // Timing columns differ run to run; compare the deterministic

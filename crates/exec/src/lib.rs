@@ -84,6 +84,76 @@ pub fn resolve_threads(requested: Option<usize>) -> usize {
     }
 }
 
+/// The one parallelism knob every subsystem shares.
+///
+/// Historically each layer carried its own `threads: Option<usize>`
+/// field with its own folklore about what `None` meant. `Parallelism`
+/// is that knob with the resolution rule attached, applied identically
+/// everywhere: **explicit count > `DQ_THREADS` > available cores**
+/// (see [`resolve_threads`]). The audit config, the generator config,
+/// the eval sweeps and the CLI `--threads` flags all store one of
+/// these.
+///
+/// `Option<usize>` converts losslessly (`Some(n)` → explicit, `None` →
+/// auto), so configs built from optional CLI flags spell
+/// `flags.parse_positive_opt("threads")?.into()`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Parallelism {
+    requested: Option<usize>,
+}
+
+impl Parallelism {
+    /// Defer to `DQ_THREADS`, then the core count (the [`Default`]).
+    pub const AUTO: Parallelism = Parallelism { requested: None };
+
+    /// Exactly `n` workers (clamped to at least 1), environment
+    /// ignored.
+    pub fn explicit(n: usize) -> Self {
+        Parallelism { requested: Some(n.max(1)) }
+    }
+
+    /// Exactly one worker — the deterministic legacy serial path.
+    pub fn serial() -> Self {
+        Parallelism::explicit(1)
+    }
+
+    /// The explicit request, when one was made.
+    pub fn requested(&self) -> Option<usize> {
+        self.requested
+    }
+
+    /// `true` when no explicit count was requested (the environment
+    /// decides).
+    pub fn is_auto(&self) -> bool {
+        self.requested.is_none()
+    }
+
+    /// The concrete worker count under the shared resolution rule.
+    pub fn resolve(&self) -> usize {
+        resolve_threads(self.requested)
+    }
+
+    /// A pool of [`Parallelism::resolve`] workers.
+    pub fn pool(&self) -> WorkerPool {
+        WorkerPool::new(self.resolve())
+    }
+}
+
+impl From<Option<usize>> for Parallelism {
+    fn from(requested: Option<usize>) -> Self {
+        match requested {
+            Some(n) => Parallelism::explicit(n),
+            None => Parallelism::AUTO,
+        }
+    }
+}
+
+impl From<usize> for Parallelism {
+    fn from(n: usize) -> Self {
+        Parallelism::explicit(n)
+    }
+}
+
 /// A fixed-width scoped worker pool.
 ///
 /// The pool owns no threads between calls: each `map` spawns scoped
@@ -108,10 +178,11 @@ impl WorkerPool {
         WorkerPool { threads: threads.max(1) }
     }
 
-    /// A pool for a `threads: Option<usize>` configuration knob — see
-    /// [`resolve_threads`] for the `None` semantics.
-    pub fn from_config(requested: Option<usize>) -> Self {
-        WorkerPool::new(resolve_threads(requested))
+    /// A pool for a configuration knob — accepts a [`Parallelism`] or
+    /// anything that converts into one (`Option<usize>`, `usize`); see
+    /// [`resolve_threads`] for the resolution rule.
+    pub fn from_config(requested: impl Into<Parallelism>) -> Self {
+        requested.into().pool()
     }
 
     /// The fixed worker count.
@@ -310,5 +381,22 @@ mod tests {
         assert!(WorkerPool::new(1).is_serial());
         assert!(!WorkerPool::new(2).is_serial());
         assert_eq!(WorkerPool::from_config(Some(3)).threads(), 3);
+    }
+
+    #[test]
+    fn parallelism_is_the_shared_knob() {
+        // One resolution rule: explicit > DQ_THREADS > cores.
+        assert_eq!(Parallelism::explicit(4).resolve(), 4);
+        assert_eq!(Parallelism::explicit(0).resolve(), 1, "explicit zero clamps");
+        assert!(Parallelism::serial().pool().is_serial());
+        assert!(Parallelism::AUTO.is_auto());
+        assert!(Parallelism::AUTO.resolve() >= 1);
+        assert_eq!(Parallelism::default(), Parallelism::AUTO);
+        // Option/usize conversions round-trip the request.
+        assert_eq!(Parallelism::from(Some(3)).requested(), Some(3));
+        assert_eq!(Parallelism::from(None).requested(), None);
+        assert_eq!(Parallelism::from(5usize).requested(), Some(5));
+        assert_eq!(WorkerPool::from_config(Parallelism::explicit(2)).threads(), 2);
+        assert_eq!(WorkerPool::from_config(2usize).threads(), 2);
     }
 }

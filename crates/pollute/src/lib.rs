@@ -15,14 +15,18 @@
 //! probability, combined into a [`PollutionConfig`] whose common
 //! *pollution factor* scales all probabilities at once (the x-axis of
 //! Figure 5), and executed by [`pollute`], which returns the dirty
-//! table together with the ground-truth [`PollutionLog`].
+//! table together with the ground-truth [`PollutionLog`] — or
+//! streamed chunk-at-a-time over any `BatchSource` by
+//! [`PolluteStream`], byte-identically and at O(chunk) memory.
 
 pub mod log;
 pub mod pipeline;
 pub mod polluter;
+pub mod stream;
 pub mod violations;
 
 pub use log::{CellCorruption, PollutionLog, RowProvenance};
 pub use pipeline::{pollute, PollutionConfig, PollutionStep};
 pub use polluter::{Polluter, PolluterKind};
+pub use stream::PolluteStream;
 pub use violations::{count_violations, unexplained_violations, violating_rows};

@@ -90,9 +90,32 @@ pub fn pollute<R: Rng + ?Sized>(
     config: &PollutionConfig,
     rng: &mut R,
 ) -> (Table, PollutionLog) {
+    let mut log = PollutionLog::default();
+    let dirty = pollute_chunk(clean, 0, config, &mut log, rng);
+    (dirty, log)
+}
+
+/// The chunk-at-a-time pollution core [`pollute`] (one chunk covering
+/// the whole table) and [`crate::PolluteStream`] (one call per source
+/// batch) share: pollute the rows of `clean` — globally rows
+/// `clean_row_offset..clean_row_offset + clean.n_rows()` of the
+/// logical relation — appending to a shared `log` whose dirty-row and
+/// clean-row indices stay global (the same offset merge
+/// `detect_stream` applies to finding rows). Returns the dirty rows
+/// this chunk contributes, in order.
+///
+/// The RNG is consumed strictly in clean-row order, so chunking never
+/// changes the byte stream: concatenating the returned chunks equals
+/// an unchunked [`pollute`] over the concatenated input.
+pub(crate) fn pollute_chunk<R: Rng + ?Sized>(
+    clean: &Table,
+    clean_row_offset: usize,
+    config: &PollutionConfig,
+    log: &mut PollutionLog,
+    rng: &mut R,
+) -> Table {
     let schema = clean.schema();
     let mut dirty = Table::with_capacity(schema.clone(), clean.n_rows());
-    let mut log = PollutionLog::default();
     let mut record: Vec<Value> = Vec::with_capacity(clean.n_cols());
     for r in 0..clean.n_rows() {
         clean.row_into(r, &mut record);
@@ -140,15 +163,15 @@ pub fn pollute<R: Rng + ?Sized>(
             }
         }
         match action {
-            RowAction::Delete => log.log_deletion(r),
+            RowAction::Delete => log.log_deletion(clean_row_offset + r),
             RowAction::Keep | RowAction::Duplicate => {
-                let dirty_row = log.push_row(r, false);
+                let dirty_row = log.push_row(clean_row_offset + r, false);
                 dirty.push_row_lenient(&record).expect("polluted record keeps cell kinds");
                 for &(attr, before, after, kind) in &net {
                     log.log_cell(dirty_row, attr, kind, before, after);
                 }
                 if action == RowAction::Duplicate {
-                    let dup_row = log.push_row(r, true);
+                    let dup_row = log.push_row(clean_row_offset + r, true);
                     dirty.push_row_lenient(&record).expect("duplicate record keeps cell kinds");
                     // The copy carries the same cell corruptions.
                     for &(attr, before, after, kind) in &net {
@@ -158,7 +181,7 @@ pub fn pollute<R: Rng + ?Sized>(
             }
         }
     }
-    (dirty, log)
+    dirty
 }
 
 #[cfg(test)]

@@ -1,0 +1,235 @@
+//! [`PolluteStream`]: chunk-at-a-time pollution over any
+//! [`BatchSource`].
+//!
+//! The streaming counterpart of [`pollute`](crate::pollute): wrap a
+//! clean batch source (a [`GenerateStream`], a CSV reader, a paged
+//! table) and drain dirty batches from it, holding only one chunk of
+//! each in memory. Because the pollution core consumes its RNG
+//! strictly in clean-row order, the concatenated dirty batches — and
+//! the accumulated [`PollutionLog`], whose clean-row and dirty-row
+//! indices are global — are byte-identical to an in-memory
+//! `pollute` over the concatenated input, for every chunking.
+//!
+//! [`GenerateStream`]: https://docs.rs/dq_tdg
+
+use crate::log::PollutionLog;
+use crate::pipeline::{pollute_chunk, PollutionConfig};
+use dq_table::{BatchSource, Schema, Table, TableError};
+use rand::Rng;
+use std::sync::Arc;
+
+/// A [`BatchSource`] of dirty batches: each clean batch pulled from
+/// `source` is polluted as one chunk. The ground-truth log is complete
+/// once the stream is drained ([`PolluteStream::log`] /
+/// [`PolluteStream::into_log`]).
+pub struct PolluteStream<S, R> {
+    source: S,
+    config: PollutionConfig,
+    rng: R,
+    log: PollutionLog,
+    clean_rows_seen: usize,
+    rows_emitted: usize,
+    done: bool,
+}
+
+impl<S: BatchSource, R: Rng> PolluteStream<S, R> {
+    /// Pollute everything `source` will emit, drawing from `rng`. The
+    /// RNG is owned: pollution must be the only consumer while the
+    /// stream drains, exactly as `pollute` borrows one exclusively.
+    pub fn new(source: S, config: PollutionConfig, rng: R) -> Self {
+        PolluteStream {
+            source,
+            config,
+            rng,
+            log: PollutionLog::default(),
+            clean_rows_seen: 0,
+            rows_emitted: 0,
+            done: false,
+        }
+    }
+
+    /// The ground-truth log accumulated so far — complete (equal to
+    /// the in-memory [`pollute`](crate::pollute) log) once
+    /// `next_batch` has returned `Ok(None)`.
+    pub fn log(&self) -> &PollutionLog {
+        &self.log
+    }
+
+    /// Consume the stream, returning the accumulated log.
+    pub fn into_log(self) -> PollutionLog {
+        self.log
+    }
+
+    /// Consume the stream, returning the inner source and the log —
+    /// for callers that need the source back (a tee'd writer to
+    /// close, a reader whose position matters).
+    pub fn into_parts(self) -> (S, PollutionLog) {
+        (self.source, self.log)
+    }
+
+    /// Clean rows consumed from the source so far.
+    pub fn clean_rows_seen(&self) -> usize {
+        self.clean_rows_seen
+    }
+}
+
+impl<S: std::fmt::Debug, R> std::fmt::Debug for PolluteStream<S, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PolluteStream")
+            .field("source", &self.source)
+            .field("config", &self.config)
+            .field("clean_rows_seen", &self.clean_rows_seen)
+            .field("rows_emitted", &self.rows_emitted)
+            .field("done", &self.done)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<S: BatchSource, R: Rng> BatchSource for PolluteStream<S, R> {
+    fn schema(&self) -> &Arc<Schema> {
+        self.source.schema()
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Table>, TableError> {
+        if self.done {
+            return Ok(None);
+        }
+        // A chunk whose every row the duplicator deletes pollutes to
+        // an empty table; the contract forbids empty batches, so keep
+        // pulling until something survives or the source ends.
+        loop {
+            let clean = match self.source.next_batch() {
+                Ok(Some(batch)) => batch,
+                Ok(None) => {
+                    self.done = true;
+                    return Ok(None);
+                }
+                Err(e) => {
+                    self.done = true;
+                    return Err(e);
+                }
+            };
+            let offset = self.clean_rows_seen;
+            self.clean_rows_seen += clean.n_rows();
+            let dirty = pollute_chunk(&clean, offset, &self.config, &mut self.log, &mut self.rng);
+            if dirty.is_empty() {
+                continue;
+            }
+            self.rows_emitted += dirty.n_rows();
+            return Ok(Some(dirty));
+        }
+    }
+
+    fn rows_emitted(&self) -> usize {
+        self.rows_emitted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{pollute, PollutionStep};
+    use crate::polluter::Polluter;
+    use dq_table::{ReplaySource, SchemaBuilder, Value};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn clean_table(n: usize) -> Table {
+        let schema = SchemaBuilder::new()
+            .nominal("a", ["x", "y", "z"])
+            .nominal("b", ["x", "y", "z"])
+            .numeric("n", 0.0, 100.0)
+            .build()
+            .unwrap();
+        let mut t = Table::new(schema);
+        for i in 0..n {
+            t.push_row(&[
+                Value::Nominal((i % 3) as u32),
+                Value::Nominal(((i + 1) % 3) as u32),
+                Value::Number((i % 100) as f64),
+            ])
+            .unwrap();
+        }
+        t
+    }
+
+    fn csv(table: &Table) -> String {
+        let mut buf = Vec::new();
+        dq_table::write_csv(table, &mut buf).unwrap();
+        String::from_utf8(buf).unwrap()
+    }
+
+    /// Drain a stream into one table, checking the batch contract.
+    fn drain<S: BatchSource>(mut s: S) -> Table {
+        let mut out = Table::new(s.schema().clone());
+        while let Some(batch) = s.next_batch().unwrap() {
+            assert!(!batch.is_empty(), "batches must never be empty");
+            out.append_rows(&batch).unwrap();
+            assert_eq!(s.rows_emitted(), out.n_rows());
+        }
+        assert!(matches!(s.next_batch(), Ok(None)), "must fuse at end");
+        out
+    }
+
+    #[test]
+    fn chunked_pollution_equals_unchunked() {
+        let clean = clean_table(997);
+        let cfg = PollutionConfig::standard().with_factor(3.0);
+        let (dirty_ref, log_ref) = pollute(&clean, &cfg, &mut StdRng::seed_from_u64(42));
+        for chunk_rows in [1usize, 7, 64, 997, 5000] {
+            let mut stream = PolluteStream::new(
+                clean.batches(chunk_rows),
+                cfg.clone(),
+                StdRng::seed_from_u64(42),
+            );
+            let dirty = drain(&mut stream);
+            assert_eq!(stream.clean_rows_seen(), clean.n_rows());
+            assert_eq!(csv(&dirty), csv(&dirty_ref), "chunk_rows={chunk_rows}");
+            let log = stream.into_log();
+            assert_eq!(log.provenance, log_ref.provenance, "chunk_rows={chunk_rows}");
+            assert_eq!(log.cells, log_ref.cells, "chunk_rows={chunk_rows}");
+            assert_eq!(
+                log.deleted_clean_rows, log_ref.deleted_clean_rows,
+                "chunk_rows={chunk_rows}"
+            );
+            assert_eq!(log.n_corrupted_rows(), log_ref.n_corrupted_rows());
+            for r in 0..log.n_rows() {
+                assert_eq!(log.is_row_corrupted(r), log_ref.is_row_corrupted(r), "row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_deleted_chunks_are_skipped_not_emitted() {
+        let clean = clean_table(40);
+        // p_delete = 1 and activation 1: every record is deleted.
+        let cfg = PollutionConfig {
+            steps: vec![PollutionStep {
+                polluter: Polluter::Duplicator { p_delete: 1.0 },
+                activation: 1.0,
+            }],
+            factor: 1.0,
+        };
+        let mut stream = PolluteStream::new(clean.batches(8), cfg, StdRng::seed_from_u64(7));
+        assert!(stream.next_batch().unwrap().is_none());
+        assert_eq!(stream.rows_emitted(), 0);
+        assert_eq!(stream.clean_rows_seen(), 40);
+        assert_eq!(stream.log().deleted_clean_rows.len(), 40);
+    }
+
+    #[test]
+    fn source_errors_propagate_and_fuse() {
+        let clean = clean_table(10);
+        let schema = clean.schema().clone();
+        let good = clean.slice_rows(0, 5).unwrap();
+        let source = ReplaySource::new(schema, vec![Ok(good), Err(TableError::Csv("torn".into()))]);
+        let mut stream =
+            PolluteStream::new(source, PollutionConfig::standard(), StdRng::seed_from_u64(1));
+        let first = stream.next_batch().unwrap().expect("first batch survives");
+        assert!(first.n_rows() > 0);
+        assert!(matches!(stream.next_batch(), Err(TableError::Csv(_))));
+        assert!(matches!(stream.next_batch(), Ok(None)), "fused after error");
+        // The log still covers the rows polluted before the tear.
+        assert_eq!(stream.log().n_rows(), first.n_rows());
+    }
+}

@@ -2,8 +2,17 @@
 //!
 //! Exists so the test harnesses (and anything scripting the daemon
 //! without curl) can speak to [`crate::server`] with zero
-//! dependencies: one request per connection, `Content-Length` bodies,
-//! read-to-close responses — exactly what the server emits.
+//! dependencies. Two shapes:
+//!
+//! * the one-shot helpers ([`get`], [`post`], [`request`]) open a
+//!   fresh connection, send `Connection: close`, and read one
+//!   response;
+//! * [`Connection`] keeps one TCP connection open across any number
+//!   of requests (HTTP/1.1 keep-alive), with split
+//!   [`Connection::send`]/[`Connection::recv`] so callers can
+//!   pipeline several requests before reading the responses.
+//!
+//! Both read `Content-Length` bodies — exactly what the server emits.
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -40,7 +49,8 @@ pub fn post(
     request(addr, "POST", path, headers, body)
 }
 
-/// One full request/response exchange on a fresh connection.
+/// One full request/response exchange on a fresh connection, closed
+/// afterwards (`Connection: close` is sent).
 pub fn request(
     addr: SocketAddr,
     method: &str,
@@ -48,18 +58,95 @@ pub fn request(
     headers: &[(&str, &str)],
     body: &[u8],
 ) -> io::Result<Response> {
-    let mut stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    let mut conn = Connection::open(addr)?;
+    write_request(conn.reader.get_mut(), method, path, headers, body, true)?;
+    conn.recv()
+}
+
+/// A persistent connection to the server: any number of
+/// request/response exchanges ride one TCP stream. [`Connection::send`]
+/// and [`Connection::recv`] are split so several requests can be
+/// pipelined before the first response is read; responses come back in
+/// request order.
+#[derive(Debug)]
+pub struct Connection {
+    reader: BufReader<TcpStream>,
+}
+
+impl Connection {
+    /// Connect to `addr` with a 60 s read timeout.
+    pub fn open(addr: SocketAddr) -> io::Result<Connection> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        Ok(Connection { reader: BufReader::new(stream) })
+    }
+
+    /// Write one keep-alive request without reading its response.
+    pub fn send(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> io::Result<()> {
+        write_request(self.reader.get_mut(), method, path, headers, body, false)
+    }
+
+    /// Write one `Connection: close` request — the server answers it
+    /// and hangs up.
+    pub fn send_close(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> io::Result<()> {
+        write_request(self.reader.get_mut(), method, path, headers, body, true)
+    }
+
+    /// Read the next pending response.
+    pub fn recv(&mut self) -> io::Result<Response> {
+        read_response(&mut self.reader)
+    }
+
+    /// One request/response exchange, connection kept open.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> io::Result<Response> {
+        self.send(method, path, headers, body)?;
+        self.recv()
+    }
+}
+
+/// Serialize one request onto `stream`.
+fn write_request(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+    close: bool,
+) -> io::Result<()> {
     let mut head = format!("{method} {path} HTTP/1.1\r\nHost: dq-serve\r\n");
+    if close {
+        head.push_str("Connection: close\r\n");
+    }
     for (name, value) in headers {
         head.push_str(&format!("{name}: {value}\r\n"));
     }
     head.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
     stream.write_all(head.as_bytes())?;
     stream.write_all(body)?;
-    stream.flush()?;
+    stream.flush()
+}
 
-    let mut reader = BufReader::new(stream);
+/// Parse one response off `reader` (status line, headers,
+/// `Content-Length` body; read-to-close when the length is missing).
+fn read_response(reader: &mut BufReader<TcpStream>) -> io::Result<Response> {
     let mut status_line = String::new();
     reader.read_line(&mut status_line)?;
     let status =

@@ -1,12 +1,15 @@
 //! A deliberately small HTTP/1.1 subset over `std::io`.
 //!
 //! `dq serve` speaks exactly what its clients (curl, the test
-//! harnesses, [`crate::client`]) need and nothing more: one request
-//! per connection, `Content-Length` bodies, `Connection: close`
-//! responses. No chunked transfer coding, no keep-alive, no percent
-//! decoding — audit bodies are CSV, paths are plain model names. This
-//! is a protocol adapter, not a web framework; everything interesting
-//! happens in [`crate::server`].
+//! harnesses, [`crate::client`]) need and nothing more:
+//! `Content-Length` bodies and HTTP/1.1 keep-alive — any number of
+//! requests per connection, closing when the peer asks
+//! (`Connection: close`, or an HTTP/1.0 request without
+//! `Connection: keep-alive`) or after an error, since framing is not
+//! trustworthy past a malformed request. No chunked transfer coding,
+//! no percent decoding — audit bodies are CSV, paths are plain model
+//! names. This is a protocol adapter, not a web framework; everything
+//! interesting happens in [`crate::server`].
 
 use std::io::{self, BufRead, Write};
 
@@ -25,6 +28,9 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// The request body (`Content-Length` bytes).
     pub body: Vec<u8>,
+    /// `false` only for `HTTP/1.0` requests; drives the keep-alive
+    /// default.
+    pub http11: bool,
 }
 
 impl Request {
@@ -42,6 +48,17 @@ impl Request {
     /// (`1`/`true`/empty flag form).
     pub fn query_flag(&self, key: &str) -> bool {
         matches!(self.query_value(key), Some("" | "1" | "true"))
+    }
+
+    /// Whether the connection should stay open after this exchange:
+    /// an explicit `Connection` header wins, otherwise HTTP/1.1
+    /// defaults to keep-alive and HTTP/1.0 to close.
+    pub fn keep_alive(&self) -> bool {
+        match self.header("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => false,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
+            _ => self.http11,
+        }
     }
 }
 
@@ -94,10 +111,11 @@ pub fn read_request<R: BufRead>(stream: &mut R, max_body: usize) -> Result<Reque
     }
     let line = line.trim_end_matches(['\r', '\n']);
     let mut parts = line.split(' ');
-    let (method, target) = match (parts.next(), parts.next(), parts.next()) {
-        (Some(m), Some(t), Some(v)) if v.starts_with("HTTP/1.") && !m.is_empty() => (m, t),
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) if v.starts_with("HTTP/1.") && !m.is_empty() => (m, t, v),
         _ => return Err(HttpError::Malformed(format!("bad request line `{line}`"))),
     };
+    let http11 = version != "HTTP/1.0";
     let (path, query_text) = match target.split_once('?') {
         Some((p, q)) => (p, q),
         None => (target, ""),
@@ -139,7 +157,7 @@ pub fn read_request<R: BufRead>(stream: &mut R, max_body: usize) -> Result<Reque
     let mut body = vec![0u8; content_length];
     stream.read_exact(&mut body).map_err(|_| HttpError::ConnectionClosed)?;
 
-    Ok(Request { method: method.to_string(), path: path.to_string(), query, headers, body })
+    Ok(Request { method: method.to_string(), path: path.to_string(), query, headers, body, http11 })
 }
 
 /// The reason phrase for the status codes the server emits.
@@ -157,16 +175,20 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Write a complete `Connection: close` response.
+/// Write a complete response. `close` announces whether the server
+/// will hang up after this exchange (`Connection: close`) or read the
+/// next request off the same connection (`Connection: keep-alive`).
 pub fn write_response<W: Write>(
     stream: &mut W,
     status: u16,
     content_type: &str,
     body: &[u8],
+    close: bool,
 ) -> io::Result<()> {
+    let connection = if close { "close" } else { "keep-alive" };
     write!(
         stream,
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
         reason(status),
         body.len()
     )?;
@@ -230,13 +252,31 @@ mod tests {
     }
 
     #[test]
-    fn responses_carry_length_and_close() {
+    fn responses_carry_length_and_connection_intent() {
         let mut out = Vec::new();
-        write_response(&mut out, 409, "text/plain", b"error: nope\n").unwrap();
+        write_response(&mut out, 409, "text/plain", b"error: nope\n", true).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 409 Conflict\r\n"), "{text}");
         assert!(text.contains("Content-Length: 12\r\n"), "{text}");
         assert!(text.contains("Connection: close\r\n"), "{text}");
         assert!(text.ends_with("error: nope\n"), "{text}");
+
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "text/csv", b"ok\n", false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
+    }
+
+    #[test]
+    fn keep_alive_follows_version_and_connection_header() {
+        // HTTP/1.1 defaults to keep-alive; an explicit header wins.
+        assert!(parse("GET / HTTP/1.1\r\n\r\n").unwrap().keep_alive());
+        assert!(!parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap().keep_alive());
+        assert!(!parse("GET / HTTP/1.1\r\nConnection: CLOSE\r\n\r\n").unwrap().keep_alive());
+        // HTTP/1.0 defaults to close; opt-in keep-alive is honored.
+        assert!(!parse("GET / HTTP/1.0\r\n\r\n").unwrap().keep_alive());
+        assert!(parse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap().keep_alive());
+        // An unknown Connection value falls back to the version default.
+        assert!(parse("GET / HTTP/1.1\r\nConnection: upgrade\r\n\r\n").unwrap().keep_alive());
     }
 }

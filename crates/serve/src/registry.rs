@@ -117,18 +117,21 @@ impl ModelRegistry {
     /// by name. A `.dqm` without its schema, an unreadable or garbled
     /// file, and duplicate names/fingerprints are all startup errors.
     pub fn load_dir(dir: impl AsRef<Path>) -> Result<Self, ServeError> {
-        Self::load_dir_with_threads(dir, Some(1))
+        Self::load_dir_with_threads(dir, dq_exec::Parallelism::serial())
     }
 
     /// [`ModelRegistry::load_dir`] with the per-request detection
-    /// thread knob ([`AuditEngine::with_threads`]): `Some(1)` — the
-    /// `load_dir` default — serves each request on its handler thread;
-    /// larger values shard each scan too.
+    /// thread knob ([`AuditEngine::with_threads`], any
+    /// [`Parallelism`](dq_exec::Parallelism) convertible):
+    /// [`serial`](dq_exec::Parallelism::serial) — the `load_dir`
+    /// default — serves each request on its handler thread; larger
+    /// values shard each scan too.
     pub fn load_dir_with_threads(
         dir: impl AsRef<Path>,
-        detect_threads: Option<usize>,
+        detect_threads: impl Into<dq_exec::Parallelism>,
     ) -> Result<Self, ServeError> {
         let dir = dir.as_ref();
+        let detect_threads = detect_threads.into();
         let at = |e: &dyn std::fmt::Display| format!("{}: {e}", dir.display());
         let mut names = Vec::new();
         for entry in std::fs::read_dir(dir).map_err(|e| ServeError::Registry(at(&e)))? {

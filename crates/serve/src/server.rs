@@ -2,10 +2,13 @@
 //!
 //! One acceptor thread takes connections off a [`TcpListener`] and
 //! pushes them onto a bounded queue; `workers` handler threads pop and
-//! serve them, one request per connection. When the queue is full the
-//! acceptor answers `503` inline and drops the connection — that is
-//! the whole backpressure story, load is shed at the door instead of
-//! queueing unboundedly. Handlers run the resident
+//! serve them, answering requests back-to-back on the same connection
+//! (HTTP/1.1 keep-alive) until the client hangs up, asks for
+//! `Connection: close`, stalls past the read timeout, or sends
+//! something malformed. When the queue is full the acceptor answers
+//! `503` inline and drops the connection — that is the whole
+//! backpressure story, load is shed at the door instead of queueing
+//! unboundedly. Handlers run the resident
 //! [`AuditEngine`](dq_core::AuditEngine)s behind `Arc`s (no locks on
 //! the hot path; the engine is `Sync` by construction) and are wrapped
 //! in `catch_unwind`, so a panicking request costs one `500`, not the
@@ -185,6 +188,7 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
                 503,
                 "text/plain; charset=utf-8",
                 b"error: request queue is full, retry later\n",
+                true,
             );
             continue;
         }
@@ -218,37 +222,52 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
-/// Read one request, route it, write one response.
+/// Serve one connection: requests are read, routed and answered in a
+/// loop until the peer closes, asks for `Connection: close` (or is
+/// HTTP/1.0 without opting in), stalls, or breaks framing — a
+/// malformed request or a handler panic gets its error response and
+/// then the connection closes, since the byte stream can no longer be
+/// trusted.
 fn handle_connection(shared: &Shared, stream: TcpStream) {
     let _ = stream.set_read_timeout(shared.config.read_timeout);
     let mut reader = BufReader::new(stream);
-    let request = match http::read_request(&mut reader, shared.config.max_body) {
-        Ok(request) => request,
-        Err(err) => {
-            let mut stream = reader.into_inner();
-            let (status, message) = match err {
-                // Nothing arrived (or the peer vanished): nothing to say.
-                HttpError::ConnectionClosed | HttpError::Io(_) => return,
-                HttpError::Malformed(_) => (400, err.to_string()),
-                HttpError::BodyTooLarge { .. } => (413, err.to_string()),
-            };
-            respond_error(&mut stream, status, &message);
+    loop {
+        let request = match http::read_request(&mut reader, shared.config.max_body) {
+            Ok(request) => request,
+            Err(err) => {
+                let (status, message) = match err {
+                    // Nothing arrived (or the peer vanished): nothing
+                    // to say.
+                    HttpError::ConnectionClosed | HttpError::Io(_) => return,
+                    HttpError::Malformed(_) => (400, err.to_string()),
+                    HttpError::BodyTooLarge { .. } => (413, err.to_string()),
+                };
+                respond_error(reader.get_mut(), status, &message);
+                return;
+            }
+        };
+        let keep_alive = request.keep_alive();
+        let outcome = catch_unwind(AssertUnwindSafe(|| route(shared, &request)));
+        let written = match outcome {
+            Ok((status, content_type, body)) => {
+                http::write_response(reader.get_mut(), status, content_type, &body, !keep_alive)
+                    .is_ok()
+            }
+            Err(_panic) => {
+                respond_error(reader.get_mut(), 500, "internal error while auditing");
+                false
+            }
+        };
+        if !keep_alive || !written {
             return;
         }
-    };
-    let mut stream = reader.into_inner();
-    let outcome = catch_unwind(AssertUnwindSafe(|| route(shared, &request)));
-    match outcome {
-        Ok((status, content_type, body)) => {
-            let _ = http::write_response(&mut stream, status, content_type, &body);
-        }
-        Err(_panic) => respond_error(&mut stream, 500, "internal error while auditing"),
     }
 }
 
 fn respond_error(stream: &mut TcpStream, status: u16, message: &str) {
     let body = format!("error: {message}\n");
-    let _ = http::write_response(stream, status, "text/plain; charset=utf-8", body.as_bytes());
+    let _ =
+        http::write_response(stream, status, "text/plain; charset=utf-8", body.as_bytes(), true);
 }
 
 type RouteAnswer = (u16, &'static str, Vec<u8>);

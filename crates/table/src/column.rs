@@ -145,6 +145,22 @@ impl Column {
         }
     }
 
+    /// Append the cells `start..end` of `other` (which must be of the
+    /// same kind) — the range sibling of [`Column::append_from`],
+    /// behind [`crate::Table::slice_rows`].
+    pub fn append_range_from(&mut self, other: &Column, start: usize, end: usize) {
+        match (self, other) {
+            (Column::Nominal(v), Column::Nominal(o)) => v.extend_from_slice(&o[start..end]),
+            (Column::Number(v), Column::Number(o)) => v.extend_from_slice(&o[start..end]),
+            (Column::Date(v), Column::Date(o)) => v.extend_from_slice(&o[start..end]),
+            (col, other) => panic!(
+                "cannot append {:?} column to {:?} column",
+                other.kind_name(),
+                col.kind_name()
+            ),
+        }
+    }
+
     /// Remove the cell at `row`, shifting later cells up (order-
     /// preserving, O(n)).
     pub fn remove(&mut self, row: usize) {

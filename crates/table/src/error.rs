@@ -41,6 +41,16 @@ pub enum TableError {
     },
     /// Two tables (or a table and a schema) that must agree did not.
     SchemaMismatch,
+    /// Two tables whose canonical schema fingerprints disagree were
+    /// merged (see [`crate::Table::append_rows`]): per-index column
+    /// kinds may coincide, so this is the check that catches permuted
+    /// attributes before they silently scramble column meanings.
+    SchemaFingerprint {
+        /// Fingerprint of the receiving table's schema.
+        expected: u64,
+        /// Fingerprint of the offered table's schema.
+        got: u64,
+    },
     /// A malformed CSV line or cell.
     Csv(String),
     /// A malformed CSV cell, located by 1-based line number (counting
@@ -85,6 +95,10 @@ impl fmt::Display for TableError {
                 write!(f, "record has {got} fields, schema has {expected}")
             }
             TableError::SchemaMismatch => write!(f, "schemas do not match"),
+            TableError::SchemaFingerprint { expected, got } => write!(
+                f,
+                "schema fingerprint mismatch: table has {expected:016x}, batch has {got:016x}"
+            ),
             TableError::Csv(msg) => write!(f, "csv error: {msg}"),
             TableError::CsvCell { line, column, message } => {
                 write!(f, "csv error: line {line}, column `{column}`: {message}")

@@ -17,28 +17,35 @@
 //!   (required by the miners);
 //! * [`discretize`] provides the equal-frequency binning used by the
 //!   auditing tool to turn numeric class attributes into nominal ones
-//!   before decision-tree induction (sec. 5 of the paper).
+//!   before decision-tree induction (sec. 5 of the paper);
+//! * [`BatchSource`] is the one streaming abstraction every pipeline
+//!   stage speaks — bounded [`Table`] batches in row order — with
+//!   [`paged`] providing the out-of-core on-disk backend behind it.
 //!
 //! The crate has no dependencies; everything above it composes through
 //! these types.
 
+pub mod batch;
 pub mod builder;
 pub mod column;
 pub mod csv;
 pub mod date;
 pub mod discretize;
 pub mod error;
+pub mod paged;
 pub mod schema;
 pub mod schema_io;
 pub mod stats;
 pub mod table;
 pub mod value;
 
+pub use batch::{BatchSource, ReplaySource, TableBatches};
 pub use builder::SchemaBuilder;
 pub use column::{Column, TypedCell};
-pub use csv::{read_csv, write_csv, CsvChunkReader};
+pub use csv::{read_csv, write_csv, CsvChunkReader, CsvWriter};
 pub use discretize::{discretize_equal_frequency, discretize_equal_width, Binning};
 pub use error::TableError;
+pub use paged::{PagedTable, PagedWriter};
 pub use schema::{AttrType, Attribute, Schema};
 pub use schema_io::{read_schema, render_schema, write_schema};
 pub use stats::ColumnSummary;

@@ -1,0 +1,590 @@
+//! Out-of-core tables: a paged on-disk columnar backend.
+//!
+//! A [`PagedTable`] is a directory holding a relation as fixed-row-count
+//! column **pages** plus a small text manifest:
+//!
+//! ```text
+//! <dir>/
+//!   manifest.dqpm      dq-paged v1, schema fingerprint, page_rows, n_rows
+//!   page-0.dqp         rows [0, page_rows)         (binary, columnar)
+//!   page-1.dqp         rows [page_rows, 2·page_rows)
+//!   ...
+//! ```
+//!
+//! Pages encode each column as its typed cells with explicit NULL
+//! flags; numbers are stored as IEEE-754 bit patterns
+//! ([`f64::to_bits`]), so a round trip through disk is *exact* — the
+//! paged detect path is pinned byte-identical (CSV and f64 bits) to
+//! the in-memory one. The memory envelope of every consumer is
+//! O(page): [`PagedWriter`] buffers at most one page plus one incoming
+//! batch, [`PagedTable::batches`] decodes one page at a time, and
+//! random access ([`PagedTable::get`]) goes through a small LRU page
+//! cache of [`PagedTable::cache_pages`] decoded pages.
+//!
+//! This is the third canonical [`BatchSource`] implementation (after
+//! [`crate::TableBatches`] and [`crate::CsvChunkReader`]) and the
+//! substrate for audits over relations larger than RAM.
+
+use crate::batch::BatchSource;
+use crate::column::Column;
+use crate::error::TableError;
+use crate::schema::Schema;
+use crate::table::Table;
+use std::collections::VecDeque;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+const MANIFEST: &str = "manifest.dqpm";
+const MAGIC: &[u8; 4] = b"DQPG";
+/// Default page size, rows — matches the generator's chunk unit.
+pub const DEFAULT_PAGE_ROWS: usize = 4096;
+/// Default LRU capacity, pages.
+pub const DEFAULT_CACHE_PAGES: usize = 4;
+
+fn located(path: &Path, what: impl std::fmt::Display) -> TableError {
+    TableError::Io(format!("paged table `{}`: {what}", path.display()))
+}
+
+/// Streams batches into a page directory; finish with
+/// [`PagedWriter::finish`] to write the manifest and reopen the
+/// directory as a [`PagedTable`].
+#[derive(Debug)]
+pub struct PagedWriter {
+    dir: PathBuf,
+    schema: Arc<Schema>,
+    page_rows: usize,
+    pending: Table,
+    n_rows: usize,
+    n_pages: usize,
+}
+
+impl PagedWriter {
+    /// Create (or truncate into) `dir` for a relation over `schema`
+    /// with `page_rows` rows per page (clamped to at least 1).
+    pub fn create(
+        dir: impl Into<PathBuf>,
+        schema: Arc<Schema>,
+        page_rows: usize,
+    ) -> Result<Self, TableError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|e| located(&dir, e))?;
+        Ok(PagedWriter {
+            pending: Table::new(schema.clone()),
+            dir,
+            schema,
+            page_rows: page_rows.max(1),
+            n_rows: 0,
+            n_pages: 0,
+        })
+    }
+
+    /// Append a batch (same schema as the writer's, by canonical
+    /// fingerprint). Full pages spill to disk immediately; memory
+    /// stays O(page + batch).
+    pub fn append_batch(&mut self, batch: &Table) -> Result<(), TableError> {
+        self.pending.append_rows(batch)?;
+        self.n_rows += batch.n_rows();
+        while self.pending.n_rows() >= self.page_rows {
+            let page = self.pending.slice_rows(0, self.page_rows)?;
+            let rest = self.pending.slice_rows(self.page_rows, self.pending.n_rows())?;
+            self.write_page(&page)?;
+            self.pending = rest;
+        }
+        Ok(())
+    }
+
+    /// Drain `source` to disk, then [`finish`](PagedWriter::finish) —
+    /// the one-call spill of any [`BatchSource`].
+    pub fn spill(mut self, mut source: impl BatchSource) -> Result<PagedTable, TableError> {
+        while let Some(batch) = source.next_batch()? {
+            self.append_batch(&batch)?;
+        }
+        self.finish()
+    }
+
+    /// Flush the final partial page, write the manifest, and reopen
+    /// the directory for reading.
+    pub fn finish(mut self) -> Result<PagedTable, TableError> {
+        if !self.pending.is_empty() {
+            let last = std::mem::replace(&mut self.pending, Table::new(self.schema.clone()));
+            self.write_page(&last)?;
+        }
+        let path = self.dir.join(MANIFEST);
+        let text = format!(
+            "dq-paged v1\nfingerprint {:016x}\npage_rows {}\nn_rows {}\nn_pages {}\n",
+            self.schema.fingerprint(),
+            self.page_rows,
+            self.n_rows,
+            self.n_pages
+        );
+        std::fs::write(&path, text).map_err(|e| located(&path, e))?;
+        PagedTable::open(self.dir, self.schema)
+    }
+
+    fn write_page(&mut self, page: &Table) -> Result<(), TableError> {
+        let path = self.dir.join(format!("page-{}.dqp", self.n_pages));
+        let file = std::fs::File::create(&path).map_err(|e| located(&path, e))?;
+        let mut w = BufWriter::new(file);
+        encode_page(page, &mut w).map_err(|e| located(&path, e))?;
+        w.flush().map_err(|e| located(&path, e))?;
+        self.n_pages += 1;
+        Ok(())
+    }
+}
+
+fn encode_page<W: Write>(page: &Table, w: &mut W) -> std::io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&(page.n_rows() as u64).to_le_bytes())?;
+    for c in 0..page.n_cols() {
+        match page.column(c) {
+            Column::Nominal(cells) => {
+                w.write_all(&[0u8])?;
+                for cell in cells {
+                    match cell {
+                        None => w.write_all(&[0u8])?,
+                        Some(code) => {
+                            w.write_all(&[1u8])?;
+                            w.write_all(&code.to_le_bytes())?;
+                        }
+                    }
+                }
+            }
+            Column::Number(cells) => {
+                w.write_all(&[1u8])?;
+                for cell in cells {
+                    match cell {
+                        None => w.write_all(&[0u8])?,
+                        Some(x) => {
+                            w.write_all(&[1u8])?;
+                            // Bit pattern, not text: exact round trip.
+                            w.write_all(&x.to_bits().to_le_bytes())?;
+                        }
+                    }
+                }
+            }
+            Column::Date(cells) => {
+                w.write_all(&[2u8])?;
+                for cell in cells {
+                    match cell {
+                        None => w.write_all(&[0u8])?,
+                        Some(d) => {
+                            w.write_all(&[1u8])?;
+                            w.write_all(&d.to_le_bytes())?;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn decode_page<R: Read>(schema: &Arc<Schema>, r: &mut R) -> Result<Table, String> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic).map_err(|e| e.to_string())?;
+    if &magic != MAGIC {
+        return Err("bad page magic".into());
+    }
+    let mut len = [0u8; 8];
+    r.read_exact(&mut len).map_err(|e| e.to_string())?;
+    let n_rows = u64::from_le_bytes(len) as usize;
+    let mut columns = Vec::with_capacity(schema.len());
+    for attr in schema.attributes() {
+        let mut kind = [0u8; 1];
+        r.read_exact(&mut kind).map_err(|e| e.to_string())?;
+        let expected = match Column::for_type(&attr.ty) {
+            Column::Nominal(_) => 0u8,
+            Column::Number(_) => 1,
+            Column::Date(_) => 2,
+        };
+        if kind[0] != expected {
+            return Err(format!(
+                "column `{}` stored with kind tag {}, schema expects {expected}",
+                attr.name, kind[0]
+            ));
+        }
+        let mut flag = [0u8; 1];
+        let column = match kind[0] {
+            0 => {
+                let mut cells = Vec::with_capacity(n_rows);
+                let mut buf = [0u8; 4];
+                for _ in 0..n_rows {
+                    r.read_exact(&mut flag).map_err(|e| e.to_string())?;
+                    cells.push(if flag[0] == 0 {
+                        None
+                    } else {
+                        r.read_exact(&mut buf).map_err(|e| e.to_string())?;
+                        Some(u32::from_le_bytes(buf))
+                    });
+                }
+                Column::Nominal(cells)
+            }
+            1 => {
+                let mut cells = Vec::with_capacity(n_rows);
+                let mut buf = [0u8; 8];
+                for _ in 0..n_rows {
+                    r.read_exact(&mut flag).map_err(|e| e.to_string())?;
+                    cells.push(if flag[0] == 0 {
+                        None
+                    } else {
+                        r.read_exact(&mut buf).map_err(|e| e.to_string())?;
+                        Some(f64::from_bits(u64::from_le_bytes(buf)))
+                    });
+                }
+                Column::Number(cells)
+            }
+            _ => {
+                let mut cells = Vec::with_capacity(n_rows);
+                let mut buf = [0u8; 8];
+                for _ in 0..n_rows {
+                    r.read_exact(&mut flag).map_err(|e| e.to_string())?;
+                    cells.push(if flag[0] == 0 {
+                        None
+                    } else {
+                        r.read_exact(&mut buf).map_err(|e| e.to_string())?;
+                        Some(i64::from_le_bytes(buf))
+                    });
+                }
+                Column::Date(cells)
+            }
+        };
+        columns.push(column);
+    }
+    Table::from_parts(schema.clone(), columns, n_rows).map_err(|e| e.to_string())
+}
+
+/// A relation resident on disk as column pages, read back page by
+/// page. Random access goes through a small LRU cache of decoded
+/// pages; sequential scans use [`PagedTable::batches`] (which bypasses
+/// the cache so a full scan cannot evict a working set).
+#[derive(Debug)]
+pub struct PagedTable {
+    dir: PathBuf,
+    schema: Arc<Schema>,
+    page_rows: usize,
+    n_rows: usize,
+    n_pages: usize,
+    cache: Mutex<Lru>,
+}
+
+/// A tiny move-to-front LRU of decoded pages.
+#[derive(Debug)]
+struct Lru {
+    capacity: usize,
+    /// Front = most recently used.
+    entries: VecDeque<(usize, Arc<Table>)>,
+}
+
+impl Lru {
+    fn get(&mut self, page: usize) -> Option<Arc<Table>> {
+        let pos = self.entries.iter().position(|(p, _)| *p == page)?;
+        let entry = self.entries.remove(pos).expect("position came from iter");
+        let hit = entry.1.clone();
+        self.entries.push_front(entry);
+        Some(hit)
+    }
+
+    fn put(&mut self, page: usize, table: Arc<Table>) {
+        self.entries.push_front((page, table));
+        while self.entries.len() > self.capacity {
+            self.entries.pop_back();
+        }
+    }
+}
+
+impl PagedTable {
+    /// Open a page directory written by [`PagedWriter`]; the manifest's
+    /// schema fingerprint must match `schema`'s.
+    pub fn open(dir: impl Into<PathBuf>, schema: Arc<Schema>) -> Result<Self, TableError> {
+        let dir = dir.into();
+        let path = dir.join(MANIFEST);
+        let text = std::fs::read_to_string(&path).map_err(|e| located(&path, e))?;
+        let mut lines = text.lines();
+        if lines.next() != Some("dq-paged v1") {
+            return Err(located(&path, "not a dq-paged v1 manifest"));
+        }
+        let mut field = |name: &str| -> Result<String, TableError> {
+            let line = lines.next().unwrap_or("");
+            line.strip_prefix(name)
+                .and_then(|v| v.strip_prefix(' '))
+                .map(str::to_string)
+                .ok_or_else(|| located(&path, format!("manifest line `{line}` is not `{name} …`")))
+        };
+        let fingerprint = u64::from_str_radix(&field("fingerprint")?, 16)
+            .map_err(|e| located(&path, format!("bad fingerprint: {e}")))?;
+        let parse = |v: String| v.parse::<usize>().map_err(|e| located(&path, e));
+        let page_rows = parse(field("page_rows")?)?;
+        let n_rows = parse(field("n_rows")?)?;
+        let n_pages = parse(field("n_pages")?)?;
+        if fingerprint != schema.fingerprint() {
+            return Err(TableError::SchemaFingerprint {
+                expected: schema.fingerprint(),
+                got: fingerprint,
+            });
+        }
+        if page_rows == 0 || n_pages != n_rows.div_ceil(page_rows) {
+            return Err(located(&path, "inconsistent page geometry"));
+        }
+        Ok(PagedTable {
+            dir,
+            schema,
+            page_rows,
+            n_rows,
+            n_pages,
+            cache: Mutex::new(Lru { capacity: DEFAULT_CACHE_PAGES, entries: VecDeque::new() }),
+        })
+    }
+
+    /// Resize the LRU page cache (clamped to at least 1 page).
+    pub fn with_cache_pages(self, pages: usize) -> Self {
+        self.cache.lock().expect("cache poisoned").capacity = pages.max(1);
+        self
+    }
+
+    /// The relation's schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Total rows across all pages.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Rows per page (the last page may be shorter).
+    pub fn page_rows(&self) -> usize {
+        self.page_rows
+    }
+
+    /// Number of pages on disk.
+    pub fn n_pages(&self) -> usize {
+        self.n_pages
+    }
+
+    /// Current LRU capacity, pages.
+    pub fn cache_pages(&self) -> usize {
+        self.cache.lock().expect("cache poisoned").capacity
+    }
+
+    /// Decode page `index` from disk, bypassing the cache.
+    fn read_page(&self, index: usize) -> Result<Table, TableError> {
+        let path = self.dir.join(format!("page-{index}.dqp"));
+        let file = std::fs::File::open(&path).map_err(|e| located(&path, e))?;
+        let page =
+            decode_page(&self.schema, &mut BufReader::new(file)).map_err(|e| located(&path, e))?;
+        let expected = if index + 1 == self.n_pages && self.n_rows % self.page_rows != 0 {
+            self.n_rows % self.page_rows
+        } else {
+            self.page_rows
+        };
+        if page.n_rows() != expected {
+            return Err(located(
+                &path,
+                format!("page has {} rows, expected {expected}", page.n_rows()),
+            ));
+        }
+        Ok(page)
+    }
+
+    /// Page `index` as a shared in-memory table, via the LRU cache.
+    pub fn page(&self, index: usize) -> Result<Arc<Table>, TableError> {
+        if index >= self.n_pages {
+            return Err(TableError::RowOutOfRange(index * self.page_rows));
+        }
+        if let Some(hit) = self.cache.lock().expect("cache poisoned").get(index) {
+            return Ok(hit);
+        }
+        let page = Arc::new(self.read_page(index)?);
+        self.cache.lock().expect("cache poisoned").put(index, page.clone());
+        Ok(page)
+    }
+
+    /// The value at (`row`, `col`) — the typed random accessor, one
+    /// page fault (at most) through the LRU.
+    pub fn get(&self, row: usize, col: usize) -> Result<crate::Value, TableError> {
+        if row >= self.n_rows {
+            return Err(TableError::RowOutOfRange(row));
+        }
+        let page = self.page(row / self.page_rows)?;
+        Ok(page.get(row % self.page_rows, col))
+    }
+
+    /// The typed cell at (`row`, `col`) without going through
+    /// [`crate::Value`] — the paged sibling of
+    /// [`Column::typed_cell`](crate::Column).
+    pub fn typed_cell(&self, row: usize, col: usize) -> Result<crate::TypedCell, TableError> {
+        if row >= self.n_rows {
+            return Err(TableError::RowOutOfRange(row));
+        }
+        let page = self.page(row / self.page_rows)?;
+        Ok(page.column(col).typed_cell(row % self.page_rows))
+    }
+
+    /// Scan the pages in row order as a [`BatchSource`] (one decoded
+    /// page in memory at a time, LRU untouched).
+    pub fn batches(&self) -> PagedBatches<'_> {
+        PagedBatches { table: self, next_page: 0, rows_emitted: 0, done: false }
+    }
+}
+
+/// The sequential [`BatchSource`] view of a [`PagedTable`]: one page
+/// per batch, in row order.
+#[derive(Debug)]
+pub struct PagedBatches<'a> {
+    table: &'a PagedTable,
+    next_page: usize,
+    rows_emitted: usize,
+    done: bool,
+}
+
+impl BatchSource for PagedBatches<'_> {
+    fn schema(&self) -> &Arc<Schema> {
+        &self.table.schema
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Table>, TableError> {
+        if self.done || self.next_page >= self.table.n_pages {
+            self.done = true;
+            return Ok(None);
+        }
+        match self.table.read_page(self.next_page) {
+            Ok(page) => {
+                self.next_page += 1;
+                self.rows_emitted += page.n_rows();
+                Ok(Some(page))
+            }
+            Err(e) => {
+                self.done = true;
+                Err(e)
+            }
+        }
+    }
+
+    fn rows_emitted(&self) -> usize {
+        self.rows_emitted
+    }
+
+    fn row_count_hint(&self) -> Option<usize> {
+        Some(self.table.n_rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SchemaBuilder;
+    use crate::value::Value;
+
+    fn dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("dq-paged-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn fixture(rows: usize) -> Table {
+        let schema = SchemaBuilder::new()
+            .nominal("c", ["x", "y", "z"])
+            .numeric("n", 0.0, 1000.0)
+            .date_ymd("d", (2000, 1, 1), (2020, 1, 1))
+            .build()
+            .unwrap();
+        let mut t = Table::new(schema);
+        for i in 0..rows {
+            // Mix NULLs, an out-of-label code, and a bit-pattern-fussy
+            // float so exactness is actually exercised.
+            let c = match i % 4 {
+                0 => Value::Null,
+                3 => Value::Nominal(9),
+                k => Value::Nominal(k as u32),
+            };
+            let n = if i % 5 == 0 { Value::Null } else { Value::Number(i as f64 / 7.0) };
+            let d = if i % 3 == 0 { Value::Null } else { Value::Date(10957 + i as i64) };
+            t.push_row_lenient(&[c, n, d]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn round_trips_exactly_through_pages() {
+        let t = fixture(23);
+        for page_rows in [1, 7, 23, 100] {
+            let d = dir(&format!("rt{page_rows}"));
+            let paged = PagedWriter::create(&d, t.schema().clone(), page_rows)
+                .unwrap()
+                .spill(t.batches(5))
+                .unwrap();
+            assert_eq!(paged.n_rows(), 23);
+            assert_eq!(paged.n_pages(), 23usize.div_ceil(page_rows));
+            // Sequential scan concatenates to the exact relation.
+            let mut src = paged.batches();
+            let mut row = 0;
+            while let Some(batch) = src.next_batch().unwrap() {
+                for r in 0..batch.n_rows() {
+                    assert_eq!(batch.row(r), t.row(row), "page_rows={page_rows}, row {row}");
+                    row += 1;
+                }
+            }
+            assert_eq!(row, 23);
+            // Random access agrees cell-for-cell (f64 bits included).
+            for r in [0, 7, 11, 22] {
+                for c in 0..t.n_cols() {
+                    assert_eq!(paged.get(r, c).unwrap(), t.get(r, c));
+                    assert_eq!(paged.typed_cell(r, c).unwrap(), t.column(c).typed_cell(r));
+                }
+            }
+            std::fs::remove_dir_all(&d).unwrap();
+        }
+    }
+
+    #[test]
+    fn lru_cache_bounds_resident_pages() {
+        let t = fixture(40);
+        let d = dir("lru");
+        let paged = PagedWriter::create(&d, t.schema().clone(), 4)
+            .unwrap()
+            .spill(t.batches(9))
+            .unwrap()
+            .with_cache_pages(2);
+        assert_eq!(paged.cache_pages(), 2);
+        // Touch pages far apart, then re-touch: the cache never holds
+        // more than 2 entries and re-reads still agree.
+        for r in [0, 16, 32, 4, 0, 39] {
+            assert_eq!(paged.get(r, 1).unwrap(), t.get(r, 1));
+            assert!(paged.cache.lock().unwrap().entries.len() <= 2);
+        }
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn open_validates_fingerprint_and_geometry() {
+        let t = fixture(10);
+        let d = dir("val");
+        PagedWriter::create(&d, t.schema().clone(), 4).unwrap().spill(t.batches(3)).unwrap();
+        // Wrong schema: typed fingerprint error.
+        let other = SchemaBuilder::new().nominal("only", ["a"]).build().unwrap();
+        assert!(matches!(PagedTable::open(&d, other), Err(TableError::SchemaFingerprint { .. })));
+        // Torn manifest.
+        std::fs::write(d.join(MANIFEST), "nonsense\n").unwrap();
+        assert!(PagedTable::open(&d, t.schema().clone()).is_err());
+        // Missing directory.
+        std::fs::remove_dir_all(&d).unwrap();
+        assert!(PagedTable::open(&d, t.schema().clone()).is_err());
+    }
+
+    #[test]
+    fn missing_page_file_is_a_located_error() {
+        let t = fixture(10);
+        let d = dir("miss");
+        let paged =
+            PagedWriter::create(&d, t.schema().clone(), 4).unwrap().spill(t.batches(4)).unwrap();
+        std::fs::remove_file(d.join("page-1.dqp")).unwrap();
+        let mut src = paged.batches();
+        assert!(src.next_batch().unwrap().is_some());
+        let err = src.next_batch().unwrap_err();
+        assert!(err.to_string().contains("page-1.dqp"), "{err}");
+        // Fused after the error.
+        assert!(matches!(src.next_batch(), Ok(None)));
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+}

@@ -27,6 +27,34 @@ impl Table {
         Table { schema, columns, n_rows: 0 }
     }
 
+    /// Reassemble a table from decoded columns (the paged backend's
+    /// door back into memory). Every column must match its attribute's
+    /// kind and hold exactly `n_rows` cells.
+    pub(crate) fn from_parts(
+        schema: Arc<Schema>,
+        columns: Vec<Column>,
+        n_rows: usize,
+    ) -> Result<Self, TableError> {
+        if columns.len() != schema.len() {
+            return Err(TableError::ArityMismatch { expected: schema.len(), got: columns.len() });
+        }
+        for (attr, col) in schema.attributes().iter().zip(&columns) {
+            let kind_ok = matches!(
+                (&attr.ty, col),
+                (crate::schema::AttrType::Nominal { .. }, Column::Nominal(_))
+                    | (crate::schema::AttrType::Numeric { .. }, Column::Number(_))
+                    | (crate::schema::AttrType::Date { .. }, Column::Date(_))
+            );
+            if !kind_ok || col.len() != n_rows {
+                return Err(TableError::TypeMismatch {
+                    attribute: attr.name.clone(),
+                    value: format!("{} column of {} cells", col.kind_name(), col.len()),
+                });
+            }
+        }
+        Ok(Table { schema, columns, n_rows })
+    }
+
     /// An empty table with row capacity pre-reserved.
     pub fn with_capacity(schema: Arc<Schema>, rows: usize) -> Self {
         let mut t = Table::new(schema);
@@ -170,18 +198,53 @@ impl Table {
         &self.columns[col]
     }
 
-    /// Append all rows of `other` (same schema required) by columnar
-    /// bulk copy — how sharded generators stitch their chunks back
-    /// together without going through per-row `Value` records.
+    /// Append all rows of `other` by columnar bulk copy — how sharded
+    /// generators stitch their chunks back together without going
+    /// through per-row `Value` records.
+    ///
+    /// The schemas must agree under the canonical
+    /// [`Schema::fingerprint`], not merely per-index: two schemas whose
+    /// attributes are permutations of each other can have coinciding
+    /// column kinds at every index (so the columnar copy would
+    /// *succeed* and silently scramble attribute meanings), which is
+    /// exactly what the fingerprint comparison rejects with a typed
+    /// [`TableError::SchemaFingerprint`]. Chunks built over the same
+    /// `Arc<Schema>` skip the check entirely.
     pub fn append_rows(&mut self, other: &Table) -> Result<(), TableError> {
-        if self.schema != other.schema {
-            return Err(TableError::SchemaMismatch);
+        if !Arc::ptr_eq(&self.schema, &other.schema) {
+            let (expected, got) = (self.schema.fingerprint(), other.schema.fingerprint());
+            if expected != got {
+                return Err(TableError::SchemaFingerprint { expected, got });
+            }
         }
         for (col, o) in self.columns.iter_mut().zip(&other.columns) {
             col.append_from(o);
         }
         self.n_rows += other.n_rows;
         Ok(())
+    }
+
+    /// A copy of the contiguous row range `start..end` as a new table
+    /// over the same `Arc<Schema>` (columnar bulk copy, no per-row
+    /// `Value` records). An empty range yields an empty table.
+    pub fn slice_rows(&self, start: RowIdx, end: RowIdx) -> Result<Table, TableError> {
+        if start > end || end > self.n_rows {
+            return Err(TableError::RowOutOfRange(end));
+        }
+        let mut out = Table::with_capacity(self.schema.clone(), end - start);
+        for (col, o) in out.columns.iter_mut().zip(&self.columns) {
+            col.append_range_from(o, start, end);
+        }
+        out.n_rows = end - start;
+        Ok(out)
+    }
+
+    /// View this table as a [`BatchSource`](crate::BatchSource) of
+    /// `chunk_rows`-row batches — the in-memory canonical
+    /// implementation of the trait. `chunk_rows` is clamped to at
+    /// least 1; the last batch may be shorter.
+    pub fn batches(&self, chunk_rows: usize) -> crate::batch::TableBatches<'_> {
+        crate::batch::TableBatches::new(self, chunk_rows)
     }
 
     /// Count rows whose cell in `col` satisfies `pred`.
@@ -473,6 +536,57 @@ mod tests {
         let t = small_table();
         let chunks = t.chunks(2);
         let _ = chunks[0].get(2, 0);
+    }
+
+    #[test]
+    fn append_rows_rejects_permuted_but_kind_compatible_schemas() {
+        // Two schemas that are attribute permutations of each other:
+        // per-index column kinds coincide (both nominal, then numeric),
+        // so the raw columnar copy would succeed and scramble the
+        // attribute meanings. The canonical fingerprint must refuse.
+        let a = Schema::shared(vec![
+            Attribute::new("first", AttrType::Nominal { labels: vec!["x".into(), "y".into()] }),
+            Attribute::new("second", AttrType::Nominal { labels: vec!["p".into(), "q".into()] }),
+            Attribute::new("size", AttrType::Numeric { min: 0.0, max: 1.0, integer: false }),
+        ])
+        .unwrap();
+        let b = Schema::shared(vec![
+            Attribute::new("second", AttrType::Nominal { labels: vec!["p".into(), "q".into()] }),
+            Attribute::new("first", AttrType::Nominal { labels: vec!["x".into(), "y".into()] }),
+            Attribute::new("size", AttrType::Numeric { min: 0.0, max: 1.0, integer: false }),
+        ])
+        .unwrap();
+        let mut into = Table::new(a.clone());
+        let mut from = Table::new(b.clone());
+        from.push_row(&[Value::Nominal(0), Value::Nominal(1), Value::Number(0.5)]).unwrap();
+        match into.append_rows(&from) {
+            Err(TableError::SchemaFingerprint { expected, got }) => {
+                assert_eq!(expected, a.fingerprint());
+                assert_eq!(got, b.fingerprint());
+            }
+            other => panic!("expected SchemaFingerprint, got {other:?}"),
+        }
+        assert_eq!(into.n_rows(), 0, "a rejected append must not grow the table");
+        // Equal-fingerprint schemas append fine even through distinct Arcs.
+        let a2 = Schema::shared(a.attributes().to_vec()).unwrap();
+        let mut twin = Table::new(a2);
+        let mut source = Table::new(a);
+        source.push_row(&[Value::Nominal(1), Value::Nominal(0), Value::Number(0.25)]).unwrap();
+        twin.append_rows(&source).unwrap();
+        assert_eq!(twin.n_rows(), 1);
+    }
+
+    #[test]
+    fn slice_rows_copies_ranges() {
+        let t = small_table();
+        let s = t.slice_rows(1, 3).unwrap();
+        assert_eq!(s.n_rows(), 2);
+        assert_eq!(s.row(0), t.row(1));
+        assert_eq!(s.row(1), t.row(2));
+        assert!(Arc::ptr_eq(s.schema(), t.schema()));
+        assert!(t.slice_rows(1, 1).unwrap().is_empty());
+        assert!(t.slice_rows(0, 4).is_err());
+        assert!(t.slice_rows(2, 1).is_err());
     }
 
     #[test]

@@ -22,7 +22,7 @@ use dq_logic::{
     RuleSet, RuleStatus,
 };
 use dq_stats::DistributionSpec;
-use dq_table::{AttrIdx, AttrType, Schema, Table, Value};
+use dq_table::{AttrIdx, AttrType, BatchSource, Schema, Table, TableError, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -93,10 +93,13 @@ pub struct DataGenConfig {
     pub start: StartDistributions,
     /// Maximum repair passes over the rule set per record.
     pub max_repair_passes: usize,
-    /// Worker threads for chunk generation: `None` resolves via
-    /// `DQ_THREADS`/available parallelism, `Some(1)` runs inline on the
+    /// Worker threads for chunk generation — the shared
+    /// [`Parallelism`](dq_exec::Parallelism) knob.
+    /// [`AUTO`](dq_exec::Parallelism::AUTO) resolves via
+    /// `DQ_THREADS`/available parallelism,
+    /// [`serial`](dq_exec::Parallelism::serial) runs inline on the
     /// caller's thread. Output is byte-identical at any setting.
-    pub threads: Option<usize>,
+    pub threads: dq_exec::Parallelism,
 }
 
 impl DataGenConfig {
@@ -106,7 +109,7 @@ impl DataGenConfig {
             n_rows,
             start: StartDistributions::uniform(schema),
             max_repair_passes: 24,
-            threads: None,
+            threads: dq_exec::Parallelism::AUTO,
         }
     }
 }
@@ -151,38 +154,69 @@ pub fn generate_table<R: Rng + ?Sized>(
     let index = RepairIndex::new(schema, rules, &compiled);
     let pool = WorkerPool::from_config(config.threads);
     let parts = pool.map_indexed(&plans, |_, &(n, seed)| {
-        let mut chunk_rng = StdRng::seed_from_u64(seed);
-        let mut table = Table::with_capacity(schema.clone(), n);
-        let mut report = GenReport::default();
-        let mut record: Vec<Value> = vec![Value::Null; schema.len()];
-        let mut joint: Vec<(AttrIdx, u32)> = Vec::new();
-        let mut scratch = RepairScratch::new(schema, rules);
-        for _ in 0..n {
-            sample_start(schema, config, &covered, &mut record, &mut joint, &mut chunk_rng);
-            let unresolved = repair_record_compiled(
-                schema,
-                &compiled,
-                &repair_trees,
-                &index,
-                &mut record,
-                config.max_repair_passes,
-                &mut chunk_rng,
-                &mut report.repairs,
-                &mut scratch,
-            );
-            if unresolved > 0 {
-                report.unresolved_rows += 1;
-                report.unresolved_violations += unresolved as u64;
-            }
-            // Kind-checked append: repairs only write kind-correct
-            // domain values, and the retained reference path keeps the
-            // fully validating `push_row` on the same records.
-            table.push_row_lenient(&record).expect("generated record matches schema");
-            report.rows += 1;
-        }
-        (table, report)
+        generate_chunk_compiled(
+            schema,
+            rules,
+            config,
+            &covered,
+            &compiled,
+            &repair_trees,
+            &index,
+            n,
+            seed,
+        )
     });
     merge_chunks(schema, config.n_rows, parts)
+}
+
+/// Generate one chunk through the compiled fast path — the unit of
+/// work [`generate_table`] shards across its pool and
+/// [`GenerateStream`] produces on demand. One `(n, seed)` plan in,
+/// one `n`-row table plus its report out; everything the chunk does is
+/// a pure function of the plan, which is what makes the in-memory and
+/// streamed paths byte-identical.
+#[allow(clippy::too_many_arguments)] // a worker-closure body, not an API
+fn generate_chunk_compiled(
+    schema: &Arc<Schema>,
+    rules: &RuleSet,
+    config: &DataGenConfig,
+    covered: &[bool],
+    compiled: &CompiledRuleSet,
+    repair_trees: &[(RepairTree, RepairTree)],
+    index: &RepairIndex,
+    n: usize,
+    seed: u64,
+) -> (Table, GenReport) {
+    let mut chunk_rng = StdRng::seed_from_u64(seed);
+    let mut table = Table::with_capacity(schema.clone(), n);
+    let mut report = GenReport::default();
+    let mut record: Vec<Value> = vec![Value::Null; schema.len()];
+    let mut joint: Vec<(AttrIdx, u32)> = Vec::new();
+    let mut scratch = RepairScratch::new(schema, rules);
+    for _ in 0..n {
+        sample_start(schema, config, covered, &mut record, &mut joint, &mut chunk_rng);
+        let unresolved = repair_record_compiled(
+            schema,
+            compiled,
+            repair_trees,
+            index,
+            &mut record,
+            config.max_repair_passes,
+            &mut chunk_rng,
+            &mut report.repairs,
+            &mut scratch,
+        );
+        if unresolved > 0 {
+            report.unresolved_rows += 1;
+            report.unresolved_violations += unresolved as u64;
+        }
+        // Kind-checked append: repairs only write kind-correct
+        // domain values, and the retained reference path keeps the
+        // fully validating `push_row` on the same records.
+        table.push_row_lenient(&record).expect("generated record matches schema");
+        report.rows += 1;
+    }
+    (table, report)
 }
 
 /// The retained serial row-at-a-time generator: interpreted rule
@@ -227,6 +261,173 @@ pub fn generate_reference<R: Rng + ?Sized>(
         parts.push((table, report));
     }
     merge_chunks(schema, config.n_rows, parts)
+}
+
+/// A [`BatchSource`] that **generates** its batches: chunk-seeded,
+/// rule-following records produced on demand at O(chunk) memory —
+/// the streaming twin of [`generate_table`].
+///
+/// Construction draws the same up-front chunk plans from the
+/// caller's RNG that `generate_table` would, so (1) the concatenated
+/// batches are **byte-identical** to `generate_table`'s table at every
+/// batch size and thread count, and (2) the caller's RNG lands in the
+/// same state after construction as after an in-memory generate —
+/// downstream seeded steps (pollution) see an identical stream.
+///
+/// Generation granularity stays [`GEN_CHUNK_ROWS`] internally
+/// (refilled up to one chunk per worker per call); the emitted batch
+/// size is re-sliced to [`GenerateStream::with_batch_rows`] without
+/// affecting the bytes. Peak memory is
+/// `O(batch_rows + threads × GEN_CHUNK_ROWS)` rows.
+///
+/// The accumulated [`GenReport`] (equal to `generate_table`'s once the
+/// stream is drained) is available through
+/// [`GenerateStream::report`].
+pub struct GenerateStream {
+    schema: Arc<Schema>,
+    rules: RuleSet,
+    config: DataGenConfig,
+    covered: Vec<bool>,
+    compiled: CompiledRuleSet,
+    repair_trees: Vec<(RepairTree, RepairTree)>,
+    index: RepairIndex,
+    plans: Vec<(usize, u64)>,
+    next_plan: usize,
+    batch_rows: usize,
+    pool: WorkerPool,
+    /// Generated-but-not-yet-emitted rows.
+    pending: Table,
+    report: GenReport,
+    rows_emitted: usize,
+}
+
+impl std::fmt::Debug for GenerateStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GenerateStream")
+            .field("n_rows", &self.config.n_rows)
+            .field("rows_emitted", &self.rows_emitted)
+            .field("batch_rows", &self.batch_rows)
+            .field("chunks", &format_args!("{}/{}", self.next_plan, self.plans.len()))
+            .finish_non_exhaustive()
+    }
+}
+
+impl GenerateStream {
+    /// Set up streamed generation: compiles the rule set once and
+    /// draws the chunk seeds from `rng` exactly like
+    /// [`generate_table`] (the RNG is not used again afterwards).
+    pub fn new<R: Rng + ?Sized>(
+        schema: Arc<Schema>,
+        rules: RuleSet,
+        config: DataGenConfig,
+        rng: &mut R,
+    ) -> Self {
+        assert_eq!(
+            config.start.univariate.len(),
+            schema.len(),
+            "one univariate spec per attribute"
+        );
+        let plans = chunk_plans(config.n_rows, rng);
+        let covered = covered_attrs(&schema, &config);
+        let compiled = CompiledRuleSet::compile(&rules, schema.len());
+        let repair_trees: Vec<(RepairTree, RepairTree)> = rules
+            .iter()
+            .map(|r| (RepairTree::compile(&r.consequent), RepairTree::compile(&negate(&r.premise))))
+            .collect();
+        let index = RepairIndex::new(&schema, &rules, &compiled);
+        let pool = config.threads.pool();
+        let pending = Table::new(schema.clone());
+        GenerateStream {
+            schema,
+            rules,
+            config,
+            covered,
+            compiled,
+            repair_trees,
+            index,
+            plans,
+            next_plan: 0,
+            batch_rows: GEN_CHUNK_ROWS,
+            pool,
+            pending,
+            report: GenReport::default(),
+            rows_emitted: 0,
+        }
+    }
+
+    /// Set the emitted batch size in rows (builder style; clamped to
+    /// ≥ 1). Purely a memory/latency knob — the concatenated bytes are
+    /// identical at every setting.
+    pub fn with_batch_rows(mut self, batch_rows: usize) -> Self {
+        self.batch_rows = batch_rows.max(1);
+        self
+    }
+
+    /// The generation report accumulated so far; equal to
+    /// [`generate_table`]'s report once the stream is drained.
+    pub fn report(&self) -> &GenReport {
+        &self.report
+    }
+
+    /// Generate the next round of chunks (one per worker) into the
+    /// pending buffer.
+    fn refill(&mut self) -> Result<(), TableError> {
+        let end = (self.next_plan + self.pool.threads().max(1)).min(self.plans.len());
+        let plans = &self.plans[self.next_plan..end];
+        let (schema, rules, config) = (&self.schema, &self.rules, &self.config);
+        let (covered, compiled) = (&self.covered, &self.compiled);
+        let (repair_trees, index) = (&self.repair_trees, &self.index);
+        let parts = self.pool.map_indexed(plans, |_, &(n, seed)| {
+            generate_chunk_compiled(
+                schema,
+                rules,
+                config,
+                covered,
+                compiled,
+                repair_trees,
+                index,
+                n,
+                seed,
+            )
+        });
+        self.next_plan = end;
+        for (part, part_report) in parts {
+            self.pending.append_rows(&part)?;
+            self.report.rows += part_report.rows;
+            self.report.repairs += part_report.repairs;
+            self.report.unresolved_rows += part_report.unresolved_rows;
+            self.report.unresolved_violations += part_report.unresolved_violations;
+        }
+        Ok(())
+    }
+}
+
+impl BatchSource for GenerateStream {
+    fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Table>, TableError> {
+        while self.pending.n_rows() < self.batch_rows && self.next_plan < self.plans.len() {
+            self.refill()?;
+        }
+        if self.pending.is_empty() {
+            return Ok(None);
+        }
+        let take = self.batch_rows.min(self.pending.n_rows());
+        let batch = self.pending.slice_rows(0, take)?;
+        self.pending = self.pending.slice_rows(take, self.pending.n_rows())?;
+        self.rows_emitted += batch.n_rows();
+        Ok(Some(batch))
+    }
+
+    fn rows_emitted(&self) -> usize {
+        self.rows_emitted
+    }
+
+    fn row_count_hint(&self) -> Option<usize> {
+        Some(self.config.n_rows)
+    }
 }
 
 /// The deterministic chunk layout: `(len, seed)` per chunk, seeds drawn
@@ -1491,6 +1692,48 @@ mod tests {
                 shuffle_fast(&mut b, &mut StdRng::seed_from_u64(seed), &magics);
                 assert_eq!(a, b, "n={n} seed={seed}");
             }
+        }
+    }
+
+    #[test]
+    fn generate_stream_is_byte_identical_and_preserves_rng_state() {
+        let s = schema();
+        let rules = RuleSet::from_rules(vec![
+            Rule::new(eq(0, 0), eq(1, 1)),
+            Rule::new(eq(1, 2), Formula::Atom(Atom::LessConst { attr: 2, value: 50.0 })),
+        ]);
+        // Cross a chunk boundary so the stream refills more than once.
+        let n_rows = GEN_CHUNK_ROWS + 777;
+        let mut cfg = DataGenConfig::new(&s, n_rows);
+        cfg.threads = dq_exec::Parallelism::explicit(2);
+        let mut rng = StdRng::seed_from_u64(7);
+        let (reference, reference_report) = generate_table(&s, &rules, &cfg, &mut rng);
+        let sentinel: u64 = rng.gen();
+
+        for batch_rows in [1usize, 613, GEN_CHUNK_ROWS, n_rows + 5] {
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut stream = GenerateStream::new(s.clone(), rules.clone(), cfg.clone(), &mut rng)
+                .with_batch_rows(batch_rows);
+            // The caller RNG must sit exactly where generate_table left
+            // it, so downstream seeded steps line up.
+            assert_eq!(rng.gen::<u64>(), sentinel, "batch_rows={batch_rows}");
+            assert_eq!(stream.row_count_hint(), Some(n_rows));
+            let mut got = Table::new(s.clone());
+            while let Some(batch) = stream.next_batch().unwrap() {
+                assert!(!batch.is_empty());
+                assert!(batch.n_rows() <= batch_rows);
+                got.append_rows(&batch).unwrap();
+                assert_eq!(stream.rows_emitted(), got.n_rows());
+            }
+            assert!(matches!(stream.next_batch(), Ok(None)), "must stay fused");
+            assert_eq!(got.n_rows(), reference.n_rows(), "batch_rows={batch_rows}");
+            let csv = |t: &Table| {
+                let mut buf = Vec::new();
+                dq_table::write_csv(t, &mut buf).unwrap();
+                buf
+            };
+            assert_eq!(csv(&got), csv(&reference), "batch_rows={batch_rows}");
+            assert_eq!(stream.report(), &reference_report, "batch_rows={batch_rows}");
         }
     }
 

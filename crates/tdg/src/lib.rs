@@ -27,8 +27,8 @@ pub mod rulegen;
 
 pub use atomgen::{random_domain_value, AtomSampler, AtomWeights, FormulaShape};
 pub use datagen::{
-    generate_reference, generate_table, DataGenConfig, GenReport, StartDistributions,
-    GEN_CHUNK_ROWS,
+    generate_reference, generate_table, DataGenConfig, GenReport, GenerateStream,
+    StartDistributions, GEN_CHUNK_ROWS,
 };
 pub use rulegen::{generate_rule_set, generate_rule_set_reference, RuleGenConfig, RuleGenReport};
 

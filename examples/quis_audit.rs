@@ -19,7 +19,8 @@ use std::time::Instant;
 
 fn main() {
     let rows: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(200_000);
-    let threads: Option<usize> = std::env::args().nth(2).and_then(|a| a.parse().ok());
+    let threads: data_audit::exec::Parallelism =
+        std::env::args().nth(2).and_then(|a| a.parse().ok()).into();
     println!("generating synthetic QUIS engine table ({rows} rows)…");
     let mut rng = StdRng::seed_from_u64(2003);
     let bench = generate_quis(&QuisConfig::default().with_rows(rows), &mut rng);
@@ -27,7 +28,7 @@ fn main() {
 
     println!(
         "running the audit on {} worker thread(s) (paper: ~21 min on an Athlon 900MHz for 200k)…",
-        data_audit::exec::resolve_threads(threads)
+        threads.resolve()
     );
     let auditor = Auditor::new(AuditConfig { threads, ..AuditConfig::default() });
     let t0 = Instant::now();

@@ -7,10 +7,11 @@
 //! single crate:
 //!
 //! * [`table`] — typed columnar tables with nominal/numeric/date
-//!   domains and NULLs, plus chunked row-range views for sharded scans;
+//!   domains and NULLs, chunked row-range views for sharded scans, the
+//!   `BatchSource` streaming abstraction and the paged on-disk backend;
 //! * [`exec`] — a std-only scoped worker pool with deterministic
-//!   input-order results, the execution substrate of every parallel
-//!   phase;
+//!   input-order results plus the shared `Parallelism` knob, the
+//!   execution substrate of every parallel phase;
 //! * [`stats`] — confidence intervals, entropy measures, distributions,
 //!   evaluation matrices;
 //! * [`logic`] — TDG formulae/rules, satisfiability, natural rule sets;
@@ -60,31 +61,31 @@
 //! is the root package. The dependency DAG between the members:
 //!
 //! ```text
-//! table ──┬────────────┬──────────┬─────────┬────────────────┐
-//!         stats        logic      bayes     mining           │
-//!         │  │          │  │        │        │  (stats)      │
-//!         │  └──────────┼──┼────────┼────────┤               │
-//!         │   pollute ──┘  └── tdg ─┘        └── core (exec) │
-//!         │      │              │                 │  │       │
-//!         └──── quis ───────────┴── eval (exec) ──┘  serve ──┘
-//!                                         │
+//! table ──┬────────────┬──────────┬─────────┬──────────────────┐
+//!         stats        logic      bayes     mining             │
+//!         │  │          │  │        │        │ (stats,exec)    │
+//!         │  └──────────┼──┼────────┼────────┤                 │
+//!         │   pollute ──┘  └── tdg ─┘        └── core (exec)   │
+//!         │      │          (exec)                │  │         │
+//!         └──── quis ──────────┴─── eval (exec) ──┘  serve ────┘
+//!                                         │         (exec)
 //!                                       bench (+ the `repro` bin)
 //! ```
 //!
 //! In words: `stats`, `logic`, `bayes` and `mining` build directly on
 //! `table`; `tdg` combines `logic`/`stats`/`bayes`; `pollute` needs
-//! `stats`; `core` needs `mining`/`stats` plus the `exec` worker pool
-//! (structure induction fans out one classifier per attribute,
-//! deviation detection shards the record scan into row chunks);
-//! `serve` wraps `core`'s resident audit engine in a std-only HTTP
-//! daemon; `quis` composes `logic`/`pollute`/`stats`; `eval` sits on
-//! top of
-//! everything below it and uses `exec` to run independent sweep cells
-//! concurrently; `dq_bench` hosts fixtures for the criterion benches.
-//! `exec` itself is std-only and depends on nothing. The
-//! `rand`/`proptest`/`criterion` dependencies resolve to offline,
-//! API-compatible shims under `shims/` because the build environment
-//! has no crates.io access.
+//! `stats`; `core` needs `mining`/`stats` (structure induction fans
+//! out one classifier per attribute, deviation detection shards the
+//! record scan into row chunks); `serve` wraps `core`'s resident audit
+//! engine in a std-only HTTP daemon; `quis` composes
+//! `logic`/`pollute`/`stats`; `eval` sits on top of everything below
+//! it; `dq_bench` hosts fixtures for the criterion benches. `exec`
+//! itself is std-only and depends on nothing: it supplies the shared
+//! [`exec::Parallelism`] knob (explicit count > `DQ_THREADS` > cores)
+//! and worker pool to `mining`, `tdg`, `core`, `serve`, `eval`,
+//! `bench` and the CLI. The `rand`/`proptest`/`criterion` dependencies
+//! resolve to offline, API-compatible shims under `shims/` because the
+//! build environment has no crates.io access.
 //!
 //! The tier-1 verification for the whole workspace is:
 //!
@@ -140,14 +141,15 @@ pub mod prelude {
         Auditor, Correction, Finding, StructureModel,
     };
     pub use dq_eval::{Scale, Series, TestEnvironment};
-    pub use dq_exec::WorkerPool;
+    pub use dq_exec::{Parallelism, WorkerPool};
     pub use dq_logic::{parse_formula, parse_rule, Atom, Formula, Rule, RuleSet};
     pub use dq_mining::InducerKind;
     pub use dq_pollute::{pollute, Polluter, PollutionConfig, PollutionLog, PollutionStep};
     pub use dq_stats::{ConfusionMatrix, CorrectionMatrix, DistributionSpec};
     pub use dq_table::{
         read_csv, read_schema, render_schema, write_csv, write_schema, AttrType, Attribute,
-        CsvChunkReader, Schema, SchemaBuilder, Table, Value,
+        BatchSource, CsvChunkReader, CsvWriter, PagedTable, PagedWriter, ReplaySource, Schema,
+        SchemaBuilder, Table, Value,
     };
     pub use dq_tdg::{GeneratedBenchmark, StartDistributions, TestDataGenerator};
 }

@@ -58,7 +58,7 @@ fn association_audit_matches_reference_at_every_thread_count() {
         for scoring in [AssociationScoring::Sum, AssociationScoring::Max] {
             let serial = AssociationAuditor::new(AssociationAuditConfig {
                 scoring,
-                threads: Some(1),
+                threads: 1.into(),
                 ..AssociationAuditConfig::default()
             });
             let (miner, _) = serial.run(&table).unwrap();
@@ -66,7 +66,7 @@ fn association_audit_matches_reference_at_every_thread_count() {
             for threads in [1usize, 2, 4] {
                 let auditor = AssociationAuditor::new(AssociationAuditConfig {
                     scoring,
-                    threads: Some(threads),
+                    threads: threads.into(),
                     ..AssociationAuditConfig::default()
                 });
                 let report = auditor.detect(&miner, &table);
@@ -90,11 +90,11 @@ fn structure_rule_audit_matches_reference_at_every_thread_count() {
         for flag_nulls in [true, false] {
             let config = AuditConfig { flag_nulls, ..AuditConfig::default() };
             let model = Auditor::new(config.clone()).induce(&table).unwrap();
-            let reference = Auditor::new(AuditConfig { threads: Some(1), ..config.clone() })
+            let reference = Auditor::new(AuditConfig { threads: 1.into(), ..config.clone() })
                 .detect_rules_reference(&model, &table);
             for threads in [1usize, 2, 4] {
                 let auditor =
-                    Auditor::new(AuditConfig { threads: Some(threads), ..config.clone() });
+                    Auditor::new(AuditConfig { threads: threads.into(), ..config.clone() });
                 let report = auditor.detect_rules(&model, &table);
                 assert_eq!(
                     report.to_csv(table.schema()),

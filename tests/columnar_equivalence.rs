@@ -48,8 +48,8 @@ fn dirty_table(schema: Arc<Schema>, n_rules: usize, n_rows: usize, seed: u64) ->
     dirty
 }
 
-fn assert_equivalent(table: &Table, threads: Option<usize>) {
-    let auditor = Auditor::new(AuditConfig { threads, ..AuditConfig::default() });
+fn assert_equivalent(table: &Table, threads: impl Into<dq_exec::Parallelism>) {
+    let auditor = Auditor::new(AuditConfig { threads: threads.into(), ..AuditConfig::default() });
     let model = auditor.induce(table).expect("columnar induction succeeds");
     let reference_model = auditor.induce_reference(table).expect("reference induction succeeds");
 

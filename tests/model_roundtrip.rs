@@ -80,7 +80,8 @@ fn save_load_detect_stream_is_byte_identical_to_in_memory() {
 
         for chunk_rows in [1, 7, 113, table.n_rows().max(1), usize::MAX / 2] {
             for threads in [Some(1), Some(2), Some(5), None] {
-                let streaming = Auditor::new(AuditConfig { threads, ..AuditConfig::default() });
+                let streaming =
+                    Auditor::new(AuditConfig { threads: threads.into(), ..AuditConfig::default() });
                 let report =
                     stream_report(&streaming, &loaded, table.schema().clone(), &csv, chunk_rows);
                 assert_eq!(
@@ -128,7 +129,8 @@ fn detect_stream_on_in_memory_batches_matches_detect() {
             .into_iter()
             .map(|c| table.select_rows(&c.rows().collect::<Vec<_>>()))
             .collect();
-        let report = auditor.detect_stream(&model, batches).unwrap();
+        let source = ReplaySource::new(table.schema().clone(), batches);
+        let report = auditor.detect_stream(&model, source).unwrap();
         assert_eq!(report.findings, reference.findings, "n_batches={n_batches}");
         assert_eq!(report.record_confidence, reference.record_confidence);
     }
@@ -141,12 +143,14 @@ fn detect_stream_zero_batches_matches_detect_on_empty_table() {
     // on a zero-row table: an empty, well-formed report.
     let (_, table) = fixtures().remove(2);
     for threads in [Some(1), Some(4), None] {
-        let auditor = Auditor::new(AuditConfig { threads, ..AuditConfig::default() });
+        let auditor =
+            Auditor::new(AuditConfig { threads: threads.into(), ..AuditConfig::default() });
         let model = auditor.induce(&table).unwrap();
         let empty = Table::new(table.schema().clone());
         let in_memory = auditor.detect(&model, &empty);
-        let batches: Vec<Result<Table, dq_table::TableError>> = Vec::new();
-        let streamed = auditor.detect_stream(&model, batches).unwrap();
+        let streamed = auditor
+            .detect_stream(&model, ReplaySource::new(table.schema().clone(), Vec::new()))
+            .unwrap();
         assert_eq!(streamed.findings, in_memory.findings);
         assert_eq!(streamed.record_confidence, in_memory.record_confidence);
         assert_eq!(streamed.n_rows(), 0);

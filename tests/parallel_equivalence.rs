@@ -49,8 +49,8 @@ fn fixtures() -> Vec<Table> {
     ]
 }
 
-fn auditor_with(threads: Option<usize>) -> Auditor {
-    Auditor::new(AuditConfig { threads, ..AuditConfig::default() })
+fn auditor_with(threads: impl Into<dq_exec::Parallelism>) -> Auditor {
+    Auditor::new(AuditConfig { threads: threads.into(), ..AuditConfig::default() })
 }
 
 /// Byte-level equality for f64 sequences (`==` would also accept

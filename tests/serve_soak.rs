@@ -58,8 +58,8 @@ fn fixture(seed: u64, labels: [&'static str; 2]) -> Table {
     t
 }
 
-#[test]
-fn eight_randomized_clients_lose_nothing() {
+/// The two-model soak registry plus per-model request material.
+fn soak_models() -> (ModelRegistry, Vec<SoakModel>) {
     let auditor = Auditor::default();
     let mut registry = ModelRegistry::new();
     let mut models = Vec::new();
@@ -78,6 +78,46 @@ fn eight_randomized_clients_lose_nothing() {
         });
         registry.insert(name, engine).unwrap();
     }
+    (registry, models)
+}
+
+/// Reconcile `/stats` against client-side tallies: every counter must
+/// match exactly — no request lost, none double-counted.
+fn reconcile_stats(addr: std::net::SocketAddr, models: &[SoakModel], expected: &[Expected]) {
+    let stats = client::get(addr, "/stats").unwrap();
+    assert_eq!(stats.status, 200);
+    for (m, model) in models.iter().enumerate() {
+        let line = stats
+            .body_str()
+            .lines()
+            .find(|l| l.starts_with(&format!("{},", model.name)))
+            .unwrap_or_else(|| panic!("no stats row for {}:\n{}", model.name, stats.body_str()));
+        let fields: Vec<&str> = line.split(',').collect();
+        assert_eq!(fields[1], model.fingerprint_hex, "{line}");
+        assert_eq!(
+            fields[2].parse::<u64>().unwrap(),
+            expected[m].requests.load(Ordering::Relaxed),
+            "requests of {}: {line}",
+            model.name
+        );
+        assert_eq!(
+            fields[3].parse::<u64>().unwrap(),
+            expected[m].records.load(Ordering::Relaxed),
+            "records of {}: {line}",
+            model.name
+        );
+        assert_eq!(
+            fields[5].parse::<u64>().unwrap(),
+            expected[m].errors.load(Ordering::Relaxed),
+            "errors of {}: {line}",
+            model.name
+        );
+    }
+}
+
+#[test]
+fn eight_randomized_clients_lose_nothing() {
+    let (registry, models) = soak_models();
 
     let server = Server::bind(
         "127.0.0.1:0",
@@ -235,36 +275,122 @@ fn eight_randomized_clients_lose_nothing() {
     });
 
     // Reconciliation: the daemon's counters are exactly the clients'.
-    let stats = client::get(addr, "/stats").unwrap();
-    assert_eq!(stats.status, 200);
-    for (m, model) in models.iter().enumerate() {
-        let line = stats
-            .body_str()
-            .lines()
-            .find(|l| l.starts_with(&format!("{},", model.name)))
-            .unwrap_or_else(|| panic!("no stats row for {}:\n{}", model.name, stats.body_str()));
-        let fields: Vec<&str> = line.split(',').collect();
-        assert_eq!(fields[1], model.fingerprint_hex, "{line}");
-        assert_eq!(
-            fields[2].parse::<u64>().unwrap(),
-            expected[m].requests.load(Ordering::Relaxed),
-            "requests of {}: {line}",
-            model.name
-        );
-        assert_eq!(
-            fields[3].parse::<u64>().unwrap(),
-            expected[m].records.load(Ordering::Relaxed),
-            "records of {}: {line}",
-            model.name
-        );
-        assert_eq!(
-            fields[5].parse::<u64>().unwrap(),
-            expected[m].errors.load(Ordering::Relaxed),
-            "errors of {}: {line}",
-            model.name
-        );
-    }
+    reconcile_stats(addr, &models[..], &expected[..]);
 
+    server.shutdown();
+}
+
+/// Keep-alive soak: every client rides ONE TCP connection for its
+/// whole battery, pipelining bursts of requests (all written before
+/// any response is read) and then draining the responses in order.
+/// The final request of each client says `Connection: close` and the
+/// server must actually hang up. `/stats` must reconcile exactly, so
+/// no pipelined request may be lost or answered twice.
+#[test]
+fn pipelined_keepalive_clients_reconcile_exactly() {
+    let (registry, models) = soak_models();
+    let server = Server::bind(
+        "127.0.0.1:0",
+        registry,
+        ServeConfig { workers: 4, queue_depth: 64, ..ServeConfig::default() },
+    )
+    .unwrap();
+    let addr = server.addr();
+    let models = Arc::new(models);
+    let expected: Arc<Vec<Expected>> =
+        Arc::new(models.iter().map(|_| Expected::default()).collect());
+
+    std::thread::scope(|scope| {
+        for thread_id in 0..6u64 {
+            let models = models.clone();
+            let expected = expected.clone();
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(9000 + thread_id);
+                let mut conn = client::Connection::open(addr).unwrap();
+                for _burst in 0..5 {
+                    // Pipeline a burst: send every request up front…
+                    let k = rng.gen_range(2..8usize);
+                    let mut sent: Vec<(usize, u16, u64)> = Vec::new(); // (model, status, records)
+                    for _ in 0..k {
+                        let m = rng.gen_range(0..models.len());
+                        let model = &models[m];
+                        match rng.gen_range(0..3u32) {
+                            0 => {
+                                let row = rng.gen_range(0..model.records.len());
+                                conn.send(
+                                    "POST",
+                                    &format!("/audit/{}/record", model.name),
+                                    &[],
+                                    model.records[row].as_bytes(),
+                                )
+                                .unwrap();
+                                sent.push((m, 200, 1));
+                            }
+                            1 => {
+                                let from = rng.gen_range(0..model.records.len() - 30);
+                                let len = rng.gen_range(1..30usize);
+                                let body = model.records[from..from + len].join("\n") + "\n";
+                                conn.send(
+                                    "POST",
+                                    &format!("/audit/{}/batch", model.name),
+                                    &[],
+                                    body.as_bytes(),
+                                )
+                                .unwrap();
+                                sent.push((m, 200, len as u64));
+                            }
+                            _ => {
+                                let other = &models[(m + 1) % models.len()];
+                                let row = rng.gen_range(0..model.records.len());
+                                conn.send(
+                                    "POST",
+                                    &format!("/audit/{}/record", model.name),
+                                    &[("X-Schema-Fingerprint", other.fingerprint_hex.as_str())],
+                                    model.records[row].as_bytes(),
+                                )
+                                .unwrap();
+                                sent.push((m, 409, 0));
+                            }
+                        }
+                    }
+                    // …then drain the responses, strictly in order.
+                    for (m, status, records) in sent {
+                        let resp = conn.recv().unwrap();
+                        assert_eq!(resp.status, status, "{}", resp.body_str());
+                        let tally = &expected[m];
+                        tally.requests.fetch_add(1, Ordering::Relaxed);
+                        tally.records.fetch_add(records, Ordering::Relaxed);
+                        if status != 200 {
+                            tally.errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                // The goodbye: a Connection: close request is answered,
+                // then the server hangs up — a further read sees EOF.
+                let m = rng.gen_range(0..models.len());
+                let model = &models[m];
+                let row = rng.gen_range(0..model.records.len());
+                conn.send_close(
+                    "POST",
+                    &format!("/audit/{}/record", model.name),
+                    &[],
+                    model.records[row].as_bytes(),
+                )
+                .unwrap();
+                let resp = conn.recv().unwrap();
+                assert_eq!(resp.status, 200, "{}", resp.body_str());
+                let tally = &expected[m];
+                tally.requests.fetch_add(1, Ordering::Relaxed);
+                tally.records.fetch_add(1, Ordering::Relaxed);
+                assert!(
+                    conn.recv().is_err(),
+                    "server must close the connection after Connection: close"
+                );
+            });
+        }
+    });
+
+    reconcile_stats(addr, &models[..], &expected[..]);
     server.shutdown();
 }
 

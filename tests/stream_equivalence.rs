@@ -1,0 +1,153 @@
+//! The streaming redesign's equivalence contract, pinned end to end:
+//!
+//! * streamed generation ([`GenerateStream`]) must be **byte-identical**
+//!   to the in-memory [`generate_table`] at every batch size × thread
+//!   count — CSV bytes AND f64 bit patterns, not approximate equality;
+//! * deviation detection over the out-of-core paged backend
+//!   ([`PagedTable`]) must reproduce the in-memory
+//!   [`Auditor::detect`] report exactly (findings CSV + per-record
+//!   confidence f64 bits) on randomly generated, randomly polluted
+//!   tables.
+//!
+//! These are the properties that make `--stream-chunk-rows`, paged
+//! audits and the CI `ulimit -v` run trustworthy: streaming is a
+//! memory envelope, never a different answer.
+
+use data_audit::prelude::*;
+use data_audit::tdg::{generate_rule_set, DataGenConfig, GenerateStream, RuleGenConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+fn schema() -> Arc<Schema> {
+    SchemaBuilder::new()
+        .nominal("a", ["v1", "v2", "v3", "v4"])
+        .nominal("b", ["v1", "v2", "v3", "v4"])
+        .nominal("c", ["w1", "w2", "w3"])
+        .numeric("x", 0.0, 100.0)
+        .numeric("y", -50.0, 50.0)
+        .build()
+        .unwrap()
+}
+
+fn csv(table: &Table) -> String {
+    let mut buf = Vec::new();
+    write_csv(table, &mut buf).unwrap();
+    String::from_utf8(buf).unwrap()
+}
+
+/// Cell equality at the bit level: numbers compare by `f64::to_bits`,
+/// so `-0.0 != 0.0` and byte-identity claims stay honest.
+fn assert_cells_bit_equal(a: &Table, b: &Table) {
+    assert_eq!(a.n_rows(), b.n_rows());
+    for r in 0..a.n_rows() {
+        for c in 0..a.n_cols() {
+            match (a.get(r, c), b.get(r, c)) {
+                (Value::Number(x), Value::Number(y)) => {
+                    assert_eq!(x.to_bits(), y.to_bits(), "row {r} col {c}: {x} vs {y}");
+                }
+                (x, y) => assert_eq!(x, y, "row {r} col {c}"),
+            }
+        }
+    }
+}
+
+fn drain(mut source: impl BatchSource) -> Table {
+    let mut out = Table::new(source.schema().clone());
+    while let Some(batch) = source.next_batch().unwrap() {
+        assert!(!batch.is_empty(), "batches must never be empty");
+        out.append_rows(&batch).unwrap();
+        assert_eq!(source.rows_emitted(), out.n_rows());
+    }
+    out
+}
+
+/// Streamed generation ≡ `generate_table`, across batch sizes
+/// {1, 7, 4096} × threads {1, 2, 4}: identical CSV bytes, identical
+/// f64 bits, identical generation report, identical caller-RNG
+/// consumption.
+#[test]
+fn generate_stream_matches_generate_table_across_chunks_and_threads() {
+    let schema = schema();
+    let n_rows = data_audit::tdg::GEN_CHUNK_ROWS + 777;
+    let (rules, _) = generate_rule_set(
+        &schema,
+        &RuleGenConfig { n_rules: 10, ..RuleGenConfig::default() },
+        &mut StdRng::seed_from_u64(3),
+    );
+    let config = DataGenConfig::new(&schema, n_rows);
+
+    let mut rng = StdRng::seed_from_u64(77);
+    let (reference, reference_report) =
+        data_audit::tdg::generate_table(&schema, &rules, &config, &mut rng);
+    let reference_csv = csv(&reference);
+    let sentinel: u64 = rng.gen();
+
+    for threads in [1usize, 2, 4] {
+        for batch_rows in [1usize, 7, 4096] {
+            let mut cfg = config.clone();
+            cfg.threads = threads.into();
+            let mut rng = StdRng::seed_from_u64(77);
+            let mut stream = GenerateStream::new(schema.clone(), rules.clone(), cfg, &mut rng)
+                .with_batch_rows(batch_rows);
+            // The stream draws its chunk plans at construction and
+            // never touches the caller RNG again — downstream seeded
+            // pollution sees the same state as after `generate_table`.
+            assert_eq!(rng.gen::<u64>(), sentinel, "caller RNG state must match");
+            assert_eq!(stream.row_count_hint(), Some(n_rows));
+            let streamed = drain(&mut stream);
+            assert_eq!(csv(&streamed), reference_csv, "threads={threads} batch_rows={batch_rows}");
+            assert_cells_bit_equal(&streamed, &reference);
+            assert_eq!(
+                stream.report(),
+                &reference_report,
+                "threads={threads} batch_rows={batch_rows}"
+            );
+        }
+    }
+}
+
+/// Detection over the paged on-disk backend ≡ in-memory detection, on
+/// random polluted tables: same findings CSV, same per-record
+/// confidence bits.
+#[test]
+fn paged_backend_detect_matches_in_memory_detect() {
+    let schema = schema();
+    let mut rng = StdRng::seed_from_u64(41);
+    let dir = std::env::temp_dir().join(format!("dq-stream-equivalence-{}", std::process::id()));
+    for trial in 0..3u64 {
+        let generator = TestDataGenerator::new(schema.clone(), 8, 1200);
+        let benchmark = generator.generate(&mut rng);
+        let factor = 1.0 + trial as f64;
+        let (dirty, _log) =
+            pollute(&benchmark.clean, &PollutionConfig::standard().with_factor(factor), &mut rng);
+
+        let auditor = Auditor::new(AuditConfig { threads: 2.into(), ..AuditConfig::default() });
+        let model = auditor.induce(&dirty).unwrap();
+        let reference = auditor.detect(&model, &dirty);
+
+        // Spill the dirty table to a paged directory in odd-sized
+        // batches (exercising page/batch misalignment), reopen, and
+        // detect over the paged BatchSource.
+        let trial_dir = dir.join(format!("t{trial}"));
+        let paged = PagedWriter::create(&trial_dir, dirty.schema().clone(), 256)
+            .unwrap()
+            .spill(dirty.batches(177))
+            .unwrap();
+        assert_eq!(paged.n_rows(), dirty.n_rows());
+        let report = auditor.detect_stream(&model, paged.batches()).unwrap();
+
+        assert_eq!(
+            report.to_csv(dirty.schema()),
+            reference.to_csv(dirty.schema()),
+            "trial {trial}"
+        );
+        assert_eq!(report.record_confidence.len(), reference.record_confidence.len());
+        for (i, (a, b)) in
+            report.record_confidence.iter().zip(&reference.record_confidence).enumerate()
+        {
+            assert_eq!(a.to_bits(), b.to_bits(), "record confidence {i} of trial {trial}");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -53,7 +53,7 @@ fn parallel_generation_is_byte_identical_to_reference() {
 
     let reference = generator.generate_with_rules_reference(&rules, &mut StdRng::seed_from_u64(11));
     for threads in [1usize, 2, 4] {
-        generator.data.threads = Some(threads);
+        generator.data.threads = threads.into();
         let fast = generator.generate_with_rules(&rules, &mut StdRng::seed_from_u64(11));
         assert_eq!(fast.gen_report, reference.gen_report, "threads={threads}");
         assert_tables_identical(&fast.clean, &reference.clean);
@@ -143,7 +143,7 @@ proptest! {
             generator.generate_with_rules_reference(&b.rules, &mut StdRng::seed_from_u64(seed ^ 1));
         for threads in [1usize, 3] {
             let mut g = generator.clone();
-            g.data.threads = Some(threads);
+            g.data.threads = threads.into();
             let fast = g.generate_with_rules(&b.rules, &mut StdRng::seed_from_u64(seed ^ 1));
             prop_assert_eq!(&fast.gen_report, &reference.gen_report);
             assert_tables_identical(&fast.clean, &reference.clean);
