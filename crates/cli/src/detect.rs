@@ -1,10 +1,23 @@
 //! `dq detect` — streaming deviation detection against a saved model.
 //!
-//! The input CSV is never fully materialized: it flows through
-//! [`dq_table::CsvChunkReader`] in `--chunk-rows` batches into
-//! [`dq_core::Auditor::detect_stream_partial`], so a file (much)
-//! larger than RAM audits at O(chunk) memory with a report
-//! byte-identical to the in-memory path.
+//! Three input shapes share one command:
+//!
+//! * a CSV file streams through [`dq_table::CsvChunkReader`] in
+//!   `--chunk-rows` batches into
+//!   [`dq_core::Auditor::detect_stream_partial`], so a file (much)
+//!   larger than RAM audits at O(chunk) memory with a report
+//!   byte-identical to the in-memory path;
+//! * a *directory* as `--input` is opened as a
+//!   [`dq_table::PagedTable`] spill (the `dq generate --paged-dirty`
+//!   output) and scanned page by page — a torn or partially-committed
+//!   spill is rejected up front with the manifest-level error instead
+//!   of silently auditing a truncated relation;
+//! * `--server ADDR --model-name NAME` skips the local model entirely
+//!   and posts the CSV to a running `dq serve` daemon's
+//!   `/audit/{name}/stream` endpoint via
+//!   [`dq_serve::client::post_with_retry`] — queue-full `503`s back
+//!   off and retry (honoring `Retry-After`), a *draining* server fails
+//!   immediately with a distinct error, because it will not come back.
 //!
 //! A mid-stream failure (a bad CSV cell three million rows in) does
 //! not discard the scan: the report and corrections files are written
@@ -15,20 +28,39 @@
 use crate::args::{CliError, Flags};
 use crate::io_util::{load_schema, say, write_file};
 use dq_core::{corrections_to_csv, propose_corrections, AuditConfig, Auditor, StructureModel};
-use dq_table::CsvChunkReader;
+use dq_serve::client::{post_with_retry, RetryPolicy, Unavailable};
+use dq_table::{CsvChunkReader, PagedTable};
 use std::fs::File;
 use std::io::BufReader;
+use std::net::ToSocketAddrs;
 use std::path::Path;
 use std::time::Instant;
 
-pub const USAGE: &str = "dq detect --schema F.dqs --model m.dqm --input data.csv \
-[--report report.csv] [--corrections c.csv] [--chunk-rows N] [--threads N] [--top N]";
+pub const USAGE: &str = "dq detect --schema F.dqs --model m.dqm --input data.csv|paged-dir \
+[--report report.csv] [--corrections c.csv] [--chunk-rows N] [--threads N] [--top N]
+       dq detect --server HOST:PORT --model-name NAME --input data.csv [--report report.csv] \
+[--retries N]";
 
 pub fn run(args: &[String]) -> Result<(), CliError> {
     let flags = Flags::parse(
         args,
-        &["schema", "model", "input", "report", "corrections", "chunk-rows", "threads", "top"],
+        &[
+            "schema",
+            "model",
+            "input",
+            "report",
+            "corrections",
+            "chunk-rows",
+            "threads",
+            "top",
+            "server",
+            "model-name",
+            "retries",
+        ],
     )?;
+    if let Some(server) = flags.get("server") {
+        return remote(&flags, server);
+    }
     let schema = load_schema(flags.require("schema")?)?;
     let model_path = flags.require("model")?;
     let model = StructureModel::load_from_path(&schema, model_path)
@@ -38,12 +70,21 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     let threads = flags.parse_positive_opt("threads")?;
     let top: usize = flags.parse_or("top", 10)?;
 
-    let file = File::open(input).map_err(|e| format!("{input}: {e}"))?;
-    let batches = CsvChunkReader::new(schema.clone(), BufReader::new(file), chunk_rows)
-        .map_err(|e| format!("{input}: {e}"))?;
     let auditor = Auditor::new(AuditConfig { threads: threads.into(), ..AuditConfig::default() });
     let t0 = Instant::now();
-    let (report, stream_error) = auditor.detect_stream_partial(&model, batches);
+    // A directory is a paged spill; a file is a CSV stream. Opening the
+    // spill validates its manifest first, so a torn commit (crash
+    // mid-`finish`) fails here with the manifest's own error rather
+    // than auditing a partial relation.
+    let (report, stream_error) = if Path::new(input).is_dir() {
+        let paged = PagedTable::open(input, schema.clone()).map_err(|e| format!("{input}: {e}"))?;
+        auditor.detect_stream_partial(&model, paged.batches())
+    } else {
+        let file = File::open(input).map_err(|e| format!("{input}: {e}"))?;
+        let batches = CsvChunkReader::new(schema.clone(), BufReader::new(file), chunk_rows)
+            .map_err(|e| format!("{input}: {e}"))?;
+        auditor.detect_stream_partial(&model, batches)
+    };
     let secs = t0.elapsed().as_secs_f64();
 
     // Flush what was audited even when the stream failed mid-way: a
@@ -77,4 +118,71 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         ))),
         None => Ok(()),
     }
+}
+
+/// The client mode: ship the CSV to a `dq serve` daemon and let its
+/// resident model audit it. Backpressure is handled here so scripts
+/// don't have to: queue-full `503`s retry with bounded backoff, a
+/// draining server fails fast with its own message.
+fn remote(flags: &Flags, server: &str) -> Result<(), CliError> {
+    let name = flags.require("model-name")?;
+    let input = flags.require("input")?;
+    let retries: u32 = flags.parse_or("retries", RetryPolicy::default().max_attempts)?;
+    for local in ["schema", "model", "corrections", "chunk-rows", "threads", "top"] {
+        if flags.get(local).is_some() {
+            return Err(CliError::Usage(format!(
+                "--{local} is a local-audit flag; with --server the daemon's resident model \
+                 does the scan\nusage: {USAGE}"
+            )));
+        }
+    }
+    let addr = server
+        .to_socket_addrs()
+        .map_err(|e| format!("{server}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("{server}: resolved to no address"))?;
+    let body = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
+
+    let policy = RetryPolicy { max_attempts: retries.max(1), ..RetryPolicy::default() };
+    let t0 = Instant::now();
+    let response = post_with_retry(addr, &format!("/audit/{name}/stream"), &[], &body, &policy)
+        .map_err(|e| format!("{server}: {e}"))?;
+    let secs = t0.elapsed().as_secs_f64();
+
+    match response.unavailable() {
+        Some(Unavailable::Draining) => {
+            return Err(CliError::Runtime(format!(
+                "{server}: server is draining and refuses new audits — it is shutting down; \
+                 point --server at another instance"
+            )));
+        }
+        Some(Unavailable::QueueFull { retry_after }) => {
+            let advice = match retry_after {
+                Some(secs) => format!(" (server advises Retry-After: {secs}s)"),
+                None => String::new(),
+            };
+            return Err(CliError::Runtime(format!(
+                "{server}: connection queue full after {retries} attempt(s){advice} — \
+                 the server is overloaded, retry later or raise --retries"
+            )));
+        }
+        None => {}
+    }
+    if response.status != 200 {
+        return Err(CliError::Runtime(format!(
+            "{server}: HTTP {} — {}",
+            response.status,
+            response.body_str().trim_end()
+        )));
+    }
+
+    let report_csv = response.body_str();
+    match flags.get("report") {
+        Some(path) => write_file(Path::new(path), report_csv)?,
+        None => say!("{}", report_csv.trim_end()),
+    }
+    // Data rows in the report body (header excluded) are findings.
+    let findings = report_csv.lines().skip(1).filter(|l| !l.is_empty()).count();
+    say!("audited `{name}` on {server} in {secs:.2}s: {findings} finding(s)");
+    Ok(())
 }

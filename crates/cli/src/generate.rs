@@ -6,7 +6,7 @@ use crate::io_util::{at, create_file, log_to_csv, say, write_file, write_table};
 use dq_eval::{Baseline, TestEnvironment};
 use dq_pollute::{pollute, PolluteStream};
 use dq_quis::{generate_quis, QuisConfig};
-use dq_table::{render_schema, BatchSource, CsvWriter, Schema, Table, TableError};
+use dq_table::{render_schema, BatchSource, CsvWriter, PagedWriter, Schema, Table, TableError};
 use dq_tdg::{generate_rule_set, GenerateStream};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -15,7 +15,8 @@ use std::path::Path;
 use std::sync::Arc;
 
 pub const USAGE: &str = "dq generate <tdg|quis> --out DIR [--rows N] [--seed N] [--factor X] \
-                         [--threads N] [--rules N --stream-chunk-rows N (tdg only)]";
+                         [--threads N] [--rules N --stream-chunk-rows N --paged-dirty DIR (tdg \
+                         only)]";
 
 pub fn run(args: &[String]) -> Result<(), CliError> {
     let (kind, rest) = args
@@ -35,7 +36,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
 fn tdg(args: &[String]) -> Result<(), CliError> {
     let flags = Flags::parse(
         args,
-        &["out", "rows", "rules", "seed", "factor", "threads", "stream-chunk-rows"],
+        &["out", "rows", "rules", "seed", "factor", "threads", "stream-chunk-rows", "paged-dirty"],
     )?;
     let out = Path::new(flags.require("out")?).to_path_buf();
     let rows: usize = flags.parse_or("rows", 10_000)?;
@@ -44,6 +45,7 @@ fn tdg(args: &[String]) -> Result<(), CliError> {
     let factor: f64 = flags.parse_or("factor", 1.0)?;
     let threads: Option<usize> = flags.parse_positive_opt("threads")?;
     let stream_chunk_rows: Option<usize> = flags.parse_positive_opt("stream-chunk-rows")?;
+    let paged_dirty = flags.get("paged-dirty").map(|d| Path::new(d).to_path_buf());
 
     let baseline = Baseline::new(seed);
     let mut env = baseline.environment(rules, rows, factor);
@@ -51,7 +53,12 @@ fn tdg(args: &[String]) -> Result<(), CliError> {
     // RNG streams), so the knob only changes wall-clock time.
     env.generator.data.threads = threads.into();
     if let Some(chunk_rows) = stream_chunk_rows {
-        return tdg_streamed(&env, &out, seed, chunk_rows);
+        return tdg_streamed(&env, &out, seed, chunk_rows, paged_dirty.as_deref());
+    }
+    if paged_dirty.is_some() {
+        return Err(CliError::Usage(format!(
+            "--paged-dirty spills during streaming; it needs --stream-chunk-rows\nusage: {USAGE}"
+        )));
     }
     let mut rng = StdRng::seed_from_u64(seed);
     let benchmark = env.generator.generate(&mut rng);
@@ -136,6 +143,7 @@ fn tdg_streamed(
     out: &Path,
     seed: u64,
     chunk_rows: usize,
+    paged_dirty: Option<&Path>,
 ) -> Result<(), CliError> {
     let schema = env.generator.schema.clone();
     let mut rng = StdRng::seed_from_u64(seed);
@@ -155,6 +163,17 @@ fn tdg_streamed(
     let mut dirty_writer = CsvWriter::new(schema.clone(), create_file(&dirty_path)?)
         .map_err(|e| at(&dirty_path, e))?;
 
+    // The optional paged spill writes the dirty relation a second
+    // time, page by page as batches stream past — the out-of-core
+    // form `dq detect --input DIR` reopens. Its manifest only commits
+    // in `finish()`, so a crash mid-stream leaves a directory
+    // `PagedTable::open` rejects instead of a silently short table.
+    let mut paged_writer = match paged_dirty {
+        Some(dir) => {
+            Some(PagedWriter::create(dir, schema.clone(), chunk_rows).map_err(|e| at(dir, e))?)
+        }
+        None => None,
+    };
     let tee = TeeCsv { inner: generator, writer: clean_writer, done: false };
     let mut stream = PolluteStream::new(tee, env.pollution.clone(), &mut rng);
     let mut dirty_rows = 0usize;
@@ -162,6 +181,10 @@ fn tdg_streamed(
         match stream.next_batch() {
             Ok(Some(batch)) => {
                 dirty_writer.write_batch(&batch).map_err(|e| at(&dirty_path, e))?;
+                if let Some(w) = paged_writer.as_mut() {
+                    w.append_batch(&batch)
+                        .map_err(|e| at(paged_dirty.expect("writer implies dir"), e))?;
+                }
                 dirty_rows += batch.n_rows();
             }
             Ok(None) => break,
@@ -169,6 +192,11 @@ fn tdg_streamed(
         }
     }
     dirty_writer.finish().map_err(|e| at(&dirty_path, e))?;
+    if let Some(w) = paged_writer {
+        let dir = paged_dirty.expect("writer implies dir");
+        w.finish().map_err(|e| at(dir, e))?;
+        say!("spilled dirty relation to paged directory {}", dir.display());
+    }
     let clean_rows = stream.clean_rows_seen();
     let (tee, log) = stream.into_parts();
     tee.writer.finish().map_err(|e| at(&clean_path, e))?;

@@ -15,13 +15,41 @@
 use crate::args::{CliError, Flags};
 use crate::io_util::say;
 use dq_serve::{ModelRegistry, ServeConfig, Server};
+use std::time::Duration;
 
 pub const USAGE: &str = "dq serve --models DIR --addr HOST:PORT \
-[--workers N] [--queue-depth N] [--chunk-rows N] [--threads N]";
+[--workers N] [--queue-depth N] [--chunk-rows N] [--threads N] \
+[--read-timeout-secs N] [--write-timeout-secs N] [--deadline-secs N] [--retry-after-secs N]";
+
+/// `0` disables a timeout knob; anything else is a duration in seconds.
+fn timeout_flag(
+    flags: &Flags,
+    name: &str,
+    default: Option<Duration>,
+) -> Result<Option<Duration>, CliError> {
+    match flags.parse_opt::<u64>(name)? {
+        None => Ok(default),
+        Some(0) => Ok(None),
+        Some(secs) => Ok(Some(Duration::from_secs(secs))),
+    }
+}
 
 pub fn run(args: &[String]) -> Result<(), CliError> {
-    let flags =
-        Flags::parse(args, &["models", "addr", "workers", "queue-depth", "chunk-rows", "threads"])?;
+    let flags = Flags::parse(
+        args,
+        &[
+            "models",
+            "addr",
+            "workers",
+            "queue-depth",
+            "chunk-rows",
+            "threads",
+            "read-timeout-secs",
+            "write-timeout-secs",
+            "deadline-secs",
+            "retry-after-secs",
+        ],
+    )?;
     let models = flags.require("models")?;
     let addr = flags.require("addr")?;
     let defaults = ServeConfig::default();
@@ -29,6 +57,10 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         workers: flags.parse_positive_or("workers", defaults.workers)?,
         queue_depth: flags.parse_positive_or("queue-depth", defaults.queue_depth)?,
         chunk_rows: flags.parse_positive_or("chunk-rows", defaults.chunk_rows)?,
+        read_timeout: timeout_flag(&flags, "read-timeout-secs", defaults.read_timeout)?,
+        write_timeout: timeout_flag(&flags, "write-timeout-secs", defaults.write_timeout)?,
+        request_deadline: timeout_flag(&flags, "deadline-secs", defaults.request_deadline)?,
+        retry_after_secs: flags.parse_or("retry-after-secs", defaults.retry_after_secs)?,
         ..defaults
     };
     // Default is serial per request: concurrency comes from the worker

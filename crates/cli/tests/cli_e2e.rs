@@ -303,3 +303,92 @@ fn detect_flushes_the_partial_report_on_a_mid_stream_error() {
         read(&dir.path("expected-corrections.csv"))
     );
 }
+
+#[test]
+fn paged_dirty_spill_round_trips_and_a_torn_spill_is_refused() {
+    let dir = TempDir::new("paged");
+    let schema = dir.path("schema.dqs");
+    let model = dir.path("model.dqm");
+    let paged = dir.path("dirty-paged");
+
+    // --paged-dirty only makes sense while streaming.
+    let out = dq(&["generate", "tdg", "--out", &dir.path(""), "--paged-dirty", &paged]);
+    assert_eq!(out.status.code(), Some(2), "paged spill without streaming is a usage error");
+
+    let out = dq_ok(&[
+        "generate",
+        "tdg",
+        "--out",
+        &dir.path(""),
+        "--rows",
+        "1500",
+        "--rules",
+        "10",
+        "--seed",
+        "42",
+        "--stream-chunk-rows",
+        "97",
+        "--paged-dirty",
+        &paged,
+    ]);
+    assert!(out.contains("spilled dirty relation"), "got: {out}");
+    dq_ok(&["induce", "--schema", &schema, "--input", &dir.path("dirty.csv"), "--model", &model]);
+
+    // Auditing the paged spill reports exactly what the CSV does.
+    dq_ok(&[
+        "detect",
+        "--schema",
+        &schema,
+        "--model",
+        &model,
+        "--input",
+        &paged,
+        "--report",
+        &dir.path("report-paged.csv"),
+        "--top",
+        "0",
+    ]);
+    dq_ok(&[
+        "detect",
+        "--schema",
+        &schema,
+        "--model",
+        &model,
+        "--input",
+        &dir.path("dirty.csv"),
+        "--report",
+        &dir.path("report-csv.csv"),
+        "--top",
+        "0",
+    ]);
+    assert_eq!(read(&dir.path("report-paged.csv")), read(&dir.path("report-csv.csv")));
+
+    // Tear the spill the way a crash before the manifest commit
+    // would: pages on disk, no manifest. The audit must refuse with a
+    // typed error naming the manifest, not scan a short relation.
+    std::fs::remove_file(Path::new(&paged).join("manifest.dqpm")).unwrap();
+    let out = dq(&["detect", "--schema", &schema, "--model", &model, "--input", &paged]);
+    assert_eq!(out.status.code(), Some(1), "a torn spill is a runtime failure");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("manifest"), "the refusal must name the manifest: {stderr}");
+}
+
+#[test]
+fn remote_detect_rejects_local_audit_flags() {
+    // --server hands the scan to the daemon's resident model; mixing
+    // in local-model flags is a usage error, caught before any I/O.
+    let out = dq(&[
+        "detect",
+        "--server",
+        "127.0.0.1:1",
+        "--model-name",
+        "x",
+        "--input",
+        "nope.csv",
+        "--model",
+        "m.dqm",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "got: {}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--model is a local-audit flag"), "got: {stderr}");
+}

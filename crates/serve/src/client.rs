@@ -13,16 +13,23 @@
 //!   pipeline several requests before reading the responses.
 //!
 //! Both read `Content-Length` bodies — exactly what the server emits.
+//! [`post_with_retry`] adds the production posture: bounded retry with
+//! exponential backoff and deterministic jitter on connect failures
+//! and queue-full `503`s (honoring `Retry-After`), returning
+//! immediately on a *draining* `503` — [`Unavailable`] is the typed
+//! split between the two.
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
-/// A received response: status code and raw body bytes.
+/// A received response: status code, headers, raw body bytes.
 #[derive(Debug)]
 pub struct Response {
     /// The HTTP status code.
     pub status: u16,
+    /// Headers with lower-cased names, in arrival order.
+    pub headers: Vec<(String, String)>,
     /// The response body.
     pub body: Vec<u8>,
 }
@@ -31,6 +38,123 @@ impl Response {
     /// The body as UTF-8 (the server only emits UTF-8 text).
     pub fn body_str(&self) -> &str {
         std::str::from_utf8(&self.body).expect("server responses are UTF-8")
+    }
+
+    /// First value of a (lower-case) header name, if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// The `Retry-After` delay in seconds, when the server sent one
+    /// (queue-full `503`s do).
+    pub fn retry_after(&self) -> Option<u64> {
+        self.header("retry-after")?.parse().ok()
+    }
+
+    /// Classify a `503`: transient backpressure worth retrying, or a
+    /// draining server that will not come back. `None` for every other
+    /// status.
+    pub fn unavailable(&self) -> Option<Unavailable> {
+        if self.status != 503 {
+            return None;
+        }
+        if self.body_str().contains("draining") {
+            Some(Unavailable::Draining)
+        } else {
+            Some(Unavailable::QueueFull { retry_after: self.retry_after() })
+        }
+    }
+}
+
+/// Why a `503` refused service — the two cases demand opposite client
+/// behavior: queue-full is transient (back off and retry, honoring
+/// `Retry-After`), draining is terminal for this server (fail over,
+/// never retry here).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Unavailable {
+    /// The connection queue was full; retry after backing off.
+    QueueFull {
+        /// The server's `Retry-After` advice, seconds.
+        retry_after: Option<u64>,
+    },
+    /// The server is draining; new connections will keep being refused.
+    Draining,
+}
+
+/// Bounded retry with exponential backoff and deterministic jitter,
+/// driving [`post_with_retry`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts, the first included (so `1` means no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles each retry after that.
+    pub base: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub cap: Duration,
+    /// Jitter seed — the same seed replays the same sleep schedule,
+    /// keeping retried runs as reproducible as everything else here.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base: Duration::from_millis(50),
+            cap: Duration::from_secs(2),
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before retry number `attempt` (0-based): exponential
+    /// growth capped at `cap`, then deterministic full jitter down to
+    /// half the window — the spread that keeps synchronized clients
+    /// from re-stampeding a recovering server.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let exp = self.base.saturating_mul(1u32 << attempt.min(16)).min(self.cap);
+        let nanos = exp.as_nanos() as u64;
+        let span = nanos / 2 + 1;
+        // SplitMix64 over (seed, attempt): stateless and replayable.
+        let mut x = self.seed.wrapping_add((attempt as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15));
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+        x ^= x >> 31;
+        Duration::from_nanos(nanos / 2 + x % span)
+    }
+}
+
+/// [`post`] with bounded retry: connect failures and queue-full `503`s
+/// back off (honoring the server's `Retry-After` when it sends one)
+/// and try again up to `policy.max_attempts` total attempts; every
+/// other outcome — success, typed audit errors, and notably a
+/// *draining* `503` — returns immediately, because a draining server
+/// only gets worse.
+pub fn post_with_retry(
+    addr: SocketAddr,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+    policy: &RetryPolicy,
+) -> io::Result<Response> {
+    let mut attempt = 0u32;
+    loop {
+        let outcome = post(addr, path, headers, body);
+        let last = attempt + 1 >= policy.max_attempts.max(1);
+        let delay = match &outcome {
+            Ok(resp) => match resp.unavailable() {
+                Some(Unavailable::QueueFull { retry_after }) if !last => match retry_after {
+                    Some(secs) => Duration::from_secs(secs),
+                    None => policy.backoff(attempt),
+                },
+                _ => return outcome,
+            },
+            Err(_) if !last => policy.backoff(attempt),
+            Err(_) => return outcome,
+        };
+        std::thread::sleep(delay);
+        attempt += 1;
     }
 }
 
@@ -59,8 +183,16 @@ pub fn request(
     body: &[u8],
 ) -> io::Result<Response> {
     let mut conn = Connection::open(addr)?;
-    write_request(conn.reader.get_mut(), method, path, headers, body, true)?;
-    conn.recv()
+    let wrote = write_request(conn.reader.get_mut(), method, path, headers, body, true);
+    // A server shedding load (queue-full or draining 503) answers and
+    // closes before reading the whole request, so the send can die on
+    // a broken pipe with the response already buffered. Read it
+    // regardless; only when there is no response does the write error
+    // matter.
+    match conn.recv() {
+        Ok(response) => Ok(response),
+        Err(recv_err) => Err(wrote.err().unwrap_or(recv_err)),
+    }
 }
 
 /// A persistent connection to the server: any number of
@@ -109,7 +241,9 @@ impl Connection {
         read_response(&mut self.reader)
     }
 
-    /// One request/response exchange, connection kept open.
+    /// One request/response exchange, connection kept open. Like
+    /// [`request`], a send cut short by the server answering early
+    /// (and closing) still yields the buffered response.
     pub fn request(
         &mut self,
         method: &str,
@@ -117,8 +251,11 @@ impl Connection {
         headers: &[(&str, &str)],
         body: &[u8],
     ) -> io::Result<Response> {
-        self.send(method, path, headers, body)?;
-        self.recv()
+        let sent = self.send(method, path, headers, body);
+        match self.recv() {
+            Ok(response) => Ok(response),
+            Err(recv_err) => Err(sent.err().unwrap_or(recv_err)),
+        }
     }
 }
 
@@ -153,6 +290,7 @@ fn read_response(reader: &mut BufReader<TcpStream>) -> io::Result<Response> {
         status_line.split(' ').nth(1).and_then(|s| s.parse::<u16>().ok()).ok_or_else(|| {
             io::Error::new(io::ErrorKind::InvalidData, format!("bad status line `{status_line}`"))
         })?;
+    let mut headers: Vec<(String, String)> = Vec::new();
     let mut content_length: Option<usize> = None;
     loop {
         let mut line = String::new();
@@ -164,9 +302,12 @@ fn read_response(reader: &mut BufReader<TcpStream>) -> io::Result<Response> {
             break;
         }
         if let Some((name, value)) = line.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
-                content_length = value.trim().parse::<usize>().ok();
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if name == "content-length" {
+                content_length = value.parse::<usize>().ok();
             }
+            headers.push((name, value));
         }
     }
     let body = match content_length {
@@ -181,5 +322,5 @@ fn read_response(reader: &mut BufReader<TcpStream>) -> io::Result<Response> {
             body
         }
     };
-    Ok(Response { status, body })
+    Ok(Response { status, headers, body })
 }

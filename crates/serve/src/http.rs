@@ -167,6 +167,7 @@ pub fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         409 => "Conflict",
         413 => "Payload Too Large",
         500 => "Internal Server Error",
@@ -185,13 +186,31 @@ pub fn write_response<W: Write>(
     body: &[u8],
     close: bool,
 ) -> io::Result<()> {
+    write_response_with(stream, status, content_type, body, close, &[])
+}
+
+/// [`write_response`] plus arbitrary extra headers — the door through
+/// which backpressure metadata (`Retry-After` on queue-full `503`s)
+/// reaches the wire.
+pub fn write_response_with<W: Write>(
+    stream: &mut W,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    close: bool,
+    extra_headers: &[(&str, &str)],
+) -> io::Result<()> {
     let connection = if close { "close" } else { "keep-alive" };
     write!(
         stream,
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n",
         reason(status),
         body.len()
     )?;
+    for (name, value) in extra_headers {
+        write!(stream, "{name}: {value}\r\n")?;
+    }
+    stream.write_all(b"\r\n")?;
     stream.write_all(body)?;
     stream.flush()
 }
@@ -265,6 +284,18 @@ mod tests {
         write_response(&mut out, 200, "text/csv", b"ok\n", false).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
+    }
+
+    #[test]
+    fn extra_headers_ride_the_response_head() {
+        let mut out = Vec::new();
+        write_response_with(&mut out, 503, "text/plain", b"busy\n", true, &[("Retry-After", "2")])
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"), "{text}");
+        assert!(text.contains("Retry-After: 2\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\nbusy\n"), "{text}");
+        assert_eq!(reason(408), "Request Timeout");
     }
 
     #[test]

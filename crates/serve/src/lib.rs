@@ -12,12 +12,16 @@
 //!   name or 16-hex schema fingerprint, with per-model lock-free
 //!   service counters;
 //! * [`server`] — acceptor + bounded connection queue + worker pool
-//!   over `std::net::TcpListener`; `503` load-shedding at the queue
-//!   bound, panic-isolated handlers, clean drain-then-join shutdown;
+//!   over `std::net::TcpListener`; `503` load-shedding (with
+//!   `Retry-After`) at the queue bound, read/write timeouts and a
+//!   per-request wall-clock deadline (`408`) on every socket,
+//!   panic-isolated handlers, graceful drain
+//!   ([`Server::begin_drain`]) and clean drain-then-join shutdown;
 //! * [`http`] — the deliberately small HTTP/1.1 subset the daemon
 //!   speaks (one request per connection, `Content-Length` bodies);
 //! * [`client`] — a zero-dependency blocking client for tests and
-//!   scripts.
+//!   scripts, with bounded-backoff retry ([`client::post_with_retry`])
+//!   that honors `Retry-After` and refuses to retry a draining server.
 //!
 //! Responses are byte-identical to the batch tool: a streamed request
 //! answers with exactly the CSV `dq detect` would have written for the

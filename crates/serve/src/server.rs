@@ -6,9 +6,14 @@
 //! (HTTP/1.1 keep-alive) until the client hangs up, asks for
 //! `Connection: close`, stalls past the read timeout, or sends
 //! something malformed. When the queue is full the acceptor answers
-//! `503` inline and drops the connection — that is the whole
-//! backpressure story, load is shed at the door instead of queueing
-//! unboundedly. Handlers run the resident
+//! `503` inline (with a `Retry-After` hint) and drops the connection —
+//! that is the whole backpressure story, load is shed at the door
+//! instead of queueing unboundedly. Read *and* write timeouts bound
+//! every socket op, a per-request wall-clock deadline turns
+//! slow-trickling requests into `408`s (`DeadlineStream`), and
+//! [`Server::begin_drain`] winds the daemon down gracefully: new
+//! connections get a distinct `503 … draining` while in-flight and
+//! queued requests finish. Handlers run the resident
 //! [`AuditEngine`](dq_core::AuditEngine)s behind `Arc`s (no locks on
 //! the hot path; the engine is `Sync` by construction) and are wrapped
 //! in `catch_unwind`, so a panicking request costs one `500`, not the
@@ -36,13 +41,13 @@ use crate::http::{self, HttpError, Request};
 use crate::registry::{ModelEntry, ModelRegistry};
 use dq_core::{corrections_to_csv, propose_corrections, AuditError, AuditReport};
 use std::collections::VecDeque;
-use std::io::{self, BufReader};
+use std::io::{self, BufReader, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Server tuning knobs. The defaults suit the tests and small
 /// deployments; `dq serve` exposes each as a flag.
@@ -63,6 +68,19 @@ pub struct ServeConfig {
     pub max_body: usize,
     /// Socket read timeout, so a stalled client cannot pin a worker.
     pub read_timeout: Option<Duration>,
+    /// Socket write timeout, so a client that stops *reading* cannot
+    /// pin a worker mid-response either.
+    pub write_timeout: Option<Duration>,
+    /// Per-request wall-clock deadline, armed at the first byte of a
+    /// request line and cleared once the request is parsed. A body
+    /// trickling in slower than this answers `408 Request Timeout`
+    /// instead of holding a worker; idle keep-alive waits between
+    /// requests are governed by `read_timeout` alone. `None` disables
+    /// the deadline.
+    pub request_deadline: Option<Duration>,
+    /// Advisory `Retry-After` seconds carried by queue-full `503`s —
+    /// the client-visible half of the backpressure story.
+    pub retry_after_secs: u64,
 }
 
 impl Default for ServeConfig {
@@ -73,6 +91,9 @@ impl Default for ServeConfig {
             chunk_rows: 4096,
             max_body: 64 << 20,
             read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+            request_deadline: Some(Duration::from_secs(60)),
+            retry_after_secs: 1,
         }
     }
 }
@@ -84,6 +105,9 @@ struct Shared {
     queue: Mutex<VecDeque<TcpStream>>,
     ready: Condvar,
     stop: AtomicBool,
+    /// Drain mode: new connections are refused with a distinct `503`,
+    /// in-flight requests finish, `/health` reports `draining`.
+    draining: AtomicBool,
 }
 
 /// A running audit server. Dropping the handle leaks the threads;
@@ -114,6 +138,7 @@ impl Server {
             queue: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
             stop: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
         });
 
         let acceptor = {
@@ -139,9 +164,26 @@ impl Server {
         &self.shared.registry
     }
 
+    /// Flip into drain mode without stopping: the acceptor refuses new
+    /// connections with `503` bodies saying `draining` (distinct from
+    /// queue-full shedding), `/health` answers `503 draining`, `/stats`
+    /// stays readable on existing connections, in-flight and queued
+    /// requests finish, and every response while draining carries
+    /// `Connection: close` so keep-alive connections wind down. Call
+    /// [`Server::shutdown`] afterwards for the full stop.
+    pub fn begin_drain(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether [`Server::begin_drain`] has been called.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
     /// Stop accepting, drain the queue, join every thread. In-flight
     /// and already-queued requests complete; nothing is dropped.
     pub fn shutdown(self) {
+        self.begin_drain();
         self.shared.stop.store(true, Ordering::SeqCst);
         // Wake the acceptor out of its blocking accept.
         let _ = TcpStream::connect(self.addr);
@@ -179,16 +221,32 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
         if shared.stop.load(Ordering::SeqCst) {
             return;
         }
-        let mut queue = shared.queue.lock().unwrap();
-        if queue.len() >= shared.config.queue_depth {
-            drop(queue);
+        // Shed responses are a few dozen bytes, but bound the write
+        // anyway so a peer that never reads cannot pin the acceptor.
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+        if shared.draining.load(Ordering::SeqCst) {
             let mut stream = stream;
             let _ = http::write_response(
                 &mut stream,
                 503,
                 "text/plain; charset=utf-8",
+                b"error: server is draining, not accepting new connections\n",
+                true,
+            );
+            continue;
+        }
+        let mut queue = shared.queue.lock().unwrap();
+        if queue.len() >= shared.config.queue_depth {
+            drop(queue);
+            let mut stream = stream;
+            let retry_after = shared.config.retry_after_secs.to_string();
+            let _ = http::write_response_with(
+                &mut stream,
+                503,
+                "text/plain; charset=utf-8",
                 b"error: request queue is full, retry later\n",
                 true,
+                &[("Retry-After", retry_after.as_str())],
             );
             continue;
         }
@@ -222,19 +280,117 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
+/// A [`Read`] wrapper enforcing the per-request wall-clock deadline.
+///
+/// The deadline arms at the first byte of a request and is cleared by
+/// [`DeadlineStream::disarm`] before the next one, so idle keep-alive
+/// waits face only the plain read timeout. Each read bounds its socket
+/// timeout by the time remaining; when that runs out — a body
+/// trickling in slower than the deadline, or a stall mid-request —
+/// the read fails and [`DeadlineStream::deadline_hit`] latches, which
+/// the connection loop answers with `408`.
+struct DeadlineStream {
+    stream: TcpStream,
+    read_timeout: Option<Duration>,
+    deadline: Option<Duration>,
+    /// Arm time: the instant the current request's first byte arrived.
+    started: Option<Instant>,
+    deadline_hit: bool,
+}
+
+impl DeadlineStream {
+    fn new(stream: TcpStream, read_timeout: Option<Duration>, deadline: Option<Duration>) -> Self {
+        DeadlineStream { stream, read_timeout, deadline, started: None, deadline_hit: false }
+    }
+
+    /// Clear the armed deadline: the current request is fully read.
+    fn disarm(&mut self) {
+        self.started = None;
+    }
+
+    fn deadline_hit(&self) -> bool {
+        self.deadline_hit
+    }
+
+    fn stream_mut(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
+
+    fn expire(&mut self) -> io::Error {
+        self.deadline_hit = true;
+        io::Error::new(io::ErrorKind::TimedOut, "request deadline exceeded")
+    }
+}
+
+impl Read for DeadlineStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let effective = match (self.deadline, self.started) {
+            (Some(deadline), Some(started)) => {
+                let Some(remaining) = deadline.checked_sub(started.elapsed()) else {
+                    return Err(self.expire());
+                };
+                Some(self.read_timeout.map_or(remaining, |t| t.min(remaining)))
+            }
+            _ => self.read_timeout,
+        };
+        // Zero means "no timeout" to the socket layer; clamp up so an
+        // almost-expired deadline still times out instead of blocking.
+        self.stream.set_read_timeout(effective.map(|t| t.max(Duration::from_millis(1))))?;
+        match self.stream.read(buf) {
+            Ok(n) => {
+                if n > 0 && self.started.is_none() {
+                    self.started = Some(Instant::now());
+                }
+                Ok(n)
+            }
+            // A timeout while a request is partially read: the peer is
+            // too slow for the deadline (SO_RCVTIMEO surfaces as either
+            // kind depending on platform).
+            Err(e)
+                if matches!(e.kind(), io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock)
+                    && self.started.is_some() =>
+            {
+                Err(self.expire())
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
 /// Serve one connection: requests are read, routed and answered in a
 /// loop until the peer closes, asks for `Connection: close` (or is
 /// HTTP/1.0 without opting in), stalls, or breaks framing — a
 /// malformed request or a handler panic gets its error response and
 /// then the connection closes, since the byte stream can no longer be
-/// trusted.
+/// trusted. A request that outlives the configured deadline gets `408`
+/// before the close; while the server drains, every response forces
+/// `Connection: close` so keep-alive clients wind down.
 fn handle_connection(shared: &Shared, stream: TcpStream) {
-    let _ = stream.set_read_timeout(shared.config.read_timeout);
-    let mut reader = BufReader::new(stream);
+    // A socket whose writes cannot be bounded must not be served at
+    // all — an unbounded write hands a never-reading client a worker,
+    // which is the pinning this timeout exists to prevent.
+    if let Err(e) = stream.set_write_timeout(shared.config.write_timeout) {
+        eprintln!("dq-serve: dropping connection: set_write_timeout failed: {e}");
+        return;
+    }
+    let mut reader = BufReader::new(DeadlineStream::new(
+        stream,
+        shared.config.read_timeout,
+        shared.config.request_deadline,
+    ));
     loop {
+        reader.get_mut().disarm();
         let request = match http::read_request(&mut reader, shared.config.max_body) {
             Ok(request) => request,
             Err(err) => {
+                if reader.get_ref().deadline_hit() {
+                    respond_error(
+                        reader.get_mut().stream_mut(),
+                        408,
+                        "request not fully received within the server's deadline",
+                    );
+                    return;
+                }
                 let (status, message) = match err {
                     // Nothing arrived (or the peer vanished): nothing
                     // to say.
@@ -242,19 +398,23 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
                     HttpError::Malformed(_) => (400, err.to_string()),
                     HttpError::BodyTooLarge { .. } => (413, err.to_string()),
                 };
-                respond_error(reader.get_mut(), status, &message);
+                respond_error(reader.get_mut().stream_mut(), status, &message);
                 return;
             }
         };
-        let keep_alive = request.keep_alive();
+        let keep_alive = request.keep_alive() && !shared.draining.load(Ordering::SeqCst);
         let outcome = catch_unwind(AssertUnwindSafe(|| route(shared, &request)));
         let written = match outcome {
-            Ok((status, content_type, body)) => {
-                http::write_response(reader.get_mut(), status, content_type, &body, !keep_alive)
-                    .is_ok()
-            }
+            Ok((status, content_type, body)) => http::write_response(
+                reader.get_mut().stream_mut(),
+                status,
+                content_type,
+                &body,
+                !keep_alive,
+            )
+            .is_ok(),
             Err(_panic) => {
-                respond_error(reader.get_mut(), 500, "internal error while auditing");
+                respond_error(reader.get_mut().stream_mut(), 500, "internal error while auditing");
                 false
             }
         };
@@ -281,6 +441,12 @@ fn route(shared: &Shared, request: &Request) -> RouteAnswer {
     let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
     match segments.as_slice() {
         ["health"] => match request.method.as_str() {
+            // While draining, health flips so load balancers and
+            // probes steer away; /stats stays readable for the final
+            // reconciliation.
+            "GET" if shared.draining.load(Ordering::SeqCst) => {
+                (503, "text/plain; charset=utf-8", b"draining\n".to_vec())
+            }
             "GET" => (200, "text/plain; charset=utf-8", b"ok\n".to_vec()),
             _ => error_answer(405, "use GET /health"),
         },
@@ -524,6 +690,152 @@ mod tests {
             server.registry().resolve("calls").unwrap().stats.errors.load(Ordering::Relaxed);
         assert_eq!(errors, 2);
 
+        server.shutdown();
+    }
+
+    #[test]
+    fn drain_refuses_new_connections_but_finishes_in_flight_work() {
+        let (registry, table) = fixture();
+        let server = start(registry);
+        let addr = server.addr();
+
+        // Open keep-alive connections *before* the drain begins, and
+        // warm each one so a worker actually holds it (a connect alone
+        // can still be sitting in the accept backlog when the drain
+        // flag flips, and would then be refused at the door).
+        let mut audit_conn = client::Connection::open(addr).unwrap();
+        let mut stats_conn = client::Connection::open(addr).unwrap();
+        let mut health_conn = client::Connection::open(addr).unwrap();
+        for conn in [&mut audit_conn, &mut stats_conn, &mut health_conn] {
+            assert_eq!(conn.request("GET", "/health", &[], b"").unwrap().status, 200);
+        }
+
+        server.begin_drain();
+        assert!(server.is_draining());
+
+        // In-flight work still completes — and reconciles in /stats.
+        let mut csv = Vec::new();
+        dq_table::write_csv(&table, &mut csv).unwrap();
+        let resp = audit_conn.request("POST", "/audit/calls/stream", &[], &csv).unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body_str());
+        let stats = stats_conn.request("GET", "/stats", &[], b"").unwrap();
+        assert_eq!(stats.status, 200, "stats must stay readable while draining");
+        let line = stats.body_str().lines().find(|l| l.starts_with("calls,")).unwrap();
+        let fields: Vec<&str> = line.split(',').collect();
+        assert_eq!((fields[2], fields[3]), ("1", "401"), "exact reconciliation: {line}");
+
+        // Health flips to draining for probes on live connections.
+        let health = health_conn.request("GET", "/health", &[], b"").unwrap();
+        assert_eq!((health.status, health.body_str()), (503, "draining\n"));
+        assert_eq!(health.unavailable(), Some(client::Unavailable::Draining));
+
+        // New connections are refused with the *distinct* draining 503.
+        let refused = client::get(addr, "/health").unwrap();
+        assert_eq!(refused.status, 503);
+        assert_eq!(refused.unavailable(), Some(client::Unavailable::Draining));
+        assert!(refused.retry_after().is_none(), "draining is not a retry-later situation");
+
+        // Drain responses force the connection closed: a second request
+        // on the same connection must fail.
+        assert!(health_conn.request("GET", "/health", &[], b"").is_err());
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn slow_requests_answer_408_and_full_queues_carry_retry_after() {
+        let (registry, _) = fixture();
+        let config = ServeConfig {
+            workers: 1,
+            queue_depth: 1,
+            read_timeout: Some(Duration::from_secs(1)),
+            request_deadline: Some(Duration::from_secs(2)),
+            retry_after_secs: 7,
+            ..ServeConfig::default()
+        };
+        let server = Server::bind("127.0.0.1:0", registry, config).unwrap();
+        let addr = server.addr();
+
+        // Pin the single worker: promise a body, then trickle it slower
+        // than the wall-clock deadline (but faster than the read
+        // timeout — only the deadline can catch this client).
+        let mut slow = TcpStream::connect(addr).unwrap();
+        slow.write_all(b"POST /audit/calls/record HTTP/1.1\r\nContent-Length: 64\r\n\r\n404,")
+            .unwrap();
+        slow.flush().unwrap();
+        let trickle = {
+            let mut slow = slow.try_clone().unwrap();
+            std::thread::spawn(move || {
+                for _ in 0..15 {
+                    std::thread::sleep(Duration::from_millis(150));
+                    if slow.write_all(b"x").and_then(|()| slow.flush()).is_err() {
+                        break;
+                    }
+                }
+            })
+        };
+
+        // Give the worker time to pop the slow connection, then fill
+        // the one queue slot, then overflow it.
+        std::thread::sleep(Duration::from_millis(200));
+        let _queued = TcpStream::connect(addr).unwrap();
+        std::thread::sleep(Duration::from_millis(200));
+        let resp = client::get(addr, "/health").unwrap();
+        assert_eq!(resp.status, 503);
+        assert_eq!(resp.retry_after(), Some(7), "queue-full must advise Retry-After");
+        assert_eq!(
+            resp.unavailable(),
+            Some(client::Unavailable::QueueFull { retry_after: Some(7) })
+        );
+
+        // The pinned worker answers 408 once the deadline lapses —
+        // typed, not a silent hangup.
+        slow.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let mut answer = Vec::new();
+        std::io::Read::read_to_end(&mut slow, &mut answer).unwrap();
+        let text = String::from_utf8(answer).unwrap();
+        assert!(text.starts_with("HTTP/1.1 408 "), "{text}");
+        assert!(text.contains("deadline"), "{text}");
+        trickle.join().unwrap();
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn client_retry_backs_off_on_queue_full_and_stops_on_drain() {
+        // Deterministic backoff schedule: same seed, same sleeps.
+        let policy = client::RetryPolicy {
+            base: Duration::from_millis(64),
+            cap: Duration::from_millis(256),
+            ..client::RetryPolicy::default()
+        };
+        for attempt in 0..4 {
+            let a = policy.backoff(attempt);
+            let b = policy.backoff(attempt);
+            assert_eq!(a, b, "jitter must be replayable");
+            let exp = policy.base.saturating_mul(1 << attempt).min(policy.cap);
+            assert!(
+                a >= exp / 2 && a <= exp,
+                "attempt {attempt}: {a:?} outside [{exp:?}/2, {exp:?}]"
+            );
+        }
+
+        // Against a draining server, retry returns the 503 immediately
+        // (one attempt, no backoff sleeps).
+        let (registry, _) = fixture();
+        let server = start(registry);
+        server.begin_drain();
+        let started = std::time::Instant::now();
+        let resp = client::post_with_retry(
+            server.addr(),
+            "/audit/calls/record",
+            &[],
+            b"404,901",
+            &client::RetryPolicy { base: Duration::from_secs(5), ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(resp.unavailable(), Some(client::Unavailable::Draining));
+        assert!(started.elapsed() < Duration::from_secs(2), "draining must not be retried");
         server.shutdown();
     }
 

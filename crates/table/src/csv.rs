@@ -130,6 +130,9 @@ pub struct CsvChunkReader<R: BufRead> {
     line: String,
     done: bool,
     rows_emitted: usize,
+    /// Out-of-band row count the stream must deliver exactly; see
+    /// [`CsvChunkReader::with_expected_rows`].
+    expected_rows: Option<usize>,
 }
 
 impl<R: BufRead> CsvChunkReader<R> {
@@ -164,7 +167,20 @@ impl<R: BufRead> CsvChunkReader<R> {
             line: String::new(),
             done: false,
             rows_emitted: 0,
+            expected_rows: None,
         })
+    }
+
+    /// Declare how many data rows the stream must deliver. CSV carries
+    /// no framing, so a stream torn exactly at a line boundary is
+    /// indistinguishable from a shorter file — unless the consumer
+    /// knows the count out of band (a paged manifest, a generator's
+    /// row budget, a chaos harness). With an expectation set, an early
+    /// end of stream becomes a typed [`TableError::Csv`] naming both
+    /// counts instead of a silently truncated relation.
+    pub fn with_expected_rows(mut self, n_rows: usize) -> Self {
+        self.expected_rows = Some(n_rows);
+        self
     }
 
     /// The physical line number of the last line read (1-based; the
@@ -232,7 +248,16 @@ impl<R: BufRead> crate::batch::BatchSource for CsvChunkReader<R> {
             }
             Ok(None) => {
                 self.done = true;
-                Ok(None)
+                match self.expected_rows {
+                    Some(expected) if expected != self.rows_emitted => {
+                        Err(TableError::Csv(format!(
+                            "stream ended after {} data rows, expected {expected} \
+                             (line {}) — truncated input",
+                            self.rows_emitted, self.line_no
+                        )))
+                    }
+                    _ => Ok(None),
+                }
             }
             Err(e) => {
                 self.done = true;
@@ -243,6 +268,10 @@ impl<R: BufRead> crate::batch::BatchSource for CsvChunkReader<R> {
 
     fn rows_emitted(&self) -> usize {
         self.rows_emitted
+    }
+
+    fn row_count_hint(&self) -> Option<usize> {
+        self.expected_rows
     }
 }
 
@@ -452,6 +481,35 @@ mod tests {
         let err = reader.next().unwrap().unwrap_err();
         assert!(matches!(err, TableError::CsvCell { line: 4, .. }), "got {err:?}");
         assert!(reader.next().is_none(), "the iterator must fuse after an error");
+    }
+
+    #[test]
+    fn expected_rows_turns_boundary_truncation_into_a_typed_error() {
+        use crate::batch::BatchSource;
+        let input = "color,size,built\nred,1,\nred,2,\nred,3,\n";
+        // A tear exactly at a line boundary: 3 rows arrive where 5 were
+        // promised. Without the expectation this is a silently shorter
+        // relation; with it, a typed error naming both counts.
+        let mut reader =
+            CsvChunkReader::new(schema(), input.as_bytes(), 2).unwrap().with_expected_rows(5);
+        assert_eq!(reader.row_count_hint(), Some(5));
+        assert!(BatchSource::next_batch(&mut reader).unwrap().is_some());
+        let err = loop {
+            match BatchSource::next_batch(&mut reader) {
+                Ok(Some(_)) => continue,
+                Ok(None) => panic!("truncation must not end the stream cleanly"),
+                Err(e) => break e,
+            }
+        };
+        let msg = err.to_string();
+        assert!(msg.contains('3') && msg.contains('5') && msg.contains("truncated"), "{msg}");
+        assert!(matches!(BatchSource::next_batch(&mut reader), Ok(None)), "fused");
+
+        // The exact count passes untouched.
+        let mut reader =
+            CsvChunkReader::new(schema(), input.as_bytes(), 2).unwrap().with_expected_rows(3);
+        while BatchSource::next_batch(&mut reader).unwrap().is_some() {}
+        assert_eq!(reader.rows_emitted(), 3);
     }
 
     #[test]

@@ -24,6 +24,20 @@
 //! This is the third canonical [`BatchSource`] implementation (after
 //! [`crate::TableBatches`] and [`crate::CsvChunkReader`]) and the
 //! substrate for audits over relations larger than RAM.
+//!
+//! # Crash safety
+//!
+//! The manifest is the commit record: a directory without one is an
+//! uncommitted (or torn) spill, and [`PagedTable::open`] rejects it
+//! with a typed error naming the file. [`PagedWriter::finish`] makes
+//! that protocol atomic — each page is fsynced as it is sealed, the
+//! manifest is written to `manifest.dqpm.tmp`, fsynced, and renamed
+//! into place, and the directory entry itself is fsynced — so a crash
+//! (or `kill -9`) at *any* point leaves either a fully committed
+//! directory or one that `open` cleanly refuses. `open` also verifies
+//! every page file the manifest promises actually exists, and each
+//! page decode checks magic and row counts, so a torn page surfaces as
+//! a located [`TableError`], never as wrong rows.
 
 use crate::batch::BatchSource;
 use crate::column::Column;
@@ -36,6 +50,9 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
 const MANIFEST: &str = "manifest.dqpm";
+/// Staging name for the manifest during [`PagedWriter::finish`]; its
+/// presence without a `manifest.dqpm` marks a spill torn mid-commit.
+const MANIFEST_TMP: &str = "manifest.dqpm.tmp";
 const MAGIC: &[u8; 4] = b"DQPG";
 /// Default page size, rows — matches the generator's chunk unit.
 pub const DEFAULT_PAGE_ROWS: usize = 4096;
@@ -103,14 +120,22 @@ impl PagedWriter {
         self.finish()
     }
 
-    /// Flush the final partial page, write the manifest, and reopen
+    /// Flush the final partial page, commit the manifest, and reopen
     /// the directory for reading.
+    ///
+    /// The commit is crash-safe: the manifest is staged to
+    /// `manifest.dqpm.tmp`, fsynced, atomically renamed into place,
+    /// and the directory entry is fsynced. A crash anywhere before the
+    /// rename leaves no manifest (or only the staged temp file), and
+    /// [`PagedTable::open`] rejects such a directory with a typed
+    /// error instead of reading a partial relation.
     pub fn finish(mut self) -> Result<PagedTable, TableError> {
         if !self.pending.is_empty() {
             let last = std::mem::replace(&mut self.pending, Table::new(self.schema.clone()));
             self.write_page(&last)?;
         }
         let path = self.dir.join(MANIFEST);
+        let tmp = self.dir.join(MANIFEST_TMP);
         let text = format!(
             "dq-paged v1\nfingerprint {:016x}\npage_rows {}\nn_rows {}\nn_pages {}\n",
             self.schema.fingerprint(),
@@ -118,7 +143,12 @@ impl PagedWriter {
             self.n_rows,
             self.n_pages
         );
-        std::fs::write(&path, text).map_err(|e| located(&path, e))?;
+        let mut staged = std::fs::File::create(&tmp).map_err(|e| located(&tmp, e))?;
+        staged.write_all(text.as_bytes()).map_err(|e| located(&tmp, e))?;
+        staged.sync_all().map_err(|e| located(&tmp, e))?;
+        drop(staged);
+        std::fs::rename(&tmp, &path).map_err(|e| located(&path, e))?;
+        sync_dir(&self.dir)?;
         PagedTable::open(self.dir, self.schema)
     }
 
@@ -128,9 +158,25 @@ impl PagedWriter {
         let mut w = BufWriter::new(file);
         encode_page(page, &mut w).map_err(|e| located(&path, e))?;
         w.flush().map_err(|e| located(&path, e))?;
+        // Durable before the manifest can commit it.
+        w.get_ref().sync_all().map_err(|e| located(&path, e))?;
         self.n_pages += 1;
         Ok(())
     }
+}
+
+/// Fsync a directory so a just-renamed entry survives power loss.
+/// Directory handles only support this on unix; elsewhere the rename
+/// alone is the best available ordering.
+fn sync_dir(dir: &Path) -> Result<(), TableError> {
+    #[cfg(unix)]
+    {
+        let handle = std::fs::File::open(dir).map_err(|e| located(dir, e))?;
+        handle.sync_all().map_err(|e| located(dir, e))?;
+    }
+    #[cfg(not(unix))]
+    let _ = dir;
+    Ok(())
 }
 
 fn encode_page<W: Write>(page: &Table, w: &mut W) -> std::io::Result<()> {
@@ -296,10 +342,31 @@ impl Lru {
 impl PagedTable {
     /// Open a page directory written by [`PagedWriter`]; the manifest's
     /// schema fingerprint must match `schema`'s.
+    ///
+    /// A directory whose writer never reached the manifest commit —
+    /// dropped mid-append, killed mid-spill, or crashed between
+    /// staging and renaming the manifest — is rejected with a typed
+    /// [`TableError`] naming the missing file (and the leftover
+    /// `manifest.dqpm.tmp`, when one marks a torn commit). The page
+    /// files the manifest promises are verified to exist up front.
     pub fn open(dir: impl Into<PathBuf>, schema: Arc<Schema>) -> Result<Self, TableError> {
         let dir = dir.into();
         let path = dir.join(MANIFEST);
-        let text = std::fs::read_to_string(&path).map_err(|e| located(&path, e))?;
+        let text = std::fs::read_to_string(&path).map_err(|e| {
+            let tmp = dir.join(MANIFEST_TMP);
+            if tmp.exists() {
+                located(
+                    &path,
+                    format!(
+                        "{e} (staged `{}` present — the writer crashed mid-commit; \
+                         the spill is incomplete)",
+                        tmp.display()
+                    ),
+                )
+            } else {
+                located(&path, e)
+            }
+        })?;
         let mut lines = text.lines();
         if lines.next() != Some("dq-paged v1") {
             return Err(located(&path, "not a dq-paged v1 manifest"));
@@ -325,6 +392,14 @@ impl PagedTable {
         }
         if page_rows == 0 || n_pages != n_rows.div_ceil(page_rows) {
             return Err(located(&path, "inconsistent page geometry"));
+        }
+        // Every page the manifest commits to must be present; a torn
+        // directory is rejected here rather than mid-scan.
+        for index in 0..n_pages {
+            let page = dir.join(format!("page-{index}.dqp"));
+            if !page.is_file() {
+                return Err(located(&page, "page file missing from committed manifest"));
+            }
         }
         Ok(PagedTable {
             dir,
@@ -570,6 +645,66 @@ mod tests {
         // Missing directory.
         std::fs::remove_dir_all(&d).unwrap();
         assert!(PagedTable::open(&d, t.schema().clone()).is_err());
+    }
+
+    #[test]
+    fn writer_dropped_mid_append_leaves_a_rejected_directory() {
+        let t = fixture(30);
+        let d = dir("crash");
+        {
+            let mut w = PagedWriter::create(&d, t.schema().clone(), 4).unwrap();
+            // Several pages reach disk, then the "process dies" before
+            // finish(): the drop writes no manifest.
+            w.append_batch(&t.slice_rows(0, 20).unwrap()).unwrap();
+        }
+        assert!(d.join("page-0.dqp").is_file(), "pages did spill");
+        let err = PagedTable::open(&d, t.schema().clone()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains(MANIFEST), "must name the missing commit record: {msg}");
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn torn_manifest_rename_is_rejected_with_a_crash_hint() {
+        let t = fixture(10);
+        let d = dir("torn");
+        PagedWriter::create(&d, t.schema().clone(), 4).unwrap().spill(t.batches(3)).unwrap();
+        // Simulate a crash between staging and renaming the manifest:
+        // the commit record exists only under its temp name.
+        std::fs::rename(d.join(MANIFEST), d.join(MANIFEST_TMP)).unwrap();
+        let err = PagedTable::open(&d, t.schema().clone()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains(MANIFEST_TMP) && msg.contains("mid-commit"), "{msg}");
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_a_manifest_promising_absent_pages() {
+        let t = fixture(10);
+        let d = dir("absent");
+        PagedWriter::create(&d, t.schema().clone(), 4).unwrap().spill(t.batches(3)).unwrap();
+        std::fs::remove_file(d.join("page-2.dqp")).unwrap();
+        let err = PagedTable::open(&d, t.schema().clone()).unwrap_err();
+        assert!(err.to_string().contains("page-2.dqp"), "{err}");
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn truncated_page_file_is_a_located_error_not_wrong_rows() {
+        let t = fixture(10);
+        let d = dir("trunc");
+        let paged =
+            PagedWriter::create(&d, t.schema().clone(), 4).unwrap().spill(t.batches(3)).unwrap();
+        // Tear the middle page to a prefix of itself.
+        let page = d.join("page-1.dqp");
+        let bytes = std::fs::read(&page).unwrap();
+        std::fs::write(&page, &bytes[..bytes.len() / 2]).unwrap();
+        let mut src = paged.batches();
+        assert_eq!(src.next_batch().unwrap().unwrap().n_rows(), 4);
+        let err = src.next_batch().unwrap_err();
+        assert!(err.to_string().contains("page-1.dqp"), "{err}");
+        assert!(matches!(src.next_batch(), Ok(None)), "fused after the tear");
+        std::fs::remove_dir_all(&d).unwrap();
     }
 
     #[test]

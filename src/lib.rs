@@ -12,6 +12,9 @@
 //! * [`exec`] — a std-only scoped worker pool with deterministic
 //!   input-order results plus the shared `Parallelism` knob, the
 //!   execution substrate of every parallel phase;
+//! * [`fault`] — deterministic fault injection: seeded replayable
+//!   fault plans, `FaultSource` batch-stream wrappers and fault-capable
+//!   `Read`/`Write` adapters used by the chaos suite;
 //! * [`stats`] — confidence intervals, entropy measures, distributions,
 //!   evaluation matrices;
 //! * [`logic`] — TDG formulae/rules, satisfiability, natural rule sets;
@@ -83,7 +86,10 @@
 //! itself is std-only and depends on nothing: it supplies the shared
 //! [`exec::Parallelism`] knob (explicit count > `DQ_THREADS` > cores)
 //! and worker pool to `mining`, `tdg`, `core`, `serve`, `eval`,
-//! `bench` and the CLI. The `rand`/`proptest`/`criterion` dependencies
+//! `bench` and the CLI. `fault` depends only on `table`: it wraps any
+//! `BatchSource` or byte stream with a seeded, replayable fault
+//! schedule (the chaos suite's instrument — see the README's "Fault
+//! tolerance" section). The `rand`/`proptest`/`criterion` dependencies
 //! resolve to offline, API-compatible shims under `shims/` because the
 //! build environment has no crates.io access.
 //!
@@ -99,6 +105,7 @@ pub use dq_bayes as bayes;
 pub use dq_core as core;
 pub use dq_eval as eval;
 pub use dq_exec as exec;
+pub use dq_fault as fault;
 pub use dq_logic as logic;
 pub use dq_mining as mining;
 pub use dq_pollute as pollute;
@@ -142,6 +149,7 @@ pub mod prelude {
     };
     pub use dq_eval::{Scale, Series, TestEnvironment};
     pub use dq_exec::{Parallelism, WorkerPool};
+    pub use dq_fault::{FaultPlan, FaultProfile, FaultRead, FaultSource, FaultWrite};
     pub use dq_logic::{parse_formula, parse_rule, Atom, Formula, Rule, RuleSet};
     pub use dq_mining::InducerKind;
     pub use dq_pollute::{pollute, Polluter, PollutionConfig, PollutionLog, PollutionStep};

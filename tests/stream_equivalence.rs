@@ -107,6 +107,48 @@ fn generate_stream_matches_generate_table_across_chunks_and_threads() {
     }
 }
 
+/// The zero-fault identity: wrapping any stage of the pipeline in the
+/// chaos adapters with an **empty** [`FaultPlan`] changes nothing —
+/// same bytes through [`FaultRead`]/[`FaultWrite`], same batches and
+/// f64 bits through [`FaultSource`], same caller-visible
+/// [`BatchSource`] accounting. This is what makes the chaos soak
+/// meaningful: any divergence under a seeded plan is the *plan's*
+/// doing, not the wrappers'.
+#[test]
+fn empty_fault_plan_is_a_pure_pass_through() {
+    use std::io::{Read as _, Write as _};
+
+    let schema = schema();
+    let (rules, _) = generate_rule_set(
+        &schema,
+        &RuleGenConfig { n_rules: 8, ..RuleGenConfig::default() },
+        &mut StdRng::seed_from_u64(5),
+    );
+    let config = DataGenConfig::new(&schema, 1500);
+    let mut rng = StdRng::seed_from_u64(9);
+    let (reference, _) = data_audit::tdg::generate_table(&schema, &rules, &config, &mut rng);
+    let reference_csv = csv(&reference);
+    let plan = FaultPlan::none();
+
+    // Source level: batch stream unchanged, batch boundaries included.
+    let mut wrapped = FaultSource::new(reference.batches(113), &plan);
+    assert_eq!(wrapped.row_count_hint(), reference.batches(113).row_count_hint());
+    let streamed = drain(&mut wrapped);
+    assert_cells_bit_equal(&streamed, &reference);
+    assert_eq!(csv(&streamed), reference_csv);
+
+    // Read level: identical bytes through FaultRead.
+    let mut read_back = Vec::new();
+    FaultRead::new(reference_csv.as_bytes(), &plan).read_to_end(&mut read_back).unwrap();
+    assert_eq!(read_back, reference_csv.as_bytes());
+
+    // Write level: identical bytes through FaultWrite.
+    let mut writer = FaultWrite::new(Vec::new(), &plan);
+    writer.write_all(reference_csv.as_bytes()).unwrap();
+    writer.flush().unwrap();
+    assert_eq!(writer.into_inner(), reference_csv.as_bytes());
+}
+
 /// Detection over the paged on-disk backend ≡ in-memory detection, on
 /// random polluted tables: same findings CSV, same per-record
 /// confidence bits.
