@@ -82,6 +82,42 @@ fn data_generation(c: &mut Criterion) {
         })
     });
     group.finish();
+    // The same streamed drain, checkpointed: a `dq-job v1` journal
+    // (cursor + RNG state) fsyncs every 16 batches, exactly what `dq
+    // generate --checkpoint --checkpoint-every 16` adds to the hot
+    // loop. Compare against tdg/stream/1000000 to price kill-anywhere
+    // resumability; the target is <5% overhead.
+    let mut group = c.benchmark_group("tdg/stream-checkpointed");
+    let generator = baseline.generator(100, 1_000_000);
+    let ckpt_root = std::env::temp_dir().join(format!("dq-bench-ckpt-{}", std::process::id()));
+    group.throughput(Throughput::Elements(1_000_000));
+    group.sample_size(3);
+    group.bench_with_input(BenchmarkId::from_parameter(1_000_000), &generator, |b, g| {
+        b.iter(|| {
+            let mut ckpt =
+                dq_job::CheckpointDir::create(&ckpt_root).expect("create checkpoint dir");
+            let mut journal = dq_job::Journal::new("bench", 0, g.schema.fingerprint());
+            let mut rng = StdRng::seed_from_u64(11);
+            let mut stream =
+                GenerateStream::new(g.schema.clone(), rules.clone(), g.data.clone(), &mut rng);
+            let mut rows = 0usize;
+            let mut batches = 0usize;
+            while let Some(batch) = stream.next_batch().expect("generation cannot fail") {
+                rows += batch.n_rows();
+                batches += 1;
+                if batches % 16 == 0 {
+                    journal.cursor_rows = rows as u64;
+                    journal.set_output("clean.csv", dq_job::Watermark::Bytes(rows as u64));
+                    ckpt.save(&journal).expect("journal save");
+                }
+            }
+            journal.done = true;
+            ckpt.save(&journal).expect("final save");
+            rows
+        })
+    });
+    let _ = std::fs::remove_dir_all(&ckpt_root);
+    group.finish();
     let mut group = c.benchmark_group("tdg/data-reference");
     let generator = baseline.generator(100, 10_000);
     group.throughput(Throughput::Elements(10_000));

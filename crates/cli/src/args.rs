@@ -1,9 +1,11 @@
 //! A tiny, std-only `--flag value` parser.
 //!
-//! Every `dq` flag takes exactly one value; there are no positional
-//! arguments past the subcommand and no combined short forms. Unknown
-//! flags are rejected against the subcommand's allow-list so a typo
-//! fails loudly instead of silently running with defaults.
+//! Almost every `dq` flag takes exactly one value; a subcommand may
+//! additionally declare bare *switches* (`--resume`) that take none.
+//! There are no positional arguments past the subcommand and no
+//! combined short forms. Unknown flags are rejected against the
+//! subcommand's allow-list so a typo fails loudly instead of silently
+//! running with defaults.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -21,12 +23,16 @@ pub enum CliError {
     /// The invocation is fine but the work failed (I/O, bad data,
     /// fingerprint mismatch, …).
     Runtime(String),
+    /// A declared error budget was exhausted (`dq detect
+    /// --max-bad-rows`): the run is degraded rather than broken, and
+    /// scripts need to tell the two apart — exit code 3.
+    Budget(String),
 }
 
 impl fmt::Display for CliError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CliError::Usage(m) | CliError::Runtime(m) => f.write_str(m),
+            CliError::Usage(m) | CliError::Runtime(m) | CliError::Budget(m) => f.write_str(m),
         }
     }
 }
@@ -43,22 +49,43 @@ impl From<String> for CliError {
 #[derive(Debug, Default)]
 pub struct Flags {
     values: HashMap<String, String>,
+    switches: Vec<String>,
 }
 
 impl Flags {
     /// Parse `--key value` pairs, validating against `allowed` (flag
     /// names without the `--` prefix).
     pub fn parse(args: &[String], allowed: &[&str]) -> Result<Flags, CliError> {
+        Flags::parse_with_switches(args, allowed, &[])
+    }
+
+    /// Parse `--key value` pairs plus bare `--switch` flags that take
+    /// no value (`switches`, also without the `--` prefix).
+    pub fn parse_with_switches(
+        args: &[String],
+        allowed: &[&str],
+        switches: &[&str],
+    ) -> Result<Flags, CliError> {
         let mut values = HashMap::new();
+        let mut seen_switches = Vec::new();
         let mut it = args.iter();
         while let Some(arg) = it.next() {
             let key = arg
                 .strip_prefix("--")
                 .ok_or_else(|| CliError::Usage(format!("expected a `--flag`, got `{arg}`")))?;
+            if switches.contains(&key) {
+                if seen_switches.iter().any(|s| s == key) {
+                    return Err(CliError::Usage(format!("flag `--{key}` given twice")));
+                }
+                seen_switches.push(key.to_string());
+                continue;
+            }
             if !allowed.contains(&key) {
+                let all: Vec<String> =
+                    allowed.iter().chain(switches).map(|a| format!("--{a}")).collect();
                 return Err(CliError::Usage(format!(
                     "unknown flag `--{key}` (expected one of: {})",
-                    allowed.iter().map(|a| format!("--{a}")).collect::<Vec<_>>().join(", ")
+                    all.join(", ")
                 )));
             }
             let value = it
@@ -68,12 +95,17 @@ impl Flags {
                 return Err(CliError::Usage(format!("flag `--{key}` given twice")));
             }
         }
-        Ok(Flags { values })
+        Ok(Flags { values, switches: seen_switches })
     }
 
     /// The flag's raw value, if present.
     pub fn get(&self, key: &str) -> Option<&str> {
         self.values.get(key).map(String::as_str)
+    }
+
+    /// Was the bare switch present?
+    pub fn has(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
     }
 
     /// A required string flag.
@@ -153,6 +185,29 @@ mod tests {
         assert_eq!(ok.parse_positive_or("chunk-rows", 4096).unwrap(), 257);
         let zero = Flags::parse(&args(&["--chunk-rows", "0"]), &["chunk-rows"]).unwrap();
         assert!(matches!(zero.parse_positive_or("chunk-rows", 4096), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn switches_take_no_value() {
+        let f = Flags::parse_with_switches(
+            &args(&["--resume", "--checkpoint", "ck"]),
+            &["checkpoint"],
+            &["resume"],
+        )
+        .unwrap();
+        assert!(f.has("resume"));
+        assert!(!f.has("verbose"));
+        assert_eq!(f.require("checkpoint").unwrap(), "ck");
+        // A switch given twice, or an unknown flag, still fails loudly.
+        assert!(matches!(
+            Flags::parse_with_switches(&args(&["--resume", "--resume"]), &[], &["resume"]),
+            Err(CliError::Usage(_))
+        ));
+        let err = Flags::parse_with_switches(&args(&["--nope", "1"]), &["rows"], &["resume"]);
+        match err {
+            Err(CliError::Usage(m)) => assert!(m.contains("--resume"), "{m}"),
+            other => panic!("expected usage error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,78 @@
+//! Shared glue between the subcommands and the `dq_job` journal.
+//!
+//! Each checkpointed stage (`generate`, `pollute`, `detect`) owns its
+//! resume mechanics — seeking its stream, reopening its outputs at
+//! their watermarks — but they all start the same way: derive a config
+//! fingerprint from the flags that shape the output bytes, open the
+//! checkpoint directory, and decide between a fresh run, a resume, and
+//! a no-op (the journal says `done`). That decision tree, and its
+//! refusal messages, live here so every stage behaves identically.
+
+use crate::args::CliError;
+use dq_job::{fnv1a, CheckpointDir, JobError, Journal};
+
+/// Fingerprint a canonical `key=value` rendering of the flags that
+/// shape a job's output bytes. Flags that only change wall-clock time
+/// (`--threads`) or presentation (`--top`) are deliberately excluded
+/// by the callers: resuming under a different thread count is safe and
+/// allowed, resuming under a different seed is not.
+pub fn config_fingerprint(parts: &[(&str, String)]) -> u64 {
+    let text: String = parts.iter().map(|(key, value)| format!("{key}={value}\n")).collect();
+    fnv1a(text.as_bytes())
+}
+
+/// How a checkpointed invocation begins.
+#[derive(Debug)]
+pub enum Start {
+    /// No journal: run from scratch (writing the first journal at the
+    /// first commit).
+    Fresh,
+    /// A committed `running` journal to continue from.
+    Resume(Journal),
+    /// The journal says the job already finished — resuming is a
+    /// no-op, exit 0.
+    AlreadyDone,
+}
+
+/// The shared start-of-job decision: validate the journal (or its
+/// absence) against the `--resume` switch and this invocation's
+/// identity. Every refusal is loud and typed — a torn journal, a
+/// mutated config, a journal that belongs to another stage — and none
+/// of them ever degrades into a silent restart from zero.
+pub fn start_job(
+    ckpt: &CheckpointDir,
+    resume: bool,
+    kind: &str,
+    config: u64,
+    schema: u64,
+) -> Result<Start, CliError> {
+    if !resume {
+        if ckpt.has_journal() {
+            return Err(CliError::Runtime(format!(
+                "{}: a journal already exists; pass --resume to continue the job, or delete \
+                 the checkpoint directory to restart it from scratch",
+                ckpt.journal_path().display()
+            )));
+        }
+        return Ok(Start::Fresh);
+    }
+    let journal = match ckpt.load() {
+        Ok(journal) => journal,
+        Err(JobError::Missing(path)) => {
+            return Err(CliError::Runtime(format!(
+                "--resume: no journal at `{path}` — run without --resume to start the job"
+            )));
+        }
+        Err(e) => return Err(jerr(e)),
+    };
+    journal.validate(kind, config, schema).map_err(jerr)?;
+    if journal.done {
+        return Ok(Start::AlreadyDone);
+    }
+    Ok(Start::Resume(journal))
+}
+
+/// Checkpoint-layer failures are runtime errors (exit 1), never usage.
+pub fn jerr(e: JobError) -> CliError {
+    CliError::Runtime(e.to_string())
+}

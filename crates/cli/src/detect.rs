@@ -24,25 +24,43 @@
 //! over every complete chunk before the failure, the summary marks the
 //! scan partial, and the error — carrying the table layer's 1-based
 //! line number — goes to stderr with exit code 1.
+//!
+//! Two robustness modes extend that:
+//!
+//! * `--quarantine FILE` routes malformed CSV rows to a dead-letter
+//!   file (1-based line number, the typed parse error, the raw line)
+//!   instead of aborting the scan; `--max-bad-rows N` bounds the
+//!   budget, and overflowing it exits with the distinct code 3;
+//! * `--checkpoint DIR` journals the scan cursor and spills findings +
+//!   per-row confidences to binary sidecars at every
+//!   `--checkpoint-every`-batch boundary, so `--resume` continues a
+//!   killed audit with a final report byte-identical to an
+//!   uninterrupted one.
 
 use crate::args::{CliError, Flags};
+use crate::checkpoint::{config_fingerprint, jerr, start_job, Start};
 use crate::io_util::{load_schema, say, write_file};
-use dq_core::{corrections_to_csv, propose_corrections, AuditConfig, Auditor, StructureModel};
+use dq_core::{
+    corrections_to_csv, propose_corrections, AuditConfig, AuditEngine, AuditError, Auditor,
+    Finding, StructureModel,
+};
+use dq_job::{fnv1a, resume_file, CheckpointDir, CountingWriter, Journal, Watermark};
 use dq_serve::client::{post_with_retry, RetryPolicy, Unavailable};
-use dq_table::{CsvChunkReader, PagedTable};
+use dq_table::{BatchSource, CsvChunkReader, PagedTable, QuarantinedRow, TableError, Value};
 use std::fs::File;
-use std::io::BufReader;
+use std::io::{BufReader, Write};
 use std::net::ToSocketAddrs;
 use std::path::Path;
 use std::time::Instant;
 
 pub const USAGE: &str = "dq detect --schema F.dqs --model m.dqm --input data.csv|paged-dir \
-[--report report.csv] [--corrections c.csv] [--chunk-rows N] [--threads N] [--top N]
+[--report report.csv] [--corrections c.csv] [--chunk-rows N] [--threads N] [--top N] \
+[--quarantine bad.tsv --max-bad-rows N] [--checkpoint DIR] [--resume] [--checkpoint-every N]
        dq detect --server HOST:PORT --model-name NAME --input data.csv [--report report.csv] \
 [--retries N]";
 
 pub fn run(args: &[String]) -> Result<(), CliError> {
-    let flags = Flags::parse(
+    let flags = Flags::parse_with_switches(
         args,
         &[
             "schema",
@@ -56,7 +74,12 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
             "server",
             "model-name",
             "retries",
+            "quarantine",
+            "max-bad-rows",
+            "checkpoint",
+            "checkpoint-every",
         ],
+        &["resume"],
     )?;
     if let Some(server) = flags.get("server") {
         return remote(&flags, server);
@@ -69,6 +92,42 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     let chunk_rows: usize = flags.parse_positive_or("chunk-rows", 4096)?;
     let threads = flags.parse_positive_opt("threads")?;
     let top: usize = flags.parse_or("top", 10)?;
+    let quarantine = flags.get("quarantine").map(|p| Path::new(p).to_path_buf());
+    let max_bad_rows: Option<usize> = flags.parse_opt("max-bad-rows")?;
+    let checkpoint = flags.get("checkpoint").map(|d| Path::new(d).to_path_buf());
+    let every: usize = flags.parse_positive_or("checkpoint-every", 16)?;
+    let resume = flags.has("resume");
+
+    if max_bad_rows.is_some() && quarantine.is_none() {
+        return Err(CliError::Usage(format!(
+            "--max-bad-rows bounds the --quarantine budget; pass both\nusage: {USAGE}"
+        )));
+    }
+    if (resume || flags.get("checkpoint-every").is_some()) && checkpoint.is_none() {
+        return Err(CliError::Usage(format!(
+            "--resume/--checkpoint-every need --checkpoint DIR\nusage: {USAGE}"
+        )));
+    }
+    if quarantine.is_some() && checkpoint.is_some() {
+        return Err(CliError::Usage(format!(
+            "--quarantine and --checkpoint are mutually exclusive: a checkpointed scan must \
+             be deterministic in its row numbering, a quarantining scan deliberately is not\n\
+             usage: {USAGE}"
+        )));
+    }
+    if quarantine.is_some() && Path::new(input).is_dir() {
+        return Err(CliError::Usage(format!(
+            "--quarantine routes malformed CSV rows; a paged directory has no raw rows to \
+             quarantine\nusage: {USAGE}"
+        )));
+    }
+
+    if let Some(ckpt_dir) = checkpoint {
+        return checkpointed(
+            &flags, schema, model, model_path, input, chunk_rows, threads, top, &ckpt_dir, resume,
+            every,
+        );
+    }
 
     let auditor = Auditor::new(AuditConfig { threads: threads.into(), ..AuditConfig::default() });
     let t0 = Instant::now();
@@ -76,14 +135,19 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     // spill validates its manifest first, so a torn commit (crash
     // mid-`finish`) fails here with the manifest's own error rather
     // than auditing a partial relation.
-    let (report, stream_error) = if Path::new(input).is_dir() {
+    let (report, stream_error, quarantined) = if Path::new(input).is_dir() {
         let paged = PagedTable::open(input, schema.clone()).map_err(|e| format!("{input}: {e}"))?;
-        auditor.detect_stream_partial(&model, paged.batches())
+        let (report, error) = auditor.detect_stream_partial(&model, paged.batches());
+        (report, error, Vec::new())
     } else {
         let file = File::open(input).map_err(|e| format!("{input}: {e}"))?;
-        let batches = CsvChunkReader::new(schema.clone(), BufReader::new(file), chunk_rows)
+        let mut batches = CsvChunkReader::new(schema.clone(), BufReader::new(file), chunk_rows)
             .map_err(|e| format!("{input}: {e}"))?;
-        auditor.detect_stream_partial(&model, batches)
+        if quarantine.is_some() {
+            batches = batches.with_quarantine(max_bad_rows.unwrap_or(usize::MAX));
+        }
+        let (report, error) = auditor.detect_stream_partial(&model, &mut batches);
+        (report, error, batches.take_quarantined())
     };
     let secs = t0.elapsed().as_secs_f64();
 
@@ -95,6 +159,362 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     if let Some(path) = flags.get("corrections") {
         let corrections = propose_corrections(&report);
         write_file(Path::new(path), &corrections_to_csv(&corrections, &schema))?;
+    }
+    // The dead-letter file is written even when the budget overflowed:
+    // the rows captured up to the budget are exactly the evidence the
+    // operator needs to decide what to do next.
+    if let Some(path) = &quarantine {
+        write_file(path, &render_dead_letters(&quarantined))?;
+    }
+
+    say!(
+        "scanned {} rows in {secs:.2}s ({} per chunk{}): {} suspicious rows, {} findings at \
+         min confidence {}",
+        report.n_rows(),
+        chunk_rows,
+        if stream_error.is_some() { ", PARTIAL — the stream failed" } else { "" },
+        report.n_suspicious(),
+        report.findings.len(),
+        report.min_confidence,
+    );
+    if let Some(path) = &quarantine {
+        say!("quarantined {} malformed row(s) to {}", quarantined.len(), path.display());
+    }
+    if top > 0 && !report.findings.is_empty() {
+        say!("top findings:");
+        say!("{}", report.render_top(&schema, top));
+    }
+    match stream_error {
+        Some(AuditError::Table(TableError::QuarantineBudget { max_bad_rows, line })) => {
+            Err(CliError::Budget(format!(
+                "{input}: more than {max_bad_rows} malformed rows (line {line} overflowed the \
+                 budget); the report covers the {} rows scanned before the overflow and the \
+                 dead-letter file holds the first {} malformed rows",
+                report.n_rows(),
+                quarantined.len(),
+            )))
+        }
+        Some(e) => Err(CliError::Runtime(format!(
+            "{input}: {e} (the report covers the {} complete rows before the failure)",
+            report.n_rows()
+        ))),
+        None => Ok(()),
+    }
+}
+
+/// Render quarantined rows as a tab-separated dead-letter file:
+/// `line<TAB>error<TAB>raw row`, one per malformed row.
+fn render_dead_letters(rows: &[QuarantinedRow]) -> String {
+    let mut out = String::new();
+    for row in rows {
+        out.push_str(&format!("{}\t{}\t{}\n", row.line, row.error, row.raw));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Checkpointed detection
+// ---------------------------------------------------------------------------
+
+/// Byte length of one encoded finding record in `findings.bin`.
+const FINDING_RECORD: usize = 50;
+
+fn encode_value(value: &Value, out: &mut Vec<u8>) {
+    match value {
+        Value::Null => {
+            out.push(0);
+            out.extend_from_slice(&0u64.to_le_bytes());
+        }
+        Value::Nominal(code) => {
+            out.push(1);
+            out.extend_from_slice(&u64::from(*code).to_le_bytes());
+        }
+        Value::Number(x) => {
+            out.push(2);
+            out.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+        Value::Date(d) => {
+            out.push(3);
+            out.extend_from_slice(&(*d as u64).to_le_bytes());
+        }
+    }
+}
+
+fn decode_value(tag: u8, payload: u64) -> Result<Value, String> {
+    Ok(match tag {
+        0 => Value::Null,
+        1 => Value::Nominal(u32::try_from(payload).map_err(|_| "nominal code overflow")?),
+        2 => Value::Number(f64::from_bits(payload)),
+        3 => Value::Date(payload as i64),
+        other => return Err(format!("unknown value tag {other}")),
+    })
+}
+
+/// Encode one finding as a fixed 50-byte record: row, attr, observed,
+/// proposed, confidence bits, support bits (all little-endian; values
+/// as tag byte + 8-byte payload).
+fn encode_finding(f: &Finding, out: &mut Vec<u8>) {
+    out.extend_from_slice(&(f.row as u64).to_le_bytes());
+    out.extend_from_slice(&(f.attr as u64).to_le_bytes());
+    encode_value(&f.observed, out);
+    encode_value(&f.proposed, out);
+    out.extend_from_slice(&f.confidence.to_bits().to_le_bytes());
+    out.extend_from_slice(&f.support.to_bits().to_le_bytes());
+}
+
+fn decode_findings(bytes: &[u8]) -> Result<Vec<Finding>, String> {
+    if bytes.len() % FINDING_RECORD != 0 {
+        return Err(format!(
+            "{} bytes is not a whole number of {FINDING_RECORD}-byte records",
+            bytes.len()
+        ));
+    }
+    let u64_at = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"));
+    let mut findings = Vec::with_capacity(bytes.len() / FINDING_RECORD);
+    for record in 0..bytes.len() / FINDING_RECORD {
+        let base = record * FINDING_RECORD;
+        findings.push(Finding {
+            row: u64_at(base) as usize,
+            attr: u64_at(base + 8) as usize,
+            observed: decode_value(bytes[base + 16], u64_at(base + 17))?,
+            proposed: decode_value(bytes[base + 25], u64_at(base + 26))?,
+            confidence: f64::from_bits(u64_at(base + 34)),
+            support: f64::from_bits(u64_at(base + 42)),
+        });
+    }
+    Ok(findings)
+}
+
+/// Load a sidecar file and split it at its journaled watermark: the
+/// committed prefix is decoded state, anything past it is an
+/// uncommitted tail a crashed incarnation left (truncated by the
+/// subsequent [`resume_file`]). Shorter than the watermark is the same
+/// loud refusal `resume_file` raises.
+fn committed_sidecar(path: &Path, watermark: u64) -> Result<Vec<u8>, CliError> {
+    let bytes =
+        std::fs::read(path).map_err(|e| CliError::Runtime(format!("{}: {e}", path.display())))?;
+    if (bytes.len() as u64) < watermark {
+        return Err(jerr(dq_job::JobError::OutputTruncated {
+            path: path.display().to_string(),
+            len: bytes.len() as u64,
+            watermark,
+        }));
+    }
+    let mut bytes = bytes;
+    bytes.truncate(watermark as usize);
+    Ok(bytes)
+}
+
+/// The checkpointed scan state shared by the CSV and paged input
+/// shapes.
+struct ScanState {
+    engine: AuditEngine,
+    findings: Vec<Finding>,
+    confidences: Vec<f64>,
+    rows_scanned: usize,
+    findings_out: CountingWriter<File>,
+    confidence_out: CountingWriter<File>,
+    journal: Journal,
+    ckpt: CheckpointDir,
+    every: usize,
+}
+
+impl ScanState {
+    fn commit(&mut self, done: bool) -> Result<(), CliError> {
+        let dir = self.ckpt.dir().display().to_string();
+        self.findings_out.flush().map_err(|e| CliError::Runtime(format!("{dir}: {e}")))?;
+        self.confidence_out.flush().map_err(|e| CliError::Runtime(format!("{dir}: {e}")))?;
+        self.journal.cursor_rows = self.rows_scanned as u64;
+        self.journal.set_counter("findings", self.findings.len() as u64);
+        self.journal.set_output("findings.bin", Watermark::Bytes(self.findings_out.count()));
+        self.journal.set_output("confidence.bits", Watermark::Bytes(self.confidence_out.count()));
+        self.journal.done = done;
+        self.ckpt.save(&self.journal).map_err(jerr)
+    }
+
+    /// Drain `batches`, spilling findings and confidences as they
+    /// accumulate and committing every `every` batches. Returns the
+    /// stream error, if any — complete batches before it are already
+    /// committed.
+    fn scan(&mut self, mut batches: impl BatchSource) -> Result<Option<AuditError>, CliError> {
+        let mut record_buf = Vec::new();
+        let mut since_commit = 0usize;
+        loop {
+            match batches.next_batch() {
+                Ok(Some(batch)) => {
+                    let (findings, confidences) = self.engine.scan_batch(&batch, self.rows_scanned);
+                    self.rows_scanned += batch.n_rows();
+                    record_buf.clear();
+                    for f in &findings {
+                        encode_finding(f, &mut record_buf);
+                    }
+                    self.findings_out
+                        .write_all(&record_buf)
+                        .map_err(|e| CliError::Runtime(format!("findings.bin: {e}")))?;
+                    record_buf.clear();
+                    for c in &confidences {
+                        record_buf.extend_from_slice(&c.to_bits().to_le_bytes());
+                    }
+                    self.confidence_out
+                        .write_all(&record_buf)
+                        .map_err(|e| CliError::Runtime(format!("confidence.bits: {e}")))?;
+                    self.findings.extend(findings);
+                    self.confidences.extend(confidences);
+                    since_commit += 1;
+                    if since_commit >= self.every {
+                        self.commit(false)?;
+                        since_commit = 0;
+                    }
+                }
+                Ok(None) => return Ok(None),
+                // Commit the complete batches scanned so far: the
+                // resume point is the failure's doorstep, not the last
+                // periodic commit.
+                Err(e) => {
+                    self.commit(false)?;
+                    return Ok(Some(e.into()));
+                }
+            }
+        }
+    }
+}
+
+/// `dq detect --checkpoint`: scan with a journal, spilling incremental
+/// state to `findings.bin` + `confidence.bits` sidecars in the
+/// checkpoint directory, and assemble the final report from the
+/// accumulated parts — byte-identical to an uninterrupted scan.
+#[allow(clippy::too_many_arguments)]
+fn checkpointed(
+    flags: &Flags,
+    schema: std::sync::Arc<dq_table::Schema>,
+    model: StructureModel,
+    model_path: &str,
+    input: &str,
+    chunk_rows: usize,
+    threads: Option<usize>,
+    top: usize,
+    ckpt_dir: &Path,
+    resume: bool,
+    every: usize,
+) -> Result<(), CliError> {
+    // The model bytes ARE the config: a model retrained between
+    // incarnations changes every confidence, so its content hash (not
+    // its path) anchors the fingerprint. `--threads`/`--top` are
+    // excluded — they never change the scan's bytes.
+    let model_bytes = std::fs::read(model_path).map_err(|e| format!("{model_path}: {e}"))?;
+    let config = config_fingerprint(&[
+        ("stage", "detect".to_string()),
+        ("model", format!("{:016x}", fnv1a(&model_bytes))),
+        ("chunk-rows", chunk_rows.to_string()),
+        ("paged", Path::new(input).is_dir().to_string()),
+    ]);
+    let ckpt = CheckpointDir::create(ckpt_dir).map_err(jerr)?;
+    let journal = match start_job(&ckpt, resume, "detect", config, schema.fingerprint())? {
+        Start::Fresh => Journal::new("detect", config, schema.fingerprint()),
+        Start::Resume(journal) => journal,
+        Start::AlreadyDone => {
+            say!("checkpoint {}: job is already done — nothing to resume", ckpt_dir.display());
+            return Ok(());
+        }
+    };
+    let resuming = journal.cursor_rows > 0 || journal.output("findings.bin").is_some();
+    let findings_path = ckpt.dir().join("findings.bin");
+    let confidence_path = ckpt.dir().join("confidence.bits");
+
+    let cursor = journal.cursor_rows as usize;
+    let (findings, confidences, findings_out, confidence_out);
+    if resuming {
+        let bytes_watermark = |name: &str| -> Result<u64, CliError> {
+            match journal.output(name) {
+                Some(Watermark::Bytes(n)) => Ok(n),
+                _ => Err(CliError::Runtime(format!(
+                    "journal has no byte watermark for sidecar `{name}`; refusing to resume"
+                ))),
+            }
+        };
+        let find_wm = bytes_watermark("findings.bin")?;
+        let conf_wm = bytes_watermark("confidence.bits")?;
+        if conf_wm != cursor as u64 * 8 {
+            return Err(CliError::Runtime(format!(
+                "confidence.bits watermark ({conf_wm} bytes) disagrees with the cursor \
+                 ({cursor} rows); the checkpoint is inconsistent — refusing to resume"
+            )));
+        }
+        let torn = |path: &Path, detail: String| {
+            jerr(dq_job::JobError::Torn { path: path.display().to_string(), detail })
+        };
+        findings = decode_findings(&committed_sidecar(&findings_path, find_wm)?)
+            .map_err(|detail| torn(&findings_path, detail))?;
+        confidences = committed_sidecar(&confidence_path, conf_wm)?
+            .chunks_exact(8)
+            .map(|chunk| f64::from_bits(u64::from_le_bytes(chunk.try_into().expect("8 bytes"))))
+            .collect::<Vec<f64>>();
+        findings_out =
+            CountingWriter::new(resume_file(&findings_path, find_wm).map_err(jerr)?, find_wm);
+        confidence_out =
+            CountingWriter::new(resume_file(&confidence_path, conf_wm).map_err(jerr)?, conf_wm);
+    } else {
+        findings = Vec::new();
+        confidences = Vec::new();
+        findings_out = CountingWriter::new(
+            File::create(&findings_path)
+                .map_err(|e| format!("{}: {e}", findings_path.display()))?,
+            0,
+        );
+        confidence_out = CountingWriter::new(
+            File::create(&confidence_path)
+                .map_err(|e| format!("{}: {e}", confidence_path.display()))?,
+            0,
+        );
+    }
+
+    let engine = AuditEngine::new(model, schema.clone()).with_threads(threads);
+    let mut state = ScanState {
+        engine,
+        findings,
+        confidences,
+        rows_scanned: cursor,
+        findings_out,
+        confidence_out,
+        journal,
+        ckpt,
+        every,
+    };
+    // Cursor-zero (or restored-state) commit before scanning: a crash
+    // anywhere after this leaves a journal to resume from.
+    state.commit(false)?;
+
+    let t0 = Instant::now();
+    let stream_error = if Path::new(input).is_dir() {
+        let paged = PagedTable::open(input, schema.clone()).map_err(|e| format!("{input}: {e}"))?;
+        if cursor % paged.page_rows() != 0 {
+            return Err(CliError::Runtime(format!(
+                "cursor {cursor} is not a page boundary of {} ({}-row pages); the checkpoint \
+                 does not belong to this spill — refusing to resume",
+                input,
+                paged.page_rows()
+            )));
+        }
+        state.scan(paged.batches_from(cursor / paged.page_rows()))?
+    } else {
+        let file = File::open(input).map_err(|e| format!("{input}: {e}"))?;
+        let mut batches = CsvChunkReader::new(schema.clone(), BufReader::new(file), chunk_rows)
+            .map_err(|e| format!("{input}: {e}"))?;
+        batches.skip_data_rows(cursor).map_err(|e| format!("{input}: {e}"))?;
+        state.scan(batches)?
+    };
+    let secs = t0.elapsed().as_secs_f64();
+
+    let report = state.engine.report_from_parts(state.findings.clone(), state.confidences.clone());
+    if let Some(path) = flags.get("report") {
+        write_file(Path::new(path), &report.to_csv(&schema))?;
+    }
+    if let Some(path) = flags.get("corrections") {
+        let corrections = propose_corrections(&report);
+        write_file(Path::new(path), &corrections_to_csv(&corrections, &schema))?;
+    }
+    if stream_error.is_none() {
+        state.commit(true)?;
     }
 
     say!(
@@ -113,8 +533,10 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     }
     match stream_error {
         Some(e) => Err(CliError::Runtime(format!(
-            "{input}: {e} (the report covers the {} complete rows before the failure)",
-            report.n_rows()
+            "{input}: {e} (the report covers the {} complete rows before the failure; the \
+             checkpoint in {} resumes from there)",
+            report.n_rows(),
+            ckpt_dir.display(),
         ))),
         None => Ok(()),
     }
@@ -128,13 +550,30 @@ fn remote(flags: &Flags, server: &str) -> Result<(), CliError> {
     let name = flags.require("model-name")?;
     let input = flags.require("input")?;
     let retries: u32 = flags.parse_or("retries", RetryPolicy::default().max_attempts)?;
-    for local in ["schema", "model", "corrections", "chunk-rows", "threads", "top"] {
+    for local in [
+        "schema",
+        "model",
+        "corrections",
+        "chunk-rows",
+        "threads",
+        "top",
+        "quarantine",
+        "max-bad-rows",
+        "checkpoint",
+        "checkpoint-every",
+    ] {
         if flags.get(local).is_some() {
             return Err(CliError::Usage(format!(
                 "--{local} is a local-audit flag; with --server the daemon's resident model \
                  does the scan\nusage: {USAGE}"
             )));
         }
+    }
+    if flags.has("resume") {
+        return Err(CliError::Usage(format!(
+            "--resume is a local-audit flag; with --server the daemon's resident model does \
+             the scan\nusage: {USAGE}"
+        )));
     }
     let addr = server
         .to_socket_addrs()

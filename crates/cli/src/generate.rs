@@ -2,21 +2,26 @@
 //! ground-truth log) to a directory.
 
 use crate::args::{CliError, Flags};
+use crate::checkpoint::{config_fingerprint, jerr, start_job, Start};
 use crate::io_util::{at, create_file, log_to_csv, say, write_file, write_table};
 use dq_eval::{Baseline, TestEnvironment};
-use dq_pollute::{pollute, PolluteStream};
+use dq_job::{resume_file, CheckpointDir, CountingWriter, Journal, Watermark};
+use dq_pollute::{pollute, PolluteStream, CELLS_CSV_HEADER};
 use dq_quis::{generate_quis, QuisConfig};
-use dq_table::{render_schema, BatchSource, CsvWriter, PagedWriter, Schema, Table, TableError};
+use dq_table::{
+    render_schema, BatchSource, CsvChunkReader, CsvWriter, PagedWriter, Schema, Table, TableError,
+};
 use dq_tdg::{generate_rule_set, GenerateStream};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::io::Write;
+use std::fs::File;
+use std::io::{BufReader, Write};
 use std::path::Path;
 use std::sync::Arc;
 
 pub const USAGE: &str = "dq generate <tdg|quis> --out DIR [--rows N] [--seed N] [--factor X] \
-                         [--threads N] [--rules N --stream-chunk-rows N --paged-dirty DIR (tdg \
-                         only)]";
+                         [--threads N] [--rules N --stream-chunk-rows N --paged-dirty DIR \
+                         --checkpoint DIR --resume --checkpoint-every N (tdg only)]";
 
 pub fn run(args: &[String]) -> Result<(), CliError> {
     let (kind, rest) = args
@@ -31,12 +36,34 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     }
 }
 
+/// Checkpointing knobs of a streamed generate run.
+struct CkptOpts {
+    dir: std::path::PathBuf,
+    resume: bool,
+    /// Commit a journal every this many dirty batches.
+    every: usize,
+    /// Fingerprint of the flags that shape the output bytes.
+    config: u64,
+}
+
 /// The sec. 6.1 artificial benchmark: rule-structured data over the
 /// 8-attribute baseline schema, polluted by the standard suite.
 fn tdg(args: &[String]) -> Result<(), CliError> {
-    let flags = Flags::parse(
+    let flags = Flags::parse_with_switches(
         args,
-        &["out", "rows", "rules", "seed", "factor", "threads", "stream-chunk-rows", "paged-dirty"],
+        &[
+            "out",
+            "rows",
+            "rules",
+            "seed",
+            "factor",
+            "threads",
+            "stream-chunk-rows",
+            "paged-dirty",
+            "checkpoint",
+            "checkpoint-every",
+        ],
+        &["resume"],
     )?;
     let out = Path::new(flags.require("out")?).to_path_buf();
     let rows: usize = flags.parse_or("rows", 10_000)?;
@@ -46,6 +73,14 @@ fn tdg(args: &[String]) -> Result<(), CliError> {
     let threads: Option<usize> = flags.parse_positive_opt("threads")?;
     let stream_chunk_rows: Option<usize> = flags.parse_positive_opt("stream-chunk-rows")?;
     let paged_dirty = flags.get("paged-dirty").map(|d| Path::new(d).to_path_buf());
+    let checkpoint = flags.get("checkpoint").map(|d| Path::new(d).to_path_buf());
+    let checkpoint_every: usize = flags.parse_positive_or("checkpoint-every", 16)?;
+    let resume = flags.has("resume");
+    if (resume || flags.get("checkpoint-every").is_some()) && checkpoint.is_none() {
+        return Err(CliError::Usage(format!(
+            "--resume/--checkpoint-every need --checkpoint DIR\nusage: {USAGE}"
+        )));
+    }
 
     let baseline = Baseline::new(seed);
     let mut env = baseline.environment(rules, rows, factor);
@@ -53,11 +88,33 @@ fn tdg(args: &[String]) -> Result<(), CliError> {
     // RNG streams), so the knob only changes wall-clock time.
     env.generator.data.threads = threads.into();
     if let Some(chunk_rows) = stream_chunk_rows {
-        return tdg_streamed(&env, &out, seed, chunk_rows, paged_dirty.as_deref());
+        // The config fingerprint covers exactly the flags that shape
+        // the output bytes; `--threads` is excluded on purpose
+        // (resuming under a different worker count is safe).
+        let ckpt = checkpoint.map(|dir| CkptOpts {
+            dir,
+            resume,
+            every: checkpoint_every,
+            config: config_fingerprint(&[
+                ("stage", "generate tdg".into()),
+                ("rows", rows.to_string()),
+                ("rules", rules.to_string()),
+                ("seed", seed.to_string()),
+                ("factor", factor.to_string()),
+                ("chunk-rows", chunk_rows.to_string()),
+                ("paged", paged_dirty.is_some().to_string()),
+            ]),
+        });
+        return tdg_streamed(&env, &out, seed, chunk_rows, paged_dirty.as_deref(), ckpt);
     }
     if paged_dirty.is_some() {
         return Err(CliError::Usage(format!(
             "--paged-dirty spills during streaming; it needs --stream-chunk-rows\nusage: {USAGE}"
+        )));
+    }
+    if checkpoint.is_some() {
+        return Err(CliError::Usage(format!(
+            "--checkpoint journals the streamed path; it needs --stream-chunk-rows\nusage: {USAGE}"
         )));
     }
     let mut rng = StdRng::seed_from_u64(seed);
@@ -130,6 +187,45 @@ impl<S: BatchSource, W: Write> BatchSource for TeeCsv<S, W> {
     }
 }
 
+/// The concrete stream of the streamed tdg path: generator → clean-CSV
+/// tee → pollution, with every flat output behind a byte counter.
+type CleanTee = TeeCsv<GenerateStream, CountingWriter<File>>;
+type TdgStream = PolluteStream<CleanTee, StdRng>;
+
+/// Flush every flat writer (their bytes reach the kernel) and commit a
+/// journal vouching for exactly what was flushed — the commit protocol
+/// of `dq_job`. `corrupted_base` carries the corrupted-row count of
+/// previous incarnations (the in-memory log only covers this one).
+#[allow(clippy::too_many_arguments)]
+fn commit_generate(
+    ckpt: &mut CheckpointDir,
+    journal: &mut Journal,
+    stream: &mut TdgStream,
+    dirty_writer: &mut CsvWriter<CountingWriter<File>>,
+    log_out: &mut CountingWriter<File>,
+    paged_pages: Option<u64>,
+    corrupted_base: u64,
+    paths: (&Path, &Path, &Path),
+    done: bool,
+) -> Result<(), CliError> {
+    let (clean_path, dirty_path, log_path) = paths;
+    stream.source_mut().writer.flush().map_err(|e| at(clean_path, e))?;
+    dirty_writer.flush().map_err(|e| at(dirty_path, e))?;
+    log_out.flush().map_err(|e| at(log_path, e))?;
+    journal.cursor_rows = stream.clean_rows_seen() as u64;
+    journal.rng = Some(stream.rng().state());
+    journal.set_counter("dirty_rows", stream.rows_emitted() as u64);
+    journal.set_counter("corrupted_rows", corrupted_base + stream.log().n_corrupted_rows() as u64);
+    journal.set_output("clean.csv", Watermark::Bytes(stream.source_mut().writer.get_ref().count()));
+    journal.set_output("dirty.csv", Watermark::Bytes(dirty_writer.get_ref().count()));
+    journal.set_output("pollution-log.csv", Watermark::Bytes(log_out.count()));
+    if let Some(pages) = paged_pages {
+        journal.set_output("paged", Watermark::Pages(pages));
+    }
+    journal.done = done;
+    ckpt.save(journal).map_err(jerr)
+}
+
 /// The O(chunk)-memory tdg path: rule generation as usual, then the
 /// clean table streams from [`GenerateStream`] through a clean-CSV
 /// tee into [`PolluteStream`] and out to the dirty CSV — one pass,
@@ -138,45 +234,204 @@ impl<S: BatchSource, W: Write> BatchSource for TeeCsv<S, W> {
 /// generation is chunk-seeded, pollution consumes its RNG in
 /// clean-row order, and [`CsvWriter`] streams exactly what
 /// `write_table` materializes.
+///
+/// With `--checkpoint DIR` the run journals its progress (clean-row
+/// cursor, pollution-RNG state, per-output byte/page watermarks) at
+/// every `--checkpoint-every`-batch boundary; `--resume` continues a
+/// killed run from the journal, producing outputs byte-identical to an
+/// uninterrupted one — see `dq_job` for the protocol.
 fn tdg_streamed(
     env: &TestEnvironment,
     out: &Path,
     seed: u64,
     chunk_rows: usize,
     paged_dirty: Option<&Path>,
+    ckpt_opts: Option<CkptOpts>,
 ) -> Result<(), CliError> {
     let schema = env.generator.schema.clone();
     let mut rng = StdRng::seed_from_u64(seed);
     let (rules, _rule_report) = generate_rule_set(&schema, &env.generator.rules, &mut rng);
 
+    // Start decision: fresh, resume, or nothing left to do.
+    let mut ckpt = None;
+    let mut resumed: Option<Journal> = None;
+    if let Some(opts) = &ckpt_opts {
+        let dir = CheckpointDir::create(&opts.dir).map_err(jerr)?;
+        match start_job(&dir, opts.resume, "generate", opts.config, schema.fingerprint())? {
+            Start::Fresh => {}
+            Start::Resume(journal) => resumed = Some(journal),
+            Start::AlreadyDone => {
+                say!("checkpoint {}: job is already done — nothing to resume", opts.dir.display());
+                return Ok(());
+            }
+        }
+        ckpt = Some(dir);
+    }
+
+    // The small artifacts are pure functions of config+seed: rewriting
+    // them on resume reproduces the same bytes.
     write_file(&out.join("schema.dqs"), &render_schema(&schema).map_err(|e| e.to_string())?)?;
     let rules_text: String = rules.iter().map(|r| r.render(&schema) + "\n").collect();
     write_file(&out.join("rules.txt"), &rules_text)?;
 
-    let generator =
+    let mut generator =
         GenerateStream::new(schema.clone(), rules.clone(), env.generator.data.clone(), &mut rng)
             .with_batch_rows(chunk_rows);
     let clean_path = out.join("clean.csv");
-    let clean_writer = CsvWriter::new(schema.clone(), create_file(&clean_path)?)
-        .map_err(|e| at(&clean_path, e))?;
     let dirty_path = out.join("dirty.csv");
-    let mut dirty_writer = CsvWriter::new(schema.clone(), create_file(&dirty_path)?)
-        .map_err(|e| at(&dirty_path, e))?;
-
-    // The optional paged spill writes the dirty relation a second
-    // time, page by page as batches stream past — the out-of-core
-    // form `dq detect --input DIR` reopens. Its manifest only commits
-    // in `finish()`, so a crash mid-stream leaves a directory
-    // `PagedTable::open` rejects instead of a silently short table.
-    let mut paged_writer = match paged_dirty {
-        Some(dir) => {
-            Some(PagedWriter::create(dir, schema.clone(), chunk_rows).map_err(|e| at(dir, e))?)
+    let log_path = out.join("pollution-log.csv");
+    let bytes_watermark = |journal: &Journal, name: &str| -> Result<u64, CliError> {
+        match journal.output(name) {
+            Some(Watermark::Bytes(n)) => Ok(n),
+            _ => Err(CliError::Runtime(format!(
+                "journal has no byte watermark for output `{name}`; refusing to resume"
+            ))),
         }
-        None => None,
     };
+
+    // Open every output either fresh or at its journaled watermark,
+    // and position the streams at the journal's cursor.
+    let cursor;
+    let dirty_base;
+    let corrupted_base;
+    let prng;
+    let clean_writer;
+    let mut dirty_writer;
+    let mut log_out;
+    let mut paged_writer;
+    match &resumed {
+        None => {
+            cursor = 0;
+            dirty_base = 0;
+            corrupted_base = 0;
+            // Hand pollution its own RNG at exactly the state the
+            // borrowed one reached — the byte-identical continuation
+            // of the in-memory path's single RNG walk.
+            prng = StdRng::from_state(rng.state());
+            clean_writer =
+                CsvWriter::new(schema.clone(), CountingWriter::new(create_file(&clean_path)?, 0))
+                    .map_err(|e| at(&clean_path, e))?;
+            dirty_writer =
+                CsvWriter::new(schema.clone(), CountingWriter::new(create_file(&dirty_path)?, 0))
+                    .map_err(|e| at(&dirty_path, e))?;
+            let mut header_out = CountingWriter::new(create_file(&log_path)?, 0);
+            header_out.write_all(CELLS_CSV_HEADER.as_bytes()).map_err(|e| at(&log_path, e))?;
+            log_out = header_out;
+            paged_writer = match paged_dirty {
+                Some(dir) => Some(
+                    PagedWriter::create(dir, schema.clone(), chunk_rows).map_err(|e| at(dir, e))?,
+                ),
+                None => None,
+            };
+        }
+        Some(journal) => {
+            cursor = journal.cursor_rows as usize;
+            dirty_base = journal.counter("dirty_rows").unwrap_or(0) as usize;
+            corrupted_base = journal.counter("corrupted_rows").unwrap_or(0);
+            let state = journal.rng.ok_or_else(|| {
+                CliError::Runtime("journal records no rng state; refusing to resume".to_string())
+            })?;
+            prng = StdRng::from_state(state);
+            generator
+                .seek_to_row(cursor)
+                .map_err(|e| CliError::Runtime(format!("seeking generator: {e}")))?;
+            let clean_wm = bytes_watermark(journal, "clean.csv")?;
+            clean_writer = CsvWriter::append(
+                schema.clone(),
+                CountingWriter::new(resume_file(&clean_path, clean_wm).map_err(jerr)?, clean_wm),
+            );
+            let dirty_wm = bytes_watermark(journal, "dirty.csv")?;
+            dirty_writer = CsvWriter::append(
+                schema.clone(),
+                CountingWriter::new(resume_file(&dirty_path, dirty_wm).map_err(jerr)?, dirty_wm),
+            );
+            let log_wm = bytes_watermark(journal, "pollution-log.csv")?;
+            log_out = CountingWriter::new(resume_file(&log_path, log_wm).map_err(jerr)?, log_wm);
+            paged_writer = match paged_dirty {
+                Some(dir) => {
+                    let pages = match journal.output("paged") {
+                        Some(Watermark::Pages(n)) => n as usize,
+                        _ => {
+                            return Err(CliError::Runtime(
+                                "journal has no page watermark for the paged spill; \
+                                 refusing to resume"
+                                    .to_string(),
+                            ));
+                        }
+                    };
+                    let mut writer = PagedWriter::resume(dir, schema.clone(), chunk_rows, pages)
+                        .map_err(|e| at(dir, e))?;
+                    // The spill's partial page died with the process;
+                    // refill it from the committed dirty.csv tail
+                    // (already truncated to its watermark above).
+                    let committed = pages * chunk_rows;
+                    if dirty_base > committed {
+                        let tail = File::open(&dirty_path).map_err(|e| at(&dirty_path, e))?;
+                        let mut reader =
+                            CsvChunkReader::new(schema.clone(), BufReader::new(tail), chunk_rows)
+                                .map_err(|e| at(&dirty_path, e))?;
+                        reader.skip_data_rows(committed).map_err(|e| at(&dirty_path, e))?;
+                        while let Some(batch) =
+                            reader.next_batch().map_err(|e| at(&dirty_path, e))?
+                        {
+                            writer.append_batch(&batch).map_err(|e| at(dir, e))?;
+                        }
+                        if writer.n_pages() != pages
+                            || writer.pending_rows() != dirty_base - committed
+                        {
+                            return Err(CliError::Runtime(format!(
+                                "{}: refilled {} pending rows over {} pages, journal expected \
+                                 {} over {} — dirty.csv disagrees with the journal",
+                                dir.display(),
+                                writer.pending_rows(),
+                                writer.n_pages(),
+                                dirty_base - committed,
+                                pages,
+                            )));
+                        }
+                    }
+                    Some(writer)
+                }
+                None => None,
+            };
+        }
+    }
+
     let tee = TeeCsv { inner: generator, writer: clean_writer, done: false };
-    let mut stream = PolluteStream::new(tee, env.pollution.clone(), &mut rng);
-    let mut dirty_rows = 0usize;
+    let mut stream: TdgStream =
+        PolluteStream::resume(tee, env.pollution.clone(), prng, cursor, dirty_base);
+    let mut journal = match resumed {
+        Some(journal) => journal,
+        None => Journal::new(
+            "generate",
+            ckpt_opts.as_ref().map_or(0, |o| o.config),
+            schema.fingerprint(),
+        ),
+    };
+    let every = ckpt_opts.as_ref().map_or(usize::MAX, |o| o.every);
+    let paths = (clean_path.as_path(), dirty_path.as_path(), log_path.as_path());
+
+    // Commit before the first batch: a fresh run gets a cursor-zero
+    // journal (so a crash anywhere leaves something to resume), a
+    // resumed run re-commits the state it restored.
+    if let Some(dir) = ckpt.as_mut() {
+        let pages = paged_writer.as_ref().map(|w| w.n_pages() as u64);
+        commit_generate(
+            dir,
+            &mut journal,
+            &mut stream,
+            &mut dirty_writer,
+            &mut log_out,
+            pages,
+            corrupted_base,
+            paths,
+            false,
+        )?;
+    }
+
+    let mut cells_rendered = 0usize;
+    let mut batches_since_commit = 0usize;
+    let mut cells_buf = String::new();
     loop {
         match stream.next_batch() {
             Ok(Some(batch)) => {
@@ -185,22 +440,78 @@ fn tdg_streamed(
                     w.append_batch(&batch)
                         .map_err(|e| at(paged_dirty.expect("writer implies dir"), e))?;
                 }
-                dirty_rows += batch.n_rows();
+                // Stream the ground-truth log as it accumulates; the
+                // concatenation is byte-identical to a one-shot
+                // rendering at the end.
+                cells_buf.clear();
+                stream.log().render_cells_csv(&schema, cells_rendered, &mut cells_buf);
+                cells_rendered = stream.log().cells.len();
+                log_out.write_all(cells_buf.as_bytes()).map_err(|e| at(&log_path, e))?;
+                batches_since_commit += 1;
+                if batches_since_commit >= every {
+                    if let Some(dir) = ckpt.as_mut() {
+                        let pages = paged_writer.as_ref().map(|w| w.n_pages() as u64);
+                        commit_generate(
+                            dir,
+                            &mut journal,
+                            &mut stream,
+                            &mut dirty_writer,
+                            &mut log_out,
+                            pages,
+                            corrupted_base,
+                            paths,
+                            false,
+                        )?;
+                    }
+                    batches_since_commit = 0;
+                }
             }
             Ok(None) => break,
-            Err(e) => return Err(CliError::Runtime(format!("streamed generation: {e}"))),
+            Err(e) => {
+                return Err(CliError::Runtime(format!(
+                    "{}: streamed generation: {e}",
+                    clean_path.display()
+                )));
+            }
         }
     }
+    dirty_writer.flush().map_err(|e| at(&dirty_path, e))?;
+    let dirty_bytes = dirty_writer.get_ref().count();
     dirty_writer.finish().map_err(|e| at(&dirty_path, e))?;
+    let mut paged_pages = None;
     if let Some(w) = paged_writer {
         let dir = paged_dirty.expect("writer implies dir");
-        w.finish().map_err(|e| at(dir, e))?;
+        let spilled = w.finish().map_err(|e| at(dir, e))?;
+        paged_pages = Some(spilled.n_pages() as u64);
         say!("spilled dirty relation to paged directory {}", dir.display());
     }
     let clean_rows = stream.clean_rows_seen();
-    let (tee, log) = stream.into_parts();
-    tee.writer.finish().map_err(|e| at(&clean_path, e))?;
-    write_file(&out.join("pollution-log.csv"), &log_to_csv(&log, &schema))?;
+    let dirty_rows = stream.rows_emitted();
+    let corrupted = corrupted_base + stream.log().n_corrupted_rows() as u64;
+    let rng_state = stream.rng().state();
+    let (tee, _log) = stream.into_parts();
+    let mut clean_writer = tee.writer;
+    clean_writer.flush().map_err(|e| at(&clean_path, e))?;
+    let clean_bytes = clean_writer.get_ref().count();
+    clean_writer.finish().map_err(|e| at(&clean_path, e))?;
+    log_out.flush().map_err(|e| at(&log_path, e))?;
+
+    // The closing commit: everything is on disk, mark the job done so
+    // a re-resume is a no-op instead of a re-run.
+    if let Some(dir) = ckpt.as_mut() {
+        journal.cursor_rows = clean_rows as u64;
+        journal.rng = Some(rng_state);
+        journal.set_counter("dirty_rows", dirty_rows as u64);
+        journal.set_counter("corrupted_rows", corrupted);
+        journal.set_output("clean.csv", Watermark::Bytes(clean_bytes));
+        journal.set_output("dirty.csv", Watermark::Bytes(dirty_bytes));
+        journal.set_output("pollution-log.csv", Watermark::Bytes(log_out.count()));
+        if let Some(pages) = paged_pages {
+            journal.set_output("paged", Watermark::Pages(pages));
+        }
+        journal.done = true;
+        dir.save(&journal).map_err(jerr)?;
+    }
 
     say!(
         "generated tdg benchmark in {} (streamed, {chunk_rows}-row chunks): {} clean rows, \
@@ -208,7 +519,7 @@ fn tdg_streamed(
         out.display(),
         clean_rows,
         dirty_rows,
-        log.n_corrupted_rows(),
+        corrupted,
         rules.len(),
     );
     say!("files: schema.dqs clean.csv dirty.csv pollution-log.csv rules.txt");

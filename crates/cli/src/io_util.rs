@@ -78,18 +78,11 @@ pub fn write_table(table: &Table, path: &Path) -> Result<(), String> {
 }
 
 /// Render a pollution log's cell corruptions as CSV — the ground
-/// truth a generated benchmark's detections are scored against.
+/// truth a generated benchmark's detections are scored against. The
+/// checkpointed pipeline streams the same bytes incrementally through
+/// [`PollutionLog::render_cells_csv`].
 pub fn log_to_csv(log: &PollutionLog, schema: &Schema) -> String {
-    let mut out = String::from("dirty_row,attribute,polluter,before,after\n");
-    for c in &log.cells {
-        out.push_str(&format!(
-            "{},{},{},{},{}\n",
-            c.dirty_row,
-            schema.attr(c.attr).name,
-            c.polluter,
-            schema.display_value(c.attr, &c.before),
-            schema.display_value(c.attr, &c.after),
-        ));
-    }
+    let mut out = String::from(dq_pollute::CELLS_CSV_HEADER);
+    log.render_cells_csv(schema, 0, &mut out);
     out
 }

@@ -15,9 +15,17 @@
 //! the audit-forever half (streamed, bounded memory, byte-identical to
 //! the in-memory path); `serve` keeps a directory of models resident
 //! and answers the same audits over HTTP. Exit codes: 0 success,
-//! 1 runtime failure, 2 usage error.
+//! 1 runtime failure, 2 usage error, 3 exhausted error budget
+//! (`dq detect --max-bad-rows`).
+//!
+//! The streaming stages (`generate tdg --stream-chunk-rows`,
+//! `pollute`, `detect`) all accept `--checkpoint DIR` to journal their
+//! progress at chunk-commit boundaries and `--resume` to continue a
+//! killed run with byte-identical outputs — see `dq_job` for the
+//! journal and [`checkpoint`] for the shared CLI glue.
 
 mod args;
+mod checkpoint;
 mod detect;
 mod eval_cmd;
 mod generate;
@@ -86,6 +94,7 @@ fn main() -> ExitCode {
             match error {
                 CliError::Usage(_) => ExitCode::from(2),
                 CliError::Runtime(_) => ExitCode::FAILURE,
+                CliError::Budget(_) => ExitCode::from(3),
             }
         }
     }

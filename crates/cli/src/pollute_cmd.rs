@@ -7,62 +7,235 @@
 //! memory. Chunking never changes the bytes — the polluter consumes
 //! its RNG strictly in clean-row order — so `--chunk-rows` is purely a
 //! memory knob.
+//!
+//! With `--checkpoint DIR` the run journals its clean-row cursor, RNG
+//! state, and output watermarks at every `--checkpoint-every`-batch
+//! boundary; `--resume` continues a killed run byte-identically (the
+//! input is re-opened and seeked to the cursor, the outputs truncated
+//! to their committed watermarks).
 
 use crate::args::{CliError, Flags};
-use crate::io_util::{at, create_file, load_schema, log_to_csv, say, write_file};
-use dq_pollute::{PolluteStream, PollutionConfig};
+use crate::checkpoint::{config_fingerprint, jerr, start_job, Start};
+use crate::io_util::{at, create_file, load_schema, say};
+use dq_job::{resume_file, CheckpointDir, CountingWriter, Journal, Watermark};
+use dq_pollute::{PolluteStream, PollutionConfig, CELLS_CSV_HEADER};
 use dq_table::{BatchSource, CsvChunkReader, CsvWriter};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fs::File;
-use std::io::BufReader;
+use std::io::{BufReader, Write};
 use std::path::Path;
 
 pub const USAGE: &str = "dq pollute --schema F.dqs --input clean.csv --output dirty.csv \
-                         [--log L.csv] [--factor X] [--seed N] [--chunk-rows N] [--threads N]";
+                         [--log L.csv] [--factor X] [--seed N] [--chunk-rows N] [--threads N] \
+                         [--checkpoint DIR] [--resume] [--checkpoint-every N]";
 
 pub fn run(args: &[String]) -> Result<(), CliError> {
-    let flags = Flags::parse(
+    let flags = Flags::parse_with_switches(
         args,
-        &["schema", "input", "output", "log", "factor", "seed", "chunk-rows", "threads"],
+        &[
+            "schema",
+            "input",
+            "output",
+            "log",
+            "factor",
+            "seed",
+            "chunk-rows",
+            "threads",
+            "checkpoint",
+            "checkpoint-every",
+        ],
+        &["resume"],
     )?;
     let schema = load_schema(flags.require("schema")?)?;
     let input = Path::new(flags.require("input")?).to_path_buf();
     let output = Path::new(flags.require("output")?).to_path_buf();
+    let log_path = flags.get("log").map(|p| Path::new(p).to_path_buf());
     let factor: f64 = flags.parse_or("factor", 1.0)?;
     let seed: u64 = flags.parse_or("seed", 2003)?;
     let chunk_rows: usize = flags.parse_positive_or("chunk-rows", 4096)?;
     // Pollution consumes one RNG in clean-row order, so it always runs
     // serial; the flag is validated for CLI uniformity only.
     let _threads: Option<usize> = flags.parse_positive_opt("threads")?;
+    let checkpoint = flags.get("checkpoint").map(|d| Path::new(d).to_path_buf());
+    let every: usize = flags.parse_positive_or("checkpoint-every", 16)?;
+    let resume = flags.has("resume");
+    if (resume || flags.get("checkpoint-every").is_some()) && checkpoint.is_none() {
+        return Err(CliError::Usage(format!(
+            "--resume/--checkpoint-every need --checkpoint DIR\nusage: {USAGE}"
+        )));
+    }
+
+    // Flags that shape the output bytes; `--threads` is excluded (it
+    // never changes them), the input path is vouched for by the schema
+    // fingerprint plus the cursor-vs-file checks on resume.
+    let config = config_fingerprint(&[
+        ("stage", "pollute".to_string()),
+        ("factor", factor.to_string()),
+        ("seed", seed.to_string()),
+        ("chunk-rows", chunk_rows.to_string()),
+        ("log", log_path.is_some().to_string()),
+    ]);
+    let mut ckpt = None;
+    let mut resumed: Option<Journal> = None;
+    if let Some(dir) = &checkpoint {
+        let handle = CheckpointDir::create(dir).map_err(jerr)?;
+        match start_job(&handle, resume, "pollute", config, schema.fingerprint())? {
+            Start::Fresh => {}
+            Start::Resume(journal) => resumed = Some(journal),
+            Start::AlreadyDone => {
+                say!("checkpoint {}: job is already done — nothing to resume", dir.display());
+                return Ok(());
+            }
+        }
+        ckpt = Some(handle);
+    }
 
     let file = File::open(&input).map_err(|e| at(&input, e))?;
-    let reader = CsvChunkReader::new(schema.clone(), BufReader::new(file), chunk_rows)
+    let mut reader = CsvChunkReader::new(schema.clone(), BufReader::new(file), chunk_rows)
         .map_err(|e| at(&input, e))?;
-    let config = PollutionConfig::standard().with_factor(factor);
-    let mut stream = PolluteStream::new(reader, config, StdRng::seed_from_u64(seed));
-    let mut writer =
-        CsvWriter::new(schema.clone(), create_file(&output)?).map_err(|e| at(&output, e))?;
+    let config_pollution = PollutionConfig::standard().with_factor(factor);
+
+    let bytes_watermark = |journal: &Journal, name: &str| -> Result<u64, CliError> {
+        match journal.output(name) {
+            Some(Watermark::Bytes(n)) => Ok(n),
+            _ => Err(CliError::Runtime(format!(
+                "journal has no byte watermark for output `{name}`; refusing to resume"
+            ))),
+        }
+    };
+    let cursor;
+    let dirty_base;
+    let corrupted_base;
+    let rng;
+    let mut writer;
+    let mut log_out;
+    match &resumed {
+        None => {
+            cursor = 0;
+            dirty_base = 0;
+            corrupted_base = 0;
+            rng = StdRng::seed_from_u64(seed);
+            writer = CsvWriter::new(schema.clone(), CountingWriter::new(create_file(&output)?, 0))
+                .map_err(|e| at(&output, e))?;
+            log_out = match &log_path {
+                Some(path) => {
+                    let mut out = CountingWriter::new(create_file(path)?, 0);
+                    out.write_all(CELLS_CSV_HEADER.as_bytes()).map_err(|e| at(path, e))?;
+                    Some(out)
+                }
+                None => None,
+            };
+        }
+        Some(journal) => {
+            cursor = journal.cursor_rows as usize;
+            dirty_base = journal.counter("dirty_rows").unwrap_or(0) as usize;
+            corrupted_base = journal.counter("corrupted_rows").unwrap_or(0);
+            let state = journal.rng.ok_or_else(|| {
+                CliError::Runtime("journal records no rng state; refusing to resume".to_string())
+            })?;
+            rng = StdRng::from_state(state);
+            reader.skip_data_rows(cursor).map_err(|e| at(&input, e))?;
+            let dirty_wm = bytes_watermark(journal, "dirty.csv")?;
+            writer = CsvWriter::append(
+                schema.clone(),
+                CountingWriter::new(resume_file(&output, dirty_wm).map_err(jerr)?, dirty_wm),
+            );
+            log_out = match &log_path {
+                Some(path) => {
+                    let log_wm = bytes_watermark(journal, "log.csv")?;
+                    Some(CountingWriter::new(resume_file(path, log_wm).map_err(jerr)?, log_wm))
+                }
+                None => None,
+            };
+        }
+    }
+
+    let mut stream = PolluteStream::resume(reader, config_pollution, rng, cursor, dirty_base);
+    let mut journal = match resumed {
+        Some(journal) => journal,
+        None => Journal::new("pollute", config, schema.fingerprint()),
+    };
+
+    let mut cells_rendered = 0usize;
+    let mut cells_buf = String::new();
+    let mut batches_since_commit = 0usize;
+    let commit = |stream: &mut PolluteStream<CsvChunkReader<BufReader<File>>, StdRng>,
+                  writer: &mut CsvWriter<CountingWriter<File>>,
+                  log_out: &mut Option<CountingWriter<File>>,
+                  journal: &mut Journal,
+                  ckpt: &mut CheckpointDir,
+                  done: bool|
+     -> Result<(), CliError> {
+        writer.flush().map_err(|e| at(&output, e))?;
+        if let Some(out) = log_out.as_mut() {
+            out.flush().map_err(|e| at(log_path.as_ref().expect("log_out implies path"), e))?;
+        }
+        journal.cursor_rows = stream.clean_rows_seen() as u64;
+        journal.rng = Some(stream.rng().state());
+        journal.set_counter("dirty_rows", stream.rows_emitted() as u64);
+        journal
+            .set_counter("corrupted_rows", corrupted_base + stream.log().n_corrupted_rows() as u64);
+        journal.set_output("dirty.csv", Watermark::Bytes(writer.get_ref().count()));
+        if let Some(out) = log_out.as_ref() {
+            journal.set_output("log.csv", Watermark::Bytes(out.count()));
+        }
+        journal.done = done;
+        ckpt.save(journal).map_err(jerr)
+    };
+
+    // Cursor-zero commit: a crash anywhere after this leaves a journal
+    // to resume from.
+    if let Some(handle) = ckpt.as_mut() {
+        commit(&mut stream, &mut writer, &mut log_out, &mut journal, handle, false)?;
+    }
     loop {
         match stream.next_batch() {
-            Ok(Some(batch)) => writer.write_batch(&batch).map_err(|e| at(&output, e))?,
+            Ok(Some(batch)) => {
+                writer.write_batch(&batch).map_err(|e| at(&output, e))?;
+                if let Some(out) = log_out.as_mut() {
+                    cells_buf.clear();
+                    stream.log().render_cells_csv(&schema, cells_rendered, &mut cells_buf);
+                    cells_rendered = stream.log().cells.len();
+                    out.write_all(cells_buf.as_bytes())
+                        .map_err(|e| at(log_path.as_ref().expect("log_out implies path"), e))?;
+                }
+                batches_since_commit += 1;
+                if batches_since_commit >= every {
+                    if let Some(handle) = ckpt.as_mut() {
+                        commit(
+                            &mut stream,
+                            &mut writer,
+                            &mut log_out,
+                            &mut journal,
+                            handle,
+                            false,
+                        )?;
+                    }
+                    batches_since_commit = 0;
+                }
+            }
             Ok(None) => break,
             Err(e) => return Err(CliError::Runtime(at(&input, e))),
         }
     }
-    writer.finish().map_err(|e| at(&output, e))?;
+    if let Some(handle) = ckpt.as_mut() {
+        commit(&mut stream, &mut writer, &mut log_out, &mut journal, handle, true)?;
+    } else {
+        writer.flush().map_err(|e| at(&output, e))?;
+        if let Some(out) = log_out.as_mut() {
+            out.flush().map_err(|e| at(log_path.as_ref().expect("log_out implies path"), e))?;
+        }
+    }
 
     let clean_rows = stream.clean_rows_seen();
     let dirty_rows = stream.rows_emitted();
-    let log = stream.into_log();
-    if let Some(log_path) = flags.get("log") {
-        write_file(Path::new(log_path), &log_to_csv(&log, &schema))?;
-    }
+    let corrupted = corrupted_base + stream.log().n_corrupted_rows() as u64;
+    let prevalence = if dirty_rows == 0 { 0.0 } else { corrupted as f64 / dirty_rows as f64 };
     say!(
-        "polluted {clean_rows} rows -> {dirty_rows} rows ({} corrupted, prevalence {:.2}%) \
-         at factor {factor}",
-        log.n_corrupted_rows(),
-        log.prevalence() * 100.0,
+        "polluted {clean_rows} rows -> {dirty_rows} rows ({corrupted} corrupted, prevalence \
+         {:.2}%) at factor {factor}",
+        prevalence * 100.0,
     );
     Ok(())
 }

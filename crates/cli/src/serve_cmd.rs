@@ -2,8 +2,9 @@
 //!
 //! Loads every `<name>.dqm` / `<name>.dqs` pair under `--models` into
 //! resident [`dq_serve`] engines and answers audit requests over
-//! HTTP/1.1 until the process dies. Routes and knobs are documented in
-//! `dq_serve::server`; the short version:
+//! HTTP/1.1 until told to stop: `SIGTERM`/`SIGINT` drain the in-flight
+//! audits and exit 0 rather than killing the process mid-scan. Routes
+//! and knobs are documented in `dq_serve::server`; the short version:
 //!
 //! ```text
 //! curl localhost:7700/health
@@ -14,7 +15,8 @@
 
 use crate::args::{CliError, Flags};
 use crate::io_util::say;
-use dq_serve::{ModelRegistry, ServeConfig, Server};
+use dq_serve::signal::signal_name;
+use dq_serve::{ModelRegistry, ServeConfig, Server, TerminationSignal};
 use std::time::Duration;
 
 pub const USAGE: &str = "dq serve --models DIR --addr HOST:PORT \
@@ -74,6 +76,21 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     for entry in server.registry().entries() {
         say!("  {}  {}", entry.fingerprint_hex(), entry.name);
     }
-    server.join();
+    // Graceful shutdown: SIGTERM/SIGINT drain in-flight audits and
+    // exit 0 instead of killing the process mid-scan. If the handlers
+    // cannot be installed (non-Unix, exotic sandbox), the daemon still
+    // serves — it just dies the old-fashioned way.
+    match TerminationSignal::install() {
+        Ok(term) => {
+            let signum = term.wait();
+            say!("{}: draining in-flight audits and shutting down", signal_name(signum));
+            server.shutdown();
+            say!("drained; bye");
+        }
+        Err(e) => {
+            say!("warning: {e}; serving without graceful shutdown");
+            server.join();
+        }
+    }
     Ok(())
 }

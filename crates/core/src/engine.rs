@@ -151,6 +151,43 @@ impl AuditEngine {
         detect_batches(&self.model, self.threads, batches)
     }
 
+    /// Scan one batch whose first row has global index `row_offset`,
+    /// returning the batch's findings (row indices globalized) and its
+    /// per-row error confidences in row order — the incremental unit a
+    /// checkpointed `dq detect` persists at each commit. The
+    /// arithmetic is exactly the streaming scan's, so accumulating
+    /// parts across batches and finishing with
+    /// [`AuditEngine::report_from_parts`] is byte-identical to one
+    /// uninterrupted [`AuditEngine::detect_stream`].
+    pub fn scan_batch(&self, batch: &Table, row_offset: usize) -> (Vec<Finding>, Vec<f64>) {
+        let pool = self.threads.pool();
+        let chunks = batch.chunks(pool.threads());
+        let partials = pool.map_indexed(&chunks, |_, chunk| scan_chunk(&self.model, chunk));
+        let mut findings = Vec::new();
+        let mut confidences = Vec::with_capacity(batch.n_rows());
+        for (chunk_findings, chunk_confidence) in partials {
+            findings.extend(chunk_findings.into_iter().map(|mut f| {
+                f.row += row_offset;
+                f
+            }));
+            confidences.extend(chunk_confidence);
+        }
+        (findings, confidences)
+    }
+
+    /// Assemble the final report from parts accumulated by
+    /// [`AuditEngine::scan_batch`] — the same rank ordering (and
+    /// min-confidence threshold) every other detection entry point
+    /// applies, so a resumed audit's report is byte-identical to an
+    /// uninterrupted one's.
+    pub fn report_from_parts(
+        &self,
+        findings: Vec<Finding>,
+        record_confidence: Vec<f64>,
+    ) -> AuditReport {
+        AuditReport::new(findings, record_confidence, self.model.config().min_confidence)
+    }
+
     /// Audit a CSV stream (header + records) end to end: chunks of
     /// `chunk_rows` rows flow through [`CsvChunkReader`] into the
     /// streaming scan. Byte-identical to reading the whole stream into

@@ -1,0 +1,285 @@
+//! The checkpoint directory: atomic journal commits, deterministic
+//! crash knobs, and resumable-output plumbing.
+//!
+//! # Commit protocol
+//!
+//! A checkpointed job alternates data writes with journal commits:
+//!
+//! 1. flush every output writer (their bytes reach the page cache —
+//!    under the `kill -9` crash model that is durable enough, since
+//!    the kernel survives the process);
+//! 2. [`CheckpointDir::save`] the journal: staged to `job.dqj.tmp`,
+//!    fsynced, atomically renamed over `job.dqj`, directory entry
+//!    fsynced.
+//!
+//! A crash between (1) and (2) loses nothing: the journal still points
+//! at the previous commit, and everything written since is beyond some
+//! watermark and gets truncated or pruned on resume. A crash *during*
+//! (2) leaves either the old journal or the new one — never a torn
+//! mix — because the rename is atomic. The journal's trailing checksum
+//! catches the remaining case (a filesystem that tears the staged
+//! write *and* loses the rename ordering) as a typed refusal.
+//!
+//! # Crash knobs
+//!
+//! Two environment variables turn any checkpointed run into a
+//! deterministic crash victim, giving the chaos suite exact kill
+//! points with true `kill -9` semantics ([`std::process::abort`] — no
+//! destructors, no buffer flushes):
+//!
+//! * `DQ_CRASH_BEFORE_COMMIT=k` — abort immediately before the `k`-th
+//!   (1-based) journal save of the process: data flushed, journal
+//!   stale;
+//! * `DQ_CRASH_AFTER_COMMITS=k` — abort immediately after the `k`-th
+//!   save commits: journal new, later data lost.
+
+use crate::error::JobError;
+use crate::journal::Journal;
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// File name of the journal inside a checkpoint directory.
+pub const JOURNAL: &str = "job.dqj";
+/// Staging name during [`CheckpointDir::save`].
+const JOURNAL_TMP: &str = "job.dqj.tmp";
+
+fn located(path: &Path, e: impl std::fmt::Display) -> JobError {
+    JobError::Io(format!("{}: {e}", path.display()))
+}
+
+/// Fsync a directory so a just-renamed entry survives power loss
+/// (unix only; elsewhere the rename alone is the best ordering
+/// available).
+fn sync_dir(dir: &Path) -> Result<(), JobError> {
+    #[cfg(unix)]
+    {
+        let handle = File::open(dir).map_err(|e| located(dir, e))?;
+        handle.sync_all().map_err(|e| located(dir, e))?;
+    }
+    #[cfg(not(unix))]
+    let _ = dir;
+    Ok(())
+}
+
+/// A directory holding one job's checkpoint state (the `job.dqj`
+/// journal, plus whatever sidecar files the job keeps there). See the
+/// module docs for the commit protocol and crash knobs.
+#[derive(Debug)]
+pub struct CheckpointDir {
+    dir: PathBuf,
+    /// Journal saves performed by this instance (1-based after the
+    /// first), driving the crash knobs.
+    saves: u64,
+    crash_before: Option<u64>,
+    crash_after: Option<u64>,
+}
+
+fn crash_knob(name: &str) -> Option<u64> {
+    std::env::var(name).ok().and_then(|v| v.parse::<u64>().ok())
+}
+
+impl CheckpointDir {
+    /// Open (creating if needed) a checkpoint directory and read the
+    /// crash knobs from the environment.
+    pub fn create(dir: impl Into<PathBuf>) -> Result<Self, JobError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|e| located(&dir, e))?;
+        Ok(CheckpointDir {
+            dir,
+            saves: 0,
+            crash_before: crash_knob("DQ_CRASH_BEFORE_COMMIT"),
+            crash_after: crash_knob("DQ_CRASH_AFTER_COMMITS"),
+        })
+    }
+
+    /// The directory itself (for sidecar files).
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the journal file.
+    pub fn journal_path(&self) -> PathBuf {
+        self.dir.join(JOURNAL)
+    }
+
+    /// Does a journal exist here (committed; the staged temp does not
+    /// count)?
+    pub fn has_journal(&self) -> bool {
+        self.journal_path().is_file()
+    }
+
+    /// Load and checksum-verify the journal. [`JobError::Missing`] if
+    /// none exists, [`JobError::Torn`] if it fails verification.
+    pub fn load(&self) -> Result<Journal, JobError> {
+        let path = self.journal_path();
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(JobError::Missing(path.display().to_string()));
+            }
+            Err(e) => return Err(located(&path, e)),
+        };
+        Journal::parse(&text, &path.display().to_string())
+    }
+
+    /// Atomically commit `journal` (stage + fsync + rename + dir
+    /// fsync), honouring the crash knobs. The caller must have flushed
+    /// its data writers first — the journal vouches only for bytes
+    /// that reached the kernel before this call.
+    pub fn save(&mut self, journal: &Journal) -> Result<(), JobError> {
+        self.saves += 1;
+        if self.crash_before == Some(self.saves) {
+            // Data is flushed, the journal is stale: the resume point
+            // is the *previous* commit.
+            std::process::abort();
+        }
+        let path = self.journal_path();
+        let tmp = self.dir.join(JOURNAL_TMP);
+        let mut staged = File::create(&tmp).map_err(|e| located(&tmp, e))?;
+        staged.write_all(journal.render().as_bytes()).map_err(|e| located(&tmp, e))?;
+        staged.sync_all().map_err(|e| located(&tmp, e))?;
+        drop(staged);
+        std::fs::rename(&tmp, &path).map_err(|e| located(&path, e))?;
+        sync_dir(&self.dir)?;
+        if self.crash_after == Some(self.saves) {
+            // The journal committed; everything the job does next is
+            // beyond the watermarks and must be reproduced on resume.
+            std::process::abort();
+        }
+        Ok(())
+    }
+}
+
+/// Reopen a flat output file for appending at its journaled watermark:
+/// verify it holds at least `watermark` bytes (shorter means the
+/// output was truncated behind the journal's back — a loud refusal),
+/// truncate whatever an interrupted incarnation wrote past the
+/// watermark, and position at the end.
+pub fn resume_file(path: &Path, watermark: u64) -> Result<File, JobError> {
+    let mut file =
+        OpenOptions::new().read(true).write(true).open(path).map_err(|e| located(path, e))?;
+    let len = file.metadata().map_err(|e| located(path, e))?.len();
+    if len < watermark {
+        return Err(JobError::OutputTruncated { path: path.display().to_string(), len, watermark });
+    }
+    file.set_len(watermark).map_err(|e| located(path, e))?;
+    file.seek(SeekFrom::End(0)).map_err(|e| located(path, e))?;
+    Ok(file)
+}
+
+/// A [`Write`] adapter counting the bytes that reached the inner
+/// writer — the byte-watermark source for journaled CSV outputs. On
+/// resume, construct it with `start` equal to the journaled watermark
+/// so the count stays the file's true committed length.
+#[derive(Debug)]
+pub struct CountingWriter<W> {
+    inner: W,
+    count: u64,
+}
+
+impl<W: Write> CountingWriter<W> {
+    /// Wrap `inner`, starting the count at `start` (0 for a fresh
+    /// file, the journaled watermark on resume).
+    pub fn new(inner: W, start: u64) -> Self {
+        CountingWriter { inner, count: start }
+    }
+
+    /// Bytes written through this adapter plus the starting offset —
+    /// after a flush, the file's committed length.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The wrapped writer.
+    pub fn get_ref(&self) -> &W {
+        &self.inner
+    }
+}
+
+impl<W: Write> Write for CountingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.count += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::Watermark;
+
+    fn dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("dq-job-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn save_load_round_trip_and_missing() {
+        let d = dir("rt");
+        let mut ckpt = CheckpointDir::create(&d).unwrap();
+        assert!(!ckpt.has_journal());
+        assert!(matches!(ckpt.load(), Err(JobError::Missing(_))));
+
+        let mut j = Journal::new("generate", 1, 2);
+        j.cursor_rows = 99;
+        j.set_output("clean.csv", Watermark::Bytes(1234));
+        ckpt.save(&j).unwrap();
+        assert!(ckpt.has_journal());
+        assert_eq!(ckpt.load().unwrap(), j);
+
+        // A second save replaces atomically.
+        j.cursor_rows = 200;
+        ckpt.save(&j).unwrap();
+        assert_eq!(ckpt.load().unwrap().cursor_rows, 200);
+        assert!(!d.join(JOURNAL_TMP).exists(), "staging file must not linger");
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn on_disk_corruption_is_torn_never_a_fresh_start() {
+        let d = dir("torn");
+        let mut ckpt = CheckpointDir::create(&d).unwrap();
+        ckpt.save(&Journal::new("detect", 7, 8)).unwrap();
+        let path = ckpt.journal_path();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+        let err = ckpt.load().unwrap_err();
+        assert!(matches!(err, JobError::Torn { .. }), "got {err:?}");
+        assert!(err.to_string().contains("refusing to resume"), "{err}");
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn resume_file_truncates_to_the_watermark() {
+        let d = dir("resume-file");
+        std::fs::create_dir_all(&d).unwrap();
+        let path = d.join("out.csv");
+        std::fs::write(&path, b"committed bytes|uncommitted tail").unwrap();
+
+        let mut f = resume_file(&path, 15).unwrap();
+        f.write_all(b"+resumed").unwrap();
+        drop(f);
+        assert_eq!(std::fs::read(&path).unwrap(), b"committed bytes+resumed");
+
+        // Shorter than the watermark: loud typed refusal.
+        let err = resume_file(&path, 10_000).unwrap_err();
+        assert!(matches!(err, JobError::OutputTruncated { watermark: 10_000, .. }), "{err:?}");
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn counting_writer_tracks_committed_length() {
+        let mut w = CountingWriter::new(Vec::new(), 100);
+        w.write_all(b"hello").unwrap();
+        w.flush().unwrap();
+        assert_eq!(w.count(), 105);
+        assert_eq!(w.get_ref(), b"hello");
+    }
+}

@@ -1,0 +1,93 @@
+//! Typed errors of the checkpoint/resume layer.
+
+use std::fmt;
+
+/// Everything that can go wrong loading, saving, or validating a
+/// checkpoint. The variants are deliberately loud about *which* safety
+/// property failed: a torn journal, a mutated config, an output file
+/// shorter than its committed watermark — each names its evidence, and
+/// none of them ever degrades into a silent restart-from-zero.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// An underlying I/O failure (message carries the path).
+    Io(String),
+    /// The journal file exists but is not a well-formed, checksummed
+    /// `dq-job v1` document — truncated, bit-flipped, or written by a
+    /// torn commit.
+    Torn {
+        /// Path of the offending journal.
+        path: String,
+        /// What exactly failed (checksum mismatch, bad line, …).
+        detail: String,
+    },
+    /// `--resume` was asked for but no journal exists at the path.
+    Missing(String),
+    /// The journaled config or schema fingerprint disagrees with the
+    /// resuming invocation's — the flags, seed, or schema were mutated
+    /// between incarnations.
+    Mismatch {
+        /// Which fingerprint disagreed (`config` or `schema`).
+        what: &'static str,
+        /// Fingerprint derived by the resuming invocation.
+        expected: u64,
+        /// Fingerprint recorded in the journal.
+        got: u64,
+    },
+    /// The journal belongs to a different subcommand (e.g. resuming a
+    /// `generate` checkpoint with `dq detect`).
+    KindMismatch {
+        /// Kind the resuming invocation runs.
+        expected: String,
+        /// Kind recorded in the journal.
+        got: String,
+    },
+    /// An output file is shorter than the watermark the journal
+    /// committed — the journal and the data cannot both be right, so
+    /// resuming would splice onto missing bytes.
+    OutputTruncated {
+        /// Path of the too-short output.
+        path: String,
+        /// Its on-disk length.
+        len: u64,
+        /// The journaled committed length.
+        watermark: u64,
+    },
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::Io(msg) => write!(f, "io error: {msg}"),
+            JobError::Torn { path, detail } => write!(
+                f,
+                "journal `{path}` is torn or corrupt ({detail}); refusing to resume — \
+                 delete the checkpoint directory to restart from scratch"
+            ),
+            JobError::Missing(path) => {
+                write!(f, "no journal at `{path}` — nothing to resume")
+            }
+            JobError::Mismatch { what, expected, got } => write!(
+                f,
+                "{what} fingerprint mismatch: this invocation derives {expected:016x}, \
+                 the journal recorded {got:016x} — the {what} changed between incarnations; \
+                 refusing to resume"
+            ),
+            JobError::KindMismatch { expected, got } => {
+                write!(f, "journal belongs to a `{got}` job, cannot resume it as `{expected}`")
+            }
+            JobError::OutputTruncated { path, len, watermark } => write!(
+                f,
+                "output `{path}` is {len} bytes but the journal committed {watermark} — \
+                 the output was truncated behind the journal's back; refusing to resume"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+impl From<std::io::Error> for JobError {
+    fn from(e: std::io::Error) -> Self {
+        JobError::Io(e.to_string())
+    }
+}

@@ -25,7 +25,7 @@ pub mod polluter;
 pub mod stream;
 pub mod violations;
 
-pub use log::{CellCorruption, PollutionLog, RowProvenance};
+pub use log::{CellCorruption, PollutionLog, RowProvenance, CELLS_CSV_HEADER};
 pub use pipeline::{pollute, PollutionConfig, PollutionStep};
 pub use polluter::{Polluter, PolluterKind};
 pub use stream::PolluteStream;

@@ -8,7 +8,12 @@
 //! row provenance that survives duplication and deletion.
 
 use crate::polluter::PolluterKind;
-use dq_table::{AttrIdx, RowIdx, Value};
+use dq_table::{AttrIdx, RowIdx, Schema, Value};
+
+/// Header line of the cell-corruption CSV rendering
+/// ([`PollutionLog::render_cells_csv`]) — the `pollution-log.csv`
+/// format `dq generate` emits.
+pub const CELLS_CSV_HEADER: &str = "dirty_row,attribute,polluter,before,after\n";
 
 /// Where a dirty row came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,13 +53,29 @@ pub struct PollutionLog {
     pub deleted_clean_rows: Vec<RowIdx>,
     /// Per dirty row: was it corrupted (any cell event or duplicate)?
     corrupted: Vec<bool>,
+    /// Global dirty-row index of this log's first row. Zero except for
+    /// logs continuing a resumed stream (see
+    /// [`PollutionLog::with_base`]).
+    base: RowIdx,
 }
 
 impl PollutionLog {
+    /// An empty log whose first dirty row has global index `base` —
+    /// the continuation log of a resumed pollution stream whose
+    /// previous incarnation already committed `base` dirty rows. Cell
+    /// events carry global `dirty_row` indices, so a streamed
+    /// `pollution-log.csv` concatenates identically to an
+    /// uninterrupted run's. Local accounting (`n_rows`, `prevalence`,
+    /// the scoring APIs) covers only this incarnation's rows; scoring
+    /// assumes a base of zero.
+    pub fn with_base(base: RowIdx) -> Self {
+        PollutionLog { base, ..PollutionLog::default() }
+    }
+
     pub(crate) fn push_row(&mut self, clean_row: RowIdx, duplicate: bool) -> RowIdx {
         self.provenance.push(RowProvenance { clean_row, duplicate });
         self.corrupted.push(duplicate);
-        self.provenance.len() - 1
+        self.base + self.provenance.len() - 1
     }
 
     pub(crate) fn log_cell(
@@ -67,7 +88,7 @@ impl PollutionLog {
     ) {
         debug_assert!(before.sql_eq(&after) != Some(true), "corruption must change the value");
         self.cells.push(CellCorruption { dirty_row, attr, polluter, before, after });
-        self.corrupted[dirty_row] = true;
+        self.corrupted[dirty_row - self.base] = true;
     }
 
     pub(crate) fn log_deletion(&mut self, clean_row: RowIdx) {
@@ -75,9 +96,10 @@ impl PollutionLog {
     }
 
     /// `true` if the dirty row carries any corruption (cell event or
-    /// duplicate provenance).
+    /// duplicate provenance). `dirty_row` is a global index (offset by
+    /// the base for continuation logs).
     pub fn is_row_corrupted(&self, dirty_row: RowIdx) -> bool {
-        self.corrupted[dirty_row]
+        self.corrupted[dirty_row - self.base]
     }
 
     /// Number of corrupted rows in the dirty table.
@@ -112,6 +134,26 @@ impl PollutionLog {
             0.0
         } else {
             self.n_corrupted_rows() as f64 / self.provenance.len() as f64
+        }
+    }
+
+    /// Render cell corruptions `cells[from..]` as CSV lines (no
+    /// header; see [`CELLS_CSV_HEADER`]) — the `pollution-log.csv`
+    /// body `dq generate` writes. Rendering from a cursor lets a
+    /// checkpointed job stream the log incrementally and still
+    /// concatenate byte-identically to a one-shot rendering.
+    pub fn render_cells_csv(&self, schema: &Schema, from: usize, out: &mut String) {
+        use std::fmt::Write as _;
+        for c in &self.cells[from..] {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{}",
+                c.dirty_row,
+                schema.attr(c.attr).name,
+                c.polluter,
+                schema.display_value(c.attr, &c.before),
+                schema.display_value(c.attr, &c.after),
+            );
         }
     }
 }

@@ -48,11 +48,51 @@ impl<S: BatchSource, R: Rng> PolluteStream<S, R> {
         }
     }
 
+    /// Continue a pollution stream a previous incarnation left off —
+    /// the resume path of a checkpointed job. `source` must already be
+    /// positioned at clean row `clean_rows_seen` (the journal's
+    /// cursor), `rng` rebuilt from the journaled generator state, and
+    /// `dirty_rows` is how many dirty rows the previous incarnation
+    /// already committed (the continuation log's base, and this
+    /// stream's starting emitted count). The pollution core draws its
+    /// RNG strictly in clean-row order, so the continued stream's
+    /// bytes — and the continuation log's global indices — are exactly
+    /// what an uninterrupted stream would have produced from there.
+    pub fn resume(
+        source: S,
+        config: PollutionConfig,
+        rng: R,
+        clean_rows_seen: usize,
+        dirty_rows: usize,
+    ) -> Self {
+        PolluteStream {
+            source,
+            config,
+            rng,
+            log: PollutionLog::with_base(dirty_rows),
+            clean_rows_seen,
+            rows_emitted: dirty_rows,
+            done: false,
+        }
+    }
+
     /// The ground-truth log accumulated so far — complete (equal to
     /// the in-memory [`pollute`](crate::pollute) log) once
     /// `next_batch` has returned `Ok(None)`.
     pub fn log(&self) -> &PollutionLog {
         &self.log
+    }
+
+    /// The owned RNG — a checkpointing job reads its state here at
+    /// each commit, so a resumed incarnation can rebuild it.
+    pub fn rng(&self) -> &R {
+        &self.rng
+    }
+
+    /// The inner source, mutably — a checkpointing job flushes a tee'd
+    /// writer through this at each commit without ending the stream.
+    pub fn source_mut(&mut self) -> &mut S {
+        &mut self.source
     }
 
     /// Consume the stream, returning the accumulated log.
@@ -197,6 +237,48 @@ mod tests {
                 assert_eq!(log.is_row_corrupted(r), log_ref.is_row_corrupted(r), "row {r}");
             }
         }
+    }
+
+    #[test]
+    fn resume_continues_the_exact_stream_and_log() {
+        let clean = clean_table(997);
+        let cfg = PollutionConfig::standard().with_factor(3.0);
+        let (dirty_ref, log_ref) = pollute(&clean, &cfg, &mut StdRng::seed_from_u64(42));
+
+        // First incarnation: five 64-row chunks, then the "crash". At
+        // the commit boundary we hold exactly what a journal records:
+        // clean cursor, dirty watermark, RNG state.
+        let mut first =
+            PolluteStream::new(clean.batches(64), cfg.clone(), StdRng::seed_from_u64(42));
+        let mut dirty = Table::new(clean.schema().clone());
+        for _ in 0..5 {
+            dirty.append_rows(&first.next_batch().unwrap().unwrap()).unwrap();
+        }
+        let cursor = first.clean_rows_seen();
+        let watermark = dirty.n_rows();
+        let rng_state = first.rng().state();
+        let mut cells = first.log().cells.clone();
+
+        // Second incarnation: reposition the source and continue.
+        let tail = clean.slice_rows(cursor, clean.n_rows()).unwrap();
+        let mut resumed = PolluteStream::resume(
+            tail.batches(64),
+            cfg,
+            StdRng::from_state(rng_state),
+            cursor,
+            watermark,
+        );
+        while let Some(batch) = resumed.next_batch().unwrap() {
+            dirty.append_rows(&batch).unwrap();
+        }
+        assert_eq!(resumed.rows_emitted(), dirty.n_rows());
+        assert_eq!(csv(&dirty), csv(&dirty_ref), "resumed dirty rows must be byte-identical");
+        cells.extend(resumed.log().cells.iter().cloned());
+        assert_eq!(cells, log_ref.cells, "concatenated logs must equal the uninterrupted log");
+        assert!(
+            resumed.log().provenance.iter().all(|p| p.clean_row >= cursor),
+            "continuation provenance is global"
+        );
     }
 
     #[test]

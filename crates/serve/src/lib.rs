@@ -21,7 +21,9 @@
 //!   speaks (one request per connection, `Content-Length` bodies);
 //! * [`client`] — a zero-dependency blocking client for tests and
 //!   scripts, with bounded-backoff retry ([`client::post_with_retry`])
-//!   that honors `Retry-After` and refuses to retry a draining server.
+//!   that honors `Retry-After` and refuses to retry a draining server;
+//! * [`signal`] — std-only `SIGTERM`/`SIGINT` handling via the
+//!   self-pipe trick, so `dq serve` turns a `kill` into a drain.
 //!
 //! Responses are byte-identical to the batch tool: a streamed request
 //! answers with exactly the CSV `dq detect` would have written for the
@@ -36,9 +38,11 @@ pub mod client;
 pub mod http;
 pub mod registry;
 pub mod server;
+pub mod signal;
 
 pub use registry::{ModelEntry, ModelRegistry, ModelStats};
 pub use server::{ServeConfig, Server};
+pub use signal::TerminationSignal;
 
 /// A serving-layer failure: registry startup problems, socket errors.
 #[derive(Debug)]

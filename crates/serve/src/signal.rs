@@ -1,0 +1,165 @@
+//! Graceful-shutdown signals without a signal-handling crate.
+//!
+//! `dq serve` should treat `SIGTERM` (what `systemd stop`, Kubernetes,
+//! and `kill` send) and `SIGINT` (Ctrl-C) as "drain and exit cleanly",
+//! not "die mid-audit". The classic std-only way to get a signal out
+//! of the narrow async-signal-safe world and into ordinary blocking
+//! Rust is the *self-pipe trick*: the handler does nothing but `write`
+//! one byte (the signal number) to a pipe — `write` is on POSIX's
+//! async-signal-safe list — and a normal thread blocks on `read` from
+//! the other end. [`TerminationSignal::wait`] is that read.
+//!
+//! Everything here is raw libc FFI (`signal`, `pipe`, `read`,
+//! `write`), gated to Unix; on other platforms [`install`] reports
+//! that signals are unsupported and `dq serve` falls back to its plain
+//! blocking join.
+//!
+//! [`install`]: TerminationSignal::install
+
+use std::sync::atomic::{AtomicBool, AtomicI32};
+
+/// `SIGINT` — interactive interrupt (Ctrl-C).
+pub const SIGINT: i32 = 2;
+/// `SIGTERM` — polite termination request (`kill`'s default).
+pub const SIGTERM: i32 = 15;
+
+/// Human name for a signal number this module installs handlers for.
+pub fn signal_name(signum: i32) -> &'static str {
+    match signum {
+        SIGINT => "SIGINT",
+        SIGTERM => "SIGTERM",
+        _ => "signal",
+    }
+}
+
+/// Write end of the self-pipe, published for the handler. `-1` until
+/// [`TerminationSignal::install`] runs.
+static WRITE_FD: AtomicI32 = AtomicI32::new(-1);
+/// One-shot guard: handlers and the pipe are process-global state.
+static INSTALLED: AtomicBool = AtomicBool::new(false);
+
+/// A handle on installed `SIGINT`/`SIGTERM` handlers; blocks on
+/// [`wait`](TerminationSignal::wait) until one arrives.
+#[derive(Debug)]
+pub struct TerminationSignal {
+    read_fd: i32,
+}
+
+#[cfg(unix)]
+mod imp {
+    use super::{TerminationSignal, INSTALLED, SIGINT, SIGTERM, WRITE_FD};
+    use std::sync::atomic::Ordering;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> isize;
+        fn pipe(fds: *mut i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    }
+
+    /// The handler proper: forward the signal number through the pipe.
+    /// `write(2)` is async-signal-safe; nothing else here allocates,
+    /// locks, or formats.
+    extern "C" fn on_signal(signum: i32) {
+        let fd = WRITE_FD.load(Ordering::SeqCst);
+        if fd >= 0 {
+            let byte = [signum as u8];
+            unsafe {
+                let _ = write(fd, byte.as_ptr(), 1);
+            }
+        }
+    }
+
+    pub fn install() -> Result<TerminationSignal, String> {
+        if INSTALLED.swap(true, Ordering::SeqCst) {
+            return Err("termination signal handlers are already installed".to_string());
+        }
+        let mut fds = [-1i32; 2];
+        if unsafe { pipe(fds.as_mut_ptr()) } != 0 {
+            INSTALLED.store(false, Ordering::SeqCst);
+            return Err(format!("self-pipe creation failed: {}", std::io::Error::last_os_error()));
+        }
+        WRITE_FD.store(fds[1], Ordering::SeqCst);
+        for signum in [SIGINT, SIGTERM] {
+            if unsafe { signal(signum, on_signal) } == -1 {
+                return Err(format!(
+                    "installing the {} handler failed: {}",
+                    super::signal_name(signum),
+                    std::io::Error::last_os_error()
+                ));
+            }
+        }
+        Ok(TerminationSignal { read_fd: fds[0] })
+    }
+
+    pub fn wait(handle: &TerminationSignal) -> i32 {
+        let mut byte = [0u8; 1];
+        loop {
+            let n = unsafe { read(handle.read_fd, byte.as_mut_ptr(), 1) };
+            if n == 1 {
+                return i32::from(byte[0]);
+            }
+            // 0 would mean the write end closed (it never does) and -1
+            // an EINTR from some *other* signal: retry either way — the
+            // contract is "block until a termination signal".
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    use super::TerminationSignal;
+
+    pub fn install() -> Result<TerminationSignal, String> {
+        Err("termination signals are only supported on Unix".to_string())
+    }
+
+    pub fn wait(_handle: &TerminationSignal) -> i32 {
+        unreachable!("install never succeeds off-Unix")
+    }
+}
+
+impl TerminationSignal {
+    /// Install `SIGINT` + `SIGTERM` handlers backed by a fresh
+    /// self-pipe. Process-global and once-only: a second call fails,
+    /// as does any platform or OS-level refusal — callers are expected
+    /// to degrade to an un-drained exit rather than abort.
+    pub fn install() -> Result<TerminationSignal, String> {
+        imp::install()
+    }
+
+    /// Block the calling thread until a termination signal arrives;
+    /// returns its number ([`SIGINT`] or [`SIGTERM`]).
+    pub fn wait(&self) -> i32 {
+        imp::wait(self)
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+
+    extern "C" {
+        fn getpid() -> i32;
+        fn kill(pid: i32, signum: i32) -> i32;
+    }
+
+    /// One process-wide install budget, so this test owns it: raising a
+    /// real SIGTERM and observing `wait` return it exercises the whole
+    /// handler → pipe → reader path.
+    #[test]
+    fn wait_returns_the_raised_signal_and_reinstall_fails() {
+        let handle = TerminationSignal::install().expect("first install succeeds");
+        assert!(TerminationSignal::install().is_err(), "second install must fail");
+
+        let waiter = std::thread::spawn(move || handle.wait());
+        // The handler is installed before `install` returns, so the
+        // raise cannot race it.
+        unsafe {
+            assert_eq!(kill(getpid(), SIGTERM), 0);
+        }
+        assert_eq!(waiter.join().expect("waiter joins"), SIGTERM);
+        assert_eq!(signal_name(SIGTERM), "SIGTERM");
+        assert_eq!(signal_name(SIGINT), "SIGINT");
+    }
+}

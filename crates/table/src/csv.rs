@@ -55,10 +55,34 @@ pub struct CsvWriter<W: Write> {
 impl<W: Write> CsvWriter<W> {
     /// Open a writer over `out` and emit the header row.
     pub fn new(schema: Arc<Schema>, out: W) -> Result<Self, TableError> {
-        let mut w = BufWriter::new(out);
-        let names: Vec<&str> = schema.attributes().iter().map(|a| a.name.as_str()).collect();
-        writeln!(w, "{}", names.join(","))?;
-        Ok(CsvWriter { schema, w })
+        let mut w = CsvWriter::append(schema, out);
+        let names: Vec<&str> = w.schema.attributes().iter().map(|a| a.name.as_str()).collect();
+        let header = names.join(",");
+        writeln!(w.w, "{header}")?;
+        Ok(w)
+    }
+
+    /// Open a writer over `out` **without** emitting a header — for
+    /// appending to a stream whose header (and a prefix of rows)
+    /// already exists, e.g. a checkpointed job resuming a CSV output
+    /// truncated to its last committed watermark.
+    pub fn append(schema: Arc<Schema>, out: W) -> Self {
+        CsvWriter { schema, w: BufWriter::new(out) }
+    }
+
+    /// Flush buffered rows to the underlying writer without closing.
+    /// After this returns, every row written so far has been handed to
+    /// `W` — the barrier a checkpointing job needs before it records a
+    /// byte watermark.
+    pub fn flush(&mut self) -> Result<(), TableError> {
+        self.w.flush()?;
+        Ok(())
+    }
+
+    /// The underlying writer (e.g. to read a byte counter after
+    /// [`CsvWriter::flush`]).
+    pub fn get_ref(&self) -> &W {
+        self.w.get_ref()
     }
 
     /// Append every row of `batch` (whose schema must match the
@@ -111,6 +135,20 @@ pub fn read_csv<R: Read>(schema: Arc<Schema>, input: R) -> Result<Table, TableEr
     Ok(table)
 }
 
+/// A malformed CSV row captured by a quarantining reader instead of
+/// aborting the stream (see [`CsvChunkReader::with_quarantine`]): the
+/// dead-letter record a degraded audit writes out so every skipped row
+/// stays attributable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantinedRow {
+    /// 1-based physical line number in the stream (header is line 1).
+    pub line: usize,
+    /// The typed error that made the row unparseable.
+    pub error: TableError,
+    /// The raw line text (line terminator stripped).
+    pub raw: String,
+}
+
 /// A bounded-memory CSV reader: iterates the stream as [`Table`]
 /// batches of at most `chunk_rows` rows each, over any [`BufRead`].
 ///
@@ -133,6 +171,15 @@ pub struct CsvChunkReader<R: BufRead> {
     /// Out-of-band row count the stream must deliver exactly; see
     /// [`CsvChunkReader::with_expected_rows`].
     expected_rows: Option<usize>,
+    /// Error budget for quarantine mode; `None` means any malformed
+    /// row is fatal (the default).
+    max_bad_rows: Option<usize>,
+    /// Malformed rows absorbed so far (in quarantine mode), in stream
+    /// order, awaiting [`CsvChunkReader::take_quarantined`]. Bounded
+    /// by the error budget.
+    quarantined: Vec<QuarantinedRow>,
+    /// Total malformed rows absorbed, including already-drained ones.
+    quarantined_total: usize,
 }
 
 impl<R: BufRead> CsvChunkReader<R> {
@@ -168,6 +215,9 @@ impl<R: BufRead> CsvChunkReader<R> {
             done: false,
             rows_emitted: 0,
             expected_rows: None,
+            max_bad_rows: None,
+            quarantined: Vec::new(),
+            quarantined_total: 0,
         })
     }
 
@@ -181,6 +231,59 @@ impl<R: BufRead> CsvChunkReader<R> {
     pub fn with_expected_rows(mut self, n_rows: usize) -> Self {
         self.expected_rows = Some(n_rows);
         self
+    }
+
+    /// Switch the reader into quarantine mode: up to `max_bad_rows`
+    /// malformed data rows (wrong arity or unparseable cells) are
+    /// captured as [`QuarantinedRow`]s instead of aborting the stream.
+    /// One malformed row beyond the budget is a typed
+    /// [`TableError::QuarantineBudget`]. I/O errors and header errors
+    /// are never quarantined — they mean the stream itself is broken,
+    /// not a row.
+    pub fn with_quarantine(mut self, max_bad_rows: usize) -> Self {
+        self.max_bad_rows = Some(max_bad_rows);
+        self
+    }
+
+    /// Drain the malformed rows captured since the last call, in
+    /// stream order. Memory held here is bounded by the error budget.
+    pub fn take_quarantined(&mut self) -> Vec<QuarantinedRow> {
+        std::mem::take(&mut self.quarantined)
+    }
+
+    /// Total malformed rows absorbed so far, drained or not.
+    pub fn quarantined_total(&self) -> usize {
+        self.quarantined_total
+    }
+
+    /// Skip the next `n` data rows without parsing their cells — the
+    /// fast-forward a resumed job uses to reposition an input after
+    /// rows a previous incarnation already consumed. Skipped rows
+    /// count toward [`BatchSource::rows_emitted`] (and the
+    /// expected-row check), and line numbering stays physical. End of
+    /// stream before `n` rows is a typed error: the input is shorter
+    /// than its journal says was already consumed.
+    ///
+    /// [`BatchSource::rows_emitted`]: crate::batch::BatchSource::rows_emitted
+    pub fn skip_data_rows(&mut self, n: usize) -> Result<(), TableError> {
+        let mut skipped = 0;
+        while skipped < n {
+            self.line.clear();
+            if self.reader.read_line(&mut self.line)? == 0 {
+                return Err(TableError::Csv(format!(
+                    "stream ended after {skipped} data rows while skipping {n} \
+                     already-consumed rows (line {}) — input shorter than its journal",
+                    self.line_no
+                )));
+            }
+            self.line_no += 1;
+            if self.line.trim_end_matches(['\n', '\r']).is_empty() {
+                continue;
+            }
+            skipped += 1;
+        }
+        self.rows_emitted += n;
+        Ok(())
     }
 
     /// The physical line number of the last line read (1-based; the
@@ -203,20 +306,23 @@ impl<R: BufRead> CsvChunkReader<R> {
             if trimmed.is_empty() {
                 continue;
             }
-            let cells: Vec<&str> = trimmed.split(',').collect();
-            if cells.len() != self.schema.len() {
-                return Err(TableError::Csv(format!(
-                    "line {}: {} cells, schema has {}",
-                    self.line_no,
-                    cells.len(),
-                    self.schema.len()
-                )));
+            match parse_record(&self.schema, trimmed, self.line_no, record) {
+                Ok(()) => return Ok(true),
+                Err(e) => match self.max_bad_rows {
+                    None => return Err(e),
+                    Some(budget) => {
+                        if self.quarantined_total >= budget {
+                            return Err(TableError::QuarantineBudget {
+                                max_bad_rows: budget,
+                                line: self.line_no,
+                            });
+                        }
+                        self.quarantined_total += 1;
+                        let raw = trimmed.to_string();
+                        self.quarantined.push(QuarantinedRow { line: self.line_no, error: e, raw });
+                    }
+                },
             }
-            record.clear();
-            for (i, cell) in cells.iter().enumerate() {
-                record.push(parse_cell(&self.schema, i, cell, self.line_no)?);
-            }
-            return Ok(true);
         }
     }
 
@@ -288,6 +394,29 @@ impl<R: BufRead> Iterator for CsvChunkReader<R> {
             Err(e) => Some(Err(e)),
         }
     }
+}
+
+/// Parse one non-blank data line into `record` (cleared first): the
+/// row-level core shared by the fatal and quarantining paths.
+fn parse_record(
+    schema: &Schema,
+    line: &str,
+    line_no: usize,
+    record: &mut Vec<Value>,
+) -> Result<(), TableError> {
+    let cells: Vec<&str> = line.split(',').collect();
+    if cells.len() != schema.len() {
+        return Err(TableError::Csv(format!(
+            "line {line_no}: {} cells, schema has {}",
+            cells.len(),
+            schema.len()
+        )));
+    }
+    record.clear();
+    for (i, cell) in cells.iter().enumerate() {
+        record.push(parse_cell(schema, i, cell, line_no)?);
+    }
+    Ok(())
 }
 
 fn parse_cell(
@@ -510,6 +639,88 @@ mod tests {
             CsvChunkReader::new(schema(), input.as_bytes(), 2).unwrap().with_expected_rows(3);
         while BatchSource::next_batch(&mut reader).unwrap().is_some() {}
         assert_eq!(reader.rows_emitted(), 3);
+    }
+
+    #[test]
+    fn append_writer_resumes_a_byte_identical_stream() {
+        let s = schema();
+        let mut t = Table::new(s.clone());
+        for i in 0..10 {
+            t.push_row(&[Value::Nominal((i % 2) as u32), Value::Number(i as f64), Value::Null])
+                .unwrap();
+        }
+        let mut whole = Vec::new();
+        write_csv(&t, &mut whole).unwrap();
+
+        // Write 6 rows with a header, then "crash" and append the rest
+        // through a header-less writer — the bytes must be identical.
+        let mut resumed = Vec::new();
+        let mut w = CsvWriter::new(s.clone(), &mut resumed).unwrap();
+        w.write_batch(&t.slice_rows(0, 6).unwrap()).unwrap();
+        w.finish().unwrap();
+        let mut w = CsvWriter::append(s, &mut resumed);
+        w.write_batch(&t.slice_rows(6, 10).unwrap()).unwrap();
+        w.finish().unwrap();
+        assert_eq!(whole, resumed);
+    }
+
+    #[test]
+    fn skip_data_rows_fast_forwards_past_consumed_rows() {
+        use crate::batch::BatchSource;
+        let s = schema();
+        let input = "color,size,built\nred,1,\n\nred,2,\nred,3,\nred,4,\n";
+        let mut reader = CsvChunkReader::new(s.clone(), input.as_bytes(), 100).unwrap();
+        reader.skip_data_rows(2).unwrap();
+        assert_eq!(reader.rows_emitted(), 2);
+        let batch = BatchSource::next_batch(&mut reader).unwrap().unwrap();
+        assert_eq!(batch.n_rows(), 2);
+        assert_eq!(batch.get(0, 1), Value::Number(3.0));
+        assert_eq!(reader.rows_emitted(), 4);
+
+        // Skipping past the end names both counts.
+        let mut reader = CsvChunkReader::new(s, input.as_bytes(), 100).unwrap();
+        let err = reader.skip_data_rows(9).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("after 4") && msg.contains("skipping 9"), "{msg}");
+    }
+
+    #[test]
+    fn quarantine_reroutes_bad_rows_and_keeps_good_ones() {
+        use crate::batch::BatchSource;
+        let s = schema();
+        let input = "color,size,built\nred,1,\nmauve,2,\nred,notanumber,\nred,4,\nred,5\n";
+        let mut reader = CsvChunkReader::new(s, input.as_bytes(), 2).unwrap().with_quarantine(10);
+        let mut rows = 0;
+        while let Some(b) = BatchSource::next_batch(&mut reader).unwrap() {
+            rows += b.n_rows();
+        }
+        assert_eq!(rows, 2, "only the two well-formed rows flow through");
+        let quarantined = reader.take_quarantined();
+        assert_eq!(reader.quarantined_total(), 3);
+        let lines: Vec<usize> = quarantined.iter().map(|q| q.line).collect();
+        assert_eq!(lines, vec![3, 4, 6]);
+        assert_eq!(quarantined[0].raw, "mauve,2,");
+        assert!(matches!(quarantined[0].error, TableError::CsvCell { line: 3, .. }));
+        assert!(matches!(quarantined[2].error, TableError::Csv(_)), "arity error quarantines");
+        assert!(reader.take_quarantined().is_empty(), "take drains");
+    }
+
+    #[test]
+    fn quarantine_budget_overflow_is_a_typed_error() {
+        use crate::batch::BatchSource;
+        let s = schema();
+        let input = "color,size,built\nmauve,1,\nmauve,2,\nmauve,3,\nred,4,\n";
+        let mut reader = CsvChunkReader::new(s, input.as_bytes(), 100).unwrap().with_quarantine(2);
+        let err = loop {
+            match BatchSource::next_batch(&mut reader) {
+                Ok(Some(_)) => continue,
+                Ok(None) => panic!("budget overflow must not end the stream cleanly"),
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err, TableError::QuarantineBudget { max_bad_rows: 2, line: 4 });
+        assert!(matches!(BatchSource::next_batch(&mut reader), Ok(None)), "fused");
+        assert_eq!(reader.take_quarantined().len(), 2, "budgeted rows were still captured");
     }
 
     #[test]

@@ -64,6 +64,14 @@ pub enum TableError {
         /// What was wrong with the cell.
         message: String,
     },
+    /// A quarantining CSV reader absorbed more malformed rows than its
+    /// error budget allows (see `CsvChunkReader::with_quarantine`).
+    QuarantineBudget {
+        /// Maximum malformed rows the reader was allowed to absorb.
+        max_bad_rows: usize,
+        /// 1-based physical line of the row that overflowed the budget.
+        line: usize,
+    },
     /// A malformed line in a schema text file (see `schema_io`).
     SchemaText(String),
     /// An underlying I/O failure (message only, to keep the error `Clone`).
@@ -103,6 +111,11 @@ impl fmt::Display for TableError {
             TableError::CsvCell { line, column, message } => {
                 write!(f, "csv error: line {line}, column `{column}`: {message}")
             }
+            TableError::QuarantineBudget { max_bad_rows, line } => write!(
+                f,
+                "quarantine budget exceeded: more than {max_bad_rows} malformed rows \
+                 (line {line} overflowed)"
+            ),
             TableError::SchemaText(msg) => write!(f, "schema text error: {msg}"),
             TableError::Io(msg) => write!(f, "io error: {msg}"),
         }

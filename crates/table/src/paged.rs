@@ -96,6 +96,87 @@ impl PagedWriter {
         })
     }
 
+    /// Reopen `dir` for appending after a crash, trusting exactly
+    /// `committed_pages` pages — the count a checkpoint journal
+    /// recorded at the last commit. Mid-stream, [`PagedWriter`] only
+    /// ever writes *full* pages (the partial tail page is written by
+    /// [`finish`](PagedWriter::finish) alone), so the committed prefix
+    /// holds exactly `committed_pages * page_rows` rows.
+    ///
+    /// Every committed page must exist (each was fsynced before the
+    /// journal committed it); the last one is decode-validated as a
+    /// cheap tear check. Anything *beyond* the journal's watermark —
+    /// orphan pages from the crashed incarnation, a stale manifest or
+    /// staged temp — is pruned, so the resumed writer re-produces those
+    /// bytes deterministically instead of trusting unjournaled state.
+    pub fn resume(
+        dir: impl Into<PathBuf>,
+        schema: Arc<Schema>,
+        page_rows: usize,
+        committed_pages: usize,
+    ) -> Result<Self, TableError> {
+        let dir = dir.into();
+        let page_rows = page_rows.max(1);
+        for index in 0..committed_pages {
+            let page = dir.join(format!("page-{index}.dqp"));
+            if !page.is_file() {
+                return Err(located(&page, "journaled page missing — cannot resume"));
+            }
+        }
+        if committed_pages > 0 {
+            let path = dir.join(format!("page-{}.dqp", committed_pages - 1));
+            let file = std::fs::File::open(&path).map_err(|e| located(&path, e))?;
+            let page = decode_page(&schema, &mut BufReader::new(file))
+                .map_err(|e| located(&path, format!("{e} — journaled page torn")))?;
+            if page.n_rows() != page_rows {
+                return Err(located(
+                    &path,
+                    format!(
+                        "journaled page has {} rows, expected a full page of {page_rows}",
+                        page.n_rows()
+                    ),
+                ));
+            }
+        }
+        // Prune unjournaled leftovers from the crashed incarnation.
+        for name in [MANIFEST, MANIFEST_TMP] {
+            let stale = dir.join(name);
+            if stale.exists() {
+                std::fs::remove_file(&stale).map_err(|e| located(&stale, e))?;
+            }
+        }
+        let mut orphan = committed_pages;
+        loop {
+            let page = dir.join(format!("page-{orphan}.dqp"));
+            if !page.exists() {
+                break;
+            }
+            std::fs::remove_file(&page).map_err(|e| located(&page, e))?;
+            orphan += 1;
+        }
+        Ok(PagedWriter {
+            pending: Table::new(schema.clone()),
+            dir,
+            schema,
+            page_rows,
+            n_rows: committed_pages * page_rows,
+            n_pages: committed_pages,
+        })
+    }
+
+    /// Pages sealed on disk so far (each fsynced). The watermark a
+    /// checkpoint journal records: on-disk rows are exactly
+    /// `n_pages() * page_rows` at any point before
+    /// [`finish`](PagedWriter::finish).
+    pub fn n_pages(&self) -> usize {
+        self.n_pages
+    }
+
+    /// Rows still buffered in memory, not yet part of any sealed page.
+    pub fn pending_rows(&self) -> usize {
+        self.pending.n_rows()
+    }
+
     /// Append a batch (same schema as the writer's, by canonical
     /// fingerprint). Full pages spill to disk immediately; memory
     /// stays O(page + batch).
@@ -499,7 +580,20 @@ impl PagedTable {
     /// Scan the pages in row order as a [`BatchSource`] (one decoded
     /// page in memory at a time, LRU untouched).
     pub fn batches(&self) -> PagedBatches<'_> {
-        PagedBatches { table: self, next_page: 0, rows_emitted: 0, done: false }
+        self.batches_from(0)
+    }
+
+    /// Scan starting at page `first_page` — the seek a resumed audit
+    /// uses to skip pages a previous incarnation already processed.
+    /// The skipped rows count as emitted, so global row offsets match
+    /// an uninterrupted scan.
+    pub fn batches_from(&self, first_page: usize) -> PagedBatches<'_> {
+        PagedBatches {
+            table: self,
+            next_page: first_page,
+            rows_emitted: (first_page * self.page_rows).min(self.n_rows),
+            done: false,
+        }
     }
 }
 
@@ -704,6 +798,83 @@ mod tests {
         let err = src.next_batch().unwrap_err();
         assert!(err.to_string().contains("page-1.dqp"), "{err}");
         assert!(matches!(src.next_batch(), Ok(None)), "fused after the tear");
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn resume_reproduces_an_uninterrupted_spill_byte_for_byte() {
+        let t = fixture(30);
+        // Reference: uninterrupted spill.
+        let ref_dir = dir("resume-ref");
+        PagedWriter::create(&ref_dir, t.schema().clone(), 4).unwrap().spill(t.batches(7)).unwrap();
+
+        // Crashed incarnation: 17 rows appended → 4 full pages sealed,
+        // one row pending (lost with the process), plus an orphan torn
+        // page file beyond the journaled watermark.
+        let d = dir("resume");
+        {
+            let mut w = PagedWriter::create(&d, t.schema().clone(), 4).unwrap();
+            w.append_batch(&t.slice_rows(0, 17).unwrap()).unwrap();
+            assert_eq!(w.n_pages(), 4);
+            assert_eq!(w.pending_rows(), 1);
+        }
+        std::fs::write(d.join("page-4.dqp"), b"torn orphan").unwrap();
+
+        // Resume trusting the journal's 4 pages (= 16 rows); the tail
+        // rows [16, 30) are re-appended as a fresh incarnation would.
+        let mut w = PagedWriter::resume(&d, t.schema().clone(), 4, 4).unwrap();
+        assert!(!d.join("page-4.dqp").exists(), "orphan pruned");
+        w.append_batch(&t.slice_rows(16, 30).unwrap()).unwrap();
+        w.finish().unwrap();
+
+        for name in ["manifest.dqpm", "page-0.dqp", "page-3.dqp", "page-4.dqp", "page-7.dqp"] {
+            assert_eq!(
+                std::fs::read(ref_dir.join(name)).unwrap(),
+                std::fs::read(d.join(name)).unwrap(),
+                "{name} must be byte-identical to the uninterrupted run"
+            );
+        }
+        std::fs::remove_dir_all(&ref_dir).unwrap();
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn resume_refuses_missing_or_torn_journaled_pages() {
+        let t = fixture(20);
+        let d = dir("resume-bad");
+        {
+            let mut w = PagedWriter::create(&d, t.schema().clone(), 4).unwrap();
+            w.append_batch(&t.slice_rows(0, 16).unwrap()).unwrap();
+        }
+        // Journal promises more pages than exist.
+        let err = PagedWriter::resume(&d, t.schema().clone(), 4, 5).unwrap_err();
+        assert!(err.to_string().contains("page-4.dqp"), "{err}");
+        // Tear the last journaled page.
+        let page = d.join("page-3.dqp");
+        let bytes = std::fs::read(&page).unwrap();
+        std::fs::write(&page, &bytes[..bytes.len() / 2]).unwrap();
+        let err = PagedWriter::resume(&d, t.schema().clone(), 4, 4).unwrap_err();
+        assert!(err.to_string().contains("torn"), "{err}");
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn batches_from_seeks_with_consistent_offsets() {
+        let t = fixture(23);
+        let d = dir("seek");
+        let paged =
+            PagedWriter::create(&d, t.schema().clone(), 4).unwrap().spill(t.batches(6)).unwrap();
+        let mut src = paged.batches_from(3);
+        assert_eq!(src.rows_emitted(), 12);
+        let mut row = 12;
+        while let Some(batch) = src.next_batch().unwrap() {
+            for r in 0..batch.n_rows() {
+                assert_eq!(batch.row(r), t.row(row), "row {row}");
+                row += 1;
+            }
+        }
+        assert_eq!(row, 23);
+        assert_eq!(src.rows_emitted(), 23);
         std::fs::remove_dir_all(&d).unwrap();
     }
 

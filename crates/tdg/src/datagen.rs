@@ -369,6 +369,50 @@ impl GenerateStream {
         &self.report
     }
 
+    /// Fast-forward the stream so the next emitted row is global row
+    /// `offset` — the seek a resumed job uses to skip rows a previous
+    /// incarnation already committed. Every chunk is a pure function
+    /// of its up-front `(len, seed)` plan, so draining after a seek
+    /// yields exactly the bytes an uninterrupted stream produces from
+    /// that offset on. Skipped rows count as emitted; the
+    /// accumulated [`GenReport`] covers only rows generated by *this*
+    /// incarnation (the report is no persisted output's source, so
+    /// resume byte-identity does not depend on it).
+    pub fn seek_to_row(&mut self, offset: usize) -> Result<(), TableError> {
+        if offset > self.config.n_rows {
+            return Err(TableError::RowOutOfRange(offset));
+        }
+        self.pending = Table::new(self.schema.clone());
+        self.report = GenReport::default();
+        self.rows_emitted = offset;
+        if offset == self.config.n_rows {
+            self.next_plan = self.plans.len();
+            return Ok(());
+        }
+        let chunk = offset / GEN_CHUNK_ROWS;
+        let within = offset % GEN_CHUNK_ROWS;
+        self.next_plan = chunk;
+        if within > 0 {
+            // The offset lands mid-chunk: regenerate the containing
+            // chunk (pure per-plan) and keep only its tail.
+            let (n, seed) = self.plans[chunk];
+            let (part, _) = generate_chunk_compiled(
+                &self.schema,
+                &self.rules,
+                &self.config,
+                &self.covered,
+                &self.compiled,
+                &self.repair_trees,
+                &self.index,
+                n,
+                seed,
+            );
+            self.pending.append_rows(&part.slice_rows(within, n)?)?;
+            self.next_plan = chunk + 1;
+        }
+        Ok(())
+    }
+
     /// Generate the next round of chunks (one per worker) into the
     /// pending buffer.
     fn refill(&mut self) -> Result<(), TableError> {
@@ -1735,6 +1779,38 @@ mod tests {
             assert_eq!(csv(&got), csv(&reference), "batch_rows={batch_rows}");
             assert_eq!(stream.report(), &reference_report, "batch_rows={batch_rows}");
         }
+    }
+
+    #[test]
+    fn seek_to_row_resumes_the_exact_stream_from_any_offset() {
+        let s = schema();
+        let rules = RuleSet::from_rules(vec![Rule::new(eq(0, 0), eq(1, 1))]);
+        let n_rows = GEN_CHUNK_ROWS + 777;
+        let mut cfg = DataGenConfig::new(&s, n_rows);
+        cfg.threads = dq_exec::Parallelism::explicit(2);
+        let mut rng = StdRng::seed_from_u64(31);
+        let (reference, _) = generate_table(&s, &rules, &cfg, &mut rng);
+
+        // Chunk-aligned, mid-chunk, mid-last-chunk, and terminal seeks.
+        for offset in [0usize, 1, 613, GEN_CHUNK_ROWS, GEN_CHUNK_ROWS + 1, n_rows - 1, n_rows] {
+            let mut rng = StdRng::seed_from_u64(31);
+            let mut stream = GenerateStream::new(s.clone(), rules.clone(), cfg.clone(), &mut rng)
+                .with_batch_rows(100);
+            stream.seek_to_row(offset).unwrap();
+            assert_eq!(stream.rows_emitted(), offset);
+            let mut row = offset;
+            while let Some(batch) = stream.next_batch().unwrap() {
+                for r in 0..batch.n_rows() {
+                    assert_eq!(batch.row(r), reference.row(row), "offset={offset}, row {row}");
+                    row += 1;
+                }
+            }
+            assert_eq!(row, n_rows, "offset={offset}");
+        }
+
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut stream = GenerateStream::new(s, rules, cfg, &mut rng);
+        assert!(stream.seek_to_row(n_rows + 1).is_err(), "seek past the budget is typed");
     }
 
     #[test]

@@ -27,6 +27,9 @@
 //! * [`serve`] — the long-lived audit daemon: a std-only HTTP/1.1
 //!   server keeping persisted models resident, routing requests by
 //!   model name or schema fingerprint;
+//! * [`job`] — checkpoint/resume for streaming jobs: the crash-safe
+//!   `dq-job v1` journal, commit-point crash knobs, and the
+//!   resumable-output plumbing behind `dq … --checkpoint/--resume`;
 //! * [`quis`] — a synthetic QUIS-like engine-composition table;
 //! * [`eval`] — the test environment: generate → pollute → audit →
 //!   score, plus canned experiments for every figure/table of the
@@ -106,6 +109,7 @@ pub use dq_core as core;
 pub use dq_eval as eval;
 pub use dq_exec as exec;
 pub use dq_fault as fault;
+pub use dq_job as job;
 pub use dq_logic as logic;
 pub use dq_mining as mining;
 pub use dq_pollute as pollute;
